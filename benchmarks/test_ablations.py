@@ -1,0 +1,62 @@
+"""Benchmarks A1-A3 — the DESIGN.md ablations.
+
+Regenerates the ablation tables (``python -m repro.experiments.ablations``
+prints all three).
+"""
+
+import pytest
+
+from repro.benchsuite.advertising import USER_LOC, nearby_query
+from repro.benchsuite.mardziel import ALL_BENCHMARKS
+from repro.core.itersynth import iter_synth_powerset
+from repro.core.synth import SynthOptions, synth_interval
+from repro.solver.boxes import Box
+from repro.solver.decide import count_models
+
+
+@pytest.mark.parametrize(
+    "label,options",
+    [
+        ("balanced_box_seed", SynthOptions(growth="balanced")),
+        ("balanced_point_seed", SynthOptions(growth="balanced", seed_pops=1)),
+        ("lexicographic_point_seed", SynthOptions(growth="lexicographic", seed_pops=1)),
+    ],
+)
+def test_a1_growth_strategy(benchmark, label, options):
+    query = nearby_query((200, 200))
+    result = benchmark(
+        synth_interval, query, USER_LOC, mode="under", polarity=True, options=options
+    )
+    box = result.domain.box
+    benchmark.extra_info["widths"] = "x".join(map(str, box.widths())) if box else "-"
+    benchmark.extra_info["size"] = result.domain.size()
+
+
+@pytest.mark.parametrize("k", [1, 2, 4, 6])
+def test_a2_powerset_k_sweep(benchmark, k):
+    problem = ALL_BENCHMARKS["B5"]
+    result = benchmark.pedantic(
+        iter_synth_powerset,
+        args=(problem.query, problem.secret),
+        kwargs={"k": k, "mode": "under", "polarity": True},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["size"] = result.domain.size()
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+@pytest.mark.parametrize("configuration", ["vectorized", "pure_python"])
+def test_a3_counting_configuration(benchmark, configuration):
+    problem = ALL_BENCHMARKS["B2"]
+    space = Box(problem.secret.bounds())
+    threshold = None if configuration == "vectorized" else 0
+    count = benchmark(
+        count_models,
+        problem.query,
+        space,
+        problem.secret.field_names,
+        vector_threshold=threshold,
+    )
+    benchmark.extra_info["count"] = count
+    assert count == 1_010_050

@@ -1,0 +1,41 @@
+"""Benchmark E3 — Figure 5b: powerset (k=3) synthesis + verification.
+
+Regenerates the paper's Figure 5b rows (``python -m
+repro.experiments.figure5 --domain powerset --k 3`` prints the table).
+"""
+
+import pytest
+
+from repro.benchsuite.groundtruth import ground_truth
+from repro.benchsuite.mardziel import ALL_BENCHMARKS
+from repro.experiments.figure5 import measure_benchmark
+
+_TRUTH_CACHE = {}
+
+
+def _truth(problem):
+    if problem.bench_id not in _TRUTH_CACHE:
+        _TRUTH_CACHE[problem.bench_id] = ground_truth(problem)
+    return _TRUTH_CACHE[problem.bench_id]
+
+
+@pytest.mark.parametrize("bench_id", ["B1", "B2", "B3", "B4", "B5"])
+def test_figure5b_powerset_k3(benchmark, bench_id):
+    problem = ALL_BENCHMARKS[bench_id]
+    truth = _truth(problem)
+    row = benchmark.pedantic(
+        measure_benchmark,
+        args=(problem, truth),
+        kwargs={"domain": "powerset", "k": 3, "runs": 1},
+        rounds=1,
+        iterations=1,
+    )
+    for mode in ("under", "over"):
+        m = row.under if mode == "under" else row.over
+        benchmark.extra_info[f"{mode}_size"] = f"{m.true_size}/{m.false_size}"
+        benchmark.extra_info[f"{mode}_pct_diff"] = (
+            f"{m.true_pct_diff:.0f}/{m.false_pct_diff:.0f}"
+        )
+        assert m.verified, f"{bench_id} {mode} failed verification"
+        # Powersets are never less precise than single intervals on the
+        # same benchmark (the paper's headline comparison of 5a vs 5b).

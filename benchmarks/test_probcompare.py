@@ -1,0 +1,52 @@
+"""Benchmark E5 — the section 6.1 Prob-baseline comparison.
+
+Regenerates the ANOSY-vs-baseline cost/precision numbers (``python -m
+repro.experiments.probcompare`` prints both tables).  Timings: one
+benchmark for the baseline's *per-query* analysis cost, one for ANOSY's
+*per-query* posterior cost, and one for ANOSY's one-time synthesis, per
+problem — the three quantities behind the paper's amortization argument.
+"""
+
+import pytest
+
+from repro.benchsuite.mardziel import ALL_BENCHMARKS
+from repro.benchsuite.probbaseline import hc4_posterior
+from repro.core.plugin import CompileOptions, compile_query
+from repro.solver.boxes import Box
+
+BENCH_IDS = ["B1", "B3", "B5"]
+
+
+@pytest.mark.parametrize("bench_id", BENCH_IDS)
+def test_baseline_per_query_analysis(benchmark, bench_id):
+    problem = ALL_BENCHMARKS[bench_id]
+    top = Box(problem.secret.bounds())
+    result = benchmark(hc4_posterior, problem.query, problem.secret, top, True)
+    benchmark.extra_info["posterior_size"] = result.size()
+
+
+@pytest.mark.parametrize("bench_id", BENCH_IDS)
+def test_anosy_per_query_posterior(benchmark, bench_id):
+    problem = ALL_BENCHMARKS[bench_id]
+    compiled = compile_query(
+        bench_id,
+        problem.query,
+        problem.secret,
+        CompileOptions(domain="powerset", k=3, modes=("over",)),
+    )
+    prior = compiled.qinfo.over_indset[0].top(problem.secret)
+    post_true, _ = benchmark(compiled.qinfo.overapprox, prior)
+    benchmark.extra_info["posterior_size"] = post_true.size()
+
+
+@pytest.mark.parametrize("bench_id", BENCH_IDS)
+def test_anosy_one_time_synthesis(benchmark, bench_id):
+    problem = ALL_BENCHMARKS[bench_id]
+    options = CompileOptions(domain="powerset", k=3, modes=("over",))
+    compiled = benchmark.pedantic(
+        compile_query,
+        args=(bench_id, problem.query, problem.secret, options),
+        rounds=1,
+        iterations=1,
+    )
+    assert compiled.reports["over"].verified

@@ -1,0 +1,34 @@
+"""Benchmark E1 — Table 1: exact ind.-set counting for B1-B5.
+
+Regenerates the paper's Table 1 (``python -m repro.experiments.table1``
+prints the full table).  Each benchmark here times the exact model count
+for one problem and records the resulting sizes in ``extra_info``, so the
+pytest-benchmark report carries the table's content alongside the timing.
+"""
+
+import pytest
+
+from repro.benchsuite.groundtruth import ground_truth
+from repro.benchsuite.mardziel import ALL_BENCHMARKS
+
+FAST_BENCHMARKS = ["B1", "B2", "B3", "B5"]
+
+
+@pytest.mark.parametrize("bench_id", FAST_BENCHMARKS)
+def test_table1_exact_count(benchmark, bench_id):
+    problem = ALL_BENCHMARKS[bench_id]
+    truth = benchmark(ground_truth, problem)
+    benchmark.extra_info["true_size"] = truth.true_size
+    benchmark.extra_info["false_size"] = truth.false_size
+    benchmark.extra_info["paper_true"] = problem.paper_true_size
+    benchmark.extra_info["paper_false"] = problem.paper_false_size
+    assert truth.true_size + truth.false_size == truth.space_size
+
+
+def test_table1_exact_count_pizza(benchmark):
+    """B4 spans ~6.7e12 secrets; one round keeps the harness quick."""
+    problem = ALL_BENCHMARKS["B4"]
+    truth = benchmark.pedantic(ground_truth, args=(problem,), rounds=1, iterations=1)
+    benchmark.extra_info["true_size"] = truth.true_size
+    benchmark.extra_info["false_size"] = truth.false_size
+    assert truth.true_size + truth.false_size == truth.space_size

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""The section 6.2 secure advertising system, in miniature.
+
+A restaurant chain wants to show ads to nearby users.  Every branch's
+proximity check is a declassification, so the chain's total learning is
+bounded by the policy "never pin the user below 100 possible locations".
+This script compiles a 12-branch deployment for two abstract domains and
+shows how far each gets before the policy trips — the Figure 6 effect.
+
+Run:  python examples/location_advertising.py
+(Full experiment: python -m repro.experiments.figure6)
+"""
+
+import random
+
+from repro.benchsuite.advertising import build_system
+
+INSTANCES = 6
+QUERIES = 12
+
+print(f"Compiling two deployments ({QUERIES} branches each)...")
+for k, label in [(1, "interval domain (k=1)"), (5, "powersets of 5 intervals")]:
+    system = build_system(k=k, num_queries=QUERIES, seed=99)
+    rng = random.Random(7)
+    print(f"\n{label}:")
+    for instance in range(INSTANCES):
+        user = (rng.randrange(400), rng.randrange(400))
+        result = system.run_instance(user)
+        bar = "#" * result.authorized
+        status = "ran out of branches" if result.survived_all else "policy violation"
+        print(
+            f"  user {instance}: {bar:<{QUERIES}} "
+            f"{result.authorized:2d} ads authorized ({status})"
+        )
+
+print(
+    "\nMore precise domains keep the knowledge under-approximation honest\n"
+    "for longer, so more branches get an answer before the policy trips."
+)

@@ -1,0 +1,52 @@
+"""ANOSY: approximated knowledge synthesis for declassification.
+
+A Python reproduction of "ANOSY: Approximated Knowledge Synthesis with
+Refinement Types for Declassification" (PLDI 2022).  The public surface
+mirrors the paper's workflow:
+
+1. declare a secret type (:class:`~repro.lang.secrets.SecretSpec`) and a
+   boolean query over it (the :mod:`repro.lang` DSL or text syntax);
+2. compile the query (:func:`~repro.core.plugin.compile_query`): ANOSY
+   synthesizes machine-checked under/over-approximations of the
+   knowledge an attacker gains from each response;
+3. run declassifications through the bounded ``downgrade`` of
+   :class:`~repro.monad.anosy.AnosyT` under a quantitative policy.
+
+See README.md for a quickstart and DESIGN.md for the architecture.
+"""
+
+from repro.core import CompileOptions, QueryRegistry, compile_query
+from repro.domains import AInt, IntervalDomain, PowersetDomain
+from repro.lang import SecretSpec, parse_bool, pretty, var
+from repro.monad import (
+    AnosyT,
+    PolicyViolation,
+    ProtectedSecret,
+    SecureRuntime,
+    UnknownQuery,
+    size_above,
+    size_at_least,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompileOptions",
+    "QueryRegistry",
+    "compile_query",
+    "AInt",
+    "IntervalDomain",
+    "PowersetDomain",
+    "SecretSpec",
+    "parse_bool",
+    "pretty",
+    "var",
+    "AnosyT",
+    "PolicyViolation",
+    "ProtectedSecret",
+    "SecureRuntime",
+    "UnknownQuery",
+    "size_above",
+    "size_at_least",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Exact ind.-set sizes — the ground truth of Table 1.
+
+The *precise* ind. sets of a query partition the secret space into the
+secrets answering True and those answering False.  Their sizes are what
+Table 1 reports and what the % diff columns of Figure 5 are measured
+against.  We compute them exactly with the solver's model counter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.lang.ast import BoolExpr
+from repro.lang.secrets import SecretSpec
+from repro.benchsuite.mardziel import BenchmarkProblem
+from repro.solver.boxes import Box
+from repro.solver.decide import count_models
+
+__all__ = ["GroundTruth", "exact_indset_sizes", "ground_truth"]
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Exact ind.-set sizes for one query."""
+
+    true_size: int
+    false_size: int
+    space_size: int
+    count_time: float
+
+    def size_for(self, response: bool) -> int:
+        """The exact ind.-set size for one query response."""
+        return self.true_size if response else self.false_size
+
+
+def exact_indset_sizes(query: BoolExpr, secret: SecretSpec) -> GroundTruth:
+    """Count the exact ind. sets of ``query`` over ``secret``'s space."""
+    space = Box(secret.bounds())
+    start = time.perf_counter()
+    true_size = count_models(query, space, secret.field_names)
+    elapsed = time.perf_counter() - start
+    total = space.volume()
+    return GroundTruth(
+        true_size=true_size,
+        false_size=total - true_size,
+        space_size=total,
+        count_time=elapsed,
+    )
+
+
+def ground_truth(problem: BenchmarkProblem) -> GroundTruth:
+    """Ground truth for a Table 1 benchmark problem."""
+    return exact_indset_sizes(problem.query, problem.secret)

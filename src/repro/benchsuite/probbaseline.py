@@ -1,0 +1,349 @@
+"""A Prob-style baseline: per-query forward abstract interpretation.
+
+Prob (Mardziel et al. 2013) enforces knowledge-based policies by running a
+probabilistic abstract interpreter over the query *at every execution* to
+compute the posterior.  The paper compares ANOSY against it on two axes
+(section 6.1 discussion): ANOSY pays a one-time synthesis cost but makes
+posteriors free at run time, and ANOSY is *more precise*.
+
+This module reproduces the baseline's architecture with the classic HC4
+algorithm from interval constraint propagation:
+
+* a **forward** pass evaluates every sub-expression over the current box;
+* a **backward** pass pushes the demanded output range back down through
+  the expression, narrowing variable ranges (e.g. from ``a + b ∈ T`` infer
+  ``a ∈ T - range(b)``);
+* conjunctions propagate sequentially, disjunctions propagate each branch
+  and join with a convex hull — the *small-step imprecision* the paper
+  attributes to abstract-interpretation-based tools;
+* the revise step iterates to a fixpoint.
+
+``posterior(prior_box, query, response)`` is an over-approximation of the
+exact posterior knowledge, computed afresh per query — exactly the
+baseline cost/precision profile the comparison needs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.lang.ast import (
+    Abs,
+    Add,
+    And,
+    BoolExpr,
+    BoolLit,
+    Cmp,
+    CmpOp,
+    InSet,
+    IntExpr,
+    IntIte,
+    Lit,
+    Max,
+    Min,
+    Neg,
+    Not,
+    Or,
+    Scale,
+    Sub,
+    Var,
+)
+from repro.lang.secrets import SecretSpec
+from repro.lang.transform import nnf
+from repro.solver import interval
+from repro.solver.boxes import Box
+from repro.solver.interval import Range
+
+__all__ = ["HC4Result", "hc4_posterior", "ProbLiteAnalyzer"]
+
+Env = dict[str, Range]
+
+
+def _env_of(box: Box, names) -> Env:
+    return dict(zip(names, box.bounds))
+
+
+def _box_of(env: Env, names) -> Box | None:
+    bounds = []
+    for name in names:
+        lo, hi = env[name]
+        if lo > hi:
+            return None
+        bounds.append((lo, hi))
+    return Box(tuple(bounds))
+
+
+# ---------------------------------------------------------------------------
+# Forward evaluation (returns the range of every node bottom-up)
+# ---------------------------------------------------------------------------
+
+
+def _forward(expr: IntExpr, env: Env) -> Range:
+    match expr:
+        case Lit(v):
+            return (v, v)
+        case Var(name):
+            return env[name]
+        case Add(a, b):
+            return interval.add(_forward(a, env), _forward(b, env))
+        case Sub(a, b):
+            return interval.sub(_forward(a, env), _forward(b, env))
+        case Neg(a):
+            return interval.neg(_forward(a, env))
+        case Scale(c, a):
+            return interval.scale(c, _forward(a, env))
+        case Abs(a):
+            return interval.abs_(_forward(a, env))
+        case Min(a, b):
+            return interval.min_(_forward(a, env), _forward(b, env))
+        case Max(a, b):
+            return interval.max_(_forward(a, env), _forward(b, env))
+        case IntIte(_, a, b):
+            return interval.join(_forward(a, env), _forward(b, env))
+        case _:
+            raise TypeError(f"not an integer expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Backward (HC4-revise) propagation of a demanded output range
+# ---------------------------------------------------------------------------
+
+
+def _backward(expr: IntExpr, demanded: Range, env: Env) -> bool:
+    """Narrow ``env`` so that ``expr``'s value can lie in ``demanded``.
+
+    Returns False when the demanded range is infeasible (empty posterior).
+    """
+    current = _forward(expr, env)
+    narrowed = interval.meet(current, demanded)
+    if narrowed is None:
+        return False
+    match expr:
+        case Lit(_):
+            return True
+        case Var(name):
+            env[name] = narrowed
+            return True
+        case Add(a, b):
+            ra, rb = _forward(a, env), _forward(b, env)
+            return _backward(a, interval.sub(narrowed, rb), env) and _backward(
+                b, interval.sub(narrowed, _forward(a, env)), env
+            )
+        case Sub(a, b):
+            ra, rb = _forward(a, env), _forward(b, env)
+            return _backward(a, interval.add(narrowed, rb), env) and _backward(
+                b, interval.sub(_forward(a, env), narrowed), env
+            )
+        case Neg(a):
+            return _backward(a, interval.neg(narrowed), env)
+        case Scale(c, a):
+            if c == 0:
+                return narrowed[0] <= 0 <= narrowed[1]
+            lo, hi = narrowed
+            if c > 0:
+                demanded_a = (_ceil_div(lo, c), _floor_div(hi, c))
+            else:
+                demanded_a = (_ceil_div(hi, c), _floor_div(lo, c))
+            if demanded_a[0] > demanded_a[1]:
+                return False
+            return _backward(a, demanded_a, env)
+        case Abs(a):
+            lo, hi = narrowed
+            lo = max(lo, 0)
+            if lo > hi:
+                return False
+            # Preimage of [lo, hi] under abs is [-hi, -lo] ∪ [lo, hi];
+            # joining the two arms is the interval-domain imprecision.
+            ra = _forward(a, env)
+            arms = []
+            if interval.meet(ra, (lo, hi)) is not None:
+                arms.append((lo, hi))
+            if interval.meet(ra, (-hi, -lo)) is not None:
+                arms.append((-hi, -lo))
+            if not arms:
+                return False
+            demanded_a = arms[0]
+            for arm in arms[1:]:
+                demanded_a = interval.join(demanded_a, arm)
+            return _backward(a, demanded_a, env)
+        case Min(a, b):
+            # Both operands are >= the demanded lower bound; at least one
+            # is <= the demanded upper bound (hull imprecision accepted).
+            ok_a = _backward(a, (narrowed[0], _forward(a, env)[1]), env)
+            ok_b = _backward(b, (narrowed[0], _forward(b, env)[1]), env)
+            return ok_a and ok_b
+        case Max(a, b):
+            ok_a = _backward(a, (_forward(a, env)[0], narrowed[1]), env)
+            ok_b = _backward(b, (_forward(b, env)[0], narrowed[1]), env)
+            return ok_a and ok_b
+        case IntIte(_, _, _):
+            return True  # no useful backward information through the hull
+        case _:
+            raise TypeError(f"not an integer expression: {expr!r}")
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -((-a) // b)
+
+
+def _floor_div(a: int, b: int) -> int:
+    return a // b
+
+
+# ---------------------------------------------------------------------------
+# Constraint-level propagation
+# ---------------------------------------------------------------------------
+
+
+def _propagate(formula: BoolExpr, env: Env) -> bool:
+    """Narrow ``env`` to satisfy ``formula``; False when infeasible."""
+    match formula:
+        case BoolLit(value):
+            return value
+        case Cmp(op, left, right):
+            return _propagate_cmp(op, left, right, env)
+        case And(args):
+            return all(_propagate(arg, env) for arg in args)
+        case Or(args):
+            # Branch-and-join: propagate each disjunct from a copy of the
+            # current env and take the per-variable hull of the feasible
+            # branches.  This is the join-point imprecision of forward
+            # abstract interpretation.
+            feasible: list[Env] = []
+            for arg in args:
+                branch = dict(env)
+                if _propagate(arg, branch):
+                    feasible.append(branch)
+            if not feasible:
+                return False
+            for name in env:
+                ranges = [branch[name] for branch in feasible]
+                joined = ranges[0]
+                for rng in ranges[1:]:
+                    joined = interval.join(joined, rng)
+                env[name] = joined
+            return True
+        case Not(inner):
+            if isinstance(inner, InSet):
+                return _propagate_not_inset(inner, env)
+            return _propagate(nnf(formula), env)
+        case InSet(arg, values):
+            lo, hi = _forward(arg, env)
+            members = sorted(v for v in values if lo <= v <= hi)
+            if not members:
+                return False
+            return _backward(arg, (members[0], members[-1]), env)
+        case _:
+            return _propagate(nnf(formula), env)
+
+
+def _propagate_cmp(op: CmpOp, left: IntExpr, right: IntExpr, env: Env) -> bool:
+    ra, rb = _forward(left, env), _forward(right, env)
+    if op is CmpOp.LE:
+        return _backward(left, (ra[0], rb[1]), env) and _backward(
+            right, (_forward(left, env)[0], rb[1]), env
+        )
+    if op is CmpOp.LT:
+        return _propagate_cmp(CmpOp.LE, left, Sub(right, Lit(1)), env)
+    if op is CmpOp.GE:
+        return _propagate_cmp(CmpOp.LE, right, left, env)
+    if op is CmpOp.GT:
+        return _propagate_cmp(CmpOp.LT, right, left, env)
+    if op is CmpOp.EQ:
+        both = interval.meet(ra, rb)
+        if both is None:
+            return False
+        return _backward(left, both, env) and _backward(right, both, env)
+    # NE: only useful at the range boundary.
+    if ra[0] == ra[1] == rb[0] == rb[1]:
+        return False
+    if rb[0] == rb[1]:
+        excluded = rb[0]
+        lo, hi = ra
+        if lo == excluded:
+            lo += 1
+        if hi == excluded:
+            hi -= 1
+        if lo > hi:
+            return False
+        return _backward(left, (lo, hi), env)
+    return True
+
+
+def _propagate_not_inset(atom: InSet, env: Env) -> bool:
+    lo, hi = _forward(atom.arg, env)
+    while lo in atom.values and lo <= hi:
+        lo += 1
+    while hi in atom.values and hi >= lo:
+        hi -= 1
+    if lo > hi:
+        return False
+    return _backward(atom.arg, (lo, hi), env)
+
+
+# ---------------------------------------------------------------------------
+# Public surface
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HC4Result:
+    """One baseline posterior computation."""
+
+    box: Box | None
+    iterations: int
+    elapsed: float
+
+    def size(self) -> int:
+        """Number of secrets in the posterior over-approximation."""
+        return 0 if self.box is None else self.box.volume()
+
+
+def hc4_posterior(
+    query: BoolExpr,
+    secret: SecretSpec,
+    prior: Box,
+    response: bool,
+    *,
+    max_iterations: int = 20,
+) -> HC4Result:
+    """The baseline's posterior for one observed query response."""
+    formula = nnf(query if response else Not(query))
+    names = secret.field_names
+    start = time.perf_counter()
+    env = _env_of(prior, names)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        before = dict(env)
+        if not _propagate(formula, env):
+            elapsed = time.perf_counter() - start
+            return HC4Result(None, iterations, elapsed)
+        if env == before:
+            break
+    elapsed = time.perf_counter() - start
+    return HC4Result(_box_of(env, names), iterations, elapsed)
+
+
+class ProbLiteAnalyzer:
+    """Stateful baseline mirroring Prob's per-query analysis loop.
+
+    Tracks a box of knowledge per secret and re-runs HC4 on every query
+    execution — the "expensive static analysis each time" cost model the
+    paper contrasts ANOSY against.
+    """
+
+    def __init__(self, secret: SecretSpec):
+        self.secret = secret
+        self.knowledge = Box(secret.bounds())
+        self.analysis_time = 0.0
+        self.queries_run = 0
+
+    def observe(self, query: BoolExpr, response: bool) -> Box | None:
+        """Refine tracked knowledge with one observed response."""
+        result = hc4_posterior(query, self.secret, self.knowledge, response)
+        self.analysis_time += result.elapsed
+        self.queries_run += 1
+        if result.box is not None:
+            self.knowledge = result.box
+        return result.box

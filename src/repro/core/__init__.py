@@ -1,0 +1,43 @@
+"""ANOSY's core contribution: verified knowledge synthesis.
+
+``compile_query`` runs the paper's four-step pipeline (refinement specs →
+sketch → SMT-style synthesis → machine-checked verification) and produces
+a :class:`~repro.core.qinfo.QInfo` whose posterior functions are free at
+run time.
+"""
+
+from repro.core.itersynth import IterSynthResult, iter_synth_powerset
+from repro.core.kary import KaryCompiledQuery, KaryQInfo, compile_kary_query
+from repro.core.plugin import (
+    CompiledQuery,
+    CompileOptions,
+    ModeReport,
+    QueryRegistry,
+    compile_query,
+)
+from repro.core.qinfo import DomainPair, QInfo, intersect_knowledge
+from repro.core.sketch import Hole, IndsetSketch, fill, make_indset_sketch
+from repro.core.synth import SynthOptions, SynthResult, synth_interval
+
+__all__ = [
+    "KaryCompiledQuery",
+    "KaryQInfo",
+    "compile_kary_query",
+    "IterSynthResult",
+    "iter_synth_powerset",
+    "CompiledQuery",
+    "CompileOptions",
+    "ModeReport",
+    "QueryRegistry",
+    "compile_query",
+    "DomainPair",
+    "QInfo",
+    "intersect_knowledge",
+    "Hole",
+    "IndsetSketch",
+    "fill",
+    "make_indset_sketch",
+    "SynthOptions",
+    "SynthResult",
+    "synth_interval",
+]

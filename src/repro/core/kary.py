@@ -1,0 +1,174 @@
+"""Non-boolean queries with finitely many outputs (section 5.1 extension).
+
+The paper: "The query language can be easily extended to support
+non-boolean queries with finitely many outputs.  This can be done by
+computing one ind. set per possible output."  This module implements that
+extension: a *k-ary query* is an integer expression over the secret whose
+range (on the secret space) is small; compilation synthesizes and
+verifies one knowledge approximation per output value.
+
+The per-output specs instantiate Figure 4 with the boolean query
+``expr == v``: the under-approximated ind. set for output ``v`` may only
+contain secrets mapping to ``v``; the over-approximated one must contain
+all of them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.lang.ast import BoolExpr, IntExpr
+from repro.lang.eval import eval_int
+from repro.lang.secrets import SecretSpec, SecretValue
+from repro.lang.validate import QueryValidationError, validate_query
+from repro.domains.base import AbstractDomain
+from repro.refine.checker import CheckOutcome, verify_refinement
+from repro.refine.spec import Refinement
+from repro.core.itersynth import iter_synth_powerset
+from repro.core.qinfo import intersect_knowledge
+from repro.core.synth import SynthOptions, synth_interval
+from repro.lang.ast import Not
+from repro.lang.transform import nnf
+from repro.solver.abseval import eval_int_abs
+from repro.solver.boxes import Box
+from repro.solver.decide import decide_exists
+
+__all__ = ["KaryQInfo", "KaryCompiledQuery", "compile_kary_query", "MAX_OUTPUTS"]
+
+#: Guard against "finitely many" degenerating into "one ind. set per
+#: point of a huge range" — the paper's extension presumes small output
+#: alphabets (enum-like).
+MAX_OUTPUTS = 64
+
+
+@dataclass(frozen=True)
+class KaryQInfo:
+    """A k-ary query with one verified ind. set per output value."""
+
+    name: str
+    expr: IntExpr
+    secret: SecretSpec
+    under_indsets: Mapping[int, AbstractDomain]
+    over_indsets: Mapping[int, AbstractDomain]
+
+    @property
+    def outputs(self) -> tuple[int, ...]:
+        """The possible outputs, ascending."""
+        return tuple(sorted(self.under_indsets))
+
+    def run(self, secret_value: SecretValue | Mapping[str, int]) -> int:
+        """Evaluate the query on a concrete secret."""
+        return eval_int(self.expr, self.secret.to_env(secret_value))
+
+    def underapprox(self, prior: AbstractDomain) -> dict[int, AbstractDomain]:
+        """Posterior under-approximations, one per possible output."""
+        return {
+            output: intersect_knowledge(prior, indset)
+            for output, indset in self.under_indsets.items()
+        }
+
+    def overapprox(self, prior: AbstractDomain) -> dict[int, AbstractDomain]:
+        """Posterior over-approximations, one per possible output."""
+        return {
+            output: intersect_knowledge(prior, indset)
+            for output, indset in self.over_indsets.items()
+        }
+
+
+@dataclass(frozen=True)
+class KaryCompiledQuery:
+    """Compile result: the QInfo plus per-output verification outcomes."""
+
+    qinfo: KaryQInfo
+    outcomes: Mapping[str, CheckOutcome]
+    synth_time: float
+
+    @property
+    def name(self) -> str:
+        """Registry name of the query."""
+        return self.qinfo.name
+
+    @property
+    def verified(self) -> bool:
+        """Whether every per-output obligation was discharged."""
+        return all(outcome.verified for outcome in self.outcomes.values())
+
+
+def _discover_outputs(expr: IntExpr, secret: SecretSpec) -> tuple[int, ...]:
+    """The exact output alphabet of ``expr`` on the secret space."""
+    space = Box(secret.bounds())
+    names = secret.field_names
+    lo, hi = eval_int_abs(expr, dict(zip(names, space.bounds)))
+    if hi - lo + 1 > MAX_OUTPUTS * 8:
+        raise QueryValidationError(
+            f"output range [{lo}, {hi}] is too wide for a k-ary query"
+        )
+    outputs = [
+        value
+        for value in range(lo, hi + 1)
+        if decide_exists(expr.eq(value), space, names)
+    ]
+    if len(outputs) > MAX_OUTPUTS:
+        raise QueryValidationError(
+            f"{len(outputs)} distinct outputs exceed the limit of {MAX_OUTPUTS}"
+        )
+    return tuple(outputs)
+
+
+def compile_kary_query(
+    name: str,
+    expr: IntExpr,
+    secret: SecretSpec,
+    *,
+    domain: str = "interval",
+    k: int = 3,
+    synth: SynthOptions = SynthOptions(),
+) -> KaryCompiledQuery:
+    """Compile a k-ary query: one verified ind.-set pair per output."""
+    if not isinstance(expr, IntExpr):
+        raise QueryValidationError("k-ary queries must be integer expressions")
+    # Reuse the boolean validator on a trivial wrapping to check fields,
+    # size, and literal guards.
+    validate_query(expr.eq(0), secret)
+    outputs = _discover_outputs(expr, secret)
+    if not outputs:
+        raise QueryValidationError("query has no feasible outputs")
+
+    start = time.perf_counter()
+    under: dict[int, AbstractDomain] = {}
+    over: dict[int, AbstractDomain] = {}
+    outcomes: dict[str, CheckOutcome] = {}
+    for output in outputs:
+        is_output = expr.eq(output)
+        if domain == "interval":
+            under[output] = synth_interval(
+                is_output, secret, mode="under", polarity=True, options=synth
+            ).domain
+            over[output] = synth_interval(
+                is_output, secret, mode="over", polarity=True, options=synth
+            ).domain
+        else:
+            under[output] = iter_synth_powerset(
+                is_output, secret, k=k, mode="under", polarity=True, options=synth
+            ).domain
+            over[output] = iter_synth_powerset(
+                is_output, secret, k=k, mode="over", polarity=True, options=synth
+            ).domain
+        outcomes[f"under[{output}]"] = verify_refinement(
+            under[output], Refinement(positive=is_output)
+        )
+        outcomes[f"over[{output}]"] = verify_refinement(
+            over[output], Refinement(negative=nnf(Not(is_output)))
+        )
+    synth_time = time.perf_counter() - start
+
+    qinfo = KaryQInfo(
+        name=name,
+        expr=expr,
+        secret=secret,
+        under_indsets=under,
+        over_indsets=over,
+    )
+    return KaryCompiledQuery(qinfo=qinfo, outcomes=outcomes, synth_time=synth_time)

@@ -1,0 +1,215 @@
+"""The compile step: ANOSY's "GHC plugin" analog.
+
+The paper runs at Haskell compile time: for every declassification query it
+(1) generates refinement-type specs, (2) builds a sketch, (3) fills the
+holes by SMT synthesis, and (4) verifies the result with Liquid Haskell.
+:func:`compile_query` performs the same four steps with this repository's
+substrates and returns a :class:`CompiledQuery` carrying the verified
+:class:`~repro.core.qinfo.QInfo` plus all synthesis/verification metadata
+(the numbers Figure 5 reports).
+
+:class:`QueryRegistry` is the compile-time query table: the run-time
+``downgrade`` refers to queries *by name* (Figure 2 passes a string), and
+refuses to declassify anything that was not compiled — the paper's
+"Can't downgrade" error.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.lang.ast import BoolExpr
+from repro.lang.parser import parse_bool
+from repro.lang.secrets import SecretSpec
+from repro.lang.validate import ValidationReport, validate_query
+from repro.domains.base import AbstractDomain
+from repro.refine.checker import CheckOutcome, verify_pair
+from repro.refine.figure4 import over_indset_spec, under_indset_spec
+from repro.core.itersynth import iter_synth_powerset
+from repro.core.qinfo import DomainPair, QInfo
+from repro.core.sketch import fill, make_indset_sketch
+from repro.core.synth import SynthOptions, synth_interval
+
+__all__ = ["CompileOptions", "ModeReport", "CompiledQuery", "compile_query", "QueryRegistry"]
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """What to synthesize and how.
+
+    ``domain`` selects intervals or powersets; ``k`` is the powerset size
+    (ignored for intervals); ``modes`` picks which approximations to build;
+    ``verify`` can disable the checking pass (only useful to measure the
+    synthesis-only cost — verification is on by default, as in the paper).
+    """
+
+    domain: str = "interval"
+    k: int = 3
+    modes: tuple[str, ...] = ("under", "over")
+    verify: bool = True
+    synth: SynthOptions = SynthOptions()
+
+    def __post_init__(self) -> None:
+        if self.domain not in ("interval", "powerset"):
+            raise ValueError(f"unknown domain {self.domain!r}")
+        for mode in self.modes:
+            if mode not in ("under", "over"):
+                raise ValueError(f"unknown mode {mode!r}")
+
+
+@dataclass(frozen=True)
+class ModeReport:
+    """Synthesis + verification metadata for one approximation mode."""
+
+    mode: str
+    synth_time: float
+    verify_time: float
+    timed_out: bool
+    true_outcome: CheckOutcome | None
+    false_outcome: CheckOutcome | None
+
+    @property
+    def verified(self) -> bool:
+        """Whether both sides carry complete proof certificates."""
+        return (
+            self.true_outcome is not None
+            and self.false_outcome is not None
+            and self.true_outcome.verified
+            and self.false_outcome.verified
+        )
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """A verified query artifact plus compile-time metadata."""
+
+    qinfo: QInfo
+    validation: ValidationReport
+    reports: dict[str, ModeReport]
+
+    @property
+    def name(self) -> str:
+        """The query's registry name."""
+        return self.qinfo.name
+
+
+def _synthesize_pair(
+    query: BoolExpr,
+    secret: SecretSpec,
+    mode: str,
+    options: CompileOptions,
+) -> tuple[DomainPair, bool]:
+    """Synthesize the (True-side, False-side) ind. sets for one mode."""
+    if options.domain == "interval":
+        true_result = synth_interval(
+            query, secret, mode=mode, polarity=True, options=options.synth
+        )
+        false_result = synth_interval(
+            query, secret, mode=mode, polarity=False, options=options.synth
+        )
+        pair: DomainPair = (true_result.domain, false_result.domain)
+        timed_out = true_result.timed_out or false_result.timed_out
+    else:
+        true_result = iter_synth_powerset(
+            query, secret, k=options.k, mode=mode, polarity=True, options=options.synth
+        )
+        false_result = iter_synth_powerset(
+            query, secret, k=options.k, mode=mode, polarity=False, options=options.synth
+        )
+        pair = (true_result.domain, false_result.domain)
+        timed_out = true_result.timed_out or false_result.timed_out
+    return pair, timed_out
+
+
+def compile_query(
+    name: str,
+    query: BoolExpr | str,
+    secret: SecretSpec,
+    options: CompileOptions = CompileOptions(),
+) -> CompiledQuery:
+    """Steps I-IV of section 2.3 for a single query."""
+    if isinstance(query, str):
+        query = parse_bool(query)
+    validation = validate_query(query, secret)
+
+    indsets: dict[str, DomainPair] = {}
+    reports: dict[str, ModeReport] = {}
+    for mode in options.modes:
+        # Step I + II: refinement types and the sketch with typed holes.
+        sketch = make_indset_sketch(query, secret, mode, options.domain)
+        # Step III: fill the holes by (SMT-style) synthesis.
+        start = time.perf_counter()
+        pair, timed_out = _synthesize_pair(query, secret, mode, options)
+        synth_time = time.perf_counter() - start
+        pair = fill(sketch, *pair)
+        # Step IV: machine-check against the Figure 4 specification.
+        true_outcome = false_outcome = None
+        verify_time = 0.0
+        if options.verify:
+            specs = (
+                under_indset_spec(query)
+                if mode == "under"
+                else over_indset_spec(query)
+            )
+            start = time.perf_counter()
+            true_outcome, false_outcome = verify_pair(pair, specs)
+            verify_time = time.perf_counter() - start
+        indsets[mode] = pair
+        reports[mode] = ModeReport(
+            mode=mode,
+            synth_time=synth_time,
+            verify_time=verify_time,
+            timed_out=timed_out,
+            true_outcome=true_outcome,
+            false_outcome=false_outcome,
+        )
+
+    qinfo = QInfo(
+        name=name,
+        query=query,
+        secret=secret,
+        under_indset=indsets.get("under"),
+        over_indset=indsets.get("over"),
+    )
+    return CompiledQuery(qinfo=qinfo, validation=validation, reports=reports)
+
+
+@dataclass
+class QueryRegistry:
+    """The compile-time table of declassifiable queries.
+
+    ``downgrade`` may only execute queries registered here — everything
+    else fails with the paper's "Can't downgrade" error, because without a
+    compiled approximation there is no way to bound the leaked knowledge
+    (on-the-fly synthesis "albeit possible would be very expensive",
+    section 3, footnote 1).
+    """
+
+    compiled: dict[str, CompiledQuery] = field(default_factory=dict)
+
+    def register(self, compiled: CompiledQuery) -> None:
+        """Add a compiled query; names must be unique."""
+        if compiled.name in self.compiled:
+            raise ValueError(f"query {compiled.name!r} already registered")
+        self.compiled[compiled.name] = compiled
+
+    def compile_and_register(
+        self,
+        name: str,
+        query: BoolExpr | str,
+        secret: SecretSpec,
+        options: CompileOptions = CompileOptions(),
+    ) -> CompiledQuery:
+        """Compile a query and register it in one step."""
+        compiled = compile_query(name, query, secret, options)
+        self.register(compiled)
+        return compiled
+
+    def lookup(self, name: str) -> CompiledQuery | None:
+        """Find a compiled query by name (``None`` when absent)."""
+        return self.compiled.get(name)
+
+    def names(self) -> list[str]:
+        """Registered query names, sorted."""
+        return sorted(self.compiled)

@@ -1,0 +1,97 @@
+"""``QInfo``: a query packaged with its verified posterior functions.
+
+This is the run-time artifact the compile step produces for each
+declassification query (paper Figure 2): the executable query plus
+``approx`` functions that map any prior knowledge to the pair of
+posteriors ``(postT, postF)`` by intersecting with the synthesized ind.
+sets — which is why posterior computation is *free* at run time (no static
+analysis, no SMT): just box intersections.
+
+Note on Figure 4 of the paper: its ``underapprox`` body intersects the
+prior with ``over_indset``; that contradicts both section 2.2 ("we
+intersect with the under-approximate ind. set to produce an
+under-approximation of the posterior") and the stated refinement type, so
+we take it as an erratum and intersect with the matching ind. set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.lang.ast import BoolExpr
+from repro.lang.eval import eval_bool
+from repro.lang.secrets import SecretSpec, SecretValue
+from repro.domains.base import AbstractDomain
+from repro.domains.box import IntervalDomain
+from repro.domains.powerset import PowersetDomain
+
+__all__ = ["QInfo", "DomainPair", "intersect_knowledge"]
+
+DomainPair = tuple[AbstractDomain, AbstractDomain]
+
+
+def intersect_knowledge(a: AbstractDomain, b: AbstractDomain) -> AbstractDomain:
+    """Intersection that lifts to the powerset domain on mixed operands."""
+    if isinstance(a, IntervalDomain) and isinstance(b, IntervalDomain):
+        return a.intersect(b)
+    pa = a if isinstance(a, PowersetDomain) else PowersetDomain.from_interval(a)
+    pb = b if isinstance(b, PowersetDomain) else PowersetDomain.from_interval(b)
+    return pa.intersect(pb)
+
+
+@dataclass(frozen=True)
+class QInfo:
+    """Query information: the query and its knowledge approximations.
+
+    ``under_indset``/``over_indset`` are the verified (True-side,
+    False-side) ind.-set pairs.  ``over_indset`` may be ``None`` when the
+    compile step was asked for under-approximations only (the mode the
+    paper's policy enforcement uses).
+    """
+
+    name: str
+    query: BoolExpr
+    secret: SecretSpec
+    under_indset: DomainPair | None
+    over_indset: DomainPair | None
+
+    def run(self, secret_value: SecretValue | Mapping[str, int]) -> bool:
+        """Execute the query on a concrete secret."""
+        return eval_bool(self.query, self.secret.to_env(secret_value))
+
+    def underapprox(self, prior: AbstractDomain) -> DomainPair:
+        """Posterior under-approximations ``(postT, postF)`` for a prior."""
+        if self.under_indset is None:
+            raise ValueError(f"query {self.name!r} compiled without 'under' mode")
+        true_ind, false_ind = self.under_indset
+        return (
+            intersect_knowledge(prior, true_ind),
+            intersect_knowledge(prior, false_ind),
+        )
+
+    def overapprox(self, prior: AbstractDomain) -> DomainPair:
+        """Posterior over-approximations ``(postT, postF)`` for a prior."""
+        if self.over_indset is None:
+            raise ValueError(f"query {self.name!r} compiled without 'over' mode")
+        true_ind, false_ind = self.over_indset
+        return (
+            intersect_knowledge(prior, true_ind),
+            intersect_knowledge(prior, false_ind),
+        )
+
+    def approx(self, prior: AbstractDomain, *, mode: str = "under") -> DomainPair:
+        """The Figure 2 ``approx`` field: posterior pair for a prior."""
+        if mode == "under":
+            return self.underapprox(prior)
+        if mode == "over":
+            return self.overapprox(prior)
+        raise ValueError(f"mode must be 'under' or 'over', got {mode!r}")
+
+    def as_function(self, *, mode: str = "under") -> Callable[[AbstractDomain], DomainPair]:
+        """The posterior computation as a standalone closure."""
+
+        def approx(prior: AbstractDomain) -> DomainPair:
+            return self.approx(prior, mode=mode)
+
+        return approx

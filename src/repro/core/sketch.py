@@ -1,0 +1,99 @@
+"""Synthesis sketches: partial programs with typed holes (section 5.2).
+
+A sketch is the shape of an ind.-set pair with the abstract-domain values
+left as holes, each hole carrying the refinement index it must satisfy
+(from Figure 4).  ``Synth``/``IterSynth`` fill the holes; :func:`fill`
+plugs the results back in and hands the completed pair to the checker.
+
+This mirrors the paper's pipeline faithfully even though in Python the
+"program with holes" is a data structure rather than generated source
+text: the essential content of the sketch — *which* holes exist and *what
+refinement type each must inhabit* — is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import BoolExpr
+from repro.lang.secrets import SecretSpec
+from repro.domains.base import AbstractDomain
+from repro.refine.figure4 import over_indset_spec, under_indset_spec
+from repro.refine.spec import Refinement
+
+__all__ = ["Hole", "IndsetSketch", "make_indset_sketch", "fill"]
+
+DomainPair = tuple[AbstractDomain, AbstractDomain]
+
+
+@dataclass(frozen=True)
+class Hole:
+    """A typed hole ``□ :: a <p, n>``: an unknown domain of known type."""
+
+    refinement: Refinement
+    domain_kind: str  # "interval" | "powerset"
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.domain_kind not in ("interval", "powerset"):
+            raise ValueError(f"unknown domain kind {self.domain_kind!r}")
+
+    def render(self) -> str:
+        """The hole in the paper's notation."""
+        return f"□ :: A {self.refinement.describe()}"
+
+
+@dataclass(frozen=True)
+class IndsetSketch:
+    """The two-hole sketch for an ind.-set pair (True side, False side)."""
+
+    query: BoolExpr
+    secret: SecretSpec
+    mode: str  # "under" | "over"
+    true_hole: Hole
+    false_hole: Hole
+
+    def render(self) -> str:
+        """Pretty form matching the paper's section 5.2 display."""
+        name = f"{self.mode}_indset"
+        return (
+            f"{name} = ( {self.true_hole.render()}\n"
+            f"          , {self.false_hole.render()} )"
+        )
+
+
+def make_indset_sketch(
+    query: BoolExpr,
+    secret: SecretSpec,
+    mode: str,
+    domain_kind: str,
+) -> IndsetSketch:
+    """Generate the sketch + refinement types for one approximation mode."""
+    if mode == "under":
+        true_spec, false_spec = under_indset_spec(query)
+    elif mode == "over":
+        true_spec, false_spec = over_indset_spec(query)
+    else:
+        raise ValueError(f"mode must be 'under' or 'over', got {mode!r}")
+    return IndsetSketch(
+        query=query,
+        secret=secret,
+        mode=mode,
+        true_hole=Hole(true_spec, domain_kind, f"{mode} ind. set, True response"),
+        false_hole=Hole(false_spec, domain_kind, f"{mode} ind. set, False response"),
+    )
+
+
+def fill(
+    sketch: IndsetSketch,
+    true_domain: AbstractDomain,
+    false_domain: AbstractDomain,
+) -> DomainPair:
+    """Substitute synthesized domains for the sketch's holes."""
+    for hole, domain in ((sketch.true_hole, true_domain), (sketch.false_hole, false_domain)):
+        if domain.spec != sketch.secret:
+            raise ValueError(
+                f"hole for secret {sketch.secret.name!r} filled with a domain "
+                f"over {domain.spec.name!r}"
+            )
+    return (true_domain, false_domain)

@@ -1,0 +1,108 @@
+"""``Synth``: SMT-style synthesis of a single interval domain (section 5.3).
+
+Given a typed hole for one response side of an ind. set, ``Synth`` finds
+concrete bounds ``l_i, u_i`` such that the filled box inhabits the hole's
+refinement type:
+
+* under-approximation — a box all of whose points satisfy the (possibly
+  negated) query, with ``u_i - l_i`` Pareto-maximized;
+* over-approximation — the minimal box containing every satisfying point.
+
+The paper encodes this as νZ optimization problems; here the same problems
+are solved natively by :mod:`repro.solver.optimize` (see DESIGN.md), and
+the SMT-LIB scripts the paper would emit are still available through
+:func:`repro.solver.smtlib.synthesis_script` for external cross-checking.
+
+An optional extra ``region`` constraint restricts the search to a
+sub-region (Algorithm 1 passes "not covered by previous boxes" here).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.lang.ast import BoolExpr, Not
+from repro.lang.secrets import SecretSpec
+from repro.lang.transform import conjoin, nnf
+from repro.domains.box import IntervalDomain
+from repro.solver.boxes import Box
+from repro.solver.optimize import OptimizeOptions, bounding_box, maximal_box
+
+__all__ = ["SynthOptions", "SynthResult", "synth_interval"]
+
+
+@dataclass(frozen=True)
+class SynthOptions:
+    """Synthesis knobs, mirroring the paper's experimental setup.
+
+    ``time_budget`` is per SMT-style optimization call, defaulting to the
+    paper's 10-second Z3 timeout.  ``mode`` selects the optimizer growth
+    strategy (``"balanced"`` reproduces νZ Pareto; ``"lexicographic"`` is
+    ablation A1).
+    """
+
+    time_budget: float | None = 10.0
+    seed_pops: int = 50_000
+    growth: str = "balanced"
+
+    def optimizer_options(self) -> OptimizeOptions:
+        """The corresponding low-level optimizer options."""
+        return OptimizeOptions(
+            seed_pops=self.seed_pops,
+            mode=self.growth,
+            time_budget=self.time_budget,
+        )
+
+
+@dataclass(frozen=True)
+class SynthResult:
+    """One synthesized domain plus synthesis metadata."""
+
+    domain: IntervalDomain
+    elapsed: float
+    timed_out: bool
+    proved_empty: bool
+
+
+def synth_interval(
+    query: BoolExpr,
+    secret: SecretSpec,
+    *,
+    mode: str,
+    polarity: bool,
+    region: BoolExpr | None = None,
+    options: SynthOptions = SynthOptions(),
+) -> SynthResult:
+    """Synthesize one interval domain for one response side.
+
+    ``polarity=True`` targets the secrets answering the query with True;
+    ``polarity=False`` the complement.  ``mode`` picks under- or
+    over-approximation.  The empty region legitimately synthesizes ⊥.
+    """
+    if mode not in ("under", "over"):
+        raise ValueError(f"mode must be 'under' or 'over', got {mode!r}")
+    target = query if polarity else nnf(Not(query))
+    if region is not None:
+        target = conjoin((target, region))
+    space = Box(secret.bounds())
+    names = secret.field_names
+
+    start = time.perf_counter()
+    if mode == "under":
+        outcome = maximal_box(target, space, names, options.optimizer_options())
+    else:
+        outcome = bounding_box(target, space, names, options.optimizer_options())
+    elapsed = time.perf_counter() - start
+
+    domain = (
+        IntervalDomain.bottom(secret)
+        if outcome.box is None
+        else IntervalDomain(secret, outcome.box)
+    )
+    return SynthResult(
+        domain=domain,
+        elapsed=elapsed,
+        timed_out=outcome.timed_out,
+        proved_empty=outcome.proved_empty,
+    )

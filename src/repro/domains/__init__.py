@@ -1,0 +1,27 @@
+"""Verified abstract domains: intervals (``A_I``) and powersets (``A_P``).
+
+These are the paper's section 4 data types.  Both satisfy the
+``AbstractDomain`` interface of Figure 3 (⊤, ⊥, ∈, ⊆, ∩, size) and its two
+class laws, which the test-suite checks property-based and the refinement
+checker re-verifies on synthesized values.
+"""
+
+from repro.domains.base import (
+    AbstractDomain,
+    DomainMismatch,
+    check_size_law,
+    check_subset_law,
+)
+from repro.domains.box import IntervalDomain
+from repro.domains.interval import AInt
+from repro.domains.powerset import PowersetDomain
+
+__all__ = [
+    "AbstractDomain",
+    "DomainMismatch",
+    "check_size_law",
+    "check_subset_law",
+    "IntervalDomain",
+    "AInt",
+    "PowersetDomain",
+]

@@ -1,0 +1,127 @@
+"""The ``AbstractDomain`` interface (paper Figure 3).
+
+An abstract domain value represents a *set of secrets* — the attacker's
+knowledge.  The interface is the paper's six set-theoretic methods::
+
+    top     bottom     member (∈)     subset (⊆)     intersect (∩)     size
+
+plus the two class laws the paper states as refinement types:
+
+* ``sizeLaw``:    d1 ⊆ d2  ⟹  size(d1) <= size(d2)
+* ``subsetLaw``:  d1 ⊆ d2  ⟹  (c ∈ d1 ⟹ c ∈ d2)
+
+In Liquid Haskell the laws are proof obligations discharged at compile
+time; here they are implemented as *checkable* assertions
+(:func:`check_size_law`, :func:`check_subset_law`) that the property-based
+test-suite exercises on randomly generated domains, and that
+:mod:`repro.refine.checker` re-verifies on every synthesized artifact.
+
+Every domain value carries its :class:`~repro.lang.secrets.SecretSpec`, so
+``top``/``bottom``/``size`` are well defined without extra context.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.lang.ast import BoolExpr
+from repro.lang.secrets import SecretSpec, SecretValue
+
+__all__ = ["AbstractDomain", "DomainMismatch", "check_size_law", "check_subset_law"]
+
+
+class DomainMismatch(TypeError):
+    """Raised when combining domains over different secret types."""
+
+
+class AbstractDomain(abc.ABC):
+    """A set of secrets represented symbolically.
+
+    Concrete instances: :class:`repro.domains.box.IntervalDomain` (the
+    paper's ``A_I``) and :class:`repro.domains.powerset.PowersetDomain`
+    (the paper's ``A_P``).
+    """
+
+    spec: SecretSpec
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    @abc.abstractmethod
+    def top(cls, spec: SecretSpec) -> "AbstractDomain":
+        """The full domain ⊤: every secret is possible."""
+
+    @classmethod
+    @abc.abstractmethod
+    def bottom(cls, spec: SecretSpec) -> "AbstractDomain":
+        """The empty domain ⊥: no secret is possible."""
+
+    # -- the six methods -----------------------------------------------------
+    @abc.abstractmethod
+    def contains(self, secret: SecretValue) -> bool:
+        """Membership test ``secret ∈ self``."""
+
+    @abc.abstractmethod
+    def is_subset(self, other: "AbstractDomain") -> bool:
+        """Exact subset test ``self ⊆ other``.
+
+        Note: the paper's powerset instance uses a sound-but-incomplete
+        criterion (section 4.4, "if it returns False it may or may not be"
+        a subset); our implementations are exact via box algebra.
+        """
+
+    @abc.abstractmethod
+    def intersect(self, other: "AbstractDomain") -> "AbstractDomain":
+        """Set intersection; the result is ⊆ both arguments."""
+
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Exact number of secrets represented (the domain's "volume")."""
+
+    # -- verification hooks ----------------------------------------------------
+    @abc.abstractmethod
+    def member_formula(self) -> BoolExpr:
+        """A query-language formula true exactly on the domain's members.
+
+        This is how the refinement checker reasons about *all* members /
+        non-members of a domain without quantifiers — the Python analogue
+        of the paper's abstract-refinement indexing.
+        """
+
+    @abc.abstractmethod
+    def is_empty(self) -> bool:
+        """Whether the domain represents no secrets (size() == 0)."""
+
+    # -- shared helpers ----------------------------------------------------
+    def _check_same_spec(self, other: "AbstractDomain") -> None:
+        if self.spec != other.spec:
+            raise DomainMismatch(
+                f"cannot combine domains over {self.spec.name!r} and "
+                f"{other.spec.name!r}"
+            )
+
+    @property
+    def field_names(self) -> Sequence[str]:
+        """Secret field names, in declaration order."""
+        return self.spec.field_names
+
+
+def check_size_law(d1: AbstractDomain, d2: AbstractDomain) -> bool:
+    """The paper's ``sizeLaw``: if d1 ⊆ d2 then size d1 <= size d2.
+
+    Vacuously true when d1 is not a subset of d2 (the law's precondition).
+    """
+    if not d1.is_subset(d2):
+        return True
+    return d1.size() <= d2.size()
+
+
+def check_subset_law(
+    secret: SecretValue, d1: AbstractDomain, d2: AbstractDomain
+) -> bool:
+    """The paper's ``subsetLaw``: if d1 ⊆ d2 then c ∈ d1 implies c ∈ d2."""
+    if not d1.is_subset(d2):
+        return True
+    if not d1.contains(secret):
+        return True
+    return d2.contains(secret)

@@ -1,0 +1,135 @@
+"""The interval abstract domain ``A_I`` (paper section 4.3).
+
+An :class:`IntervalDomain` abstracts a multi-integer secret by one interval
+per field: geometrically, an axis-aligned integer box.  The paper's three
+constructors map as follows:
+
+* ``A_I dom pos neg`` — a non-empty box (``box`` attribute);
+* ``⊤_I``            — the full secret space (still just a box here, since
+  every secret type has explicit global bounds);
+* ``⊥_I``            — the empty domain (``box is None``).
+
+The ``pos``/``neg`` proof terms of the Haskell encoding have no run-time
+content; their verification role is played by
+:meth:`member_formula` + :mod:`repro.refine.checker`, which machine-check
+the same facts the Liquid Haskell proofs establish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.lang.ast import BoolExpr, BoolLit
+from repro.lang.secrets import SecretSpec, SecretValue
+from repro.domains.base import AbstractDomain
+from repro.domains.interval import AInt
+from repro.solver.boxes import Box
+from repro.solver.regions import box_formula
+
+__all__ = ["IntervalDomain"]
+
+
+@dataclass(frozen=True)
+class IntervalDomain(AbstractDomain):
+    """A box of secrets (``A_I``), possibly empty (``box is None``)."""
+
+    spec: SecretSpec
+    box: Box | None
+
+    def __post_init__(self) -> None:
+        if self.box is not None:
+            if self.box.arity != self.spec.arity:
+                raise ValueError(
+                    f"box arity {self.box.arity} != secret arity "
+                    f"{self.spec.arity}"
+                )
+            space = Box(self.spec.bounds())
+            if not space.contains_box(self.box):
+                raise ValueError(
+                    f"box {self.box} exceeds the global bounds of "
+                    f"{self.spec.name!r}"
+                )
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def top(cls, spec: SecretSpec) -> "IntervalDomain":
+        """The full secret space (the paper's ``⊤_I``)."""
+        return cls(spec, Box(spec.bounds()))
+
+    @classmethod
+    def bottom(cls, spec: SecretSpec) -> "IntervalDomain":
+        """The empty domain (the paper's ``⊥_I``)."""
+        return cls(spec, None)
+
+    @classmethod
+    def from_aints(cls, spec: SecretSpec, intervals: Iterable[AInt]) -> "IntervalDomain":
+        """Build from per-field ``AInt``s, the paper's ``A [AInt ...]``."""
+        pairs = tuple(interval.as_pair() for interval in intervals)
+        if len(pairs) != spec.arity:
+            raise ValueError(
+                f"{spec.name!r} has {spec.arity} fields, got {len(pairs)} intervals"
+            )
+        return cls(spec, Box(pairs))
+
+    def aints(self) -> tuple[AInt, ...]:
+        """Per-field intervals (raises on the empty domain)."""
+        if self.box is None:
+            raise ValueError("the empty domain has no intervals")
+        return tuple(AInt(lo, hi) for lo, hi in self.box.bounds)
+
+    # -- AbstractDomain methods ---------------------------------------------
+    def contains(self, secret: SecretValue) -> bool:
+        if self.box is None:
+            return False
+        point = self.spec.validate_value(secret)
+        return self.box.contains(point)
+
+    def is_subset(self, other: AbstractDomain) -> bool:
+        self._check_same_spec(other)
+        if self.box is None:
+            return True
+        if isinstance(other, IntervalDomain):
+            if other.box is None:
+                return False
+            return other.box.contains_box(self.box)
+        # Generic fallback via the other domain's geometry.
+        from repro.domains.powerset import PowersetDomain
+
+        return PowersetDomain.from_interval(self).is_subset(other)
+
+    def intersect(self, other: AbstractDomain) -> "IntervalDomain":
+        self._check_same_spec(other)
+        if not isinstance(other, IntervalDomain):
+            raise TypeError(
+                "IntervalDomain can only intersect IntervalDomain; "
+                "lift to PowersetDomain for mixed intersections"
+            )
+        if self.box is None or other.box is None:
+            return IntervalDomain.bottom(self.spec)
+        return IntervalDomain(self.spec, self.box.intersect(other.box))
+
+    def size(self) -> int:
+        return 0 if self.box is None else self.box.volume()
+
+    def is_empty(self) -> bool:
+        return self.box is None
+
+    def member_formula(self) -> BoolExpr:
+        if self.box is None:
+            return BoolLit(False)
+        return box_formula(self.box, self.spec.field_names)
+
+    # -- conveniences ------------------------------------------------------
+    def boxes(self) -> Sequence[Box]:
+        """The domain as a list of disjoint boxes (empty list for ⊥)."""
+        return [] if self.box is None else [self.box]
+
+    def __repr__(self) -> str:
+        if self.box is None:
+            return f"IntervalDomain({self.spec.name}, ⊥)"
+        dims = ", ".join(
+            f"{name}∈[{lo},{hi}]"
+            for name, (lo, hi) in zip(self.spec.field_names, self.box.bounds)
+        )
+        return f"IntervalDomain({self.spec.name}, {dims})"

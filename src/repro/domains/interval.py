@@ -1,0 +1,56 @@
+"""``AInt`` — one-dimensional integer intervals (paper section 2.2).
+
+The paper's ``data AInt = AInt {lower :: Int, upper :: Int}``.  The
+n-dimensional interval domain :class:`repro.domains.box.IntervalDomain`
+is a product of these, exactly as ``A_I``'s ``dom :: [AInt]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AInt"]
+
+
+@dataclass(frozen=True, order=True)
+class AInt:
+    """A non-empty integer interval ``[lower, upper]``."""
+
+    lower: int
+    upper: int
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ValueError(f"empty interval [{self.lower}, {self.upper}]")
+
+    @property
+    def width(self) -> int:
+        """Number of integers in the interval."""
+        return self.upper - self.lower + 1
+
+    def contains(self, value: int) -> bool:
+        """Membership test."""
+        return self.lower <= value <= self.upper
+
+    def is_subset(self, other: "AInt") -> bool:
+        """Whether this interval is contained in ``other``."""
+        return other.lower <= self.lower and self.upper <= other.upper
+
+    def intersect(self, other: "AInt") -> "AInt | None":
+        """Intersection, or ``None`` when disjoint."""
+        lo = max(self.lower, other.lower)
+        hi = min(self.upper, other.upper)
+        if lo > hi:
+            return None
+        return AInt(lo, hi)
+
+    def hull(self, other: "AInt") -> "AInt":
+        """Smallest interval containing both."""
+        return AInt(min(self.lower, other.lower), max(self.upper, other.upper))
+
+    def as_pair(self) -> tuple[int, int]:
+        """The ``(lower, upper)`` tuple used by the solver."""
+        return (self.lower, self.upper)
+
+    def __repr__(self) -> str:
+        return f"AInt({self.lower}, {self.upper})"

@@ -1,0 +1,199 @@
+"""The powerset-of-intervals abstract domain ``A_P`` (paper section 4.4).
+
+A :class:`PowersetDomain` is backed by two lists of boxes, exactly like the
+paper's encoding:
+
+* ``include`` (the paper's ``dom_i``) — regions contained in the domain;
+* ``exclude`` (the paper's ``dom_o``) — regions carved *out* of the domain.
+
+A secret belongs to the domain iff it lies in some include box and in no
+exclude box.  This include/exclude representation is what makes iterative
+synthesis simple (Algorithm 1 appends one box per iteration, to ``include``
+for under-approximations and to ``exclude`` for over-approximations).
+
+Deviations from the paper (both strict improvements, see DESIGN.md):
+
+* ``size`` is *exact* for arbitrary box lists, computed on a disjoint
+  decomposition, where the paper computes Σ|include| − Σ|exclude| (exact
+  only when include boxes are disjoint and excludes sit inside them — an
+  invariant the paper's synthesizer maintains but the data type does not).
+  The paper's formula is kept as :meth:`size_disjoint_estimate`.
+* ``is_subset`` is exact, where the paper's check is sound but incomplete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.lang.ast import BoolExpr
+from repro.lang.secrets import SecretSpec, SecretValue
+from repro.lang.transform import conjoin
+from repro.domains.base import AbstractDomain
+from repro.domains.box import IntervalDomain
+from repro.solver.boxes import Box, subtract_boxes
+from repro.solver.regions import any_box_formula, outside_boxes_formula
+
+__all__ = ["PowersetDomain"]
+
+
+@dataclass(frozen=True)
+class PowersetDomain(AbstractDomain):
+    """A finite union of boxes minus a finite union of boxes (``A_P``)."""
+
+    spec: SecretSpec
+    include: tuple[Box, ...]
+    exclude: tuple[Box, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.include, tuple):
+            object.__setattr__(self, "include", tuple(self.include))
+        if not isinstance(self.exclude, tuple):
+            object.__setattr__(self, "exclude", tuple(self.exclude))
+        space = Box(self.spec.bounds())
+        for box in (*self.include, *self.exclude):
+            if box.arity != self.spec.arity:
+                raise ValueError(
+                    f"box arity {box.arity} != secret arity {self.spec.arity}"
+                )
+            if not space.contains_box(box):
+                raise ValueError(
+                    f"box {box} exceeds the global bounds of {self.spec.name!r}"
+                )
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def top(cls, spec: SecretSpec) -> "PowersetDomain":
+        """The full secret space."""
+        return cls(spec, (Box(spec.bounds()),), ())
+
+    @classmethod
+    def bottom(cls, spec: SecretSpec) -> "PowersetDomain":
+        """The empty domain."""
+        return cls(spec, (), ())
+
+    @classmethod
+    def from_interval(cls, domain: IntervalDomain) -> "PowersetDomain":
+        """Lift an interval domain into the powerset domain."""
+        if domain.box is None:
+            return cls.bottom(domain.spec)
+        return cls(domain.spec, (domain.box,), ())
+
+    @classmethod
+    def from_boxes(
+        cls,
+        spec: SecretSpec,
+        include: Iterable[Box],
+        exclude: Iterable[Box] = (),
+    ) -> "PowersetDomain":
+        """Build from explicit include/exclude box lists."""
+        return cls(spec, tuple(include), tuple(exclude))
+
+    # -- geometry ---------------------------------------------------------
+    def pieces(self) -> list[Box]:
+        """The represented set as pairwise-disjoint boxes (cached)."""
+        cached = getattr(self, "_pieces_cache", None)
+        if cached is None:
+            cached = subtract_boxes(self.include, self.exclude)
+            object.__setattr__(self, "_pieces_cache", cached)
+        return cached
+
+    # -- AbstractDomain methods ---------------------------------------------
+    def contains(self, secret: SecretValue) -> bool:
+        point = self.spec.validate_value(secret)
+        if any(box.contains(point) for box in self.exclude):
+            return False
+        return any(box.contains(point) for box in self.include)
+
+    def is_subset(self, other: AbstractDomain) -> bool:
+        self._check_same_spec(other)
+        other_pieces = _pieces_of(other)
+        return not subtract_boxes(self.pieces(), other_pieces)
+
+    def intersect(self, other: AbstractDomain) -> "PowersetDomain":
+        self._check_same_spec(other)
+        if isinstance(other, IntervalDomain):
+            other = PowersetDomain.from_interval(other)
+        if not isinstance(other, PowersetDomain):
+            raise TypeError(f"cannot intersect PowersetDomain with {type(other)}")
+        include = tuple(
+            overlap
+            for a in self.include
+            for b in other.include
+            if (overlap := a.intersect(b)) is not None
+        )
+        exclude = self.exclude + other.exclude
+        if not include:
+            return PowersetDomain.bottom(self.spec)
+        return PowersetDomain(self.spec, *_prune(include, exclude))
+
+    def size(self) -> int:
+        return sum(piece.volume() for piece in self.pieces())
+
+    def size_disjoint_estimate(self) -> int:
+        """The paper's Σ|include| − Σ|exclude| size formula.
+
+        Exact only when include boxes are pairwise disjoint and exclude
+        boxes are disjoint and contained in the include region — the
+        invariant Algorithm 1 maintains.  Kept for fidelity/benchmarks.
+        """
+        inc = sum(box.volume() for box in self.include)
+        exc = sum(box.volume() for box in self.exclude)
+        return inc - exc
+
+    def is_empty(self) -> bool:
+        return not self.pieces()
+
+    def member_formula(self) -> BoolExpr:
+        names = self.spec.field_names
+        return conjoin(
+            (
+                any_box_formula(self.include, names),
+                outside_boxes_formula(self.exclude, names),
+            )
+        )
+
+    # -- conveniences ------------------------------------------------------
+    def boxes(self) -> Sequence[Box]:
+        """The domain as disjoint boxes (same as :meth:`pieces`)."""
+        return self.pieces()
+
+    def normalized(self) -> "PowersetDomain":
+        """An equivalent domain with no exclude boxes (disjoint includes)."""
+        return PowersetDomain(self.spec, tuple(self.pieces()), ())
+
+    def __repr__(self) -> str:
+        return (
+            f"PowersetDomain({self.spec.name}, include={list(self.include)}, "
+            f"exclude={list(self.exclude)})"
+        )
+
+
+def _pieces_of(domain: AbstractDomain) -> list[Box]:
+    if isinstance(domain, PowersetDomain):
+        return domain.pieces()
+    if isinstance(domain, IntervalDomain):
+        return list(domain.boxes())
+    raise TypeError(f"unsupported domain type {type(domain)}")
+
+
+def _prune(
+    include: tuple[Box, ...], exclude: tuple[Box, ...]
+) -> tuple[tuple[Box, ...], tuple[Box, ...]]:
+    """Drop redundant boxes after an intersection.
+
+    Intersecting powersets of k1 and k2 boxes yields up to k1*k2 boxes
+    (the blow-up the paper observes in section 6.2); many are contained in
+    others or no longer touch any include region.  Pruning is semantics-
+    preserving and keeps long downgrade chains tractable.
+    """
+    kept_include: list[Box] = []
+    for box in sorted(include, key=Box.volume, reverse=True):
+        if not any(other.contains_box(box) for other in kept_include):
+            kept_include.append(box)
+    kept_exclude = [
+        box
+        for box in exclude
+        if any(box.intersect(inc) is not None for inc in kept_include)
+    ]
+    return tuple(kept_include), tuple(kept_exclude)

@@ -1,0 +1,22 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+==========  ==========================================  =============================
+Experiment  Paper artifact                              Module
+==========  ==========================================  =============================
+E1          Table 1 (exact ind.-set sizes)              :mod:`repro.experiments.table1`
+E2          Figure 5a (interval domain)                 :mod:`repro.experiments.figure5`
+E3          Figure 5b (powersets, k=3)                  :mod:`repro.experiments.figure5`
+E4          Figure 6 (sequential declassification)      :mod:`repro.experiments.figure6`
+E5          Section 6.1 Prob comparison                 :mod:`repro.experiments.probcompare`
+A1-A3       Ablations                                   :mod:`repro.experiments.ablations`
+==========  ==========================================  =============================
+
+Each module is runnable as ``python -m repro.experiments.<name>``.
+"""
+
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.probcompare import run_probcompare
+from repro.experiments.table1 import run_table1
+
+__all__ = ["run_figure5", "run_figure6", "run_probcompare", "run_table1"]

@@ -1,0 +1,234 @@
+"""Ablation experiments (DESIGN.md A1-A3).
+
+Three design decisions called out in DESIGN.md get dedicated evidence:
+
+* **A1 — Pareto-balanced vs lexicographic growth** (section 5.3: the paper
+  prefers 20x20 over 400x1 solutions).  We synthesize under-approximations
+  with both growth strategies and report the width vectors and sizes.
+* **A2 — powerset size k** (section 5.4 / Figure 6's tradeoff).  We sweep
+  k and report under-approximation precision vs synthesis time.
+* **A3 — solver machinery**: boundary-guided splitting and vectorized
+  counting, the two optimizations that make the pure-Python solver viable
+  (each can be disabled).
+
+Run as::
+
+    python -m repro.experiments.ablations [--which a1 a2 a3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+
+from repro.benchsuite.advertising import USER_LOC, nearby_query
+from repro.benchsuite.groundtruth import ground_truth
+from repro.benchsuite.mardziel import ALL_BENCHMARKS
+from repro.core.itersynth import iter_synth_powerset
+from repro.core.synth import SynthOptions, synth_interval
+from repro.experiments.report import TextTable, fmt_pct, fmt_size
+from repro.solver.boxes import Box
+from repro.solver.decide import count_models
+
+__all__ = ["run_a1", "run_a2", "run_a3", "main"]
+
+
+# ---------------------------------------------------------------------------
+# A1: growth strategy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GrowthResult:
+    """One growth strategy's synthesized box."""
+
+    label: str
+    widths: tuple[int, ...]
+    size: int
+    elapsed: float
+
+
+def run_a1() -> list[GrowthResult]:
+    """Balanced vs lexicographic growth on ``nearby`` and B2.
+
+    The point-seed configurations isolate the growth strategy: starting
+    from a single witness, lexicographic growth reproduces the degenerate
+    elongated solutions (the paper's 400x1 example) that νZ's Pareto mode
+    avoids, while balanced round-robin growth recovers square-ish boxes.
+    """
+    cases = [
+        ("nearby(200,200)", nearby_query((200, 200)), USER_LOC),
+        ("B2 Ship", ALL_BENCHMARKS["B2"].query, ALL_BENCHMARKS["B2"].secret),
+    ]
+    configurations = [
+        ("balanced, box seed", SynthOptions(growth="balanced")),
+        ("balanced, point seed", SynthOptions(growth="balanced", seed_pops=1)),
+        ("lexicographic, point seed", SynthOptions(growth="lexicographic", seed_pops=1)),
+    ]
+    results = []
+    for label, query, secret in cases:
+        for config_label, options in configurations:
+            start = time.perf_counter()
+            outcome = synth_interval(
+                query, secret, mode="under", polarity=True, options=options
+            )
+            elapsed = time.perf_counter() - start
+            box = outcome.domain.box
+            results.append(
+                GrowthResult(
+                    label=f"{label} [{config_label}]",
+                    widths=box.widths() if box else (),
+                    size=outcome.domain.size(),
+                    elapsed=elapsed,
+                )
+            )
+    return results
+
+
+def render_a1(results: list[GrowthResult]) -> str:
+    table = TextTable(
+        headers=["case", "box widths", "size", "time"],
+        rows=[
+            [
+                r.label,
+                "x".join(map(str, r.widths)) or "-",
+                fmt_size(r.size),
+                f"{r.elapsed:.3f}s",
+            ]
+            for r in results
+        ],
+    )
+    return table.render()
+
+
+# ---------------------------------------------------------------------------
+# A2: powerset size sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KSweepRow:
+    """Precision/time of under-approximation at one powerset size."""
+
+    bench_id: str
+    k: int
+    true_pct_diff: float
+    false_pct_diff: float
+    synth_time: float
+
+
+def run_a2(
+    bench_ids: tuple[str, ...] = ("B1", "B3", "B5"),
+    ks: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
+) -> list[KSweepRow]:
+    """Sweep k on the point-wise-comparison benchmarks."""
+    rows = []
+    for bench_id in bench_ids:
+        problem = ALL_BENCHMARKS[bench_id]
+        truth = ground_truth(problem)
+        for k in ks:
+            start = time.perf_counter()
+            true_side = iter_synth_powerset(
+                problem.query, problem.secret, k=k, mode="under", polarity=True
+            )
+            false_side = iter_synth_powerset(
+                problem.query, problem.secret, k=k, mode="under", polarity=False
+            )
+            elapsed = time.perf_counter() - start
+            t_size = true_side.domain.size()
+            f_size = false_side.domain.size()
+            rows.append(
+                KSweepRow(
+                    bench_id=bench_id,
+                    k=k,
+                    true_pct_diff=(truth.true_size - t_size) / truth.true_size * 100,
+                    false_pct_diff=(truth.false_size - f_size)
+                    / truth.false_size
+                    * 100,
+                    synth_time=elapsed,
+                )
+            )
+    return rows
+
+
+def render_a2(rows: list[KSweepRow]) -> str:
+    table = TextTable(
+        headers=["#", "k", "% diff (T/F)", "synth time"],
+        rows=[
+            [
+                r.bench_id,
+                str(r.k),
+                f"{fmt_pct(r.true_pct_diff)} / {fmt_pct(r.false_pct_diff)}",
+                f"{r.synth_time:.3f}s",
+            ]
+            for r in rows
+        ],
+    )
+    return table.render()
+
+
+# ---------------------------------------------------------------------------
+# A3: solver machinery
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CounterResult:
+    """Counting cost with one solver configuration."""
+
+    bench_id: str
+    configuration: str
+    count: int
+    elapsed: float
+
+
+def run_a3(bench_ids: tuple[str, ...] = ("B2", "B5")) -> list[CounterResult]:
+    """Vectorized vs pure-Python exact counting."""
+    results = []
+    for bench_id in bench_ids:
+        problem = ALL_BENCHMARKS[bench_id]
+        space = Box(problem.secret.bounds())
+        names = problem.secret.field_names
+        for label, threshold in (("vectorized", None), ("pure python", 0)):
+            start = time.perf_counter()
+            count = count_models(
+                problem.query, space, names, vector_threshold=threshold
+            )
+            elapsed = time.perf_counter() - start
+            results.append(CounterResult(bench_id, label, count, elapsed))
+    return results
+
+
+def render_a3(results: list[CounterResult]) -> str:
+    table = TextTable(
+        headers=["#", "configuration", "count", "time"],
+        rows=[
+            [r.bench_id, r.configuration, fmt_size(r.count), f"{r.elapsed:.3f}s"]
+            for r in results
+        ],
+    )
+    return table.render()
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description="ANOSY ablations")
+    parser.add_argument(
+        "--which", nargs="*", default=["a1", "a2", "a3"], choices=["a1", "a2", "a3"]
+    )
+    args = parser.parse_args(argv)
+    if "a1" in args.which:
+        print("A1: Pareto-balanced vs lexicographic under-approximation growth")
+        print(render_a1(run_a1()))
+        print()
+    if "a2" in args.which:
+        print("A2: powerset size sweep (under-approximation, % diff lower = better)")
+        print(render_a2(run_a2()))
+        print()
+    if "a3" in args.which:
+        print("A3: exact counting with and without vectorization")
+        print(render_a3(run_a3()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,192 @@
+"""Experiments E2/E3 — Figure 5: ind.-set synthesis and verification.
+
+For every benchmark and both approximation directions this driver
+synthesizes the (True, False) ind.-set pair, verifies it against its
+Figure 4 refinement spec, and reports the paper's four column groups:
+
+* **Size** — ``true_size / false_size`` of the synthesized ind. sets;
+* **% diff** — percentage gap from the exact ind. sets of Table 1
+  (0 means the synthesis is exact);
+* **Verif. time** — median ± SIQR seconds for the machine-check pass;
+* **Synth. time** — median ± SIQR seconds for synthesis.
+
+``--domain interval`` reproduces Figure 5a, ``--domain powerset --k 3``
+Figure 5b.  The paper measures 11 runs; the default here is 3 (override
+with ``--runs 11`` for the full protocol — results are deterministic, the
+repetition only stabilizes timings).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.benchsuite.groundtruth import GroundTruth, ground_truth
+from repro.benchsuite.mardziel import ALL_BENCHMARKS, BenchmarkProblem
+from repro.core.plugin import CompiledQuery, CompileOptions, compile_query
+from repro.core.synth import SynthOptions
+from repro.experiments.report import TextTable, fmt_pct, fmt_size, fmt_timing
+
+__all__ = [
+    "ApproxMeasurement",
+    "Figure5Row",
+    "measure_benchmark",
+    "run_figure5",
+    "render_figure5",
+    "main",
+]
+
+DEFAULT_BENCH_IDS = ("B1", "B2", "B3", "B4", "B5")
+
+
+@dataclass(frozen=True)
+class ApproxMeasurement:
+    """One benchmark x one approximation direction."""
+
+    mode: str
+    true_size: int
+    false_size: int
+    true_pct_diff: float
+    false_pct_diff: float
+    verify_times: tuple[float, ...]
+    synth_times: tuple[float, ...]
+    verified: bool
+    timed_out: bool
+
+
+@dataclass(frozen=True)
+class Figure5Row:
+    """All measurements for one benchmark."""
+
+    problem: BenchmarkProblem
+    truth: GroundTruth
+    under: ApproxMeasurement
+    over: ApproxMeasurement
+
+
+def _pct_diff(approx_size: int, exact_size: int, mode: str) -> float:
+    """Distance from ground truth, in percent (0 = exact).
+
+    Under-approximations are smaller than exact, over-approximations
+    larger; both normalize by the exact size, like the paper.
+    """
+    if exact_size == 0:
+        return 0.0 if approx_size == 0 else float("inf")
+    if mode == "under":
+        return (exact_size - approx_size) / exact_size * 100.0
+    return (approx_size - exact_size) / exact_size * 100.0
+
+
+def measure_benchmark(
+    problem: BenchmarkProblem,
+    truth: GroundTruth,
+    *,
+    domain: str,
+    k: int,
+    runs: int,
+    synth: SynthOptions = SynthOptions(),
+) -> Figure5Row:
+    """Synthesize + verify one benchmark ``runs`` times; collect stats."""
+    options = CompileOptions(domain=domain, k=k, modes=("under", "over"), synth=synth)
+    compiled: CompiledQuery | None = None
+    verify_times: dict[str, list[float]] = {"under": [], "over": []}
+    synth_times: dict[str, list[float]] = {"under": [], "over": []}
+    for _ in range(max(1, runs)):
+        compiled = compile_query(problem.bench_id, problem.query, problem.secret, options)
+        for mode in ("under", "over"):
+            verify_times[mode].append(compiled.reports[mode].verify_time)
+            synth_times[mode].append(compiled.reports[mode].synth_time)
+    assert compiled is not None
+
+    measurements = {}
+    for mode in ("under", "over"):
+        indset = compiled.qinfo.under_indset if mode == "under" else compiled.qinfo.over_indset
+        assert indset is not None
+        true_size = indset[0].size()
+        false_size = indset[1].size()
+        measurements[mode] = ApproxMeasurement(
+            mode=mode,
+            true_size=true_size,
+            false_size=false_size,
+            true_pct_diff=_pct_diff(true_size, truth.true_size, mode),
+            false_pct_diff=_pct_diff(false_size, truth.false_size, mode),
+            verify_times=tuple(verify_times[mode]),
+            synth_times=tuple(synth_times[mode]),
+            verified=compiled.reports[mode].verified,
+            timed_out=compiled.reports[mode].timed_out,
+        )
+    return Figure5Row(problem, truth, measurements["under"], measurements["over"])
+
+
+def run_figure5(
+    *,
+    domain: str,
+    k: int = 3,
+    runs: int = 3,
+    bench_ids: tuple[str, ...] = DEFAULT_BENCH_IDS,
+    synth: SynthOptions = SynthOptions(),
+) -> list[Figure5Row]:
+    """Measure all requested benchmarks."""
+    rows = []
+    for bench_id in bench_ids:
+        problem = ALL_BENCHMARKS[bench_id]
+        truth = ground_truth(problem)
+        rows.append(
+            measure_benchmark(problem, truth, domain=domain, k=k, runs=runs, synth=synth)
+        )
+    return rows
+
+
+def _measurement_cells(m: ApproxMeasurement) -> list[str]:
+    return [
+        f"{fmt_size(m.true_size)} / {fmt_size(m.false_size)}",
+        f"{fmt_pct(m.true_pct_diff)} / {fmt_pct(m.false_pct_diff)}",
+        fmt_timing(m.verify_times),
+        fmt_timing(m.synth_times),
+        "yes" if m.verified else "NO",
+    ]
+
+
+def render_figure5(rows: list[Figure5Row]) -> str:
+    """Both half-tables (under / over) in the paper's column layout."""
+    sections = []
+    for mode in ("under", "over"):
+        table = TextTable(
+            headers=["#", "Size", "% diff", "Verif. time", "Synth. time", "Verified"],
+            rows=[
+                [row.problem.bench_id]
+                + _measurement_cells(row.under if mode == "under" else row.over)
+                for row in rows
+            ],
+        )
+        title = f"{mode.capitalize()}-approximation"
+        sections.append(f"{title}\n{table.render()}")
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description="Reproduce Figure 5")
+    parser.add_argument("--domain", choices=("interval", "powerset"), default="interval")
+    parser.add_argument("--k", type=int, default=3, help="powerset size")
+    parser.add_argument("--runs", type=int, default=3, help="timing repetitions")
+    parser.add_argument(
+        "--bench",
+        nargs="*",
+        default=list(DEFAULT_BENCH_IDS),
+        help="benchmark ids (default: all)",
+    )
+    args = parser.parse_args(argv)
+    label = (
+        "Figure 5a (interval abstract domain)"
+        if args.domain == "interval"
+        else f"Figure 5b (powersets of intervals, k={args.k})"
+    )
+    rows = run_figure5(
+        domain=args.domain, k=args.k, runs=args.runs, bench_ids=tuple(args.bench)
+    )
+    print(label)
+    print(render_figure5(rows))
+
+
+if __name__ == "__main__":
+    main()

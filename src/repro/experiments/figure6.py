@@ -1,0 +1,154 @@
+"""Experiment E4 — Figure 6: sequential declassifications before violation.
+
+The secure advertising system (section 6.2): 20 execution instances, each
+with a fresh random user location, run through 50 random ``nearby``
+queries under the policy ``size > 100``.  For every powerset size
+``k ∈ {1, 3, 5, 7, 10}``, we record how many instances are still alive
+(i.e. had every query so far authorized) after the i-th query — the
+paper's survival curves.
+
+Run as::
+
+    python -m repro.experiments.figure6 [--instances 20] [--queries 50]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+from dataclasses import dataclass
+
+from repro.benchsuite.advertising import AdvertisingSystem, InstanceResult, build_system
+from repro.experiments.report import TextTable, ascii_chart
+
+__all__ = ["Figure6Series", "run_figure6", "render_figure6", "main"]
+
+DEFAULT_KS = (1, 3, 5, 7, 10)
+
+
+@dataclass(frozen=True)
+class Figure6Series:
+    """Survival data for one powerset size ``k``."""
+
+    k: int
+    results: tuple[InstanceResult, ...]
+    num_queries: int
+    compile_time: float
+    run_time: float
+
+    def alive_after(self, query_index: int) -> int:
+        """Instances that answered at least ``query_index`` queries."""
+        return sum(1 for r in self.results if r.authorized >= query_index)
+
+    def survival_curve(self) -> list[int]:
+        """``alive_after(i)`` for i = 1 .. num_queries."""
+        return [self.alive_after(i) for i in range(1, self.num_queries + 1)]
+
+    def max_authorized(self) -> int:
+        """The most queries any instance answered (the paper's headline)."""
+        return max(r.authorized for r in self.results)
+
+    def mean_authorized(self) -> float:
+        """Average authorized queries per instance."""
+        return sum(r.authorized for r in self.results) / len(self.results)
+
+
+def run_figure6(
+    *,
+    ks: tuple[int, ...] = DEFAULT_KS,
+    instances: int = 20,
+    num_queries: int = 50,
+    seed: int = 2022,
+    check_both: bool = False,
+) -> list[Figure6Series]:
+    """Build one system per ``k`` and run all instances through it.
+
+    The same seeds are reused across ``k`` values (same restaurants, same
+    user locations) so curves differ only in the abstract domain, exactly
+    like the paper's setup.
+    """
+    series = []
+    for k in ks:
+        t0 = time.perf_counter()
+        system: AdvertisingSystem = build_system(
+            k=k, num_queries=num_queries, seed=seed, check_both=check_both
+        )
+        compile_time = time.perf_counter() - t0
+        rng = random.Random(seed + 1)
+        secrets = [
+            (rng.randrange(400), rng.randrange(400)) for _ in range(instances)
+        ]
+        t0 = time.perf_counter()
+        results = tuple(system.run_instance(secret) for secret in secrets)
+        run_time = time.perf_counter() - t0
+        series.append(
+            Figure6Series(
+                k=k,
+                results=results,
+                num_queries=num_queries,
+                compile_time=compile_time,
+                run_time=run_time,
+            )
+        )
+    return series
+
+
+def render_figure6(series: list[Figure6Series]) -> str:
+    """Summary table plus the survival-curve chart."""
+    table = TextTable(
+        headers=[
+            "k",
+            "max authorized",
+            "mean authorized",
+            "compile time",
+            "run time (all instances)",
+        ],
+        rows=[
+            [
+                str(s.k),
+                str(s.max_authorized()),
+                f"{s.mean_authorized():.1f}",
+                f"{s.compile_time:.1f}s",
+                f"{s.run_time:.2f}s",
+            ]
+            for s in series
+        ],
+    )
+    max_interesting = max(s.max_authorized() for s in series) + 1
+    chart = ascii_chart(
+        {f"k={s.k:02d}": s.survival_curve()[:max_interesting] for s in series},
+        title="Instances alive after the i-th declassification query",
+    )
+    return f"{table.render()}\n\n{chart}"
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description="Reproduce Figure 6")
+    parser.add_argument("--ks", type=int, nargs="*", default=list(DEFAULT_KS))
+    parser.add_argument("--instances", type=int, default=20)
+    parser.add_argument("--queries", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument(
+        "--check-both",
+        action="store_true",
+        help="check the policy on both posteriors (section 3 discipline)",
+    )
+    args = parser.parse_args(argv)
+    series = run_figure6(
+        ks=tuple(args.ks),
+        instances=args.instances,
+        num_queries=args.queries,
+        seed=args.seed,
+        check_both=args.check_both,
+    )
+    mode = "both posteriors" if args.check_both else "response posterior"
+    print(
+        "Figure 6: secure advertising system, policy size > 100 "
+        f"(policy checked on: {mode})"
+    )
+    print(render_figure6(series))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,158 @@
+"""Experiment E5 — the Prob comparison (section 6.1 discussion).
+
+The paper contrasts ANOSY with Prob (Mardziel et al.) on two axes:
+
+* **cost model** — Prob re-runs an abstract interpretation for every query
+  execution; ANOSY pays a one-time synthesis cost after which posteriors
+  are a few box intersections.  We report the one-time synthesis cost, the
+  baseline's per-query analysis cost, ANOSY's per-query posterior cost,
+  and the break-even number of query executions.
+* **precision** — the baseline's join-point imprecision makes its
+  posteriors looser.  We compare posterior sizes for the same observation
+  (starting from ⊤): smaller over-approximations are more precise.
+
+The baseline is the HC4 interval-propagation interpreter of
+:mod:`repro.benchsuite.probbaseline` (see DESIGN.md for why this is a
+faithful stand-in for Prob's architecture).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+
+from repro.benchsuite.mardziel import ALL_BENCHMARKS, BenchmarkProblem
+from repro.benchsuite.probbaseline import hc4_posterior
+from repro.core.plugin import CompileOptions, compile_query
+from repro.experiments.report import TextTable, fmt_size
+from repro.solver.boxes import Box
+
+__all__ = ["ProbComparison", "run_probcompare", "render_probcompare", "main"]
+
+
+@dataclass(frozen=True)
+class ProbComparison:
+    """One benchmark's ANOSY-vs-baseline numbers."""
+
+    problem: BenchmarkProblem
+    synth_time: float
+    anosy_posterior_time: float
+    baseline_query_time: float
+    anosy_true_size: int
+    anosy_false_size: int
+    baseline_true_size: int
+    baseline_false_size: int
+
+    @property
+    def break_even_queries(self) -> float:
+        """Executions after which ANOSY's one-time cost is amortized."""
+        saved_per_query = self.baseline_query_time - self.anosy_posterior_time
+        if saved_per_query <= 0:
+            return float("inf")
+        return self.synth_time / saved_per_query
+
+    @property
+    def precision_gain_true(self) -> float:
+        """baseline/ANOSY posterior size ratio for the True response."""
+        if self.anosy_true_size == 0:
+            return float("inf") if self.baseline_true_size else 1.0
+        return self.baseline_true_size / self.anosy_true_size
+
+
+def compare_benchmark(problem: BenchmarkProblem, *, k: int = 3) -> ProbComparison:
+    """Compare ANOSY (powerset k) against the HC4 baseline on one query."""
+    options = CompileOptions(domain="powerset", k=k, modes=("over",))
+    start = time.perf_counter()
+    compiled = compile_query(problem.bench_id, problem.query, problem.secret, options)
+    synth_time = time.perf_counter() - start
+
+    top = Box(problem.secret.bounds())
+    baseline_true = hc4_posterior(problem.query, problem.secret, top, True)
+    baseline_false = hc4_posterior(problem.query, problem.secret, top, False)
+
+    prior = compiled.qinfo.over_indset[0].top(problem.secret)
+    start = time.perf_counter()
+    post_true, post_false = compiled.qinfo.overapprox(prior)
+    anosy_posterior_time = time.perf_counter() - start
+
+    return ProbComparison(
+        problem=problem,
+        synth_time=synth_time,
+        anosy_posterior_time=anosy_posterior_time,
+        baseline_query_time=baseline_true.elapsed + baseline_false.elapsed,
+        anosy_true_size=post_true.size(),
+        anosy_false_size=post_false.size(),
+        baseline_true_size=baseline_true.size(),
+        baseline_false_size=baseline_false.size(),
+    )
+
+
+def run_probcompare(
+    bench_ids: tuple[str, ...] = ("B1", "B2", "B3", "B4", "B5"), *, k: int = 3
+) -> list[ProbComparison]:
+    """Compare on all requested benchmarks."""
+    return [compare_benchmark(ALL_BENCHMARKS[b], k=k) for b in bench_ids]
+
+
+def render_probcompare(rows: list[ProbComparison]) -> str:
+    """Side-by-side posterior sizes and the amortization numbers."""
+    size_table = TextTable(
+        headers=["#", "ANOSY post (T/F)", "Baseline post (T/F)", "Precision gain (T)"],
+        rows=[
+            [
+                row.problem.bench_id,
+                f"{fmt_size(row.anosy_true_size)} / {fmt_size(row.anosy_false_size)}",
+                f"{fmt_size(row.baseline_true_size)} / "
+                f"{fmt_size(row.baseline_false_size)}",
+                (
+                    "inf"
+                    if row.precision_gain_true == float("inf")
+                    else f"{row.precision_gain_true:.2f}x"
+                ),
+            ]
+            for row in rows
+        ],
+    )
+    time_table = TextTable(
+        headers=[
+            "#",
+            "Synth (one-time)",
+            "ANOSY per-query",
+            "Baseline per-query",
+            "Break-even runs",
+        ],
+        rows=[
+            [
+                row.problem.bench_id,
+                f"{row.synth_time * 1000:.0f} ms",
+                f"{row.anosy_posterior_time * 1000:.2f} ms",
+                f"{row.baseline_query_time * 1000:.2f} ms",
+                (
+                    "never"
+                    if row.break_even_queries == float("inf")
+                    else f"{row.break_even_queries:.0f}"
+                ),
+            ]
+            for row in rows
+        ],
+    )
+    return (
+        "Posterior precision (over-approximations from top; smaller = better)\n"
+        f"{size_table.render()}\n\n"
+        "Amortization (one-time synthesis vs per-query analysis)\n"
+        f"{time_table.render()}"
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description="ANOSY vs Prob-style baseline")
+    parser.add_argument("--k", type=int, default=3)
+    args = parser.parse_args(argv)
+    rows = run_probcompare(k=args.k)
+    print("Section 6.1 discussion: comparison with a Prob-style baseline")
+    print(render_probcompare(rows))
+
+
+if __name__ == "__main__":
+    main()

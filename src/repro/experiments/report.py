@@ -1,0 +1,115 @@
+"""Formatting helpers shared by the experiment drivers.
+
+Keeps the drivers focused on *what* they measure: paper-style size
+formatting (``2.43e+07``), median ± semi-interquartile timing (the paper's
+Figure 5 statistic), aligned text tables, and a terminal rendering of
+Figure 6's line chart.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+__all__ = [
+    "fmt_size",
+    "fmt_pct",
+    "median_siqr",
+    "fmt_timing",
+    "TextTable",
+    "ascii_chart",
+]
+
+
+def fmt_size(value: float) -> str:
+    """Sizes the way Table 1 prints them: plain ints, then ``1.01e+06``."""
+    if value < 100_000:
+        return str(int(value))
+    return f"{value:.2e}"
+
+
+def fmt_pct(value: float) -> str:
+    """Percent differences: integers unless sub-percent precision matters."""
+    if value >= 10 or value == int(value):
+        return str(int(round(value)))
+    return f"{value:.1f}"
+
+
+def median_siqr(samples: Sequence[float]) -> tuple[float, float]:
+    """Median and semi-interquartile range, the paper's timing statistic."""
+    if not samples:
+        raise ValueError("no samples")
+    med = statistics.median(samples)
+    if len(samples) < 2:
+        return med, 0.0
+    ordered = sorted(samples)
+    q1, _q2, q3 = statistics.quantiles(ordered, n=4)
+    return med, (q3 - q1) / 2
+
+
+def fmt_timing(samples: Sequence[float]) -> str:
+    """``median ± siqr`` seconds, like Figure 5's time columns."""
+    med, siqr = median_siqr(samples)
+    return f"{med:.2f} ± {siqr:.2f}"
+
+
+@dataclass
+class TextTable:
+    """A minimal aligned text table."""
+
+    headers: list[str]
+    rows: list[list[str]]
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[int]],
+    *,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Render Figure 6-style survival curves as a terminal chart.
+
+    ``series`` maps a legend label to y-values indexed by query number
+    (x-axis).  Each series is drawn with its own glyph; the y-axis is the
+    instance count.
+    """
+    if not series:
+        return "(no data)"
+    glyphs = "*o+x#@%&"
+    max_x = max(len(ys) for ys in series.values())
+    max_y = max((max(ys) if ys else 0) for ys in series.values())
+    max_y = max(max_y, 1)
+    grid = [[" "] * max_x for _ in range(height + 1)]
+    for index, (_label, ys) in enumerate(sorted(series.items())):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in enumerate(ys):
+            row = round(y / max_y * height)
+            grid[height - row][x] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        y_value = round((height - row_index) / height * max_y)
+        lines.append(f"{y_value:4d} |" + "".join(row))
+    lines.append("     +" + "-" * max_x)
+    lines.append("      " + "".join(str((i + 1) % 10) for i in range(max_x)))
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={label}"
+        for i, label in enumerate(sorted(series))
+    )
+    lines.append(f"      x: i-th query   y: instances alive   [{legend}]")
+    return "\n".join(lines)

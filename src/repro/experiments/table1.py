@@ -1,0 +1,64 @@
+"""Experiment E1 — Table 1: exact ind.-set sizes of the benchmarks.
+
+Prints the paper's Table 1 columns (number of secret fields, exact True /
+False ind.-set sizes) next to the values the paper reports, and the time
+our exact counter took.  Run as::
+
+    python -m repro.experiments.table1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchsuite.groundtruth import GroundTruth, ground_truth
+from repro.benchsuite.mardziel import ALL_BENCHMARKS, BenchmarkProblem
+from repro.experiments.report import TextTable, fmt_size
+
+__all__ = ["Table1Row", "run_table1", "render_table1", "main"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One benchmark's ground truth next to the paper's reported sizes."""
+
+    problem: BenchmarkProblem
+    truth: GroundTruth
+
+
+def run_table1(bench_ids: tuple[str, ...] = ("B1", "B2", "B3", "B4", "B5")) -> list[Table1Row]:
+    """Compute exact ind.-set sizes for the selected benchmarks."""
+    rows = []
+    for bench_id in bench_ids:
+        problem = ALL_BENCHMARKS[bench_id]
+        rows.append(Table1Row(problem, ground_truth(problem)))
+    return rows
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    """The table in the paper's ``x / y`` layout plus paper-reported sizes."""
+    table = TextTable(
+        headers=["#", "Name", "Fields", "Size of ind. sets", "Paper reports", "Count time"],
+        rows=[
+            [
+                row.problem.bench_id,
+                row.problem.name,
+                str(row.problem.field_count),
+                f"{fmt_size(row.truth.true_size)} / {fmt_size(row.truth.false_size)}",
+                f"{fmt_size(row.problem.paper_true_size)} / "
+                f"{fmt_size(row.problem.paper_false_size)}",
+                f"{row.truth.count_time:.2f}s",
+            ]
+            for row in rows
+        ],
+    )
+    return table.render()
+
+
+def main() -> None:
+    print("Table 1: number of fields and size of the precise ind. sets")
+    print(render_table1(run_table1()))
+
+
+if __name__ == "__main__":
+    main()

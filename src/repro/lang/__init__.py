@@ -1,0 +1,55 @@
+"""The ANOSY query language: AST/DSL, parser, evaluator, validator.
+
+Public surface:
+
+* :mod:`repro.lang.ast` — the expression AST, which doubles as a Python DSL
+  (``abs(x - 200) + abs(y - 200) <= 100``).
+* :func:`repro.lang.parser.parse_bool` — the textual surface syntax.
+* :class:`repro.lang.secrets.SecretSpec` — secret type declarations.
+* :func:`repro.lang.validate.validate_query` — the section 5.1 fragment check.
+"""
+
+from repro.lang.ast import (
+    BoolExpr,
+    BoolLit,
+    Expr,
+    IntExpr,
+    Lit,
+    Var,
+    lit,
+    var,
+)
+from repro.lang.eval import eval_bool, eval_int
+from repro.lang.parser import ParseError, parse, parse_bool, parse_int
+from repro.lang.pretty import pretty
+from repro.lang.secrets import FieldSpec, SecretSpec
+from repro.lang.ternary import Ternary
+from repro.lang.transform import fold_constants, free_vars, nnf, substitute
+from repro.lang.validate import QueryValidationError, validate_query
+
+__all__ = [
+    "BoolExpr",
+    "BoolLit",
+    "Expr",
+    "IntExpr",
+    "Lit",
+    "Var",
+    "lit",
+    "var",
+    "eval_bool",
+    "eval_int",
+    "ParseError",
+    "parse",
+    "parse_bool",
+    "parse_int",
+    "pretty",
+    "FieldSpec",
+    "SecretSpec",
+    "Ternary",
+    "fold_constants",
+    "free_vars",
+    "nnf",
+    "substitute",
+    "QueryValidationError",
+    "validate_query",
+]

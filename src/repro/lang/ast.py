@@ -1,0 +1,427 @@
+"""Abstract syntax for the ANOSY query language.
+
+The paper (section 5.1) restricts declassification queries to boolean
+functions over multi-integer secrets built from linear integer arithmetic,
+absolute values, conditionals, and boolean connectives.  This module defines
+that language as a small, immutable expression AST.
+
+The AST doubles as an embedded DSL: integer expressions overload ``+``,
+``-``, ``*`` (by constants), ``abs()`` and the ordering comparisons, while
+boolean expressions overload ``&``, ``|`` and ``~``.  Because Python's ``==``
+is reserved for structural equality (used pervasively by tests and by the
+solver's caches), equality *atoms* are written ``x.eq(5)`` / ``x.ne(5)``.
+
+Example
+-------
+>>> from repro.lang.ast import var
+>>> x, y = var("x"), var("y")
+>>> nearby = abs(x - 200) + abs(y - 200) <= 100
+>>> nearby
+Cmp(op=<CmpOp.LE: '<='>, ...)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, fields
+from typing import Iterator, Union
+
+__all__ = [
+    "Expr",
+    "IntExpr",
+    "BoolExpr",
+    "Var",
+    "Lit",
+    "Add",
+    "Sub",
+    "Neg",
+    "Scale",
+    "Abs",
+    "Min",
+    "Max",
+    "IntIte",
+    "BoolLit",
+    "CmpOp",
+    "Cmp",
+    "And",
+    "Or",
+    "Not",
+    "Implies",
+    "Iff",
+    "InSet",
+    "var",
+    "lit",
+    "TRUE",
+    "FALSE",
+]
+
+
+class Expr:
+    """Common base class for all AST nodes.
+
+    Nodes are frozen dataclasses: structurally hashable, comparable with
+    ``==``, and safe to share between formulas.  ``children()`` yields the
+    direct sub-expressions, which is enough for the generic traversals in
+    :mod:`repro.lang.transform`.
+    """
+
+    __slots__ = ()
+
+    def children(self) -> Iterator["Expr"]:
+        """Yield direct sub-expressions (ints and sets are not children)."""
+        for f in fields(self):  # type: ignore[arg-type]
+            value = getattr(self, f.name)
+            if isinstance(value, Expr):
+                yield value
+            elif isinstance(value, tuple):
+                for item in value:
+                    if isinstance(item, Expr):
+                        yield item
+
+    def node_count(self) -> int:
+        """Number of AST nodes in this expression (for budgeting/tests)."""
+        return 1 + sum(child.node_count() for child in self.children())
+
+
+def _as_int_expr(value: Union["IntExpr", int]) -> "IntExpr":
+    if isinstance(value, IntExpr):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("expected an integer expression, got a bool")
+    if isinstance(value, int):
+        return Lit(value)
+    raise TypeError(f"expected an integer expression or int, got {value!r}")
+
+
+class IntExpr(Expr):
+    """Base class for integer-valued expressions, with DSL operators."""
+
+    __slots__ = ()
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other: Union["IntExpr", int]) -> "Add":
+        return Add(self, _as_int_expr(other))
+
+    def __radd__(self, other: int) -> "Add":
+        return Add(_as_int_expr(other), self)
+
+    def __sub__(self, other: Union["IntExpr", int]) -> "Sub":
+        return Sub(self, _as_int_expr(other))
+
+    def __rsub__(self, other: int) -> "Sub":
+        return Sub(_as_int_expr(other), self)
+
+    def __neg__(self) -> "Neg":
+        return Neg(self)
+
+    def __mul__(self, other: int) -> "Scale":
+        if not isinstance(other, int) or isinstance(other, bool):
+            raise TypeError(
+                "queries are restricted to linear arithmetic: "
+                "multiplication is only allowed by integer constants"
+            )
+        return Scale(other, self)
+
+    __rmul__ = __mul__
+
+    def __abs__(self) -> "Abs":
+        return Abs(self)
+
+    # -- comparisons -----------------------------------------------------
+    def __le__(self, other: Union["IntExpr", int]) -> "Cmp":
+        return Cmp(CmpOp.LE, self, _as_int_expr(other))
+
+    def __lt__(self, other: Union["IntExpr", int]) -> "Cmp":
+        return Cmp(CmpOp.LT, self, _as_int_expr(other))
+
+    def __ge__(self, other: Union["IntExpr", int]) -> "Cmp":
+        return Cmp(CmpOp.GE, self, _as_int_expr(other))
+
+    def __gt__(self, other: Union["IntExpr", int]) -> "Cmp":
+        return Cmp(CmpOp.GT, self, _as_int_expr(other))
+
+    def eq(self, other: Union["IntExpr", int]) -> "Cmp":
+        """Equality atom ``self == other`` (``==`` itself is structural)."""
+        return Cmp(CmpOp.EQ, self, _as_int_expr(other))
+
+    def ne(self, other: Union["IntExpr", int]) -> "Cmp":
+        """Disequality atom ``self != other``."""
+        return Cmp(CmpOp.NE, self, _as_int_expr(other))
+
+    def in_set(self, values) -> "InSet":
+        """Finite-set membership atom, e.g. ``country.in_set({3, 7, 19})``."""
+        return InSet(self, frozenset(int(v) for v in values))
+
+
+class BoolExpr(Expr):
+    """Base class for boolean-valued expressions, with DSL connectives."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "BoolExpr") -> "And":
+        return And((self, _as_bool_expr(other)))
+
+    def __or__(self, other: "BoolExpr") -> "Or":
+        return Or((self, _as_bool_expr(other)))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def implies(self, other: "BoolExpr") -> "Implies":
+        return Implies(self, _as_bool_expr(other))
+
+    def iff(self, other: "BoolExpr") -> "Iff":
+        return Iff(self, _as_bool_expr(other))
+
+    def ite(self, then: Union["IntExpr", int], other: Union["IntExpr", int]) -> "IntIte":
+        """Integer conditional ``if self then then-branch else else-branch``."""
+        return IntIte(self, _as_int_expr(then), _as_int_expr(other))
+
+
+def _as_bool_expr(value: "BoolExpr") -> "BoolExpr":
+    if isinstance(value, BoolExpr):
+        return value
+    if isinstance(value, bool):
+        return BoolLit(value)
+    raise TypeError(f"expected a boolean expression, got {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Integer expression nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=True)
+class Var(IntExpr):
+    """A named integer secret field, e.g. ``x`` of ``UserLoc``."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True, eq=True)
+class Lit(IntExpr):
+    """An integer literal."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value})"
+
+
+@dataclass(frozen=True, eq=True)
+class Add(IntExpr):
+    """Binary addition."""
+
+    left: IntExpr
+    right: IntExpr
+
+
+@dataclass(frozen=True, eq=True)
+class Sub(IntExpr):
+    """Binary subtraction."""
+
+    left: IntExpr
+    right: IntExpr
+
+
+@dataclass(frozen=True, eq=True)
+class Neg(IntExpr):
+    """Arithmetic negation."""
+
+    arg: IntExpr
+
+
+@dataclass(frozen=True, eq=True)
+class Scale(IntExpr):
+    """Multiplication by an integer constant (keeps the language linear)."""
+
+    coeff: int
+    arg: IntExpr
+
+
+@dataclass(frozen=True, eq=True)
+class Abs(IntExpr):
+    """Absolute value, the paper's ``abs i = if i < 0 then -i else i``."""
+
+    arg: IntExpr
+
+
+@dataclass(frozen=True, eq=True)
+class Min(IntExpr):
+    """Binary minimum (definable via ite; kept primitive for precision)."""
+
+    left: IntExpr
+    right: IntExpr
+
+
+@dataclass(frozen=True, eq=True)
+class Max(IntExpr):
+    """Binary maximum."""
+
+    left: IntExpr
+    right: IntExpr
+
+
+@dataclass(frozen=True, eq=True)
+class IntIte(IntExpr):
+    """Integer conditional ``if cond then then_branch else else_branch``."""
+
+    cond: "BoolExpr"
+    then_branch: IntExpr
+    else_branch: IntExpr
+
+
+# ---------------------------------------------------------------------------
+# Boolean expression nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=True)
+class BoolLit(BoolExpr):
+    """A boolean literal."""
+
+    value: bool
+
+
+class CmpOp(enum.Enum):
+    """Comparison operators on integer expressions."""
+
+    LE = "<="
+    LT = "<"
+    GE = ">="
+    GT = ">"
+    EQ = "=="
+    NE = "!="
+
+    def negate(self) -> "CmpOp":
+        """The operator denoting the complement relation."""
+        return _NEGATIONS[self]
+
+    def flip(self) -> "CmpOp":
+        """The operator with arguments swapped (``a <= b`` iff ``b >= a``)."""
+        return _FLIPS[self]
+
+    def holds(self, left: int, right: int) -> bool:
+        """Evaluate the relation on concrete integers."""
+        return _CONCRETE[self](left, right)
+
+
+_NEGATIONS = {
+    CmpOp.LE: CmpOp.GT,
+    CmpOp.LT: CmpOp.GE,
+    CmpOp.GE: CmpOp.LT,
+    CmpOp.GT: CmpOp.LE,
+    CmpOp.EQ: CmpOp.NE,
+    CmpOp.NE: CmpOp.EQ,
+}
+
+_FLIPS = {
+    CmpOp.LE: CmpOp.GE,
+    CmpOp.LT: CmpOp.GT,
+    CmpOp.GE: CmpOp.LE,
+    CmpOp.GT: CmpOp.LT,
+    CmpOp.EQ: CmpOp.EQ,
+    CmpOp.NE: CmpOp.NE,
+}
+
+_CONCRETE = {
+    CmpOp.LE: lambda a, b: a <= b,
+    CmpOp.LT: lambda a, b: a < b,
+    CmpOp.GE: lambda a, b: a >= b,
+    CmpOp.GT: lambda a, b: a > b,
+    CmpOp.EQ: lambda a, b: a == b,
+    CmpOp.NE: lambda a, b: a != b,
+}
+
+
+@dataclass(frozen=True, eq=True)
+class Cmp(BoolExpr):
+    """A comparison atom between two integer expressions."""
+
+    op: CmpOp
+    left: IntExpr
+    right: IntExpr
+
+
+@dataclass(frozen=True, eq=True)
+class And(BoolExpr):
+    """N-ary conjunction."""
+
+    args: tuple[BoolExpr, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+
+@dataclass(frozen=True, eq=True)
+class Or(BoolExpr):
+    """N-ary disjunction."""
+
+    args: tuple[BoolExpr, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+
+@dataclass(frozen=True, eq=True)
+class Not(BoolExpr):
+    """Boolean negation."""
+
+    arg: BoolExpr
+
+
+@dataclass(frozen=True, eq=True)
+class Implies(BoolExpr):
+    """Implication ``antecedent => consequent``."""
+
+    antecedent: BoolExpr
+    consequent: BoolExpr
+
+
+@dataclass(frozen=True, eq=True)
+class Iff(BoolExpr):
+    """Bi-implication."""
+
+    left: BoolExpr
+    right: BoolExpr
+
+
+@dataclass(frozen=True, eq=True)
+class InSet(BoolExpr):
+    """Finite-set membership ``arg in {c1, ..., cn}``.
+
+    This is the "point-wise comparison" form the paper highlights in section
+    6.1: queries of shape ``x = c1 or x = c2 or ...`` that powerset domains
+    approximate far better than single intervals.
+    """
+
+    arg: IntExpr
+    values: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.values, frozenset):
+            object.__setattr__(self, "values", frozenset(self.values))
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def var(name: str) -> Var:
+    """Create a named integer variable (a secret field)."""
+    return Var(name)
+
+
+def lit(value: int) -> Lit:
+    """Create an integer literal node."""
+    return Lit(int(value))
+
+
+TRUE = BoolLit(True)
+FALSE = BoolLit(False)

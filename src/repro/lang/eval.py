@@ -1,0 +1,110 @@
+"""Concrete evaluation of query expressions.
+
+Queries are total functions from secret assignments to booleans; this module
+is the reference semantics against which the abstract evaluator
+(:mod:`repro.solver.abseval`) and the synthesized approximations are tested.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.lang.ast import (
+    Abs,
+    Add,
+    And,
+    BoolExpr,
+    BoolLit,
+    Cmp,
+    Expr,
+    Iff,
+    Implies,
+    InSet,
+    IntExpr,
+    IntIte,
+    Lit,
+    Max,
+    Min,
+    Neg,
+    Not,
+    Or,
+    Scale,
+    Sub,
+    Var,
+)
+
+__all__ = ["eval_int", "eval_bool", "EvalError"]
+
+
+class EvalError(Exception):
+    """Raised when an expression refers to a variable missing from the env."""
+
+
+def eval_int(expr: IntExpr, env: Mapping[str, int]) -> int:
+    """Evaluate an integer expression under the assignment ``env``."""
+    match expr:
+        case Lit(value):
+            return value
+        case Var(name):
+            try:
+                return env[name]
+            except KeyError as exc:
+                raise EvalError(f"unbound variable {name!r}") from exc
+        case Add(left, right):
+            return eval_int(left, env) + eval_int(right, env)
+        case Sub(left, right):
+            return eval_int(left, env) - eval_int(right, env)
+        case Neg(arg):
+            return -eval_int(arg, env)
+        case Scale(coeff, arg):
+            return coeff * eval_int(arg, env)
+        case Abs(arg):
+            return abs(eval_int(arg, env))
+        case Min(left, right):
+            return min(eval_int(left, env), eval_int(right, env))
+        case Max(left, right):
+            return max(eval_int(left, env), eval_int(right, env))
+        case IntIte(cond, then_branch, else_branch):
+            if eval_bool(cond, env):
+                return eval_int(then_branch, env)
+            return eval_int(else_branch, env)
+        case _:
+            raise TypeError(f"not an integer expression: {expr!r}")
+
+
+def eval_bool(expr: BoolExpr, env: Mapping[str, int]) -> bool:
+    """Evaluate a boolean expression under the assignment ``env``."""
+    match expr:
+        case BoolLit(value):
+            return value
+        case Cmp(op, left, right):
+            return op.holds(eval_int(left, env), eval_int(right, env))
+        case And(args):
+            return all(eval_bool(arg, env) for arg in args)
+        case Or(args):
+            return any(eval_bool(arg, env) for arg in args)
+        case Not(arg):
+            return not eval_bool(arg, env)
+        case Implies(antecedent, consequent):
+            return (not eval_bool(antecedent, env)) or eval_bool(consequent, env)
+        case Iff(left, right):
+            return eval_bool(left, env) == eval_bool(right, env)
+        case InSet(arg, values):
+            return eval_int(arg, env) in values
+        case _:
+            raise TypeError(f"not a boolean expression: {expr!r}")
+
+
+def as_predicate(expr: BoolExpr):
+    """Wrap a boolean expression as a plain Python predicate on envs."""
+
+    def predicate(env: Mapping[str, int]) -> bool:
+        return eval_bool(expr, env)
+
+    return predicate
+
+
+def _check_is_expr(expr: object) -> Expr:
+    if not isinstance(expr, Expr):
+        raise TypeError(f"expected an Expr, got {expr!r}")
+    return expr

@@ -1,0 +1,102 @@
+"""Lexer for the concrete query syntax.
+
+The surface language is the one used throughout the paper's prose::
+
+    abs(x - 200) + abs(y - 200) <= 100
+    gender == 1 and status in {2} and 1980 <= byear and byear <= 1983
+
+Tokens carry source offsets so parse errors point at the offending column.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "and",
+        "or",
+        "not",
+        "in",
+        "true",
+        "false",
+        "if",
+        "then",
+        "else",
+        "abs",
+        "min",
+        "max",
+    }
+)
+
+#: Longest-match-first token table.
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r\n]+"),
+    ("COMMENT", r"#[^\n]*"),
+    ("INT", r"\d+"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("IFF", r"<=>"),
+    ("IMPLIES", r"=>"),
+    ("LE", r"<="),
+    ("GE", r">="),
+    ("EQ", r"=="),
+    ("NE", r"!="),
+    ("LT", r"<"),
+    ("GT", r">"),
+    ("PLUS", r"\+"),
+    ("MINUS", r"-"),
+    ("STAR", r"\*"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("COMMA", r","),
+]
+
+_MASTER = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+class LexError(Exception):
+    """Raised on input the lexer cannot tokenize."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} at offset {position}")
+        self.position = position
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexed token: kind, matched text, and offset into the source."""
+
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; appends a final EOF token."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(source)
+    while position < length:
+        match = _MASTER.match(source, position)
+        if match is None:
+            raise LexError(f"unexpected character {source[position]!r}", position)
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind == "IDENT" and text in KEYWORDS:
+            kind = text.upper()
+        if kind not in ("WS", "COMMENT"):
+            tokens.append(Token(kind, text, position))
+        position = match.end()
+    tokens.append(Token("EOF", "", length))
+    return tokens
+
+
+def token_kinds(source: str) -> Iterator[str]:
+    """Convenience: the kinds of all tokens (testing helper)."""
+    return (token.kind for token in tokenize(source))

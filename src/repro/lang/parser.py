@@ -1,0 +1,330 @@
+"""Recursive-descent parser for the concrete query syntax.
+
+Grammar (loosest binding first)::
+
+    expr     := iff
+    iff      := implies ('<=>' implies)*
+    implies  := or ('=>' implies)?              -- right associative
+    or       := and ('or' and)*
+    and      := neg ('and' neg)*
+    neg      := 'not' neg | cmp
+    cmp      := arith (relop arith | 'in' '{' int-list '}')?
+    arith    := term (('+' | '-') term)*
+    term     := unary ('*' unary)*              -- one factor must be constant
+    unary    := '-' unary | atom
+    atom     := INT | IDENT | 'true' | 'false'
+              | 'abs' '(' expr ')'
+              | 'min' '(' expr ',' expr ')' | 'max' '(' expr ',' expr ')'
+              | 'if' expr 'then' expr 'else' expr
+              | '(' expr ')'
+
+The parser is *typed*: every production checks that its operands are in the
+right syntactic category (integer vs boolean), so ill-typed programs like
+``1 + (x < 2)`` are rejected with a position-carrying :class:`ParseError`
+rather than producing a nonsensical AST.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    Abs,
+    Add,
+    And,
+    BoolExpr,
+    BoolLit,
+    Cmp,
+    CmpOp,
+    Expr,
+    Iff,
+    Implies,
+    InSet,
+    IntExpr,
+    IntIte,
+    Lit,
+    Max,
+    Min,
+    Neg,
+    Not,
+    Or,
+    Scale,
+    Sub,
+    Var,
+)
+from repro.lang.lexer import Token, tokenize
+
+__all__ = ["ParseError", "parse", "parse_bool", "parse_int"]
+
+_RELOPS = {
+    "LE": CmpOp.LE,
+    "LT": CmpOp.LT,
+    "GE": CmpOp.GE,
+    "GT": CmpOp.GT,
+    "EQ": CmpOp.EQ,
+    "NE": CmpOp.NE,
+}
+
+
+class ParseError(Exception):
+    """Raised on syntax or category (type) errors, with source offset."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} at offset {position}")
+        self.position = position
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # -- token plumbing ---------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def accept(self, kind: str) -> Token | None:
+        if self.current.kind == kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        token = self.accept(kind)
+        if token is None:
+            raise ParseError(
+                f"expected {kind}, found {self.current.kind} "
+                f"({self.current.text!r})",
+                self.current.position,
+            )
+        return token
+
+    # -- category checks --------------------------------------------------
+    def _require_int(self, expr: Expr, position: int) -> IntExpr:
+        if not isinstance(expr, IntExpr):
+            raise ParseError("expected an integer expression", position)
+        return expr
+
+    def _require_bool(self, expr: Expr, position: int) -> BoolExpr:
+        if not isinstance(expr, BoolExpr):
+            raise ParseError("expected a boolean expression", position)
+        return expr
+
+    # -- grammar ------------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_iff()
+
+    def parse_iff(self) -> Expr:
+        position = self.current.position
+        left = self.parse_implies()
+        while self.accept("IFF"):
+            right_pos = self.current.position
+            right = self.parse_implies()
+            left = Iff(
+                self._require_bool(left, position),
+                self._require_bool(right, right_pos),
+            )
+        return left
+
+    def parse_implies(self) -> Expr:
+        position = self.current.position
+        left = self.parse_or()
+        if self.accept("IMPLIES"):
+            right_pos = self.current.position
+            right = self.parse_implies()  # right associative
+            return Implies(
+                self._require_bool(left, position),
+                self._require_bool(right, right_pos),
+            )
+        return left
+
+    def parse_or(self) -> Expr:
+        position = self.current.position
+        first = self.parse_and()
+        if self.current.kind != "OR":
+            return first
+        parts = [self._require_bool(first, position)]
+        while self.accept("OR"):
+            part_pos = self.current.position
+            parts.append(self._require_bool(self.parse_and(), part_pos))
+        return Or(tuple(parts))
+
+    def parse_and(self) -> Expr:
+        position = self.current.position
+        first = self.parse_neg()
+        if self.current.kind != "AND":
+            return first
+        parts = [self._require_bool(first, position)]
+        while self.accept("AND"):
+            part_pos = self.current.position
+            parts.append(self._require_bool(self.parse_neg(), part_pos))
+        return And(tuple(parts))
+
+    def parse_neg(self) -> Expr:
+        if self.accept("NOT"):
+            position = self.current.position
+            return Not(self._require_bool(self.parse_neg(), position))
+        return self.parse_cmp()
+
+    def parse_cmp(self) -> Expr:
+        position = self.current.position
+        left = self.parse_arith()
+        kind = self.current.kind
+        if kind in _RELOPS:
+            self.advance()
+            right_pos = self.current.position
+            right = self.parse_arith()
+            return Cmp(
+                _RELOPS[kind],
+                self._require_int(left, position),
+                self._require_int(right, right_pos),
+            )
+        if kind == "IN":
+            self.advance()
+            values = self.parse_int_set()
+            return InSet(self._require_int(left, position), values)
+        return left
+
+    def parse_int_set(self) -> frozenset[int]:
+        self.expect("LBRACE")
+        values: set[int] = set()
+        if self.current.kind != "RBRACE":
+            values.add(self.parse_set_member())
+            while self.accept("COMMA"):
+                values.add(self.parse_set_member())
+        self.expect("RBRACE")
+        return frozenset(values)
+
+    def parse_set_member(self) -> int:
+        sign = -1 if self.accept("MINUS") else 1
+        token = self.expect("INT")
+        return sign * int(token.text)
+
+    def parse_arith(self) -> Expr:
+        position = self.current.position
+        left = self.parse_term()
+        while self.current.kind in ("PLUS", "MINUS"):
+            op = self.advance().kind
+            right_pos = self.current.position
+            right = self._require_int(self.parse_term(), right_pos)
+            left_int = self._require_int(left, position)
+            left = Add(left_int, right) if op == "PLUS" else Sub(left_int, right)
+        return left
+
+    def parse_term(self) -> Expr:
+        position = self.current.position
+        left = self.parse_unary()
+        while self.current.kind == "STAR":
+            self.advance()
+            right_pos = self.current.position
+            right = self._require_int(self.parse_unary(), right_pos)
+            left_int = self._require_int(left, position)
+            left = self._make_scale(left_int, right, position)
+        return left
+
+    def _make_scale(self, left: IntExpr, right: IntExpr, position: int) -> IntExpr:
+        # Linearity: one multiplicand must be a (possibly negated) constant.
+        left_const = _constant_of(left)
+        right_const = _constant_of(right)
+        if left_const is not None:
+            return Scale(left_const, right)
+        if right_const is not None:
+            return Scale(right_const, left)
+        raise ParseError(
+            "non-linear multiplication: one side of '*' must be a constant",
+            position,
+        )
+
+    def parse_unary(self) -> Expr:
+        if self.accept("MINUS"):
+            position = self.current.position
+            return Neg(self._require_int(self.parse_unary(), position))
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.current
+        if self.accept("INT"):
+            return Lit(int(token.text))
+        if self.accept("IDENT"):
+            return Var(token.text)
+        if self.accept("TRUE"):
+            return BoolLit(True)
+        if self.accept("FALSE"):
+            return BoolLit(False)
+        if self.accept("ABS"):
+            self.expect("LPAREN")
+            position = self.current.position
+            arg = self._require_int(self.parse_expr(), position)
+            self.expect("RPAREN")
+            return Abs(arg)
+        if token.kind in ("MIN", "MAX"):
+            self.advance()
+            ctor = Min if token.kind == "MIN" else Max
+            self.expect("LPAREN")
+            pos_a = self.current.position
+            a = self._require_int(self.parse_expr(), pos_a)
+            self.expect("COMMA")
+            pos_b = self.current.position
+            b = self._require_int(self.parse_expr(), pos_b)
+            self.expect("RPAREN")
+            return ctor(a, b)
+        if self.accept("IF"):
+            # Branches parse at arithmetic level: a trailing comparison
+            # after ``else`` applies to the whole conditional, so
+            # ``if c then a else b <= 5`` reads ``(if c then a else b) <= 5``.
+            pos_c = self.current.position
+            cond = self._require_bool(self.parse_expr(), pos_c)
+            self.expect("THEN")
+            pos_t = self.current.position
+            then_branch = self._require_int(self.parse_arith(), pos_t)
+            self.expect("ELSE")
+            pos_e = self.current.position
+            else_branch = self._require_int(self.parse_arith(), pos_e)
+            return IntIte(cond, then_branch, else_branch)
+        if self.accept("LPAREN"):
+            inner = self.parse_expr()
+            self.expect("RPAREN")
+            return inner
+        raise ParseError(
+            f"unexpected token {token.kind} ({token.text!r})", token.position
+        )
+
+
+def _constant_of(expr: IntExpr) -> int | None:
+    """The integer value of a literal/negated-literal expression, if any."""
+    if isinstance(expr, Lit):
+        return expr.value
+    if isinstance(expr, Neg) and isinstance(expr.arg, Lit):
+        return -expr.arg.value
+    return None
+
+
+def parse(source: str) -> Expr:
+    """Parse a full expression (integer- or boolean-valued)."""
+    parser = _Parser(source)
+    expr = parser.parse_expr()
+    if parser.current.kind != "EOF":
+        raise ParseError(
+            f"trailing input starting with {parser.current.text!r}",
+            parser.current.position,
+        )
+    return expr
+
+
+def parse_bool(source: str) -> BoolExpr:
+    """Parse a boolean query; the section 5.1 entry point."""
+    expr = parse(source)
+    if not isinstance(expr, BoolExpr):
+        raise ParseError("expected a boolean query, got an integer expression", 0)
+    return expr
+
+
+def parse_int(source: str) -> IntExpr:
+    """Parse an integer expression."""
+    expr = parse(source)
+    if not isinstance(expr, IntExpr):
+        raise ParseError("expected an integer expression, got a boolean", 0)
+    return expr

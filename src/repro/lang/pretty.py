@@ -1,0 +1,131 @@
+"""Pretty-printer for the query language.
+
+Produces the concrete text syntax accepted by :mod:`repro.lang.parser`;
+``parse_bool(pretty(e))`` is structurally equal to ``fold_constants``-stable
+expressions, which the round-trip property tests rely on.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    Abs,
+    Add,
+    And,
+    BoolLit,
+    Cmp,
+    Expr,
+    Iff,
+    Implies,
+    InSet,
+    IntIte,
+    Lit,
+    Max,
+    Min,
+    Neg,
+    Not,
+    Or,
+    Scale,
+    Sub,
+    Var,
+)
+
+__all__ = ["pretty"]
+
+# Precedence levels, loosest binding first.  Used to insert the minimal
+# parentheses needed for an unambiguous reparse.
+_PREC_IFF = 1
+_PREC_IMPLIES = 2
+_PREC_OR = 3
+_PREC_AND = 4
+_PREC_NOT = 5
+_PREC_CMP = 6
+_PREC_ADD = 7
+_PREC_MUL = 8
+_PREC_UNARY = 9
+_PREC_ATOM = 10
+
+
+def pretty(expr: Expr) -> str:
+    """Render an expression in the concrete query syntax."""
+    text, _prec = _render(expr)
+    return text
+
+
+def _parens(text: str, prec: int, context: int) -> str:
+    return f"({text})" if prec < context else text
+
+
+def _child(expr: Expr, context: int) -> str:
+    text, prec = _render(expr)
+    return _parens(text, prec, context)
+
+
+def _render(expr: Expr) -> tuple[str, int]:
+    match expr:
+        case Lit(value):
+            # Negative literals render via unary minus so the lexer stays
+            # sign-free.
+            if value < 0:
+                return f"-{-value}", _PREC_UNARY
+            return str(value), _PREC_ATOM
+        case Var(name):
+            return name, _PREC_ATOM
+        case Add(left, right):
+            return (
+                f"{_child(left, _PREC_ADD)} + {_child(right, _PREC_ADD + 1)}",
+                _PREC_ADD,
+            )
+        case Sub(left, right):
+            return (
+                f"{_child(left, _PREC_ADD)} - {_child(right, _PREC_ADD + 1)}",
+                _PREC_ADD,
+            )
+        case Neg(arg):
+            return f"-{_child(arg, _PREC_UNARY)}", _PREC_UNARY
+        case Scale(coeff, arg):
+            return f"{coeff} * {_child(arg, _PREC_MUL)}", _PREC_MUL
+        case Abs(arg):
+            return f"abs({pretty(arg)})", _PREC_ATOM
+        case Min(left, right):
+            return f"min({pretty(left)}, {pretty(right)})", _PREC_ATOM
+        case Max(left, right):
+            return f"max({pretty(left)}, {pretty(right)})", _PREC_ATOM
+        case IntIte(cond, then_branch, else_branch):
+            # Precedence 0: parenthesized whenever nested, since the
+            # else-branch would otherwise capture surrounding operators.
+            return (
+                f"if {pretty(cond)} then {_child(then_branch, _PREC_ADD)} "
+                f"else {_child(else_branch, _PREC_ADD)}",
+                0,
+            )
+        case BoolLit(value):
+            return ("true" if value else "false"), _PREC_ATOM
+        case Cmp(op, left, right):
+            return (
+                f"{_child(left, _PREC_ADD)} {op.value} {_child(right, _PREC_ADD)}",
+                _PREC_CMP,
+            )
+        case And(args):
+            parts = " and ".join(_child(arg, _PREC_AND) for arg in args)
+            return parts, _PREC_AND
+        case Or(args):
+            parts = " or ".join(_child(arg, _PREC_OR) for arg in args)
+            return parts, _PREC_OR
+        case Not(arg):
+            return f"not {_child(arg, _PREC_NOT)}", _PREC_NOT
+        case Implies(antecedent, consequent):
+            return (
+                f"{_child(antecedent, _PREC_IMPLIES + 1)} => "
+                f"{_child(consequent, _PREC_IMPLIES)}",
+                _PREC_IMPLIES,
+            )
+        case Iff(left, right):
+            return (
+                f"{_child(left, _PREC_IFF + 1)} <=> {_child(right, _PREC_IFF + 1)}",
+                _PREC_IFF,
+            )
+        case InSet(arg, values):
+            members = ", ".join(str(v) for v in sorted(values))
+            return f"{_child(arg, _PREC_ADD)} in {{{members}}}", _PREC_CMP
+        case _:
+            raise TypeError(f"unknown AST node: {expr!r}")

@@ -1,0 +1,149 @@
+"""Secret type declarations.
+
+The paper models secrets as products of bounded integers (``UserLoc`` with
+``x`` and ``y`` coordinates, a user profile with birth year and education
+level, ...).  A :class:`SecretSpec` declares the field names and the global
+bounds of each field — the "top" knowledge an attacker starts from.
+
+Booleans and enums are encoded as small integer ranges, exactly as the paper
+suggests (section 4.3: "types that can be encoded to integers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.lang.ast import Var
+
+__all__ = ["FieldSpec", "SecretSpec", "SecretValue"]
+
+SecretValue = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """A single integer field of a secret with its global bounds."""
+
+    name: str
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(
+                f"field {self.name!r}: empty range [{self.lo}, {self.hi}]"
+            )
+
+    @property
+    def width(self) -> int:
+        """Number of values the field can take."""
+        return self.hi - self.lo + 1
+
+    def contains(self, value: int) -> bool:
+        """Whether ``value`` is inside the declared bounds."""
+        return self.lo <= value <= self.hi
+
+
+@dataclass(frozen=True)
+class SecretSpec:
+    """A product-of-bounded-integers secret type.
+
+    Example
+    -------
+    >>> user_loc = SecretSpec.declare("UserLoc", x=(0, 399), y=(0, 399))
+    >>> user_loc.space_size()
+    160000
+    """
+
+    name: str
+    fields: tuple[FieldSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in {self.name!r}: {names}")
+        if not self.fields:
+            raise ValueError("a secret needs at least one field")
+
+    @classmethod
+    def declare(cls, name: str, **bounds: tuple[int, int]) -> "SecretSpec":
+        """Declare a secret type from ``field=(lo, hi)`` keyword bounds."""
+        specs = tuple(FieldSpec(fname, lo, hi) for fname, (lo, hi) in bounds.items())
+        return cls(name, specs)
+
+    # -- structure -------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of integer fields."""
+        return len(self.fields)
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        """Field names in declaration order."""
+        return tuple(f.name for f in self.fields)
+
+    def field(self, name: str) -> FieldSpec:
+        """Look up a field by name."""
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(f"{self.name!r} has no field {name!r}")
+
+    def vars(self) -> tuple[Var, ...]:
+        """AST variables for each field, in declaration order."""
+        return tuple(Var(f.name) for f in self.fields)
+
+    def bounds(self) -> tuple[tuple[int, int], ...]:
+        """Per-field ``(lo, hi)`` bounds in declaration order."""
+        return tuple((f.lo, f.hi) for f in self.fields)
+
+    # -- value handling ---------------------------------------------------
+    def space_size(self) -> int:
+        """Total number of possible secrets (the size of ⊤)."""
+        size = 1
+        for f in self.fields:
+            size *= f.width
+        return size
+
+    def to_env(self, value: SecretValue | Mapping[str, int]) -> dict[str, int]:
+        """Convert a secret tuple (or mapping) to an evaluation environment."""
+        if isinstance(value, Mapping):
+            env = {f.name: int(value[f.name]) for f in self.fields}
+        else:
+            if len(value) != self.arity:
+                raise ValueError(
+                    f"{self.name} expects {self.arity} fields, got {len(value)}"
+                )
+            env = {f.name: int(v) for f, v in zip(self.fields, value)}
+        return env
+
+    def validate_value(self, value: SecretValue) -> SecretValue:
+        """Check a secret tuple against the declared bounds."""
+        env = self.to_env(value)
+        for f in self.fields:
+            if not f.contains(env[f.name]):
+                raise ValueError(
+                    f"{self.name}.{f.name}={env[f.name]} outside "
+                    f"[{f.lo}, {f.hi}]"
+                )
+        return tuple(env[f.name] for f in self.fields)
+
+    def iter_space(self) -> Iterator[SecretValue]:
+        """Enumerate every secret (use only for tiny spaces/tests)."""
+        def rec(index: int, prefix: tuple[int, ...]) -> Iterator[SecretValue]:
+            if index == self.arity:
+                yield prefix
+                return
+            f = self.fields[index]
+            for value in range(f.lo, f.hi + 1):
+                yield from rec(index + 1, prefix + (value,))
+
+        yield from rec(0, ())
+
+    def make(self, **field_values: int) -> SecretValue:
+        """Build a secret tuple from named field values."""
+        missing = set(self.field_names) - set(field_values)
+        if missing:
+            raise ValueError(f"missing fields: {sorted(missing)}")
+        return self.validate_value(tuple(field_values[n] for n in self.field_names))

@@ -1,0 +1,68 @@
+"""Three-valued (Kleene) logic used by the abstract evaluator.
+
+Abstract evaluation of a query over a box of secrets cannot always decide
+the query: some points in the box may satisfy it and others may not.  The
+result is therefore a :class:`Ternary` — ``TRUE`` (all points satisfy),
+``FALSE`` (no point satisfies) or ``UNKNOWN`` (mixed / undecided).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Ternary", "TRUE", "FALSE", "UNKNOWN", "from_bool"]
+
+
+class Ternary(enum.Enum):
+    """Kleene three-valued truth value."""
+
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+    def negate(self) -> "Ternary":
+        """Kleene negation: swaps TRUE/FALSE, preserves UNKNOWN."""
+        if self is Ternary.TRUE:
+            return Ternary.FALSE
+        if self is Ternary.FALSE:
+            return Ternary.TRUE
+        return Ternary.UNKNOWN
+
+    def conj(self, other: "Ternary") -> "Ternary":
+        """Kleene conjunction (FALSE dominates)."""
+        if self is Ternary.FALSE or other is Ternary.FALSE:
+            return Ternary.FALSE
+        if self is Ternary.TRUE and other is Ternary.TRUE:
+            return Ternary.TRUE
+        return Ternary.UNKNOWN
+
+    def disj(self, other: "Ternary") -> "Ternary":
+        """Kleene disjunction (TRUE dominates)."""
+        if self is Ternary.TRUE or other is Ternary.TRUE:
+            return Ternary.TRUE
+        if self is Ternary.FALSE and other is Ternary.FALSE:
+            return Ternary.FALSE
+        return Ternary.UNKNOWN
+
+    @property
+    def decided(self) -> bool:
+        """Whether this value is TRUE or FALSE (not UNKNOWN)."""
+        return self is not Ternary.UNKNOWN
+
+    def as_bool(self) -> bool:
+        """Convert a decided value to ``bool``; raises on UNKNOWN."""
+        if self is Ternary.TRUE:
+            return True
+        if self is Ternary.FALSE:
+            return False
+        raise ValueError("cannot convert UNKNOWN to bool")
+
+
+TRUE = Ternary.TRUE
+FALSE = Ternary.FALSE
+UNKNOWN = Ternary.UNKNOWN
+
+
+def from_bool(value: bool) -> Ternary:
+    """Lift a concrete boolean into the three-valued lattice."""
+    return Ternary.TRUE if value else Ternary.FALSE

@@ -1,0 +1,242 @@
+"""Generic AST traversals: free variables, substitution, NNF, folding.
+
+These are the reusable "compiler middle-end" pieces: the synthesizer
+substitutes concrete bounds into sketches, the solver pushes negations to
+the leaves before splitting, and everything asks for free variables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.lang.ast import (
+    Abs,
+    Add,
+    And,
+    BoolExpr,
+    BoolLit,
+    Cmp,
+    Expr,
+    Iff,
+    Implies,
+    InSet,
+    IntExpr,
+    IntIte,
+    Lit,
+    Max,
+    Min,
+    Neg,
+    Not,
+    Or,
+    Scale,
+    Sub,
+    Var,
+)
+
+__all__ = [
+    "free_vars",
+    "substitute",
+    "map_expr",
+    "nnf",
+    "fold_constants",
+    "conjoin",
+    "disjoin",
+]
+
+
+def free_vars(expr: Expr) -> frozenset[str]:
+    """The set of variable names occurring in ``expr``."""
+    if isinstance(expr, Var):
+        return frozenset((expr.name,))
+    result: frozenset[str] = frozenset()
+    for child in expr.children():
+        result |= free_vars(child)
+    return result
+
+
+def map_expr(expr: Expr, fn: Callable[[Expr], Expr | None]) -> Expr:
+    """Rebuild ``expr`` bottom-up, letting ``fn`` replace any node.
+
+    ``fn`` is called on each node *after* its children have been rewritten;
+    returning ``None`` keeps the rebuilt node.
+    """
+    rebuilt = _rebuild(expr, fn)
+    replacement = fn(rebuilt)
+    return rebuilt if replacement is None else replacement
+
+
+def _rebuild(expr: Expr, fn: Callable[[Expr], Expr | None]) -> Expr:
+    match expr:
+        case Lit() | Var() | BoolLit():
+            return expr
+        case Add(left, right):
+            return Add(map_expr(left, fn), map_expr(right, fn))
+        case Sub(left, right):
+            return Sub(map_expr(left, fn), map_expr(right, fn))
+        case Neg(arg):
+            return Neg(map_expr(arg, fn))
+        case Scale(coeff, arg):
+            return Scale(coeff, map_expr(arg, fn))
+        case Abs(arg):
+            return Abs(map_expr(arg, fn))
+        case Min(left, right):
+            return Min(map_expr(left, fn), map_expr(right, fn))
+        case Max(left, right):
+            return Max(map_expr(left, fn), map_expr(right, fn))
+        case IntIte(cond, then_branch, else_branch):
+            return IntIte(
+                map_expr(cond, fn), map_expr(then_branch, fn), map_expr(else_branch, fn)
+            )
+        case Cmp(op, left, right):
+            return Cmp(op, map_expr(left, fn), map_expr(right, fn))
+        case And(args):
+            return And(tuple(map_expr(arg, fn) for arg in args))
+        case Or(args):
+            return Or(tuple(map_expr(arg, fn) for arg in args))
+        case Not(arg):
+            return Not(map_expr(arg, fn))
+        case Implies(antecedent, consequent):
+            return Implies(map_expr(antecedent, fn), map_expr(consequent, fn))
+        case Iff(left, right):
+            return Iff(map_expr(left, fn), map_expr(right, fn))
+        case InSet(arg, values):
+            return InSet(map_expr(arg, fn), values)
+        case _:
+            raise TypeError(f"unknown AST node: {expr!r}")
+
+
+def substitute(expr: Expr, bindings: Mapping[str, IntExpr | int]) -> Expr:
+    """Replace free variables by integer expressions (or constants)."""
+
+    def replace(node: Expr) -> Expr | None:
+        if isinstance(node, Var) and node.name in bindings:
+            value = bindings[node.name]
+            return Lit(value) if isinstance(value, int) else value
+        return None
+
+    return map_expr(expr, replace)
+
+
+def nnf(expr: BoolExpr) -> BoolExpr:
+    """Negation normal form: negations pushed to comparison atoms.
+
+    ``Implies``/``Iff`` are eliminated; ``Not`` survives only directly above
+    ``InSet`` atoms (the solver treats negated membership natively).
+    """
+    return _nnf(expr, negate=False)
+
+
+def _nnf(expr: BoolExpr, negate: bool) -> BoolExpr:
+    match expr:
+        case BoolLit(value):
+            return BoolLit(value != negate)
+        case Cmp(op, left, right):
+            return Cmp(op.negate(), left, right) if negate else expr
+        case InSet():
+            return Not(expr) if negate else expr
+        case Not(arg):
+            return _nnf(arg, not negate)
+        case And(args):
+            parts = tuple(_nnf(arg, negate) for arg in args)
+            return Or(parts) if negate else And(parts)
+        case Or(args):
+            parts = tuple(_nnf(arg, negate) for arg in args)
+            return And(parts) if negate else Or(parts)
+        case Implies(antecedent, consequent):
+            return _nnf(Or((Not(antecedent), consequent)), negate)
+        case Iff(left, right):
+            both = And((left, right))
+            neither = And((Not(left), Not(right)))
+            return _nnf(Or((both, neither)), negate)
+        case _:
+            raise TypeError(f"not a boolean expression: {expr!r}")
+
+
+def conjoin(parts) -> BoolExpr:
+    """N-ary conjunction that flattens and drops trivial literals."""
+    flat: list[BoolExpr] = []
+    for part in parts:
+        if isinstance(part, BoolLit):
+            if not part.value:
+                return BoolLit(False)
+            continue
+        if isinstance(part, And):
+            flat.extend(part.args)
+        else:
+            flat.append(part)
+    if not flat:
+        return BoolLit(True)
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disjoin(parts) -> BoolExpr:
+    """N-ary disjunction that flattens and drops trivial literals."""
+    flat: list[BoolExpr] = []
+    for part in parts:
+        if isinstance(part, BoolLit):
+            if part.value:
+                return BoolLit(True)
+            continue
+        if isinstance(part, Or):
+            flat.extend(part.args)
+        else:
+            flat.append(part)
+    if not flat:
+        return BoolLit(False)
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def fold_constants(expr: Expr) -> Expr:
+    """Constant-fold an expression bottom-up.
+
+    Performs the usual algebraic folds (literal arithmetic, ``x*0``,
+    ``and``/``or`` unit and absorbing elements, decided comparisons of
+    literals).  The result is semantically equal to the input.
+    """
+
+    def fold(node: Expr) -> Expr | None:
+        match node:
+            case Add(Lit(a), Lit(b)):
+                return Lit(a + b)
+            case Sub(Lit(a), Lit(b)):
+                return Lit(a - b)
+            case Neg(Lit(a)):
+                return Lit(-a)
+            case Scale(coeff, Lit(a)):
+                return Lit(coeff * a)
+            case Scale(0, _):
+                return Lit(0)
+            case Scale(1, arg):
+                return arg
+            case Abs(Lit(a)):
+                return Lit(abs(a))
+            case Min(Lit(a), Lit(b)):
+                return Lit(min(a, b))
+            case Max(Lit(a), Lit(b)):
+                return Lit(max(a, b))
+            case IntIte(BoolLit(c), then_branch, else_branch):
+                return then_branch if c else else_branch
+            case Cmp(op, Lit(a), Lit(b)):
+                return BoolLit(op.holds(a, b))
+            case InSet(Lit(a), values):
+                return BoolLit(a in values)
+            case Not(BoolLit(b)):
+                return BoolLit(not b)
+            case And(args):
+                return conjoin(args)
+            case Or(args):
+                return disjoin(args)
+            case Implies(BoolLit(a), consequent):
+                return consequent if a else BoolLit(True)
+            case Implies(_, BoolLit(True)):
+                return BoolLit(True)
+            case Iff(BoolLit(a), right):
+                return right if a else fold_constants(Not(right))
+            case _:
+                return None
+
+    return map_expr(expr, fold)

@@ -1,0 +1,110 @@
+"""The section 5.1 query-language validator.
+
+ANOSY rejects queries outside the fragment it can synthesize for: boolean
+functions over one secret, built from *linear* integer arithmetic and
+boolean connectives, with no recursion.  In this Python rendition queries
+are ASTs, so "no recursion" is structural (ASTs are finite trees) and
+linearity is enforced by construction (``Scale`` only takes constant
+coefficients).  What remains to check:
+
+* the query is boolean-valued (an :class:`~repro.lang.ast.BoolExpr`),
+* every free variable is a declared field of the secret type,
+* literals and set members are plain machine integers (sanity bound),
+* the expression stays within a depth/size budget (guards the solver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import BoolExpr, Expr, InSet, Lit
+from repro.lang.secrets import SecretSpec
+from repro.lang.transform import free_vars
+
+__all__ = ["QueryValidationError", "ValidationReport", "validate_query"]
+
+#: Default cap on AST size; queries in the paper's fragment are tiny.
+MAX_NODES = 50_000
+
+#: Literal magnitude guard: the solver does exact integer arithmetic, but a
+#: query mentioning 10**30 is almost certainly a bug in the caller.
+MAX_LITERAL = 10**15
+
+
+class QueryValidationError(Exception):
+    """The query is outside the fragment ANOSY supports (section 5.1)."""
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Summary returned by :func:`validate_query` on success."""
+
+    node_count: int
+    variables: frozenset[str]
+    literal_count: int
+    set_atom_count: int
+
+
+def validate_query(
+    query: Expr, secret: SecretSpec, *, max_nodes: int = MAX_NODES
+) -> ValidationReport:
+    """Check that ``query`` is admissible for ``secret``.
+
+    Returns a :class:`ValidationReport`; raises
+    :class:`QueryValidationError` otherwise.
+    """
+    if not isinstance(query, BoolExpr):
+        raise QueryValidationError(
+            f"queries must be boolean-valued, got {type(query).__name__}"
+        )
+
+    node_count = query.node_count()
+    if node_count > max_nodes:
+        raise QueryValidationError(
+            f"query too large: {node_count} nodes (limit {max_nodes})"
+        )
+
+    variables = free_vars(query)
+    declared = set(secret.field_names)
+    undeclared = variables - declared
+    if undeclared:
+        raise QueryValidationError(
+            f"query mentions fields {sorted(undeclared)} not declared by "
+            f"secret type {secret.name!r} (fields: {sorted(declared)})"
+        )
+
+    literal_count = 0
+    set_atom_count = 0
+    for node in _walk(query):
+        if isinstance(node, Lit):
+            literal_count += 1
+            if abs(node.value) > MAX_LITERAL:
+                raise QueryValidationError(
+                    f"literal {node.value} exceeds the magnitude guard "
+                    f"({MAX_LITERAL})"
+                )
+        elif isinstance(node, InSet):
+            set_atom_count += 1
+            if not node.values:
+                # An empty membership test is just False; permitted, but it
+                # is almost always a caller bug, so flag it loudly.
+                raise QueryValidationError(
+                    "membership test against an empty set (always false)"
+                )
+            if any(abs(v) > MAX_LITERAL for v in node.values):
+                raise QueryValidationError(
+                    "set member exceeds the magnitude guard"
+                )
+
+    return ValidationReport(
+        node_count=node_count,
+        variables=variables,
+        literal_count=literal_count,
+        set_atom_count=set_atom_count,
+    )
+
+
+def _walk(expr: Expr):
+    yield expr
+    for child in expr.children():
+        yield from _walk(child)

@@ -1,0 +1,52 @@
+"""Bounded downgrade on an IFC substrate.
+
+``AnosyT`` (paper section 3) staged on a mini-LIO secure runtime, with
+quantitative policies and labeled/protected values.
+"""
+
+from repro.monad.dynamic import DynamicAnosy, PolicySwitch
+from repro.monad.anosy import (
+    AnosyT,
+    DowngradeDecision,
+    DowngradeRecord,
+    PolicyViolation,
+    UnknownQuery,
+)
+from repro.monad.labels import PUBLIC, SECRET, Label, Level, ReaderSet, level_chain
+from repro.monad.policy import (
+    QuantitativePolicy,
+    all_of,
+    any_of,
+    check_monotone_on,
+    size_above,
+    size_at_least,
+)
+from repro.monad.protected import ProtectedSecret, Unprotectable
+from repro.monad.secure import IFCViolation, Labeled, SecureRuntime
+
+__all__ = [
+    "DynamicAnosy",
+    "PolicySwitch",
+    "AnosyT",
+    "DowngradeDecision",
+    "DowngradeRecord",
+    "PolicyViolation",
+    "UnknownQuery",
+    "PUBLIC",
+    "SECRET",
+    "Label",
+    "Level",
+    "ReaderSet",
+    "level_chain",
+    "QuantitativePolicy",
+    "all_of",
+    "any_of",
+    "check_monotone_on",
+    "size_above",
+    "size_at_least",
+    "ProtectedSecret",
+    "Unprotectable",
+    "IFCViolation",
+    "Labeled",
+    "SecureRuntime",
+]

@@ -1,0 +1,223 @@
+"""``AnosyT``: the bounded-downgrade monad transformer (paper section 3).
+
+``AnosyT`` wraps an underlying secure runtime (the mini-LIO of
+:mod:`repro.monad.secure`) with the state of Figure 2:
+
+* the quantitative ``policy``,
+* the ``secrets`` map from secret values to their current (approximated)
+  attacker knowledge,
+* the ``queries`` registry mapping names to compiled ``QInfo``.
+
+``downgrade`` follows Figure 2 line by line: look the query up by name
+(error if missing), compute *both* posteriors from the prior, check the
+policy on both **before** evaluating the query on the secret (so the
+accept/reject decision is independent of the secret — section 3 stresses
+this prevents the decision itself from leaking), then run the query, keep
+the posterior matching the response, and return the response.
+
+Because posteriors are under-approximations ``P_i ⊆ K_i`` of the true
+attacker knowledge (the induction sketched in section 3), any monotone
+policy accepted on ``P_i`` also holds for ``K_i`` — enforcement is sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.lang.secrets import SecretValue
+from repro.domains.base import AbstractDomain
+from repro.domains.box import IntervalDomain
+from repro.domains.powerset import PowersetDomain
+from repro.core.plugin import QueryRegistry
+from repro.core.qinfo import QInfo
+from repro.monad.policy import QuantitativePolicy
+from repro.monad.protected import Unprotectable
+from repro.monad.secure import SecureRuntime
+
+__all__ = [
+    "PolicyViolation",
+    "UnknownQuery",
+    "DowngradeRecord",
+    "DowngradeDecision",
+    "AnosyT",
+]
+
+T = TypeVar("T")
+
+
+class PolicyViolation(Exception):
+    """The posterior knowledge would violate the quantitative policy."""
+
+
+class UnknownQuery(Exception):
+    """The query string was never compiled (the "Can't downgrade" error)."""
+
+
+@dataclass(frozen=True)
+class DowngradeRecord:
+    """One entry of the downgrade audit trail."""
+
+    query_name: str
+    authorized: bool
+    response: bool | None
+    prior_size: int
+    posterior_size: int | None
+
+
+@dataclass(frozen=True)
+class DowngradeDecision:
+    """Outcome of :meth:`AnosyT.try_downgrade` (no exception flow)."""
+
+    authorized: bool
+    response: bool | None
+    reason: str
+
+
+@dataclass
+class AnosyT:
+    """The AnosyT state monad transformer, staged on a secure runtime.
+
+    ``mode`` selects which approximation drives enforcement (the paper
+    uses ``"under"``; ``"over"`` tracking is also implemented and kept in
+    a parallel map when ``track_over`` is set, mirroring the paper's
+    remark that over-approximations are traced but not yet used for
+    enforcement).
+    """
+
+    runtime: SecureRuntime
+    policy: QuantitativePolicy
+    registry: QueryRegistry
+    mode: str = "under"
+    #: Check the policy on BOTH posteriors before running the query (the
+    #: section 3 discipline: the authorization decision is then independent
+    #: of the secret).  With ``check_both=False`` only the posterior of the
+    #: actual response is checked — the authorization decision itself may
+    #: then leak one bit, but this mode reproduces the magnitudes of the
+    #: paper's Figure 6 evaluation (see EXPERIMENTS.md).
+    check_both: bool = True
+    track_over: bool = False
+    secrets: dict[tuple[str, SecretValue], AbstractDomain] = field(default_factory=dict)
+    over_knowledge: dict[tuple[str, SecretValue], AbstractDomain] = field(
+        default_factory=dict
+    )
+    history: list[DowngradeRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("under", "over"):
+            raise ValueError(f"mode must be 'under' or 'over', got {self.mode!r}")
+
+    # -- monad-transformer surface -----------------------------------------
+    def lift(self, computation: Callable[[SecureRuntime], T]) -> T:
+        """Run a computation of the underlying secure monad."""
+        return computation(self.runtime)
+
+    # -- knowledge bookkeeping ----------------------------------------------
+    def _key(self, protected: Unprotectable) -> tuple[str, SecretValue]:
+        return (protected.spec.name, protected.unprotect_tcb())
+
+    def _top_for(self, qinfo: QInfo) -> AbstractDomain:
+        indset = qinfo.under_indset or qinfo.over_indset
+        assert indset is not None
+        domain_type = (
+            PowersetDomain if isinstance(indset[0], PowersetDomain) else IntervalDomain
+        )
+        return domain_type.top(qinfo.secret)
+
+    def knowledge_of(self, protected: Unprotectable) -> AbstractDomain | None:
+        """The currently tracked knowledge for a secret (None = no prior)."""
+        return self.secrets.get(self._key(protected))
+
+    # -- the bounded downgrade ------------------------------------------------
+    def downgrade(self, protected: Unprotectable, query_name: str) -> bool:
+        """Figure 2's ``downgrade``; raises on violation or unknown query."""
+        decision = self.try_downgrade(protected, query_name)
+        if not decision.authorized:
+            if decision.reason.startswith("Can't downgrade"):
+                raise UnknownQuery(decision.reason)
+            raise PolicyViolation(decision.reason)
+        assert decision.response is not None
+        return decision.response
+
+    def try_downgrade(
+        self, protected: Unprotectable, query_name: str
+    ) -> DowngradeDecision:
+        """Non-raising variant returning the authorization decision."""
+        compiled = self.registry.lookup(query_name)
+        if compiled is None:
+            return DowngradeDecision(
+                authorized=False,
+                response=None,
+                reason=f"Can't downgrade {query_name}",
+            )
+        qinfo = compiled.qinfo
+        if qinfo.secret != protected.spec:
+            return DowngradeDecision(
+                authorized=False,
+                response=None,
+                reason=(
+                    f"query {query_name!r} is over {qinfo.secret.name!r}, "
+                    f"secret is {protected.spec.name!r}"
+                ),
+            )
+
+        key = self._key(protected)
+        prior = self.secrets.get(key) or self._top_for(qinfo)
+        post_true, post_false = qinfo.approx(prior, mode=self.mode)
+
+        if self.check_both:
+            # The policy must pass on BOTH posteriors before the query
+            # runs: the authorization decision is then independent of the
+            # secret (the section 3 discipline).
+            ok = self.policy(post_true) and self.policy(post_false)
+            response: bool | None = None
+        else:
+            # Evaluation-faithful mode: run the query, then check only the
+            # posterior of the observed response (see EXPERIMENTS.md).
+            response = qinfo.run(protected.unprotect_tcb())
+            ok = self.policy(post_true if response else post_false)
+        if not ok:
+            self.history.append(
+                DowngradeRecord(
+                    query_name=query_name,
+                    authorized=False,
+                    response=None,
+                    prior_size=prior.size(),
+                    posterior_size=None,
+                )
+            )
+            return DowngradeDecision(
+                authorized=False,
+                response=None,
+                reason=(
+                    f"Policy Violation: {self.policy.name} fails on a "
+                    f"posterior of {query_name!r}"
+                ),
+            )
+
+        # Inside the TCB: observe the secret and run the query.
+        if response is None:
+            response = qinfo.run(protected.unprotect_tcb())
+        posterior = post_true if response else post_false
+        self.secrets[key] = posterior
+
+        if self.track_over and qinfo.over_indset is not None:
+            over_prior = self.over_knowledge.get(key) or self._top_for(qinfo)
+            over_true, over_false = qinfo.overapprox(over_prior)
+            self.over_knowledge[key] = over_true if response else over_false
+
+        self.history.append(
+            DowngradeRecord(
+                query_name=query_name,
+                authorized=True,
+                response=response,
+                prior_size=prior.size(),
+                posterior_size=posterior.size(),
+            )
+        )
+        return DowngradeDecision(authorized=True, response=response, reason="ok")
+
+    # -- introspection ------------------------------------------------------
+    def authorized_count(self) -> int:
+        """Number of authorized downgrades so far."""
+        return sum(1 for record in self.history if record.authorized)

@@ -1,0 +1,81 @@
+"""Dynamic policy enforcement on top of ``AnosyT``.
+
+Section 8 of the paper: "dynamic security policies can be enforced by
+keeping track of attacker knowledge and comparing it with the current
+policy".  Because ``AnosyT`` already maintains a per-secret knowledge
+map, switching policies mid-execution reduces to re-checking that map
+against the incoming policy — which is what :class:`DynamicAnosy` does.
+
+A policy switch is *rejected* when some already-accumulated knowledge
+violates the new policy (the alternative — accepting the switch — would
+retroactively bless a leak the new policy forbids).  Callers who want the
+permissive behaviour can inspect the returned violations and force the
+switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.secrets import SecretValue
+from repro.monad.anosy import AnosyT, DowngradeDecision
+from repro.monad.policy import QuantitativePolicy
+from repro.monad.protected import Unprotectable
+
+__all__ = ["PolicySwitch", "DynamicAnosy"]
+
+
+@dataclass(frozen=True)
+class PolicySwitch:
+    """The outcome of attempting a policy change."""
+
+    accepted: bool
+    violations: tuple[tuple[str, SecretValue], ...]
+    policy_name: str
+
+
+@dataclass
+class DynamicAnosy:
+    """An ``AnosyT`` session whose policy can change over time."""
+
+    session: AnosyT
+    switches: list[PolicySwitch] = field(default_factory=list)
+
+    @property
+    def current_policy(self) -> QuantitativePolicy:
+        """The policy currently enforced on downgrades."""
+        return self.session.policy
+
+    def downgrade(self, protected: Unprotectable, query_name: str) -> bool:
+        """Bounded downgrade under the current policy."""
+        return self.session.downgrade(protected, query_name)
+
+    def try_downgrade(
+        self, protected: Unprotectable, query_name: str
+    ) -> DowngradeDecision:
+        """Non-raising bounded downgrade under the current policy."""
+        return self.session.try_downgrade(protected, query_name)
+
+    def switch_policy(
+        self, policy: QuantitativePolicy, *, force: bool = False
+    ) -> PolicySwitch:
+        """Install a new policy after auditing the accumulated knowledge.
+
+        Every tracked secret's knowledge is checked against the incoming
+        policy; violations abort the switch unless ``force`` is set.
+        """
+        violations = tuple(
+            key
+            for key, knowledge in self.session.secrets.items()
+            if not policy(knowledge)
+        )
+        accepted = force or not violations
+        if accepted:
+            self.session.policy = policy
+        switch = PolicySwitch(
+            accepted=accepted,
+            violations=violations,
+            policy_name=policy.name,
+        )
+        self.switches.append(switch)
+        return switch

@@ -1,0 +1,122 @@
+"""Security label lattices for the mini-LIO substrate.
+
+The paper stages ``AnosyT`` on top of an IFC monad such as LIO, which is
+parameterized by a label lattice.  Two classic lattices are provided:
+
+* :class:`Level` — a totally ordered chain (``PUBLIC ⊑ SECRET`` by
+  default, arbitrary chains via :func:`level_chain`);
+* :class:`ReaderSet` — a DC-labels-style lattice of permitted readers,
+  where data may flow to a label with *fewer* readers
+  (``L1 ⊑ L2  ⟺  readers(L2) ⊆ readers(L1)``).
+
+Both implement the :class:`Label` interface (``can_flow_to``, ``join``,
+``meet``) the runtime needs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import FrozenSet
+
+__all__ = ["Label", "Level", "PUBLIC", "SECRET", "level_chain", "ReaderSet"]
+
+
+class Label(abc.ABC):
+    """A point in a security lattice."""
+
+    @abc.abstractmethod
+    def can_flow_to(self, other: "Label") -> bool:
+        """The partial order ``self ⊑ other``."""
+
+    @abc.abstractmethod
+    def join(self, other: "Label") -> "Label":
+        """Least upper bound."""
+
+    @abc.abstractmethod
+    def meet(self, other: "Label") -> "Label":
+        """Greatest lower bound."""
+
+
+@dataclass(frozen=True, order=True)
+class Level(Label):
+    """A label in a total order, e.g. ``PUBLIC ⊑ CONFIDENTIAL ⊑ SECRET``."""
+
+    rank: int
+    name: str = ""
+
+    def can_flow_to(self, other: Label) -> bool:
+        return isinstance(other, Level) and self.rank <= other.rank
+
+    def join(self, other: Label) -> "Level":
+        if not isinstance(other, Level):
+            raise TypeError("cannot join labels from different lattices")
+        return self if self.rank >= other.rank else other
+
+    def meet(self, other: Label) -> "Level":
+        if not isinstance(other, Level):
+            raise TypeError("cannot meet labels from different lattices")
+        return self if self.rank <= other.rank else other
+
+    def __repr__(self) -> str:
+        return self.name or f"Level({self.rank})"
+
+
+PUBLIC = Level(0, "PUBLIC")
+SECRET = Level(1, "SECRET")
+
+
+def level_chain(*names: str) -> tuple[Level, ...]:
+    """A totally ordered chain of labels from low to high."""
+    return tuple(Level(rank, name) for rank, name in enumerate(names))
+
+
+@dataclass(frozen=True)
+class ReaderSet(Label):
+    """DC-labels-lite: the set of principals allowed to read the data.
+
+    ``None`` readers means "everyone" (the lattice bottom, public data).
+    Information may flow towards labels that permit *fewer* readers.
+    """
+
+    readers: FrozenSet[str] | None = None
+
+    @classmethod
+    def anyone(cls) -> "ReaderSet":
+        """The public label (anyone may read)."""
+        return cls(None)
+
+    @classmethod
+    def only(cls, *principals: str) -> "ReaderSet":
+        """Data readable only by the given principals."""
+        return cls(frozenset(principals))
+
+    def can_flow_to(self, other: Label) -> bool:
+        if not isinstance(other, ReaderSet):
+            return False
+        if self.readers is None:
+            return True  # public flows anywhere
+        if other.readers is None:
+            return False  # secrets cannot become public
+        return other.readers <= self.readers
+
+    def join(self, other: Label) -> "ReaderSet":
+        if not isinstance(other, ReaderSet):
+            raise TypeError("cannot join labels from different lattices")
+        if self.readers is None:
+            return other
+        if other.readers is None:
+            return self
+        return ReaderSet(self.readers & other.readers)
+
+    def meet(self, other: Label) -> "ReaderSet":
+        if not isinstance(other, ReaderSet):
+            raise TypeError("cannot meet labels from different lattices")
+        if self.readers is None or other.readers is None:
+            return ReaderSet(None)
+        return ReaderSet(self.readers | other.readers)
+
+    def __repr__(self) -> str:
+        if self.readers is None:
+            return "ReaderSet(anyone)"
+        return f"ReaderSet({sorted(self.readers)})"

@@ -1,0 +1,91 @@
+"""Quantitative declassification policies.
+
+A policy is a predicate on (approximated) attacker knowledge.  The paper's
+running example::
+
+    qpolicy dom = size dom > 100
+
+Policy enforcement with under-approximated knowledge is only sound for
+policies that are *monotone* in the knowledge: if a policy accepts a
+domain it must accept every superset (section 3: "the policy should be an
+increasing function in the size of the input").  The combinators here all
+produce monotone policies, and :func:`check_monotone_on` lets tests verify
+the property on concrete chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.domains.base import AbstractDomain
+
+__all__ = [
+    "QuantitativePolicy",
+    "size_above",
+    "size_at_least",
+    "all_of",
+    "any_of",
+    "check_monotone_on",
+]
+
+
+@dataclass(frozen=True)
+class QuantitativePolicy:
+    """A named predicate over knowledge domains."""
+
+    name: str
+    predicate: Callable[[AbstractDomain], bool]
+
+    def __call__(self, knowledge: AbstractDomain) -> bool:
+        return self.predicate(knowledge)
+
+    def __repr__(self) -> str:
+        return f"QuantitativePolicy({self.name})"
+
+
+def size_above(threshold: int) -> QuantitativePolicy:
+    """The paper's ``qpolicy``: knowledge must keep > ``threshold`` secrets."""
+    return QuantitativePolicy(
+        name=f"size > {threshold}",
+        predicate=lambda knowledge: knowledge.size() > threshold,
+    )
+
+
+def size_at_least(threshold: int) -> QuantitativePolicy:
+    """Knowledge must keep at least ``threshold`` possible secrets."""
+    return QuantitativePolicy(
+        name=f"size >= {threshold}",
+        predicate=lambda knowledge: knowledge.size() >= threshold,
+    )
+
+
+def all_of(*policies: QuantitativePolicy) -> QuantitativePolicy:
+    """Conjunction of policies (monotone if each conjunct is)."""
+    return QuantitativePolicy(
+        name=" and ".join(p.name for p in policies) or "true",
+        predicate=lambda knowledge: all(p(knowledge) for p in policies),
+    )
+
+
+def any_of(*policies: QuantitativePolicy) -> QuantitativePolicy:
+    """Disjunction of policies (monotone if each disjunct is)."""
+    return QuantitativePolicy(
+        name=" or ".join(p.name for p in policies) or "false",
+        predicate=lambda knowledge: any(p(knowledge) for p in policies),
+    )
+
+
+def check_monotone_on(
+    policy: QuantitativePolicy, chain: Sequence[AbstractDomain]
+) -> bool:
+    """Check monotonicity of ``policy`` along a ⊆-chain of domains.
+
+    ``chain`` must be ordered smallest-first; the policy is monotone on it
+    when acceptance never flips from True to False as knowledge grows.
+    """
+    accepted = [policy(domain) for domain in chain]
+    for smaller, larger in zip(accepted, accepted[1:]):
+        if smaller and not larger:
+            return False
+    return True

@@ -1,0 +1,58 @@
+"""``Protected`` secrets and the ``Unprotectable`` interface.
+
+Figure 2's ``downgrade`` accepts any ``protected s`` with an
+``Unprotectable`` instance (``unprotect :: p t -> t``).  Here that is a
+:class:`typing.Protocol`; :class:`ProtectedSecret` is the canonical
+implementation, wrapping a :class:`~repro.monad.secure.Labeled` secret
+tuple together with its :class:`~repro.lang.secrets.SecretSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.lang.secrets import SecretSpec, SecretValue
+from repro.monad.labels import Label, SECRET
+from repro.monad.secure import Labeled
+
+__all__ = ["Unprotectable", "ProtectedSecret"]
+
+
+@runtime_checkable
+class Unprotectable(Protocol):
+    """Anything the TCB can strip down to a raw secret tuple."""
+
+    spec: SecretSpec
+
+    def unprotect_tcb(self) -> SecretValue:
+        """TCB-only: the raw secret value."""
+        ...
+
+
+@dataclass(frozen=True)
+class ProtectedSecret:
+    """A labeled secret tuple, the usual argument to ``downgrade``."""
+
+    spec: SecretSpec
+    boxed: Labeled[SecretValue]
+
+    @classmethod
+    def seal(
+        cls, spec: SecretSpec, value: SecretValue, label: Label = SECRET
+    ) -> "ProtectedSecret":
+        """Box a validated secret value at ``label``."""
+        checked = spec.validate_value(value)
+        return cls(spec, Labeled(label, checked))
+
+    @property
+    def label(self) -> Label:
+        """The secrecy label of the boxed value."""
+        return self.boxed.label
+
+    def unprotect_tcb(self) -> SecretValue:
+        """TCB-only: the raw secret (used by ``downgrade`` after checks)."""
+        return self.boxed.value_tcb()
+
+    def __repr__(self) -> str:
+        return f"ProtectedSecret({self.spec.name}, {self.boxed.label!r})"

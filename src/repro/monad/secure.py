@@ -1,0 +1,160 @@
+"""A mini-LIO: the underlying ``Secure`` monad ANOSY is staged on.
+
+LIO (Stefan et al., Haskell 2011) enforces IFC dynamically with a
+*current label* that floats up as secrets are observed, bounded by a
+*clearance*.  This module reproduces the part of that interface ANOSY
+relies on:
+
+* :class:`Labeled` — a value boxed with its security label;
+* :class:`SecureRuntime` — the monadic context: ``label`` to box values,
+  ``unlabel`` to observe them (raising the current label), ``to_labeled``
+  to scope sensitive computations, and the TCB-only ``unlabel_tcb`` that
+  bypasses the floating check (the paper's ``unlabelTCB``, the dangerous
+  primitive ``downgrade`` wraps safely).
+
+Python cannot statically prevent code from touching ``unlabel_tcb``; as in
+LIO, the ``_tcb`` suffix marks the trusted computing base, and the
+``AnosyT`` layer is the only in-repo caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+from repro.monad.labels import Label, PUBLIC, SECRET
+
+__all__ = ["IFCViolation", "Labeled", "SecureRuntime"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class IFCViolation(Exception):
+    """An information-flow violation caught by the runtime."""
+
+
+@dataclass(frozen=True)
+class Labeled(Generic[T]):
+    """A value protected by a security label.
+
+    The payload is intentionally stored in a name-mangled attribute: any
+    access outside this module is a grep-visible TCB breach, mirroring the
+    module-abstraction guarantee of the Haskell original.
+    """
+
+    label: Label
+    _value_tcb: T
+
+    def value_tcb(self) -> T:
+        """Trusted-computing-base access: bypasses all checks."""
+        return self._value_tcb
+
+    def relabel_tcb(self, label: Label) -> "Labeled[T]":
+        """TCB-only: rewrap the payload at a different label."""
+        return Labeled(label, self._value_tcb)
+
+    def __repr__(self) -> str:
+        return f"Labeled({self.label!r}, <protected>)"
+
+
+class SecureRuntime:
+    """The LIO-style monadic context with a floating current label."""
+
+    def __init__(
+        self,
+        current: Label = PUBLIC,
+        clearance: Label = SECRET,
+    ):
+        if not current.can_flow_to(clearance):
+            raise IFCViolation(
+                f"initial label {current!r} above clearance {clearance!r}"
+            )
+        self._current = current
+        self._clearance = clearance
+
+    # -- observation of the context ---------------------------------------
+    @property
+    def current_label(self) -> Label:
+        """The context's current label (taints every observation so far)."""
+        return self._current
+
+    @property
+    def clearance(self) -> Label:
+        """The ceiling the current label may float to."""
+        return self._clearance
+
+    # -- core LIO operations -----------------------------------------------
+    def label(self, label: Label, value: T) -> Labeled[T]:
+        """Box ``value`` at ``label``; requires current ⊑ label ⊑ clearance.
+
+        The lower bound stops a tainted context from laundering what it has
+        observed into a less-secret box.
+        """
+        if not self._current.can_flow_to(label):
+            raise IFCViolation(
+                f"cannot label below the current label: {self._current!r} ⋢ "
+                f"{label!r}"
+            )
+        if not label.can_flow_to(self._clearance):
+            raise IFCViolation(
+                f"label {label!r} exceeds clearance {self._clearance!r}"
+            )
+        return Labeled(label, value)
+
+    def unlabel(self, boxed: Labeled[T]) -> T:
+        """Open a box, raising the current label to its join.
+
+        Fails when the raised label would exceed clearance — the context is
+        not allowed to observe data this secret.
+        """
+        raised = self._current.join(boxed.label)
+        if not raised.can_flow_to(self._clearance):
+            raise IFCViolation(
+                f"unlabel would raise {raised!r} above clearance "
+                f"{self._clearance!r}"
+            )
+        self._current = raised
+        return boxed.value_tcb()
+
+    def unlabel_tcb(self, boxed: Labeled[T]) -> T:
+        """The paper's ``unlabelTCB``: observe without raising the label.
+
+        This is the *downgrade* primitive — anything computed from the
+        result is no longer tracked.  Only :mod:`repro.monad.anosy` calls
+        it, and only after the quantitative policy check has passed.
+        """
+        return boxed.value_tcb()
+
+    def to_labeled(self, label: Label, thunk: Callable[[], T]) -> Labeled[T]:
+        """Run ``thunk`` in a scoped context; box its result at ``label``.
+
+        The current label is restored afterwards, so secrets observed by
+        the thunk do not taint the caller — the standard LIO pattern for
+        computing over secrets without floating the whole program up.
+        """
+        saved = self._current
+        try:
+            result = thunk()
+            inner = self._current
+        finally:
+            self._current = saved
+        if not inner.can_flow_to(label):
+            raise IFCViolation(
+                f"toLabeled result tainted at {inner!r}, cannot box at {label!r}"
+            )
+        if not label.can_flow_to(self._clearance):
+            raise IFCViolation(
+                f"label {label!r} exceeds clearance {self._clearance!r}"
+            )
+        return Labeled(label, result)
+
+    def taint(self, label: Label) -> None:
+        """Raise the current label (observing an implicit flow)."""
+        raised = self._current.join(label)
+        if not raised.can_flow_to(self._clearance):
+            raise IFCViolation(
+                f"taint would raise {raised!r} above clearance "
+                f"{self._clearance!r}"
+            )
+        self._current = raised

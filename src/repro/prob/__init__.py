@@ -1,0 +1,22 @@
+"""Probabilistic beliefs and policies (the paper's section 8 extension).
+
+Exact Bayesian semantics over uniform priors by symbolic conditioning +
+model counting, and the bridge from vulnerability thresholds to ANOSY's
+set-based quantitative policies.
+"""
+
+from repro.prob.belief import ConditionedBelief
+from repro.prob.policies import (
+    BeliefPolicy,
+    knowledge_policy_for_vulnerability,
+    probability_below,
+    vulnerability_below,
+)
+
+__all__ = [
+    "ConditionedBelief",
+    "BeliefPolicy",
+    "knowledge_policy_for_vulnerability",
+    "probability_below",
+    "vulnerability_below",
+]

@@ -1,0 +1,95 @@
+"""Attacker beliefs: knowledge equipped with a probability distribution.
+
+The paper's conclusion (section 8) points out that "enforcing
+probabilistic policies requires combining knowledge, computed by Anosy,
+with a probability distribution [Mardziel et al.]".  This module supplies
+that combination for the uniform case, which is exactly the belief model
+of the paper's benchmarks (secrets drawn uniformly from their bounds):
+
+* a :class:`ConditionedBelief` is a uniform prior over the secret space
+  conditioned on a list of observed query responses;
+* conditioning is *symbolic* — the belief stores the observation formulas
+  and answers probability queries by exact model counting, so every
+  probability is an exact :class:`fractions.Fraction`, not a float
+  estimate.
+
+This gives the exact Bayesian semantics that ANOSY's set-based knowledge
+approximates; the tests use it as ground truth for the monad layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.lang.ast import BoolExpr, Not
+from repro.lang.secrets import SecretSpec, SecretValue
+from repro.lang.transform import conjoin, nnf
+from repro.solver.boxes import Box
+from repro.solver.decide import count_models
+
+__all__ = ["ConditionedBelief"]
+
+
+@dataclass(frozen=True)
+class ConditionedBelief:
+    """A uniform belief over ``secret`` conditioned on observations.
+
+    ``observations`` is a tuple of formulas known (by the attacker) to be
+    true of the secret — typically ``query`` or ``not query`` for each
+    declassified response.
+    """
+
+    secret: SecretSpec
+    observations: tuple[BoolExpr, ...] = ()
+
+    # -- conditioning ------------------------------------------------------
+    def observe(self, query: BoolExpr, response: bool) -> "ConditionedBelief":
+        """The posterior belief after observing ``query() == response``."""
+        fact = query if response else nnf(Not(query))
+        return ConditionedBelief(self.secret, self.observations + (fact,))
+
+    def _evidence(self) -> BoolExpr:
+        return conjoin(self.observations)
+
+    # -- exact probability queries -----------------------------------------
+    def support_size(self) -> int:
+        """Number of secrets consistent with all observations."""
+        space = Box(self.secret.bounds())
+        return count_models(self._evidence(), space, self.secret.field_names)
+
+    def probability_of(self, predicate: BoolExpr) -> Fraction:
+        """Exact posterior probability that ``predicate`` holds."""
+        space = Box(self.secret.bounds())
+        names = self.secret.field_names
+        consistent = self.support_size()
+        if consistent == 0:
+            raise ValueError("belief conditioned on contradictory observations")
+        joint = count_models(
+            conjoin((self._evidence(), predicate)), space, names
+        )
+        return Fraction(joint, consistent)
+
+    def probability_of_secret(self, value: SecretValue) -> Fraction:
+        """Exact posterior probability of one concrete secret."""
+        checked = self.secret.validate_value(value)
+        atoms = [
+            var.eq(coordinate)
+            for var, coordinate in zip(self.secret.vars(), checked)
+        ]
+        return self.probability_of(conjoin(atoms))
+
+    def vulnerability(self) -> Fraction:
+        """Bayes vulnerability: the best single-guess success probability.
+
+        For a uniform conditioned belief this is ``1 / support_size`` —
+        every consistent secret is equally likely.
+        """
+        size = self.support_size()
+        if size == 0:
+            raise ValueError("belief conditioned on contradictory observations")
+        return Fraction(1, size)
+
+    def is_consistent_with(self, value: SecretValue) -> bool:
+        """Whether a concrete secret has non-zero posterior probability."""
+        return self.probability_of_secret(value) > 0

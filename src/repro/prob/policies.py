@@ -1,0 +1,74 @@
+"""Probabilistic declassification policies over beliefs.
+
+The policy language of Mardziel et al. (the paper's [25]) bounds what an
+attacker may *believe*: e.g. "the attacker must not learn that the secret
+is any specific value with probability above 10%".  These combinators
+express such thresshold policies against :class:`ConditionedBelief` and
+against ANOSY's set-based knowledge (where a uniform belief over an
+under-approximated knowledge of size ``n`` bounds the vulnerability by
+``1/n`` — the bridge between the two policy styles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable
+
+from repro.lang.ast import BoolExpr
+from repro.prob.belief import ConditionedBelief
+from repro.monad.policy import QuantitativePolicy
+
+__all__ = [
+    "BeliefPolicy",
+    "vulnerability_below",
+    "probability_below",
+    "knowledge_policy_for_vulnerability",
+]
+
+
+@dataclass(frozen=True)
+class BeliefPolicy:
+    """A named predicate over conditioned beliefs."""
+
+    name: str
+    predicate: Callable[[ConditionedBelief], bool]
+
+    def __call__(self, belief: ConditionedBelief) -> bool:
+        return self.predicate(belief)
+
+
+def vulnerability_below(threshold: Fraction) -> BeliefPolicy:
+    """The attacker's single-guess success probability stays below ``threshold``."""
+    return BeliefPolicy(
+        name=f"vulnerability < {threshold}",
+        predicate=lambda belief: belief.vulnerability() < threshold,
+    )
+
+
+def probability_below(predicate: BoolExpr, threshold: Fraction, label: str = "") -> BeliefPolicy:
+    """P(predicate holds of the secret) stays below ``threshold``.
+
+    The Mardziel et al. policy shape: "the attacker cannot learn that the
+    secret satisfies P with probability higher than t".
+    """
+    return BeliefPolicy(
+        name=f"P({label or 'predicate'}) < {threshold}",
+        predicate=lambda belief: belief.probability_of(predicate) < threshold,
+    )
+
+
+def knowledge_policy_for_vulnerability(threshold: Fraction) -> QuantitativePolicy:
+    """The set-based policy that soundly enforces a vulnerability bound.
+
+    For uniform priors, a belief's vulnerability is ``1/|support|``; a
+    knowledge under-approximation ``P ⊆ K`` has ``|P| <= |K|``, so
+    requiring ``|P| > 1/threshold`` guarantees ``1/|K| < threshold``.
+    This is how ANOSY's quantitative policies (section 2.1's ``qpolicy``)
+    realize probabilistic guarantees without tracking distributions.
+    """
+    minimum_support = int(1 / threshold)
+    return QuantitativePolicy(
+        name=f"size > {minimum_support} (vulnerability < {threshold})",
+        predicate=lambda knowledge: knowledge.size() > minimum_support,
+    )

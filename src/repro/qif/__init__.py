@@ -1,0 +1,19 @@
+"""Quantitative information-flow measures (the paper's section 8 sketch)."""
+
+from repro.qif.measures import (
+    QueryLeakage,
+    bayes_vulnerability,
+    guessing_entropy,
+    min_entropy,
+    query_leakage,
+    shannon_entropy,
+)
+
+__all__ = [
+    "QueryLeakage",
+    "bayes_vulnerability",
+    "guessing_entropy",
+    "min_entropy",
+    "query_leakage",
+    "shannon_entropy",
+]

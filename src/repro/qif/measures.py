@@ -1,0 +1,134 @@
+"""Quantitative information-flow measures derived from knowledge.
+
+Section 8 of the paper: "approximations of classical quantitative
+information flow measures, such as Shannon entropy, can be derived from
+the [attacker's] knowledge, i.e., by counting the number of concrete
+elements represented by the knowledge."  This module does exactly that,
+exactly:
+
+* posterior measures of a knowledge set of size ``n`` under the uniform
+  belief — Shannon entropy ``log2 n``, min-entropy ``log2 n`` (they agree
+  for uniform distributions), Bayes vulnerability ``1/n``, and guessing
+  entropy ``(n+1)/2``;
+* *channel* measures of a whole query — the expected leakage over both
+  responses, computed from the exact ind.-set counts:
+  ``I(Q) = H(prior) − Σ_r P(r) · H(posterior_r)``, which for boolean
+  queries is the binary entropy of the True-response probability.
+
+Counts come from the exact solver, so all measures are exact (floats only
+through ``math.log2``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.lang.ast import BoolExpr, Not
+from repro.lang.secrets import SecretSpec
+from repro.lang.transform import conjoin, nnf
+from repro.domains.base import AbstractDomain
+from repro.solver.boxes import Box
+from repro.solver.decide import count_models
+
+__all__ = [
+    "shannon_entropy",
+    "min_entropy",
+    "bayes_vulnerability",
+    "guessing_entropy",
+    "QueryLeakage",
+    "query_leakage",
+]
+
+
+def _positive_size(size: int) -> int:
+    if size <= 0:
+        raise ValueError("measures are undefined for empty knowledge")
+    return size
+
+
+def shannon_entropy(knowledge: AbstractDomain) -> float:
+    """Shannon entropy (bits) of the uniform belief over ``knowledge``."""
+    return math.log2(_positive_size(knowledge.size()))
+
+
+def min_entropy(knowledge: AbstractDomain) -> float:
+    """Min-entropy (bits); equals Shannon entropy for uniform beliefs."""
+    return math.log2(_positive_size(knowledge.size()))
+
+
+def bayes_vulnerability(knowledge: AbstractDomain) -> Fraction:
+    """Probability of guessing the secret in one try (Smith 2009)."""
+    return Fraction(1, _positive_size(knowledge.size()))
+
+
+def guessing_entropy(knowledge: AbstractDomain) -> Fraction:
+    """Expected number of guesses to find the secret (Massey 1994)."""
+    size = _positive_size(knowledge.size())
+    return Fraction(size + 1, 2)
+
+
+@dataclass(frozen=True)
+class QueryLeakage:
+    """Exact information-theoretic profile of one boolean query."""
+
+    prior_size: int
+    true_size: int
+    false_size: int
+
+    @property
+    def probability_true(self) -> Fraction:
+        """Probability (under the uniform prior) of the True response."""
+        return Fraction(self.true_size, self.prior_size)
+
+    @property
+    def shannon_leakage(self) -> float:
+        """Expected Shannon-entropy reduction: the binary entropy H(p)."""
+        p = self.probability_true
+        if p in (0, 1):
+            return 0.0
+        p = float(p)
+        return -(p * math.log2(p) + (1 - p) * math.log2(1 - p))
+
+    @property
+    def worst_case_posterior_size(self) -> int:
+        """Size of the smaller (more revealing) posterior."""
+        return min(
+            s for s in (self.true_size, self.false_size) if s > 0
+        )
+
+    @property
+    def min_entropy_leakage(self) -> float:
+        """Worst-case min-entropy leakage over the two responses."""
+        return math.log2(self.prior_size) - math.log2(
+            self.worst_case_posterior_size
+        )
+
+
+def query_leakage(
+    query: BoolExpr,
+    secret: SecretSpec,
+    prior: AbstractDomain | None = None,
+) -> QueryLeakage:
+    """Exact leakage profile of ``query`` against a prior knowledge.
+
+    With ``prior=None`` the prior is the full secret space (the ⊤
+    knowledge the paper's experiments start from).
+    """
+    space = Box(secret.bounds())
+    names = secret.field_names
+    if prior is None:
+        prior_size = space.volume()
+        true_size = count_models(query, space, names)
+    else:
+        member = prior.member_formula()
+        prior_size = prior.size()
+        true_size = count_models(conjoin((member, query)), space, names)
+    if prior_size == 0:
+        raise ValueError("leakage is undefined for an empty prior")
+    return QueryLeakage(
+        prior_size=prior_size,
+        true_size=true_size,
+        false_size=prior_size - true_size,
+    )

@@ -1,0 +1,38 @@
+"""Refinement-style specifications and the machine checker.
+
+The Python rendition of the paper's Liquid Haskell layer: refinement
+indexes ``<p, n>`` (:mod:`repro.refine.spec`), the Figure 4 specification
+constructors (:mod:`repro.refine.figure4`), and an exact checker that
+discharges the quantified obligations (:mod:`repro.refine.checker`).
+"""
+
+from repro.refine.checker import (
+    Certificate,
+    CheckOutcome,
+    VerificationError,
+    check_refinement,
+    verify_pair,
+    verify_refinement,
+)
+from repro.refine.figure4 import (
+    over_indset_spec,
+    overapprox_spec,
+    under_indset_spec,
+    underapprox_spec,
+)
+from repro.refine.spec import TRUE_PREDICATE, Refinement
+
+__all__ = [
+    "Certificate",
+    "CheckOutcome",
+    "VerificationError",
+    "check_refinement",
+    "verify_pair",
+    "verify_refinement",
+    "over_indset_spec",
+    "overapprox_spec",
+    "under_indset_spec",
+    "underapprox_spec",
+    "TRUE_PREDICATE",
+    "Refinement",
+]

@@ -1,0 +1,86 @@
+"""The Figure 4 specifications: approximations of ind. sets and knowledge.
+
+For a boolean ``query`` over secrets, Figure 4 of the paper gives the
+refinement types of the four artifacts ANOSY synthesizes and verifies:
+
+==================  =====================================================
+``under_indset``    ``( a <query x,        true>, a <not query x,      true> )``
+``over_indset``     ``( a <true, not query x>,    a <true,    query x> )``
+``underapprox p``   ``( a <query x and x ∈ p,  true>, a <not query x and x ∈ p, true> )``
+``overapprox p``    ``( a <true, not query x or x ∉ p>, a <true, query x or x ∉ p> )``
+==================  =====================================================
+
+Each function below builds the corresponding pair of
+:class:`~repro.refine.spec.Refinement` indexes.  Priors are passed as
+domains; their membership formula stands in for ``x ∈ p`` (this is exactly
+the trick the Haskell encoding plays with abstract refinements, made
+explicit).
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import BoolExpr, Not
+from repro.lang.transform import conjoin, disjoin, nnf
+from repro.domains.base import AbstractDomain
+from repro.refine.spec import Refinement
+
+__all__ = [
+    "under_indset_spec",
+    "over_indset_spec",
+    "underapprox_spec",
+    "overapprox_spec",
+]
+
+SpecPair = tuple[Refinement, Refinement]
+
+
+def under_indset_spec(query: BoolExpr) -> SpecPair:
+    """Specs for under-approximated ind. sets: (True response, False response).
+
+    The True-side domain may only contain secrets satisfying the query; the
+    False-side domain only secrets falsifying it.  No constraint on what is
+    left out (that is what makes it an under-approximation).
+    """
+    return (
+        Refinement(positive=query),
+        Refinement(positive=nnf(Not(query))),
+    )
+
+
+def over_indset_spec(query: BoolExpr) -> SpecPair:
+    """Specs for over-approximated ind. sets.
+
+    Everything *outside* the True-side domain must falsify the query (so no
+    query-satisfying secret is missed), and dually for the False side.
+    """
+    return (
+        Refinement(negative=nnf(Not(query))),
+        Refinement(negative=query),
+    )
+
+
+def underapprox_spec(query: BoolExpr, prior: AbstractDomain) -> SpecPair:
+    """Specs for the under-approximated posterior knowledge given a prior.
+
+    Members must satisfy the query (resp. its negation) *and* belong to the
+    prior knowledge ``p``.
+    """
+    in_prior = prior.member_formula()
+    return (
+        Refinement(positive=conjoin((query, in_prior))),
+        Refinement(positive=conjoin((nnf(Not(query)), in_prior))),
+    )
+
+
+def overapprox_spec(query: BoolExpr, prior: AbstractDomain) -> SpecPair:
+    """Specs for the over-approximated posterior knowledge given a prior.
+
+    Non-members must falsify the query (resp. satisfy it) *or* lie outside
+    the prior — i.e. the posterior keeps every prior-consistent secret with
+    the observed response.
+    """
+    not_in_prior = nnf(Not(prior.member_formula()))
+    return (
+        Refinement(negative=disjoin((nnf(Not(query)), not_in_prior))),
+        Refinement(negative=disjoin((query, not_in_prior))),
+    )

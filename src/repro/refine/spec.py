@@ -1,0 +1,62 @@
+"""Abstract-refinement specifications for knowledge domains.
+
+The paper indexes abstract domains with two predicates (section 4.1)::
+
+    a <p, n>  ~  { d : a | ∀x. x ∈ d ⇒ p x  ∧  ∀x. x ∉ d ⇒ n x }
+
+``p`` (the *positive* predicate) constrains every member of the domain;
+``n`` (the *negative* predicate) constrains every non-member.  The Liquid
+Haskell encoding avoids the quantifiers with abstract refinements; here the
+quantifiers are discharged directly by the exact decision procedure, which
+plays the role of SMT-decidable refinement typing.
+
+A :class:`Refinement` is the Python value of such an index pair.  Both
+predicates are query-language formulas over the secret's fields, with
+``BoolLit(True)`` as the "no constraint" default (the paper's ``true``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import BoolExpr, BoolLit
+from repro.lang.pretty import pretty
+from repro.lang.secrets import SecretSpec
+from repro.lang.transform import free_vars
+
+__all__ = ["Refinement", "TRUE_PREDICATE"]
+
+TRUE_PREDICATE = BoolLit(True)
+
+
+@dataclass(frozen=True)
+class Refinement:
+    """A pair of positive/negative predicates indexing a domain type.
+
+    ``positive`` must hold for every secret *inside* the refined domain;
+    ``negative`` must hold for every secret *outside* it.  ``describe()``
+    renders the index in the paper's ``<p, n>`` notation.
+    """
+
+    positive: BoolExpr = TRUE_PREDICATE
+    negative: BoolExpr = TRUE_PREDICATE
+
+    def describe(self) -> str:
+        """The index in the paper's angle-bracket notation."""
+        return f"<{{\\x -> {pretty(self.positive)}}}, {{\\x -> {pretty(self.negative)}}}>"
+
+    def check_fields(self, spec: SecretSpec) -> None:
+        """Validate that both predicates only mention declared fields."""
+        declared = set(spec.field_names)
+        for label, predicate in (("positive", self.positive), ("negative", self.negative)):
+            extra = free_vars(predicate) - declared
+            if extra:
+                raise ValueError(
+                    f"{label} predicate mentions undeclared fields "
+                    f"{sorted(extra)} for secret {spec.name!r}"
+                )
+
+    @property
+    def trivial(self) -> bool:
+        """Whether both predicates are ``true`` (no obligations)."""
+        return self.positive == TRUE_PREDICATE and self.negative == TRUE_PREDICATE

@@ -1,0 +1,59 @@
+"""Decision procedures and optimizers over finite integer boxes.
+
+This package is the reproduction's stand-in for Z3 (see DESIGN.md):
+complete ∀/∃/counting decisions by interval abstract evaluation plus
+branch-and-bound splitting, and box optimizers replacing νZ's Pareto
+``maximize``/``minimize`` directives.
+"""
+
+from repro.solver.boxes import (
+    Box,
+    boxes_are_disjoint,
+    disjoint_pieces,
+    subtract_box,
+    subtract_boxes,
+    union_volume,
+)
+from repro.solver.decide import (
+    SolverBudgetExceeded,
+    SolverStats,
+    count_models,
+    decide_exists,
+    decide_forall,
+    find_model,
+    find_true_box,
+)
+from repro.solver.optimize import (
+    OptimizeOptions,
+    OptimizeOutcome,
+    bounding_box,
+    maximal_box,
+)
+from repro.solver.regions import any_box_formula, box_formula, outside_boxes_formula
+from repro.solver.smtlib import forall_script, synthesis_script, to_smt
+
+__all__ = [
+    "Box",
+    "boxes_are_disjoint",
+    "disjoint_pieces",
+    "subtract_box",
+    "subtract_boxes",
+    "union_volume",
+    "SolverBudgetExceeded",
+    "SolverStats",
+    "count_models",
+    "decide_exists",
+    "decide_forall",
+    "find_model",
+    "find_true_box",
+    "OptimizeOptions",
+    "OptimizeOutcome",
+    "bounding_box",
+    "maximal_box",
+    "any_box_formula",
+    "box_formula",
+    "outside_boxes_formula",
+    "forall_script",
+    "synthesis_script",
+    "to_smt",
+]

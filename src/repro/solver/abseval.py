@@ -1,0 +1,365 @@
+"""Abstract evaluation of query expressions over boxes.
+
+This is the sound three-valued semantics at the core of the solver: an
+integer expression evaluates to a :mod:`range <repro.solver.interval>`
+containing every concrete result on the box, and a boolean expression
+evaluates to a :class:`~repro.lang.ternary.Ternary`:
+
+* ``TRUE``  — every point of the box satisfies the formula,
+* ``FALSE`` — no point does,
+* ``UNKNOWN`` — undecided at this granularity (split and retry).
+
+:func:`specialize` additionally rebuilds the formula with all decided
+sub-expressions replaced by literals, so that branch-and-bound recursion
+evaluates ever-smaller formulas as boxes shrink.
+
+Soundness invariant (checked by property tests): for every point ``p`` in
+the box, ``eval_bool(phi, p)`` is compatible with ``eval_bool_abs`` —
+``TRUE`` forces ``True``, ``FALSE`` forces ``False``.  On single-point
+boxes the abstract result is always decided and equals the concrete one.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.lang.ast import (
+    Abs,
+    Add,
+    And,
+    BoolExpr,
+    BoolLit,
+    Cmp,
+    CmpOp,
+    Expr,
+    Iff,
+    Implies,
+    InSet,
+    IntExpr,
+    IntIte,
+    Lit,
+    Max,
+    Min,
+    Neg,
+    Not,
+    Or,
+    Scale,
+    Sub,
+    Var,
+)
+from repro.lang.ternary import FALSE, TRUE, UNKNOWN, Ternary, from_bool
+from repro.solver import interval
+from repro.solver.interval import Range
+
+__all__ = ["eval_int_abs", "eval_bool_abs", "specialize", "BoxEnv"]
+
+#: Abstract environment: variable name -> integer range.
+BoxEnv = Mapping[str, Range]
+
+
+def eval_int_abs(expr: IntExpr, env: BoxEnv) -> Range:
+    """Tightest-per-operation range of ``expr`` over the box ``env``."""
+    match expr:
+        case Lit(value):
+            return (value, value)
+        case Var(name):
+            return env[name]
+        case Add(left, right):
+            return interval.add(eval_int_abs(left, env), eval_int_abs(right, env))
+        case Sub(left, right):
+            return interval.sub(eval_int_abs(left, env), eval_int_abs(right, env))
+        case Neg(arg):
+            return interval.neg(eval_int_abs(arg, env))
+        case Scale(coeff, arg):
+            return interval.scale(coeff, eval_int_abs(arg, env))
+        case Abs(arg):
+            return interval.abs_(eval_int_abs(arg, env))
+        case Min(left, right):
+            return interval.min_(eval_int_abs(left, env), eval_int_abs(right, env))
+        case Max(left, right):
+            return interval.max_(eval_int_abs(left, env), eval_int_abs(right, env))
+        case IntIte(cond, then_branch, else_branch):
+            truth = eval_bool_abs(cond, env)
+            if truth is TRUE:
+                return eval_int_abs(then_branch, env)
+            if truth is FALSE:
+                return eval_int_abs(else_branch, env)
+            return interval.join(
+                eval_int_abs(then_branch, env), eval_int_abs(else_branch, env)
+            )
+        case _:
+            raise TypeError(f"not an integer expression: {expr!r}")
+
+
+def _cmp_ranges(op: CmpOp, a: Range, b: Range) -> Ternary:
+    """Decide a comparison of two ranges, if possible."""
+    alo, ahi = a
+    blo, bhi = b
+    if op is CmpOp.LE:
+        if ahi <= blo:
+            return TRUE
+        if alo > bhi:
+            return FALSE
+        return UNKNOWN
+    if op is CmpOp.LT:
+        if ahi < blo:
+            return TRUE
+        if alo >= bhi:
+            return FALSE
+        return UNKNOWN
+    if op is CmpOp.GE:
+        return _cmp_ranges(CmpOp.LE, b, a)
+    if op is CmpOp.GT:
+        return _cmp_ranges(CmpOp.LT, b, a)
+    if op is CmpOp.EQ:
+        if alo == ahi == blo == bhi:
+            return TRUE
+        if ahi < blo or bhi < alo:
+            return FALSE
+        return UNKNOWN
+    # NE
+    return _cmp_ranges(CmpOp.EQ, a, b).negate()
+
+
+def _inset_range(arg: Range, values: frozenset[int]) -> Ternary:
+    """Decide finite-set membership of a range."""
+    lo, hi = arg
+    width = hi - lo + 1
+    if width <= len(values):
+        # Small enough to check exhaustively whether the whole range is in.
+        if all(v in values for v in range(lo, hi + 1)):
+            return TRUE
+    if not any(lo <= v <= hi for v in values):
+        return FALSE
+    if lo == hi:
+        return from_bool(lo in values)
+    return UNKNOWN
+
+
+def eval_bool_abs(expr: BoolExpr, env: BoxEnv) -> Ternary:
+    """Three-valued truth of ``expr`` over the box ``env``."""
+    match expr:
+        case BoolLit(value):
+            return from_bool(value)
+        case Cmp(op, left, right):
+            return _cmp_ranges(op, eval_int_abs(left, env), eval_int_abs(right, env))
+        case And(args):
+            result = TRUE
+            for arg in args:
+                result = result.conj(eval_bool_abs(arg, env))
+                if result is FALSE:
+                    return FALSE
+            return result
+        case Or(args):
+            result = FALSE
+            for arg in args:
+                result = result.disj(eval_bool_abs(arg, env))
+                if result is TRUE:
+                    return TRUE
+            return result
+        case Not(arg):
+            return eval_bool_abs(arg, env).negate()
+        case Implies(antecedent, consequent):
+            return eval_bool_abs(antecedent, env).negate().disj(
+                eval_bool_abs(consequent, env)
+            )
+        case Iff(left, right):
+            a = eval_bool_abs(left, env)
+            b = eval_bool_abs(right, env)
+            if a is UNKNOWN or b is UNKNOWN:
+                return UNKNOWN
+            return from_bool(a is b)
+        case InSet(arg, values):
+            return _inset_range(eval_int_abs(arg, env), values)
+        case _:
+            raise TypeError(f"not a boolean expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Specialization: rebuild the formula with decided parts folded away
+# ---------------------------------------------------------------------------
+
+
+def specialize(expr: BoolExpr, env: BoxEnv) -> tuple[BoolExpr, Ternary]:
+    """Evaluate and simultaneously shrink ``expr`` with respect to a box.
+
+    Returns ``(expr', truth)`` where ``truth`` is the abstract truth value
+    and ``expr'`` is equivalent to ``expr`` *on the box* but with decided
+    sub-formulas replaced by literals.  Recursive descent then re-specializes
+    ``expr'`` on sub-boxes, so work shrinks as the search narrows.
+    """
+    truth, rebuilt = _spec_bool(expr, env)
+    return rebuilt, truth
+
+
+def _spec_int(expr: IntExpr, env: BoxEnv) -> tuple[Range, IntExpr]:
+    # Identity-preserving rebuilds: returning the original node when no
+    # child changed keeps allocation (and GC pressure) proportional to the
+    # amount of actual simplification — important in the splitting loops.
+    match expr:
+        case Lit(value):
+            return (value, value), expr
+        case Var(name):
+            rng = env[name]
+            if rng[0] == rng[1]:
+                return rng, Lit(rng[0])
+            return rng, expr
+        case Add(left, right):
+            ra, ea = _spec_int(left, env)
+            rb, eb = _spec_int(right, env)
+            rng = interval.add(ra, rb)
+            if rng[0] == rng[1]:
+                return rng, Lit(rng[0])
+            if ea is left and eb is right:
+                return rng, expr
+            return rng, Add(ea, eb)
+        case Sub(left, right):
+            ra, ea = _spec_int(left, env)
+            rb, eb = _spec_int(right, env)
+            rng = interval.sub(ra, rb)
+            if rng[0] == rng[1]:
+                return rng, Lit(rng[0])
+            if ea is left and eb is right:
+                return rng, expr
+            return rng, Sub(ea, eb)
+        case Neg(arg):
+            ra, ea = _spec_int(arg, env)
+            rng = interval.neg(ra)
+            if rng[0] == rng[1]:
+                return rng, Lit(rng[0])
+            return rng, (expr if ea is arg else Neg(ea))
+        case Scale(coeff, arg):
+            ra, ea = _spec_int(arg, env)
+            rng = interval.scale(coeff, ra)
+            if rng[0] == rng[1]:
+                return rng, Lit(rng[0])
+            return rng, (expr if ea is arg else Scale(coeff, ea))
+        case Abs(arg):
+            ra, ea = _spec_int(arg, env)
+            rng = interval.abs_(ra)
+            if rng[0] == rng[1]:
+                return rng, Lit(rng[0])
+            if ra[0] >= 0:
+                return rng, ea  # abs is the identity here
+            if ra[1] <= 0:
+                return rng, Neg(ea)
+            return rng, (expr if ea is arg else Abs(ea))
+        case Min(left, right):
+            ra, ea = _spec_int(left, env)
+            rb, eb = _spec_int(right, env)
+            if ra[1] <= rb[0]:
+                return ra, ea
+            if rb[1] <= ra[0]:
+                return rb, eb
+            rng = interval.min_(ra, rb)
+            if ea is left and eb is right:
+                return rng, expr
+            return rng, Min(ea, eb)
+        case Max(left, right):
+            ra, ea = _spec_int(left, env)
+            rb, eb = _spec_int(right, env)
+            if ra[0] >= rb[1]:
+                return ra, ea
+            if rb[0] >= ra[1]:
+                return rb, eb
+            rng = interval.max_(ra, rb)
+            if ea is left and eb is right:
+                return rng, expr
+            return rng, Max(ea, eb)
+        case IntIte(cond, then_branch, else_branch):
+            truth, econd = _spec_bool(cond, env)
+            if truth is TRUE:
+                return _spec_int(then_branch, env)
+            if truth is FALSE:
+                return _spec_int(else_branch, env)
+            rt, et = _spec_int(then_branch, env)
+            re_, ee = _spec_int(else_branch, env)
+            rng = interval.join(rt, re_)
+            if rng[0] == rng[1]:
+                return rng, Lit(rng[0])
+            if econd is cond and et is then_branch and ee is else_branch:
+                return rng, expr
+            return rng, IntIte(econd, et, ee)
+        case _:
+            raise TypeError(f"not an integer expression: {expr!r}")
+
+
+def _spec_bool(expr: BoolExpr, env: BoxEnv) -> tuple[Ternary, BoolExpr]:
+    match expr:
+        case BoolLit(value):
+            return from_bool(value), expr
+        case Cmp(op, left, right):
+            ra, ea = _spec_int(left, env)
+            rb, eb = _spec_int(right, env)
+            truth = _cmp_ranges(op, ra, rb)
+            if truth.decided:
+                return truth, BoolLit(truth.as_bool())
+            if ea is left and eb is right:
+                return truth, expr
+            return truth, Cmp(op, ea, eb)
+        case And(args):
+            truth = TRUE
+            kept: list[BoolExpr] = []
+            unchanged = True
+            for arg in args:
+                t, e = _spec_bool(arg, env)
+                if t is FALSE:
+                    return FALSE, BoolLit(False)
+                if t is UNKNOWN:
+                    kept.append(e)
+                    unchanged = unchanged and e is arg
+                else:
+                    unchanged = False
+                truth = truth.conj(t)
+            if truth is TRUE:
+                return TRUE, BoolLit(True)
+            if unchanged and len(kept) == len(args):
+                return UNKNOWN, expr
+            return UNKNOWN, kept[0] if len(kept) == 1 else And(tuple(kept))
+        case Or(args):
+            truth = FALSE
+            kept = []
+            unchanged = True
+            for arg in args:
+                t, e = _spec_bool(arg, env)
+                if t is TRUE:
+                    return TRUE, BoolLit(True)
+                if t is UNKNOWN:
+                    kept.append(e)
+                    unchanged = unchanged and e is arg
+                else:
+                    unchanged = False
+                truth = truth.disj(t)
+            if truth is FALSE:
+                return FALSE, BoolLit(False)
+            if unchanged and len(kept) == len(args):
+                return UNKNOWN, expr
+            return UNKNOWN, kept[0] if len(kept) == 1 else Or(tuple(kept))
+        case Not(arg):
+            t, e = _spec_bool(arg, env)
+            if t.decided:
+                return t.negate(), BoolLit(not t.as_bool())
+            return UNKNOWN, (expr if e is arg else Not(e))
+        case Implies(antecedent, consequent):
+            return _spec_bool(Or((Not(antecedent), consequent)), env)
+        case Iff(left, right):
+            ta, ea = _spec_bool(left, env)
+            tb, eb = _spec_bool(right, env)
+            if ta.decided and tb.decided:
+                return from_bool(ta is tb), BoolLit(ta is tb)
+            if ta.decided:
+                return UNKNOWN, eb if ta is TRUE else Not(eb)
+            if tb.decided:
+                return UNKNOWN, ea if tb is TRUE else Not(ea)
+            return UNKNOWN, Iff(ea, eb)
+        case InSet(arg, values):
+            ra, ea = _spec_int(arg, env)
+            truth = _inset_range(ra, values)
+            if truth.decided:
+                return truth, BoolLit(truth.as_bool())
+            live = frozenset(v for v in values if ra[0] <= v <= ra[1])
+            if ea is arg and live == values:
+                return UNKNOWN, expr
+            return UNKNOWN, InSet(ea, live)
+        case _:
+            raise TypeError(f"not a boolean expression: {expr!r}")

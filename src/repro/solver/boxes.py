@@ -1,0 +1,218 @@
+"""Integer box geometry.
+
+A *box* is a product of non-empty integer intervals — the geometric object
+underlying both the interval abstract domain ``A_I`` (section 4.3) and the
+solver's branch-and-bound search.  This module keeps boxes purely geometric
+(no predicates attached) and provides the exact set algebra the powerset
+domain needs: intersection, subtraction into disjoint pieces, and exact
+union volume.
+
+Boxes are always non-empty by construction; operations that can produce the
+empty set return ``None`` or an empty list instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Box",
+    "subtract_box",
+    "subtract_boxes",
+    "disjoint_pieces",
+    "union_volume",
+    "boxes_are_disjoint",
+]
+
+Bounds = tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class Box:
+    """A non-empty product of integer intervals ``[lo_i, hi_i]``."""
+
+    bounds: Bounds
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.bounds, tuple):
+            object.__setattr__(self, "bounds", tuple(tuple(b) for b in self.bounds))
+        if not self.bounds:
+            raise ValueError("a box needs at least one dimension")
+        for index, (lo, hi) in enumerate(self.bounds):
+            if lo > hi:
+                raise ValueError(f"dimension {index}: empty interval [{lo}, {hi}]")
+
+    @classmethod
+    def make(cls, *bounds: tuple[int, int]) -> "Box":
+        """Build a box from per-dimension ``(lo, hi)`` pairs."""
+        return cls(tuple((int(lo), int(hi)) for lo, hi in bounds))
+
+    # -- basic geometry ----------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of dimensions."""
+        return len(self.bounds)
+
+    def volume(self) -> int:
+        """Number of integer points inside the box."""
+        result = 1
+        for lo, hi in self.bounds:
+            result *= hi - lo + 1
+        return result
+
+    def widths(self) -> tuple[int, ...]:
+        """Per-dimension point counts."""
+        return tuple(hi - lo + 1 for lo, hi in self.bounds)
+
+    def is_point(self) -> bool:
+        """Whether the box contains exactly one integer point."""
+        return all(lo == hi for lo, hi in self.bounds)
+
+    def any_point(self) -> tuple[int, ...]:
+        """The centre-most integer point of the box."""
+        return tuple((lo + hi) // 2 for lo, hi in self.bounds)
+
+    def contains(self, point: Sequence[int]) -> bool:
+        """Point membership."""
+        if len(point) != self.arity:
+            raise ValueError(
+                f"point has {len(point)} coordinates, box has {self.arity}"
+            )
+        return all(lo <= x <= hi for (lo, hi), x in zip(self.bounds, point))
+
+    def contains_box(self, other: "Box") -> bool:
+        """Whether ``other`` is entirely inside this box."""
+        self._check_arity(other)
+        return all(
+            lo <= olo and ohi <= hi
+            for (lo, hi), (olo, ohi) in zip(self.bounds, other.bounds)
+        )
+
+    def iter_points(self) -> Iterator[tuple[int, ...]]:
+        """Enumerate all points (tests / tiny boxes only)."""
+
+        def rec(index: int, prefix: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+            if index == self.arity:
+                yield prefix
+                return
+            lo, hi = self.bounds[index]
+            for value in range(lo, hi + 1):
+                yield from rec(index + 1, prefix + (value,))
+
+        yield from rec(0, ())
+
+    # -- algebra -------------------------------------------------------------
+    def intersect(self, other: "Box") -> "Box | None":
+        """Intersection, or ``None`` when the boxes are disjoint."""
+        self._check_arity(other)
+        bounds: list[tuple[int, int]] = []
+        for (alo, ahi), (blo, bhi) in zip(self.bounds, other.bounds):
+            lo, hi = max(alo, blo), min(ahi, bhi)
+            if lo > hi:
+                return None
+            bounds.append((lo, hi))
+        return Box(tuple(bounds))
+
+    def with_dim(self, dim: int, lo: int, hi: int) -> "Box":
+        """A copy with dimension ``dim`` replaced by ``[lo, hi]``."""
+        if lo > hi:
+            raise ValueError(f"empty interval [{lo}, {hi}] for dimension {dim}")
+        bounds = list(self.bounds)
+        bounds[dim] = (lo, hi)
+        return Box(tuple(bounds))
+
+    def split(self, dim: int) -> tuple["Box", "Box"]:
+        """Split in half along ``dim`` (which must have width >= 2)."""
+        lo, hi = self.bounds[dim]
+        if lo == hi:
+            raise ValueError(f"cannot split dimension {dim} of width 1")
+        mid = (lo + hi) // 2
+        return self.with_dim(dim, lo, mid), self.with_dim(dim, mid + 1, hi)
+
+    def widest_dim(self) -> int:
+        """Index of the dimension with the most points (ties: lowest index)."""
+        widths = self.widths()
+        return widths.index(max(widths))
+
+    def hull(self, other: "Box") -> "Box":
+        """Smallest box containing both (interval join, per dimension)."""
+        self._check_arity(other)
+        return Box(
+            tuple(
+                (min(alo, blo), max(ahi, bhi))
+                for (alo, ahi), (blo, bhi) in zip(self.bounds, other.bounds)
+            )
+        )
+
+    def _check_arity(self, other: "Box") -> None:
+        if other.arity != self.arity:
+            raise ValueError(
+                f"dimension mismatch: {self.arity} vs {other.arity}"
+            )
+
+    def __repr__(self) -> str:
+        dims = ", ".join(f"[{lo},{hi}]" for lo, hi in self.bounds)
+        return f"Box({dims})"
+
+
+def subtract_box(box: Box, other: Box) -> list[Box]:
+    """``box`` minus ``other`` as a list of pairwise-disjoint boxes.
+
+    The classic n-dimensional carve: walk the dimensions, slicing off the
+    parts of ``box`` that fall outside ``other``'s range in that dimension;
+    what remains after all dimensions is exactly ``box ∩ other``.
+    """
+    overlap = box.intersect(other)
+    if overlap is None:
+        return [box]
+    pieces: list[Box] = []
+    remaining = box
+    for dim in range(box.arity):
+        lo, hi = remaining.bounds[dim]
+        olo, ohi = overlap.bounds[dim]
+        if lo < olo:
+            pieces.append(remaining.with_dim(dim, lo, olo - 1))
+        if ohi < hi:
+            pieces.append(remaining.with_dim(dim, ohi + 1, hi))
+        remaining = remaining.with_dim(dim, olo, ohi)
+    return pieces
+
+
+def subtract_boxes(keep: Iterable[Box], remove: Iterable[Box]) -> list[Box]:
+    """Disjoint decomposition of ``union(keep) - union(remove)``.
+
+    ``keep`` boxes may overlap each other; the result is always a list of
+    pairwise-disjoint boxes covering exactly the set difference.
+    """
+    pieces = disjoint_pieces(keep)
+    for hole in remove:
+        pieces = [part for piece in pieces for part in subtract_box(piece, hole)]
+    return pieces
+
+
+def disjoint_pieces(boxes: Iterable[Box]) -> list[Box]:
+    """Rewrite a list of (possibly overlapping) boxes as disjoint pieces."""
+    result: list[Box] = []
+    for box in boxes:
+        fresh = [box]
+        for existing in result:
+            fresh = [part for piece in fresh for part in subtract_box(piece, existing)]
+            if not fresh:
+                break
+        result.extend(fresh)
+    return result
+
+
+def union_volume(boxes: Iterable[Box]) -> int:
+    """Exact number of integer points in the union of ``boxes``."""
+    return sum(piece.volume() for piece in disjoint_pieces(boxes))
+
+
+def boxes_are_disjoint(boxes: Sequence[Box]) -> bool:
+    """Whether no two boxes share a point."""
+    for i, a in enumerate(boxes):
+        for b in boxes[i + 1 :]:
+            if a.intersect(b) is not None:
+                return False
+    return True

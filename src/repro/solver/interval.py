@@ -1,0 +1,80 @@
+"""Exact interval arithmetic on integer ranges.
+
+Ranges are plain ``(lo, hi)`` tuples with ``lo <= hi``.  Every operation
+returns the *tightest* range containing all pointwise results — interval
+arithmetic is exact per operation; imprecision only arises when a variable
+occurs more than once in an expression (e.g. ``x - x``), which the solver
+resolves by splitting.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Range",
+    "add",
+    "sub",
+    "neg",
+    "scale",
+    "abs_",
+    "min_",
+    "max_",
+    "join",
+    "meet",
+]
+
+Range = tuple[int, int]
+
+
+def add(a: Range, b: Range) -> Range:
+    """Pointwise sum: ``[a.lo + b.lo, a.hi + b.hi]``."""
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def sub(a: Range, b: Range) -> Range:
+    """Pointwise difference: ``[a.lo - b.hi, a.hi - b.lo]``."""
+    return (a[0] - b[1], a[1] - b[0])
+
+
+def neg(a: Range) -> Range:
+    """Pointwise negation."""
+    return (-a[1], -a[0])
+
+
+def scale(coeff: int, a: Range) -> Range:
+    """Multiplication by a constant (sign decides which bound flips)."""
+    if coeff >= 0:
+        return (coeff * a[0], coeff * a[1])
+    return (coeff * a[1], coeff * a[0])
+
+
+def abs_(a: Range) -> Range:
+    """Pointwise absolute value."""
+    lo, hi = a
+    if lo >= 0:
+        return a
+    if hi <= 0:
+        return (-hi, -lo)
+    return (0, max(-lo, hi))
+
+
+def min_(a: Range, b: Range) -> Range:
+    """Pointwise minimum."""
+    return (min(a[0], b[0]), min(a[1], b[1]))
+
+
+def max_(a: Range, b: Range) -> Range:
+    """Pointwise maximum."""
+    return (max(a[0], b[0]), max(a[1], b[1]))
+
+
+def join(a: Range, b: Range) -> Range:
+    """Convex hull (least range containing both)."""
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def meet(a: Range, b: Range) -> Range | None:
+    """Intersection, or ``None`` when disjoint."""
+    lo, hi = max(a[0], b[0]), min(a[1], b[1])
+    if lo > hi:
+        return None
+    return (lo, hi)

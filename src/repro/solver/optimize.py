@@ -1,0 +1,280 @@
+"""Box optimization: the νZ (Z3 optimizer) substitute.
+
+Two optimization problems arise in section 5.3:
+
+* **Under-approximation** — find a *maximal* box entirely inside the region
+  ``phi``, Pareto-balancing the per-dimension widths (``maximize u_i - l_i``
+  jointly; the paper prefers 20x20 over 400x1).
+* **Over-approximation** — find the *minimal* box containing the region
+  (``minimize u_i - l_i``), which is exactly the region's bounding box.
+
+:func:`maximal_box` seeds from a fat all-true sub-box (best-first search)
+and grows each face round-robin with doubling step sizes; round-robin
+interleaving is what produces Pareto-balanced growth.  The ``lexicographic``
+mode (fully exhaust one face before the next) exists for the ablation that
+reproduces the degenerate elongated solutions the paper attributes to
+single-objective optimization.
+
+:func:`bounding_box` binary-searches each face of the minimal covering box
+with exact existence checks, so over-approximations are optimal (when the
+time budget suffices).
+
+A soft wall-clock budget mirrors Z3's optimization timeouts: on expiry the
+search returns the best box found so far — still *correct* (verification is
+separate), merely less precise, exactly like the paper's B4 benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.lang.ast import BoolExpr
+from repro.solver.boxes import Box
+from repro.solver.decide import decide_forall, find_model, find_true_box
+
+__all__ = ["OptimizeOptions", "OptimizeOutcome", "maximal_box", "bounding_box"]
+
+
+@dataclass(frozen=True)
+class OptimizeOptions:
+    """Tuning knobs for the optimizers.
+
+    ``time_budget`` is a soft per-call limit in seconds (``None`` = no
+    limit): growth stops and the current best is returned when exceeded.
+    ``mode`` is ``"balanced"`` (round-robin, Pareto-like) or
+    ``"lexicographic"`` (ablation A1).
+    """
+
+    seed_pops: int = 50_000
+    mode: str = "balanced"
+    time_budget: float | None = 10.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("balanced", "lexicographic"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class OptimizeOutcome:
+    """An optimization result plus how it terminated."""
+
+    box: Box | None
+    timed_out: bool
+    proved_empty: bool = False
+
+
+class _Deadline:
+    def __init__(self, budget: float | None):
+        self.expiry = None if budget is None else time.monotonic() + budget
+        self.expired = False
+
+    def over(self) -> bool:
+        if self.expiry is not None and time.monotonic() > self.expiry:
+            self.expired = True
+        return self.expired
+
+
+def maximal_box(
+    phi: BoolExpr,
+    space: Box,
+    names: Sequence[str],
+    options: OptimizeOptions = OptimizeOptions(),
+) -> OptimizeOutcome:
+    """A maximal box inside the region ``{x in space | phi(x)}``.
+
+    Returns ``box=None`` when the region is empty (``proved_empty=True``)
+    or when no all-true seed was found within budget.
+    """
+    deadline = _Deadline(options.time_budget)
+    seeded = find_true_box(phi, space, names, max_pops=options.seed_pops)
+    if seeded.box is None:
+        if seeded.exhausted:
+            return OptimizeOutcome(None, timed_out=False, proved_empty=True)
+        # Budgeted search failed; fall back to a point witness if any.
+        witness = find_model(phi, space, names)
+        if witness is None:
+            return OptimizeOutcome(None, timed_out=False, proved_empty=True)
+        seed = Box(tuple((x, x) for x in witness))
+    else:
+        seed = seeded.box
+
+    if options.mode == "balanced":
+        grown = _grow_balanced(phi, seed, space, names, deadline)
+    else:
+        grown = _grow_lexicographic(phi, seed, space, names, deadline)
+    return OptimizeOutcome(grown, timed_out=deadline.expired)
+
+
+def _slab(box: Box, space: Box, dim: int, side: str, step: int) -> Box | None:
+    """The extension slab of ``box`` along one face, clamped to ``space``.
+
+    Returns ``None`` when the face already touches the space boundary.
+    """
+    lo, hi = box.bounds[dim]
+    slo, shi = space.bounds[dim]
+    if side == "hi":
+        if hi >= shi:
+            return None
+        return box.with_dim(dim, hi + 1, min(hi + step, shi))
+    if lo <= slo:
+        return None
+    return box.with_dim(dim, max(lo - step, slo), lo - 1)
+
+
+def _extend(box: Box, slab: Box, dim: int) -> Box:
+    """Merge an accepted slab back into the box along ``dim``."""
+    lo, hi = box.bounds[dim]
+    slo, shi = slab.bounds[dim]
+    return box.with_dim(dim, min(lo, slo), max(hi, shi))
+
+
+def _grow_balanced(
+    phi: BoolExpr,
+    box: Box,
+    space: Box,
+    names: Sequence[str],
+    deadline: _Deadline,
+) -> Box:
+    """Round-robin doubling growth of every face until all are stuck."""
+    faces = [(dim, side) for dim in range(box.arity) for side in ("lo", "hi")]
+    steps = {face: 1 for face in faces}
+    alive = set(faces)
+    while alive and not deadline.over():
+        for face in faces:
+            if face not in alive:
+                continue
+            dim, side = face
+            step = steps[face]
+            slab = _slab(box, space, dim, side, step)
+            if slab is None:
+                alive.discard(face)
+                continue
+            if decide_forall(phi, slab, names):
+                box = _extend(box, slab, dim)
+                steps[face] = step * 2
+            elif step > 1:
+                steps[face] = max(step // 2, 1)
+            else:
+                alive.discard(face)
+            if deadline.over():
+                break
+    return box
+
+
+def _grow_lexicographic(
+    phi: BoolExpr,
+    box: Box,
+    space: Box,
+    names: Sequence[str],
+    deadline: _Deadline,
+) -> Box:
+    """Exhaust one face completely before touching the next (ablation)."""
+    for dim in range(box.arity):
+        for side in ("lo", "hi"):
+            if deadline.over():
+                return box
+            grown = _max_extension(phi, box, space, names, dim, side)
+            if grown is not None:
+                box = grown
+    return box
+
+
+def _max_extension(
+    phi: BoolExpr,
+    box: Box,
+    space: Box,
+    names: Sequence[str],
+    dim: int,
+    side: str,
+) -> Box | None:
+    """Binary-search the largest valid extension of one face, if any."""
+    lo, hi = box.bounds[dim]
+    slo, shi = space.bounds[dim]
+    limit = shi - hi if side == "hi" else lo - slo
+    if limit <= 0:
+        return None
+    best = 0
+    low, high = 1, limit
+    while low <= high:
+        mid = (low + high) // 2
+        slab = _slab(box, space, dim, side, mid)
+        assert slab is not None
+        if decide_forall(phi, slab, names):
+            best = mid
+            low = mid + 1
+        else:
+            high = mid - 1
+    if best == 0:
+        return None
+    accepted = _slab(box, space, dim, side, best)
+    assert accepted is not None
+    return _extend(box, accepted, dim)
+
+
+def bounding_box(
+    phi: BoolExpr,
+    space: Box,
+    names: Sequence[str],
+    options: OptimizeOptions = OptimizeOptions(),
+) -> OptimizeOutcome:
+    """The minimal box covering ``{x in space | phi(x)}``.
+
+    Exact (the optimal over-approximating interval domain): each of the
+    ``2n`` faces is found by binary search with exhaustive existence
+    checks.  Returns ``box=None`` with ``proved_empty=True`` for an empty
+    region.  On budget expiry the not-yet-tightened faces keep their space
+    bounds — a sound but looser cover.
+    """
+    deadline = _Deadline(options.time_budget)
+    witness = find_model(phi, space, names)
+    if witness is None:
+        return OptimizeOutcome(None, timed_out=False, proved_empty=True)
+
+    bounds: list[tuple[int, int]] = []
+    for dim in range(space.arity):
+        slo, shi = space.bounds[dim]
+        if deadline.over():
+            bounds.append((slo, shi))
+            continue
+        low = _search_face(phi, space, names, dim, "lo", witness[dim], deadline)
+        high = _search_face(phi, space, names, dim, "hi", witness[dim], deadline)
+        bounds.append((low, high))
+    return OptimizeOutcome(Box(tuple(bounds)), timed_out=deadline.expired)
+
+
+def _search_face(
+    phi: BoolExpr,
+    space: Box,
+    names: Sequence[str],
+    dim: int,
+    side: str,
+    witness_coord: int,
+    deadline: _Deadline,
+) -> int:
+    """Binary-search the extreme coordinate of the region along one face."""
+    slo, shi = space.bounds[dim]
+    if side == "lo":
+        low, high = slo, witness_coord
+        best = witness_coord
+        while low <= high and not deadline.over():
+            mid = (low + high) // 2
+            restricted = space.with_dim(dim, low, mid)
+            if find_model(phi, restricted, names) is not None:
+                best = mid
+                high = mid - 1
+            else:
+                low = mid + 1
+        return best if not deadline.over() else slo
+    low, high = witness_coord, shi
+    best = witness_coord
+    while low <= high and not deadline.over():
+        mid = (low + high) // 2
+        restricted = space.with_dim(dim, mid, high)
+        if find_model(phi, restricted, names) is not None:
+            best = mid
+            low = mid + 1
+        else:
+            high = mid - 1
+    return best if not deadline.over() else shi

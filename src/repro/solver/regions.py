@@ -1,0 +1,45 @@
+"""Formulas describing box regions.
+
+The synthesizer often needs "the part of the query region not yet covered
+by previously synthesized boxes" (Algorithm 1).  These helpers turn box
+geometry back into query-language formulas so the decision procedures can
+reason about such regions directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.lang.ast import BoolExpr, BoolLit, Lit, Not, Var
+from repro.lang.transform import conjoin, disjoin, nnf
+from repro.solver.boxes import Box
+
+__all__ = ["box_formula", "any_box_formula", "outside_boxes_formula"]
+
+
+def box_formula(box: Box, names: Sequence[str]) -> BoolExpr:
+    """Membership formula ``/\\_i lo_i <= x_i <= hi_i`` for a box."""
+    if box.arity != len(names):
+        raise ValueError(
+            f"box has {box.arity} dimensions but {len(names)} names given"
+        )
+    atoms: list[BoolExpr] = []
+    for name, (lo, hi) in zip(names, box.bounds):
+        variable = Var(name)
+        atoms.append(variable >= Lit(lo))
+        atoms.append(variable <= Lit(hi))
+    return conjoin(atoms)
+
+
+def any_box_formula(boxes: Iterable[Box], names: Sequence[str]) -> BoolExpr:
+    """Membership in the union of ``boxes`` (False for an empty list)."""
+    parts = [box_formula(box, names) for box in boxes]
+    if not parts:
+        return BoolLit(False)
+    return disjoin(parts)
+
+
+def outside_boxes_formula(boxes: Iterable[Box], names: Sequence[str]) -> BoolExpr:
+    """Non-membership in every one of ``boxes`` (True for an empty list)."""
+    parts = [nnf(Not(box_formula(box, names))) for box in boxes]
+    return conjoin(parts)

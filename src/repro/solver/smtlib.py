@@ -1,0 +1,181 @@
+"""SMT-LIB 2 emission.
+
+The paper hands its synthesis constraints to Z3 (section 5.3).  This
+environment has no SMT solver, so :mod:`repro.solver` decides everything
+natively — but we still emit the *exact* scripts the paper describes, for
+two reasons: they document the synthesis obligations precisely, and anyone
+with Z3 on hand can cross-check our synthesized bounds externally
+(``z3 script.smt2``).
+
+Two flavours are produced:
+
+* :func:`synthesis_script` — the hole-filling optimization problem with
+  ``(maximize (- u_i l_i))`` / ``(minimize ...)`` directives, as in
+  section 2.3 and 5.3;
+* :func:`forall_script` — a single verification obligation
+  ``(assert (not (=> (in-dom x) (query x))))`` whose UNSAT answer certifies
+  a synthesized domain.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.lang.ast import (
+    Abs,
+    Add,
+    And,
+    BoolLit,
+    Cmp,
+    CmpOp,
+    Expr,
+    Iff,
+    Implies,
+    InSet,
+    IntIte,
+    Lit,
+    Max,
+    Min,
+    Neg,
+    Not,
+    Or,
+    Scale,
+    Sub,
+    Var,
+)
+from repro.lang.secrets import SecretSpec
+from repro.solver.boxes import Box
+
+__all__ = ["to_smt", "synthesis_script", "forall_script"]
+
+_CMP_SYMBOL = {
+    CmpOp.LE: "<=",
+    CmpOp.LT: "<",
+    CmpOp.GE: ">=",
+    CmpOp.GT: ">",
+    CmpOp.EQ: "=",
+}
+
+
+def to_smt(expr: Expr) -> str:
+    """Render an expression as an SMT-LIB 2 term."""
+    match expr:
+        case Lit(value):
+            return str(value) if value >= 0 else f"(- {-value})"
+        case Var(name):
+            return name
+        case Add(left, right):
+            return f"(+ {to_smt(left)} {to_smt(right)})"
+        case Sub(left, right):
+            return f"(- {to_smt(left)} {to_smt(right)})"
+        case Neg(arg):
+            return f"(- {to_smt(arg)})"
+        case Scale(coeff, arg):
+            return f"(* {to_smt(Lit(coeff))} {to_smt(arg)})"
+        case Abs(arg):
+            inner = to_smt(arg)
+            return f"(ite (< {inner} 0) (- {inner}) {inner})"
+        case Min(left, right):
+            a, b = to_smt(left), to_smt(right)
+            return f"(ite (<= {a} {b}) {a} {b})"
+        case Max(left, right):
+            a, b = to_smt(left), to_smt(right)
+            return f"(ite (>= {a} {b}) {a} {b})"
+        case IntIte(cond, then_branch, else_branch):
+            return (
+                f"(ite {to_smt(cond)} {to_smt(then_branch)} "
+                f"{to_smt(else_branch)})"
+            )
+        case BoolLit(value):
+            return "true" if value else "false"
+        case Cmp(op, left, right):
+            if op is CmpOp.NE:
+                return f"(not (= {to_smt(left)} {to_smt(right)}))"
+            return f"({_CMP_SYMBOL[op]} {to_smt(left)} {to_smt(right)})"
+        case And(args):
+            return f"(and {' '.join(to_smt(a) for a in args)})"
+        case Or(args):
+            return f"(or {' '.join(to_smt(a) for a in args)})"
+        case Not(arg):
+            return f"(not {to_smt(arg)})"
+        case Implies(antecedent, consequent):
+            return f"(=> {to_smt(antecedent)} {to_smt(consequent)})"
+        case Iff(left, right):
+            return f"(= {to_smt(left)} {to_smt(right)})"
+        case InSet(arg, values):
+            inner = to_smt(arg)
+            if not values:
+                return "false"
+            members = " ".join(f"(= {inner} {to_smt(Lit(v))})" for v in sorted(values))
+            return f"(or {members})" if len(values) > 1 else members
+        case _:
+            raise TypeError(f"unknown AST node: {expr!r}")
+
+
+def _quantified_vars(secret: SecretSpec) -> str:
+    return " ".join(f"({name} Int)" for name in secret.field_names)
+
+
+def _space_guard(secret: SecretSpec) -> str:
+    parts = [
+        f"(and (<= {f.lo} {name}) (<= {name} {f.hi}))"
+        for name, f in zip(secret.field_names, secret.fields)
+    ]
+    return f"(and {' '.join(parts)})" if len(parts) > 1 else parts[0]
+
+
+def synthesis_script(
+    query: Expr, secret: SecretSpec, *, mode: str = "under", polarity: bool = True
+) -> str:
+    """The section 5.3 hole-filling problem as a νZ optimization script.
+
+    ``mode='under'`` maximizes the widths of a box forced inside the
+    (possibly negated) query region; ``mode='over'`` minimizes the widths of
+    a box forced to contain it.
+    """
+    if mode not in ("under", "over"):
+        raise ValueError(f"mode must be 'under' or 'over', got {mode!r}")
+    names = secret.field_names
+    target = to_smt(query if polarity else Not(query))  # type: ignore[arg-type]
+
+    lines = ["(set-logic ALL)", "(set-option :opt.priority pareto)"]
+    for name in names:
+        lines.append(f"(declare-const l_{name} Int)")
+        lines.append(f"(declare-const u_{name} Int)")
+    for name, fspec in zip(names, secret.fields):
+        lines.append(f"(assert (<= {fspec.lo} l_{name}))")
+        lines.append(f"(assert (<= u_{name} {fspec.hi}))")
+        lines.append(f"(assert (<= l_{name} u_{name}))")
+
+    membership = " ".join(
+        f"(and (<= l_{name} {name}) (<= {name} u_{name}))" for name in names
+    )
+    in_dom = f"(and {membership})" if len(names) > 1 else membership
+    guard = _space_guard(secret)
+    if mode == "under":
+        body = f"(=> (and {guard} {in_dom}) {target})"
+    else:
+        body = f"(=> (and {guard} {target}) {in_dom})"
+    lines.append(f"(assert (forall ({_quantified_vars(secret)}) {body}))")
+
+    directive = "maximize" if mode == "under" else "minimize"
+    for name in names:
+        lines.append(f"({directive} (- u_{name} l_{name}))")
+    lines.append("(check-sat)")
+    lines.append("(get-objectives)")
+    lines.append("(get-model)")
+    return "\n".join(lines) + "\n"
+
+
+def forall_script(query: Expr, secret: SecretSpec, box: Box) -> str:
+    """A verification obligation: UNSAT iff ``box`` is inside the region."""
+    names = secret.field_names
+    lines = ["(set-logic ALL)"]
+    for name in names:
+        lines.append(f"(declare-const {name} Int)")
+    for name, (lo, hi) in zip(names, box.bounds):
+        lines.append(f"(assert (<= {lo} {name}))")
+        lines.append(f"(assert (<= {name} {hi}))")
+    lines.append(f"(assert (not {to_smt(query)}))")
+    lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"

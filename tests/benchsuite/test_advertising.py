@@ -1,0 +1,63 @@
+"""Tests for the section 6.2 advertising system."""
+
+import pytest
+
+from repro.benchsuite.advertising import (
+    USER_LOC,
+    build_system,
+    nearby_query,
+)
+from repro.lang.eval import eval_bool
+
+
+class TestNearbyQuery:
+    def test_matches_manhattan_distance(self):
+        query = nearby_query((200, 200))
+        assert eval_bool(query, {"x": 300, "y": 200})
+        assert not eval_bool(query, {"x": 301, "y": 200})
+
+    def test_user_loc_space(self):
+        assert USER_LOC.space_size() == 160_000
+
+
+@pytest.fixture(scope="module")
+def small_system():
+    return build_system(k=2, num_queries=5, seed=7)
+
+
+class TestSystem:
+    def test_compiles_requested_number_of_queries(self, small_system):
+        assert len(small_system.query_names) == 5
+        assert small_system.registry.names() == sorted(small_system.query_names)
+
+    def test_deterministic_given_seed(self):
+        a = build_system(k=1, num_queries=3, seed=11)
+        b = build_system(k=1, num_queries=3, seed=11)
+        assert a.query_names == b.query_names
+
+    def test_different_seeds_differ(self):
+        a = build_system(k=1, num_queries=3, seed=11)
+        b = build_system(k=1, num_queries=3, seed=12)
+        assert a.query_names != b.query_names
+
+    def test_instance_stops_at_first_violation(self, small_system):
+        result = small_system.run_instance((200, 200))
+        assert 0 <= result.authorized <= 5
+        if result.violated:
+            assert result.authorized < 5
+        else:
+            assert result.survived_all
+
+    def test_instance_results_are_reproducible(self, small_system):
+        first = small_system.run_instance((123, 321))
+        second = small_system.run_instance((123, 321))
+        assert first == second
+
+    def test_check_both_is_not_more_permissive(self):
+        lenient = build_system(k=2, num_queries=5, seed=7, check_both=False)
+        strict = build_system(k=2, num_queries=5, seed=7, check_both=True)
+        for secret in [(10, 10), (200, 200), (399, 0)]:
+            assert (
+                strict.run_instance(secret).authorized
+                <= lenient.run_instance(secret).authorized
+            )

@@ -1,0 +1,70 @@
+"""Tests for the B1-B5 benchmark definitions and ground truth."""
+
+import pytest
+
+from repro.benchsuite.groundtruth import exact_indset_sizes, ground_truth
+from repro.benchsuite.mardziel import ALL_BENCHMARKS, benchmark
+from repro.lang.validate import validate_query
+
+
+class TestDefinitions:
+    def test_all_five_present(self):
+        assert sorted(ALL_BENCHMARKS) == ["B1", "B2", "B3", "B4", "B5"]
+
+    def test_lookup(self):
+        assert benchmark("B1").name == "Birthday"
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            benchmark("B9")
+
+    @pytest.mark.parametrize("bench_id", ["B1", "B2", "B3", "B4", "B5"])
+    def test_queries_are_admissible(self, bench_id):
+        problem = ALL_BENCHMARKS[bench_id]
+        report = validate_query(problem.query, problem.secret)
+        assert report.variables <= set(problem.secret.field_names)
+
+    def test_field_counts_match_table1(self):
+        expected = {"B1": 2, "B2": 3, "B3": 3, "B4": 4, "B5": 4}
+        for bench_id, count in expected.items():
+            assert ALL_BENCHMARKS[bench_id].field_count == count
+
+
+class TestGroundTruth:
+    def test_birthday_exact_sizes(self):
+        truth = ground_truth(ALL_BENCHMARKS["B1"])
+        assert truth.true_size == 259
+        assert truth.false_size == 13246
+
+    def test_photo_exact_sizes(self):
+        truth = ground_truth(ALL_BENCHMARKS["B3"])
+        assert truth.true_size == 4
+        assert truth.false_size == 884
+
+    def test_travel_exact_sizes(self):
+        truth = ground_truth(ALL_BENCHMARKS["B5"])
+        assert truth.true_size == 2160
+        assert truth.false_size == 6_697_840
+
+    def test_ship_exact_sizes(self):
+        truth = ground_truth(ALL_BENCHMARKS["B2"])
+        assert truth.true_size == 1_010_050
+        assert truth.false_size == 24_290_850
+
+    def test_sizes_partition_the_space(self):
+        truth = ground_truth(ALL_BENCHMARKS["B1"])
+        assert truth.true_size + truth.false_size == truth.space_size
+        assert truth.size_for(True) == truth.true_size
+        assert truth.size_for(False) == truth.false_size
+
+    def test_exact_indset_sizes_on_custom_query(self, tiny_spec):
+        from repro.lang.parser import parse_bool
+
+        truth = exact_indset_sizes(parse_bool("x <= 0"), tiny_spec)
+        assert truth.true_size == 9 * 16
+
+
+@pytest.mark.slow
+class TestGroundTruthSlow:
+    def test_pizza_exact_sizes(self):
+        truth = ground_truth(ALL_BENCHMARKS["B4"])
+        assert truth.true_size == 14_977_248_052
+        assert truth.true_size + truth.false_size == truth.space_size

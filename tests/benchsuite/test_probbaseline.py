@@ -1,0 +1,102 @@
+"""Tests for the HC4 Prob-style baseline: soundness and convergence."""
+
+from hypothesis import given, settings
+
+from repro.benchsuite.probbaseline import ProbLiteAnalyzer, hc4_posterior
+from repro.lang.ast import var
+from repro.lang.eval import eval_bool
+from repro.lang.secrets import SecretSpec
+from repro.solver.boxes import Box
+from tests.strategies import bool_exprs
+
+SPEC = SecretSpec.declare("S", x=(-8, 12), y=(0, 15))
+SPACE = Box(SPEC.bounds())
+NAMES = SPEC.field_names
+
+
+def _consistent(query, response):
+    return {
+        p
+        for p in SPACE.iter_points()
+        if eval_bool(query, dict(zip(NAMES, p))) == response
+    }
+
+
+class TestSoundness:
+    @given(bool_exprs(NAMES))
+    @settings(max_examples=100, deadline=None)
+    def test_posterior_overapproximates_true_response(self, query):
+        result = hc4_posterior(query, SPEC, SPACE, True)
+        consistent = _consistent(query, True)
+        if result.box is None:
+            assert not consistent
+        else:
+            assert consistent <= set(result.box.iter_points())
+
+    @given(bool_exprs(NAMES))
+    @settings(max_examples=100, deadline=None)
+    def test_posterior_overapproximates_false_response(self, query):
+        result = hc4_posterior(query, SPEC, SPACE, False)
+        consistent = _consistent(query, False)
+        if result.box is None:
+            assert not consistent
+        else:
+            assert consistent <= set(result.box.iter_points())
+
+    @given(bool_exprs(NAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_terminates_within_iteration_cap(self, query):
+        result = hc4_posterior(query, SPEC, SPACE, True, max_iterations=20)
+        assert result.iterations <= 20
+        assert result.elapsed >= 0
+
+
+class TestPropagationPrecision:
+    def test_conjunction_narrows_both_variables(self):
+        query = (var("x") >= 3) & (var("y") <= 4)
+        result = hc4_posterior(query, SPEC, SPACE, True)
+        assert result.box == Box.make((3, 12), (0, 4))
+
+    def test_infeasible_returns_none(self):
+        query = var("x").eq(99)
+        result = hc4_posterior(query, SPEC, SPACE, True)
+        assert result.box is None
+        assert result.size() == 0
+
+    def test_equality_pins_variable(self):
+        result = hc4_posterior(var("x").eq(5), SPEC, SPACE, True)
+        assert result.box.bounds[0] == (5, 5)
+
+    def test_disjunction_joins_branches(self):
+        query = (var("x") <= -5) | (var("x") >= 10)
+        result = hc4_posterior(query, SPEC, SPACE, True)
+        # The hull of the two branches: the join-point imprecision.
+        assert result.box.bounds[0] == (-8, 12)
+
+    def test_abs_constraint_narrows(self):
+        query = abs(var("x")) <= 2
+        result = hc4_posterior(query, SPEC, SPACE, True)
+        assert result.box.bounds[0] == (-2, 2)
+
+    def test_in_set_narrows_to_member_hull(self):
+        query = var("x").in_set({0, 1, 7})
+        result = hc4_posterior(query, SPEC, SPACE, True)
+        assert result.box.bounds[0] == (0, 7)
+
+
+class TestAnalyzer:
+    def test_tracks_knowledge_across_queries(self):
+        analyzer = ProbLiteAnalyzer(SPEC)
+        analyzer.observe(var("x") >= 0, True)
+        analyzer.observe(var("x") <= 5, True)
+        assert analyzer.knowledge.bounds[0] == (0, 5)
+        assert analyzer.queries_run == 2
+        assert analyzer.analysis_time > 0
+
+    def test_infeasible_observation_keeps_previous_knowledge(self):
+        analyzer = ProbLiteAnalyzer(SPEC)
+        analyzer.observe(var("x") >= 0, True)
+        before = analyzer.knowledge
+        result = analyzer.observe(var("x") <= -1, True)
+        assert result is None
+        assert analyzer.knowledge == before

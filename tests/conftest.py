@@ -1,0 +1,33 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.ast import var
+from repro.lang.secrets import SecretSpec
+from repro.solver.boxes import Box
+
+
+@pytest.fixture
+def user_loc() -> SecretSpec:
+    """The paper's running-example secret type (section 2)."""
+    return SecretSpec.declare("UserLoc", x=(0, 399), y=(0, 399))
+
+
+@pytest.fixture
+def nearby():
+    """The paper's ``nearby (200, 200)`` query."""
+    x, y = var("x"), var("y")
+    return abs(x - 200) + abs(y - 200) <= 100
+
+
+@pytest.fixture
+def tiny_spec() -> SecretSpec:
+    """A secret space small enough for brute-force comparison."""
+    return SecretSpec.declare("Tiny", x=(-8, 12), y=(0, 15))
+
+
+@pytest.fixture
+def tiny_space(tiny_spec) -> Box:
+    return Box(tiny_spec.bounds())

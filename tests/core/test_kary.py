@@ -1,0 +1,85 @@
+"""Tests for k-ary (non-boolean) query compilation."""
+
+import pytest
+
+from repro.core.kary import MAX_OUTPUTS, compile_kary_query
+from repro.domains.box import IntervalDomain
+from repro.lang.ast import var
+from repro.lang.eval import eval_int
+from repro.lang.secrets import SecretSpec
+from repro.lang.validate import QueryValidationError
+from repro.solver.boxes import Box
+
+SPEC = SecretSpec.declare("S", x=(0, 19), y=(0, 19))
+SPACE = Box(SPEC.bounds())
+NAMES = SPEC.field_names
+
+#: Which quadrant of the grid the secret is in: outputs {0, 1, 2}.
+QUADRANT = (var("x") >= 10).ite(1, 0) + (var("y") >= 10).ite(1, 0)
+
+
+class TestCompilation:
+    def test_outputs_discovered_exactly(self):
+        compiled = compile_kary_query("quadrant", QUADRANT, SPEC)
+        assert compiled.qinfo.outputs == (0, 1, 2)
+
+    def test_every_output_verified(self):
+        compiled = compile_kary_query("quadrant", QUADRANT, SPEC)
+        assert compiled.verified
+        assert set(compiled.outcomes) == {
+            f"{mode}[{v}]" for mode in ("under", "over") for v in (0, 1, 2)
+        }
+
+    def test_run_evaluates(self):
+        compiled = compile_kary_query("quadrant", QUADRANT, SPEC)
+        assert compiled.qinfo.run((0, 0)) == 0
+        assert compiled.qinfo.run((15, 0)) == 1
+        assert compiled.qinfo.run((15, 15)) == 2
+
+    def test_under_indsets_sound(self):
+        compiled = compile_kary_query("quadrant", QUADRANT, SPEC)
+        for output, indset in compiled.qinfo.under_indsets.items():
+            for point in SPACE.iter_points():
+                if indset.contains(point):
+                    assert eval_int(QUADRANT, dict(zip(NAMES, point))) == output
+
+    def test_over_indsets_complete(self):
+        compiled = compile_kary_query("quadrant", QUADRANT, SPEC)
+        for point in list(SPACE.iter_points())[::7]:
+            output = eval_int(QUADRANT, dict(zip(NAMES, point)))
+            assert compiled.qinfo.over_indsets[output].contains(point)
+
+    def test_powerset_domain_variant(self):
+        compiled = compile_kary_query("quadrant", QUADRANT, SPEC, domain="powerset", k=2)
+        assert compiled.verified
+        # The under ind. set for output 1 is two disjoint rectangles; a
+        # k=2 powerset captures both exactly.
+        ones = compiled.qinfo.under_indsets[1]
+        assert ones.size() == 200
+
+    def test_posteriors_intersect_prior(self):
+        compiled = compile_kary_query("quadrant", QUADRANT, SPEC)
+        prior = IntervalDomain(SPEC, Box.make((0, 9), (0, 19)))
+        posteriors = compiled.qinfo.underapprox(prior)
+        assert posteriors[1].size() <= prior.size()
+        # Output 1 with x<10 forces y>=10.
+        for point in SPACE.iter_points():
+            if posteriors[1].contains(point):
+                assert point[0] < 10 and point[1] >= 10
+
+
+class TestRejections:
+    def test_boolean_expression_rejected(self):
+        with pytest.raises(QueryValidationError, match="integer"):
+            compile_kary_query("q", var("x") <= 1, SPEC)  # type: ignore[arg-type]
+
+    def test_wide_output_range_rejected(self):
+        with pytest.raises(QueryValidationError, match="too wide|outputs"):
+            compile_kary_query("q", var("x") * 100 + var("y"), SPEC)
+
+    def test_undeclared_field_rejected(self):
+        with pytest.raises(QueryValidationError):
+            compile_kary_query("q", var("z") + 1, SPEC)
+
+    def test_max_outputs_is_enforced_constant(self):
+        assert MAX_OUTPUTS >= 2

@@ -1,0 +1,105 @@
+"""End-to-end tests for the compile pipeline and query registry."""
+
+import pytest
+
+from repro.core.plugin import CompileOptions, QueryRegistry, compile_query
+from repro.core.synth import SynthOptions
+from repro.domains.box import IntervalDomain
+from repro.domains.powerset import PowersetDomain
+from repro.lang.ast import var
+from repro.lang.eval import eval_bool
+from repro.lang.secrets import SecretSpec
+from repro.lang.validate import QueryValidationError
+from repro.solver.boxes import Box
+
+SPEC = SecretSpec.declare("S", x=(0, 19), y=(0, 19))
+QUERY = var("x") + var("y") <= 10
+
+
+class TestCompileQuery:
+    def test_interval_compile_produces_verified_pairs(self):
+        compiled = compile_query("q", QUERY, SPEC)
+        assert compiled.name == "q"
+        for mode in ("under", "over"):
+            assert compiled.reports[mode].verified
+            assert compiled.reports[mode].synth_time >= 0
+        assert isinstance(compiled.qinfo.under_indset[0], IntervalDomain)
+
+    def test_powerset_compile(self):
+        options = CompileOptions(domain="powerset", k=2)
+        compiled = compile_query("q", QUERY, SPEC, options)
+        assert isinstance(compiled.qinfo.under_indset[0], PowersetDomain)
+        assert compiled.reports["under"].verified
+
+    def test_string_queries_are_parsed(self):
+        compiled = compile_query("q", "x + y <= 10", SPEC)
+        assert compiled.qinfo.query == QUERY
+
+    def test_under_only_mode(self):
+        options = CompileOptions(modes=("under",))
+        compiled = compile_query("q", QUERY, SPEC, options)
+        assert compiled.qinfo.under_indset is not None
+        assert compiled.qinfo.over_indset is None
+
+    def test_verification_can_be_skipped(self):
+        options = CompileOptions(verify=False)
+        compiled = compile_query("q", QUERY, SPEC, options)
+        assert compiled.reports["under"].true_outcome is None
+        assert not compiled.reports["under"].verified
+
+    def test_invalid_query_rejected(self):
+        with pytest.raises(QueryValidationError):
+            compile_query("q", "z <= 1", SPEC)
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(ValueError):
+            CompileOptions(domain="octagon")
+        with pytest.raises(ValueError):
+            CompileOptions(modes=("sideways",))
+
+    def test_underapproximation_soundness_end_to_end(self):
+        compiled = compile_query("q", QUERY, SPEC)
+        true_ind, false_ind = compiled.qinfo.under_indset
+        for point in Box(SPEC.bounds()).iter_points():
+            env = dict(zip(SPEC.field_names, point))
+            if true_ind.contains(point):
+                assert eval_bool(QUERY, env)
+            if false_ind.contains(point):
+                assert not eval_bool(QUERY, env)
+
+    def test_overapproximation_soundness_end_to_end(self):
+        compiled = compile_query("q", QUERY, SPEC)
+        true_ind, false_ind = compiled.qinfo.over_indset
+        for point in Box(SPEC.bounds()).iter_points():
+            env = dict(zip(SPEC.field_names, point))
+            if eval_bool(QUERY, env):
+                assert true_ind.contains(point)
+            else:
+                assert false_ind.contains(point)
+
+    def test_validation_report_attached(self):
+        compiled = compile_query("q", QUERY, SPEC)
+        assert compiled.validation.variables == {"x", "y"}
+
+
+class TestQueryRegistry:
+    def test_register_and_lookup(self):
+        registry = QueryRegistry()
+        compiled = registry.compile_and_register("q", QUERY, SPEC)
+        assert registry.lookup("q") is compiled
+        assert registry.names() == ["q"]
+
+    def test_lookup_missing_returns_none(self):
+        assert QueryRegistry().lookup("nope") is None
+
+    def test_duplicate_names_rejected(self):
+        registry = QueryRegistry()
+        registry.compile_and_register("q", QUERY, SPEC)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.compile_and_register("q", QUERY, SPEC)
+
+    def test_registry_with_custom_synth_options(self):
+        registry = QueryRegistry()
+        options = CompileOptions(synth=SynthOptions(time_budget=1.0))
+        compiled = registry.compile_and_register("q", QUERY, SPEC, options)
+        assert compiled.reports["under"].verified

@@ -1,0 +1,119 @@
+"""Tests for sketches, QInfo posterior functions, and knowledge lifting."""
+
+import pytest
+
+from repro.core.qinfo import QInfo, intersect_knowledge
+from repro.core.sketch import fill, make_indset_sketch
+from repro.domains.box import IntervalDomain
+from repro.domains.powerset import PowersetDomain
+from repro.lang.ast import var
+from repro.lang.secrets import SecretSpec
+from repro.solver.boxes import Box
+
+SPEC = SecretSpec.declare("S", x=(0, 19), y=(0, 19))
+QUERY = var("x") + var("y") <= 10
+
+
+class TestSketch:
+    def test_under_sketch_holes(self):
+        sketch = make_indset_sketch(QUERY, SPEC, "under", "interval")
+        assert sketch.true_hole.refinement.positive == QUERY
+        assert "□ :: A" in sketch.true_hole.render()
+        assert "under_indset" in sketch.render()
+
+    def test_over_sketch_holes(self):
+        sketch = make_indset_sketch(QUERY, SPEC, "over", "powerset")
+        assert sketch.false_hole.refinement.negative == QUERY
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            make_indset_sketch(QUERY, SPEC, "sideways", "interval")
+
+    def test_bad_domain_kind(self):
+        with pytest.raises(ValueError):
+            make_indset_sketch(QUERY, SPEC, "under", "octagon")
+
+    def test_fill_checks_spec(self):
+        sketch = make_indset_sketch(QUERY, SPEC, "under", "interval")
+        other = SecretSpec.declare("Other", a=(0, 1))
+        with pytest.raises(ValueError, match="filled with a domain"):
+            fill(sketch, IntervalDomain.top(other), IntervalDomain.top(other))
+
+    def test_fill_returns_pair(self):
+        sketch = make_indset_sketch(QUERY, SPEC, "under", "interval")
+        a = IntervalDomain(SPEC, Box.make((0, 5), (0, 5)))
+        b = IntervalDomain(SPEC, Box.make((11, 19), (0, 19)))
+        assert fill(sketch, a, b) == (a, b)
+
+
+class TestIntersectKnowledge:
+    def test_interval_interval(self):
+        a = IntervalDomain(SPEC, Box.make((0, 10), (0, 10)))
+        b = IntervalDomain(SPEC, Box.make((5, 19), (5, 19)))
+        result = intersect_knowledge(a, b)
+        assert isinstance(result, IntervalDomain)
+        assert result.size() == 36
+
+    def test_mixed_lifts_to_powerset(self):
+        interval = IntervalDomain(SPEC, Box.make((0, 10), (0, 10)))
+        powerset = PowersetDomain.top(SPEC)
+        result = intersect_knowledge(interval, powerset)
+        assert isinstance(result, PowersetDomain)
+        assert result.size() == interval.size()
+
+
+class TestQInfo:
+    def _qinfo(self):
+        true_ind = IntervalDomain(SPEC, Box.make((0, 5), (0, 5)))
+        false_ind = IntervalDomain(SPEC, Box.make((11, 19), (0, 19)))
+        over_true = IntervalDomain(SPEC, Box.make((0, 10), (0, 10)))
+        over_false = IntervalDomain.top(SPEC)
+        return QInfo(
+            name="q",
+            query=QUERY,
+            secret=SPEC,
+            under_indset=(true_ind, false_ind),
+            over_indset=(over_true, over_false),
+        )
+
+    def test_run_evaluates_query(self):
+        qinfo = self._qinfo()
+        assert qinfo.run((0, 0)) is True
+        assert qinfo.run((19, 19)) is False
+
+    def test_run_accepts_mapping(self):
+        assert self._qinfo().run({"x": 1, "y": 2}) is True
+
+    def test_underapprox_intersects_prior(self):
+        qinfo = self._qinfo()
+        prior = IntervalDomain(SPEC, Box.make((3, 19), (0, 19)))
+        post_true, post_false = qinfo.underapprox(prior)
+        assert post_true.size() == 3 * 6  # x in [3,5], y in [0,5]
+        assert post_false.size() == 9 * 20
+
+    def test_overapprox_intersects_prior(self):
+        qinfo = self._qinfo()
+        prior = IntervalDomain(SPEC, Box.make((0, 4), (0, 19)))
+        post_true, _post_false = qinfo.overapprox(prior)
+        assert post_true.size() == 5 * 11
+
+    def test_approx_dispatches_on_mode(self):
+        qinfo = self._qinfo()
+        prior = IntervalDomain.top(SPEC)
+        assert qinfo.approx(prior, mode="under")[0].size() == 36
+        assert qinfo.approx(prior, mode="over")[0].size() == 121
+        with pytest.raises(ValueError):
+            qinfo.approx(prior, mode="diagonal")
+
+    def test_missing_mode_raises(self):
+        qinfo = QInfo("q", QUERY, SPEC, under_indset=None, over_indset=None)
+        with pytest.raises(ValueError, match="compiled without"):
+            qinfo.underapprox(IntervalDomain.top(SPEC))
+        with pytest.raises(ValueError, match="compiled without"):
+            qinfo.overapprox(IntervalDomain.top(SPEC))
+
+    def test_as_function(self):
+        qinfo = self._qinfo()
+        approx = qinfo.as_function(mode="under")
+        post_true, _ = approx(IntervalDomain.top(SPEC))
+        assert post_true.size() == 36

@@ -1,0 +1,142 @@
+"""Tests for Synth (interval synthesis) and IterSynth (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.itersynth import iter_synth_powerset
+from repro.core.synth import SynthOptions, synth_interval
+from repro.lang.ast import Not, var
+from repro.lang.eval import eval_bool
+from repro.lang.secrets import SecretSpec
+from repro.lang.transform import nnf
+from repro.solver.boxes import Box, boxes_are_disjoint
+from tests.strategies import bool_exprs
+
+SPEC = SecretSpec.declare("S", x=(-8, 12), y=(0, 15))
+SPACE = Box(SPEC.bounds())
+NAMES = SPEC.field_names
+
+
+def _region(formula, polarity=True):
+    target = formula if polarity else nnf(Not(formula))
+    return {
+        p for p in SPACE.iter_points() if eval_bool(target, dict(zip(NAMES, p)))
+    }
+
+
+class TestSynthInterval:
+    @given(bool_exprs(NAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_under_box_inside_region(self, query):
+        result = synth_interval(query, SPEC, mode="under", polarity=True)
+        if result.domain.box is not None:
+            assert set(result.domain.box.iter_points()) <= _region(query)
+        else:
+            assert not _region(query)
+
+    @given(bool_exprs(NAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_over_box_covers_region(self, query):
+        result = synth_interval(query, SPEC, mode="over", polarity=True)
+        region = _region(query)
+        if result.domain.box is None:
+            assert not region
+        else:
+            assert region <= set(result.domain.box.iter_points())
+
+    @given(bool_exprs(NAMES))
+    @settings(max_examples=40, deadline=None)
+    def test_false_polarity_targets_complement(self, query):
+        result = synth_interval(query, SPEC, mode="under", polarity=False)
+        if result.domain.box is not None:
+            assert set(result.domain.box.iter_points()) <= _region(query, False)
+
+    def test_region_constraint_respected(self):
+        query = var("x") >= 0
+        region = var("y") <= 5
+        result = synth_interval(
+            query, SPEC, mode="under", polarity=True, region=region
+        )
+        assert result.domain.box is not None
+        for point in result.domain.box.iter_points():
+            assert point[1] <= 5
+
+    def test_empty_region_synthesizes_bottom(self):
+        result = synth_interval(var("x").eq(99), SPEC, mode="under", polarity=True)
+        assert result.domain.is_empty()
+        assert result.proved_empty
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            synth_interval(var("x") <= 0, SPEC, mode="middle", polarity=True)
+
+    def test_result_metadata(self):
+        result = synth_interval(var("x") <= 0, SPEC, mode="under", polarity=True)
+        assert result.elapsed >= 0
+        assert not result.timed_out
+
+
+class TestIterSynthUnder:
+    def test_disjoint_includes(self):
+        query = var("x").in_set({-5, 0, 5, 10})
+        result = iter_synth_powerset(query, SPEC, k=3, mode="under", polarity=True)
+        assert boxes_are_disjoint(list(result.domain.include))
+        assert not result.domain.exclude
+
+    def test_monotone_in_k(self):
+        query = var("x").in_set({-5, 0, 5, 10})
+        sizes = [
+            iter_synth_powerset(query, SPEC, k=k, mode="under", polarity=True)
+            .domain.size()
+            for k in (1, 2, 3, 4)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_exactness_when_region_is_k_boxes(self):
+        # The True region splits into exactly 2 boxes: k=2 captures it all.
+        query = (var("x") <= -5) | (var("x") >= 10)
+        result = iter_synth_powerset(query, SPEC, k=3, mode="under", polarity=True)
+        assert result.domain.size() == len(_region(query))
+        assert result.iterations == 2  # early exhaustion
+
+    def test_under_soundness(self):
+        query = abs(var("x")) + abs(var("y") - 8) <= 6
+        result = iter_synth_powerset(query, SPEC, k=4, mode="under", polarity=True)
+        points = {
+            p for p in SPACE.iter_points() if result.domain.contains(p)
+        }
+        assert points <= _region(query)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            iter_synth_powerset(var("x") <= 0, SPEC, k=0, mode="under", polarity=True)
+
+
+class TestIterSynthOver:
+    def test_cover_plus_exclusions_still_covers(self):
+        query = abs(var("x")) + abs(var("y") - 8) <= 6
+        result = iter_synth_powerset(query, SPEC, k=4, mode="over", polarity=True)
+        region = _region(query)
+        points = {p for p in SPACE.iter_points() if result.domain.contains(p)}
+        assert region <= points
+
+    def test_exclusions_improve_precision(self):
+        query = abs(var("x")) + abs(var("y") - 8) <= 6
+        k1 = iter_synth_powerset(query, SPEC, k=1, mode="over", polarity=True)
+        k4 = iter_synth_powerset(query, SPEC, k=4, mode="over", polarity=True)
+        assert k4.domain.size() <= k1.domain.size()
+
+    def test_empty_region_gives_bottom(self):
+        result = iter_synth_powerset(
+            var("x").eq(99), SPEC, k=3, mode="over", polarity=True
+        )
+        assert result.domain.is_empty()
+
+    def test_exclusions_disjoint_and_inside_cover(self):
+        query = abs(var("x")) + abs(var("y") - 8) <= 6
+        result = iter_synth_powerset(query, SPEC, k=4, mode="over", polarity=True)
+        domain = result.domain
+        assert boxes_are_disjoint(list(domain.exclude))
+        cover = domain.include[0]
+        for hole in domain.exclude:
+            assert cover.contains_box(hole)

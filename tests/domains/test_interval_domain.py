@@ -1,0 +1,145 @@
+"""Tests for AInt and the interval domain A_I."""
+
+import pytest
+
+from repro.domains.base import DomainMismatch
+from repro.domains.box import IntervalDomain
+from repro.domains.interval import AInt
+from repro.lang.ast import BoolLit
+from repro.lang.eval import eval_bool
+from repro.lang.secrets import SecretSpec
+from repro.solver.boxes import Box
+
+
+@pytest.fixture
+def spec():
+    return SecretSpec.declare("S", x=(0, 9), y=(0, 9))
+
+
+class TestAInt:
+    def test_width(self):
+        assert AInt(121, 279).width == 159
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AInt(3, 2)
+
+    def test_contains(self):
+        assert AInt(0, 5).contains(5)
+        assert not AInt(0, 5).contains(6)
+
+    def test_is_subset(self):
+        assert AInt(2, 3).is_subset(AInt(0, 5))
+        assert not AInt(0, 5).is_subset(AInt(2, 3))
+
+    def test_intersect(self):
+        assert AInt(0, 5).intersect(AInt(3, 9)) == AInt(3, 5)
+        assert AInt(0, 1).intersect(AInt(3, 9)) is None
+
+    def test_hull(self):
+        assert AInt(0, 1).hull(AInt(5, 7)) == AInt(0, 7)
+
+    def test_as_pair(self):
+        assert AInt(1, 2).as_pair() == (1, 2)
+
+
+class TestConstructors:
+    def test_top_is_full_space(self, spec):
+        top = IntervalDomain.top(spec)
+        assert top.size() == 100
+        assert top.box == Box(spec.bounds())
+
+    def test_bottom_is_empty(self, spec):
+        bottom = IntervalDomain.bottom(spec)
+        assert bottom.size() == 0
+        assert bottom.is_empty()
+
+    def test_from_aints(self, spec):
+        domain = IntervalDomain.from_aints(spec, [AInt(1, 3), AInt(4, 6)])
+        assert domain.size() == 9
+        assert domain.aints() == (AInt(1, 3), AInt(4, 6))
+
+    def test_from_aints_arity_check(self, spec):
+        with pytest.raises(ValueError, match="fields"):
+            IntervalDomain.from_aints(spec, [AInt(1, 3)])
+
+    def test_aints_of_bottom_raises(self, spec):
+        with pytest.raises(ValueError):
+            IntervalDomain.bottom(spec).aints()
+
+    def test_out_of_bounds_box_rejected(self, spec):
+        with pytest.raises(ValueError, match="global bounds"):
+            IntervalDomain(spec, Box.make((0, 10), (0, 9)))
+
+    def test_arity_mismatch_rejected(self, spec):
+        with pytest.raises(ValueError, match="arity"):
+            IntervalDomain(spec, Box.make((0, 9)))
+
+
+class TestMethods:
+    def test_contains(self, spec):
+        domain = IntervalDomain(spec, Box.make((2, 4), (5, 7)))
+        assert domain.contains((3, 6))
+        assert not domain.contains((0, 6))
+
+    def test_contains_validates_bounds(self, spec):
+        domain = IntervalDomain.top(spec)
+        with pytest.raises(ValueError):
+            domain.contains((100, 0))
+
+    def test_bottom_contains_nothing(self, spec):
+        assert not IntervalDomain.bottom(spec).contains((0, 0))
+
+    def test_subset(self, spec):
+        small = IntervalDomain(spec, Box.make((2, 3), (2, 3)))
+        big = IntervalDomain(spec, Box.make((0, 5), (0, 5)))
+        assert small.is_subset(big)
+        assert not big.is_subset(small)
+
+    def test_bottom_subset_of_all(self, spec):
+        bottom = IntervalDomain.bottom(spec)
+        assert bottom.is_subset(IntervalDomain.top(spec))
+        assert bottom.is_subset(bottom)
+
+    def test_nothing_nonempty_subset_of_bottom(self, spec):
+        assert not IntervalDomain.top(spec).is_subset(IntervalDomain.bottom(spec))
+
+    def test_intersect(self, spec):
+        a = IntervalDomain(spec, Box.make((0, 5), (0, 5)))
+        b = IntervalDomain(spec, Box.make((3, 9), (4, 9)))
+        result = a.intersect(b)
+        assert result.box == Box.make((3, 5), (4, 5))
+
+    def test_intersect_disjoint_gives_bottom(self, spec):
+        a = IntervalDomain(spec, Box.make((0, 1), (0, 1)))
+        b = IntervalDomain(spec, Box.make((5, 9), (5, 9)))
+        assert a.intersect(b).is_empty()
+
+    def test_intersect_result_subset_of_both(self, spec):
+        a = IntervalDomain(spec, Box.make((0, 5), (2, 8)))
+        b = IntervalDomain(spec, Box.make((3, 9), (0, 5)))
+        result = a.intersect(b)
+        assert result.is_subset(a) and result.is_subset(b)
+
+    def test_spec_mismatch(self, spec):
+        other = SecretSpec.declare("Other", a=(0, 9), b=(0, 9))
+        with pytest.raises(DomainMismatch):
+            IntervalDomain.top(spec).intersect(IntervalDomain.top(other))
+
+    def test_member_formula_semantics(self, spec):
+        domain = IntervalDomain(spec, Box.make((2, 4), (5, 7)))
+        formula = domain.member_formula()
+        for point in Box(spec.bounds()).iter_points():
+            env = dict(zip(spec.field_names, point))
+            assert eval_bool(formula, env) == domain.contains(point)
+
+    def test_bottom_member_formula_is_false(self, spec):
+        assert IntervalDomain.bottom(spec).member_formula() == BoolLit(False)
+
+    def test_boxes(self, spec):
+        assert IntervalDomain.bottom(spec).boxes() == []
+        assert len(IntervalDomain.top(spec).boxes()) == 1
+
+    def test_repr(self, spec):
+        assert "⊥" in repr(IntervalDomain.bottom(spec))
+        assert "x∈[0,9]" in repr(IntervalDomain.top(spec))

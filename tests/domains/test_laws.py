@@ -1,0 +1,82 @@
+"""Property tests for the Figure 3 class laws (sizeLaw / subsetLaw)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domains.base import check_size_law, check_subset_law
+from repro.domains.box import IntervalDomain
+from repro.domains.powerset import PowersetDomain
+from repro.lang.secrets import SecretSpec
+from repro.solver.boxes import Box
+from tests.strategies import boxes_within, points_within
+
+SPEC = SecretSpec.declare("S", x=(0, 9), y=(0, 9))
+SPACE = Box(SPEC.bounds())
+
+interval_domains = st.one_of(
+    st.just(IntervalDomain.bottom(SPEC)),
+    boxes_within(SPACE).map(lambda b: IntervalDomain(SPEC, b)),
+)
+
+powerset_domains = st.builds(
+    lambda inc, exc: PowersetDomain(SPEC, tuple(inc), tuple(exc)),
+    st.lists(boxes_within(SPACE), max_size=3),
+    st.lists(boxes_within(SPACE), max_size=2),
+)
+
+
+class TestIntervalLaws:
+    @given(interval_domains, interval_domains)
+    @settings(max_examples=100, deadline=None)
+    def test_size_law(self, d1, d2):
+        assert check_size_law(d1, d2)
+
+    @given(interval_domains, interval_domains, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_subset_law(self, d1, d2, data):
+        point = data.draw(points_within(SPACE))
+        assert check_subset_law(point, d1, d2)
+
+    @given(interval_domains, interval_domains)
+    @settings(max_examples=100, deadline=None)
+    def test_intersection_refines_both(self, d1, d2):
+        result = d1.intersect(d2)
+        assert result.is_subset(d1)
+        assert result.is_subset(d2)
+        assert check_size_law(result, d1)
+        assert check_size_law(result, d2)
+
+
+class TestPowersetLaws:
+    @given(powerset_domains, powerset_domains)
+    @settings(max_examples=80, deadline=None)
+    def test_size_law(self, d1, d2):
+        assert check_size_law(d1, d2)
+
+    @given(powerset_domains, powerset_domains, st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_subset_law(self, d1, d2, data):
+        point = data.draw(points_within(SPACE))
+        assert check_subset_law(point, d1, d2)
+
+    @given(powerset_domains, powerset_domains)
+    @settings(max_examples=80, deadline=None)
+    def test_intersection_refines_both(self, d1, d2):
+        result = d1.intersect(d2)
+        assert result.is_subset(d1)
+        assert result.is_subset(d2)
+
+
+class TestCrossDomainLaws:
+    @given(interval_domains, powerset_domains)
+    @settings(max_examples=60, deadline=None)
+    def test_interval_subset_of_powerset_is_exact(self, interval, powerset):
+        expected = {
+            p for p in SPACE.iter_points() if interval.contains(p)
+        } <= {p for p in SPACE.iter_points() if powerset.contains(p)}
+        assert interval.is_subset(powerset) == expected
+
+    @given(interval_domains)
+    @settings(max_examples=60, deadline=None)
+    def test_lifting_preserves_size(self, interval):
+        assert PowersetDomain.from_interval(interval).size() == interval.size()

@@ -1,0 +1,109 @@
+"""Smoke tests for the experiment drivers (tiny parameters)."""
+
+import pytest
+
+from repro.benchsuite.groundtruth import ground_truth
+from repro.benchsuite.mardziel import ALL_BENCHMARKS
+from repro.experiments.ablations import render_a1, render_a2, render_a3, run_a2, run_a3
+from repro.experiments.figure5 import (
+    measure_benchmark,
+    render_figure5,
+    run_figure5,
+)
+from repro.experiments.figure6 import render_figure6, run_figure6
+from repro.experiments.probcompare import render_probcompare, run_probcompare
+from repro.experiments.table1 import render_table1, run_table1
+
+
+class TestTable1:
+    def test_rows_match_paper_for_b1(self):
+        rows = run_table1(("B1",))
+        assert rows[0].truth.true_size == 259
+        assert rows[0].truth.false_size == 13246
+
+    def test_render_contains_paper_columns(self):
+        rows = run_table1(("B1", "B3"))
+        text = render_table1(rows)
+        assert "259 / 13246" in text
+        assert "Birthday" in text and "Photo" in text
+
+
+class TestFigure5:
+    def test_interval_measurement_b1(self):
+        problem = ALL_BENCHMARKS["B1"]
+        truth = ground_truth(problem)
+        row = measure_benchmark(problem, truth, domain="interval", k=1, runs=1)
+        # Matches the paper's Figure 5a B1 row exactly.
+        assert (row.under.true_size, row.under.false_size) == (259, 9620)
+        assert row.under.true_pct_diff == 0
+        assert round(row.under.false_pct_diff) == 27
+        assert row.under.verified and row.over.verified
+
+    def test_powerset_measurement_b1_is_exact(self):
+        problem = ALL_BENCHMARKS["B1"]
+        truth = ground_truth(problem)
+        row = measure_benchmark(problem, truth, domain="powerset", k=3, runs=1)
+        assert row.under.true_pct_diff == 0
+        assert row.under.false_pct_diff == 0
+
+    def test_run_and_render(self):
+        rows = run_figure5(domain="interval", runs=1, bench_ids=("B1", "B3"))
+        text = render_figure5(rows)
+        assert "Under-approximation" in text
+        assert "Over-approximation" in text
+        assert "B3" in text
+
+
+class TestFigure6:
+    def test_tiny_run(self):
+        series = run_figure6(ks=(1, 2), instances=3, num_queries=4, seed=5)
+        assert [s.k for s in series] == [1, 2]
+        for s in series:
+            assert len(s.results) == 3
+            curve = s.survival_curve()
+            assert len(curve) == 4
+            assert all(a >= b for a, b in zip(curve, curve[1:]))  # decreasing
+            assert s.alive_after(1) <= 3
+
+    def test_higher_k_is_not_worse_overall(self):
+        series = run_figure6(ks=(1, 5), instances=4, num_queries=8, seed=5)
+        by_k = {s.k: s for s in series}
+        assert by_k[5].mean_authorized() >= by_k[1].mean_authorized()
+
+    def test_render(self):
+        series = run_figure6(ks=(1,), instances=2, num_queries=3, seed=5)
+        text = render_figure6(series)
+        assert "max authorized" in text
+        assert "i-th query" in text
+
+
+class TestProbCompare:
+    def test_anosy_at_least_as_precise(self):
+        rows = run_probcompare(("B1", "B3"), k=3)
+        for row in rows:
+            assert row.anosy_true_size <= row.baseline_true_size
+            assert row.anosy_false_size <= row.baseline_false_size
+
+    def test_render(self):
+        rows = run_probcompare(("B1",), k=2)
+        text = render_probcompare(rows)
+        assert "Break-even" in text
+
+
+class TestAblations:
+    def test_a2_precision_improves_with_k(self):
+        rows = run_a2(bench_ids=("B3",), ks=(1, 3, 5))
+        diffs = [r.false_pct_diff for r in rows]
+        assert diffs == sorted(diffs, reverse=True)
+
+    def test_a3_configurations_agree(self):
+        results = run_a3(bench_ids=("B5",))
+        counts = {r.count for r in results}
+        assert len(counts) == 1
+
+    def test_renders(self):
+        from repro.experiments.ablations import run_a1
+
+        assert "box widths" in render_a1(run_a1())
+        assert "synth time" in render_a2(run_a2(bench_ids=("B3",), ks=(1, 2)))
+        assert "configuration" in render_a3(run_a3(bench_ids=("B5",)))

@@ -1,0 +1,76 @@
+"""Unit tests for the report formatting helpers."""
+
+import pytest
+
+from repro.experiments.report import (
+    TextTable,
+    ascii_chart,
+    fmt_pct,
+    fmt_size,
+    fmt_timing,
+    median_siqr,
+)
+
+
+class TestFormatting:
+    def test_small_sizes_plain(self):
+        assert fmt_size(259) == "259"
+        assert fmt_size(13246) == "13246"
+
+    def test_large_sizes_scientific(self):
+        assert fmt_size(1_010_050) == "1.01e+06"
+        assert fmt_size(2.43e7) == "2.43e+07"
+
+    def test_pct(self):
+        assert fmt_pct(0) == "0"
+        assert fmt_pct(27.4) == "27"
+        assert fmt_pct(4.04) == "4.0"
+        assert fmt_pct(2.0) == "2"
+
+
+class TestMedianSiqr:
+    def test_single_sample(self):
+        assert median_siqr([3.0]) == (3.0, 0.0)
+
+    def test_median_of_odd(self):
+        med, _ = median_siqr([1.0, 2.0, 100.0])
+        assert med == 2.0
+
+    def test_siqr_nonnegative(self):
+        _, siqr = median_siqr([1.0, 2.0, 3.0, 4.0])
+        assert siqr >= 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median_siqr([])
+
+    def test_fmt_timing(self):
+        text = fmt_timing([1.0, 1.1, 1.2])
+        assert "±" in text
+
+
+class TestTextTable:
+    def test_alignment(self):
+        table = TextTable(headers=["a", "long"], rows=[["xx", "y"]])
+        lines = table.render().splitlines()
+        assert len({len(line) for line in lines if line.strip()}) == 1
+
+    def test_contains_all_cells(self):
+        table = TextTable(headers=["h1", "h2"], rows=[["v1", "v2"], ["v3", "v4"]])
+        text = table.render()
+        for cell in ("h1", "h2", "v1", "v2", "v3", "v4"):
+            assert cell in text
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_contains_legend_and_axis(self):
+        text = ascii_chart({"k=1": [3, 2, 1], "k=3": [3, 3, 2]}, height=5)
+        assert "k=1" in text and "k=3" in text
+        assert "i-th query" in text
+
+    def test_title(self):
+        text = ascii_chart({"s": [1]}, title="Hello")
+        assert text.startswith("Hello")

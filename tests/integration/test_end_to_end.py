@@ -1,0 +1,121 @@
+"""Integration tests: the full pipeline on small, brute-forceable spaces.
+
+These tests tie every layer together: compile (sketch → synthesis →
+verification) → register → downgrade through ``AnosyT`` → check the
+section 3 soundness invariant P_i ⊆ K_i against brute-force enumeration.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plugin import CompileOptions, QueryRegistry, compile_query
+from repro.lang.eval import eval_bool
+from repro.lang.secrets import SecretSpec
+from repro.monad.anosy import AnosyT
+from repro.monad.policy import size_at_least
+from repro.monad.protected import ProtectedSecret
+from repro.monad.secure import SecureRuntime
+from repro.refine.checker import verify_refinement
+from repro.refine.figure4 import overapprox_spec, underapprox_spec
+from repro.solver.boxes import Box
+from tests.strategies import bool_exprs
+
+SPEC = SecretSpec.declare("S", x=(-8, 12), y=(0, 15))
+SPACE = Box(SPEC.bounds())
+NAMES = SPEC.field_names
+
+
+def _exact_knowledge(queries_and_responses):
+    points = set(SPACE.iter_points())
+    for query, response in queries_and_responses:
+        points = {
+            p
+            for p in points
+            if eval_bool(query, dict(zip(NAMES, p))) == response
+        }
+    return points
+
+
+class TestPosteriorSpecsVerify:
+    """The Figure 4 posterior functions carry their refinement types."""
+
+    @given(bool_exprs(NAMES))
+    @settings(max_examples=25, deadline=None)
+    def test_underapprox_posterior_satisfies_spec(self, query):
+        compiled = compile_query("q", query, SPEC, CompileOptions(domain="powerset", k=2))
+        from repro.domains.powerset import PowersetDomain
+
+        prior = PowersetDomain(SPEC, (Box.make((-8, 5), (0, 10)),), ())
+        post_true, post_false = compiled.qinfo.underapprox(prior)
+        specs = underapprox_spec(query, prior)
+        assert verify_refinement(post_true, specs[0]).verified
+        assert verify_refinement(post_false, specs[1]).verified
+
+    @given(bool_exprs(NAMES))
+    @settings(max_examples=25, deadline=None)
+    def test_overapprox_posterior_satisfies_spec(self, query):
+        compiled = compile_query("q", query, SPEC, CompileOptions(domain="powerset", k=2))
+        from repro.domains.powerset import PowersetDomain
+
+        prior = PowersetDomain(SPEC, (Box.make((-8, 5), (0, 10)),), ())
+        post_true, post_false = compiled.qinfo.overapprox(prior)
+        specs = overapprox_spec(query, prior)
+        assert verify_refinement(post_true, specs[0]).verified
+        assert verify_refinement(post_false, specs[1]).verified
+
+
+class TestSection3Soundness:
+    """P_i ⊆ K_i: tracked knowledge under-approximates true knowledge."""
+
+    @given(
+        st.lists(bool_exprs(NAMES), min_size=1, max_size=3),
+        st.tuples(st.integers(-8, 12), st.integers(0, 15)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_tracked_knowledge_underapproximates(self, queries, secret_value):
+        registry = QueryRegistry()
+        options = CompileOptions(domain="powerset", k=2, modes=("under",))
+        names = []
+        for index, query in enumerate(queries):
+            name = f"q{index}"
+            registry.compile_and_register(name, query, SPEC, options)
+            names.append(name)
+
+        session = AnosyT(
+            SecureRuntime(), size_at_least(1), registry, check_both=False
+        )
+        secret = ProtectedSecret.seal(SPEC, secret_value)
+        observed = []
+        for name, query in zip(names, queries):
+            decision = session.try_downgrade(secret, name)
+            if not decision.authorized:
+                break
+            observed.append((query, decision.response))
+
+        if not observed:
+            return
+        knowledge = session.knowledge_of(secret)
+        exact = _exact_knowledge(observed)
+        tracked = {p for p in SPACE.iter_points() if knowledge.contains(p)}
+        assert tracked <= exact
+
+    def test_over_knowledge_always_contains_secret(self):
+        registry = QueryRegistry()
+        options = CompileOptions(domain="powerset", k=2)
+        from repro.lang.ast import var
+
+        registry.compile_and_register("q0", var("x") + var("y") <= 5, SPEC, options)
+        registry.compile_and_register("q1", abs(var("x")) <= 4, SPEC, options)
+        session = AnosyT(
+            SecureRuntime(),
+            size_at_least(1),
+            registry,
+            check_both=False,
+            track_over=True,
+        )
+        secret_value = (3, 1)
+        secret = ProtectedSecret.seal(SPEC, secret_value)
+        session.downgrade(secret, "q0")
+        session.downgrade(secret, "q1")
+        key = session._key(secret)
+        assert session.over_knowledge[key].contains(secret_value)

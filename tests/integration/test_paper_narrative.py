@@ -1,0 +1,116 @@
+"""The paper's sections 2-3 narrative, asserted end to end.
+
+Walks the exact storyline of the paper's overview: the ``nearby`` query,
+its ind. sets, posteriors as intersections, and the three-downgrade trace
+that ends in a policy violation — the closest thing to executing the
+paper's prose.
+"""
+
+import pytest
+
+from repro.core.plugin import CompileOptions, QueryRegistry, compile_query
+from repro.domains.box import IntervalDomain
+from repro.domains.interval import AInt
+from repro.lang.parser import parse_bool
+from repro.lang.secrets import SecretSpec
+from repro.monad.anosy import AnosyT, PolicyViolation
+from repro.monad.policy import size_above
+from repro.monad.protected import ProtectedSecret
+from repro.monad.secure import SecureRuntime
+from repro.refine.checker import verify_refinement
+from repro.refine.spec import Refinement
+
+USER_LOC = SecretSpec.declare("UserLoc", x=(0, 400), y=(0, 400))
+NEARBY = parse_bool("abs(x - 200) + abs(y - 200) <= 100")
+
+
+class TestSection22:
+    """Section 2.2: the hand-written under-approximated ind. sets."""
+
+    def test_papers_under_indset_verifies(self):
+        # The paper's synthesized values: A [AInt 121 279, AInt 179 221]
+        # for True and A [AInt 0 400, AInt 0 99] for False.
+        true_side = IntervalDomain.from_aints(
+            USER_LOC, [AInt(121, 279), AInt(179, 221)]
+        )
+        false_side = IntervalDomain.from_aints(
+            USER_LOC, [AInt(0, 400), AInt(0, 99)]
+        )
+        assert verify_refinement(true_side, Refinement(positive=NEARBY)).verified
+        assert verify_refinement(
+            false_side, Refinement(positive=parse_bool("abs(x - 200) + abs(y - 200) > 100"))
+        ).verified
+
+    def test_papers_posterior_sizes(self):
+        # Section 3's trace: |post1| = 6837 for the paper's True box.
+        true_side = IntervalDomain.from_aints(
+            USER_LOC, [AInt(121, 279), AInt(179, 221)]
+        )
+        assert true_side.size() == 6837
+
+    def test_example_proof_term_domain(self):
+        # Section 4.3's domEx = [(AInt 188 212), (AInt 112 288)] claims
+        # every element is nearby (200, 200): |dx| <= 12, |dy| <= 88.
+        dom_ex = IntervalDomain.from_aints(USER_LOC, [AInt(188, 212), AInt(112, 288)])
+        assert verify_refinement(dom_ex, Refinement(positive=NEARBY)).verified
+
+
+class TestSection23:
+    """Section 2.3: the synthesized constraints and their solutions."""
+
+    def test_synthesized_boxes_satisfy_the_smt_constraints(self):
+        compiled = compile_query("nearby", NEARBY, USER_LOC)
+        under_true, under_false = compiled.qinfo.under_indset
+        # (Under-approx, True): all points satisfy nearby.
+        for point in list(under_true.box.iter_points())[::97]:
+            assert compiled.qinfo.run(point) is True
+        # (Under-approx, False): all points falsify nearby.
+        for point in list(under_false.box.iter_points())[::97]:
+            assert compiled.qinfo.run(point) is False
+
+    def test_pareto_preference(self):
+        # "if two domains of sizes 400x1 and 20x20 are valid solutions,
+        # Anosy will prefer the latter" — our balanced growth produces a
+        # square for the diamond's inscribed box.
+        compiled = compile_query("nearby", NEARBY, USER_LOC)
+        widths = compiled.qinfo.under_indset[0].box.widths()
+        assert max(widths) / min(widths) < 2
+
+
+class TestSection3Trace:
+    """The downgrade trace: (300,200), three queries, then a violation."""
+
+    @pytest.fixture
+    def registry(self):
+        registry = QueryRegistry()
+        options = CompileOptions(modes=("under",))
+        for ox in (200, 300, 400):
+            registry.compile_and_register(
+                f"nearby ({ox},200)",
+                parse_bool(f"abs(x - {ox}) + abs(y - 200) <= 100"),
+                USER_LOC,
+                options,
+            )
+        return registry
+
+    def test_trace(self, registry):
+        session = AnosyT(SecureRuntime(), size_above(100), registry)
+        secret = ProtectedSecret.seal(USER_LOC, (300, 200))
+
+        # secrets map starts empty
+        assert session.knowledge_of(secret) is None
+
+        r1 = session.downgrade(secret, "nearby (200,200)")
+        assert r1 is True  # (300,200) is at distance exactly 100
+        post1 = session.knowledge_of(secret)
+        assert post1.size() > 100
+
+        r2 = session.downgrade(secret, "nearby (300,200)")
+        assert r2 is True
+        post2 = session.knowledge_of(secret)
+        assert post2.size() < post1.size()
+
+        with pytest.raises(PolicyViolation, match="Policy Violation"):
+            session.downgrade(secret, "nearby (400,200)")
+        # knowledge unchanged by the refused query
+        assert session.knowledge_of(secret).size() == post2.size()

@@ -1,0 +1,145 @@
+"""Unit tests for the query AST / embedded DSL."""
+
+import pytest
+
+from repro.lang.ast import (
+    Abs,
+    Add,
+    And,
+    BoolLit,
+    Cmp,
+    CmpOp,
+    FALSE,
+    InSet,
+    IntIte,
+    Lit,
+    Max,
+    Min,
+    Neg,
+    Not,
+    Or,
+    Scale,
+    Sub,
+    TRUE,
+    Var,
+    lit,
+    var,
+)
+
+
+class TestDslConstruction:
+    def test_var_and_lit(self):
+        assert var("x") == Var("x")
+        assert lit(5) == Lit(5)
+
+    def test_addition_builds_add(self):
+        assert var("x") + 1 == Add(Var("x"), Lit(1))
+
+    def test_right_addition(self):
+        assert 1 + var("x") == Add(Lit(1), Var("x"))
+
+    def test_subtraction_builds_sub(self):
+        assert var("x") - var("y") == Sub(Var("x"), Var("y"))
+
+    def test_right_subtraction(self):
+        assert 3 - var("x") == Sub(Lit(3), Var("x"))
+
+    def test_negation(self):
+        assert -var("x") == Neg(Var("x"))
+
+    def test_scale_by_constant(self):
+        assert 2 * var("x") == Scale(2, Var("x"))
+        assert var("x") * -3 == Scale(-3, Var("x"))
+
+    def test_nonlinear_multiplication_rejected(self):
+        with pytest.raises(TypeError, match="linear"):
+            _ = var("x") * var("y")  # type: ignore[operator]
+
+    def test_python_abs_builds_abs_node(self):
+        assert abs(var("x") - 3) == Abs(Sub(Var("x"), Lit(3)))
+
+    def test_comparisons(self):
+        x = var("x")
+        assert (x <= 5) == Cmp(CmpOp.LE, Var("x"), Lit(5))
+        assert (x < 5) == Cmp(CmpOp.LT, Var("x"), Lit(5))
+        assert (x >= 5) == Cmp(CmpOp.GE, Var("x"), Lit(5))
+        assert (x > 5) == Cmp(CmpOp.GT, Var("x"), Lit(5))
+
+    def test_eq_ne_are_methods_not_operators(self):
+        x = var("x")
+        assert x.eq(5) == Cmp(CmpOp.EQ, Var("x"), Lit(5))
+        assert x.ne(5) == Cmp(CmpOp.NE, Var("x"), Lit(5))
+        # == stays structural equality
+        assert (Var("x") == Var("x")) is True
+
+    def test_in_set(self):
+        atom = var("c").in_set({3, 1, 2})
+        assert atom == InSet(Var("c"), frozenset({1, 2, 3}))
+
+    def test_boolean_connectives(self):
+        p = var("x") <= 1
+        q = var("y") > 2
+        assert (p & q) == And((p, q))
+        assert (p | q) == Or((p, q))
+        assert (~p) == Not(p)
+
+    def test_implies_and_iff(self):
+        p, q = var("x") <= 1, var("y") > 2
+        assert p.implies(q).antecedent == p
+        assert p.iff(q).left == p
+
+    def test_ite_builder(self):
+        cond = var("x") < 0
+        node = cond.ite(-var("x"), var("x"))
+        assert isinstance(node, IntIte)
+        assert node.cond == cond
+
+    def test_bool_literal_rejected_as_int(self):
+        with pytest.raises(TypeError):
+            _ = var("x") + True  # type: ignore[operator]
+
+    def test_constants(self):
+        assert TRUE == BoolLit(True)
+        assert FALSE == BoolLit(False)
+
+
+class TestStructure:
+    def test_children_of_binary_node(self):
+        node = Add(Var("x"), Lit(1))
+        assert list(node.children()) == [Var("x"), Lit(1)]
+
+    def test_children_of_nary_node(self):
+        node = And((BoolLit(True), BoolLit(False)))
+        assert list(node.children()) == [BoolLit(True), BoolLit(False)]
+
+    def test_node_count(self):
+        expr = abs(var("x") - 200) + abs(var("y") - 200) <= 100
+        # Cmp, Add, Abs, Sub, x, 200, Abs, Sub, y, 200, 100
+        assert expr.node_count() == 11
+
+    def test_nodes_are_hashable_and_comparable(self):
+        a = abs(var("x") - 1) <= 2
+        b = abs(var("x") - 1) <= 2
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_min_max_nodes(self):
+        node = Min(Var("x"), Max(Var("y"), Lit(0)))
+        assert node.node_count() == 5
+
+    def test_cmp_op_negate_roundtrip(self):
+        for op in CmpOp:
+            assert op.negate().negate() is op
+
+    def test_cmp_op_flip_roundtrip(self):
+        for op in CmpOp:
+            assert op.flip().flip() is op
+
+    def test_cmp_op_holds(self):
+        assert CmpOp.LE.holds(1, 1)
+        assert not CmpOp.LT.holds(1, 1)
+        assert CmpOp.GE.holds(2, 1)
+        assert not CmpOp.GT.holds(1, 2)
+        assert CmpOp.EQ.holds(3, 3)
+        assert CmpOp.NE.holds(3, 4)

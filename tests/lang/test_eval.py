@@ -1,0 +1,110 @@
+"""Unit tests for concrete evaluation."""
+
+import pytest
+
+from repro.lang.ast import (
+    And,
+    BoolLit,
+    Iff,
+    Implies,
+    InSet,
+    IntIte,
+    Lit,
+    Max,
+    Min,
+    Not,
+    Or,
+    Scale,
+    Var,
+    var,
+)
+from repro.lang.eval import EvalError, eval_bool, eval_int
+
+
+class TestEvalInt:
+    def test_literal(self):
+        assert eval_int(Lit(7), {}) == 7
+
+    def test_variable(self):
+        assert eval_int(Var("x"), {"x": 42}) == 42
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvalError, match="unbound"):
+            eval_int(Var("missing"), {})
+
+    def test_arithmetic(self):
+        x = var("x")
+        assert eval_int(x + 3, {"x": 4}) == 7
+        assert eval_int(x - 10, {"x": 4}) == -6
+        assert eval_int(-x, {"x": 4}) == -4
+        assert eval_int(Scale(3, x), {"x": 4}) == 12
+
+    def test_abs(self):
+        x = var("x")
+        assert eval_int(abs(x), {"x": -5}) == 5
+        assert eval_int(abs(x), {"x": 5}) == 5
+        assert eval_int(abs(x), {"x": 0}) == 0
+
+    def test_min_max(self):
+        env = {"x": 3, "y": 8}
+        assert eval_int(Min(Var("x"), Var("y")), env) == 3
+        assert eval_int(Max(Var("x"), Var("y")), env) == 8
+
+    def test_ite(self):
+        x = var("x")
+        node = (x < 0).ite(-x, x)  # |x| via ite, as in the paper
+        assert eval_int(node, {"x": -9}) == 9
+        assert eval_int(node, {"x": 9}) == 9
+
+    def test_type_error_on_bool_expression(self):
+        with pytest.raises(TypeError):
+            eval_int(BoolLit(True), {})  # type: ignore[arg-type]
+
+
+class TestEvalBool:
+    def test_literals(self):
+        assert eval_bool(BoolLit(True), {}) is True
+        assert eval_bool(BoolLit(False), {}) is False
+
+    @pytest.mark.parametrize(
+        "source_value,expected",
+        [(0, True), (100, True), (101, False)],
+    )
+    def test_comparison(self, source_value, expected):
+        assert eval_bool(var("x") <= 100, {"x": source_value}) is expected
+
+    def test_connectives(self):
+        p = var("x") > 0
+        q = var("x") < 10
+        env_in, env_out = {"x": 5}, {"x": 20}
+        assert eval_bool(And((p, q)), env_in) is True
+        assert eval_bool(And((p, q)), env_out) is False
+        assert eval_bool(Or((p, q)), env_out) is True
+        assert eval_bool(Not(p), {"x": -1}) is True
+
+    def test_implies(self):
+        p = var("x") > 0
+        q = var("x") > 10
+        assert eval_bool(Implies(q, p), {"x": 20}) is True
+        assert eval_bool(Implies(p, q), {"x": 5}) is False
+        assert eval_bool(Implies(p, q), {"x": -5}) is True  # vacuous
+
+    def test_iff(self):
+        p = var("x") > 0
+        q = var("x") < 10
+        assert eval_bool(Iff(p, q), {"x": 5}) is True
+        assert eval_bool(Iff(p, q), {"x": 20}) is False
+
+    def test_in_set(self):
+        atom = InSet(Var("c"), frozenset({1, 3, 5}))
+        assert eval_bool(atom, {"c": 3}) is True
+        assert eval_bool(atom, {"c": 4}) is False
+
+    def test_nearby_example(self, nearby):
+        assert eval_bool(nearby, {"x": 300, "y": 200}) is True   # boundary
+        assert eval_bool(nearby, {"x": 301, "y": 200}) is False
+        assert eval_bool(nearby, {"x": 200, "y": 200}) is True
+
+    def test_type_error_on_int_expression(self):
+        with pytest.raises(TypeError):
+            eval_bool(Lit(1), {})  # type: ignore[arg-type]

@@ -1,0 +1,184 @@
+"""Tests for the lexer, parser, and pretty-printer round trip."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.lang.ast import (
+    Add,
+    And,
+    BoolLit,
+    Cmp,
+    CmpOp,
+    Iff,
+    Implies,
+    InSet,
+    IntIte,
+    Lit,
+    Min,
+    Neg,
+    Not,
+    Or,
+    Scale,
+    Var,
+)
+from repro.lang.eval import eval_bool
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.parser import ParseError, parse, parse_bool, parse_int
+from repro.lang.pretty import pretty
+from tests.strategies import bool_exprs
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        kinds = [t.kind for t in tokenize("x + 1 <= 2 and not y")]
+        assert kinds == ["IDENT", "PLUS", "INT", "LE", "INT", "AND", "NOT", "IDENT", "EOF"]
+
+    def test_multi_char_operators(self):
+        kinds = [t.kind for t in tokenize("<= < <=> => == !=")]
+        assert kinds == ["LE", "LT", "IFF", "IMPLIES", "EQ", "NE", "EOF"]
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("andx and")
+        assert tokens[0].kind == "IDENT"
+        assert tokens[1].kind == "AND"
+
+    def test_comments_skipped(self):
+        kinds = [t.kind for t in tokenize("x # a comment\n + 1")]
+        assert kinds == ["IDENT", "PLUS", "INT", "EOF"]
+
+    def test_positions(self):
+        tokens = tokenize("ab + cd")
+        assert [t.position for t in tokens[:3]] == [0, 3, 5]
+
+    def test_lex_error(self):
+        with pytest.raises(LexError):
+            tokenize("x $ y")
+
+
+class TestParserBasics:
+    def test_integer_atom(self):
+        assert parse_int("42") == Lit(42)
+
+    def test_negative_number(self):
+        assert parse_int("-42") == Neg(Lit(42))
+
+    def test_identifier(self):
+        assert parse_int("speed") == Var("speed")
+
+    def test_addition_left_assoc(self):
+        assert parse_int("a + b + c") == Add(Add(Var("a"), Var("b")), Var("c"))
+
+    def test_precedence_mul_over_add(self):
+        assert parse_int("1 + 2 * x") == Add(Lit(1), Scale(2, Var("x")))
+
+    def test_scale_either_side(self):
+        assert parse_int("x * 3") == Scale(3, Var("x"))
+        assert parse_int("3 * x") == Scale(3, Var("x"))
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(ParseError, match="non-linear"):
+            parse_int("x * y")
+
+    def test_abs_call(self):
+        assert parse_int("abs(x - 1)") == abs(Var("x") - 1)
+
+    def test_min_max_calls(self):
+        assert parse_int("min(x, 3)") == Min(Var("x"), Lit(3))
+        assert parse_int("max(x, 3)").left == Var("x")
+
+    def test_if_then_else(self):
+        node = parse_int("if x < 0 then -x else x")
+        assert isinstance(node, IntIte)
+
+    def test_comparison(self):
+        assert parse_bool("x <= 100") == Cmp(CmpOp.LE, Var("x"), Lit(100))
+
+    def test_in_set(self):
+        assert parse_bool("c in {1, 2, 3}") == InSet(
+            Var("c"), frozenset({1, 2, 3})
+        )
+
+    def test_in_set_negative_members(self):
+        assert parse_bool("c in {-1, 2}") == InSet(Var("c"), frozenset({-1, 2}))
+
+    def test_boolean_precedence(self):
+        # not > and > or
+        formula = parse_bool("not a <= 1 and b <= 2 or c <= 3")
+        assert isinstance(formula, Or)
+        assert isinstance(formula.args[0], And)
+        assert isinstance(formula.args[0].args[0], Not)
+
+    def test_implies_right_assoc(self):
+        formula = parse_bool("a <= 1 => b <= 2 => c <= 3")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.consequent, Implies)
+
+    def test_iff(self):
+        assert isinstance(parse_bool("a <= 1 <=> b <= 2"), Iff)
+
+    def test_true_false_literals(self):
+        assert parse_bool("true") == BoolLit(True)
+        assert parse_bool("false") == BoolLit(False)
+
+    def test_parenthesized_grouping(self):
+        formula = parse_bool("a <= 1 and (b <= 2 or c <= 3)")
+        assert isinstance(formula, And)
+        assert isinstance(formula.args[1], Or)
+
+
+class TestParserErrors:
+    def test_trailing_input(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("1 + 2 3")
+
+    def test_category_error_int_where_bool(self):
+        with pytest.raises(ParseError, match="boolean"):
+            parse("not 3")
+
+    def test_category_error_bool_where_int(self):
+        with pytest.raises(ParseError, match="integer"):
+            parse("1 + (x < 2)")
+
+    def test_missing_paren(self):
+        with pytest.raises(ParseError, match="RPAREN"):
+            parse("abs(x")
+
+    def test_parse_bool_on_int_expression(self):
+        with pytest.raises(ParseError):
+            parse_bool("x + 1")
+
+    def test_parse_int_on_bool_expression(self):
+        with pytest.raises(ParseError):
+            parse_int("x <= 1")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("x + + 1")
+        assert excinfo.value.position == 4
+
+
+class TestRoundTrip:
+    def test_paper_query_roundtrip(self, nearby):
+        assert parse_bool(pretty(nearby)) == nearby
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "abs(x - 200) + abs(y - 200) <= 100",
+            "bday >= 260 and bday < 267",
+            "gender == 1 and status in {2} and byear >= 1980 and byear <= 1983",
+            "language == 1 and education >= 8 and country in {10, 11} and age > 21",
+            "not (x <= 1 or y >= 2)",
+            "if x < 0 then -x else x <= 5",
+        ],
+    )
+    def test_parse_pretty_fixpoint(self, source):
+        first = parse_bool(source)
+        assert parse_bool(pretty(first)) == first
+
+    @given(bool_exprs(("x", "y")))
+    @settings(max_examples=150, deadline=None)
+    def test_pretty_parse_preserves_semantics(self, formula):
+        reparsed = parse_bool(pretty(formula))
+        for env in ({"x": 0, "y": 0}, {"x": -4, "y": 9}, {"x": 13, "y": 2}):
+            assert eval_bool(reparsed, env) == eval_bool(formula, env)

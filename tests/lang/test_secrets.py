@@ -1,0 +1,88 @@
+"""Tests for secret type declarations."""
+
+import pytest
+
+from repro.lang.ast import Var
+from repro.lang.secrets import FieldSpec, SecretSpec
+
+
+class TestFieldSpec:
+    def test_width(self):
+        assert FieldSpec("x", 0, 9).width == 10
+
+    def test_contains(self):
+        field = FieldSpec("x", -5, 5)
+        assert field.contains(-5) and field.contains(5)
+        assert not field.contains(6)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError, match="empty range"):
+            FieldSpec("x", 3, 2)
+
+
+class TestSecretSpec:
+    def test_declare(self):
+        spec = SecretSpec.declare("UserLoc", x=(0, 399), y=(0, 399))
+        assert spec.arity == 2
+        assert spec.field_names == ("x", "y")
+        assert spec.space_size() == 400 * 400
+
+    def test_field_lookup(self):
+        spec = SecretSpec.declare("S", a=(0, 1), b=(2, 3))
+        assert spec.field("b").lo == 2
+        with pytest.raises(KeyError):
+            spec.field("missing")
+
+    def test_vars(self):
+        spec = SecretSpec.declare("S", a=(0, 1), b=(0, 1))
+        assert spec.vars() == (Var("a"), Var("b"))
+
+    def test_bounds(self):
+        spec = SecretSpec.declare("S", a=(0, 1), b=(2, 5))
+        assert spec.bounds() == ((0, 1), (2, 5))
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SecretSpec("S", (FieldSpec("a", 0, 1), FieldSpec("a", 0, 1)))
+
+    def test_no_fields_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SecretSpec("S", ())
+
+    def test_to_env_from_tuple(self):
+        spec = SecretSpec.declare("S", a=(0, 9), b=(0, 9))
+        assert spec.to_env((1, 2)) == {"a": 1, "b": 2}
+
+    def test_to_env_from_mapping(self):
+        spec = SecretSpec.declare("S", a=(0, 9), b=(0, 9))
+        assert spec.to_env({"b": 2, "a": 1}) == {"a": 1, "b": 2}
+
+    def test_to_env_arity_mismatch(self):
+        spec = SecretSpec.declare("S", a=(0, 9), b=(0, 9))
+        with pytest.raises(ValueError, match="expects 2 fields"):
+            spec.to_env((1,))
+
+    def test_validate_value_in_bounds(self):
+        spec = SecretSpec.declare("S", a=(0, 9))
+        assert spec.validate_value((5,)) == (5,)
+
+    def test_validate_value_out_of_bounds(self):
+        spec = SecretSpec.declare("S", a=(0, 9))
+        with pytest.raises(ValueError, match="outside"):
+            spec.validate_value((10,))
+
+    def test_iter_space(self):
+        spec = SecretSpec.declare("S", a=(0, 1), b=(0, 2))
+        points = list(spec.iter_space())
+        assert len(points) == 6
+        assert points[0] == (0, 0)
+        assert points[-1] == (1, 2)
+
+    def test_make_by_name(self):
+        spec = SecretSpec.declare("S", a=(0, 9), b=(0, 9))
+        assert spec.make(b=3, a=1) == (1, 3)
+
+    def test_make_missing_field(self):
+        spec = SecretSpec.declare("S", a=(0, 9), b=(0, 9))
+        with pytest.raises(ValueError, match="missing"):
+            spec.make(a=1)

@@ -1,0 +1,68 @@
+"""Unit tests for the three-valued logic."""
+
+import pytest
+
+from repro.lang.ternary import FALSE, TRUE, UNKNOWN, Ternary, from_bool
+
+
+class TestNegation:
+    def test_negate_swaps_true_false(self):
+        assert TRUE.negate() is FALSE
+        assert FALSE.negate() is TRUE
+
+    def test_negate_preserves_unknown(self):
+        assert UNKNOWN.negate() is UNKNOWN
+
+    def test_double_negation(self):
+        for value in Ternary:
+            assert value.negate().negate() is value
+
+
+class TestConjunction:
+    def test_false_dominates(self):
+        for value in Ternary:
+            assert FALSE.conj(value) is FALSE
+            assert value.conj(FALSE) is FALSE
+
+    def test_true_is_identity(self):
+        for value in Ternary:
+            assert TRUE.conj(value) is value
+            assert value.conj(TRUE) is value
+
+    def test_unknown_absorbs(self):
+        assert UNKNOWN.conj(UNKNOWN) is UNKNOWN
+
+
+class TestDisjunction:
+    def test_true_dominates(self):
+        for value in Ternary:
+            assert TRUE.disj(value) is TRUE
+            assert value.disj(TRUE) is TRUE
+
+    def test_false_is_identity(self):
+        for value in Ternary:
+            assert FALSE.disj(value) is value
+            assert value.disj(FALSE) is value
+
+    def test_de_morgan(self):
+        for a in Ternary:
+            for b in Ternary:
+                assert a.conj(b).negate() is a.negate().disj(b.negate())
+
+
+class TestConversions:
+    def test_from_bool(self):
+        assert from_bool(True) is TRUE
+        assert from_bool(False) is FALSE
+
+    def test_decided(self):
+        assert TRUE.decided and FALSE.decided
+        assert not UNKNOWN.decided
+
+    def test_as_bool(self):
+        assert TRUE.as_bool() is True
+        assert FALSE.as_bool() is False
+
+    def test_as_bool_raises_on_unknown(self):
+        with pytest.raises(ValueError):
+            UNKNOWN.as_bool()

@@ -1,0 +1,150 @@
+"""Tests for AST traversals: free vars, substitution, NNF, folding."""
+
+from hypothesis import given, settings
+
+from repro.lang.ast import (
+    And,
+    BoolLit,
+    Implies,
+    Iff,
+    InSet,
+    Lit,
+    Not,
+    Or,
+    Var,
+    var,
+)
+from repro.lang.eval import eval_bool, eval_int
+from repro.lang.transform import (
+    conjoin,
+    disjoin,
+    fold_constants,
+    free_vars,
+    nnf,
+    substitute,
+)
+from tests.strategies import bool_exprs, int_exprs
+
+
+class TestFreeVars:
+    def test_single_variable(self):
+        assert free_vars(Var("x")) == {"x"}
+
+    def test_no_variables(self):
+        assert free_vars(Lit(3) + 4) == frozenset()
+
+    def test_nested(self, nearby):
+        assert free_vars(nearby) == {"x", "y"}
+
+    def test_through_boolean_structure(self):
+        formula = (var("a") <= 1) & (var("b") > 2) | ~(var("c").eq(0))
+        assert free_vars(formula) == {"a", "b", "c"}
+
+
+class TestSubstitute:
+    def test_constant_substitution(self):
+        expr = var("x") + var("y")
+        assert substitute(expr, {"x": 10}) == Lit(10) + var("y")
+
+    def test_expression_substitution(self):
+        expr = var("x") <= 5
+        result = substitute(expr, {"x": var("z") + 1})
+        assert free_vars(result) == {"z"}
+
+    def test_untouched_variables_remain(self):
+        expr = var("x") + var("y")
+        assert free_vars(substitute(expr, {"x": 0})) == {"y"}
+
+    def test_substitution_commutes_with_eval(self):
+        expr = abs(var("x") - 3) + var("y")
+        substituted = substitute(expr, {"x": 7})
+        assert eval_int(substituted, {"y": 2}) == eval_int(expr, {"x": 7, "y": 2})
+
+
+class TestNnf:
+    def test_negated_comparison_flips(self):
+        formula = Not(var("x") <= 5)
+        assert nnf(formula) == (var("x") > 5)
+
+    def test_de_morgan_and(self):
+        formula = Not(And((var("x") <= 5, var("y") <= 5)))
+        result = nnf(formula)
+        assert isinstance(result, Or)
+
+    def test_not_survives_only_on_inset(self):
+        formula = Not(InSet(Var("x"), frozenset({1})))
+        result = nnf(formula)
+        assert isinstance(result, Not)
+        assert isinstance(result.arg, InSet)
+
+    def test_implies_eliminated(self):
+        formula = Implies(var("x") <= 5, var("y") <= 5)
+        result = nnf(formula)
+        assert "Implies" not in repr(type(result))
+
+    def test_iff_eliminated(self):
+        formula = Iff(var("x") <= 5, var("y") <= 5)
+        assert not isinstance(nnf(formula), Iff)
+
+    @given(bool_exprs(("x", "y")))
+    @settings(max_examples=120, deadline=None)
+    def test_nnf_preserves_semantics(self, formula):
+        converted = nnf(formula)
+        for env in ({"x": 0, "y": 0}, {"x": -3, "y": 7}, {"x": 12, "y": 1}):
+            assert eval_bool(converted, env) == eval_bool(formula, env)
+
+
+class TestFolding:
+    def test_arithmetic_folds(self):
+        assert fold_constants(Lit(2) + 3) == Lit(5)
+        assert fold_constants(Lit(2) - 3) == Lit(-1)
+        assert fold_constants(-Lit(4)) == Lit(-4)
+        assert fold_constants(abs(Lit(-9))) == Lit(9)
+
+    def test_comparison_folds(self):
+        assert fold_constants(Lit(2) <= Lit(3)) == BoolLit(True)
+        assert fold_constants(Lit(2) > Lit(3)) == BoolLit(False)
+
+    def test_and_unit_absorbing(self):
+        p = var("x") <= 1
+        assert fold_constants(And((BoolLit(True), p))) == p
+        assert fold_constants(And((BoolLit(False), p))) == BoolLit(False)
+
+    def test_or_unit_absorbing(self):
+        p = var("x") <= 1
+        assert fold_constants(Or((BoolLit(False), p))) == p
+        assert fold_constants(Or((BoolLit(True), p))) == BoolLit(True)
+
+    @given(bool_exprs(("x", "y")))
+    @settings(max_examples=120, deadline=None)
+    def test_fold_preserves_semantics(self, formula):
+        folded = fold_constants(formula)
+        for env in ({"x": 0, "y": 0}, {"x": -5, "y": 9}, {"x": 11, "y": 3}):
+            assert eval_bool(folded, env) == eval_bool(formula, env)
+
+    @given(int_exprs(("x", "y")))
+    @settings(max_examples=120, deadline=None)
+    def test_fold_preserves_int_semantics(self, expr):
+        folded = fold_constants(expr)
+        for env in ({"x": 0, "y": 0}, {"x": -5, "y": 9}):
+            assert eval_int(folded, env) == eval_int(expr, env)
+
+
+class TestSmartConstructors:
+    def test_conjoin_flattens(self):
+        p, q, r = var("x") <= 1, var("y") <= 2, var("x") > 0
+        assert conjoin((And((p, q)), r)) == And((p, q, r))
+
+    def test_conjoin_empty_is_true(self):
+        assert conjoin(()) == BoolLit(True)
+
+    def test_conjoin_single_passthrough(self):
+        p = var("x") <= 1
+        assert conjoin((p,)) == p
+
+    def test_disjoin_flattens(self):
+        p, q, r = var("x") <= 1, var("y") <= 2, var("x") > 0
+        assert disjoin((Or((p, q)), r)) == Or((p, q, r))
+
+    def test_disjoin_short_circuits_true(self):
+        assert disjoin((BoolLit(True), var("x") <= 1)) == BoolLit(True)

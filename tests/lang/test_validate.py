@@ -1,0 +1,66 @@
+"""Tests for the section 5.1 query-language validator."""
+
+import pytest
+
+from repro.lang.ast import InSet, Lit, Var, var
+from repro.lang.parser import parse_bool
+from repro.lang.secrets import SecretSpec
+from repro.lang.validate import (
+    MAX_LITERAL,
+    QueryValidationError,
+    validate_query,
+)
+
+
+@pytest.fixture
+def spec():
+    return SecretSpec.declare("S", x=(0, 99), y=(0, 99))
+
+
+class TestAccepts:
+    def test_simple_query(self, spec):
+        report = validate_query(parse_bool("x + y <= 50"), spec)
+        assert report.variables == {"x", "y"}
+
+    def test_nearby(self, spec, nearby):
+        report = validate_query(nearby, spec)
+        assert report.node_count == 11
+        assert report.literal_count == 3
+
+    def test_set_atoms_counted(self, spec):
+        report = validate_query(parse_bool("x in {1, 2} and y in {3}"), spec)
+        assert report.set_atom_count == 2
+
+    def test_subset_of_fields_ok(self, spec):
+        report = validate_query(parse_bool("x <= 3"), spec)
+        assert report.variables == {"x"}
+
+
+class TestRejects:
+    def test_non_boolean_query(self, spec):
+        with pytest.raises(QueryValidationError, match="boolean"):
+            validate_query(var("x") + 1, spec)
+
+    def test_undeclared_field(self, spec):
+        with pytest.raises(QueryValidationError, match="undeclared|not declared"):
+            validate_query(parse_bool("z <= 1"), spec)
+
+    def test_oversized_query(self, spec):
+        query = parse_bool("x <= 1 and y <= 2")
+        with pytest.raises(QueryValidationError, match="too large"):
+            validate_query(query, spec, max_nodes=3)
+
+    def test_huge_literal(self, spec):
+        query = var("x") <= Lit(MAX_LITERAL + 1)
+        with pytest.raises(QueryValidationError, match="magnitude"):
+            validate_query(query, spec)
+
+    def test_empty_set_membership(self, spec):
+        query = InSet(Var("x"), frozenset())
+        with pytest.raises(QueryValidationError, match="empty set"):
+            validate_query(query, spec)
+
+    def test_huge_set_member(self, spec):
+        query = InSet(Var("x"), frozenset({MAX_LITERAL + 1}))
+        with pytest.raises(QueryValidationError, match="magnitude"):
+            validate_query(query, spec)

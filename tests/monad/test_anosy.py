@@ -1,0 +1,197 @@
+"""Tests for the AnosyT bounded-downgrade transformer (Figure 2)."""
+
+import pytest
+
+from repro.core.plugin import CompileOptions, QueryRegistry
+from repro.lang.ast import var
+from repro.lang.secrets import SecretSpec
+from repro.monad.anosy import AnosyT, PolicyViolation, UnknownQuery
+from repro.monad.policy import size_above
+from repro.monad.protected import ProtectedSecret
+from repro.monad.secure import SecureRuntime
+
+SPEC = SecretSpec.declare("UserLoc", x=(0, 399), y=(0, 399))
+
+
+def _nearby(ox, oy):
+    x, y = var("x"), var("y")
+    return abs(x - ox) + abs(y - oy) <= 100
+
+
+@pytest.fixture(scope="module")
+def registry():
+    registry = QueryRegistry()
+    options = CompileOptions(modes=("under", "over"))
+    for ox, oy in [(200, 200), (300, 200), (400, 200)]:
+        registry.compile_and_register(f"nearby_{ox}_{oy}", _nearby(ox, oy), SPEC, options)
+    return registry
+
+
+def _session(registry, **kwargs):
+    return AnosyT(SecureRuntime(), size_above(100), registry, **kwargs)
+
+
+class TestPaperSection3Scenario:
+    """The running example: secret at (300, 200), three nearby queries."""
+
+    def test_first_two_queries_authorized_third_rejected(self, registry):
+        session = _session(registry)
+        secret = ProtectedSecret.seal(SPEC, (300, 200))
+        assert session.downgrade(secret, "nearby_200_200") is True
+        assert session.downgrade(secret, "nearby_300_200") is True
+        with pytest.raises(PolicyViolation):
+            session.downgrade(secret, "nearby_400_200")
+        assert session.authorized_count() == 2
+
+    def test_knowledge_shrinks_monotonically(self, registry):
+        session = _session(registry)
+        secret = ProtectedSecret.seal(SPEC, (300, 200))
+        session.downgrade(secret, "nearby_200_200")
+        first = session.knowledge_of(secret)
+        session.downgrade(secret, "nearby_300_200")
+        second = session.knowledge_of(secret)
+        assert second.is_subset(first)
+        assert second.size() <= first.size()
+
+    def test_history_records_decisions(self, registry):
+        session = _session(registry)
+        secret = ProtectedSecret.seal(SPEC, (300, 200))
+        session.downgrade(secret, "nearby_200_200")
+        session.try_downgrade(secret, "nearby_400_200")
+        assert [h.authorized for h in session.history] == [True, False]
+        assert session.history[0].posterior_size is not None
+        assert session.history[1].posterior_size is None
+
+
+class TestDowngradeErrors:
+    def test_unknown_query(self, registry):
+        session = _session(registry)
+        secret = ProtectedSecret.seal(SPEC, (10, 10))
+        with pytest.raises(UnknownQuery, match="Can't downgrade"):
+            session.downgrade(secret, "never_compiled")
+
+    def test_secret_type_mismatch(self, registry):
+        other_spec = SecretSpec.declare("Other", a=(0, 9))
+        session = _session(registry)
+        secret = ProtectedSecret.seal(other_spec, (3,))
+        decision = session.try_downgrade(secret, "nearby_200_200")
+        assert not decision.authorized
+        assert "is over" in decision.reason
+
+    def test_try_downgrade_never_raises(self, registry):
+        session = _session(registry)
+        secret = ProtectedSecret.seal(SPEC, (0, 0))
+        decision = session.try_downgrade(secret, "never_compiled")
+        assert not decision.authorized
+
+
+class TestCheckingModes:
+    QUERIES = ["nearby_200_200", "nearby_300_200", "nearby_400_200"]
+
+    def _authorized_prefix(self, registry, secret_value, check_both):
+        session = _session(registry, check_both=check_both)
+        secret = ProtectedSecret.seal(SPEC, secret_value)
+        count = 0
+        for name in self.QUERIES:
+            if not session.try_downgrade(secret, name).authorized:
+                break
+            count += 1
+        return count
+
+    @pytest.mark.parametrize(
+        "secret_value", [(200, 200), (0, 0), (300, 200), (399, 399)]
+    )
+    def test_check_both_is_stricter(self, registry, secret_value):
+        strict = self._authorized_prefix(registry, secret_value, check_both=True)
+        lenient = self._authorized_prefix(registry, secret_value, check_both=False)
+        assert strict <= lenient
+
+    def test_check_both_rejects_on_untaken_branch(self, registry):
+        # Secret (0, 0) answers False to the second query; its False
+        # posterior stays large, but the True posterior is tiny.  The
+        # section 3 discipline rejects regardless of the actual response;
+        # the evaluation-faithful mode authorizes.
+        session = _session(registry, check_both=True)
+        secret = ProtectedSecret.seal(SPEC, (0, 0))
+        session.try_downgrade(secret, "nearby_200_200")
+        assert not session.try_downgrade(secret, "nearby_300_200").authorized
+
+        session = _session(registry, check_both=False)
+        secret = ProtectedSecret.seal(SPEC, (0, 0))
+        session.try_downgrade(secret, "nearby_200_200")
+        assert session.try_downgrade(secret, "nearby_300_200").authorized
+
+    def test_same_history_same_decisions_under_check_both(self, registry):
+        # Two secrets with identical response histories carry identical
+        # priors, so every authorization decision matches.
+        traces = []
+        for secret_value in [(300, 200), (250, 200)]:
+            session = _session(registry, check_both=True)
+            secret = ProtectedSecret.seal(SPEC, secret_value)
+            trace = []
+            for name in self.QUERIES:
+                decision = session.try_downgrade(secret, name)
+                trace.append(decision.authorized)
+                if not decision.authorized:
+                    break
+            traces.append(trace)
+        assert traces[0] == traces[1]
+
+    def test_bad_mode_rejected(self, registry):
+        with pytest.raises(ValueError):
+            AnosyT(SecureRuntime(), size_above(1), registry, mode="diagonal")
+
+
+class TestKnowledgeTracking:
+    def test_no_prior_knowledge_before_first_downgrade(self, registry):
+        session = _session(registry)
+        secret = ProtectedSecret.seal(SPEC, (50, 50))
+        assert session.knowledge_of(secret) is None
+
+    def test_equal_secrets_share_knowledge(self, registry):
+        session = _session(registry)
+        first = ProtectedSecret.seal(SPEC, (300, 200))
+        second = ProtectedSecret.seal(SPEC, (300, 200))
+        session.downgrade(first, "nearby_200_200")
+        assert session.knowledge_of(second) is not None
+
+    def test_different_secrets_tracked_separately(self, registry):
+        session = _session(registry)
+        near = ProtectedSecret.seal(SPEC, (200, 200))
+        far = ProtectedSecret.seal(SPEC, (0, 0))
+        session.downgrade(near, "nearby_200_200")
+        session.downgrade(far, "nearby_200_200")
+        assert session.knowledge_of(near) is not None
+        assert session.knowledge_of(far) is not None
+        assert session.knowledge_of(near).size() != session.knowledge_of(far).size()
+
+    def test_posterior_is_sound_underapproximation(self, registry):
+        # P_i ⊆ K_i: every point in the tracked knowledge must be
+        # consistent with the observed responses (section 3's induction).
+        session = _session(registry)
+        secret_value = (250, 180)
+        secret = ProtectedSecret.seal(SPEC, secret_value)
+        responses = {}
+        for name in ["nearby_200_200", "nearby_300_200"]:
+            responses[name] = session.downgrade(secret, name)
+        knowledge = session.knowledge_of(secret)
+        compiled = {n: registry.lookup(n).qinfo for n in responses}
+        # Sample the tracked knowledge and check consistency.
+        for piece in knowledge.boxes():
+            for point in list(piece.iter_points())[::17]:
+                for name, response in responses.items():
+                    assert compiled[name].run(point) == response
+
+    def test_track_over_keeps_parallel_map(self, registry):
+        session = _session(registry, track_over=True)
+        secret = ProtectedSecret.seal(SPEC, (300, 200))
+        session.downgrade(secret, "nearby_200_200")
+        key = session._key(secret)
+        assert key in session.over_knowledge
+        # Over-approximation must contain the true secret.
+        assert session.over_knowledge[key].contains((300, 200))
+
+    def test_lift_runs_in_underlying_monad(self, registry):
+        session = _session(registry)
+        label = session.lift(lambda runtime: runtime.current_label)
+        assert label == SecureRuntime().current_label

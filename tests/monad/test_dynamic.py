@@ -1,0 +1,74 @@
+"""Tests for dynamic policy enforcement."""
+
+import pytest
+
+from repro.core.plugin import CompileOptions, QueryRegistry
+from repro.lang.ast import var
+from repro.lang.secrets import SecretSpec
+from repro.monad.anosy import AnosyT, PolicyViolation
+from repro.monad.dynamic import DynamicAnosy
+from repro.monad.policy import size_above
+from repro.monad.protected import ProtectedSecret
+from repro.monad.secure import SecureRuntime
+
+SPEC = SecretSpec.declare("S", x=(0, 99), y=(0, 99))
+
+
+@pytest.fixture(scope="module")
+def registry():
+    registry = QueryRegistry()
+    options = CompileOptions(modes=("under",))
+    registry.compile_and_register("half", var("x") < 50, SPEC, options)
+    registry.compile_and_register("stripe", var("y") < 10, SPEC, options)
+    return registry
+
+
+def _dynamic(registry, threshold=10):
+    session = AnosyT(SecureRuntime(), size_above(threshold), registry)
+    return DynamicAnosy(session)
+
+
+class TestPolicySwitching:
+    def test_switch_with_no_tracked_secrets_accepted(self, registry):
+        dynamic = _dynamic(registry)
+        switch = dynamic.switch_policy(size_above(1000))
+        assert switch.accepted
+        assert dynamic.current_policy.name == "size > 1000"
+
+    def test_switch_rejected_when_knowledge_violates(self, registry):
+        dynamic = _dynamic(registry)
+        secret = ProtectedSecret.seal(SPEC, (10, 5))
+        dynamic.downgrade(secret, "half")   # knowledge ~ 5000 secrets
+        dynamic.downgrade(secret, "stripe")  # knowledge ~ 500 secrets
+        switch = dynamic.switch_policy(size_above(100_000))
+        assert not switch.accepted
+        assert len(switch.violations) == 1
+        # The old policy stays in force.
+        assert dynamic.current_policy.name == "size > 10"
+
+    def test_forced_switch(self, registry):
+        dynamic = _dynamic(registry)
+        secret = ProtectedSecret.seal(SPEC, (10, 5))
+        dynamic.downgrade(secret, "half")
+        switch = dynamic.switch_policy(size_above(100_000), force=True)
+        assert switch.accepted
+        # Every further downgrade now violates the stricter policy.
+        with pytest.raises(PolicyViolation):
+            dynamic.downgrade(secret, "stripe")
+
+    def test_relaxing_policy_allows_more(self, registry):
+        dynamic = _dynamic(registry, threshold=100_000)
+        secret = ProtectedSecret.seal(SPEC, (10, 5))
+        with pytest.raises(PolicyViolation):
+            dynamic.downgrade(secret, "half")
+        assert dynamic.switch_policy(size_above(10)).accepted
+        assert dynamic.downgrade(secret, "half") is True
+
+    def test_switch_history_recorded(self, registry):
+        dynamic = _dynamic(registry)
+        dynamic.switch_policy(size_above(5))
+        dynamic.switch_policy(size_above(7))
+        assert [s.policy_name for s in dynamic.switches] == [
+            "size > 5",
+            "size > 7",
+        ]

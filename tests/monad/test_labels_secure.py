@@ -1,0 +1,130 @@
+"""Tests for label lattices and the mini-LIO runtime."""
+
+import pytest
+
+from repro.monad.labels import PUBLIC, SECRET, Level, ReaderSet, level_chain
+from repro.monad.secure import IFCViolation, Labeled, SecureRuntime
+
+
+class TestLevelLattice:
+    def test_ordering(self):
+        assert PUBLIC.can_flow_to(SECRET)
+        assert not SECRET.can_flow_to(PUBLIC)
+        assert PUBLIC.can_flow_to(PUBLIC)
+
+    def test_join_meet(self):
+        assert PUBLIC.join(SECRET) == SECRET
+        assert PUBLIC.meet(SECRET) == PUBLIC
+
+    def test_chain(self):
+        low, mid, high = level_chain("LOW", "MID", "HIGH")
+        assert low.can_flow_to(mid) and mid.can_flow_to(high)
+        assert low.join(high) == high
+
+    def test_cross_lattice_rejected(self):
+        with pytest.raises(TypeError):
+            PUBLIC.join(ReaderSet.anyone())
+
+
+class TestReaderSetLattice:
+    def test_public_flows_anywhere(self):
+        assert ReaderSet.anyone().can_flow_to(ReaderSet.only("alice"))
+
+    def test_secret_cannot_become_public(self):
+        assert not ReaderSet.only("alice").can_flow_to(ReaderSet.anyone())
+
+    def test_fewer_readers_is_more_secret(self):
+        ab = ReaderSet.only("alice", "bob")
+        a = ReaderSet.only("alice")
+        assert ab.can_flow_to(a)
+        assert not a.can_flow_to(ab)
+
+    def test_join_intersects_readers(self):
+        ab = ReaderSet.only("alice", "bob")
+        bc = ReaderSet.only("bob", "carol")
+        assert ab.join(bc) == ReaderSet.only("bob")
+
+    def test_meet_unions_readers(self):
+        a = ReaderSet.only("alice")
+        b = ReaderSet.only("bob")
+        assert a.meet(b) == ReaderSet.only("alice", "bob")
+
+    def test_lattice_laws_on_samples(self):
+        samples = [
+            ReaderSet.anyone(),
+            ReaderSet.only("a"),
+            ReaderSet.only("a", "b"),
+            ReaderSet.only("b"),
+        ]
+        for x in samples:
+            for y in samples:
+                join = x.join(y)
+                assert x.can_flow_to(join) and y.can_flow_to(join)
+                meet = x.meet(y)
+                assert meet.can_flow_to(x) and meet.can_flow_to(y)
+
+
+class TestSecureRuntime:
+    def test_initial_state(self):
+        runtime = SecureRuntime()
+        assert runtime.current_label == PUBLIC
+        assert runtime.clearance == SECRET
+
+    def test_bad_initial_state_rejected(self):
+        with pytest.raises(IFCViolation):
+            SecureRuntime(current=SECRET, clearance=PUBLIC)
+
+    def test_label_and_unlabel_floats_current(self):
+        runtime = SecureRuntime()
+        boxed = runtime.label(SECRET, 42)
+        assert runtime.unlabel(boxed) == 42
+        assert runtime.current_label == SECRET
+
+    def test_cannot_label_below_current(self):
+        runtime = SecureRuntime(current=SECRET)
+        with pytest.raises(IFCViolation, match="below the current"):
+            runtime.label(PUBLIC, 42)
+
+    def test_cannot_exceed_clearance(self):
+        runtime = SecureRuntime(clearance=PUBLIC)
+        with pytest.raises(IFCViolation, match="clearance"):
+            runtime.label(SECRET, 42)
+
+    def test_unlabel_above_clearance_rejected(self):
+        runtime = SecureRuntime(clearance=PUBLIC)
+        boxed = Labeled(SECRET, 42)
+        with pytest.raises(IFCViolation):
+            runtime.unlabel(boxed)
+
+    def test_unlabel_tcb_does_not_float(self):
+        runtime = SecureRuntime()
+        boxed = runtime.label(SECRET, 42)
+        assert runtime.unlabel_tcb(boxed) == 42
+        assert runtime.current_label == PUBLIC
+
+    def test_to_labeled_scopes_taint(self):
+        runtime = SecureRuntime()
+        secret = runtime.label(SECRET, 10)
+
+        def body():
+            return runtime.unlabel(secret) + 1
+
+        boxed = runtime.to_labeled(SECRET, body)
+        assert runtime.current_label == PUBLIC  # restored
+        assert boxed.label == SECRET
+        assert runtime.unlabel_tcb(boxed) == 11
+
+    def test_to_labeled_rejects_underlabeled_result(self):
+        runtime = SecureRuntime()
+        secret = runtime.label(SECRET, 10)
+        with pytest.raises(IFCViolation, match="tainted"):
+            runtime.to_labeled(PUBLIC, lambda: runtime.unlabel(secret))
+
+    def test_taint(self):
+        runtime = SecureRuntime()
+        runtime.taint(SECRET)
+        assert runtime.current_label == SECRET
+
+    def test_labeled_repr_hides_value(self):
+        assert "protected" in repr(Labeled(SECRET, "swordfish"))
+        assert "swordfish" not in repr(Labeled(SECRET, "swordfish"))

@@ -1,0 +1,71 @@
+"""Tests for quantitative policy combinators."""
+
+from repro.domains.box import IntervalDomain
+from repro.lang.secrets import SecretSpec
+from repro.monad.policy import (
+    all_of,
+    any_of,
+    check_monotone_on,
+    size_above,
+    size_at_least,
+)
+from repro.solver.boxes import Box
+
+SPEC = SecretSpec.declare("S", x=(0, 9), y=(0, 9))
+
+
+def _domain(width):
+    return IntervalDomain(SPEC, Box.make((0, width - 1), (0, 9)))
+
+
+class TestSizePolicies:
+    def test_size_above(self):
+        policy = size_above(100)
+        assert not policy(_domain(10))  # size exactly 100 is not > 100
+        assert policy(IntervalDomain.top(SPEC)) is False  # top is 100 too
+        assert policy(_domain(10)) is False
+        assert size_above(99)(_domain(10)) is True
+
+    def test_size_at_least(self):
+        policy = size_at_least(100)
+        assert policy(_domain(10)) is True
+        assert not policy(_domain(9))
+
+    def test_bottom_fails_positive_thresholds(self):
+        assert not size_above(0)(IntervalDomain.bottom(SPEC))
+        assert not size_at_least(1)(IntervalDomain.bottom(SPEC))
+
+    def test_names(self):
+        assert size_above(100).name == "size > 100"
+        assert size_at_least(5).name == "size >= 5"
+
+
+class TestCombinators:
+    def test_all_of(self):
+        policy = all_of(size_at_least(10), size_at_least(50))
+        assert policy(_domain(5))
+        assert not policy(_domain(4))
+
+    def test_any_of(self):
+        policy = any_of(size_at_least(1000), size_at_least(10))
+        assert policy(_domain(1))
+        assert not any_of(size_at_least(1000))(_domain(1))
+
+    def test_combined_names(self):
+        assert "and" in all_of(size_above(1), size_above(2)).name
+        assert "or" in any_of(size_above(1), size_above(2)).name
+
+
+class TestMonotonicity:
+    def test_size_policies_are_monotone(self):
+        chain = [_domain(w) for w in (1, 3, 5, 10)]
+        assert check_monotone_on(size_above(25), chain)
+        assert check_monotone_on(size_at_least(30), chain)
+
+    def test_non_monotone_policy_detected(self):
+        from repro.monad.policy import QuantitativePolicy
+
+        # "size is even" flips back and forth along the chain.
+        wobbly = QuantitativePolicy("wobbly", lambda d: (d.size() // 10) % 2 == 0)
+        chain = [_domain(w) for w in (1, 2, 3, 4)]
+        assert not check_monotone_on(wobbly, chain)

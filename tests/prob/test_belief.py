@@ -1,0 +1,112 @@
+"""Tests for conditioned beliefs and probabilistic policies."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.lang.ast import Not, var
+from repro.lang.eval import eval_bool
+from repro.lang.secrets import SecretSpec
+from repro.prob.belief import ConditionedBelief
+from repro.prob.policies import (
+    knowledge_policy_for_vulnerability,
+    probability_below,
+    vulnerability_below,
+)
+from repro.solver.boxes import Box
+from tests.strategies import bool_exprs
+
+SPEC = SecretSpec.declare("S", x=(-8, 12), y=(0, 15))
+SPACE = Box(SPEC.bounds())
+NAMES = SPEC.field_names
+
+
+def _brute_probability(observations, predicate):
+    consistent = [
+        p
+        for p in SPACE.iter_points()
+        if all(eval_bool(o, dict(zip(NAMES, p))) for o in observations)
+    ]
+    if not consistent:
+        return None
+    hits = sum(
+        1 for p in consistent if eval_bool(predicate, dict(zip(NAMES, p)))
+    )
+    return Fraction(hits, len(consistent))
+
+
+class TestConditioning:
+    def test_unconditioned_support_is_space(self):
+        assert ConditionedBelief(SPEC).support_size() == SPACE.volume()
+
+    def test_observe_true_and_false(self):
+        query = var("x") >= 0
+        assert ConditionedBelief(SPEC).observe(query, True).support_size() == 13 * 16
+        assert ConditionedBelief(SPEC).observe(query, False).support_size() == 8 * 16
+
+    def test_observations_accumulate(self):
+        belief = (
+            ConditionedBelief(SPEC)
+            .observe(var("x") >= 0, True)
+            .observe(var("y") <= 3, True)
+        )
+        assert belief.support_size() == 13 * 4
+
+    @given(bool_exprs(NAMES), bool_exprs(NAMES))
+    @settings(max_examples=40, deadline=None)
+    def test_probability_matches_brute_force(self, observation, predicate):
+        belief = ConditionedBelief(SPEC).observe(observation, True)
+        expected = _brute_probability([observation], predicate)
+        if expected is None:
+            with pytest.raises(ValueError):
+                belief.probability_of(predicate)
+        else:
+            assert belief.probability_of(predicate) == expected
+
+    def test_probability_of_secret(self):
+        belief = ConditionedBelief(SPEC)
+        assert belief.probability_of_secret((0, 0)) == Fraction(1, SPACE.volume())
+
+    def test_vulnerability_is_reciprocal_support(self):
+        belief = ConditionedBelief(SPEC).observe(var("x").eq(0), True)
+        assert belief.vulnerability() == Fraction(1, 16)
+
+    def test_consistency_check(self):
+        belief = ConditionedBelief(SPEC).observe(var("x") >= 0, True)
+        assert belief.is_consistent_with((0, 0))
+        assert not belief.is_consistent_with((-1, 0))
+
+    def test_contradictory_observations_raise(self):
+        belief = (
+            ConditionedBelief(SPEC)
+            .observe(var("x") >= 5, True)
+            .observe(var("x") <= 0, True)
+        )
+        with pytest.raises(ValueError, match="contradictory"):
+            belief.vulnerability()
+
+
+class TestBeliefPolicies:
+    def test_vulnerability_below(self):
+        belief = ConditionedBelief(SPEC)
+        assert vulnerability_below(Fraction(1, 100))(belief)
+        pinned = belief.observe(var("x").eq(0) & var("y").eq(0), True)
+        assert not vulnerability_below(Fraction(1, 100))(pinned)
+
+    def test_probability_below(self):
+        belief = ConditionedBelief(SPEC)
+        policy = probability_below(var("x") >= 0, Fraction(9, 10), label="x>=0")
+        assert policy(belief)
+        sure = belief.observe(var("x") >= 0, True)
+        assert not policy(sure)
+
+    def test_knowledge_policy_bridge(self):
+        from repro.domains.box import IntervalDomain
+
+        policy = knowledge_policy_for_vulnerability(Fraction(1, 100))
+        assert policy.name.startswith("size > 100")
+        big = IntervalDomain(SPEC, Box.make((-8, 12), (0, 8)))  # 189 secrets
+        small = IntervalDomain(SPEC, Box.make((0, 9), (0, 9)))  # 100 secrets
+        assert policy(big)
+        assert not policy(small)

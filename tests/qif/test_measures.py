@@ -1,0 +1,93 @@
+"""Tests for the quantitative information-flow measures."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.domains.box import IntervalDomain
+from repro.lang.ast import var
+from repro.lang.secrets import SecretSpec
+from repro.qif.measures import (
+    bayes_vulnerability,
+    guessing_entropy,
+    min_entropy,
+    query_leakage,
+    shannon_entropy,
+)
+from repro.solver.boxes import Box
+
+SPEC = SecretSpec.declare("S", x=(0, 15), y=(0, 15))
+
+
+def _knowledge(volume_width):
+    return IntervalDomain(SPEC, Box.make((0, volume_width - 1), (0, 15)))
+
+
+class TestPosteriorMeasures:
+    def test_shannon_entropy_of_full_space(self):
+        assert shannon_entropy(IntervalDomain.top(SPEC)) == 8.0  # log2(256)
+
+    def test_min_entropy_equals_shannon_for_uniform(self):
+        knowledge = _knowledge(4)
+        assert min_entropy(knowledge) == shannon_entropy(knowledge)
+
+    def test_bayes_vulnerability(self):
+        assert bayes_vulnerability(_knowledge(4)) == Fraction(1, 64)
+
+    def test_guessing_entropy(self):
+        assert guessing_entropy(_knowledge(4)) == Fraction(65, 2)
+
+    def test_singleton_knowledge_has_zero_entropy(self):
+        point = IntervalDomain(SPEC, Box.make((3, 3), (7, 7)))
+        assert shannon_entropy(point) == 0.0
+        assert bayes_vulnerability(point) == 1
+
+    def test_empty_knowledge_rejected(self):
+        with pytest.raises(ValueError):
+            shannon_entropy(IntervalDomain.bottom(SPEC))
+
+
+class TestQueryLeakage:
+    def test_balanced_query_leaks_one_bit(self):
+        leakage = query_leakage(var("x") <= 7, SPEC)
+        assert leakage.probability_true == Fraction(1, 2)
+        assert leakage.shannon_leakage == pytest.approx(1.0)
+
+    def test_skewed_query_leaks_less_on_average(self):
+        balanced = query_leakage(var("x") <= 7, SPEC)
+        skewed = query_leakage(var("x").eq(0) & var("y").eq(0), SPEC)
+        assert skewed.shannon_leakage < balanced.shannon_leakage
+
+    def test_min_entropy_leakage_of_pinpoint_query(self):
+        leakage = query_leakage(var("x").eq(0) & var("y").eq(0), SPEC)
+        # Worst case (True response) pins the secret: log2(256) - log2(1).
+        assert leakage.min_entropy_leakage == pytest.approx(8.0)
+
+    def test_constant_query_leaks_nothing(self):
+        leakage = query_leakage(var("x") >= 0, SPEC)
+        assert leakage.probability_true == 1
+        assert leakage.shannon_leakage == 0.0
+
+    def test_leakage_against_prior(self):
+        prior = IntervalDomain(SPEC, Box.make((0, 7), (0, 15)))
+        leakage = query_leakage(var("x") <= 3, SPEC, prior)
+        assert leakage.prior_size == 128
+        assert leakage.probability_true == Fraction(1, 2)
+
+    def test_counts_partition_prior(self):
+        leakage = query_leakage(var("x") + var("y") <= 9, SPEC)
+        assert leakage.true_size + leakage.false_size == leakage.prior_size
+
+    def test_empty_prior_rejected(self):
+        with pytest.raises(ValueError):
+            query_leakage(var("x") <= 3, SPEC, IntervalDomain.bottom(SPEC))
+
+    def test_monotone_radius_monotone_leakage(self):
+        # Bigger diamonds are closer to balanced: leakage grows until the
+        # True-probability crosses 1/2.
+        leakages = [
+            query_leakage(abs(var("x") - 8) + abs(var("y") - 8) <= r, SPEC).shannon_leakage
+            for r in (1, 3, 5)
+        ]
+        assert leakages == sorted(leakages)

@@ -1,0 +1,142 @@
+"""Tests for refinement specs, Figure 4 constructors, and the checker."""
+
+import pytest
+
+from repro.domains.box import IntervalDomain
+from repro.domains.powerset import PowersetDomain
+from repro.lang.ast import BoolLit, var
+from repro.lang.secrets import SecretSpec
+from repro.refine.checker import (
+    VerificationError,
+    check_refinement,
+    verify_pair,
+    verify_refinement,
+)
+from repro.refine.figure4 import (
+    over_indset_spec,
+    overapprox_spec,
+    under_indset_spec,
+    underapprox_spec,
+)
+from repro.refine.spec import TRUE_PREDICATE, Refinement
+from repro.solver.boxes import Box
+
+SPEC = SecretSpec.declare("S", x=(0, 19), y=(0, 19))
+QUERY = var("x") + var("y") <= 10
+
+
+class TestRefinement:
+    def test_default_is_trivial(self):
+        assert Refinement().trivial
+
+    def test_describe_uses_angle_brackets(self):
+        refinement = Refinement(positive=QUERY)
+        assert refinement.describe().startswith("<{\\x ->")
+
+    def test_check_fields_accepts_declared(self):
+        Refinement(positive=QUERY).check_fields(SPEC)
+
+    def test_check_fields_rejects_undeclared(self):
+        with pytest.raises(ValueError, match="undeclared"):
+            Refinement(positive=var("z") <= 1).check_fields(SPEC)
+
+
+class TestFigure4Specs:
+    def test_under_indset_positive_only(self):
+        true_spec, false_spec = under_indset_spec(QUERY)
+        assert true_spec.positive == QUERY
+        assert true_spec.negative == TRUE_PREDICATE
+        assert false_spec.negative == TRUE_PREDICATE
+
+    def test_over_indset_negative_only(self):
+        true_spec, false_spec = over_indset_spec(QUERY)
+        assert true_spec.positive == TRUE_PREDICATE
+        assert false_spec.positive == TRUE_PREDICATE
+
+    def test_underapprox_strengthens_with_prior(self):
+        prior = IntervalDomain(SPEC, Box.make((0, 5), (0, 5)))
+        true_spec, _ = underapprox_spec(QUERY, prior)
+        assert true_spec.positive != QUERY  # prior constraint added
+
+    def test_overapprox_weakens_with_prior(self):
+        prior = IntervalDomain(SPEC, Box.make((0, 5), (0, 5)))
+        true_spec, _ = overapprox_spec(QUERY, prior)
+        assert true_spec.negative != TRUE_PREDICATE
+
+
+class TestChecker:
+    def test_verifies_correct_under_domain(self):
+        domain = IntervalDomain(SPEC, Box.make((0, 5), (0, 5)))
+        outcome = verify_refinement(domain, Refinement(positive=QUERY))
+        assert outcome.verified
+        assert outcome.certificates[0].obligation == "positive"
+        assert outcome.total_nodes >= 1
+
+    def test_refutes_incorrect_under_domain(self):
+        domain = IntervalDomain(SPEC, Box.make((0, 6), (0, 6)))  # (6,6) violates
+        outcome = check_refinement(domain, Refinement(positive=QUERY))
+        assert not outcome.verified
+
+    def test_verify_raises_on_failure(self):
+        domain = IntervalDomain(SPEC, Box.make((0, 19), (0, 19)))
+        with pytest.raises(VerificationError):
+            verify_refinement(domain, Refinement(positive=QUERY))
+
+    def test_negative_obligation(self):
+        # Everything outside the domain satisfies not-query: take the
+        # bounding box of the query region.
+        domain = IntervalDomain(SPEC, Box.make((0, 10), (0, 10)))
+        spec = Refinement(negative=var("x") + var("y") > 10)
+        assert verify_refinement(domain, spec).verified
+
+    def test_trivial_spec_produces_no_certificates(self):
+        domain = IntervalDomain.top(SPEC)
+        outcome = check_refinement(domain, Refinement())
+        assert outcome.certificates == ()
+        assert outcome.verified
+
+    def test_bottom_satisfies_any_positive(self):
+        outcome = check_refinement(
+            IntervalDomain.bottom(SPEC), Refinement(positive=BoolLit(False))
+        )
+        assert outcome.verified
+
+    def test_top_satisfies_any_negative(self):
+        outcome = check_refinement(
+            IntervalDomain.top(SPEC), Refinement(negative=BoolLit(False))
+        )
+        assert outcome.verified
+
+    def test_powerset_verification(self):
+        domain = PowersetDomain(
+            SPEC, (Box.make((0, 5), (0, 5)), Box.make((0, 10), (0, 0))), ()
+        )
+        assert verify_refinement(domain, Refinement(positive=QUERY)).verified
+
+    def test_powerset_with_exclusions(self):
+        # The cover [0,10]x[0,10] over-approximates the query region; the
+        # excluded corner contains only non-query points.
+        domain = PowersetDomain(
+            SPEC,
+            (Box.make((0, 10), (0, 10)),),
+            (Box.make((6, 10), (6, 10)),),
+        )
+        spec = Refinement(negative=var("x") + var("y") > 10)
+        assert verify_refinement(domain, spec).verified
+
+    def test_verify_pair(self):
+        true_domain = IntervalDomain(SPEC, Box.make((0, 5), (0, 5)))
+        false_domain = IntervalDomain(SPEC, Box.make((11, 19), (0, 19)))
+        outcomes = verify_pair(
+            (true_domain, false_domain), under_indset_spec(QUERY)
+        )
+        assert outcomes[0].verified and outcomes[1].verified
+
+    def test_certificates_carry_metadata(self):
+        domain = IntervalDomain(SPEC, Box.make((0, 5), (0, 5)))
+        outcome = check_refinement(domain, Refinement(positive=QUERY))
+        cert = outcome.certificates[0]
+        assert cert.holds
+        assert cert.search_nodes > 0
+        assert cert.elapsed >= 0
+        assert "x" in cert.formula

@@ -1,0 +1,82 @@
+"""Soundness property tests for abstract evaluation and specialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.eval import eval_bool, eval_int
+from repro.lang.ternary import FALSE, TRUE
+from repro.solver.abseval import eval_bool_abs, eval_int_abs, specialize
+from repro.solver.boxes import Box
+from tests.strategies import bool_exprs, boxes_within, int_exprs, points_within
+
+SPACE = Box.make((-8, 12), (0, 15))
+NAMES = ("x", "y")
+
+
+def _env(box):
+    return dict(zip(NAMES, box.bounds))
+
+
+class TestIntSoundness:
+    @given(int_exprs(NAMES), boxes_within(SPACE), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_concrete_value_within_abstract_range(self, expr, box, data):
+        point = data.draw(points_within(box))
+        lo, hi = eval_int_abs(expr, _env(box))
+        value = eval_int(expr, dict(zip(NAMES, point)))
+        assert lo <= value <= hi
+
+    @given(int_exprs(NAMES), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_singleton_boxes_are_exact(self, expr, data):
+        point = data.draw(points_within(SPACE))
+        box = Box(tuple((v, v) for v in point))
+        lo, hi = eval_int_abs(expr, _env(box))
+        value = eval_int(expr, dict(zip(NAMES, point)))
+        assert lo == hi == value
+
+
+class TestBoolSoundness:
+    @given(bool_exprs(NAMES), boxes_within(SPACE), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_decided_implies_concrete(self, formula, box, data):
+        point = data.draw(points_within(box))
+        truth = eval_bool_abs(formula, _env(box))
+        concrete = eval_bool(formula, dict(zip(NAMES, point)))
+        if truth is TRUE:
+            assert concrete is True
+        elif truth is FALSE:
+            assert concrete is False
+
+    @given(bool_exprs(NAMES), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_singleton_boxes_decide(self, formula, data):
+        point = data.draw(points_within(SPACE))
+        box = Box(tuple((v, v) for v in point))
+        truth = eval_bool_abs(formula, _env(box))
+        assert truth.decided
+        assert truth.as_bool() == eval_bool(formula, dict(zip(NAMES, point)))
+
+
+class TestSpecialize:
+    @given(bool_exprs(NAMES), boxes_within(SPACE), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_specialized_formula_equivalent_on_box(self, formula, box, data):
+        point = data.draw(points_within(box))
+        shrunk, truth = specialize(formula, _env(box))
+        env = dict(zip(NAMES, point))
+        assert eval_bool(shrunk, env) == eval_bool(formula, env)
+        if truth.decided:
+            assert truth.as_bool() == eval_bool(formula, env)
+
+    @given(bool_exprs(NAMES), boxes_within(SPACE))
+    @settings(max_examples=200, deadline=None)
+    def test_specialize_agrees_with_abstract_eval(self, formula, box):
+        _, truth = specialize(formula, _env(box))
+        assert truth == eval_bool_abs(formula, _env(box))
+
+    @given(bool_exprs(NAMES), boxes_within(SPACE))
+    @settings(max_examples=200, deadline=None)
+    def test_specialized_formula_never_grows(self, formula, box):
+        shrunk, _ = specialize(formula, _env(box))
+        assert shrunk.node_count() <= formula.node_count()

@@ -1,0 +1,160 @@
+"""Tests for integer box geometry and exact box algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.boxes import (
+    Box,
+    boxes_are_disjoint,
+    disjoint_pieces,
+    subtract_box,
+    subtract_boxes,
+    union_volume,
+)
+
+OUTER = Box.make((0, 9), (0, 9))
+small_boxes = st.builds(
+    lambda ax, ay, bx, by: Box.make(
+        (min(ax, bx), max(ax, bx)), (min(ay, by), max(ay, by))
+    ),
+    st.integers(0, 9),
+    st.integers(0, 9),
+    st.integers(0, 9),
+    st.integers(0, 9),
+)
+
+
+class TestBoxBasics:
+    def test_volume(self):
+        assert Box.make((0, 9), (5, 5)).volume() == 10
+
+    def test_widths(self):
+        assert Box.make((0, 9), (3, 5)).widths() == (10, 3)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError, match="empty interval"):
+            Box.make((3, 2))
+
+    def test_zero_dimensions_rejected(self):
+        with pytest.raises(ValueError, match="at least one dimension"):
+            Box(())
+
+    def test_contains(self):
+        box = Box.make((0, 4), (0, 4))
+        assert box.contains((0, 4))
+        assert not box.contains((5, 0))
+
+    def test_contains_arity_check(self):
+        with pytest.raises(ValueError, match="coordinates"):
+            Box.make((0, 4)).contains((1, 2))
+
+    def test_contains_box(self):
+        assert OUTER.contains_box(Box.make((1, 2), (3, 4)))
+        assert not Box.make((1, 2), (3, 4)).contains_box(OUTER)
+
+    def test_is_point(self):
+        assert Box.make((3, 3), (4, 4)).is_point()
+        assert not Box.make((3, 4), (4, 4)).is_point()
+
+    def test_any_point_is_inside(self):
+        box = Box.make((2, 7), (0, 3))
+        assert box.contains(box.any_point())
+
+    def test_iter_points(self):
+        assert list(Box.make((0, 1), (0, 1)).iter_points()) == [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+        ]
+
+    def test_split(self):
+        low, high = Box.make((0, 9)).split(0)
+        assert low == Box.make((0, 4))
+        assert high == Box.make((5, 9))
+
+    def test_split_width_one_rejected(self):
+        with pytest.raises(ValueError):
+            Box.make((3, 3)).split(0)
+
+    def test_widest_dim(self):
+        assert Box.make((0, 3), (0, 9)).widest_dim() == 1
+
+    def test_with_dim(self):
+        assert Box.make((0, 9), (0, 9)).with_dim(1, 2, 3) == Box.make((0, 9), (2, 3))
+
+    def test_hull(self):
+        a = Box.make((0, 2), (5, 6))
+        b = Box.make((4, 7), (0, 1))
+        assert a.hull(b) == Box.make((0, 7), (0, 6))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            Box.make((0, 1)).intersect(Box.make((0, 1), (0, 1)))
+
+
+class TestIntersection:
+    def test_overlapping(self):
+        a = Box.make((0, 5), (0, 5))
+        b = Box.make((3, 8), (4, 9))
+        assert a.intersect(b) == Box.make((3, 5), (4, 5))
+
+    def test_disjoint_returns_none(self):
+        assert Box.make((0, 1)).intersect(Box.make((3, 4))) is None
+
+    @given(small_boxes, small_boxes)
+    @settings(max_examples=80, deadline=None)
+    def test_intersection_is_pointwise(self, a, b):
+        result = a.intersect(b)
+        expected = set(a.iter_points()) & set(b.iter_points())
+        if result is None:
+            assert not expected
+        else:
+            assert set(result.iter_points()) == expected
+
+
+class TestSubtraction:
+    @given(small_boxes, small_boxes)
+    @settings(max_examples=80, deadline=None)
+    def test_subtract_box_partitions(self, a, b):
+        pieces = subtract_box(a, b)
+        expected = set(a.iter_points()) - set(b.iter_points())
+        covered = [p for piece in pieces for p in piece.iter_points()]
+        assert set(covered) == expected
+        assert len(covered) == len(expected)  # pieces are disjoint
+
+    @given(st.lists(small_boxes, max_size=4), st.lists(small_boxes, max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_subtract_boxes_semantics(self, keep, remove):
+        pieces = subtract_boxes(keep, remove)
+        expected = {
+            p for box in keep for p in box.iter_points()
+        } - {p for box in remove for p in box.iter_points()}
+        covered = [p for piece in pieces for p in piece.iter_points()]
+        assert set(covered) == expected
+        assert len(covered) == len(expected)
+
+    @given(st.lists(small_boxes, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_disjoint_pieces_cover_union(self, boxes):
+        pieces = disjoint_pieces(boxes)
+        expected = {p for box in boxes for p in box.iter_points()}
+        covered = [p for piece in pieces for p in piece.iter_points()]
+        assert set(covered) == expected
+        assert len(covered) == len(expected)
+        assert boxes_are_disjoint(pieces)
+
+    @given(st.lists(small_boxes, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_union_volume_exact(self, boxes):
+        expected = len({p for box in boxes for p in box.iter_points()})
+        assert union_volume(boxes) == expected
+
+
+class TestDisjointness:
+    def test_disjoint(self):
+        assert boxes_are_disjoint([Box.make((0, 1)), Box.make((2, 3))])
+
+    def test_overlapping(self):
+        assert not boxes_are_disjoint([Box.make((0, 2)), Box.make((2, 3))])

@@ -1,0 +1,117 @@
+"""Brute-force-checked tests for the decision procedures."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.lang.ast import BoolLit, var
+from repro.lang.eval import eval_bool
+from repro.solver.boxes import Box
+from repro.solver.decide import (
+    SolverBudgetExceeded,
+    SolverStats,
+    count_models,
+    decide_exists,
+    decide_forall,
+    find_model,
+    find_true_box,
+)
+from tests.strategies import bool_exprs, boxes_within
+
+SPACE = Box.make((-8, 12), (0, 15))
+NAMES = ("x", "y")
+
+
+def _brute_force(formula, box):
+    return [
+        point
+        for point in box.iter_points()
+        if eval_bool(formula, dict(zip(NAMES, point)))
+    ]
+
+
+class TestDecideForall:
+    @given(bool_exprs(NAMES), boxes_within(SPACE))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, formula, box):
+        expected = len(_brute_force(formula, box)) == box.volume()
+        assert decide_forall(formula, box, NAMES) == expected
+
+    def test_trivial_formulas(self):
+        assert decide_forall(BoolLit(True), SPACE, NAMES)
+        assert not decide_forall(BoolLit(False), SPACE, NAMES)
+
+    def test_nearby_box_inside(self, nearby):
+        box = Box.make((150, 250), (150, 250))
+        assert decide_forall(nearby, box, NAMES)
+
+    def test_nearby_box_crossing(self, nearby):
+        box = Box.make((150, 251), (150, 251))
+        assert not decide_forall(nearby, box, NAMES)
+
+    def test_budget_guard(self, nearby):
+        stats = SolverStats(max_nodes=2)
+        big = Box.make((0, 399), (0, 399))
+        with pytest.raises(SolverBudgetExceeded):
+            decide_forall(nearby, big, NAMES, stats)
+
+
+class TestFindModel:
+    @given(bool_exprs(NAMES), boxes_within(SPACE))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, formula, box):
+        witness = find_model(formula, box, NAMES)
+        expected = _brute_force(formula, box)
+        if witness is None:
+            assert not expected
+        else:
+            assert box.contains(witness)
+            assert eval_bool(formula, dict(zip(NAMES, witness)))
+
+    def test_exists_dual(self):
+        formula = var("x").eq(3) & var("y").eq(7)
+        assert decide_exists(formula, SPACE, NAMES)
+        assert not decide_exists(var("x").eq(99), SPACE, NAMES)
+
+
+class TestCountModels:
+    @given(bool_exprs(NAMES), boxes_within(SPACE))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, formula, box):
+        assert count_models(formula, box, NAMES) == len(_brute_force(formula, box))
+
+    @given(bool_exprs(NAMES), boxes_within(SPACE))
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_and_pure_agree(self, formula, box):
+        vectorized = count_models(formula, box, NAMES)
+        pure = count_models(formula, box, NAMES, vector_threshold=0)
+        assert vectorized == pure
+
+    def test_diamond_count(self, nearby):
+        space = Box.make((0, 399), (0, 399))
+        assert count_models(nearby, space, NAMES) == 2 * 100 * 100 + 2 * 100 + 1
+
+    def test_factoring_multiplies_free_dimensions(self):
+        # Constraint touches only x; the y dimension factors out.
+        formula = var("x") <= 0
+        stats = SolverStats()
+        count = count_models(formula, SPACE, NAMES, stats)
+        assert count == 9 * 16  # x in [-8, 0], y free
+
+
+class TestFindTrueBox:
+    def test_finds_interior_box(self, nearby):
+        space = Box.make((0, 399), (0, 399))
+        result = find_true_box(nearby, space, NAMES)
+        assert result.box is not None
+        assert decide_forall(nearby, result.box, NAMES)
+
+    def test_empty_region_exhausts(self):
+        result = find_true_box(var("x").eq(99), SPACE, NAMES)
+        assert result.box is None
+        assert result.exhausted
+
+    def test_budget_exhaustion_reports_not_exhausted(self, nearby):
+        space = Box.make((0, 399), (0, 399))
+        result = find_true_box(nearby, space, NAMES, max_pops=1)
+        assert result.box is None
+        assert not result.exhausted

@@ -1,0 +1,83 @@
+"""Property tests for interval arithmetic: tightest-range exactness."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import interval
+
+ranges = st.tuples(st.integers(-30, 30), st.integers(-30, 30)).map(
+    lambda ab: (min(ab), max(ab))
+)
+
+
+def _points(rng):
+    return range(rng[0], rng[1] + 1)
+
+
+def _exact(op, a, b=None):
+    if b is None:
+        values = [op(x) for x in _points(a)]
+    else:
+        values = [op(x, y) for x in _points(a) for y in _points(b)]
+    return (min(values), max(values))
+
+
+class TestBinaryOps:
+    @given(ranges, ranges)
+    @settings(max_examples=80, deadline=None)
+    def test_add_exact(self, a, b):
+        assert interval.add(a, b) == _exact(lambda x, y: x + y, a, b)
+
+    @given(ranges, ranges)
+    @settings(max_examples=80, deadline=None)
+    def test_sub_exact(self, a, b):
+        assert interval.sub(a, b) == _exact(lambda x, y: x - y, a, b)
+
+    @given(ranges, ranges)
+    @settings(max_examples=80, deadline=None)
+    def test_min_exact(self, a, b):
+        assert interval.min_(a, b) == _exact(min, a, b)
+
+    @given(ranges, ranges)
+    @settings(max_examples=80, deadline=None)
+    def test_max_exact(self, a, b):
+        assert interval.max_(a, b) == _exact(max, a, b)
+
+
+class TestUnaryOps:
+    @given(ranges)
+    @settings(max_examples=80, deadline=None)
+    def test_neg_exact(self, a):
+        assert interval.neg(a) == _exact(lambda x: -x, a)
+
+    @given(ranges)
+    @settings(max_examples=80, deadline=None)
+    def test_abs_exact(self, a):
+        assert interval.abs_(a) == _exact(abs, a)
+
+    @given(st.integers(-5, 5), ranges)
+    @settings(max_examples=80, deadline=None)
+    def test_scale_exact(self, coeff, a):
+        assert interval.scale(coeff, a) == _exact(lambda x: coeff * x, a)
+
+
+class TestLatticeOps:
+    @given(ranges, ranges)
+    @settings(max_examples=80, deadline=None)
+    def test_join_contains_both(self, a, b):
+        lo, hi = interval.join(a, b)
+        assert lo <= a[0] and lo <= b[0]
+        assert hi >= a[1] and hi >= b[1]
+
+    @given(ranges, ranges)
+    @settings(max_examples=80, deadline=None)
+    def test_meet_is_intersection(self, a, b):
+        result = interval.meet(a, b)
+        expected = set(_points(a)) & set(_points(b))
+        if result is None:
+            assert not expected
+        else:
+            assert set(_points(result)) == expected
+
+    def test_meet_disjoint(self):
+        assert interval.meet((0, 1), (3, 4)) is None

@@ -1,0 +1,100 @@
+"""Tests for the box optimizers (the νZ substitute)."""
+
+from hypothesis import given, settings
+
+from repro.lang.ast import var
+from repro.lang.eval import eval_bool
+from repro.solver.boxes import Box
+from repro.solver.decide import decide_forall
+from repro.solver.optimize import OptimizeOptions, bounding_box, maximal_box
+from tests.strategies import bool_exprs
+
+SPACE = Box.make((-8, 12), (0, 15))
+NAMES = ("x", "y")
+
+
+def _region(formula, box):
+    return {
+        point
+        for point in box.iter_points()
+        if eval_bool(formula, dict(zip(NAMES, point)))
+    }
+
+
+class TestMaximalBox:
+    @given(bool_exprs(NAMES))
+    @settings(max_examples=80, deadline=None)
+    def test_result_inside_region(self, formula):
+        outcome = maximal_box(formula, SPACE, NAMES)
+        region = _region(formula, SPACE)
+        if outcome.box is None:
+            assert outcome.proved_empty
+            assert not region
+        else:
+            assert set(outcome.box.iter_points()) <= region
+
+    @given(bool_exprs(NAMES))
+    @settings(max_examples=50, deadline=None)
+    def test_no_face_can_grow_by_one(self, formula):
+        outcome = maximal_box(formula, SPACE, NAMES)
+        if outcome.box is None or outcome.timed_out:
+            return
+        box = outcome.box
+        for dim in range(box.arity):
+            lo, hi = box.bounds[dim]
+            slo, shi = SPACE.bounds[dim]
+            if hi < shi:
+                slab = box.with_dim(dim, hi + 1, hi + 1)
+                assert not decide_forall(formula, slab, NAMES)
+            if lo > slo:
+                slab = box.with_dim(dim, lo - 1, lo - 1)
+                assert not decide_forall(formula, slab, NAMES)
+
+    def test_diamond_pareto_square(self, nearby):
+        space = Box.make((0, 399), (0, 399))
+        outcome = maximal_box(nearby, space, NAMES)
+        # The maximal Pareto-balanced box inside a radius-100 Manhattan
+        # ball is the inscribed 101x101 square.
+        assert outcome.box is not None
+        assert outcome.box.widths() == (101, 101)
+        assert outcome.box.volume() == 10201
+
+    def test_empty_region(self):
+        outcome = maximal_box(var("x").eq(99), SPACE, NAMES)
+        assert outcome.box is None
+        assert outcome.proved_empty
+
+    def test_lexicographic_mode_runs(self, nearby):
+        space = Box.make((0, 399), (0, 399))
+        options = OptimizeOptions(mode="lexicographic")
+        outcome = maximal_box(nearby, space, NAMES, options)
+        assert outcome.box is not None
+        assert decide_forall(nearby, outcome.box, NAMES)
+
+
+class TestBoundingBox:
+    @given(bool_exprs(NAMES))
+    @settings(max_examples=80, deadline=None)
+    def test_exact_bounding_box(self, formula):
+        outcome = bounding_box(formula, SPACE, NAMES)
+        region = _region(formula, SPACE)
+        if outcome.box is None:
+            assert outcome.proved_empty
+            assert not region
+            return
+        # Correct: covers the region.
+        assert region <= set(outcome.box.iter_points())
+        # Optimal: every face touches the region.
+        for dim in range(2):
+            lows = {p[dim] for p in region}
+            assert outcome.box.bounds[dim] == (min(lows), max(lows))
+
+    def test_diamond_bounding_box(self, nearby):
+        space = Box.make((0, 399), (0, 399))
+        outcome = bounding_box(nearby, space, NAMES)
+        assert outcome.box == Box.make((100, 300), (100, 300))
+
+    def test_empty_region(self):
+        outcome = bounding_box(var("y").eq(-1), SPACE, NAMES)
+        assert outcome.box is None
+        assert outcome.proved_empty

@@ -1,0 +1,103 @@
+"""Tests for region formulas and SMT-LIB emission."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.ast import BoolLit, var
+from repro.lang.eval import eval_bool
+from repro.lang.parser import parse_bool
+from repro.lang.secrets import SecretSpec
+from repro.solver.boxes import Box
+from repro.solver.regions import (
+    any_box_formula,
+    box_formula,
+    outside_boxes_formula,
+)
+from repro.solver.smtlib import forall_script, synthesis_script, to_smt
+from tests.strategies import boxes_within
+
+SPACE = Box.make((-8, 12), (0, 15))
+NAMES = ("x", "y")
+
+
+class TestRegionFormulas:
+    @given(boxes_within(SPACE))
+    @settings(max_examples=80, deadline=None)
+    def test_box_formula_matches_membership(self, box):
+        formula = box_formula(box, NAMES)
+        for point in SPACE.iter_points():
+            env = dict(zip(NAMES, point))
+            assert eval_bool(formula, env) == box.contains(point)
+
+    @given(st.lists(boxes_within(SPACE), max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_any_box_formula(self, boxes):
+        formula = any_box_formula(boxes, NAMES)
+        for point in list(SPACE.iter_points())[::7]:
+            env = dict(zip(NAMES, point))
+            expected = any(box.contains(point) for box in boxes)
+            assert eval_bool(formula, env) == expected
+
+    @given(st.lists(boxes_within(SPACE), max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_outside_boxes_formula(self, boxes):
+        formula = outside_boxes_formula(boxes, NAMES)
+        for point in list(SPACE.iter_points())[::7]:
+            env = dict(zip(NAMES, point))
+            expected = not any(box.contains(point) for box in boxes)
+            assert eval_bool(formula, env) == expected
+
+    def test_empty_lists(self):
+        assert any_box_formula([], NAMES) == BoolLit(False)
+        assert outside_boxes_formula([], NAMES) == BoolLit(True)
+
+    def test_arity_mismatch(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            box_formula(Box.make((0, 1)), NAMES)
+
+
+class TestSmtlib:
+    def test_term_rendering(self):
+        expr = abs(var("x") - 200) + abs(var("y") - 200) <= 100
+        text = to_smt(expr)
+        assert text.startswith("(<= (+ (ite")
+        assert text.count("(") == text.count(")")
+
+    def test_negative_literal(self):
+        assert to_smt(var("x") <= -5) == "(<= x (- 5))"
+
+    def test_in_set(self):
+        text = to_smt(var("c").in_set({1, 2}))
+        assert text == "(or (= c 1) (= c 2))"
+
+    def test_ne_renders_as_not_eq(self):
+        assert to_smt(var("x").ne(3)) == "(not (= x 3))"
+
+    def test_synthesis_script_structure(self):
+        spec = SecretSpec.declare("S", x=(0, 9), y=(0, 9))
+        script = synthesis_script(parse_bool("x + y <= 5"), spec, mode="under")
+        assert "(declare-const l_x Int)" in script
+        assert "(maximize (- u_x l_x))" in script
+        assert "(assert (forall ((x Int) (y Int))" in script
+        assert script.count("(") == script.count(")")
+
+    def test_synthesis_script_over_minimizes(self):
+        spec = SecretSpec.declare("S", x=(0, 9))
+        script = synthesis_script(parse_bool("x <= 5"), spec, mode="over")
+        assert "(minimize (- u_x l_x))" in script
+
+    def test_synthesis_script_rejects_bad_mode(self):
+        import pytest
+
+        spec = SecretSpec.declare("S", x=(0, 9))
+        with pytest.raises(ValueError):
+            synthesis_script(parse_bool("x <= 5"), spec, mode="sideways")
+
+    def test_forall_script(self):
+        spec = SecretSpec.declare("S", x=(0, 9))
+        script = forall_script(parse_bool("x <= 5"), spec, Box.make((0, 5)))
+        assert "(assert (not (<= x 5)))" in script
+        assert "(check-sat)" in script
+        assert script.count("(") == script.count(")")

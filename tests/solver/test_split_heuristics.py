@@ -1,0 +1,78 @@
+"""Tests for boundary-guided split selection (the decide.py heuristics)."""
+
+from repro.lang.ast import CmpOp, Lit, Neg, Scale, Sub, Var, var
+from repro.lang.parser import parse_bool
+from repro.solver.boxes import Box
+from repro.solver.decide import SolverStats, _choose_split, _var_bound, decide_forall
+
+
+class TestVarBound:
+    def test_plain_variable(self):
+        assert _var_bound(var("x") <= 5) == ("x", CmpOp.LE, 5)
+
+    def test_constant_on_left_flips(self):
+        assert _var_bound(Lit(5) <= var("x")) == ("x", CmpOp.GE, 5)
+
+    def test_offset_addition(self):
+        assert _var_bound(var("x") + 3 <= 5) == ("x", CmpOp.LE, 2)
+
+    def test_offset_subtraction(self):
+        assert _var_bound(var("x") - 3 <= 5) == ("x", CmpOp.LE, 8)
+
+    def test_reversed_subtraction(self):
+        # 3 - x <= 5  <=>  x >= -2
+        assert _var_bound(Sub(Lit(3), Var("x")) <= 5) == ("x", CmpOp.GE, -2)
+
+    def test_negation(self):
+        # -x <= 5  <=>  x >= -5
+        assert _var_bound(Neg(Var("x")) <= 5) == ("x", CmpOp.GE, -5)
+
+    def test_positive_scale(self):
+        # 2x <= 6  <=>  x <= 3
+        assert _var_bound(Scale(2, Var("x")) <= 6) == ("x", CmpOp.LE, 3)
+
+    def test_indivisible_scale_skipped(self):
+        assert _var_bound(Scale(2, Var("x")) <= 5) is None
+
+    def test_two_variable_atom_skipped(self):
+        assert _var_bound(var("x") <= var("y")) is None
+
+
+class TestChooseSplit:
+    def test_cuts_at_atom_boundary(self):
+        box = Box.make((0, 99), (0, 99))
+        formula = parse_bool("x >= 40")
+        dim, cut = _choose_split(formula, box, ("x", "y"))
+        assert (dim, cut) == (0, 39)  # low half decides False, high True
+
+    def test_le_atom_cut(self):
+        box = Box.make((0, 99),)
+        dim, cut = _choose_split(parse_bool("x <= 25"), box, ("x",))
+        assert (dim, cut) == (0, 25)
+
+    def test_falls_back_to_midpoint(self):
+        box = Box.make((0, 99), (0, 9))
+        # x == y: no single-variable bound; widest dim, midpoint.
+        formula = parse_bool("x == y")
+        dim, cut = _choose_split(formula, box, ("x", "y"))
+        assert dim == 0
+        assert cut == 49
+
+    def test_inset_run_boundary(self):
+        box = Box.make((0, 99),)
+        formula = parse_bool("x in {10, 11, 12, 50}")
+        dim, cut = _choose_split(formula, box, ("x",))
+        assert dim == 0
+        assert cut == 9  # everything below the first member decides False
+
+    def test_efficiency_on_cross_dimension_conjunction(self):
+        # The case that motivated the heuristic: a conjunction of bounds
+        # on different variables over a huge box must not blow up.
+        box = Box.make((0, 99_999), (0, 99_999), (1900, 2010))
+        formula = parse_bool(
+            "x >= 40000 and x <= 60000 and y >= 40000 and y <= 60000 "
+            "and byear >= 1985"
+        )
+        stats = SolverStats()
+        assert not decide_forall(formula, box, ("x", "y", "byear"), stats)
+        assert stats.nodes < 50

@@ -1,0 +1,66 @@
+"""Direct tests for the vectorized counting fast path."""
+
+import pytest
+
+from repro.lang.ast import BoolLit, Implies, Iff, IntIte, Min, Max, Not, Scale, var
+from repro.lang.parser import parse_bool
+from repro.solver.boxes import Box
+from repro.solver.vectoreval import AVAILABLE, count_box_vectorized
+
+NAMES = ("x", "y")
+BOX = Box.make((-5, 10), (0, 7))
+
+pytestmark = pytest.mark.skipif(not AVAILABLE, reason="NumPy not installed")
+
+
+def _brute(formula):
+    from repro.lang.eval import eval_bool
+
+    return sum(
+        1 for p in BOX.iter_points() if eval_bool(formula, dict(zip(NAMES, p)))
+    )
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "x + y <= 3",
+            "abs(x - 2) + abs(y - 3) <= 4",
+            "x in {0, 3, 9} and y >= 2",
+            "not (x <= 0 or y >= 5)",
+            "x == y",
+            "x != 2",
+            "2 * x - y > 0",
+            "min(x, y) >= 1 and max(x, y) <= 6",
+            "x <= 1 => y <= 2",
+            "x <= 1 <=> y <= 2",
+        ],
+    )
+    def test_matches_brute_force(self, source):
+        formula = parse_bool(source)
+        assert count_box_vectorized(formula, BOX, NAMES) == _brute(formula)
+
+    def test_constant_true(self):
+        assert count_box_vectorized(BoolLit(True), BOX, NAMES) == BOX.volume()
+
+    def test_constant_false(self):
+        assert count_box_vectorized(BoolLit(False), BOX, NAMES) == 0
+
+    def test_single_variable_broadcast(self):
+        # A 1-var formula must broadcast correctly over the other axis.
+        formula = var("x") <= 0
+        assert count_box_vectorized(formula, BOX, NAMES) == 6 * 8
+
+    def test_ite_expression(self):
+        formula = IntIte(var("x") < 0, -var("x"), var("x")) <= 2
+        assert count_box_vectorized(formula, BOX, NAMES) == _brute(formula)
+
+    def test_scale_negative_coefficient(self):
+        formula = Scale(-2, var("x")) >= var("y")
+        assert count_box_vectorized(formula, BOX, NAMES) == _brute(formula)
+
+    def test_single_dimension_box(self):
+        box = Box.make((0, 99))
+        formula = var("x").in_set({5, 50, 99})
+        assert count_box_vectorized(formula, box, ("x",)) == 3

@@ -1,0 +1,132 @@
+"""Shared hypothesis strategies: random queries, boxes, and secrets.
+
+The generators stay inside the section 5.1 query fragment (linear
+arithmetic, abs, conditionals, boolean structure, finite-set membership)
+so that everything they produce is fair game for every layer of the
+system, from the abstract evaluator to full compilation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.lang.ast import (
+    Abs,
+    Add,
+    And,
+    BoolLit,
+    Cmp,
+    CmpOp,
+    InSet,
+    IntIte,
+    Lit,
+    Max,
+    Min,
+    Neg,
+    Not,
+    Or,
+    Scale,
+    Sub,
+    Var,
+)
+from repro.lang.secrets import SecretSpec
+from repro.solver.boxes import Box
+
+__all__ = [
+    "small_secret_spec",
+    "int_exprs",
+    "bool_exprs",
+    "boxes_within",
+    "points_within",
+]
+
+#: A compact two-field secret used across property tests.
+SMALL_SPEC = SecretSpec.declare("Tiny", x=(-8, 12), y=(0, 15))
+
+
+def small_secret_spec() -> SecretSpec:
+    """The shared small secret type (21 x 16 = 336 points)."""
+    return SMALL_SPEC
+
+
+def _literals() -> st.SearchStrategy:
+    return st.integers(min_value=-20, max_value=20).map(Lit)
+
+
+def _leaf_conditions(var_names: tuple[str, ...]) -> st.SearchStrategy:
+    """Shallow boolean conditions (for ITE) that avoid strategy recursion."""
+    leaves = st.one_of(_literals(), st.sampled_from(var_names).map(Var))
+    return st.tuples(st.sampled_from(list(CmpOp)), leaves, leaves).map(
+        lambda oab: Cmp(*oab)
+    )
+
+
+def int_exprs(var_names: tuple[str, ...], max_depth: int = 3) -> st.SearchStrategy:
+    """Random integer expressions over the given variables."""
+    leaves = st.one_of(_literals(), st.sampled_from(var_names).map(Var))
+    conditions = _leaf_conditions(var_names)
+
+    def extend(children: st.SearchStrategy) -> st.SearchStrategy:
+        pairs = st.tuples(children, children)
+        return st.one_of(
+            pairs.map(lambda ab: Add(*ab)),
+            pairs.map(lambda ab: Sub(*ab)),
+            children.map(Neg),
+            children.map(Abs),
+            st.tuples(st.integers(-3, 3), children).map(lambda ca: Scale(*ca)),
+            pairs.map(lambda ab: Min(*ab)),
+            pairs.map(lambda ab: Max(*ab)),
+            st.tuples(conditions, children, children).map(lambda cab: IntIte(*cab)),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_depth * 3)
+
+
+def _atoms(var_names: tuple[str, ...], max_depth: int) -> st.SearchStrategy:
+    ints = int_exprs(var_names, max_depth=max_depth)
+    comparisons = st.tuples(st.sampled_from(list(CmpOp)), ints, ints).map(
+        lambda oab: Cmp(*oab)
+    )
+    memberships = st.tuples(
+        ints,
+        st.frozensets(st.integers(-15, 15), min_size=1, max_size=5),
+    ).map(lambda av: InSet(*av))
+    return st.one_of(
+        comparisons,
+        memberships,
+        st.booleans().map(BoolLit),
+    )
+
+
+def bool_exprs(var_names: tuple[str, ...], max_depth: int = 2) -> st.SearchStrategy:
+    """Random boolean formulas over the given variables."""
+    leaves = _atoms(var_names, max_depth=max_depth)
+
+    def extend(children: st.SearchStrategy) -> st.SearchStrategy:
+        lists = st.lists(children, min_size=2, max_size=3).map(tuple)
+        return st.one_of(
+            lists.map(And),
+            lists.map(Or),
+            children.map(Not),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=4)
+
+
+@st.composite
+def boxes_within(draw, outer: Box) -> Box:
+    """A random sub-box of ``outer``."""
+    bounds = []
+    for lo, hi in outer.bounds:
+        a = draw(st.integers(min_value=lo, max_value=hi))
+        b = draw(st.integers(min_value=lo, max_value=hi))
+        bounds.append((min(a, b), max(a, b)))
+    return Box(tuple(bounds))
+
+
+@st.composite
+def points_within(draw, box: Box) -> tuple[int, ...]:
+    """A random integer point inside ``box``."""
+    return tuple(
+        draw(st.integers(min_value=lo, max_value=hi)) for lo, hi in box.bounds
+    )
