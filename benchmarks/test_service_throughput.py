@@ -1,0 +1,112 @@
+"""Benchmark S1 — the service layer: compiled-query caching + batch serving.
+
+Two claims the service architecture makes, measured:
+
+* **compile-once**: the second-and-later compiles of a semantically
+  repeated query (including alpha-equivalent reorderings) are served from
+  the :class:`~repro.service.cache.SynthesisCache` at least 10x faster
+  than cold synthesis;
+* **serve-many**: ``downgrade_batch`` answers one query for ≥ 1000
+  independent sessions in a single pass, reusing the compiled ind.-set
+  pair and memoizing posterior intersections per distinct prior.
+"""
+
+import random
+import time
+
+from repro.core.plugin import CompileOptions, QueryRegistry, compile_query
+from repro.lang.eval import eval_bool
+from repro.lang.secrets import SecretSpec
+from repro.monad.policy import size_above
+from repro.service.cache import SynthesisCache
+from repro.service.session import SessionManager
+
+SPEC = SecretSpec.declare("UserLoc", x=(0, 399), y=(0, 399))
+QUERY = "abs(x - 200) + abs(y - 200) <= 100"
+#: The same query as another tenant would write it: conjoined arguments of
+#: the commutative ``+`` swapped.  Alpha-equivalent, so it must cache-hit.
+QUERY_REORDERED = "abs(y - 200) + abs(x - 200) <= 100"
+OPTIONS = CompileOptions(domain="powerset", k=3, modes=("under",))
+
+N_SESSIONS = 1500
+
+
+def test_cache_hit_speedup_at_least_10x():
+    cache = SynthesisCache()
+
+    start = time.perf_counter()
+    cold = compile_query("tenant0", QUERY, SPEC, OPTIONS, cache=cache)
+    cold_time = time.perf_counter() - start
+    assert cache.stats.misses == 1
+
+    # Second-and-later compiles: same query, reordered, new tenants.
+    warm_times = []
+    for tenant in range(1, 4):
+        text = QUERY if tenant % 2 else QUERY_REORDERED
+        start = time.perf_counter()
+        warm = compile_query(f"tenant{tenant}", text, SPEC, OPTIONS, cache=cache)
+        warm_times.append(time.perf_counter() - start)
+        assert warm.name == f"tenant{tenant}"
+        assert warm.qinfo.under_indset == cold.qinfo.under_indset
+    warm_time = min(warm_times)
+
+    assert cache.stats.hits == 3
+    speedup = cold_time / warm_time
+    print(
+        f"\ncold compile {cold_time * 1000:.2f} ms, cache hit "
+        f"{warm_time * 1000:.3f} ms — {speedup:.0f}x"
+    )
+    assert speedup >= 10, f"cache speedup only {speedup:.1f}x"
+
+
+def _fresh_fleet(registry: QueryRegistry) -> SessionManager:
+    manager = SessionManager(registry=registry, policy=size_above(100))
+    rng = random.Random(11)
+    for i in range(N_SESSIONS):
+        manager.open_session(
+            f"user-{i}", (SPEC, (rng.randrange(400), rng.randrange(400)))
+        )
+    return manager
+
+
+def test_downgrade_batch_over_1000_sessions(benchmark):
+    registry = QueryRegistry()
+    compiled = registry.compile_and_register("near", QUERY, SPEC, OPTIONS)
+
+    def setup():
+        return (_fresh_fleet(registry),), {}
+
+    def sweep(manager: SessionManager):
+        return manager.downgrade_batch("near"), manager
+
+    decisions, manager = benchmark.pedantic(sweep, setup=setup, rounds=3)
+
+    assert len(decisions) == N_SESSIONS >= 1000
+    assert all(d.authorized for d in decisions.values())
+    # Responses are the true query answers for each session's secret.
+    for sid in ("user-0", "user-700", f"user-{N_SESSIONS - 1}"):
+        session = manager.session(sid)
+        env = SPEC.to_env(session.secret.unprotect_tcb())
+        assert decisions[sid].response == eval_bool(compiled.qinfo.query, env)
+        assert session.knowledge_size() is not None
+    benchmark.extra_info["sessions"] = N_SESSIONS
+    benchmark.extra_info["authorized"] = sum(
+        1 for d in decisions.values() if d.authorized
+    )
+
+
+def test_batch_matches_sequential_downgrades():
+    """The batched path and N independent single downgrades agree."""
+    registry = QueryRegistry()
+    registry.compile_and_register("near", QUERY, SPEC, OPTIONS)
+
+    batched = _fresh_fleet(registry)
+    sequential = _fresh_fleet(registry)
+
+    batch_decisions = batched.downgrade_batch("near")
+    for sid in list(sequential.sessions):
+        single = sequential.try_downgrade(sid, "near")
+        assert single == batch_decisions[sid]
+        assert (
+            sequential.session(sid).knowledge == batched.session(sid).knowledge
+        )

@@ -27,6 +27,11 @@ from repro.monad import (
     size_above,
     size_at_least,
 )
+from repro.service import (
+    DeclassificationService,
+    SessionManager,
+    SynthesisCache,
+)
 
 __version__ = "1.0.0"
 
@@ -48,5 +53,8 @@ __all__ = [
     "UnknownQuery",
     "size_above",
     "size_at_least",
+    "DeclassificationService",
+    "SessionManager",
+    "SynthesisCache",
     "__version__",
 ]

@@ -19,7 +19,7 @@ import time
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.lang.ast import BoolExpr, IntExpr
+from repro.lang.ast import IntExpr
 from repro.lang.eval import eval_int
 from repro.lang.secrets import SecretSpec, SecretValue
 from repro.lang.validate import QueryValidationError, validate_query

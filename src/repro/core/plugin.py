@@ -17,19 +17,22 @@ refuses to declassify anything that was not compiled — the paper's
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.lang.ast import BoolExpr
 from repro.lang.parser import parse_bool
 from repro.lang.secrets import SecretSpec
 from repro.lang.validate import ValidationReport, validate_query
-from repro.domains.base import AbstractDomain
 from repro.refine.checker import CheckOutcome, verify_pair
 from repro.refine.figure4 import over_indset_spec, under_indset_spec
 from repro.core.itersynth import iter_synth_powerset
 from repro.core.qinfo import DomainPair, QInfo
 from repro.core.sketch import fill, make_indset_sketch
 from repro.core.synth import SynthOptions, synth_interval
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.cache import SynthesisCache
 
 __all__ = ["CompileOptions", "ModeReport", "CompiledQuery", "compile_query", "QueryRegistry"]
 
@@ -127,11 +130,34 @@ def compile_query(
     query: BoolExpr | str,
     secret: SecretSpec,
     options: CompileOptions = CompileOptions(),
+    *,
+    cache: "SynthesisCache | None" = None,
 ) -> CompiledQuery:
-    """Steps I-IV of section 2.3 for a single query."""
+    """Steps I-IV of section 2.3 for a single query.
+
+    With a ``cache``, the expensive steps (sketching, synthesis,
+    verification) are skipped whenever a semantically identical problem —
+    same canonical query, secret bounds, and options — was compiled
+    before; the cached artifact is re-labeled with the requested ``name``
+    and the caller's exact query AST.  Validation always runs on the
+    requested query, cached or not.
+    """
     if isinstance(query, str):
         query = parse_bool(query)
     validation = validate_query(query, secret)
+
+    key: str | None = None
+    if cache is not None:
+        key = cache.key_for(query, secret, options)
+        hit = cache.get(key)
+        if hit is not None:
+            # Copy the reports dict: the cached artifact must stay
+            # isolated from whatever the caller does to its copy.
+            return CompiledQuery(
+                qinfo=replace(hit.qinfo, name=name, query=query),
+                validation=validation,
+                reports=dict(hit.reports),
+            )
 
     indsets: dict[str, DomainPair] = {}
     reports: dict[str, ModeReport] = {}
@@ -172,7 +198,13 @@ def compile_query(
         under_indset=indsets.get("under"),
         over_indset=indsets.get("over"),
     )
-    return CompiledQuery(qinfo=qinfo, validation=validation, reports=reports)
+    compiled = CompiledQuery(qinfo=qinfo, validation=validation, reports=reports)
+    if cache is not None and key is not None:
+        cache.put(
+            key,
+            CompiledQuery(qinfo=qinfo, validation=validation, reports=dict(reports)),
+        )
+    return compiled
 
 
 @dataclass
@@ -184,9 +216,14 @@ class QueryRegistry:
     compiled approximation there is no way to bound the leaked knowledge
     (on-the-fly synthesis "albeit possible would be very expensive",
     section 3, footnote 1).
+
+    An attached ``cache`` (a :class:`~repro.service.cache.SynthesisCache`)
+    makes :meth:`compile_and_register` reuse previously synthesized
+    artifacts; the registry itself stays a plain name table.
     """
 
     compiled: dict[str, CompiledQuery] = field(default_factory=dict)
+    cache: "SynthesisCache | None" = None
 
     def register(self, compiled: CompiledQuery) -> None:
         """Add a compiled query; names must be unique."""
@@ -201,8 +238,9 @@ class QueryRegistry:
         secret: SecretSpec,
         options: CompileOptions = CompileOptions(),
     ) -> CompiledQuery:
-        """Compile a query and register it in one step."""
-        compiled = compile_query(name, query, secret, options)
+        """Compile a query (through the attached cache, if any) and
+        register it in one step."""
+        compiled = compile_query(name, query, secret, options, cache=self.cache)
         self.register(compiled)
         return compiled
 

@@ -17,7 +17,7 @@ we take it as an erratum and intersect with the matching ind. set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Callable, Iterable, Mapping
 
 from repro.lang.ast import BoolExpr
 from repro.lang.eval import eval_bool
@@ -62,31 +62,56 @@ class QInfo:
 
     def underapprox(self, prior: AbstractDomain) -> DomainPair:
         """Posterior under-approximations ``(postT, postF)`` for a prior."""
-        if self.under_indset is None:
-            raise ValueError(f"query {self.name!r} compiled without 'under' mode")
-        true_ind, false_ind = self.under_indset
-        return (
-            intersect_knowledge(prior, true_ind),
-            intersect_knowledge(prior, false_ind),
-        )
+        return self.approx(prior, mode="under")
 
     def overapprox(self, prior: AbstractDomain) -> DomainPair:
         """Posterior over-approximations ``(postT, postF)`` for a prior."""
-        if self.over_indset is None:
-            raise ValueError(f"query {self.name!r} compiled without 'over' mode")
-        true_ind, false_ind = self.over_indset
+        return self.approx(prior, mode="over")
+
+    def approx(self, prior: AbstractDomain, *, mode: str = "under") -> DomainPair:
+        """The Figure 2 ``approx`` field: posterior pair for a prior."""
+        true_ind, false_ind = self.indset_pair(mode=mode)
         return (
             intersect_knowledge(prior, true_ind),
             intersect_knowledge(prior, false_ind),
         )
 
-    def approx(self, prior: AbstractDomain, *, mode: str = "under") -> DomainPair:
-        """The Figure 2 ``approx`` field: posterior pair for a prior."""
-        if mode == "under":
-            return self.underapprox(prior)
-        if mode == "over":
-            return self.overapprox(prior)
-        raise ValueError(f"mode must be 'under' or 'over', got {mode!r}")
+    def indset_pair(self, *, mode: str = "under") -> DomainPair:
+        """The shared, immutable (True-side, False-side) ind.-set pair.
+
+        This is the compile-time artifact every session's posterior is an
+        intersection with — batch serving fetches it once per query and
+        reuses it across thousands of priors.
+        """
+        if mode not in ("under", "over"):
+            raise ValueError(f"mode must be 'under' or 'over', got {mode!r}")
+        pair = self.under_indset if mode == "under" else self.over_indset
+        if pair is None:
+            raise ValueError(f"query {self.name!r} compiled without {mode!r} mode")
+        return pair
+
+    def approx_batch(
+        self, priors: Iterable[AbstractDomain], *, mode: str = "under"
+    ) -> list[DomainPair]:
+        """Posterior pairs for many priors against one shared ind.-set pair.
+
+        Domains are immutable and hashable, so identical priors (the common
+        case for fleets of fresh sessions, which all start at ⊤) are
+        intersected once and the resulting pair is shared.
+        """
+        true_ind, false_ind = self.indset_pair(mode=mode)
+        memo: dict[AbstractDomain, DomainPair] = {}
+        results: list[DomainPair] = []
+        for prior in priors:
+            pair = memo.get(prior)
+            if pair is None:
+                pair = (
+                    intersect_knowledge(prior, true_ind),
+                    intersect_knowledge(prior, false_ind),
+                )
+                memo[prior] = pair
+            results.append(pair)
+        return results
 
     def as_function(self, *, mode: str = "under") -> Callable[[AbstractDomain], DomainPair]:
         """The posterior computation as a standalone closure."""

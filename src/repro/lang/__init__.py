@@ -19,6 +19,15 @@ from repro.lang.ast import (
     lit,
     var,
 )
+from repro.lang.canonical import (
+    canonicalize,
+    expr_from_json,
+    expr_to_json,
+    spec_fingerprint,
+    spec_from_json,
+    spec_to_json,
+    stable_hash,
+)
 from repro.lang.eval import eval_bool, eval_int
 from repro.lang.parser import ParseError, parse, parse_bool, parse_int
 from repro.lang.pretty import pretty
@@ -36,6 +45,13 @@ __all__ = [
     "Var",
     "lit",
     "var",
+    "canonicalize",
+    "expr_from_json",
+    "expr_to_json",
+    "spec_fingerprint",
+    "spec_from_json",
+    "spec_to_json",
+    "stable_hash",
     "eval_bool",
     "eval_int",
     "ParseError",

@@ -1,0 +1,286 @@
+"""Canonical forms, stable hashing, and JSON serialization for query ASTs.
+
+The synthesis cache (:mod:`repro.service.cache`) must recognize that two
+textually different queries denote the same declassification — e.g.
+``x >= 5 and y <= 3`` vs ``y <= 3 and x >= 5`` — so a compiled artifact is
+reused instead of re-running the optimizer.  :func:`canonicalize` rewrites
+an expression into a normal form modulo the *semantics-preserving*
+symmetries of the query language:
+
+* commutative connectives (``and``, ``or``, ``<=>``) have their arguments
+  sorted and duplicates dropped;
+* commutative arithmetic (``+``, ``min``, ``max``) has its operands sorted;
+* mirrored comparisons are flipped to a preferred direction
+  (``a >= b`` becomes ``b <= a``; ``==``/``!=`` operands are sorted).
+
+:func:`stable_hash` then hashes the canonical JSON encoding, which — unlike
+Python's ``hash`` — is stable across processes, making it usable as a
+persistent cache key.  :func:`expr_to_json`/:func:`expr_from_json` and
+:func:`spec_to_json`/:func:`spec_from_json` are exact round-trip codecs for
+expressions and secret declarations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.lang.ast import (
+    Abs,
+    Add,
+    And,
+    BoolExpr,
+    BoolLit,
+    Cmp,
+    CmpOp,
+    Expr,
+    Iff,
+    Implies,
+    InSet,
+    IntIte,
+    Lit,
+    Max,
+    Min,
+    Neg,
+    Not,
+    Or,
+    Scale,
+    Sub,
+    Var,
+)
+from repro.lang.secrets import FieldSpec, SecretSpec
+
+__all__ = [
+    "canonicalize",
+    "stable_hash",
+    "expr_to_json",
+    "expr_from_json",
+    "spec_to_json",
+    "spec_from_json",
+    "spec_fingerprint",
+]
+
+
+# ---------------------------------------------------------------------------
+# JSON codec
+# ---------------------------------------------------------------------------
+
+
+def expr_to_json(expr: Expr) -> dict[str, Any]:
+    """Encode an expression as JSON-compatible data (exact round trip)."""
+    match expr:
+        case Lit(value):
+            return {"node": "Lit", "value": value}
+        case Var(name):
+            return {"node": "Var", "name": name}
+        case Add(left, right):
+            return {"node": "Add", "left": expr_to_json(left), "right": expr_to_json(right)}
+        case Sub(left, right):
+            return {"node": "Sub", "left": expr_to_json(left), "right": expr_to_json(right)}
+        case Neg(arg):
+            return {"node": "Neg", "arg": expr_to_json(arg)}
+        case Scale(coeff, arg):
+            return {"node": "Scale", "coeff": coeff, "arg": expr_to_json(arg)}
+        case Abs(arg):
+            return {"node": "Abs", "arg": expr_to_json(arg)}
+        case Min(left, right):
+            return {"node": "Min", "left": expr_to_json(left), "right": expr_to_json(right)}
+        case Max(left, right):
+            return {"node": "Max", "left": expr_to_json(left), "right": expr_to_json(right)}
+        case IntIte(cond, then_branch, else_branch):
+            return {
+                "node": "IntIte",
+                "cond": expr_to_json(cond),
+                "then": expr_to_json(then_branch),
+                "else": expr_to_json(else_branch),
+            }
+        case BoolLit(value):
+            return {"node": "BoolLit", "value": value}
+        case Cmp(op, left, right):
+            return {
+                "node": "Cmp",
+                "op": op.name,
+                "left": expr_to_json(left),
+                "right": expr_to_json(right),
+            }
+        case And(args):
+            return {"node": "And", "args": [expr_to_json(arg) for arg in args]}
+        case Or(args):
+            return {"node": "Or", "args": [expr_to_json(arg) for arg in args]}
+        case Not(arg):
+            return {"node": "Not", "arg": expr_to_json(arg)}
+        case Implies(antecedent, consequent):
+            return {
+                "node": "Implies",
+                "antecedent": expr_to_json(antecedent),
+                "consequent": expr_to_json(consequent),
+            }
+        case Iff(left, right):
+            return {"node": "Iff", "left": expr_to_json(left), "right": expr_to_json(right)}
+        case InSet(arg, values):
+            return {"node": "InSet", "arg": expr_to_json(arg), "values": sorted(values)}
+        case _:
+            raise TypeError(f"unknown AST node: {expr!r}")
+
+
+def expr_from_json(data: dict[str, Any]) -> Expr:
+    """Decode an expression encoded by :func:`expr_to_json`."""
+    node = data["node"]
+    match node:
+        case "Lit":
+            return Lit(int(data["value"]))
+        case "Var":
+            return Var(data["name"])
+        case "Add":
+            return Add(expr_from_json(data["left"]), expr_from_json(data["right"]))
+        case "Sub":
+            return Sub(expr_from_json(data["left"]), expr_from_json(data["right"]))
+        case "Neg":
+            return Neg(expr_from_json(data["arg"]))
+        case "Scale":
+            return Scale(int(data["coeff"]), expr_from_json(data["arg"]))
+        case "Abs":
+            return Abs(expr_from_json(data["arg"]))
+        case "Min":
+            return Min(expr_from_json(data["left"]), expr_from_json(data["right"]))
+        case "Max":
+            return Max(expr_from_json(data["left"]), expr_from_json(data["right"]))
+        case "IntIte":
+            return IntIte(
+                expr_from_json(data["cond"]),
+                expr_from_json(data["then"]),
+                expr_from_json(data["else"]),
+            )
+        case "BoolLit":
+            return BoolLit(bool(data["value"]))
+        case "Cmp":
+            return Cmp(
+                CmpOp[data["op"]],
+                expr_from_json(data["left"]),
+                expr_from_json(data["right"]),
+            )
+        case "And":
+            return And(tuple(expr_from_json(arg) for arg in data["args"]))
+        case "Or":
+            return Or(tuple(expr_from_json(arg) for arg in data["args"]))
+        case "Not":
+            return Not(expr_from_json(data["arg"]))
+        case "Implies":
+            return Implies(
+                expr_from_json(data["antecedent"]), expr_from_json(data["consequent"])
+            )
+        case "Iff":
+            return Iff(expr_from_json(data["left"]), expr_from_json(data["right"]))
+        case "InSet":
+            return InSet(expr_from_json(data["arg"]), frozenset(data["values"]))
+        case _:
+            raise ValueError(f"unknown node tag: {node!r}")
+
+
+def _sort_key(expr: Expr) -> str:
+    """A total order on (already canonical) expressions."""
+    return json.dumps(expr_to_json(expr), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization
+# ---------------------------------------------------------------------------
+
+# GE/GT mirror LE/LT with swapped operands; the canonical form keeps only
+# the "less-than" direction.
+_MIRRORED = {CmpOp.GE: CmpOp.LE, CmpOp.GT: CmpOp.LT}
+
+
+def canonicalize(expr: Expr) -> Expr:
+    """A semantics-preserving normal form modulo commutative symmetries.
+
+    Two queries that differ only by the order of commutative operands,
+    duplicated conjuncts/disjuncts, or mirrored comparisons canonicalize
+    to structurally equal (hence equally hashed) expressions.
+    """
+    match expr:
+        case Lit() | Var() | BoolLit():
+            return expr
+        case Add(left, right):
+            parts = sorted((canonicalize(left), canonicalize(right)), key=_sort_key)
+            return Add(parts[0], parts[1])
+        case Sub(left, right):
+            return Sub(canonicalize(left), canonicalize(right))
+        case Neg(arg):
+            return Neg(canonicalize(arg))
+        case Scale(coeff, arg):
+            return Scale(coeff, canonicalize(arg))
+        case Abs(arg):
+            return Abs(canonicalize(arg))
+        case Min(left, right):
+            parts = sorted((canonicalize(left), canonicalize(right)), key=_sort_key)
+            return Min(parts[0], parts[1])
+        case Max(left, right):
+            parts = sorted((canonicalize(left), canonicalize(right)), key=_sort_key)
+            return Max(parts[0], parts[1])
+        case IntIte(cond, then_branch, else_branch):
+            return IntIte(
+                canonicalize(cond), canonicalize(then_branch), canonicalize(else_branch)
+            )
+        case Cmp(op, left, right):
+            left, right = canonicalize(left), canonicalize(right)
+            if op in _MIRRORED:
+                op, left, right = _MIRRORED[op], right, left
+            elif op in (CmpOp.EQ, CmpOp.NE) and _sort_key(right) < _sort_key(left):
+                left, right = right, left
+            return Cmp(op, left, right)
+        case And(args):
+            return And(_canonical_args(args))
+        case Or(args):
+            return Or(_canonical_args(args))
+        case Not(arg):
+            return Not(canonicalize(arg))
+        case Implies(antecedent, consequent):
+            return Implies(canonicalize(antecedent), canonicalize(consequent))
+        case Iff(left, right):
+            parts = sorted((canonicalize(left), canonicalize(right)), key=_sort_key)
+            return Iff(parts[0], parts[1])
+        case InSet(arg, values):
+            return InSet(canonicalize(arg), values)
+        case _:
+            raise TypeError(f"unknown AST node: {expr!r}")
+
+
+def _canonical_args(args: tuple[BoolExpr, ...]) -> tuple[BoolExpr, ...]:
+    """Canonicalize, deduplicate, and sort n-ary connective arguments."""
+    canonical = {_sort_key(c): c for c in (canonicalize(arg) for arg in args)}
+    return tuple(canonical[key] for key in sorted(canonical))
+
+
+def stable_hash(expr: Expr) -> str:
+    """A process-stable content hash of the canonicalized expression."""
+    payload = json.dumps(expr_to_json(canonicalize(expr)), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Secret specs
+# ---------------------------------------------------------------------------
+
+
+def spec_to_json(spec: SecretSpec) -> dict[str, Any]:
+    """Encode a secret declaration (exact round trip)."""
+    return {
+        "name": spec.name,
+        "fields": [{"name": f.name, "lo": f.lo, "hi": f.hi} for f in spec.fields],
+    }
+
+
+def spec_from_json(data: dict[str, Any]) -> SecretSpec:
+    """Decode a secret declaration encoded by :func:`spec_to_json`."""
+    fields = tuple(
+        FieldSpec(f["name"], int(f["lo"]), int(f["hi"])) for f in data["fields"]
+    )
+    return SecretSpec(data["name"], fields)
+
+
+def spec_fingerprint(spec: SecretSpec) -> str:
+    """A process-stable content hash of a secret declaration."""
+    payload = json.dumps(spec_to_json(spec), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

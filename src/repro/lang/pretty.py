@@ -83,7 +83,11 @@ def _render(expr: Expr) -> tuple[str, int]:
         case Neg(arg):
             return f"-{_child(arg, _PREC_UNARY)}", _PREC_UNARY
         case Scale(coeff, arg):
-            return f"{coeff} * {_child(arg, _PREC_MUL)}", _PREC_MUL
+            # The argument binds one level tighter so nested scalings
+            # reparse as written: "0 * (0 * x)" rather than "0 * 0 * x",
+            # whose left-associative reading (0*0)*x fails the parser's
+            # linearity check.
+            return f"{coeff} * {_child(arg, _PREC_MUL + 1)}", _PREC_MUL
         case Abs(arg):
             return f"abs({pretty(arg)})", _PREC_ATOM
         case Min(left, right):

@@ -12,7 +12,7 @@ suggests (section 4.3: "types that can be encoded to integers").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Sequence
+from typing import Iterator, Mapping
 
 from repro.lang.ast import Var
 

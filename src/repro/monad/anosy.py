@@ -41,6 +41,9 @@ __all__ = [
     "DowngradeRecord",
     "DowngradeDecision",
     "AnosyT",
+    "top_knowledge_for",
+    "pair_verdict",
+    "evaluate_downgrade",
 ]
 
 T = TypeVar("T")
@@ -72,6 +75,92 @@ class DowngradeDecision:
     authorized: bool
     response: bool | None
     reason: str
+
+
+def top_knowledge_for(qinfo: QInfo) -> AbstractDomain:
+    """The no-prior (full secret space) knowledge, in the query's domain."""
+    indset = qinfo.under_indset or qinfo.over_indset
+    assert indset is not None
+    domain_type = (
+        PowersetDomain if isinstance(indset[0], PowersetDomain) else IntervalDomain
+    )
+    return domain_type.top(qinfo.secret)
+
+
+def pair_verdict(
+    policy: QuantitativePolicy,
+    posterior_pair: tuple[AbstractDomain, AbstractDomain],
+) -> bool:
+    """The ``check_both`` authorization verdict for a posterior pair.
+
+    Secret-independent (the section 3 discipline), so batch callers may
+    evaluate it once per distinct prior and feed it back through
+    ``evaluate_downgrade``'s ``pair_authorized``.
+    """
+    return policy(posterior_pair[0]) and policy(posterior_pair[1])
+
+
+def evaluate_downgrade(
+    qinfo: QInfo,
+    policy: QuantitativePolicy,
+    protected: Unprotectable,
+    prior: AbstractDomain,
+    *,
+    mode: str = "under",
+    check_both: bool = True,
+    posterior_pair: tuple[AbstractDomain, AbstractDomain] | None = None,
+    pair_authorized: bool | None = None,
+) -> tuple[DowngradeDecision, AbstractDomain | None]:
+    """The policy-enforcement core of Figure 2's ``downgrade``.
+
+    This is the per-secret part shared by :class:`AnosyT` and the
+    multi-session service layer (:mod:`repro.service.session`): given a
+    query's compiled ``qinfo`` and one secret's prior, decide
+    authorization, run the query inside the TCB, and return the decision
+    together with the posterior to track (``None`` when refused).
+
+    Two batch-caller hooks exploit that everything except the query run
+    depends only on the prior, not the secret: ``posterior_pair`` passes
+    a pair already intersected for this prior, and ``pair_authorized``
+    passes the ``check_both`` policy verdict already evaluated on that
+    pair (ignored when ``check_both`` is off, where the verdict depends
+    on the response).
+    """
+    if posterior_pair is None:
+        posterior_pair = qinfo.approx(prior, mode=mode)
+    post_true, post_false = posterior_pair
+
+    if check_both:
+        # The policy must pass on BOTH posteriors before the query runs:
+        # the authorization decision is then independent of the secret
+        # (the section 3 discipline).
+        if pair_authorized is None:
+            pair_authorized = pair_verdict(policy, posterior_pair)
+        ok = pair_authorized
+        response: bool | None = None
+    else:
+        # Evaluation-faithful mode: run the query, then check only the
+        # posterior of the observed response (see EXPERIMENTS.md).
+        response = qinfo.run(protected.unprotect_tcb())
+        ok = policy(post_true if response else post_false)
+    if not ok:
+        return (
+            DowngradeDecision(
+                authorized=False,
+                response=None,
+                reason=(
+                    f"Policy Violation: {policy.name} fails on a "
+                    f"posterior of {qinfo.name!r}"
+                ),
+            ),
+            None,
+        )
+
+    # Inside the TCB: observe the secret and run the query.
+    if response is None:
+        response = qinfo.run(protected.unprotect_tcb())
+    posterior = post_true if response else post_false
+    return DowngradeDecision(authorized=True, response=response, reason="ok"), posterior
 
 
 @dataclass
@@ -117,12 +206,7 @@ class AnosyT:
         return (protected.spec.name, protected.unprotect_tcb())
 
     def _top_for(self, qinfo: QInfo) -> AbstractDomain:
-        indset = qinfo.under_indset or qinfo.over_indset
-        assert indset is not None
-        domain_type = (
-            PowersetDomain if isinstance(indset[0], PowersetDomain) else IntervalDomain
-        )
-        return domain_type.top(qinfo.secret)
+        return top_knowledge_for(qinfo)
 
     def knowledge_of(self, protected: Unprotectable) -> AbstractDomain | None:
         """The currently tracked knowledge for a secret (None = no prior)."""
@@ -163,20 +247,15 @@ class AnosyT:
 
         key = self._key(protected)
         prior = self.secrets.get(key) or self._top_for(qinfo)
-        post_true, post_false = qinfo.approx(prior, mode=self.mode)
-
-        if self.check_both:
-            # The policy must pass on BOTH posteriors before the query
-            # runs: the authorization decision is then independent of the
-            # secret (the section 3 discipline).
-            ok = self.policy(post_true) and self.policy(post_false)
-            response: bool | None = None
-        else:
-            # Evaluation-faithful mode: run the query, then check only the
-            # posterior of the observed response (see EXPERIMENTS.md).
-            response = qinfo.run(protected.unprotect_tcb())
-            ok = self.policy(post_true if response else post_false)
-        if not ok:
+        decision, posterior = evaluate_downgrade(
+            qinfo,
+            self.policy,
+            protected,
+            prior,
+            mode=self.mode,
+            check_both=self.check_both,
+        )
+        if not decision.authorized:
             self.history.append(
                 DowngradeRecord(
                     query_name=query_name,
@@ -186,19 +265,10 @@ class AnosyT:
                     posterior_size=None,
                 )
             )
-            return DowngradeDecision(
-                authorized=False,
-                response=None,
-                reason=(
-                    f"Policy Violation: {self.policy.name} fails on a "
-                    f"posterior of {query_name!r}"
-                ),
-            )
+            return decision
 
-        # Inside the TCB: observe the secret and run the query.
-        if response is None:
-            response = qinfo.run(protected.unprotect_tcb())
-        posterior = post_true if response else post_false
+        assert posterior is not None
+        response = decision.response
         self.secrets[key] = posterior
 
         if self.track_over and qinfo.over_indset is not None:
@@ -215,7 +285,7 @@ class AnosyT:
                 posterior_size=posterior.size(),
             )
         )
-        return DowngradeDecision(authorized=True, response=response, reason="ok")
+        return decision
 
     # -- introspection ------------------------------------------------------
     def authorized_count(self) -> int:

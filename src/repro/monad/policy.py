@@ -16,7 +16,7 @@ the property on concrete chains.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 from repro.domains.base import AbstractDomain
 

@@ -25,9 +25,9 @@ import math
 from dataclasses import dataclass
 from fractions import Fraction
 
-from repro.lang.ast import BoolExpr, Not
+from repro.lang.ast import BoolExpr
 from repro.lang.secrets import SecretSpec
-from repro.lang.transform import conjoin, nnf
+from repro.lang.transform import conjoin
 from repro.domains.base import AbstractDomain
 from repro.solver.boxes import Box
 from repro.solver.decide import count_models

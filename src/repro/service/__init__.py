@@ -1,0 +1,59 @@
+"""The declassification service layer: compile once, serve many.
+
+The paper's runtime story — posteriors are free because synthesis already
+happened at compile time — becomes an architecture here:
+
+* :mod:`repro.service.cache` — a content-addressed
+  :class:`~repro.service.cache.SynthesisCache` so the expensive optimizer
+  runs once per *semantic* query (alpha-equivalent reorderings included),
+  with JSON persistence for warm starts across processes;
+* :mod:`repro.service.session` — a
+  :class:`~repro.service.session.SessionManager` multiplexing thousands of
+  independent secrets over one shared compiled-query registry, with a
+  batched ``downgrade_batch`` serving path;
+* :mod:`repro.service.api` — plain request/response dataclasses and the
+  audit-trailed :class:`~repro.service.api.DeclassificationService` facade;
+* :mod:`repro.service.serialize` — exact JSON codecs for compiled
+  artifacts (domains, certificates, reports).
+
+The split enforced throughout: compiled artifacts are shared and
+immutable, per-principal knowledge is private and mutable.  Later
+sharding/async work distributes the second without touching the first.
+"""
+
+from repro.service.api import (
+    AuditEvent,
+    BatchDowngradeRequest,
+    CompileReceipt,
+    CompileRequest,
+    DeclassificationService,
+    DowngradeRequest,
+    DowngradeResult,
+)
+from repro.service.cache import CacheStats, SynthesisCache, cache_key
+from repro.service.serialize import (
+    compiled_query_from_json,
+    compiled_query_to_json,
+    domain_from_json,
+    domain_to_json,
+)
+from repro.service.session import Session, SessionManager
+
+__all__ = [
+    "AuditEvent",
+    "BatchDowngradeRequest",
+    "CompileReceipt",
+    "CompileRequest",
+    "DeclassificationService",
+    "DowngradeRequest",
+    "DowngradeResult",
+    "CacheStats",
+    "SynthesisCache",
+    "cache_key",
+    "compiled_query_from_json",
+    "compiled_query_to_json",
+    "domain_from_json",
+    "domain_to_json",
+    "Session",
+    "SessionManager",
+]

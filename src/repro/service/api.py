@@ -1,0 +1,278 @@
+"""The thin request/response surface of the declassification service.
+
+Plain dataclasses in, audit-trailed decisions out: this is the layer a
+transport (HTTP handler, queue consumer, test harness) talks to.  It owns
+
+* a :class:`~repro.service.cache.SynthesisCache` (optionally warm-started
+  from disk), wired into a :class:`~repro.core.plugin.QueryRegistry`, so
+  registering the same query twice — or across restarts — costs a lookup;
+* a :class:`~repro.service.session.SessionManager` for the per-principal
+  knowledge state;
+* an append-only audit trail of every request the service handled,
+  including refusals that never touch any session's knowledge (unknown
+  queries, spec mismatches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.core.plugin import CompileOptions, QueryRegistry
+from repro.lang.ast import BoolExpr
+from repro.lang.secrets import SecretSpec, SecretValue
+from repro.monad.policy import QuantitativePolicy
+from repro.monad.protected import ProtectedSecret
+from repro.service.cache import SynthesisCache
+from repro.service.session import Session, SessionManager
+
+__all__ = [
+    "CompileRequest",
+    "CompileReceipt",
+    "DowngradeRequest",
+    "BatchDowngradeRequest",
+    "DowngradeResult",
+    "AuditEvent",
+    "DeclassificationService",
+]
+
+
+# ---------------------------------------------------------------------------
+# Wire dataclasses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """Ask the service to make a query declassifiable.
+
+    ``options=None`` uses the service's default compile options, so
+    tenants registering the same query share one cache entry.
+    """
+
+    name: str
+    query: BoolExpr | str
+    secret: SecretSpec
+    options: CompileOptions | None = None
+
+
+@dataclass(frozen=True)
+class CompileReceipt:
+    """What compiling cost, and whether the cache paid for it.
+
+    ``synth_time``/``verify_time`` are always the *artifact's* compile
+    cost — on a ``cache_hit`` they report the original cold run, not
+    this request (which cost a lookup).
+    """
+
+    name: str
+    cache_hit: bool
+    verified: bool
+    synth_time: float
+    verify_time: float
+
+
+@dataclass(frozen=True)
+class DowngradeRequest:
+    """One principal asking one compiled query."""
+
+    session_id: str
+    query_name: str
+
+
+@dataclass(frozen=True)
+class BatchDowngradeRequest:
+    """One query asked for many principals (``None`` = all open sessions)."""
+
+    query_name: str
+    session_ids: tuple[str, ...] | None = None
+
+
+@dataclass(frozen=True)
+class DowngradeResult:
+    """The audit-trailed outcome of one (session, query) request."""
+
+    session_id: str
+    query_name: str
+    authorized: bool
+    response: bool | None
+    reason: str
+    knowledge_size: int | None
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One append-only audit trail entry."""
+
+    seq: int
+    kind: str
+    data: dict[str, Any]
+
+
+# ---------------------------------------------------------------------------
+# The service
+# ---------------------------------------------------------------------------
+
+
+class DeclassificationService:
+    """Compile-once / serve-many declassification over many sessions."""
+
+    def __init__(
+        self,
+        policy: QuantitativePolicy,
+        *,
+        options: CompileOptions = CompileOptions(),
+        cache: SynthesisCache | None = None,
+        mode: str = "under",
+        check_both: bool = True,
+    ):
+        self.default_options = options
+        self.cache = cache if cache is not None else SynthesisCache()
+        self.registry = QueryRegistry(cache=self.cache)
+        self.manager = SessionManager(
+            registry=self.registry, policy=policy, mode=mode, check_both=check_both
+        )
+        self.audit: list[AuditEvent] = []
+
+    @classmethod
+    def warm_start(
+        cls,
+        policy: QuantitativePolicy,
+        cache_path: str | Path,
+        **kwargs: Any,
+    ) -> "DeclassificationService":
+        """Build a service whose cache is preloaded from a JSON file."""
+        return cls(policy, cache=SynthesisCache.load(cache_path), **kwargs)
+
+    def save_cache(self, cache_path: str | Path) -> None:
+        """Persist the synthesis cache for the next process's warm start."""
+        self.cache.save(cache_path)
+
+    # -- audit -------------------------------------------------------------
+    def _audit(self, kind: str, **data: Any) -> None:
+        self.audit.append(AuditEvent(seq=len(self.audit), kind=kind, data=data))
+
+    # -- compilation -------------------------------------------------------
+    def register_query(self, request: CompileRequest) -> CompileReceipt:
+        """Compile (or cache-hit) and register one query."""
+        options = request.options if request.options is not None else self.default_options
+        hits_before = self.cache.stats.hits
+        compiled = self.registry.compile_and_register(
+            request.name, request.query, request.secret, options
+        )
+        receipt = CompileReceipt(
+            name=compiled.name,
+            cache_hit=self.cache.stats.hits > hits_before,
+            verified=all(report.verified for report in compiled.reports.values()),
+            synth_time=sum(r.synth_time for r in compiled.reports.values()),
+            verify_time=sum(r.verify_time for r in compiled.reports.values()),
+        )
+        self._audit(
+            "compile",
+            name=receipt.name,
+            secret=request.secret.name,
+            cache_hit=receipt.cache_hit,
+            verified=receipt.verified,
+        )
+        return receipt
+
+    # -- session lifecycle -------------------------------------------------
+    def open_session(
+        self,
+        session_id: str,
+        secret: ProtectedSecret | tuple[SecretSpec, SecretValue],
+    ) -> Session:
+        """Register one principal with its protected secret."""
+        session = self.manager.open_session(session_id, secret)
+        self._audit("session_open", session_id=session_id, secret=session.spec.name)
+        return session
+
+    def close_session(self, session_id: str) -> Session:
+        """Drop a principal; the returned session keeps its audit trail."""
+        session = self.manager.close_session(session_id)
+        self._audit(
+            "session_close",
+            session_id=session_id,
+            downgrades=len(session.history),
+            authorized=session.authorized_count(),
+        )
+        return session
+
+    # -- serving -----------------------------------------------------------
+    def handle(self, request: DowngradeRequest) -> DowngradeResult:
+        """Serve one downgrade request.
+
+        Unlike :class:`~repro.service.session.SessionManager` (which
+        raises for unknown sessions), the facade turns every invalid
+        input — the one thing a remote client controls — into a
+        structured, audited refusal.
+        """
+        if request.session_id not in self.manager.sessions:
+            result = self._unknown_session(request.session_id, request.query_name)
+        else:
+            decision = self.manager.try_downgrade(
+                request.session_id, request.query_name
+            )
+            result = self._result(request.session_id, request.query_name, decision)
+        self._audit(
+            "downgrade",
+            session_id=result.session_id,
+            query_name=result.query_name,
+            authorized=result.authorized,
+            reason=result.reason,
+        )
+        return result
+
+    def handle_batch(self, request: BatchDowngradeRequest) -> list[DowngradeResult]:
+        """Serve one query for many sessions in a single pass.
+
+        Unknown session ids become per-session refusals instead of
+        aborting the batch; duplicates collapse to one request.  Results
+        come back in (deduplicated) request order.
+        """
+        ids = list(
+            dict.fromkeys(
+                self.manager.sessions
+                if request.session_ids is None
+                else request.session_ids
+            )
+        )
+        known = [sid for sid in ids if sid in self.manager.sessions]
+        decisions = self.manager.downgrade_batch(request.query_name, known)
+        results = [
+            self._result(sid, request.query_name, decisions[sid])
+            if sid in decisions
+            else self._unknown_session(sid, request.query_name)
+            for sid in ids
+        ]
+        self._audit(
+            "batch",
+            query_name=request.query_name,
+            sessions=len(results),
+            authorized=sum(1 for r in results if r.authorized),
+        )
+        return results
+
+    def _unknown_session(self, session_id: str, query_name: str) -> DowngradeResult:
+        return DowngradeResult(
+            session_id=session_id,
+            query_name=query_name,
+            authorized=False,
+            response=None,
+            reason=f"no open session {session_id!r}",
+            knowledge_size=None,
+        )
+
+    def _result(
+        self, session_id: str, query_name: str, decision: Any
+    ) -> DowngradeResult:
+        session = self.manager.sessions.get(session_id)
+        return DowngradeResult(
+            session_id=session_id,
+            query_name=query_name,
+            authorized=decision.authorized,
+            response=decision.response,
+            reason=decision.reason,
+            knowledge_size=session.knowledge_size() if session else None,
+        )

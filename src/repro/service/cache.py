@@ -1,0 +1,169 @@
+"""The synthesis cache: compile once, serve many.
+
+ANOSY's runtime claim is that posterior computation is free *because all
+the expensive work happened at compile time*.  That claim is only useful
+if the compile-time work itself is not repeated: a service registering the
+same query for its Nth tenant should pay a dictionary lookup, not another
+optimizer run.  :class:`SynthesisCache` provides exactly that seam.
+
+Keys are content hashes over the *canonicalized* query AST (so
+alpha-equivalent reorderings like ``a and b`` vs ``b and a`` share one
+entry), the secret declaration, and every synthesis-relevant option.
+Values are complete :class:`~repro.core.plugin.CompiledQuery` artifacts,
+including proof certificates, and the whole cache round-trips through JSON
+for warm starts (:meth:`save`/:meth:`load`).
+
+The cache is deliberately *not* ambient: :func:`~repro.core.plugin.compile_query`
+takes it as an explicit argument, so callers who want cold-compile numbers
+(the Figure 5 measurements) simply pass none.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.plugin import CompiledQuery, CompileOptions
+from repro.lang.ast import BoolExpr
+from repro.lang.canonical import canonicalize, expr_to_json, spec_to_json
+from repro.lang.secrets import SecretSpec
+from repro.service.serialize import compiled_query_from_json, compiled_query_to_json
+
+__all__ = ["CacheStats", "SynthesisCache", "cache_key"]
+
+#: Bumped whenever the artifact encoding changes incompatibly.
+CACHE_FORMAT_VERSION = 1
+
+
+def cache_key(
+    query: BoolExpr, secret: SecretSpec, options: CompileOptions
+) -> str:
+    """The content hash identifying one synthesis problem.
+
+    Everything that can change the synthesized artifact participates:
+    the canonical query, the secret bounds, the abstract domain and its
+    ``k``, the approximation modes (as a set — order is presentational),
+    whether verification ran, and the optimizer knobs.
+    """
+    payload = {
+        "version": CACHE_FORMAT_VERSION,
+        "query": expr_to_json(canonicalize(query)),
+        "secret": spec_to_json(secret),
+        "options": {
+            "domain": options.domain,
+            "k": options.k,
+            "modes": sorted(options.modes),
+            "verify": options.verify,
+            "synth": {
+                "time_budget": options.synth.time_budget,
+                "seed_pops": options.synth.seed_pops,
+                "growth": options.synth.growth,
+            },
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a :class:`SynthesisCache`."""
+
+    hits: int
+    misses: int
+
+    @property
+    def requests(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+@dataclass
+class SynthesisCache:
+    """A content-addressed store of compiled query artifacts."""
+
+    _entries: dict[str, CompiledQuery] = field(default_factory=dict)
+    _hits: int = 0
+    _misses: int = 0
+
+    # -- lookup ------------------------------------------------------------
+    def key_for(
+        self, query: BoolExpr, secret: SecretSpec, options: CompileOptions
+    ) -> str:
+        """Compute the cache key for a synthesis problem."""
+        return cache_key(query, secret, options)
+
+    def get(self, key: str) -> CompiledQuery | None:
+        """Look up an artifact, counting the hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+        else:
+            self._hits += 1
+        return entry
+
+    def put(self, key: str, compiled: CompiledQuery) -> None:
+        """Store an artifact under its key (last write wins)."""
+        self._entries[key] = compiled
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[str]:
+        """The stored keys."""
+        return iter(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current hit/miss counters."""
+        return CacheStats(hits=self._hits, misses=self._misses)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+
+    # -- persistence -------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        """Encode the full cache (entries only; counters are per-process)."""
+        return {
+            "version": CACHE_FORMAT_VERSION,
+            "entries": {
+                key: compiled_query_to_json(compiled)
+                for key, compiled in self._entries.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "SynthesisCache":
+        """Decode a cache encoded by :meth:`to_json`."""
+        version = data.get("version")
+        if version != CACHE_FORMAT_VERSION:
+            raise ValueError(
+                f"cache format version {version!r} != {CACHE_FORMAT_VERSION}"
+            )
+        cache = cls()
+        for key, entry in data["entries"].items():
+            cache._entries[key] = compiled_query_from_json(entry)
+        return cache
+
+    def save(self, path: str | Path) -> None:
+        """Persist the cache to a JSON file (atomic enough for warm starts)."""
+        Path(path).write_text(json.dumps(self.to_json(), sort_keys=True))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SynthesisCache":
+        """Warm-start a cache from a JSON file written by :meth:`save`."""
+        return cls.from_json(json.loads(Path(path).read_text()))

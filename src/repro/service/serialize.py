@@ -1,0 +1,204 @@
+"""JSON codecs for compiled declassification artifacts.
+
+The synthesis cache persists :class:`~repro.core.plugin.CompiledQuery`
+values across processes (a "warm start"), so everything the compile step
+produces — synthesized domains, proof certificates, timing metadata — needs
+an exact JSON round trip.  Query ASTs and secret declarations reuse the
+codecs of :mod:`repro.lang.canonical`; this module adds the geometric and
+proof-carrying layers on top.
+
+Serialized certificates record proofs that were *checked in some earlier
+process*; loading one does not re-run the checker.  A warm-started artifact
+is exactly as trustworthy as the file it came from, which is why
+:meth:`~repro.service.cache.SynthesisCache.load` is explicit rather than
+ambient.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.plugin import CompiledQuery, ModeReport
+from repro.core.qinfo import DomainPair, QInfo
+from repro.domains.base import AbstractDomain
+from repro.domains.box import IntervalDomain
+from repro.domains.powerset import PowersetDomain
+from repro.lang.canonical import (
+    expr_from_json,
+    expr_to_json,
+    spec_from_json,
+    spec_to_json,
+)
+from repro.lang.secrets import SecretSpec
+from repro.lang.validate import validate_query
+from repro.refine.checker import Certificate, CheckOutcome
+from repro.solver.boxes import Box
+
+__all__ = [
+    "box_to_json",
+    "box_from_json",
+    "domain_to_json",
+    "domain_from_json",
+    "compiled_query_to_json",
+    "compiled_query_from_json",
+]
+
+
+# ---------------------------------------------------------------------------
+# Geometry
+# ---------------------------------------------------------------------------
+
+
+def box_to_json(box: Box) -> list[list[int]]:
+    """Encode a box as a list of ``[lo, hi]`` pairs."""
+    return [[lo, hi] for lo, hi in box.bounds]
+
+
+def box_from_json(data: list[list[int]]) -> Box:
+    """Decode a box encoded by :func:`box_to_json`."""
+    return Box(tuple((int(lo), int(hi)) for lo, hi in data))
+
+
+def domain_to_json(domain: AbstractDomain) -> dict[str, Any]:
+    """Encode an interval or powerset domain (the spec is stored once,
+    at the artifact level, not per domain)."""
+    if isinstance(domain, IntervalDomain):
+        return {
+            "kind": "interval",
+            "box": None if domain.box is None else box_to_json(domain.box),
+        }
+    if isinstance(domain, PowersetDomain):
+        return {
+            "kind": "powerset",
+            "include": [box_to_json(box) for box in domain.include],
+            "exclude": [box_to_json(box) for box in domain.exclude],
+        }
+    raise TypeError(f"unsupported domain type {type(domain)}")
+
+
+def domain_from_json(data: dict[str, Any], spec: SecretSpec) -> AbstractDomain:
+    """Decode a domain encoded by :func:`domain_to_json`."""
+    kind = data["kind"]
+    if kind == "interval":
+        box = data["box"]
+        return IntervalDomain(spec, None if box is None else box_from_json(box))
+    if kind == "powerset":
+        return PowersetDomain(
+            spec,
+            tuple(box_from_json(box) for box in data["include"]),
+            tuple(box_from_json(box) for box in data["exclude"]),
+        )
+    raise ValueError(f"unknown domain kind {kind!r}")
+
+
+def _pair_to_json(pair: DomainPair | None) -> list[dict[str, Any]] | None:
+    if pair is None:
+        return None
+    return [domain_to_json(pair[0]), domain_to_json(pair[1])]
+
+
+def _pair_from_json(
+    data: list[dict[str, Any]] | None, spec: SecretSpec
+) -> DomainPair | None:
+    if data is None:
+        return None
+    return (domain_from_json(data[0], spec), domain_from_json(data[1], spec))
+
+
+# ---------------------------------------------------------------------------
+# Proof certificates and reports
+# ---------------------------------------------------------------------------
+
+
+def _certificate_to_json(cert: Certificate) -> dict[str, Any]:
+    return {
+        "obligation": cert.obligation,
+        "formula": cert.formula,
+        "holds": cert.holds,
+        "search_nodes": cert.search_nodes,
+        "elapsed": cert.elapsed,
+    }
+
+
+def _certificate_from_json(data: dict[str, Any]) -> Certificate:
+    return Certificate(
+        obligation=data["obligation"],
+        formula=data["formula"],
+        holds=bool(data["holds"]),
+        search_nodes=int(data["search_nodes"]),
+        elapsed=float(data["elapsed"]),
+    )
+
+
+def _outcome_to_json(outcome: CheckOutcome | None) -> list[dict[str, Any]] | None:
+    if outcome is None:
+        return None
+    return [_certificate_to_json(cert) for cert in outcome.certificates]
+
+
+def _outcome_from_json(data: list[dict[str, Any]] | None) -> CheckOutcome | None:
+    if data is None:
+        return None
+    return CheckOutcome(tuple(_certificate_from_json(cert) for cert in data))
+
+
+def _report_to_json(report: ModeReport) -> dict[str, Any]:
+    return {
+        "mode": report.mode,
+        "synth_time": report.synth_time,
+        "verify_time": report.verify_time,
+        "timed_out": report.timed_out,
+        "true_outcome": _outcome_to_json(report.true_outcome),
+        "false_outcome": _outcome_to_json(report.false_outcome),
+    }
+
+
+def _report_from_json(data: dict[str, Any]) -> ModeReport:
+    return ModeReport(
+        mode=data["mode"],
+        synth_time=float(data["synth_time"]),
+        verify_time=float(data["verify_time"]),
+        timed_out=bool(data["timed_out"]),
+        true_outcome=_outcome_from_json(data["true_outcome"]),
+        false_outcome=_outcome_from_json(data["false_outcome"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Compiled queries
+# ---------------------------------------------------------------------------
+
+
+def compiled_query_to_json(compiled: CompiledQuery) -> dict[str, Any]:
+    """Encode a compiled query artifact for persistence."""
+    qinfo = compiled.qinfo
+    return {
+        "name": qinfo.name,
+        "query": expr_to_json(qinfo.query),
+        "secret": spec_to_json(qinfo.secret),
+        "under_indset": _pair_to_json(qinfo.under_indset),
+        "over_indset": _pair_to_json(qinfo.over_indset),
+        "reports": {mode: _report_to_json(r) for mode, r in compiled.reports.items()},
+    }
+
+
+def compiled_query_from_json(data: dict[str, Any]) -> CompiledQuery:
+    """Decode an artifact encoded by :func:`compiled_query_to_json`.
+
+    The validation report is recomputed (validation is cheap and purely
+    syntactic); domains, certificates, and timings are restored verbatim.
+    """
+    secret = spec_from_json(data["secret"])
+    query = expr_from_json(data["query"])
+    qinfo = QInfo(
+        name=data["name"],
+        query=query,
+        secret=secret,
+        under_indset=_pair_from_json(data["under_indset"], secret),
+        over_indset=_pair_from_json(data["over_indset"], secret),
+    )
+    return CompiledQuery(
+        qinfo=qinfo,
+        validation=validate_query(query, secret),
+        reports={mode: _report_from_json(r) for mode, r in data["reports"].items()},
+    )

@@ -1,0 +1,263 @@
+"""Multi-session serving: many secrets, one compiled-query registry.
+
+:class:`~repro.monad.anosy.AnosyT` tracks knowledge per *secret value*
+inside one monadic computation.  A service instead juggles thousands of
+independent principals — one per connected user — all declassifying
+through the same small set of compiled queries.  :class:`SessionManager`
+makes that split explicit, mirroring the Haskell artifact's ``AnosyST``
+(whose ``secrets :: HashMap secret dom`` multiplexes tracked knowledge
+over a single ``queries`` table):
+
+* the :class:`~repro.core.plugin.QueryRegistry` and the policy are shared,
+  immutable serving state — compile once, attach to a manager, serve;
+* each :class:`Session` owns one protected secret and its mutable
+  attacker-knowledge approximation plus an audit trail.
+
+:meth:`SessionManager.downgrade_batch` is the throughput path: the
+compiled ind.-set pair is fetched once per query, the prior→posterior
+intersection is memoized per *distinct* prior (fleets of fresh sessions
+all share the ⊤ prior, so a thousand sessions cost one intersection), and
+only the secret-dependent parts — query evaluation and knowledge update —
+run per session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.plugin import QueryRegistry
+from repro.domains.base import AbstractDomain
+from repro.lang.secrets import SecretSpec, SecretValue
+from repro.monad.anosy import (
+    DowngradeDecision,
+    DowngradeRecord,
+    PolicyViolation,
+    UnknownQuery,
+    evaluate_downgrade,
+    pair_verdict,
+    top_knowledge_for,
+)
+from repro.monad.policy import QuantitativePolicy
+from repro.monad.protected import ProtectedSecret
+
+__all__ = ["Session", "SessionManager"]
+
+
+@dataclass
+class Session:
+    """One principal's mutable serving state.
+
+    ``knowledge is None`` means no downgrade has happened yet — the
+    attacker's knowledge is still the full secret space (⊤ is materialized
+    lazily, per query domain, by the manager).
+    """
+
+    session_id: str
+    secret: ProtectedSecret
+    knowledge: AbstractDomain | None = None
+    history: list[DowngradeRecord] = field(default_factory=list)
+
+    @property
+    def spec(self) -> SecretSpec:
+        """The secret type this session declassifies over."""
+        return self.secret.spec
+
+    def knowledge_size(self) -> int | None:
+        """Size of the tracked knowledge (``None`` before any downgrade)."""
+        return None if self.knowledge is None else self.knowledge.size()
+
+    def authorized_count(self) -> int:
+        """Authorized downgrades in this session's audit trail."""
+        return sum(1 for record in self.history if record.authorized)
+
+
+@dataclass
+class SessionManager:
+    """Shared compiled queries + policy, multiplexed over many sessions."""
+
+    registry: QueryRegistry
+    policy: QuantitativePolicy
+    mode: str = "under"
+    check_both: bool = True
+    sessions: dict[str, Session] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("under", "over"):
+            raise ValueError(f"mode must be 'under' or 'over', got {self.mode!r}")
+
+    # -- session lifecycle -------------------------------------------------
+    def open_session(
+        self,
+        session_id: str,
+        secret: ProtectedSecret | tuple[SecretSpec, SecretValue],
+    ) -> Session:
+        """Register a principal; ids must be unique among open sessions."""
+        if session_id in self.sessions:
+            raise ValueError(f"session {session_id!r} already open")
+        if not isinstance(secret, ProtectedSecret):
+            spec, value = secret
+            secret = ProtectedSecret.seal(spec, value)
+        session = Session(session_id=session_id, secret=secret)
+        self.sessions[session_id] = session
+        return session
+
+    def open_sessions(
+        self, secrets: Mapping[str, ProtectedSecret | tuple[SecretSpec, SecretValue]]
+    ) -> list[Session]:
+        """Bulk :meth:`open_session` (e.g. a fleet of fresh users)."""
+        return [self.open_session(sid, secret) for sid, secret in secrets.items()]
+
+    def close_session(self, session_id: str) -> Session:
+        """Drop a session, returning its final state (with audit trail)."""
+        try:
+            return self.sessions.pop(session_id)
+        except KeyError:
+            raise KeyError(f"no open session {session_id!r}") from None
+
+    def session(self, session_id: str) -> Session:
+        """Look up an open session."""
+        try:
+            return self.sessions[session_id]
+        except KeyError:
+            raise KeyError(f"no open session {session_id!r}") from None
+
+    def knowledge_of(self, session_id: str) -> AbstractDomain | None:
+        """The tracked knowledge for a session (``None`` = no prior yet)."""
+        return self.session(session_id).knowledge
+
+    # -- serving -----------------------------------------------------------
+    def downgrade(self, session_id: str, query_name: str) -> bool:
+        """Raising single-session downgrade (Figure 2 semantics)."""
+        decision = self.try_downgrade(session_id, query_name)
+        if not decision.authorized:
+            if decision.reason.startswith("Can't downgrade"):
+                raise UnknownQuery(decision.reason)
+            raise PolicyViolation(decision.reason)
+        assert decision.response is not None
+        return decision.response
+
+    def try_downgrade(self, session_id: str, query_name: str) -> DowngradeDecision:
+        """Non-raising single-session downgrade."""
+        return self.downgrade_batch(query_name, [session_id])[session_id]
+
+    def downgrade_batch(
+        self, query_name: str, session_ids: Iterable[str] | None = None
+    ) -> dict[str, DowngradeDecision]:
+        """Answer one query for many sessions in a single pass.
+
+        ``session_ids`` defaults to every open session; duplicate ids
+        collapse to one request.  Every id is resolved *before* any
+        knowledge is touched, so an unknown session raises without
+        leaving the batch half-applied.  The compiled ind.-set pair is
+        fetched once; posterior pairs (via :meth:`QInfo.approx_batch
+        <repro.core.qinfo.QInfo.approx_batch>`) and, in the
+        ``check_both`` discipline, the secret-independent authorization
+        verdict are memoized per distinct prior.
+        """
+        ids = list(dict.fromkeys(self.sessions if session_ids is None else session_ids))
+        sessions = {sid: self.session(sid) for sid in ids}
+
+        compiled = self.registry.lookup(query_name)
+        if compiled is None:
+            refusal = DowngradeDecision(
+                authorized=False,
+                response=None,
+                reason=f"Can't downgrade {query_name}",
+            )
+            return {sid: self._record(sid, query_name, refusal, None) for sid in ids}
+
+        qinfo = compiled.qinfo
+        top = top_knowledge_for(qinfo)
+        decisions: dict[str, DowngradeDecision] = {}
+
+        eligible: list[str] = []
+        for sid, session in sessions.items():
+            if qinfo.secret != session.spec:
+                decisions[sid] = self._record(
+                    sid,
+                    query_name,
+                    DowngradeDecision(
+                        authorized=False,
+                        response=None,
+                        reason=(
+                            f"query {query_name!r} is over {qinfo.secret.name!r}, "
+                            f"secret is {session.spec.name!r}"
+                        ),
+                    ),
+                    None,
+                )
+            else:
+                eligible.append(sid)
+
+        priors = [
+            sessions[sid].knowledge if sessions[sid].knowledge is not None else top
+            for sid in eligible
+        ]
+        pairs = qinfo.approx_batch(priors, mode=self.mode)
+        verdicts: dict[AbstractDomain, bool] = {}
+        for sid, prior, pair in zip(eligible, priors, pairs):
+            session = sessions[sid]
+            pair_authorized: bool | None = None
+            if self.check_both:
+                pair_authorized = verdicts.get(prior)
+                if pair_authorized is None:
+                    pair_authorized = pair_verdict(self.policy, pair)
+                    verdicts[prior] = pair_authorized
+            decision, posterior = evaluate_downgrade(
+                qinfo,
+                self.policy,
+                session.secret,
+                prior,
+                mode=self.mode,
+                check_both=self.check_both,
+                posterior_pair=pair,
+                pair_authorized=pair_authorized,
+            )
+            if posterior is not None:
+                session.knowledge = posterior
+            decisions[sid] = self._record(sid, query_name, decision, prior)
+        return {sid: decisions[sid] for sid in ids}
+
+    def _record(
+        self,
+        session_id: str,
+        query_name: str,
+        decision: DowngradeDecision,
+        prior: AbstractDomain | None,
+    ) -> DowngradeDecision:
+        """Append one audit record to the session's trail.
+
+        ``prior is None`` marks requests refused before any knowledge was
+        consulted (unknown query, spec mismatch); like :class:`AnosyT`,
+        those never touch the session's knowledge history — the
+        service-level audit trail (:mod:`repro.service.api`) still logs
+        them.
+        """
+        session = self.session(session_id)
+        if prior is None:
+            return decision
+        posterior_size = (
+            session.knowledge.size()
+            if decision.authorized and session.knowledge is not None
+            else None
+        )
+        session.history.append(
+            DowngradeRecord(
+                query_name=query_name,
+                authorized=decision.authorized,
+                response=decision.response,
+                prior_size=prior.size(),
+                posterior_size=posterior_size,
+            )
+        )
+        return decision
+
+    # -- introspection -----------------------------------------------------
+    def open_count(self) -> int:
+        """Number of open sessions."""
+        return len(self.sessions)
+
+    def authorized_count(self) -> int:
+        """Authorized downgrades across all open sessions."""
+        return sum(session.authorized_count() for session in self.sessions.values())

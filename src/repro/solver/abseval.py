@@ -31,7 +31,6 @@ from repro.lang.ast import (
     BoolLit,
     Cmp,
     CmpOp,
-    Expr,
     Iff,
     Implies,
     InSet,

@@ -23,7 +23,7 @@ dimensions factor out of the count multiplicatively.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.lang.ast import (

@@ -19,8 +19,6 @@ Two flavours are produced:
 
 from __future__ import annotations
 
-from typing import Sequence
-
 from repro.lang.ast import (
     Abs,
     Add,

@@ -103,3 +103,30 @@ class TestQueryRegistry:
         options = CompileOptions(synth=SynthOptions(time_budget=1.0))
         compiled = registry.compile_and_register("q", QUERY, SPEC, options)
         assert compiled.reports["under"].verified
+
+
+class TestCompileCacheHooks:
+    def test_compile_query_consults_the_cache(self):
+        from repro.service.cache import SynthesisCache
+
+        cache = SynthesisCache()
+        cold = compile_query("q1", QUERY, SPEC, cache=cache)
+        hot = compile_query("q2", QUERY, SPEC, cache=cache)
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+        assert hot.name == "q2"
+        assert hot.qinfo.under_indset == cold.qinfo.under_indset
+
+    def test_cached_hit_still_validates_the_request(self):
+        from repro.service.cache import SynthesisCache
+
+        cache = SynthesisCache()
+        compile_query("q1", QUERY, SPEC, cache=cache)
+        with pytest.raises(QueryValidationError):
+            compile_query("q2", "z <= 1", SPEC, cache=cache)
+
+    def test_registry_without_cache_recompiles(self):
+        registry = QueryRegistry()
+        a = registry.compile_and_register("a", QUERY, SPEC)
+        b = registry.compile_and_register("b", QUERY, SPEC)
+        assert a is not b
+        assert a.qinfo.under_indset == b.qinfo.under_indset

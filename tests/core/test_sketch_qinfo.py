@@ -117,3 +117,31 @@ class TestQInfo:
         approx = qinfo.as_function(mode="under")
         post_true, _ = approx(IntervalDomain.top(SPEC))
         assert post_true.size() == 36
+
+    def test_indset_pair_returns_the_shared_artifact(self):
+        qinfo = self._qinfo()
+        assert qinfo.indset_pair(mode="under") is qinfo.under_indset
+        assert qinfo.indset_pair(mode="over") is qinfo.over_indset
+        with pytest.raises(ValueError):
+            qinfo.indset_pair(mode="diagonal")
+
+    def test_indset_pair_missing_mode_raises(self):
+        qinfo = QInfo("q", QUERY, SPEC, under_indset=None, over_indset=None)
+        with pytest.raises(ValueError, match="compiled without"):
+            qinfo.indset_pair(mode="under")
+
+    def test_approx_batch_matches_pointwise_approx(self):
+        qinfo = self._qinfo()
+        priors = [
+            IntervalDomain.top(SPEC),
+            IntervalDomain(SPEC, Box.make((3, 19), (0, 19))),
+            IntervalDomain(SPEC, Box.make((0, 4), (0, 19))),
+        ]
+        batched = qinfo.approx_batch(priors, mode="under")
+        assert batched == [qinfo.approx(p, mode="under") for p in priors]
+
+    def test_approx_batch_shares_pairs_for_equal_priors(self):
+        qinfo = self._qinfo()
+        priors = [IntervalDomain.top(SPEC), IntervalDomain.top(SPEC)]
+        first, second = qinfo.approx_batch(priors)
+        assert first is second

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.core.itersynth import iter_synth_powerset
-from repro.core.synth import SynthOptions, synth_interval
+from repro.core.synth import synth_interval
 from repro.lang.ast import Not, var
 from repro.lang.eval import eval_bool
 from repro.lang.secrets import SecretSpec

@@ -1,7 +1,5 @@
 """Smoke tests for the experiment drivers (tiny parameters)."""
 
-import pytest
-
 from repro.benchsuite.groundtruth import ground_truth
 from repro.benchsuite.mardziel import ALL_BENCHMARKS
 from repro.experiments.ablations import render_a1, render_a2, render_a3, run_a2, run_a3

@@ -1,0 +1,118 @@
+"""Canonical forms, stable hashing, and the AST JSON codec."""
+
+import pytest
+from hypothesis import given
+
+from repro.lang.ast import And, Cmp, CmpOp, Iff, Lit, var
+from repro.lang.canonical import (
+    canonicalize,
+    expr_from_json,
+    expr_to_json,
+    spec_fingerprint,
+    spec_from_json,
+    spec_to_json,
+    stable_hash,
+)
+from repro.lang.eval import eval_bool
+from repro.lang.parser import parse_bool
+from repro.lang.secrets import SecretSpec
+
+from tests.strategies import bool_exprs
+
+NAMES = ("x", "y")
+
+X, Y = var("x"), var("y")
+
+
+class TestCanonicalize:
+    def test_commutative_conjunction_reordered(self):
+        a, b = X <= 5, Y >= 3
+        assert canonicalize(a & b) == canonicalize(b & a)
+
+    def test_commutative_disjunction_reordered(self):
+        a, b = X.eq(1), Y.eq(2)
+        assert canonicalize(a | b) == canonicalize(b | a)
+
+    def test_duplicate_conjuncts_dropped(self):
+        a, b = X <= 5, Y >= 3
+        assert canonicalize(And((a, b, a))) == canonicalize(And((b, a)))
+
+    def test_commutative_addition_reordered(self):
+        assert canonicalize(abs(X - 2) + abs(Y - 3) <= 5) == canonicalize(
+            abs(Y - 3) + abs(X - 2) <= 5
+        )
+
+    def test_mirrored_comparisons_flip(self):
+        ge = canonicalize(X >= 5)
+        le = canonicalize(Lit(5) <= X)
+        assert ge == le
+        assert ge.op == CmpOp.LE
+
+    def test_equality_operands_sorted(self):
+        assert canonicalize(Cmp(CmpOp.EQ, X, Y)) == canonicalize(Cmp(CmpOp.EQ, Y, X))
+
+    def test_iff_operands_sorted(self):
+        a, b = X <= 5, Y >= 3
+        assert canonicalize(Iff(a, b)) == canonicalize(Iff(b, a))
+
+    def test_subtraction_not_commuted(self):
+        assert canonicalize(X - Y <= 0) != canonicalize(Y - X <= 0)
+
+    def test_implication_not_commuted(self):
+        a, b = X <= 5, Y >= 3
+        assert canonicalize(a.implies(b)) != canonicalize(b.implies(a))
+
+    def test_nested_reorderings(self):
+        left = parse_bool("(x <= 5 and y >= 3) or x == 9")
+        right = parse_bool("x == 9 or (y >= 3 and x <= 5)")
+        assert canonicalize(left) == canonicalize(right)
+
+    @given(bool_exprs(NAMES))
+    def test_idempotent(self, expr):
+        assert canonicalize(canonicalize(expr)) == canonicalize(expr)
+
+    @given(bool_exprs(NAMES))
+    def test_semantics_preserved(self, expr):
+        canonical = canonicalize(expr)
+        for env in ({"x": 0, "y": 0}, {"x": 3, "y": -2}, {"x": -7, "y": 11}):
+            assert eval_bool(expr, env) == eval_bool(canonical, env)
+
+
+class TestStableHash:
+    def test_reordered_queries_share_hash(self):
+        assert stable_hash(parse_bool("x <= 5 and y >= 3")) == stable_hash(
+            parse_bool("y >= 3 and x <= 5")
+        )
+
+    def test_distinct_queries_differ(self):
+        assert stable_hash(parse_bool("x <= 5")) != stable_hash(parse_bool("x <= 6"))
+
+    def test_hash_is_hex_sha256(self):
+        digest = stable_hash(X <= 5)
+        assert len(digest) == 64
+        int(digest, 16)
+
+
+class TestJsonCodec:
+    @given(bool_exprs(NAMES))
+    def test_round_trip(self, expr):
+        assert expr_from_json(expr_to_json(expr)) == expr
+
+    def test_in_set_values_round_trip(self):
+        expr = X.in_set({3, 7, 19})
+        assert expr_from_json(expr_to_json(expr)) == expr
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            expr_from_json({"node": "Octagon"})
+
+
+class TestSpecCodec:
+    def test_round_trip(self):
+        spec = SecretSpec.declare("UserLoc", x=(0, 399), y=(0, 399))
+        assert spec_from_json(spec_to_json(spec)) == spec
+
+    def test_fingerprint_sensitive_to_bounds(self):
+        a = SecretSpec.declare("S", x=(0, 9))
+        b = SecretSpec.declare("S", x=(0, 10))
+        assert spec_fingerprint(a) != spec_fingerprint(b)

@@ -8,7 +8,6 @@ from repro.lang.ast import (
     Iff,
     Implies,
     InSet,
-    IntIte,
     Lit,
     Max,
     Min,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.monad.labels import PUBLIC, SECRET, Level, ReaderSet, level_chain
+from repro.monad.labels import PUBLIC, SECRET, ReaderSet, level_chain
 from repro.monad.secure import IFCViolation, Labeled, SecureRuntime
 
 

@@ -5,7 +5,7 @@ from fractions import Fraction
 import pytest
 from hypothesis import given, settings
 
-from repro.lang.ast import Not, var
+from repro.lang.ast import var
 from repro.lang.eval import eval_bool
 from repro.lang.secrets import SecretSpec
 from repro.prob.belief import ConditionedBelief

@@ -1,6 +1,5 @@
 """Tests for the quantitative information-flow measures."""
 
-import math
 from fractions import Fraction
 
 import pytest

@@ -1,0 +1,132 @@
+"""The request/response facade and its audit trail."""
+
+import pytest
+
+from repro.core.plugin import CompileOptions
+from repro.lang.secrets import SecretSpec
+from repro.monad.policy import size_above
+from repro.service.api import (
+    BatchDowngradeRequest,
+    CompileRequest,
+    DeclassificationService,
+    DowngradeRequest,
+)
+
+SPEC = SecretSpec.declare("S", x=(0, 19), y=(0, 19))
+QUERY = "x + y <= 10"
+
+
+@pytest.fixture
+def service():
+    svc = DeclassificationService(size_above(3))
+    svc.register_query(CompileRequest("q", QUERY, SPEC))
+    return svc
+
+
+class TestCompileSurface:
+    def test_receipt_reports_cold_compile(self):
+        svc = DeclassificationService(size_above(3))
+        receipt = svc.register_query(CompileRequest("q", QUERY, SPEC))
+        assert receipt.name == "q"
+        assert not receipt.cache_hit
+        assert receipt.verified
+        assert receipt.synth_time > 0
+
+    def test_second_tenant_hits_the_cache(self, service):
+        receipt = service.register_query(CompileRequest("q2", "y + x <= 10", SPEC))
+        assert receipt.cache_hit
+        assert receipt.verified
+
+    def test_request_options_override_service_default(self):
+        svc = DeclassificationService(size_above(3))
+        svc.register_query(
+            CompileRequest("q", QUERY, SPEC, options=CompileOptions(modes=("under",)))
+        )
+        assert svc.registry.lookup("q").qinfo.over_indset is None
+
+
+class TestServing:
+    def test_handle_single_request(self, service):
+        service.open_session("alice", (SPEC, (3, 4)))
+        result = service.handle(DowngradeRequest("alice", "q"))
+        assert result.authorized
+        assert result.response is True
+        assert result.knowledge_size == service.manager.knowledge_of("alice").size()
+
+    def test_handle_batch(self, service):
+        for i in range(10):
+            service.open_session(f"u{i}", (SPEC, (i, i)))
+        results = service.handle_batch(BatchDowngradeRequest("q"))
+        assert len(results) == 10
+        assert all(r.authorized for r in results)
+        assert {r.session_id for r in results} == set(service.manager.sessions)
+
+    def test_batch_subset(self, service):
+        for i in range(4):
+            service.open_session(f"u{i}", (SPEC, (i, i)))
+        results = service.handle_batch(
+            BatchDowngradeRequest("q", session_ids=("u0", "u2"))
+        )
+        assert [r.session_id for r in results] == ["u0", "u2"]
+
+    def test_unknown_query_is_a_refusal_not_an_exception(self, service):
+        service.open_session("alice", (SPEC, (3, 4)))
+        result = service.handle(DowngradeRequest("alice", "nope"))
+        assert not result.authorized
+        assert "Can't downgrade" in result.reason
+
+    def test_unknown_session_is_a_refusal_not_an_exception(self, service):
+        result = service.handle(DowngradeRequest("ghost", "q"))
+        assert not result.authorized
+        assert "no open session" in result.reason
+        assert service.audit[-1].kind == "downgrade"
+        assert service.audit[-1].data["authorized"] is False
+
+    def test_batch_with_unknown_ids_refuses_them_individually(self, service):
+        service.open_session("alice", (SPEC, (3, 4)))
+        results = service.handle_batch(
+            BatchDowngradeRequest("q", session_ids=("alice", "ghost", "alice"))
+        )
+        assert [r.session_id for r in results] == ["alice", "ghost"]
+        assert results[0].authorized
+        assert not results[1].authorized
+        assert "no open session" in results[1].reason
+        assert len(service.manager.session("alice").history) == 1
+
+
+class TestAuditTrail:
+    def test_every_request_kind_is_logged(self, service):
+        service.open_session("alice", (SPEC, (3, 4)))
+        service.handle(DowngradeRequest("alice", "q"))
+        service.handle_batch(BatchDowngradeRequest("q"))
+        service.close_session("alice")
+        kinds = [event.kind for event in service.audit]
+        assert kinds == ["compile", "session_open", "downgrade", "batch", "session_close"]
+        assert [event.seq for event in service.audit] == list(range(5))
+
+    def test_refusals_are_audited(self, service):
+        service.open_session("alice", (SPEC, (3, 4)))
+        service.handle(DowngradeRequest("alice", "nope"))
+        event = service.audit[-1]
+        assert event.kind == "downgrade"
+        assert event.data["authorized"] is False
+
+    def test_close_summarizes_the_session(self, service):
+        service.open_session("alice", (SPEC, (3, 4)))
+        service.handle(DowngradeRequest("alice", "q"))
+        service.close_session("alice")
+        event = service.audit[-1]
+        assert event.kind == "session_close"
+        assert event.data["authorized"] == 1
+
+
+class TestWarmStartFacade:
+    def test_round_trip_through_disk(self, tmp_path, service):
+        path = tmp_path / "cache.json"
+        service.save_cache(path)
+
+        warmed = DeclassificationService.warm_start(size_above(3), path)
+        receipt = warmed.register_query(CompileRequest("q", QUERY, SPEC))
+        assert receipt.cache_hit
+        warmed.open_session("alice", (SPEC, (3, 4)))
+        assert warmed.handle(DowngradeRequest("alice", "q")).authorized

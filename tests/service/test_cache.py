@@ -1,0 +1,159 @@
+"""The synthesis cache: hit/miss accounting, key stability, warm starts."""
+
+import pytest
+
+from repro.core.plugin import CompileOptions, QueryRegistry, compile_query
+from repro.core.synth import SynthOptions
+from repro.lang.parser import parse_bool
+from repro.lang.secrets import SecretSpec
+from repro.service.cache import SynthesisCache, cache_key
+
+SPEC = SecretSpec.declare("S", x=(0, 19), y=(0, 19))
+QUERY = "x + y <= 10"
+REORDERED = "y + x <= 10"
+
+
+class TestCacheKey:
+    def test_alpha_equivalent_reorderings_share_a_key(self):
+        options = CompileOptions()
+        assert cache_key(parse_bool(QUERY), SPEC, options) == cache_key(
+            parse_bool(REORDERED), SPEC, options
+        )
+
+    def test_conjunct_order_is_canonicalized(self):
+        options = CompileOptions()
+        assert cache_key(parse_bool("x <= 5 and y >= 3"), SPEC, options) == cache_key(
+            parse_bool("y >= 3 and x <= 5"), SPEC, options
+        )
+
+    def test_mode_order_is_presentational(self):
+        assert cache_key(
+            parse_bool(QUERY), SPEC, CompileOptions(modes=("under", "over"))
+        ) == cache_key(parse_bool(QUERY), SPEC, CompileOptions(modes=("over", "under")))
+
+    def test_distinct_queries_get_distinct_keys(self):
+        options = CompileOptions()
+        assert cache_key(parse_bool(QUERY), SPEC, options) != cache_key(
+            parse_bool("x + y <= 11"), SPEC, options
+        )
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            CompileOptions(domain="powerset"),
+            CompileOptions(k=5, domain="powerset"),
+            CompileOptions(modes=("under",)),
+            CompileOptions(verify=False),
+            CompileOptions(synth=SynthOptions(time_budget=1.0)),
+        ],
+    )
+    def test_options_participate_in_the_key(self, options):
+        assert cache_key(parse_bool(QUERY), SPEC, options) != cache_key(
+            parse_bool(QUERY), SPEC, CompileOptions()
+        )
+
+    def test_secret_bounds_participate_in_the_key(self):
+        other = SecretSpec.declare("S", x=(0, 19), y=(0, 29))
+        options = CompileOptions()
+        assert cache_key(parse_bool(QUERY), SPEC, options) != cache_key(
+            parse_bool(QUERY), other, options
+        )
+
+
+class TestHitMissAccounting:
+    def test_counters(self):
+        cache = SynthesisCache()
+        assert cache.stats.requests == 0
+        compile_query("a", QUERY, SPEC, cache=cache)
+        assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+        compile_query("b", QUERY, SPEC, cache=cache)
+        compile_query("c", REORDERED, SPEC, cache=cache)
+        assert (cache.stats.hits, cache.stats.misses) == (2, 1)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+        assert len(cache) == 1
+
+    def test_hit_relabels_the_artifact(self):
+        cache = SynthesisCache()
+        cold = compile_query("cold", QUERY, SPEC, cache=cache)
+        hit = compile_query("hot", REORDERED, SPEC, cache=cache)
+        assert hit.name == "hot"
+        assert hit.qinfo.query == parse_bool(REORDERED)
+        assert hit.qinfo.under_indset == cold.qinfo.under_indset
+        assert hit.qinfo.over_indset == cold.qinfo.over_indset
+        assert hit.reports == cold.reports
+
+    def test_cached_entry_isolated_from_caller_mutation(self):
+        cache = SynthesisCache()
+        compile_query("a", QUERY, SPEC, cache=cache)
+        hit = compile_query("b", QUERY, SPEC, cache=cache)
+        hit.reports.pop("under")
+        fresh = compile_query("c", QUERY, SPEC, cache=cache)
+        assert set(fresh.reports) == {"under", "over"}
+
+    def test_different_options_miss(self):
+        cache = SynthesisCache()
+        compile_query("a", QUERY, SPEC, cache=cache)
+        compile_query("b", QUERY, SPEC, CompileOptions(modes=("under",)), cache=cache)
+        assert cache.stats.misses == 2
+        assert len(cache) == 2
+
+    def test_no_cache_means_no_accounting(self):
+        compiled = compile_query("a", QUERY, SPEC)
+        assert compiled.reports["under"].verified
+
+    def test_clear_resets_everything(self):
+        cache = SynthesisCache()
+        compile_query("a", QUERY, SPEC, cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.requests == 0
+
+
+class TestRegistryIntegration:
+    def test_registry_shares_its_cache_across_registrations(self):
+        cache = SynthesisCache()
+        registry = QueryRegistry(cache=cache)
+        registry.compile_and_register("a", QUERY, SPEC)
+        registry.compile_and_register("b", REORDERED, SPEC)
+        assert cache.stats.hits == 1
+        assert registry.names() == ["a", "b"]
+        assert (
+            registry.lookup("a").qinfo.under_indset
+            == registry.lookup("b").qinfo.under_indset
+        )
+
+
+class TestWarmStart:
+    def test_json_round_trip(self):
+        cache = SynthesisCache()
+        compile_query("a", QUERY, SPEC, cache=cache)
+        restored = SynthesisCache.from_json(cache.to_json())
+        assert len(restored) == 1
+        assert set(restored.keys()) == set(cache.keys())
+
+    def test_file_round_trip_then_hit(self, tmp_path):
+        cache = SynthesisCache()
+        cold = compile_query("a", QUERY, SPEC, cache=cache)
+        path = tmp_path / "cache.json"
+        cache.save(path)
+
+        warmed = SynthesisCache.load(path)
+        hit = compile_query("b", REORDERED, SPEC, cache=warmed)
+        assert warmed.stats.hits == 1
+        assert hit.qinfo.under_indset == cold.qinfo.under_indset
+        assert all(report.verified for report in hit.reports.values())
+
+    def test_warm_started_posteriors_match_cold(self):
+        cache = SynthesisCache()
+        cold = compile_query("a", QUERY, SPEC, cache=cache)
+        warmed = SynthesisCache.from_json(cache.to_json())
+        hot = compile_query("a2", QUERY, SPEC, cache=warmed)
+
+        from repro.domains.box import IntervalDomain
+
+        prior = IntervalDomain.top(SPEC)
+        assert cold.qinfo.approx(prior) == hot.qinfo.approx(prior)
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            SynthesisCache.from_json({"version": 999, "entries": {}})

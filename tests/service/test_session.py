@@ -1,0 +1,195 @@
+"""Session multiplexing and the batched downgrade path."""
+
+import pytest
+
+from repro.core.plugin import QueryRegistry
+from repro.domains.box import IntervalDomain
+from repro.lang.secrets import SecretSpec
+from repro.monad.anosy import AnosyT, PolicyViolation, UnknownQuery
+from repro.monad.policy import size_above
+from repro.monad.protected import ProtectedSecret
+from repro.monad.secure import SecureRuntime
+from repro.service.session import SessionManager
+
+SPEC = SecretSpec.declare("S", x=(0, 19), y=(0, 19))
+QUERY = "x + y <= 10"
+
+
+@pytest.fixture
+def registry():
+    reg = QueryRegistry()
+    reg.compile_and_register("q", QUERY, SPEC)
+    return reg
+
+
+@pytest.fixture
+def manager(registry):
+    return SessionManager(registry=registry, policy=size_above(3))
+
+
+class TestSessionLifecycle:
+    def test_open_and_lookup(self, manager):
+        session = manager.open_session("alice", (SPEC, (3, 4)))
+        assert manager.session("alice") is session
+        assert manager.open_count() == 1
+        assert session.knowledge is None
+        assert session.knowledge_size() is None
+
+    def test_open_accepts_protected_secrets(self, manager):
+        sealed = ProtectedSecret.seal(SPEC, (3, 4))
+        assert manager.open_session("alice", sealed).secret is sealed
+
+    def test_duplicate_ids_rejected(self, manager):
+        manager.open_session("alice", (SPEC, (3, 4)))
+        with pytest.raises(ValueError, match="already open"):
+            manager.open_session("alice", (SPEC, (5, 5)))
+
+    def test_close_returns_final_state(self, manager):
+        manager.open_session("alice", (SPEC, (3, 4)))
+        manager.downgrade("alice", "q")
+        closed = manager.close_session("alice")
+        assert closed.authorized_count() == 1
+        assert manager.open_count() == 0
+        with pytest.raises(KeyError):
+            manager.session("alice")
+
+    def test_bulk_open(self, manager):
+        manager.open_sessions({f"u{i}": (SPEC, (i, i)) for i in range(5)})
+        assert manager.open_count() == 5
+
+    def test_bad_mode_rejected(self, registry):
+        with pytest.raises(ValueError, match="mode"):
+            SessionManager(registry=registry, policy=size_above(3), mode="sideways")
+
+
+class TestSingleDowngrade:
+    def test_matches_anosy_t(self, registry):
+        """The service path and the monad transformer agree decision-for-
+        decision and posterior-for-posterior."""
+        manager = SessionManager(registry=registry, policy=size_above(3))
+        monad = AnosyT(SecureRuntime(), size_above(3), registry)
+        secret = ProtectedSecret.seal(SPEC, (3, 4))
+        manager.open_session("alice", secret)
+
+        for _ in range(3):
+            service_side = manager.try_downgrade("alice", "q")
+            monad_side = monad.try_downgrade(secret, "q")
+            assert service_side == monad_side
+            assert manager.knowledge_of("alice") == monad.knowledge_of(secret)
+
+    def test_unknown_query_raises(self, manager):
+        manager.open_session("alice", (SPEC, (3, 4)))
+        with pytest.raises(UnknownQuery):
+            manager.downgrade("alice", "nope")
+
+    def test_policy_violation_raises(self, registry):
+        manager = SessionManager(registry=registry, policy=size_above(10**6))
+        manager.open_session("alice", (SPEC, (3, 4)))
+        with pytest.raises(PolicyViolation):
+            manager.downgrade("alice", "q")
+
+    def test_unknown_session_raises(self, manager):
+        with pytest.raises(KeyError, match="no open session"):
+            manager.try_downgrade("ghost", "q")
+
+    def test_spec_mismatch_refused(self, manager, registry):
+        other = SecretSpec.declare("Other", z=(0, 9))
+        registry.compile_and_register("qz", "z <= 4", other)
+        manager.open_session("alice", (SPEC, (3, 4)))
+        decision = manager.try_downgrade("alice", "qz")
+        assert not decision.authorized
+        assert "is over" in decision.reason
+        assert manager.session("alice").history == []
+
+
+class TestBatchDowngrade:
+    def test_covers_all_open_sessions_by_default(self, manager):
+        manager.open_sessions({f"u{i}": (SPEC, (i, 19 - i)) for i in range(20)})
+        decisions = manager.downgrade_batch("q")
+        assert set(decisions) == set(manager.sessions)
+        assert all(d.authorized for d in decisions.values())
+
+    def test_responses_are_per_secret(self, manager):
+        manager.open_session("low", (SPEC, (1, 1)))
+        manager.open_session("high", (SPEC, (19, 19)))
+        decisions = manager.downgrade_batch("q")
+        assert decisions["low"].response is True
+        assert decisions["high"].response is False
+
+    def test_knowledge_tracked_per_session(self, manager):
+        manager.open_session("low", (SPEC, (1, 1)))
+        manager.open_session("high", (SPEC, (19, 19)))
+        manager.downgrade_batch("q")
+        low = manager.knowledge_of("low")
+        high = manager.knowledge_of("high")
+        assert low is not None and high is not None
+        assert low != high
+        assert low.contains((1, 1))
+        assert high.contains((19, 19))
+
+    def test_fresh_sessions_share_one_posterior_object(self, manager):
+        """The per-prior memo means a fleet of fresh sessions with the
+        same response literally shares the posterior domain."""
+        manager.open_session("a", (SPEC, (1, 1)))
+        manager.open_session("b", (SPEC, (2, 2)))
+        manager.downgrade_batch("q")
+        assert manager.knowledge_of("a") is manager.knowledge_of("b")
+
+    def test_explicit_subset_of_sessions(self, manager):
+        manager.open_sessions({f"u{i}": (SPEC, (i, i)) for i in range(4)})
+        decisions = manager.downgrade_batch("q", ["u1", "u3"])
+        assert set(decisions) == {"u1", "u3"}
+        assert manager.knowledge_of("u0") is None
+
+    def test_duplicate_ids_collapse_to_one_request(self, manager):
+        manager.open_session("alice", (SPEC, (3, 4)))
+        decisions = manager.downgrade_batch("q", ["alice", "alice"])
+        assert list(decisions) == ["alice"]
+        assert decisions["alice"].authorized
+        assert len(manager.session("alice").history) == 1
+
+    def test_unknown_session_fails_before_any_mutation(self, manager):
+        manager.open_session("alice", (SPEC, (3, 4)))
+        with pytest.raises(KeyError, match="ghost"):
+            manager.downgrade_batch("q", ["alice", "ghost"])
+        assert manager.knowledge_of("alice") is None
+        assert manager.session("alice").history == []
+
+    def test_unknown_query_refuses_everyone(self, manager):
+        manager.open_sessions({f"u{i}": (SPEC, (i, i)) for i in range(3)})
+        decisions = manager.downgrade_batch("nope")
+        assert all(not d.authorized for d in decisions.values())
+        assert all("Can't downgrade" in d.reason for d in decisions.values())
+
+    def test_refused_sessions_keep_their_prior(self, registry):
+        manager = SessionManager(registry=registry, policy=size_above(10**6))
+        manager.open_session("alice", (SPEC, (3, 4)))
+        decisions = manager.downgrade_batch("q")
+        assert not decisions["alice"].authorized
+        assert manager.knowledge_of("alice") is None
+        record = manager.session("alice").history[-1]
+        assert not record.authorized
+        assert record.posterior_size is None
+
+    def test_audit_records_sizes(self, manager):
+        manager.open_session("alice", (SPEC, (3, 4)))
+        manager.downgrade_batch("q")
+        record = manager.session("alice").history[-1]
+        assert record.prior_size == SPEC.space_size()
+        assert record.posterior_size == manager.knowledge_of("alice").size()
+        assert manager.authorized_count() == 1
+
+    def test_batch_after_individual_downgrades(self, manager):
+        """Sessions with different priors are decided independently: the
+        repeat asker's narrowed prior makes the same query a violation
+        (its false-side posterior would shrink below the policy bound),
+        while the fresh session sails through."""
+        manager.open_session("a", (SPEC, (1, 1)))
+        manager.open_session("b", (SPEC, (2, 2)))
+        manager.try_downgrade("a", "q")
+        narrowed = manager.knowledge_of("a")
+        decisions = manager.downgrade_batch("q")
+        assert not decisions["a"].authorized
+        assert decisions["b"].authorized
+        assert manager.knowledge_of("a") == narrowed
+        assert manager.knowledge_of("b").is_subset(IntervalDomain.top(SPEC))

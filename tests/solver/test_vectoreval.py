@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lang.ast import BoolLit, Implies, Iff, IntIte, Min, Max, Not, Scale, var
+from repro.lang.ast import BoolLit, IntIte, Scale, var
 from repro.lang.parser import parse_bool
 from repro.solver.boxes import Box
 from repro.solver.vectoreval import AVAILABLE, count_box_vectorized
