@@ -13,6 +13,11 @@ observed Z3 degrading beyond ~6 joint objectives):
 
 Iteration stops early when the residue region is exhausted — e.g. if the
 exact ind. set is a union of 2 boxes, ``k=3`` synthesis returns after 2.
+
+All iterations share **one** solver engine: the query is lowered into
+compiled kernels once, and each iteration's residue formula reuses the
+already-compiled query sub-kernels (the region conjuncts are the only new
+nodes), so the whole powerset pays a single lowering.
 """
 
 from __future__ import annotations
@@ -24,8 +29,9 @@ from repro.lang.ast import BoolExpr, Not
 from repro.lang.secrets import SecretSpec
 from repro.lang.transform import conjoin, nnf
 from repro.domains.powerset import PowersetDomain
-from repro.core.synth import SynthOptions, synth_interval
+from repro.core.synth import SynthOptions, SynthResult, synth_interval
 from repro.solver.boxes import Box
+from repro.solver.decide import SolverStats, make_engine
 from repro.solver.regions import box_formula, outside_boxes_formula
 
 __all__ = ["IterSynthResult", "iter_synth_powerset"]
@@ -39,6 +45,8 @@ class IterSynthResult:
     elapsed: float
     timed_out: bool
     iterations: int
+    #: Aggregate solver counters across all iterations.
+    stats: SolverStats | None = None
 
 
 def iter_synth_powerset(
@@ -49,24 +57,38 @@ def iter_synth_powerset(
     mode: str,
     polarity: bool,
     options: SynthOptions = SynthOptions(),
+    engine=None,
 ) -> IterSynthResult:
     """Algorithm 1: synthesize a powerset of at most ``k`` intervals."""
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if mode not in ("under", "over"):
         raise ValueError(f"mode must be 'under' or 'over', got {mode!r}")
+    if engine is None:
+        engine = make_engine(
+            secret.field_names, options.use_kernels,
+            legacy_splits=options.legacy_splits,
+        )
+    stats = SolverStats()
     start = time.perf_counter()
     if mode == "under":
-        result = _iter_under(query, secret, k, polarity, options)
+        result = _iter_under(query, secret, k, polarity, options, engine, stats)
     else:
-        result = _iter_over(query, secret, k, polarity, options)
+        result = _iter_over(query, secret, k, polarity, options, engine, stats)
     elapsed = time.perf_counter() - start
     return IterSynthResult(
         domain=result[0],
         elapsed=elapsed,
         timed_out=result[1],
         iterations=result[2],
+        stats=stats,
     )
+
+
+def _collect(stats: SolverStats, piece: SynthResult) -> SynthResult:
+    if piece.stats is not None:
+        stats.merge(piece.stats)
+    return piece
 
 
 def _iter_under(
@@ -75,19 +97,25 @@ def _iter_under(
     k: int,
     polarity: bool,
     options: SynthOptions,
+    engine,
+    stats: SolverStats,
 ) -> tuple[PowersetDomain, bool, int]:
     names = secret.field_names
     include: list[Box] = []
     timed_out = False
     for _ in range(k):
         region = outside_boxes_formula(include, names) if include else None
-        piece = synth_interval(
-            query,
-            secret,
-            mode="under",
-            polarity=polarity,
-            region=region,
-            options=options,
+        piece = _collect(
+            stats,
+            synth_interval(
+                query,
+                secret,
+                mode="under",
+                polarity=polarity,
+                region=region,
+                options=options,
+                engine=engine,
+            ),
         )
         timed_out = timed_out or piece.timed_out
         if piece.domain.box is None:
@@ -102,10 +130,15 @@ def _iter_over(
     k: int,
     polarity: bool,
     options: SynthOptions,
+    engine,
+    stats: SolverStats,
 ) -> tuple[PowersetDomain, bool, int]:
     names = secret.field_names
-    cover = synth_interval(
-        query, secret, mode="over", polarity=polarity, options=options
+    cover = _collect(
+        stats,
+        synth_interval(
+            query, secret, mode="over", polarity=polarity, options=options, engine=engine
+        ),
     )
     if cover.domain.box is None:
         # Empty region: ⊥ is the exact over-approximation.
@@ -119,13 +152,17 @@ def _iter_over(
         region_parts: list[BoolExpr] = [box_formula(outer, names)]
         if exclude:
             region_parts.append(outside_boxes_formula(exclude, names))
-        hole = synth_interval(
-            complement,
-            secret,
-            mode="under",
-            polarity=True,
-            region=conjoin(region_parts),
-            options=options,
+        hole = _collect(
+            stats,
+            synth_interval(
+                complement,
+                secret,
+                mode="under",
+                polarity=True,
+                region=conjoin(region_parts),
+                options=options,
+                engine=engine,
+            ),
         )
         timed_out = timed_out or hole.timed_out
         if hole.domain.box is None:

@@ -33,7 +33,7 @@ from repro.lang.ast import Not
 from repro.lang.transform import nnf
 from repro.solver.abseval import eval_int_abs
 from repro.solver.boxes import Box
-from repro.solver.decide import decide_exists
+from repro.solver.decide import decide_exists, make_engine
 
 __all__ = ["KaryQInfo", "KaryCompiledQuery", "compile_kary_query", "MAX_OUTPUTS"]
 
@@ -105,10 +105,14 @@ def _discover_outputs(expr: IntExpr, secret: SecretSpec) -> tuple[int, ...]:
         raise QueryValidationError(
             f"output range [{lo}, {hi}] is too wide for a k-ary query"
         )
+    # One engine for the whole sweep: every candidate formula ``expr == v``
+    # shares the compiled kernels of ``expr``, so the per-value cost is one
+    # comparison node, not a full lowering.
+    engine = make_engine(names)
     outputs = [
         value
         for value in range(lo, hi + 1)
-        if decide_exists(expr.eq(value), space, names)
+        if decide_exists(expr.eq(value), space, names, engine=engine)
     ]
     if len(outputs) > MAX_OUTPUTS:
         raise QueryValidationError(

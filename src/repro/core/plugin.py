@@ -30,6 +30,7 @@ from repro.core.itersynth import iter_synth_powerset
 from repro.core.qinfo import DomainPair, QInfo
 from repro.core.sketch import fill, make_indset_sketch
 from repro.core.synth import SynthOptions, synth_interval
+from repro.solver.decide import SolverStats, make_engine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.service.cache import SynthesisCache
@@ -71,6 +72,11 @@ class ModeReport:
     timed_out: bool
     true_outcome: CheckOutcome | None
     false_outcome: CheckOutcome | None
+    #: Aggregate solver counters of the synthesis runs for this mode
+    #: (both polarities): search nodes, splits, grid-finished boxes.
+    solver_nodes: int = 0
+    solver_splits: int = 0
+    vector_boxes: int = 0
 
     @property
     def verified(self) -> bool:
@@ -102,27 +108,40 @@ def _synthesize_pair(
     secret: SecretSpec,
     mode: str,
     options: CompileOptions,
-) -> tuple[DomainPair, bool]:
-    """Synthesize the (True-side, False-side) ind. sets for one mode."""
+    engine,
+) -> tuple[DomainPair, bool, SolverStats]:
+    """Synthesize the (True-side, False-side) ind. sets for one mode.
+
+    Both polarities (and, for powersets, all iterations) run on the one
+    shared ``engine`` so the query is lowered exactly once per compile.
+    """
+    stats = SolverStats()
     if options.domain == "interval":
         true_result = synth_interval(
-            query, secret, mode=mode, polarity=True, options=options.synth
+            query, secret, mode=mode, polarity=True, options=options.synth,
+            engine=engine,
         )
         false_result = synth_interval(
-            query, secret, mode=mode, polarity=False, options=options.synth
+            query, secret, mode=mode, polarity=False, options=options.synth,
+            engine=engine,
         )
         pair: DomainPair = (true_result.domain, false_result.domain)
         timed_out = true_result.timed_out or false_result.timed_out
     else:
         true_result = iter_synth_powerset(
-            query, secret, k=options.k, mode=mode, polarity=True, options=options.synth
+            query, secret, k=options.k, mode=mode, polarity=True,
+            options=options.synth, engine=engine,
         )
         false_result = iter_synth_powerset(
-            query, secret, k=options.k, mode=mode, polarity=False, options=options.synth
+            query, secret, k=options.k, mode=mode, polarity=False,
+            options=options.synth, engine=engine,
         )
         pair = (true_result.domain, false_result.domain)
         timed_out = true_result.timed_out or false_result.timed_out
-    return pair, timed_out
+    for result in (true_result, false_result):
+        if result.stats is not None:
+            stats.merge(result.stats)
+    return pair, timed_out, stats
 
 
 def compile_query(
@@ -161,12 +180,21 @@ def compile_query(
 
     indsets: dict[str, DomainPair] = {}
     reports: dict[str, ModeReport] = {}
+    # One solver engine for the whole compile: every mode, polarity, and
+    # powerset iteration reuses the same compiled query kernels.
+    engine = make_engine(
+        secret.field_names,
+        options.synth.use_kernels,
+        legacy_splits=options.synth.legacy_splits,
+    )
     for mode in options.modes:
         # Step I + II: refinement types and the sketch with typed holes.
         sketch = make_indset_sketch(query, secret, mode, options.domain)
         # Step III: fill the holes by (SMT-style) synthesis.
         start = time.perf_counter()
-        pair, timed_out = _synthesize_pair(query, secret, mode, options)
+        pair, timed_out, solver_stats = _synthesize_pair(
+            query, secret, mode, options, engine
+        )
         synth_time = time.perf_counter() - start
         pair = fill(sketch, *pair)
         # Step IV: machine-check against the Figure 4 specification.
@@ -179,7 +207,7 @@ def compile_query(
                 else over_indset_spec(query)
             )
             start = time.perf_counter()
-            true_outcome, false_outcome = verify_pair(pair, specs)
+            true_outcome, false_outcome = verify_pair(pair, specs, engine=engine)
             verify_time = time.perf_counter() - start
         indsets[mode] = pair
         reports[mode] = ModeReport(
@@ -189,6 +217,9 @@ def compile_query(
             timed_out=timed_out,
             true_outcome=true_outcome,
             false_outcome=false_outcome,
+            solver_nodes=solver_stats.nodes,
+            solver_splits=solver_stats.splits,
+            vector_boxes=solver_stats.vector_boxes,
         )
 
     qinfo = QInfo(

@@ -20,8 +20,8 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
 from repro.lang.ast import BoolExpr
-from repro.lang.eval import eval_bool
 from repro.lang.secrets import SecretSpec, SecretValue
+from repro.solver.kernels import concrete_predicate
 from repro.domains.base import AbstractDomain
 from repro.domains.box import IntervalDomain
 from repro.domains.powerset import PowersetDomain
@@ -57,8 +57,18 @@ class QInfo:
     over_indset: DomainPair | None
 
     def run(self, secret_value: SecretValue | Mapping[str, int]) -> bool:
-        """Execute the query on a concrete secret."""
-        return eval_bool(self.query, self.secret.to_env(secret_value))
+        """Execute the query on a concrete secret.
+
+        Runs on the compiled concrete kernel, pinned on this instance so
+        a service answering thousands of ``downgrade`` requests pays the
+        lowering (and even the structural cache lookup, which hashes the
+        query AST) once, not per request.
+        """
+        predicate = self.__dict__.get("_predicate")
+        if predicate is None:
+            predicate = concrete_predicate(self.query, self.secret.field_names)
+            object.__setattr__(self, "_predicate", predicate)
+        return predicate(self.secret.to_env(secret_value))
 
     def underapprox(self, prior: AbstractDomain) -> DomainPair:
         """Posterior under-approximations ``(postT, postF)`` for a prior."""

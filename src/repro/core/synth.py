@@ -15,6 +15,11 @@ the SMT-LIB scripts the paper would emit are still available through
 
 An optional extra ``region`` constraint restricts the search to a
 sub-region (Algorithm 1 passes "not covered by previous boxes" here).
+
+One call = one νZ problem, but one *engine* can serve many calls: the
+iterative synthesizer passes a shared kernel engine so the query is
+lowered once for the whole powerset (see
+:class:`~repro.solver.kernels.KernelSpace`).
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from repro.lang.secrets import SecretSpec
 from repro.lang.transform import conjoin, nnf
 from repro.domains.box import IntervalDomain
 from repro.solver.boxes import Box
+from repro.solver.decide import SolverStats
 from repro.solver.optimize import OptimizeOptions, bounding_box, maximal_box
 
 __all__ = ["SynthOptions", "SynthResult", "synth_interval"]
@@ -39,12 +45,20 @@ class SynthOptions:
     ``time_budget`` is per SMT-style optimization call, defaulting to the
     paper's 10-second Z3 timeout.  ``mode`` selects the optimizer growth
     strategy (``"balanced"`` reproduces νZ Pareto; ``"lexicographic"`` is
-    ablation A1).
+    ablation A1).  ``use_kernels`` selects the compiled-kernel solver
+    engine (default) or the tree-walking interpreter (the reference path
+    differential tests compare against); ``vector_threshold`` caps
+    vectorized small-box finishing (``None`` = engine default, ``0`` =
+    pure Python).
     """
 
     time_budget: float | None = 10.0
     seed_pops: int = 50_000
     growth: str = "balanced"
+    use_kernels: bool = True
+    vector_threshold: int | None = None
+    #: Pre-kernel split heuristic; benchmark baselines only.
+    legacy_splits: bool = False
 
     def optimizer_options(self) -> OptimizeOptions:
         """The corresponding low-level optimizer options."""
@@ -52,6 +66,9 @@ class SynthOptions:
             seed_pops=self.seed_pops,
             mode=self.growth,
             time_budget=self.time_budget,
+            use_kernels=self.use_kernels,
+            vector_threshold=self.vector_threshold,
+            legacy_splits=self.legacy_splits,
         )
 
 
@@ -63,6 +80,10 @@ class SynthResult:
     elapsed: float
     timed_out: bool
     proved_empty: bool
+    #: Aggregate solver counters of the optimization run (nodes, splits,
+    #: vectorized boxes) — the compile-time observability the service
+    #: reports roll up.
+    stats: SolverStats | None = None
 
 
 def synth_interval(
@@ -73,12 +94,16 @@ def synth_interval(
     polarity: bool,
     region: BoolExpr | None = None,
     options: SynthOptions = SynthOptions(),
+    engine=None,
 ) -> SynthResult:
     """Synthesize one interval domain for one response side.
 
     ``polarity=True`` targets the secrets answering the query with True;
     ``polarity=False`` the complement.  ``mode`` picks under- or
     over-approximation.  The empty region legitimately synthesizes ⊥.
+    ``engine`` optionally shares one solver engine (and its compiled
+    kernels) across calls; it must have been built for this secret's
+    field order.
     """
     if mode not in ("under", "over"):
         raise ValueError(f"mode must be 'under' or 'over', got {mode!r}")
@@ -90,9 +115,13 @@ def synth_interval(
 
     start = time.perf_counter()
     if mode == "under":
-        outcome = maximal_box(target, space, names, options.optimizer_options())
+        outcome = maximal_box(
+            target, space, names, options.optimizer_options(), engine=engine
+        )
     else:
-        outcome = bounding_box(target, space, names, options.optimizer_options())
+        outcome = bounding_box(
+            target, space, names, options.optimizer_options(), engine=engine
+        )
     elapsed = time.perf_counter() - start
 
     domain = (
@@ -105,4 +134,5 @@ def synth_interval(
         elapsed=elapsed,
         timed_out=outcome.timed_out,
         proved_empty=outcome.proved_empty,
+        stats=outcome.stats,
     )

@@ -29,7 +29,7 @@ from repro.lang.transform import nnf
 from repro.domains.base import AbstractDomain
 from repro.refine.spec import Refinement
 from repro.solver.boxes import Box
-from repro.solver.decide import SolverStats, decide_forall
+from repro.solver.decide import SolverStats, decide_forall, make_engine
 
 __all__ = [
     "Certificate",
@@ -50,6 +50,8 @@ class Certificate:
     holds: bool
     search_nodes: int
     elapsed: float
+    #: Sub-boxes the proof search finished on a NumPy grid.
+    vector_boxes: int = 0
 
 
 @dataclass(frozen=True)
@@ -84,12 +86,23 @@ class VerificationError(Exception):
         self.outcome = outcome
 
 
-def check_refinement(domain: AbstractDomain, refinement: Refinement) -> CheckOutcome:
-    """Check both obligations; never raises on failure."""
+def check_refinement(
+    domain: AbstractDomain, refinement: Refinement, *, engine=None
+) -> CheckOutcome:
+    """Check both obligations; never raises on failure.
+
+    ``engine`` optionally shares a solver engine with the caller — the
+    compile step passes its synthesis engine so the obligations reuse the
+    already-lowered query kernels.
+    """
     refinement.check_fields(domain.spec)
     space = Box(domain.spec.bounds())
     names = domain.spec.field_names
     member = domain.member_formula()
+    if engine is None:
+        # Both obligations share the membership formula (and usually the
+        # query), so one engine lowers their common sub-kernels once.
+        engine = make_engine(names)
     certificates = []
 
     if refinement.positive != BoolLit(True):
@@ -99,6 +112,7 @@ def check_refinement(domain: AbstractDomain, refinement: Refinement) -> CheckOut
                 Implies(member, refinement.positive),
                 space,
                 names,
+                engine,
             )
         )
     if refinement.negative != BoolLit(True):
@@ -108,15 +122,16 @@ def check_refinement(domain: AbstractDomain, refinement: Refinement) -> CheckOut
                 Implies(nnf(Not(member)), refinement.negative),
                 space,
                 names,
+                engine,
             )
         )
     return CheckOutcome(tuple(certificates))
 
 
-def _discharge(obligation: str, formula, space: Box, names) -> Certificate:
+def _discharge(obligation: str, formula, space: Box, names, engine=None) -> Certificate:
     stats = SolverStats()
     start = time.perf_counter()
-    holds = decide_forall(formula, space, names, stats)
+    holds = decide_forall(formula, space, names, stats, engine=engine)
     elapsed = time.perf_counter() - start
     return Certificate(
         obligation=obligation,
@@ -124,12 +139,15 @@ def _discharge(obligation: str, formula, space: Box, names) -> Certificate:
         holds=holds,
         search_nodes=stats.nodes,
         elapsed=elapsed,
+        vector_boxes=stats.vector_boxes,
     )
 
 
-def verify_refinement(domain: AbstractDomain, refinement: Refinement) -> CheckOutcome:
+def verify_refinement(
+    domain: AbstractDomain, refinement: Refinement, *, engine=None
+) -> CheckOutcome:
     """Check and raise :class:`VerificationError` unless everything holds."""
-    outcome = check_refinement(domain, refinement)
+    outcome = check_refinement(domain, refinement, engine=engine)
     if not outcome.verified:
         raise VerificationError(outcome)
     return outcome
@@ -138,8 +156,10 @@ def verify_refinement(domain: AbstractDomain, refinement: Refinement) -> CheckOu
 def verify_pair(
     domains: tuple[AbstractDomain, AbstractDomain],
     specs: tuple[Refinement, Refinement],
+    *,
+    engine=None,
 ) -> tuple[CheckOutcome, CheckOutcome]:
     """Verify a (True-side, False-side) pair against its spec pair."""
-    true_outcome = verify_refinement(domains[0], specs[0])
-    false_outcome = verify_refinement(domains[1], specs[1])
+    true_outcome = verify_refinement(domains[0], specs[0], engine=engine)
+    false_outcome = verify_refinement(domains[1], specs[1], engine=engine)
     return true_outcome, false_outcome

@@ -61,6 +61,13 @@ def cache_key(
                 "time_budget": options.synth.time_budget,
                 "seed_pops": options.synth.seed_pops,
                 "growth": options.synth.growth,
+                # The solver engine cannot change *verified* artifacts, but
+                # witness-dependent tie-breaks (e.g. which maximal box a
+                # degenerate region grows from) may differ between engines
+                # and thresholds, so both participate in the key.
+                "use_kernels": options.synth.use_kernels,
+                "vector_threshold": options.synth.vector_threshold,
+                "legacy_splits": options.synth.legacy_splits,
             },
         },
     }

@@ -117,6 +117,7 @@ def _certificate_to_json(cert: Certificate) -> dict[str, Any]:
         "holds": cert.holds,
         "search_nodes": cert.search_nodes,
         "elapsed": cert.elapsed,
+        "vector_boxes": cert.vector_boxes,
     }
 
 
@@ -127,6 +128,7 @@ def _certificate_from_json(data: dict[str, Any]) -> Certificate:
         holds=bool(data["holds"]),
         search_nodes=int(data["search_nodes"]),
         elapsed=float(data["elapsed"]),
+        vector_boxes=int(data.get("vector_boxes", 0)),
     )
 
 
@@ -150,6 +152,9 @@ def _report_to_json(report: ModeReport) -> dict[str, Any]:
         "timed_out": report.timed_out,
         "true_outcome": _outcome_to_json(report.true_outcome),
         "false_outcome": _outcome_to_json(report.false_outcome),
+        "solver_nodes": report.solver_nodes,
+        "solver_splits": report.solver_splits,
+        "vector_boxes": report.vector_boxes,
     }
 
 
@@ -161,6 +166,9 @@ def _report_from_json(data: dict[str, Any]) -> ModeReport:
         timed_out=bool(data["timed_out"]),
         true_outcome=_outcome_from_json(data["true_outcome"]),
         false_outcome=_outcome_from_json(data["false_outcome"]),
+        solver_nodes=int(data.get("solver_nodes", 0)),
+        solver_splits=int(data.get("solver_splits", 0)),
+        vector_boxes=int(data.get("vector_boxes", 0)),
     )
 
 

@@ -15,6 +15,8 @@ from repro.solver.boxes import (
     union_volume,
 )
 from repro.solver.decide import (
+    InterpEngine,
+    KernelEngine,
     SolverBudgetExceeded,
     SolverStats,
     count_models,
@@ -22,7 +24,9 @@ from repro.solver.decide import (
     decide_forall,
     find_model,
     find_true_box,
+    make_engine,
 )
+from repro.solver.kernels import BoolKernel, IntKernel, KernelSpace, concrete_predicate
 from repro.solver.optimize import (
     OptimizeOptions,
     OptimizeOutcome,
@@ -41,6 +45,13 @@ __all__ = [
     "union_volume",
     "SolverBudgetExceeded",
     "SolverStats",
+    "InterpEngine",
+    "KernelEngine",
+    "make_engine",
+    "BoolKernel",
+    "IntKernel",
+    "KernelSpace",
+    "concrete_predicate",
     "count_models",
     "decide_exists",
     "decide_forall",

@@ -48,6 +48,18 @@ class Box:
         """Build a box from per-dimension ``(lo, hi)`` pairs."""
         return cls(tuple((int(lo), int(hi)) for lo, hi in bounds))
 
+    @classmethod
+    def trusted(cls, bounds: Bounds) -> "Box":
+        """Build a box from bounds the caller guarantees are valid.
+
+        Skips ``__post_init__`` validation; for hot paths (the solver's
+        splitting loop) that derive bounds from an existing box, where
+        non-emptiness is structurally guaranteed.
+        """
+        box = object.__new__(cls)
+        object.__setattr__(box, "bounds", bounds)
+        return box
+
     # -- basic geometry ----------------------------------------------------
     @property
     def arity(self) -> int:

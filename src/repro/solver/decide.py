@@ -18,6 +18,22 @@ every split strictly shrinks a dimension, so branch-and-bound terminates
 with a definite answer.  Splitting only happens along variables still free
 in the *specialized* formula, which guarantees progress and lets whole
 dimensions factor out of the count multiplicatively.
+
+Two implementation decisions shape this module (see DESIGN.md):
+
+* **Explicit worklists.**  Every search runs on an explicit stack (or
+  heap), never Python recursion, so adversarial queries that slice one
+  unit per split cannot blow the interpreter stack.  Visit order matches
+  the old recursive formulation exactly (low half first).
+* **Pluggable evaluation engines.**  A :class:`KernelEngine` (default)
+  drives the search with the compiled closures of
+  :mod:`repro.solver.kernels`; an :class:`InterpEngine` drives it with the
+  tree-walking interpreter of :mod:`repro.solver.abseval`.  Both make
+  identical decisions — same truth values, same split choices, same node
+  and split counts — which the differential tests assert.  Vectorized
+  small-box finishing (NumPy grids, see :mod:`repro.solver.vectoreval`)
+  is available to all four procedures under both engines and is counted
+  in :class:`SolverStats`.
 """
 
 from __future__ import annotations
@@ -26,38 +42,33 @@ import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.lang.ast import (
-    Add,
-    And,
-    BoolExpr,
-    Cmp,
-    CmpOp,
-    Iff,
-    Implies,
-    InSet,
-    Lit,
-    Neg,
-    Not,
-    Or,
-    Scale,
-    Sub,
-    Var,
-)
+from repro.lang.ast import BoolExpr
 from repro.lang.ternary import FALSE, TRUE
 from repro.lang.transform import free_vars
 from repro.solver import vectoreval
 from repro.solver.abseval import specialize
 from repro.solver.boxes import Box
+from repro.solver.kernels import BoolKernel, KernelSpace
+from repro.solver.split import choose_split, split_at, var_bound, walk_atoms
 
 __all__ = [
     "SolverBudgetExceeded",
     "SolverStats",
+    "InterpEngine",
+    "KernelEngine",
+    "make_engine",
     "decide_forall",
     "decide_exists",
     "find_model",
     "find_true_box",
     "count_models",
 ]
+
+# Re-exported for tests and external callers of the split heuristics.
+_choose_split = choose_split
+_var_bound = var_bound
+_walk_atoms = walk_atoms
+_split_at = split_at
 
 
 class SolverBudgetExceeded(Exception):
@@ -71,6 +82,8 @@ class SolverStats:
     nodes: int = 0
     max_nodes: int | None = None
     splits: int = 0
+    #: Sub-boxes finished on a NumPy grid instead of further splitting.
+    vector_boxes: int = 0
 
     def tick(self) -> None:
         self.nodes += 1
@@ -79,131 +92,143 @@ class SolverStats:
                 f"decision exceeded {self.max_nodes} search nodes"
             )
 
-
-def _env(box: Box, names: Sequence[str]) -> dict[str, tuple[int, int]]:
-    return dict(zip(names, box.bounds))
-
-
-def _var_bound(atom: BoolExpr) -> tuple[str, CmpOp, int] | None:
-    """Normalize a single-variable bound atom to ``(name, op, const)``.
-
-    Recognizes ``x op c`` modulo one level of linear wrapping
-    (``x + a op c``, ``x - a op c``, ``c op x``, ``-x op c``,
-    ``k * x op c``), which covers the box-membership and range atoms that
-    dominate verification obligations and synthesis regions.
-    """
-    if not isinstance(atom, Cmp):
-        return None
-    op, left, right = atom.op, atom.left, atom.right
-    if isinstance(left, Lit) and not isinstance(right, Lit):
-        left, right, op = right, left, op.flip()
-    if not isinstance(right, Lit):
-        return None
-    c = right.value
-    match left:
-        case Var(name):
-            return name, op, c
-        case Add(Var(name), Lit(a)) | Add(Lit(a), Var(name)):
-            return name, op, c - a
-        case Sub(Var(name), Lit(a)):
-            return name, op, c + a
-        case Sub(Lit(a), Var(name)):
-            return name, op.flip(), a - c
-        case Neg(Var(name)):
-            return name, op.flip(), -c
-        case Scale(k, Var(name)) if k > 0 and c % k == 0:
-            return name, op, c // k
-        case _:
-            return None
+    def merge(self, other: "SolverStats") -> None:
+        """Fold another decision's counters into this one."""
+        self.nodes += other.nodes
+        self.splits += other.splits
+        self.vector_boxes += other.vector_boxes
 
 
-def _walk_atoms(expr: BoolExpr):
-    stack = [expr]
-    while stack:
-        node = stack.pop()
-        match node:
-            case Cmp() | InSet():
-                yield node
-            case And(args) | Or(args):
-                stack.extend(args)
-            case Not(arg):
-                stack.append(arg)
-            case Implies(a, b) | Iff(a, b):
-                stack.extend((a, b))
-            case _:
-                pass
+# ---------------------------------------------------------------------------
+# Evaluation engines
+# ---------------------------------------------------------------------------
 
 
-def _choose_split(phi: BoolExpr, box: Box, names: Sequence[str]) -> tuple[int, int]:
-    """Pick a split ``(dim, cut)``: low half ``[lo, cut]``, high ``[cut+1, hi]``.
+class KernelEngine:
+    """Drive the search with compiled kernels (the default, fast path)."""
 
-    Boundary-guided: if some undecided atom bounds a single variable by a
-    constant inside its current range, cut exactly at that constant so the
-    atom decides on both sides — this collapses the multiplicative
-    blow-ups that midpoint bisection suffers on conjunctions over
-    different variables.  Falls back to the midpoint of the widest live
-    dimension.
-    """
-    index_of = {name: dim for dim, name in enumerate(names)}
-    best: tuple[int, int, int] | None = None  # (width, dim, cut)
-    for atom in _walk_atoms(phi):
-        cut_point: tuple[str, int] | None = None
-        if isinstance(atom, Cmp):
-            bound = _var_bound(atom)
-            if bound is not None:
-                name, op, c = bound
-                lo, hi = box.bounds[index_of[name]]
-                if op in (CmpOp.LE, CmpOp.GT):
-                    cut = c
-                elif op in (CmpOp.LT, CmpOp.GE):
-                    cut = c - 1
-                else:  # EQ / NE: isolate c in the low half when possible
-                    cut = c if c < hi else c - 1
-                if lo <= cut < hi:
-                    cut_point = (name, cut)
-        elif isinstance(atom, InSet) and isinstance(atom.arg, Var):
-            name = atom.arg.name
-            lo, hi = box.bounds[index_of[name]]
-            members = sorted(v for v in atom.values if lo <= v <= hi)
-            if members:
-                if lo < members[0]:
-                    cut_point = (name, members[0] - 1)
-                else:
-                    run_end = members[0]
-                    for value in members[1:]:
-                        if value != run_end + 1:
-                            break
-                        run_end = value
-                    if run_end < hi:
-                        cut_point = (name, run_end)
-        if cut_point is not None:
-            name, cut = cut_point
-            dim = index_of[name]
-            width = box.bounds[dim][1] - box.bounds[dim][0] + 1
-            if best is None or width > best[0]:
-                best = (width, dim, cut)
-    if best is not None:
-        return best[1], best[2]
+    uses_kernels = True
 
-    live = free_vars(phi)
-    best_dim = -1
-    best_width = 0
-    for dim, (name, (lo, hi)) in enumerate(zip(names, box.bounds)):
-        width = hi - lo + 1
-        if name in live and width > best_width:
-            best_dim, best_width = dim, width
-    if best_dim < 0 or best_width < 2:
-        raise AssertionError(
-            "specialized UNKNOWN formula with no splittable variable; "
-            "abstract evaluation should decide single-point boxes"
+    def __init__(
+        self,
+        names: Sequence[str],
+        space: KernelSpace | None = None,
+        *,
+        legacy_splits: bool = False,
+    ):
+        self.names = tuple(names)
+        self.space = (
+            space
+            if space is not None
+            else KernelSpace(self.names, legacy_splits=legacy_splits)
         )
-    lo, hi = box.bounds[best_dim]
-    return best_dim, (lo + hi) // 2
+        self.legacy_splits = self.space.legacy_splits
+
+    def lower(self, phi: BoolExpr | BoolKernel) -> BoolKernel:
+        if isinstance(phi, BoolKernel):
+            return phi
+        return self.space.lower(phi)
+
+    def specialize(self, node: BoolKernel, box: Box):
+        return node.specialize(box.bounds)
+
+    def choose_split(self, node: BoolKernel, box: Box) -> tuple[int, int]:
+        return node.choose_split(box)
+
+    def free(self, node: BoolKernel) -> frozenset[str]:
+        return node.free
+
+    def expr_of(self, node: BoolKernel) -> BoolExpr:
+        return node.expr
+
+    def grid_count(self, node: BoolKernel, box: Box) -> int:
+        return node.grid_count(box)
+
+    def grid_all(self, node: BoolKernel, box: Box) -> bool:
+        return node.grid_all(box)
+
+    def grid_find(self, node: BoolKernel, box: Box) -> tuple[int, ...] | None:
+        return node.grid_find(box)
+
+    def grid_mask(self, node: BoolKernel, box: Box):
+        return node.grid_mask(box)
 
 
-def _split_at(box: Box, dim: int, cut: int) -> tuple[Box, Box]:
-    lo, hi = box.bounds[dim]
-    return box.with_dim(dim, lo, cut), box.with_dim(dim, cut + 1, hi)
+class InterpEngine:
+    """Drive the search with the tree-walking interpreter (reference path)."""
+
+    uses_kernels = False
+
+    def __init__(self, names: Sequence[str], *, legacy_splits: bool = False):
+        self.names = tuple(names)
+        self.legacy_splits = legacy_splits
+
+    def lower(self, phi: BoolExpr) -> BoolExpr:
+        return phi
+
+    def specialize(self, phi: BoolExpr, box: Box):
+        shrunk, truth = specialize(phi, dict(zip(self.names, box.bounds)))
+        return truth, shrunk
+
+    def choose_split(self, phi: BoolExpr, box: Box) -> tuple[int, int]:
+        return choose_split(phi, box, self.names, legacy=self.legacy_splits)
+
+    def free(self, phi: BoolExpr) -> frozenset[str]:
+        return free_vars(phi)
+
+    def expr_of(self, phi: BoolExpr) -> BoolExpr:
+        return phi
+
+    def grid_count(self, phi: BoolExpr, box: Box) -> int:
+        return vectoreval.count_box_vectorized(phi, box, self.names)
+
+    def grid_all(self, phi: BoolExpr, box: Box) -> bool:
+        return vectoreval.all_box_vectorized(phi, box, self.names)
+
+    def grid_find(self, phi: BoolExpr, box: Box) -> tuple[int, ...] | None:
+        return vectoreval.find_point_vectorized(phi, box, self.names)
+
+    def grid_mask(self, phi: BoolExpr, box: Box):
+        return vectoreval.mask_box_vectorized(phi, box, self.names)
+
+
+def make_engine(
+    names: Sequence[str], use_kernels: bool = True, *, legacy_splits: bool = False
+):
+    """An evaluation engine for one variable order.
+
+    Reusing one engine across many decisions (as the optimizers do) shares
+    the kernel compilation caches and the specialization memo between
+    them, which is where the optimizer's overlapping probes win big.
+    ``legacy_splits`` reverts to the pre-kernel split heuristic (benchmark
+    baselines only).
+    """
+    if use_kernels:
+        return KernelEngine(names, legacy_splits=legacy_splits)
+    return InterpEngine(names, legacy_splits=legacy_splits)
+
+
+def _resolve(
+    engine,
+    names: Sequence[str],
+    use_kernels: bool,
+    stats: SolverStats | None,
+    vector_threshold: int | None,
+    default_threshold: int,
+    legacy_splits: bool = False,
+) -> tuple[object, SolverStats, int]:
+    if engine is None:
+        engine = make_engine(names, use_kernels, legacy_splits=legacy_splits)
+    if stats is None:
+        stats = SolverStats()
+    if vector_threshold is None:
+        vector_threshold = default_threshold if vectoreval.AVAILABLE else 0
+    return engine, stats, vector_threshold
+
+
+# ---------------------------------------------------------------------------
+# The four decision procedures (explicit worklists)
+# ---------------------------------------------------------------------------
 
 
 def decide_forall(
@@ -211,22 +236,48 @@ def decide_forall(
     box: Box,
     names: Sequence[str],
     stats: SolverStats | None = None,
+    *,
+    engine=None,
+    use_kernels: bool = True,
+    vector_threshold: int | None = None,
 ) -> bool:
     """Whether every point of ``box`` satisfies ``phi``."""
-    stats = stats or SolverStats()
-
-    def rec(phi: BoolExpr, box: Box) -> bool:
-        stats.tick()
-        shrunk, truth = specialize(phi, _env(box, names))
-        if truth is TRUE:
-            return True
-        if truth is FALSE:
-            return False
-        stats.splits += 1
-        low, high = _split_at(box, *_choose_split(shrunk, box, names))
-        return rec(shrunk, low) and rec(shrunk, high)
-
-    return rec(phi, box)
+    engine, stats, vt = _resolve(
+        engine, names, use_kernels, stats, vector_threshold,
+        vectoreval.DEFAULT_DECIDE_VECTOR_THRESHOLD,
+    )
+    stack = [(engine.lower(phi), box)]
+    # Counters live in locals inside the loop (a method call per node is
+    # measurable); the finally block flushes them even on budget raises.
+    nodes = splits = vector_boxes = 0
+    budget = None if stats.max_nodes is None else stats.max_nodes - stats.nodes
+    try:
+        while stack:
+            node, current = stack.pop()
+            nodes += 1
+            if budget is not None and nodes > budget:
+                raise SolverBudgetExceeded(
+                    f"decision exceeded {stats.max_nodes} search nodes"
+                )
+            truth, shrunk = engine.specialize(node, current)
+            if truth is TRUE:
+                continue
+            if truth is FALSE:
+                return False
+            if 0 < current.volume() <= vt:
+                vector_boxes += 1
+                if engine.grid_all(shrunk, current):
+                    continue
+                return False
+            splits += 1
+            low, high = split_at(current, *engine.choose_split(shrunk, current))
+            stack.append((shrunk, high))
+            stack.append((shrunk, low))
+        return True
+    finally:
+        stats.nodes += nodes
+        stats.splits += splits
+        stats.vector_boxes += vector_boxes
 
 
 def find_model(
@@ -234,22 +285,47 @@ def find_model(
     box: Box,
     names: Sequence[str],
     stats: SolverStats | None = None,
+    *,
+    engine=None,
+    use_kernels: bool = True,
+    vector_threshold: int | None = None,
 ) -> tuple[int, ...] | None:
     """A point of ``box`` satisfying ``phi``, or ``None`` if none exists."""
-    stats = stats or SolverStats()
-
-    def rec(phi: BoolExpr, box: Box) -> tuple[int, ...] | None:
-        stats.tick()
-        shrunk, truth = specialize(phi, _env(box, names))
-        if truth is TRUE:
-            return box.any_point()
-        if truth is FALSE:
-            return None
-        stats.splits += 1
-        low, high = _split_at(box, *_choose_split(shrunk, box, names))
-        return rec(shrunk, low) or rec(shrunk, high)
-
-    return rec(phi, box)
+    engine, stats, vt = _resolve(
+        engine, names, use_kernels, stats, vector_threshold,
+        vectoreval.DEFAULT_DECIDE_VECTOR_THRESHOLD,
+    )
+    stack = [(engine.lower(phi), box)]
+    nodes = splits = vector_boxes = 0
+    budget = None if stats.max_nodes is None else stats.max_nodes - stats.nodes
+    try:
+        while stack:
+            node, current = stack.pop()
+            nodes += 1
+            if budget is not None and nodes > budget:
+                raise SolverBudgetExceeded(
+                    f"decision exceeded {stats.max_nodes} search nodes"
+                )
+            truth, shrunk = engine.specialize(node, current)
+            if truth is TRUE:
+                return current.any_point()
+            if truth is FALSE:
+                continue
+            if 0 < current.volume() <= vt:
+                vector_boxes += 1
+                witness = engine.grid_find(shrunk, current)
+                if witness is not None:
+                    return witness
+                continue
+            splits += 1
+            low, high = split_at(current, *engine.choose_split(shrunk, current))
+            stack.append((shrunk, high))
+            stack.append((shrunk, low))
+        return None
+    finally:
+        stats.nodes += nodes
+        stats.splits += splits
+        stats.vector_boxes += vector_boxes
 
 
 def decide_exists(
@@ -257,9 +333,24 @@ def decide_exists(
     box: Box,
     names: Sequence[str],
     stats: SolverStats | None = None,
+    *,
+    engine=None,
+    use_kernels: bool = True,
+    vector_threshold: int | None = None,
 ) -> bool:
     """Whether some point of ``box`` satisfies ``phi``."""
-    return find_model(phi, box, names, stats) is not None
+    return (
+        find_model(
+            phi,
+            box,
+            names,
+            stats,
+            engine=engine,
+            use_kernels=use_kernels,
+            vector_threshold=vector_threshold,
+        )
+        is not None
+    )
 
 
 @dataclass(frozen=True)
@@ -277,6 +368,11 @@ def find_true_box(
     box: Box,
     names: Sequence[str],
     max_pops: int = 100_000,
+    stats: SolverStats | None = None,
+    *,
+    engine=None,
+    use_kernels: bool = True,
+    vector_threshold: int | None = None,
 ) -> TrueBoxResult:
     """Search for a *large* all-true sub-box, best-first by volume.
 
@@ -284,20 +380,61 @@ def find_true_box(
     converges much faster (and to better Pareto points) than expanding from
     a single witness point.
     """
+    engine, stats, vt = _resolve(
+        engine, names, use_kernels, stats, vector_threshold,
+        vectoreval.DEFAULT_DECIDE_VECTOR_THRESHOLD,
+    )
     counter = 0
-    heap: list[tuple[int, int, Box, BoolExpr]] = [(-box.volume(), counter, box, phi)]
+    heap = [(-box.volume(), counter, box, engine.lower(phi), None)]
     pops = 0
     while heap and pops < max_pops:
-        _, _, current, formula = heapq.heappop(heap)
+        neg_volume, _, current, node, mask = heapq.heappop(heap)
         pops += 1
-        shrunk, truth = specialize(formula, _env(current, names))
-        if truth is TRUE:
-            return TrueBoxResult(current, exhausted=False)
-        if truth is FALSE:
-            continue
-        for half in _split_at(current, *_choose_split(shrunk, current, names)):
+        stats.nodes += 1
+        if stats.max_nodes is not None and stats.nodes > stats.max_nodes:
+            raise SolverBudgetExceeded(
+                f"decision exceeded {stats.max_nodes} search nodes"
+            )
+        if mask is not None:
+            # An ancestor already evaluated this subtree's mask; deciding a
+            # sub-box is a slice + sum, not a re-evaluation.
+            satisfied = int(mask.sum())
+            if satisfied == -neg_volume:
+                return TrueBoxResult(current, exhausted=False)
+            if satisfied == 0:
+                continue
+            # Mixed: abstraction cannot be decided either (it is sound),
+            # so specialize only to shrink the formula for splitting.
+            _, shrunk = engine.specialize(node, current)
+        else:
+            truth, shrunk = engine.specialize(node, current)
+            if truth is TRUE:
+                return TrueBoxResult(current, exhausted=False)
+            if truth is FALSE:
+                continue
+            if 0 < current.volume() <= vt:
+                # One grid pass per subtree decides everything below it.
+                stats.vector_boxes += 1
+                mask = engine.grid_mask(shrunk, current)
+                satisfied = int(mask.sum())
+                if satisfied == current.volume():
+                    return TrueBoxResult(current, exhausted=False)
+                if satisfied == 0:
+                    continue
+        stats.splits += 1
+        for half in split_at(current, *engine.choose_split(shrunk, current)):
             counter += 1
-            heapq.heappush(heap, (-half.volume(), counter, half, shrunk))
+            sub_mask = None
+            if mask is not None:
+                sub_mask = mask[
+                    tuple(
+                        slice(lo - plo, hi - plo + 1)
+                        for (lo, hi), (plo, _) in zip(half.bounds, current.bounds)
+                    )
+                ]
+            heapq.heappush(
+                heap, (-half.volume(), counter, half, shrunk, sub_mask)
+            )
     return TrueBoxResult(None, exhausted=not heap)
 
 
@@ -308,6 +445,9 @@ def count_models(
     stats: SolverStats | None = None,
     *,
     vector_threshold: int | None = None,
+    engine=None,
+    use_kernels: bool = True,
+    legacy_splits: bool = False,
 ) -> int:
     """Exact number of points of ``box`` satisfying ``phi``.
 
@@ -318,35 +458,75 @@ def count_models(
     grids (see :mod:`repro.solver.vectoreval`); pass ``0`` to force the
     pure-Python path.
     """
-    stats = stats or SolverStats()
-    if vector_threshold is None:
-        vector_threshold = (
-            vectoreval.DEFAULT_VECTOR_THRESHOLD if vectoreval.AVAILABLE else 0
-        )
-
-    def rec(phi: BoolExpr, box: Box) -> int:
-        stats.tick()
-        shrunk, truth = specialize(phi, _env(box, names))
-        if truth is TRUE:
-            return box.volume()
-        if truth is FALSE:
-            return 0
-        live = free_vars(shrunk)
-        factor = 1
-        for name, (lo, hi) in zip(names, box.bounds):
-            if name not in live:
-                factor *= hi - lo + 1
-        if factor > 1:
-            kept = [i for i, name in enumerate(names) if name in live]
-            sub_box = Box(tuple(box.bounds[i] for i in kept))
-            sub_names = [names[i] for i in kept]
-            return factor * count_models(
-                shrunk, sub_box, sub_names, stats, vector_threshold=vector_threshold
-            )
-        if 0 < box.volume() <= vector_threshold:
-            return vectoreval.count_box_vectorized(shrunk, box, names)
-        stats.splits += 1
-        low, high = _split_at(box, *_choose_split(shrunk, box, names))
-        return rec(shrunk, low) + rec(shrunk, high)
-
-    return rec(phi, box)
+    engine, stats, vt = _resolve(
+        engine, names, use_kernels, stats, vector_threshold,
+        vectoreval.DEFAULT_VECTOR_THRESHOLD, legacy_splits,
+    )
+    names = tuple(names)
+    total = 0
+    stack = [(engine.lower(phi), box)]
+    nodes = splits = vector_boxes = 0
+    budget = None if stats.max_nodes is None else stats.max_nodes - stats.nodes
+    try:
+        while stack:
+            node, current = stack.pop()
+            nodes += 1
+            if budget is not None and nodes > budget:
+                raise SolverBudgetExceeded(
+                    f"decision exceeded {stats.max_nodes} search nodes"
+                )
+            truth, shrunk = engine.specialize(node, current)
+            if truth is TRUE:
+                total += current.volume()
+                continue
+            if truth is FALSE:
+                continue
+            live = engine.free(shrunk)
+            factor = 1
+            for name, (lo, hi) in zip(names, current.bounds):
+                if name not in live:
+                    factor *= hi - lo + 1
+            if factor > 1:
+                # Project onto the live dimensions and count there.  This is
+                # the only (bounded) recursion left: each projection strictly
+                # reduces the arity, so the depth is at most len(names).
+                kept = [i for i, name in enumerate(names) if name in live]
+                sub_box = Box(tuple(current.bounds[i] for i in kept))
+                sub_names = tuple(names[i] for i in kept)
+                # Flush before recursing so the inner call sees the budget.
+                stats.nodes += nodes
+                stats.splits += splits
+                stats.vector_boxes += vector_boxes
+                nodes = splits = vector_boxes = 0
+                try:
+                    # The projected engine must inherit the caller's full
+                    # configuration, not just the kernel/interpreter choice.
+                    total += factor * count_models(
+                        engine.expr_of(shrunk),
+                        sub_box,
+                        sub_names,
+                        stats,
+                        vector_threshold=vt,
+                        use_kernels=engine.uses_kernels,
+                        legacy_splits=engine.legacy_splits,
+                    )
+                finally:
+                    budget = (
+                        None
+                        if stats.max_nodes is None
+                        else stats.max_nodes - stats.nodes
+                    )
+                continue
+            if 0 < current.volume() <= vt:
+                vector_boxes += 1
+                total += engine.grid_count(shrunk, current)
+                continue
+            splits += 1
+            low, high = split_at(current, *engine.choose_split(shrunk, current))
+            stack.append((shrunk, high))
+            stack.append((shrunk, low))
+        return total
+    finally:
+        stats.nodes += nodes
+        stats.splits += splits
+        stats.vector_boxes += vector_boxes

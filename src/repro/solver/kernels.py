@@ -1,0 +1,1006 @@
+"""Compiled expression kernels: lower each query AST once, run it many times.
+
+Branch-and-bound calls the abstract evaluator thousands of times per
+decision, and the tree-walking interpreters in :mod:`repro.solver.abseval`
+re-pattern-match the same AST nodes on every sub-box.  This module lowers
+an expression *once* into flat, allocation-light closures — one Python
+function per node, with dispatch, variable lookup and interval plumbing
+resolved at compile time:
+
+* **specialization kernels** — ``bounds -> (truth, residual)`` closures
+  mirroring :func:`repro.solver.abseval.specialize` exactly (same truth
+  values, structurally identical residual formulas), but taking the box
+  bounds as a positional tuple (no per-node environment dict), composing
+  child closures instead of re-matching node types, and producing
+  *residual kernels* directly — no AST is allocated or re-lowered on the
+  search's hot path;
+* **concrete kernels** — ``values -> bool/int`` closures mirroring
+  :mod:`repro.lang.eval` for the run-time ``QInfo.run`` hot path;
+* **grid kernels** — NumPy closures mirroring
+  :mod:`repro.solver.vectoreval` for vectorized small-box finishing.
+
+A :class:`KernelSpace` is one lowering context: it fixes the variable
+order (so boxes *are* environments) and **hash-conses** every kernel by a
+shallow structural key — a node's type, scalar fields, and the identities
+of its child kernels.  Distinct boxes routinely shrink a formula to
+structurally identical residuals; hash-consing collapses them onto one
+kernel, so compilation, free-variable sets, split hints, and the
+``(kernel, box)`` specialization memo are all shared across the
+optimizer's overlapping probes.  Keys never hash whole subtrees: children
+are interned bottom-up, so each lookup is O(1).
+
+Everything here is exactness-preserving: the kernels compute the same
+answers, the same residuals, and drive the same split decisions as the
+interpreters (enforced by property and differential tests); only the
+constant factors change.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.lang.ast import (
+    Abs,
+    Add,
+    And,
+    BoolExpr,
+    BoolLit,
+    Cmp,
+    CmpOp,
+    Iff,
+    Implies,
+    InSet,
+    IntExpr,
+    IntIte,
+    Lit,
+    Max,
+    Min,
+    Neg,
+    Not,
+    Or,
+    Scale,
+    Sub,
+    Var,
+)
+from repro.lang.ternary import FALSE, TRUE, UNKNOWN, Ternary
+from repro.solver import vectoreval
+from repro.solver.abseval import _inset_range
+from repro.solver.boxes import Box
+from repro.solver.interval import Range
+from repro.solver.split import (
+    SplitHint,
+    choose_split_hinted,
+    extract_split_hints,
+)
+
+__all__ = ["KernelSpace", "BoolKernel", "IntKernel", "concrete_predicate"]
+
+#: Box bounds in variable order — the kernel's whole "environment".
+Bounds = tuple[tuple[int, int], ...]
+
+_CMP_CONCRETE = {
+    CmpOp.LE: lambda a, b: a <= b,
+    CmpOp.LT: lambda a, b: a < b,
+    CmpOp.GE: lambda a, b: a >= b,
+    CmpOp.GT: lambda a, b: a > b,
+    CmpOp.EQ: lambda a, b: a == b,
+    CmpOp.NE: lambda a, b: a != b,
+}
+
+
+def _cmp_le(alo, ahi, blo, bhi):
+    if ahi <= blo:
+        return TRUE
+    if alo > bhi:
+        return FALSE
+    return UNKNOWN
+
+
+def _cmp_lt(alo, ahi, blo, bhi):
+    if ahi < blo:
+        return TRUE
+    if alo >= bhi:
+        return FALSE
+    return UNKNOWN
+
+
+def _cmp_ge(alo, ahi, blo, bhi):
+    return _cmp_le(blo, bhi, alo, ahi)
+
+
+def _cmp_gt(alo, ahi, blo, bhi):
+    return _cmp_lt(blo, bhi, alo, ahi)
+
+
+def _cmp_eq(alo, ahi, blo, bhi):
+    if alo == ahi == blo == bhi:
+        return TRUE
+    if ahi < blo or bhi < alo:
+        return FALSE
+    return UNKNOWN
+
+
+def _cmp_ne(alo, ahi, blo, bhi):
+    truth = _cmp_eq(alo, ahi, blo, bhi)
+    if truth is TRUE:
+        return FALSE
+    if truth is FALSE:
+        return TRUE
+    return UNKNOWN
+
+
+#: Per-op abstract deciders over unpacked ranges (same truth values as
+#: ``abseval._cmp_ranges``, selected once at compile time).
+_CMP_ABSTRACT = {
+    CmpOp.LE: _cmp_le,
+    CmpOp.LT: _cmp_lt,
+    CmpOp.GE: _cmp_ge,
+    CmpOp.GT: _cmp_gt,
+    CmpOp.EQ: _cmp_eq,
+    CmpOp.NE: _cmp_ne,
+}
+
+
+class IntKernel:
+    """A hash-consed integer expression kernel.
+
+    ``spec(bounds)`` returns the expression's exact range on the box plus
+    its residual kernel (itself when nothing simplified) — the compiled
+    equivalent of ``abseval._spec_int``.
+    """
+
+    __slots__ = ("expr", "free", "spec")
+
+    def __init__(self, expr: IntExpr, free: frozenset[str]):
+        self.expr = expr
+        self.free = free
+        self.spec: Callable[[Bounds], tuple[Range, "IntKernel"]] | None = None
+
+
+class BoolKernel:
+    """A hash-consed boolean formula kernel, bound to its space."""
+
+    __slots__ = ("space", "expr", "free", "spec", "_memo", "_hints", "_hints_fn")
+
+    #: Per-kernel specialization memo bound; small enough that pathological
+    #: kernels cannot hoard memory, large enough for the optimizers' probes.
+    MEMO_CAP = 1024
+
+    def __init__(self, space: "KernelSpace", expr: BoolExpr, free: frozenset[str]):
+        self.space = space
+        self.expr = expr
+        self.free = free
+        self.spec: Callable[[Bounds], tuple[Ternary, "BoolKernel"]] | None = None
+        self._memo: dict[Bounds, tuple[Ternary, "BoolKernel"]] = {}
+        self._hints: tuple[SplitHint, ...] | None = None
+        #: Set by the constructor: how to build this kernel's hints — atoms
+        #: parse themselves, composites concatenate their children's cached
+        #: hints (in ``walk_atoms`` stack order), so residual kernels get
+        #: split hints in O(children) instead of re-walking the formula.
+        self._hints_fn: Callable[[], tuple[SplitHint, ...]] | None = None
+
+    def specialize(self, bounds: Bounds) -> tuple[Ternary, "BoolKernel"]:
+        """Abstract truth over the box plus the residual kernel, memoized.
+
+        Hash-consing makes the per-kernel memo meaningful: the same
+        sub-problem reached through different probes lands on the same
+        entry (the optimizer's overlapping doubling and bisection probes).
+        """
+        memo = self._memo
+        hit = memo.get(bounds)
+        if hit is not None:
+            self.space.spec_hits += 1
+            return hit
+        result = self.spec(bounds)
+        if len(memo) >= self.MEMO_CAP:
+            memo.clear()
+        memo[bounds] = result
+        return result
+
+    @property
+    def hints(self) -> tuple[SplitHint, ...]:
+        """Precompiled split-cut candidates (built once per distinct kernel)."""
+        hints = self._hints
+        if hints is None:
+            fn = self._hints_fn
+            if fn is not None:
+                hints = fn()
+            else:
+                hints = extract_split_hints(
+                    self.expr, self.space.index, legacy=self.space.legacy_splits
+                )
+            self._hints = hints
+        return hints
+
+    def choose_split(self, box: Box) -> tuple[int, int]:
+        """Same ``(dim, cut)`` the interpreter heuristic would pick."""
+        return choose_split_hinted(self.hints, self.free, box, self.space.names)
+
+    # -- vectorized small-box finishing ---------------------------------
+    def _mask(self, box: Box):
+        grids = vectoreval.make_grids(box)
+        return self.space.grid_bool(self.expr)(grids)
+
+    def grid_count(self, box: Box) -> int:
+        """Exact model count on the box via the compiled grid kernel."""
+        return vectoreval.mask_count(self._mask(box), box)
+
+    def grid_all(self, box: Box) -> bool:
+        """Whether every point of the box satisfies the formula."""
+        return vectoreval.mask_all(self._mask(box), box)
+
+    def grid_find(self, box: Box) -> tuple[int, ...] | None:
+        """First satisfying point in grid (C) order, or ``None``."""
+        return vectoreval.mask_find(self._mask(box), box)
+
+    def grid_mask(self, box: Box):
+        """The full boolean satisfaction mask over the box."""
+        return vectoreval.mask_array(self._mask(box), box)
+
+
+class KernelSpace:
+    """One lowering context: a variable order plus hash-consed kernels.
+
+    All kernels are created through the ``k_*`` constructors, which intern
+    by shallow structural keys.  Interned kernels (and the AST nodes their
+    ``expr`` attributes reference) live as long as the space, so the
+    object identities embedded in keys and memo entries are stable.  The
+    specialization memo and the AST-identity fast path are capped and
+    dropped wholesale on overflow; the structural intern map is the
+    persistent store.
+    """
+
+    ID_MAP_CAP = 1 << 16
+
+    __slots__ = (
+        "names",
+        "index",
+        "legacy_splits",
+        "_interned",
+        "_ast_bool",
+        "_ast_int",
+        "_concrete",
+        "_grid",
+        "spec_hits",
+        "k_true",
+        "k_false",
+    )
+
+    def __init__(self, names: Sequence[str], *, legacy_splits: bool = False):
+        self.names = tuple(names)
+        self.index = {name: dim for dim, name in enumerate(self.names)}
+        self.legacy_splits = legacy_splits
+        self._interned: dict[tuple, IntKernel | BoolKernel] = {}
+        # AST-identity fast paths (id -> (expr, kernel)); the expr reference
+        # pins the id against recycling.
+        self._ast_bool: dict[int, tuple[BoolExpr, BoolKernel]] = {}
+        self._ast_int: dict[int, tuple[IntExpr, IntKernel]] = {}
+        self._concrete: dict[int, tuple[object, Callable]] = {}
+        self._grid: dict[int, tuple[object, Callable]] = {}
+        self.spec_hits = 0
+        self.k_true = self._k_bool_lit(True)
+        self.k_false = self._k_bool_lit(False)
+
+    # ------------------------------------------------------------------
+    # AST entry points
+    # ------------------------------------------------------------------
+    def lower(self, expr: BoolExpr) -> BoolKernel:
+        """The (hash-consed) kernel of a boolean formula."""
+        entry = self._ast_bool.get(id(expr))
+        if entry is not None:
+            return entry[1]
+        match expr:
+            case BoolLit(value):
+                kernel = self.k_true if value else self.k_false
+            case Cmp(op, left, right):
+                kernel = self.k_cmp(op, self.lower_int(left), self.lower_int(right))
+            case And(args):
+                kids = tuple(self.lower(arg) for arg in args)
+                kernel = kids[0] if len(kids) == 1 else self.k_and(kids)
+            case Or(args):
+                kids = tuple(self.lower(arg) for arg in args)
+                kernel = kids[0] if len(kids) == 1 else self.k_or(kids)
+            case Not(arg):
+                kernel = self.k_not(self.lower(arg))
+            case Implies(antecedent, consequent):
+                # The interpreter lowers implication on every visit; the
+                # kernel lowers it once and shares the Or kernel outright.
+                kernel = self.k_or(
+                    (self.k_not(self.lower(antecedent)), self.lower(consequent))
+                )
+            case Iff(left, right):
+                kernel = self.k_iff(self.lower(left), self.lower(right))
+            case InSet(arg, values):
+                kernel = self.k_inset(self.lower_int(arg), values)
+            case _:
+                raise TypeError(f"not a boolean expression: {expr!r}")
+        if len(self._ast_bool) >= self.ID_MAP_CAP:
+            self._ast_bool.clear()
+        self._ast_bool[id(expr)] = (expr, kernel)
+        return kernel
+
+    def lower_int(self, expr: IntExpr) -> IntKernel:
+        """The (hash-consed) kernel of an integer expression."""
+        entry = self._ast_int.get(id(expr))
+        if entry is not None:
+            return entry[1]
+        match expr:
+            case Lit(value):
+                kernel = self.k_lit(value)
+            case Var(name):
+                kernel = self.k_var(name)
+            case Add(left, right):
+                kernel = self.k_add(self.lower_int(left), self.lower_int(right))
+            case Sub(left, right):
+                kernel = self.k_sub(self.lower_int(left), self.lower_int(right))
+            case Neg(arg):
+                kernel = self.k_neg(self.lower_int(arg))
+            case Scale(coeff, arg):
+                kernel = self.k_scale(coeff, self.lower_int(arg))
+            case Abs(arg):
+                kernel = self.k_abs(self.lower_int(arg))
+            case Min(left, right):
+                kernel = self.k_min(self.lower_int(left), self.lower_int(right))
+            case Max(left, right):
+                kernel = self.k_max(self.lower_int(left), self.lower_int(right))
+            case IntIte(cond, then_branch, else_branch):
+                kernel = self.k_ite(
+                    self.lower(cond),
+                    self.lower_int(then_branch),
+                    self.lower_int(else_branch),
+                )
+            case _:
+                raise TypeError(f"not an integer expression: {expr!r}")
+        if len(self._ast_int) >= self.ID_MAP_CAP:
+            self._ast_int.clear()
+        self._ast_int[id(expr)] = (expr, kernel)
+        return kernel
+
+    # ------------------------------------------------------------------
+    # Hash-consed kernel constructors
+    # ------------------------------------------------------------------
+    # Each constructor mirrors its abseval._spec_int/_spec_bool branch, so
+    # kernel residuals are structurally identical to interpreter residuals.
+
+    def k_lit(self, value: int) -> IntKernel:
+        key = (Lit, value)
+        kernel = self._interned.get(key)
+        if kernel is None:
+            kernel = IntKernel(Lit(value), frozenset())
+            rng = (value, value)
+
+            def spec(bounds, rng=rng, kernel=kernel):
+                return rng, kernel
+
+            kernel.spec = spec
+            self._interned[key] = kernel
+        return kernel
+
+    def k_var(self, name: str) -> IntKernel:
+        key = (Var, name)
+        kernel = self._interned.get(key)
+        if kernel is None:
+            kernel = IntKernel(Var(name), frozenset((name,)))
+            dim = self.index[name]
+
+            def spec(bounds, dim=dim, kernel=kernel, k_lit=self.k_lit):
+                rng = bounds[dim]
+                if rng[0] == rng[1]:
+                    return rng, k_lit(rng[0])
+                return rng, kernel
+
+            kernel.spec = spec
+            self._interned[key] = kernel
+        return kernel
+
+    def k_add(self, ka: IntKernel, kb: IntKernel) -> IntKernel:
+        key = (Add, id(ka), id(kb))
+        kernel = self._interned.get(key)
+        if kernel is None:
+            kernel = IntKernel(Add(ka.expr, kb.expr), ka.free | kb.free)
+            fa, fb = ka.spec, kb.spec
+
+            def spec(bounds, fa=fa, fb=fb, ka=ka, kb=kb, kernel=kernel, self=self):
+                (alo, ahi), ra = fa(bounds)
+                (blo, bhi), rb = fb(bounds)
+                lo = alo + blo
+                hi = ahi + bhi
+                if lo == hi:
+                    return (lo, hi), self.k_lit(lo)
+                if ra is ka and rb is kb:
+                    return (lo, hi), kernel
+                return (lo, hi), self.k_add(ra, rb)
+
+            kernel.spec = spec
+            self._interned[key] = kernel
+        return kernel
+
+    def k_sub(self, ka: IntKernel, kb: IntKernel) -> IntKernel:
+        key = (Sub, id(ka), id(kb))
+        kernel = self._interned.get(key)
+        if kernel is None:
+            kernel = IntKernel(Sub(ka.expr, kb.expr), ka.free | kb.free)
+            fa, fb = ka.spec, kb.spec
+
+            def spec(bounds, fa=fa, fb=fb, ka=ka, kb=kb, kernel=kernel, self=self):
+                (alo, ahi), ra = fa(bounds)
+                (blo, bhi), rb = fb(bounds)
+                lo = alo - bhi
+                hi = ahi - blo
+                if lo == hi:
+                    return (lo, hi), self.k_lit(lo)
+                if ra is ka and rb is kb:
+                    return (lo, hi), kernel
+                return (lo, hi), self.k_sub(ra, rb)
+
+            kernel.spec = spec
+            self._interned[key] = kernel
+        return kernel
+
+    def k_neg(self, ka: IntKernel) -> IntKernel:
+        key = (Neg, id(ka))
+        kernel = self._interned.get(key)
+        if kernel is None:
+            kernel = IntKernel(Neg(ka.expr), ka.free)
+            fa = ka.spec
+
+            def spec(bounds, fa=fa, ka=ka, kernel=kernel, self=self):
+                (alo, ahi), ra = fa(bounds)
+                if alo == ahi:
+                    return (-alo, -alo), self.k_lit(-alo)
+                return (-ahi, -alo), (kernel if ra is ka else self.k_neg(ra))
+
+            kernel.spec = spec
+            self._interned[key] = kernel
+        return kernel
+
+    def k_scale(self, coeff: int, ka: IntKernel) -> IntKernel:
+        key = (Scale, coeff, id(ka))
+        kernel = self._interned.get(key)
+        if kernel is None:
+            kernel = IntKernel(Scale(coeff, ka.expr), ka.free)
+            fa = ka.spec
+
+            def spec(bounds, fa=fa, coeff=coeff, ka=ka, kernel=kernel, self=self):
+                (alo, ahi), ra = fa(bounds)
+                if coeff >= 0:
+                    lo, hi = coeff * alo, coeff * ahi
+                else:
+                    lo, hi = coeff * ahi, coeff * alo
+                if lo == hi:
+                    return (lo, hi), self.k_lit(lo)
+                return (lo, hi), (kernel if ra is ka else self.k_scale(coeff, ra))
+
+            kernel.spec = spec
+            self._interned[key] = kernel
+        return kernel
+
+    def k_abs(self, ka: IntKernel) -> IntKernel:
+        key = (Abs, id(ka))
+        kernel = self._interned.get(key)
+        if kernel is None:
+            kernel = IntKernel(Abs(ka.expr), ka.free)
+            fa = ka.spec
+
+            def spec(bounds, fa=fa, ka=ka, kernel=kernel, self=self):
+                (alo, ahi), ra = fa(bounds)
+                if alo >= 0:
+                    rng = (alo, ahi)
+                elif ahi <= 0:
+                    rng = (-ahi, -alo)
+                else:
+                    rng = (0, max(-alo, ahi))
+                if rng[0] == rng[1]:
+                    return rng, self.k_lit(rng[0])
+                if alo >= 0:
+                    return rng, ra  # abs is the identity here
+                if ahi <= 0:
+                    return rng, self.k_neg(ra)
+                return rng, (kernel if ra is ka else self.k_abs(ra))
+
+            kernel.spec = spec
+            self._interned[key] = kernel
+        return kernel
+
+    def k_min(self, ka: IntKernel, kb: IntKernel) -> IntKernel:
+        key = (Min, id(ka), id(kb))
+        kernel = self._interned.get(key)
+        if kernel is None:
+            kernel = IntKernel(Min(ka.expr, kb.expr), ka.free | kb.free)
+            fa, fb = ka.spec, kb.spec
+
+            def spec(bounds, fa=fa, fb=fb, ka=ka, kb=kb, kernel=kernel, self=self):
+                ra_rng, ra = fa(bounds)
+                rb_rng, rb = fb(bounds)
+                if ra_rng[1] <= rb_rng[0]:
+                    return ra_rng, ra
+                if rb_rng[1] <= ra_rng[0]:
+                    return rb_rng, rb
+                rng = (min(ra_rng[0], rb_rng[0]), min(ra_rng[1], rb_rng[1]))
+                if ra is ka and rb is kb:
+                    return rng, kernel
+                return rng, self.k_min(ra, rb)
+
+            kernel.spec = spec
+            self._interned[key] = kernel
+        return kernel
+
+    def k_max(self, ka: IntKernel, kb: IntKernel) -> IntKernel:
+        key = (Max, id(ka), id(kb))
+        kernel = self._interned.get(key)
+        if kernel is None:
+            kernel = IntKernel(Max(ka.expr, kb.expr), ka.free | kb.free)
+            fa, fb = ka.spec, kb.spec
+
+            def spec(bounds, fa=fa, fb=fb, ka=ka, kb=kb, kernel=kernel, self=self):
+                ra_rng, ra = fa(bounds)
+                rb_rng, rb = fb(bounds)
+                if ra_rng[0] >= rb_rng[1]:
+                    return ra_rng, ra
+                if rb_rng[0] >= ra_rng[1]:
+                    return rb_rng, rb
+                rng = (max(ra_rng[0], rb_rng[0]), max(ra_rng[1], rb_rng[1]))
+                if ra is ka and rb is kb:
+                    return rng, kernel
+                return rng, self.k_max(ra, rb)
+
+            kernel.spec = spec
+            self._interned[key] = kernel
+        return kernel
+
+    def k_ite(self, kc: BoolKernel, kt: IntKernel, ke: IntKernel) -> IntKernel:
+        key = (IntIte, id(kc), id(kt), id(ke))
+        kernel = self._interned.get(key)
+        if kernel is None:
+            kernel = IntKernel(
+                IntIte(kc.expr, kt.expr, ke.expr), kc.free | kt.free | ke.free
+            )
+            fc, ft, fe = kc.spec, kt.spec, ke.spec
+
+            def spec(
+                bounds, fc=fc, ft=ft, fe=fe, kc=kc, kt=kt, ke=ke, kernel=kernel,
+                self=self,
+            ):
+                truth, rc = fc(bounds)
+                if truth is TRUE:
+                    return ft(bounds)
+                if truth is FALSE:
+                    return fe(bounds)
+                rt_rng, rt = ft(bounds)
+                re_rng, re_ = fe(bounds)
+                rng = (min(rt_rng[0], re_rng[0]), max(rt_rng[1], re_rng[1]))
+                if rng[0] == rng[1]:
+                    return rng, self.k_lit(rng[0])
+                if rc is kc and rt is kt and re_ is ke:
+                    return rng, kernel
+                return rng, self.k_ite(rc, rt, re_)
+
+            kernel.spec = spec
+            self._interned[key] = kernel
+        return kernel
+
+    def _k_bool_lit(self, value: bool) -> BoolKernel:
+        key = (BoolLit, value)
+        kernel = self._interned.get(key)
+        if kernel is None:
+            kernel = BoolKernel(self, BoolLit(value), frozenset())
+            truth = TRUE if value else FALSE
+
+            def spec(bounds, truth=truth, kernel=kernel):
+                return truth, kernel
+
+            kernel.spec = spec
+            self._interned[key] = kernel
+        return kernel
+
+    def k_cmp(self, op: CmpOp, ka: IntKernel, kb: IntKernel) -> BoolKernel:
+        key = (Cmp, op, id(ka), id(kb))
+        kernel = self._interned.get(key)
+        if kernel is None:
+            kernel = BoolKernel(self, Cmp(op, ka.expr, kb.expr), ka.free | kb.free)
+            fa, fb = ka.spec, kb.spec
+            decide = _CMP_ABSTRACT[op]
+
+            def spec(
+                bounds, fa=fa, fb=fb, decide=decide, op=op, ka=ka, kb=kb,
+                kernel=kernel, self=self,
+            ):
+                (alo, ahi), ra = fa(bounds)
+                (blo, bhi), rb = fb(bounds)
+                truth = decide(alo, ahi, blo, bhi)
+                if truth is TRUE:
+                    return TRUE, self.k_true
+                if truth is FALSE:
+                    return FALSE, self.k_false
+                if ra is ka and rb is kb:
+                    return UNKNOWN, kernel
+                return UNKNOWN, self.k_cmp(op, ra, rb)
+
+            kernel.spec = spec
+            self._interned[key] = kernel
+        return kernel
+
+    def k_and(self, kids: tuple[BoolKernel, ...]) -> BoolKernel:
+        key = (And,) + tuple(id(k) for k in kids)
+        kernel = self._interned.get(key)
+        if kernel is None:
+            free = frozenset().union(*(k.free for k in kids)) if kids else frozenset()
+            kernel = BoolKernel(self, And(tuple(k.expr for k in kids)), free)
+            fns = tuple(k.spec for k in kids)
+            count = len(kids)
+
+            def spec(bounds, fns=fns, kids=kids, count=count, kernel=kernel, self=self):
+                kept: list[BoolKernel] = []
+                unchanged = True
+                for fn, kid in zip(fns, kids):
+                    t, r = fn(bounds)
+                    if t is FALSE:
+                        return FALSE, self.k_false
+                    if t is UNKNOWN:
+                        kept.append(r)
+                        unchanged = unchanged and r is kid
+                    else:
+                        unchanged = False
+                if not kept:
+                    return TRUE, self.k_true
+                if unchanged and len(kept) == count:
+                    return UNKNOWN, kernel
+                return UNKNOWN, kept[0] if len(kept) == 1 else self.k_and(tuple(kept))
+
+            kernel.spec = spec
+            # walk_atoms pops a stack, so children contribute last-first.
+            kernel._hints_fn = lambda kids=kids: tuple(
+                hint for kid in reversed(kids) for hint in kid.hints
+            )
+            self._interned[key] = kernel
+        return kernel
+
+    def k_or(self, kids: tuple[BoolKernel, ...]) -> BoolKernel:
+        key = (Or,) + tuple(id(k) for k in kids)
+        kernel = self._interned.get(key)
+        if kernel is None:
+            free = frozenset().union(*(k.free for k in kids)) if kids else frozenset()
+            kernel = BoolKernel(self, Or(tuple(k.expr for k in kids)), free)
+            fns = tuple(k.spec for k in kids)
+            count = len(kids)
+
+            def spec(bounds, fns=fns, kids=kids, count=count, kernel=kernel, self=self):
+                kept: list[BoolKernel] = []
+                unchanged = True
+                for fn, kid in zip(fns, kids):
+                    t, r = fn(bounds)
+                    if t is TRUE:
+                        return TRUE, self.k_true
+                    if t is UNKNOWN:
+                        kept.append(r)
+                        unchanged = unchanged and r is kid
+                    else:
+                        unchanged = False
+                if not kept:
+                    return FALSE, self.k_false
+                if unchanged and len(kept) == count:
+                    return UNKNOWN, kernel
+                return UNKNOWN, kept[0] if len(kept) == 1 else self.k_or(tuple(kept))
+
+            kernel.spec = spec
+            kernel._hints_fn = lambda kids=kids: tuple(
+                hint for kid in reversed(kids) for hint in kid.hints
+            )
+            self._interned[key] = kernel
+        return kernel
+
+    def k_not(self, ka: BoolKernel) -> BoolKernel:
+        key = (Not, id(ka))
+        kernel = self._interned.get(key)
+        if kernel is None:
+            kernel = BoolKernel(self, Not(ka.expr), ka.free)
+            fa = ka.spec
+
+            def spec(bounds, fa=fa, ka=ka, kernel=kernel, self=self):
+                t, r = fa(bounds)
+                if t is TRUE:
+                    return FALSE, self.k_false
+                if t is FALSE:
+                    return TRUE, self.k_true
+                return UNKNOWN, (kernel if r is ka else self.k_not(r))
+
+            kernel.spec = spec
+            kernel._hints_fn = lambda ka=ka: ka.hints
+            self._interned[key] = kernel
+        return kernel
+
+    def k_iff(self, ka: BoolKernel, kb: BoolKernel) -> BoolKernel:
+        key = (Iff, id(ka), id(kb))
+        kernel = self._interned.get(key)
+        if kernel is None:
+            kernel = BoolKernel(self, Iff(ka.expr, kb.expr), ka.free | kb.free)
+            fa, fb = ka.spec, kb.spec
+
+            def spec(bounds, fa=fa, fb=fb, self=self):
+                ta, ra = fa(bounds)
+                tb, rb = fb(bounds)
+                if ta is not UNKNOWN and tb is not UNKNOWN:
+                    return (TRUE, self.k_true) if ta is tb else (FALSE, self.k_false)
+                if ta is not UNKNOWN:
+                    return UNKNOWN, (rb if ta is TRUE else self.k_not(rb))
+                if tb is not UNKNOWN:
+                    return UNKNOWN, (ra if tb is TRUE else self.k_not(ra))
+                return UNKNOWN, self.k_iff(ra, rb)
+
+            kernel.spec = spec
+            # walk_atoms pushes (left, right) and pops right first.
+            kernel._hints_fn = lambda ka=ka, kb=kb: kb.hints + ka.hints
+            self._interned[key] = kernel
+        return kernel
+
+    def k_inset(self, ka: IntKernel, values: frozenset[int]) -> BoolKernel:
+        # frozenset caches its own hash, so the values set is cheap to key on.
+        key = (InSet, id(ka), values)
+        kernel = self._interned.get(key)
+        if kernel is None:
+            kernel = BoolKernel(self, InSet(ka.expr, values), ka.free)
+            fa = ka.spec
+
+            def spec(bounds, fa=fa, values=values, ka=ka, kernel=kernel, self=self):
+                (alo, ahi), ra = fa(bounds)
+                truth = _inset_range((alo, ahi), values)
+                if truth is TRUE:
+                    return TRUE, self.k_true
+                if truth is FALSE:
+                    return FALSE, self.k_false
+                live = frozenset(v for v in values if alo <= v <= ahi)
+                if ra is ka and live == values:
+                    return UNKNOWN, kernel
+                return UNKNOWN, self.k_inset(ra, live)
+
+            kernel.spec = spec
+            self._interned[key] = kernel
+        return kernel
+
+    # ------------------------------------------------------------------
+    # Concrete kernels (positional-argument closures for the run path)
+    # ------------------------------------------------------------------
+    def concrete_bool(self, expr: BoolExpr) -> Callable[[tuple[int, ...]], bool]:
+        """A ``values -> bool`` closure agreeing with ``eval_bool``."""
+        cached = self._concrete.get(id(expr))
+        if cached is None:
+            cached = (expr, self._compile_concrete_bool(expr))
+            self._concrete[id(expr)] = cached
+        return cached[1]
+
+    def concrete_int(self, expr: IntExpr) -> Callable[[tuple[int, ...]], int]:
+        """A ``values -> int`` closure agreeing with ``eval_int``."""
+        cached = self._concrete.get(id(expr))
+        if cached is None:
+            cached = (expr, self._compile_concrete_int(expr))
+            self._concrete[id(expr)] = cached
+        return cached[1]
+
+    def _compile_concrete_int(self, expr: IntExpr) -> Callable:
+        match expr:
+            case Lit(value):
+                return lambda values, value=value: value
+            case Var(name):
+                dim = self.index[name]
+                return lambda values, dim=dim: values[dim]
+            case Add(left, right):
+                fa, fb = self.concrete_int(left), self.concrete_int(right)
+                return lambda values, fa=fa, fb=fb: fa(values) + fb(values)
+            case Sub(left, right):
+                fa, fb = self.concrete_int(left), self.concrete_int(right)
+                return lambda values, fa=fa, fb=fb: fa(values) - fb(values)
+            case Neg(arg):
+                fa = self.concrete_int(arg)
+                return lambda values, fa=fa: -fa(values)
+            case Scale(coeff, arg):
+                fa = self.concrete_int(arg)
+                return lambda values, fa=fa, coeff=coeff: coeff * fa(values)
+            case Abs(arg):
+                fa = self.concrete_int(arg)
+                return lambda values, fa=fa: abs(fa(values))
+            case Min(left, right):
+                fa, fb = self.concrete_int(left), self.concrete_int(right)
+                return lambda values, fa=fa, fb=fb: min(fa(values), fb(values))
+            case Max(left, right):
+                fa, fb = self.concrete_int(left), self.concrete_int(right)
+                return lambda values, fa=fa, fb=fb: max(fa(values), fb(values))
+            case IntIte(cond, then_branch, else_branch):
+                fc = self.concrete_bool(cond)
+                ft = self.concrete_int(then_branch)
+                fe = self.concrete_int(else_branch)
+                return lambda values, fc=fc, ft=ft, fe=fe: (
+                    ft(values) if fc(values) else fe(values)
+                )
+            case _:
+                raise TypeError(f"not an integer expression: {expr!r}")
+
+    def _compile_concrete_bool(self, expr: BoolExpr) -> Callable:
+        match expr:
+            case BoolLit(value):
+                return lambda values, value=value: value
+            case Cmp(op, left, right):
+                fa, fb = self.concrete_int(left), self.concrete_int(right)
+                cmp = _CMP_CONCRETE[op]
+                return lambda values, fa=fa, fb=fb, cmp=cmp: cmp(fa(values), fb(values))
+            case And(args):
+                fns = tuple(self.concrete_bool(arg) for arg in args)
+
+                def run_and(values, fns=fns):
+                    for fn in fns:
+                        if not fn(values):
+                            return False
+                    return True
+
+                return run_and
+            case Or(args):
+                fns = tuple(self.concrete_bool(arg) for arg in args)
+
+                def run_or(values, fns=fns):
+                    for fn in fns:
+                        if fn(values):
+                            return True
+                    return False
+
+                return run_or
+            case Not(arg):
+                fa = self.concrete_bool(arg)
+                return lambda values, fa=fa: not fa(values)
+            case Implies(antecedent, consequent):
+                fa = self.concrete_bool(antecedent)
+                fb = self.concrete_bool(consequent)
+                return lambda values, fa=fa, fb=fb: (not fa(values)) or fb(values)
+            case Iff(left, right):
+                fa, fb = self.concrete_bool(left), self.concrete_bool(right)
+                return lambda values, fa=fa, fb=fb: fa(values) == fb(values)
+            case InSet(arg, values_set):
+                fa = self.concrete_int(arg)
+                return lambda values, fa=fa, members=values_set: fa(values) in members
+            case _:
+                raise TypeError(f"not a boolean expression: {expr!r}")
+
+    # ------------------------------------------------------------------
+    # Grid kernels (NumPy closures for vectorized finishing)
+    # ------------------------------------------------------------------
+    def grid_bool(self, expr: BoolExpr) -> Callable:
+        """A ``grids -> bool mask`` closure over positional NumPy grids."""
+        cached = self._grid.get(id(expr))
+        if cached is None:
+            cached = (expr, self._compile_grid_bool(expr))
+            self._grid[id(expr)] = cached
+        return cached[1]
+
+    def grid_int(self, expr: IntExpr) -> Callable:
+        """A ``grids -> int array`` closure over positional NumPy grids."""
+        cached = self._grid.get(id(expr))
+        if cached is None:
+            cached = (expr, self._compile_grid_int(expr))
+            self._grid[id(expr)] = cached
+        return cached[1]
+
+    def _compile_grid_int(self, expr: IntExpr) -> Callable:
+        np = vectoreval.require_numpy()
+        match expr:
+            case Lit(value):
+                return lambda grids, value=value: value
+            case Var(name):
+                dim = self.index[name]
+                return lambda grids, dim=dim: grids[dim]
+            case Add(left, right):
+                fa, fb = self.grid_int(left), self.grid_int(right)
+                return lambda grids, fa=fa, fb=fb: fa(grids) + fb(grids)
+            case Sub(left, right):
+                fa, fb = self.grid_int(left), self.grid_int(right)
+                return lambda grids, fa=fa, fb=fb: fa(grids) - fb(grids)
+            case Neg(arg):
+                fa = self.grid_int(arg)
+                return lambda grids, fa=fa: -fa(grids)
+            case Scale(coeff, arg):
+                fa = self.grid_int(arg)
+                return lambda grids, fa=fa, coeff=coeff: coeff * fa(grids)
+            case Abs(arg):
+                fa = self.grid_int(arg)
+                return lambda grids, fa=fa, np=np: np.abs(fa(grids))
+            case Min(left, right):
+                fa, fb = self.grid_int(left), self.grid_int(right)
+                return lambda grids, fa=fa, fb=fb, np=np: np.minimum(
+                    fa(grids), fb(grids)
+                )
+            case Max(left, right):
+                fa, fb = self.grid_int(left), self.grid_int(right)
+                return lambda grids, fa=fa, fb=fb, np=np: np.maximum(
+                    fa(grids), fb(grids)
+                )
+            case IntIte(cond, then_branch, else_branch):
+                fc = self.grid_bool(cond)
+                ft = self.grid_int(then_branch)
+                fe = self.grid_int(else_branch)
+                return lambda grids, fc=fc, ft=ft, fe=fe, np=np: np.where(
+                    fc(grids), ft(grids), fe(grids)
+                )
+            case _:
+                raise TypeError(f"not an integer expression: {expr!r}")
+
+    def _compile_grid_bool(self, expr: BoolExpr) -> Callable:
+        np = vectoreval.require_numpy()
+        match expr:
+            case BoolLit(value):
+                return lambda grids, value=value: value
+            case Cmp(op, left, right):
+                fa, fb = self.grid_int(left), self.grid_int(right)
+                cmp = _CMP_CONCRETE[op]
+                return lambda grids, fa=fa, fb=fb, cmp=cmp: cmp(fa(grids), fb(grids))
+            case And(args):
+                fns = tuple(self.grid_bool(arg) for arg in args)
+
+                def run_and(grids, fns=fns):
+                    result = True
+                    for fn in fns:
+                        result = result & fn(grids)
+                    return result
+
+                return run_and
+            case Or(args):
+                fns = tuple(self.grid_bool(arg) for arg in args)
+
+                def run_or(grids, fns=fns):
+                    result = False
+                    for fn in fns:
+                        result = result | fn(grids)
+                    return result
+
+                return run_or
+            case Not(arg):
+                # logical_not, not ``~``: on scalar Python bools ``~True``
+                # is -2, which would silently corrupt mask reductions.
+                fa = self.grid_bool(arg)
+                return lambda grids, fa=fa, np=np: np.logical_not(fa(grids))
+            case Implies(antecedent, consequent):
+                fa = self.grid_bool(antecedent)
+                fb = self.grid_bool(consequent)
+                return lambda grids, fa=fa, fb=fb, np=np: (
+                    np.logical_not(fa(grids)) | fb(grids)
+                )
+            case Iff(left, right):
+                fa, fb = self.grid_bool(left), self.grid_bool(right)
+                return lambda grids, fa=fa, fb=fb: fa(grids) == fb(grids)
+            case InSet(arg, values):
+                fa = self.grid_int(arg)
+                members = np.array(sorted(values), dtype=np.int64)
+                return lambda grids, fa=fa, members=members, np=np: np.isin(
+                    fa(grids), members
+                )
+            case _:
+                raise TypeError(f"not a boolean expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# The service-layer seam: one compiled predicate per (query, secret type)
+# ---------------------------------------------------------------------------
+
+_PREDICATE_CACHE: dict[tuple[BoolExpr, tuple[str, ...]], Callable] = {}
+_PREDICATE_CACHE_CAP = 1024
+
+
+def concrete_predicate(
+    query: BoolExpr, names: Sequence[str]
+) -> Callable[[Mapping[str, int]], bool]:
+    """A compiled ``env -> bool`` predicate for a query, cached structurally.
+
+    This is what makes ``QInfo.run`` (and therefore every service
+    ``downgrade``) pay the lowering once per distinct query instead of a
+    full tree walk per request.
+    """
+    key = (query, tuple(names))
+    fn = _PREDICATE_CACHE.get(key)
+    if fn is None:
+        space = KernelSpace(names)
+        raw = space.concrete_bool(query)
+        order = tuple(names)
+
+        def fn(env: Mapping[str, int], raw=raw, order=order) -> bool:
+            return raw(tuple(env[name] for name in order))
+
+        if len(_PREDICATE_CACHE) >= _PREDICATE_CACHE_CAP:
+            _PREDICATE_CACHE.clear()
+        _PREDICATE_CACHE[key] = fn
+    return fn

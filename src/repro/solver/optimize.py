@@ -22,6 +22,14 @@ time budget suffices).
 A soft wall-clock budget mirrors Z3's optimization timeouts: on expiry the
 search returns the best box found so far — still *correct* (verification is
 separate), merely less precise, exactly like the paper's B4 benchmark.
+
+Every optimizer call builds **one** evaluation engine (compiled kernels by
+default, see :mod:`repro.solver.kernels`) and threads it through all of
+its probes: the query is lowered once, and the specialization memo is
+shared across the doubling/halving probes — which re-decide heavily
+overlapping slabs — instead of being rebuilt per ``decide_forall`` call.
+Aggregate :class:`~repro.solver.decide.SolverStats` for the whole
+optimization come back on the :class:`OptimizeOutcome`.
 """
 
 from __future__ import annotations
@@ -32,7 +40,13 @@ from typing import Sequence
 
 from repro.lang.ast import BoolExpr
 from repro.solver.boxes import Box
-from repro.solver.decide import decide_forall, find_model, find_true_box
+from repro.solver.decide import (
+    SolverStats,
+    decide_forall,
+    find_model,
+    find_true_box,
+    make_engine,
+)
 
 __all__ = ["OptimizeOptions", "OptimizeOutcome", "maximal_box", "bounding_box"]
 
@@ -44,12 +58,19 @@ class OptimizeOptions:
     ``time_budget`` is a soft per-call limit in seconds (``None`` = no
     limit): growth stops and the current best is returned when exceeded.
     ``mode`` is ``"balanced"`` (round-robin, Pareto-like) or
-    ``"lexicographic"`` (ablation A1).
+    ``"lexicographic"`` (ablation A1).  ``use_kernels`` selects the
+    compiled-kernel engine (default) or the tree-walking interpreter;
+    ``vector_threshold`` caps vectorized small-box finishing (``None`` =
+    engine default, ``0`` = pure Python).
     """
 
     seed_pops: int = 50_000
     mode: str = "balanced"
     time_budget: float | None = 10.0
+    use_kernels: bool = True
+    vector_threshold: int | None = None
+    #: Pre-kernel split heuristic; benchmark baselines only.
+    legacy_splits: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in ("balanced", "lexicographic"):
@@ -63,6 +84,8 @@ class OptimizeOutcome:
     box: Box | None
     timed_out: bool
     proved_empty: bool = False
+    #: Aggregate solver counters across every probe of the optimization.
+    stats: SolverStats | None = None
 
 
 class _Deadline:
@@ -76,35 +99,98 @@ class _Deadline:
         return self.expired
 
 
+@dataclass
+class _Search:
+    """Everything one optimization run threads through its probes."""
+
+    engine: object
+    stats: SolverStats
+    vector_threshold: int | None
+    deadline: _Deadline
+
+    def forall(self, phi: BoolExpr, box: Box, names: Sequence[str]) -> bool:
+        return decide_forall(
+            phi,
+            box,
+            names,
+            self.stats,
+            engine=self.engine,
+            vector_threshold=self.vector_threshold,
+        )
+
+    def model(self, phi: BoolExpr, box: Box, names: Sequence[str]):
+        return find_model(
+            phi,
+            box,
+            names,
+            self.stats,
+            engine=self.engine,
+            vector_threshold=self.vector_threshold,
+        )
+
+
+def _search_for(
+    names: Sequence[str], options: OptimizeOptions, engine=None
+) -> _Search:
+    return _Search(
+        engine=engine
+        if engine is not None
+        else make_engine(
+            names, options.use_kernels, legacy_splits=options.legacy_splits
+        ),
+        stats=SolverStats(),
+        vector_threshold=options.vector_threshold,
+        deadline=_Deadline(options.time_budget),
+    )
+
+
 def maximal_box(
     phi: BoolExpr,
     space: Box,
     names: Sequence[str],
     options: OptimizeOptions = OptimizeOptions(),
+    *,
+    engine=None,
 ) -> OptimizeOutcome:
     """A maximal box inside the region ``{x in space | phi(x)}``.
 
     Returns ``box=None`` when the region is empty (``proved_empty=True``)
-    or when no all-true seed was found within budget.
+    or when no all-true seed was found within budget.  Passing a shared
+    ``engine`` lets a caller amortize one query lowering (and one
+    specialization memo) over many optimizer calls.
     """
-    deadline = _Deadline(options.time_budget)
-    seeded = find_true_box(phi, space, names, max_pops=options.seed_pops)
+    search = _search_for(names, options, engine)
+    seeded = find_true_box(
+        phi,
+        space,
+        names,
+        max_pops=options.seed_pops,
+        stats=search.stats,
+        engine=search.engine,
+        vector_threshold=options.vector_threshold,
+    )
     if seeded.box is None:
         if seeded.exhausted:
-            return OptimizeOutcome(None, timed_out=False, proved_empty=True)
+            return OptimizeOutcome(
+                None, timed_out=False, proved_empty=True, stats=search.stats
+            )
         # Budgeted search failed; fall back to a point witness if any.
-        witness = find_model(phi, space, names)
+        witness = search.model(phi, space, names)
         if witness is None:
-            return OptimizeOutcome(None, timed_out=False, proved_empty=True)
+            return OptimizeOutcome(
+                None, timed_out=False, proved_empty=True, stats=search.stats
+            )
         seed = Box(tuple((x, x) for x in witness))
     else:
         seed = seeded.box
 
     if options.mode == "balanced":
-        grown = _grow_balanced(phi, seed, space, names, deadline)
+        grown = _grow_balanced(phi, seed, space, names, search)
     else:
-        grown = _grow_lexicographic(phi, seed, space, names, deadline)
-    return OptimizeOutcome(grown, timed_out=deadline.expired)
+        grown = _grow_lexicographic(phi, seed, space, names, search)
+    return OptimizeOutcome(
+        grown, timed_out=search.deadline.expired, stats=search.stats
+    )
 
 
 def _slab(box: Box, space: Box, dim: int, side: str, step: int) -> Box | None:
@@ -135,13 +221,13 @@ def _grow_balanced(
     box: Box,
     space: Box,
     names: Sequence[str],
-    deadline: _Deadline,
+    search: _Search,
 ) -> Box:
     """Round-robin doubling growth of every face until all are stuck."""
     faces = [(dim, side) for dim in range(box.arity) for side in ("lo", "hi")]
     steps = {face: 1 for face in faces}
     alive = set(faces)
-    while alive and not deadline.over():
+    while alive and not search.deadline.over():
         for face in faces:
             if face not in alive:
                 continue
@@ -151,14 +237,14 @@ def _grow_balanced(
             if slab is None:
                 alive.discard(face)
                 continue
-            if decide_forall(phi, slab, names):
+            if search.forall(phi, slab, names):
                 box = _extend(box, slab, dim)
                 steps[face] = step * 2
             elif step > 1:
                 steps[face] = max(step // 2, 1)
             else:
                 alive.discard(face)
-            if deadline.over():
+            if search.deadline.over():
                 break
     return box
 
@@ -168,14 +254,14 @@ def _grow_lexicographic(
     box: Box,
     space: Box,
     names: Sequence[str],
-    deadline: _Deadline,
+    search: _Search,
 ) -> Box:
     """Exhaust one face completely before touching the next (ablation)."""
     for dim in range(box.arity):
         for side in ("lo", "hi"):
-            if deadline.over():
+            if search.deadline.over():
                 return box
-            grown = _max_extension(phi, box, space, names, dim, side)
+            grown = _max_extension(phi, box, space, names, dim, side, search)
             if grown is not None:
                 box = grown
     return box
@@ -188,6 +274,7 @@ def _max_extension(
     names: Sequence[str],
     dim: int,
     side: str,
+    search: _Search,
 ) -> Box | None:
     """Binary-search the largest valid extension of one face, if any."""
     lo, hi = box.bounds[dim]
@@ -201,7 +288,7 @@ def _max_extension(
         mid = (low + high) // 2
         slab = _slab(box, space, dim, side, mid)
         assert slab is not None
-        if decide_forall(phi, slab, names):
+        if search.forall(phi, slab, names):
             best = mid
             low = mid + 1
         else:
@@ -218,6 +305,8 @@ def bounding_box(
     space: Box,
     names: Sequence[str],
     options: OptimizeOptions = OptimizeOptions(),
+    *,
+    engine=None,
 ) -> OptimizeOutcome:
     """The minimal box covering ``{x in space | phi(x)}``.
 
@@ -227,21 +316,25 @@ def bounding_box(
     region.  On budget expiry the not-yet-tightened faces keep their space
     bounds — a sound but looser cover.
     """
-    deadline = _Deadline(options.time_budget)
-    witness = find_model(phi, space, names)
+    search = _search_for(names, options, engine)
+    witness = search.model(phi, space, names)
     if witness is None:
-        return OptimizeOutcome(None, timed_out=False, proved_empty=True)
+        return OptimizeOutcome(
+            None, timed_out=False, proved_empty=True, stats=search.stats
+        )
 
     bounds: list[tuple[int, int]] = []
     for dim in range(space.arity):
         slo, shi = space.bounds[dim]
-        if deadline.over():
+        if search.deadline.over():
             bounds.append((slo, shi))
             continue
-        low = _search_face(phi, space, names, dim, "lo", witness[dim], deadline)
-        high = _search_face(phi, space, names, dim, "hi", witness[dim], deadline)
+        low = _search_face(phi, space, names, dim, "lo", witness[dim], search)
+        high = _search_face(phi, space, names, dim, "hi", witness[dim], search)
         bounds.append((low, high))
-    return OptimizeOutcome(Box(tuple(bounds)), timed_out=deadline.expired)
+    return OptimizeOutcome(
+        Box(tuple(bounds)), timed_out=search.deadline.expired, stats=search.stats
+    )
 
 
 def _search_face(
@@ -251,30 +344,30 @@ def _search_face(
     dim: int,
     side: str,
     witness_coord: int,
-    deadline: _Deadline,
+    search: _Search,
 ) -> int:
     """Binary-search the extreme coordinate of the region along one face."""
     slo, shi = space.bounds[dim]
     if side == "lo":
         low, high = slo, witness_coord
         best = witness_coord
-        while low <= high and not deadline.over():
+        while low <= high and not search.deadline.over():
             mid = (low + high) // 2
             restricted = space.with_dim(dim, low, mid)
-            if find_model(phi, restricted, names) is not None:
+            if search.model(phi, restricted, names) is not None:
                 best = mid
                 high = mid - 1
             else:
                 low = mid + 1
-        return best if not deadline.over() else slo
+        return best if not search.deadline.over() else slo
     low, high = witness_coord, shi
     best = witness_coord
-    while low <= high and not deadline.over():
+    while low <= high and not search.deadline.over():
         mid = (low + high) // 2
         restricted = space.with_dim(dim, mid, high)
-        if find_model(phi, restricted, names) is not None:
+        if search.model(phi, restricted, names) is not None:
             best = mid
             low = mid + 1
         else:
             high = mid - 1
-    return best if not deadline.over() else shi
+    return best if not search.deadline.over() else shi

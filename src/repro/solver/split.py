@@ -1,0 +1,476 @@
+"""Split selection for branch-and-bound: heuristics + precompiled hints.
+
+The splitting strategy is shared by every decision procedure and by both
+evaluation engines (the tree-walking interpreter and the compiled kernels
+of :mod:`repro.solver.kernels`):
+
+* :func:`choose_split` — boundary-guided selection.  If some undecided
+  atom constrains a single variable by a constant *inside its current
+  range*, cut exactly there so the atom decides on both sides; fall back
+  to bisecting the widest live dimension.
+* :func:`extract_split_hints` / :func:`choose_split_hinted` — the same
+  decision split into a *compile-time* extraction (atom walk, linear-term
+  normalization, name-to-dimension resolution, done once per formula) and
+  a cheap per-box replay.  ``choose_split`` simply extracts and replays,
+  so the two paths cannot diverge — which is what keeps the kernel
+  engine's search trees bit-identical to the interpreter's (asserted by
+  the differential tests).
+
+Atoms are normalized to ``t_1 + ... + t_n  op  C`` where each term is
+``k·x`` or ``a·|k·x + s|`` and ``C`` absorbs every literal.  Each term
+then yields cut candidates from the slack the *other* terms leave it:
+for ``Σt ≤ C`` the atom can only hold where ``t_i ≤ C - Σ_{j≠i} min t_j``,
+and for ``Σt ≥ C`` it must hold where ``t_i ≥ C - Σ_{j≠i} min t_j``.
+Inverting a term over its variable turns those bounds into exact cut
+coordinates.  This is what collapses the Manhattan-ball queries that
+dominate the paper's benchmarks (``|x-cx| + |y-cy| <= r``): the cuts land
+exactly on the ball's bounding-box faces instead of bisecting blindly
+along the boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.lang.ast import (
+    Abs,
+    Add,
+    BoolExpr,
+    Cmp,
+    CmpOp,
+    Iff,
+    Implies,
+    InSet,
+    IntExpr,
+    Lit,
+    Neg,
+    Not,
+    Or,
+    Scale,
+    Sub,
+    Var,
+)
+from repro.lang.ast import And as AstAnd
+from repro.lang.transform import free_vars
+from repro.solver.boxes import Box
+
+__all__ = [
+    "var_bound",
+    "walk_atoms",
+    "choose_split",
+    "split_at",
+    "SplitHint",
+    "extract_split_hints",
+    "choose_split_hinted",
+]
+
+#: Most atoms in real queries have a handful of terms; anything larger is
+#: unlikely to produce useful cuts and would slow hint replay.
+_MAX_TERMS = 8
+
+
+def var_bound(atom: BoolExpr) -> tuple[str, CmpOp, int] | None:
+    """Normalize a single-variable bound atom to ``(name, op, const)``.
+
+    Recognizes ``x op c`` modulo one level of linear wrapping
+    (``x + a op c``, ``x - a op c``, ``c op x``, ``-x op c``,
+    ``k * x op c``).  The sum-of-terms normalization below subsumes this
+    for orderings; it remains the cut source for ``==`` / ``!=`` atoms.
+    """
+    if not isinstance(atom, Cmp):
+        return None
+    op, left, right = atom.op, atom.left, atom.right
+    if isinstance(left, Lit) and not isinstance(right, Lit):
+        left, right, op = right, left, op.flip()
+    if not isinstance(right, Lit):
+        return None
+    c = right.value
+    match left:
+        case Var(name):
+            return name, op, c
+        case Add(Var(name), Lit(a)) | Add(Lit(a), Var(name)):
+            return name, op, c - a
+        case Sub(Var(name), Lit(a)):
+            return name, op, c + a
+        case Sub(Lit(a), Var(name)):
+            return name, op.flip(), a - c
+        case Neg(Var(name)):
+            return name, op.flip(), -c
+        case Scale(k, Var(name)) if k > 0 and c % k == 0:
+            return name, op, c // k
+        case _:
+            return None
+
+
+def walk_atoms(expr: BoolExpr):
+    """Yield the ``Cmp``/``InSet`` atoms of a formula, in a fixed order."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        match node:
+            case Cmp() | InSet():
+                yield node
+            case AstAnd(args) | Or(args):
+                stack.extend(args)
+            case Not(arg):
+                stack.append(arg)
+            case Implies(a, b) | Iff(a, b):
+                stack.extend((a, b))
+            case _:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Sum-of-terms normalization
+# ---------------------------------------------------------------------------
+# A parsed term is ("lin", dim, k) meaning k*x_dim, or ("abs", dim, k, s, a)
+# meaning a*|k*x_dim + s|.
+
+
+def _ceil_div(p: int, q: int) -> int:
+    return -((-p) // q)
+
+
+class _ParseFailure(Exception):
+    pass
+
+
+def _collect_terms(
+    expr: IntExpr, sign: int, index_of: dict[str, int], lin: dict[int, int],
+    abs_terms: list, const: list[int],
+) -> None:
+    """Accumulate ``sign * expr`` into linear coefficients / abs terms."""
+    if sign == 0:
+        return
+    match expr:
+        case Lit(value):
+            const[0] += sign * value
+        case Var(name):
+            dim = index_of[name]
+            lin[dim] = lin.get(dim, 0) + sign
+        case Add(left, right):
+            _collect_terms(left, sign, index_of, lin, abs_terms, const)
+            _collect_terms(right, sign, index_of, lin, abs_terms, const)
+        case Sub(left, right):
+            _collect_terms(left, sign, index_of, lin, abs_terms, const)
+            _collect_terms(right, -sign, index_of, lin, abs_terms, const)
+        case Neg(arg):
+            _collect_terms(arg, -sign, index_of, lin, abs_terms, const)
+        case Scale(coeff, arg):
+            _collect_terms(arg, sign * coeff, index_of, lin, abs_terms, const)
+        case Abs(arg):
+            inner = _linear_inner(arg, index_of)
+            if inner is None:
+                raise _ParseFailure
+            dim, k, s = inner
+            abs_terms.append(("abs", dim, k, s, sign))
+        case _:
+            raise _ParseFailure
+
+
+def _linear_inner(
+    expr: IntExpr, index_of: dict[str, int]
+) -> tuple[int, int, int] | None:
+    """Parse a single-variable linear expression into ``(dim, k, s)``."""
+    lin: dict[int, int] = {}
+    abs_terms: list = []
+    const = [0]
+    try:
+        _collect_terms(expr, 1, index_of, lin, abs_terms, const)
+    except _ParseFailure:
+        return None
+    if abs_terms:
+        return None
+    live = {dim: k for dim, k in lin.items() if k != 0}
+    if len(live) != 1:
+        return None
+    ((dim, k),) = live.items()
+    return dim, k, const[0]
+
+
+def _parse_sum_atom(atom: Cmp, index_of: dict[str, int]):
+    """Normalize an ordering atom to ``("sum", op, C, terms)`` or ``None``."""
+    op = atom.op
+    if op is CmpOp.LT:
+        norm_op, adjust = CmpOp.LE, -1  # integer sums: t < c  <=>  t <= c-1
+    elif op is CmpOp.GT:
+        norm_op, adjust = CmpOp.GE, 1
+    elif op is CmpOp.LE or op is CmpOp.GE:
+        norm_op, adjust = op, 0
+    else:
+        return None
+    lin: dict[int, int] = {}
+    abs_terms: list = []
+    const = [0]
+    try:
+        _collect_terms(atom.left, 1, index_of, lin, abs_terms, const)
+        _collect_terms(atom.right, -1, index_of, lin, abs_terms, const)
+    except _ParseFailure:
+        return None
+    terms = tuple(
+        ("lin", dim, k) for dim, k in lin.items() if k != 0
+    ) + tuple(abs_terms)
+    if not terms or len(terms) > _MAX_TERMS:
+        return None
+    return ("sum", norm_op, -const[0] + adjust, terms)
+
+
+def _abs_range(lo: int, hi: int, k: int, s: int) -> tuple[int, int]:
+    """Range of ``|k*x + s|`` for ``x`` in ``[lo, hi]``."""
+    if k > 0:
+        ulo, uhi = k * lo + s, k * hi + s
+    else:
+        ulo, uhi = k * hi + s, k * lo + s
+    if ulo >= 0:
+        return ulo, uhi
+    if uhi <= 0:
+        return -uhi, -ulo
+    return 0, max(-ulo, uhi)
+
+
+def _term_min(term, bounds) -> int:
+    if term[0] == "lin":
+        _, dim, k = term
+        lo, hi = bounds[dim]
+        return k * lo if k > 0 else k * hi
+    _, dim, k, s, a = term
+    alo, ahi = _abs_range(*bounds[dim], k, s)
+    return a * alo if a > 0 else a * ahi
+
+
+def _sum_cuts(op: CmpOp, bound: int, terms, bounds, out: list) -> None:
+    """Append candidate ``(dim, cut)`` pairs of a normalized sum atom.
+
+    ``Σt op bound``: the slack the other terms' minima leave a term bounds
+    where the atom can hold (``<=``) or must hold (``>=``); inverting the
+    term over its variable turns the bound into cut coordinates.
+    """
+    total_min = 0
+    mins = []
+    for term in terms:
+        m = _term_min(term, bounds)
+        mins.append(m)
+        total_min += m
+    le = op is CmpOp.LE
+    for index, term in enumerate(terms):
+        slack = bound - (total_min - mins[index])
+        if term[0] == "lin":
+            _, dim, k = term
+            if le:
+                # k*x <= slack is necessary for the atom.
+                out.append((dim, slack // k) if k > 0 else (dim, _ceil_div(slack, k) - 1))
+            else:
+                # k*x >= slack is sufficient for the atom.
+                out.append((dim, _ceil_div(slack, k) - 1) if k > 0 else (dim, slack // k))
+            continue
+        _, dim, k, s, a = term
+        if a <= 0:
+            continue
+        if le:
+            # a*|k*x+s| <= slack is necessary: x confined to one interval.
+            m = slack // a
+            if m < 0:
+                continue
+            if k > 0:
+                x_lo, x_hi = _ceil_div(-m - s, k), (m - s) // k
+            else:
+                x_lo, x_hi = _ceil_div(m - s, k), (-m - s) // k
+            out.append((dim, x_lo - 1))
+            out.append((dim, x_hi))
+        else:
+            # a*|k*x+s| >= need is sufficient: x outside one interval.
+            need = _ceil_div(slack, a)
+            if need <= 0:
+                continue
+            if k > 0:
+                out.append((dim, (-need - s) // k))
+                out.append((dim, _ceil_div(need - s, k) - 1))
+            else:
+                out.append((dim, (need - s) // k))
+                out.append((dim, _ceil_div(-need - s, k) - 1))
+
+
+# ---------------------------------------------------------------------------
+# Hints: per-formula extraction + per-box replay
+# ---------------------------------------------------------------------------
+
+#: One candidate cut source.  ``kind`` is ``"sum"`` (normalized ordering
+#: atom), ``"cmp"`` (single-variable ``==``/``!=`` bound), or ``"inset"``.
+SplitHint = tuple
+
+
+def _cmp_cut(op: CmpOp, c: int, hi: int) -> int:
+    """The cut a ``==``/``!=`` bound atom suggests (isolate ``c`` low)."""
+    return c if c < hi else c - 1
+
+
+def _inset_cut(members: list[int], lo: int, hi: int) -> int | None:
+    """The cut an ``InSet`` atom suggests: the end of the first member run."""
+    if not members:
+        return None
+    if lo < members[0]:
+        return members[0] - 1
+    run_end = members[0]
+    for value in members[1:]:
+        if value != run_end + 1:
+            break
+        run_end = value
+    if run_end < hi:
+        return run_end
+    return None
+
+
+def _simplify_sum_hint(hint) -> list:
+    """Constant-fold a single-term sum hint into fixed ``("cut", ...)`` hints.
+
+    With no other terms the slack equals the bound regardless of the box
+    (the term's own minimum cancels out of :func:`_sum_cuts`' arithmetic),
+    so the cut coordinates are constants — most box-membership region
+    atoms (``x >= 150``) and single-``abs`` bounds fold this way, which
+    keeps hint replay O(1) per such atom.  Delegates to :func:`_sum_cuts`
+    with placeholder bounds so there is exactly one copy of the cut math.
+    """
+    _, op, bound, terms = hint
+    if len(terms) != 1:
+        return [hint]
+    placeholder = ((0, 0),) * (terms[0][1] + 1)
+    cuts: list[tuple[int, int]] = []
+    _sum_cuts(op, bound, terms, placeholder, cuts)
+    return [("cut", dim, cut) for dim, cut in cuts]
+
+
+def extract_split_hints(
+    expr: BoolExpr, index_of: dict[str, int], *, legacy: bool = False
+) -> tuple[SplitHint, ...]:
+    """Lower a formula's atoms into box-independent cut generators.
+
+    The hint order matches :func:`walk_atoms` so the replay breaks width
+    ties exactly like a direct walk would.  ``legacy=True`` disables the
+    sum-of-terms analysis and reproduces the pre-kernel heuristic
+    (single-variable ``var_bound`` cuts only) — kept so benchmarks can
+    measure against a faithful baseline.
+    """
+    hints: list[SplitHint] = []
+    for atom in walk_atoms(expr):
+        if isinstance(atom, Cmp):
+            if not legacy:
+                sum_hint = _parse_sum_atom(atom, index_of)
+                if sum_hint is not None:
+                    hints.extend(_simplify_sum_hint(sum_hint))
+                    continue
+            bound = var_bound(atom)
+            if bound is not None:
+                name, op, c = bound
+                hints.append(("cmp", index_of[name], op, c))
+        elif isinstance(atom, InSet) and isinstance(atom.arg, Var):
+            hints.append(
+                ("inset", index_of[atom.arg.name], tuple(sorted(atom.values)))
+            )
+    return tuple(hints)
+
+
+def choose_split_hinted(
+    hints: tuple[SplitHint, ...],
+    live: frozenset[str],
+    box: Box,
+    names: Sequence[str],
+) -> tuple[int, int]:
+    """Replay precompiled hints on a box; fall back to widest-dim bisection."""
+    bounds = box.bounds
+    best_width = 0
+    best_dim = -1
+    best_cut = 0
+    candidates: list[tuple[int, int]] = []
+    for hint in hints:
+        kind = hint[0]
+        if kind == "cut":
+            _, dim, cut = hint
+            lo, hi = bounds[dim]
+            if lo <= cut < hi:
+                width = hi - lo + 1
+                if width > best_width:
+                    best_width, best_dim, best_cut = width, dim, cut
+            continue
+        if kind == "sum":
+            candidates.clear()
+            _sum_cuts(hint[1], hint[2], hint[3], bounds, candidates)
+            for dim, cut in candidates:
+                lo, hi = bounds[dim]
+                if lo <= cut < hi:
+                    width = hi - lo + 1
+                    if width > best_width:
+                        best_width, best_dim, best_cut = width, dim, cut
+            continue
+        if kind == "cmp":
+            _, dim, op, c = hint
+            lo, hi = bounds[dim]
+            if op is CmpOp.LE or op is CmpOp.GT:
+                cut = c
+            elif op is CmpOp.LT or op is CmpOp.GE:
+                cut = c - 1
+            else:
+                cut = _cmp_cut(op, c, hi)
+            if lo <= cut < hi:
+                width = hi - lo + 1
+                if width > best_width:
+                    best_width, best_dim, best_cut = width, dim, cut
+            continue
+        # inset
+        _, dim, members = hint
+        lo, hi = bounds[dim]
+        cut = _inset_cut([v for v in members if lo <= v <= hi], lo, hi)
+        if cut is not None:
+            width = hi - lo + 1
+            if width > best_width:
+                best_width, best_dim, best_cut = width, dim, cut
+    if best_dim >= 0:
+        return best_dim, best_cut
+    return _fallback_split(live, box, names)
+
+
+def choose_split(
+    phi: BoolExpr, box: Box, names: Sequence[str], *, legacy: bool = False
+) -> tuple[int, int]:
+    """Pick a split ``(dim, cut)``: low half ``[lo, cut]``, high ``[cut+1, hi]``.
+
+    Boundary-guided (see the module docstring); equals hint extraction
+    followed by replay, which is exactly how the kernel engine runs it.
+    """
+    index_of = {name: dim for dim, name in enumerate(names)}
+    return choose_split_hinted(
+        extract_split_hints(phi, index_of, legacy=legacy), free_vars(phi), box, names
+    )
+
+
+def _fallback_split(
+    live: frozenset[str], box: Box, names: Sequence[str]
+) -> tuple[int, int]:
+    """Midpoint of the widest dimension still free in the formula."""
+    best_dim = -1
+    best_width = 0
+    for dim, (name, (lo, hi)) in enumerate(zip(names, box.bounds)):
+        width = hi - lo + 1
+        if name in live and width > best_width:
+            best_dim, best_width = dim, width
+    if best_dim < 0 or best_width < 2:
+        raise AssertionError(
+            "specialized UNKNOWN formula with no splittable variable; "
+            "abstract evaluation should decide single-point boxes"
+        )
+    lo, hi = box.bounds[best_dim]
+    return best_dim, (lo + hi) // 2
+
+
+def split_at(box: Box, dim: int, cut: int) -> tuple[Box, Box]:
+    """Split ``box`` into ``[lo, cut]`` and ``[cut+1, hi]`` along ``dim``.
+
+    The caller guarantees ``lo <= cut < hi`` (every split chooser does),
+    so both halves are non-empty by construction and validation is skipped.
+    """
+    bounds = box.bounds
+    lo, hi = bounds[dim]
+    prefix, suffix = bounds[:dim], bounds[dim + 1 :]
+    return (
+        Box.trusted(prefix + ((lo, cut),) + suffix),
+        Box.trusted(prefix + ((cut + 1, hi),) + suffix),
+    )

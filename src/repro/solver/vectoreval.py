@@ -1,17 +1,21 @@
 """Vectorized (NumPy) evaluation of query formulas over small boxes.
 
-The branch-and-bound counter handles enormous spaces by splitting, but the
-cells straddling constraint boundaries must eventually be resolved at unit
-resolution — expensive in pure Python for benchmarks like B4 (Pizza),
+The branch-and-bound procedures handle enormous spaces by splitting, but
+the cells straddling constraint boundaries must eventually be resolved at
+unit resolution — expensive in pure Python for benchmarks like B4 (Pizza),
 whose Manhattan-ball boundary crosses ~10^5 cells.  When a sub-box is
 small enough, it is far cheaper to evaluate the formula *for every point
-at once* on NumPy integer grids and sum the boolean result.
+at once* on NumPy integer grids and reduce the boolean mask.
 
-This module is an exactness-preserving accelerator: it computes precisely
-``|{x in box | phi(x)}|``, just vectorized.  The counter consults
-:func:`count_box_vectorized` for boxes whose live volume is below a
-threshold; everything stays pure-Python-correct without NumPy installed
-(``AVAILABLE`` guards the fast path).
+This module is an exactness-preserving accelerator shared by both solver
+engines: it computes precisely the set ``{x in box | phi(x)}``, just
+vectorized.  The tree-walking evaluator here serves the interpreter
+engine; the compiled grid kernels of :mod:`repro.solver.kernels` produce
+the same masks and reuse the :func:`mask_count` / :func:`mask_all` /
+:func:`mask_find` reductions, so the two paths cannot diverge on how a
+mask is turned into an answer.  Everything stays pure-Python-correct
+without NumPy installed (``AVAILABLE`` guards the fast paths; thresholds
+collapse to 0 and the procedures split all the way down).
 """
 
 from __future__ import annotations
@@ -48,13 +52,147 @@ from repro.lang.ast import (
 )
 from repro.solver.boxes import Box
 
-__all__ = ["AVAILABLE", "count_box_vectorized", "DEFAULT_VECTOR_THRESHOLD"]
+__all__ = [
+    "AVAILABLE",
+    "DEFAULT_VECTOR_THRESHOLD",
+    "DEFAULT_DECIDE_VECTOR_THRESHOLD",
+    "require_numpy",
+    "make_grids",
+    "mask_count",
+    "mask_all",
+    "mask_array",
+    "mask_find",
+    "count_box_vectorized",
+    "all_box_vectorized",
+    "find_point_vectorized",
+    "mask_box_vectorized",
+]
 
 AVAILABLE = _np is not None
 
-#: Boxes up to this many points are evaluated on a grid; chosen so the
+#: Boxes up to this many points are counted on a grid; chosen so the
 #: working set (a handful of int64 arrays) stays near ~100 MB.
 DEFAULT_VECTOR_THRESHOLD = 4_000_000
+
+#: Boxes up to this many points are *decided* on a grid (forall/exists/
+#: seeding).  Deliberately much smaller than the counting threshold:
+#: decisions usually die early by abstraction, so the grid should only
+#: absorb the boundary cells where splitting degenerates to unit work.
+#: 1024 measured best on the paper's Manhattan-ball benchmarks (see
+#: benchmarks/test_solver_perf.py).
+DEFAULT_DECIDE_VECTOR_THRESHOLD = 1024
+
+
+def require_numpy():
+    """NumPy, or a loud error where a caller forgot to check ``AVAILABLE``."""
+    if _np is None:  # pragma: no cover - numpy present in the dev env
+        raise RuntimeError("NumPy is not available")
+    return _np
+
+
+#: Small cache of ``arange`` axes: the solver's splitting produces the same
+#: coordinate ranges over and over (slab probes, bisection halves).  Only
+#: short axes are cached — the cap is on *elements*, not entries, so a
+#: sweep of near-threshold 1-D counting boxes cannot pin gigabytes.
+_AXIS_CACHE: dict[tuple[int, int, int, int], object] = {}
+_AXIS_CACHE_CAP = 4096
+_AXIS_CACHE_MAX_WIDTH = 4096
+
+
+def _axis(lo: int, hi: int, dim: int, arity: int):
+    """A (possibly cached) ``arange(lo, hi+1)`` broadcastable along ``dim``."""
+    key = (lo, hi, dim, arity)
+    axis = _AXIS_CACHE.get(key)
+    if axis is None:
+        np = require_numpy()
+        shape = [1] * arity
+        width = hi - lo + 1
+        shape[dim] = width
+        axis = np.arange(lo, hi + 1, dtype=np.int64).reshape(shape)
+        if width <= _AXIS_CACHE_MAX_WIDTH:
+            if len(_AXIS_CACHE) >= _AXIS_CACHE_CAP:
+                _AXIS_CACHE.clear()
+            _AXIS_CACHE[key] = axis
+    return axis
+
+
+def make_grids(box: Box) -> tuple:
+    """Sparse (open) integer grids of a box, one int64 axis per dimension.
+
+    The tuple is positional — aligned with the box's dimension order,
+    which by solver convention is the variable order.  Each axis is shaped
+    to broadcast against the others (the classic sparse meshgrid), and
+    axes are cached because branch-and-bound revisits coordinate ranges
+    constantly.
+    """
+    arity = box.arity
+    return tuple(
+        _axis(lo, hi, dim, arity) for dim, (lo, hi) in enumerate(box.bounds)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Mask reductions (shared with the compiled grid kernels)
+# ---------------------------------------------------------------------------
+
+
+def _full_mask(result, box: Box):
+    np = require_numpy()
+    widths = box.widths()
+    if getattr(result, "shape", None) == widths:
+        return result
+    return np.broadcast_to(np.asarray(result, dtype=bool), widths)
+
+
+def mask_count(result, box: Box) -> int:
+    """Number of true cells of an evaluation mask over ``box``."""
+    if result is True:
+        return box.volume()
+    if result is False:
+        return 0
+    if getattr(result, "shape", None) == box.widths():
+        # Fast path: the formula touched every dimension, the mask is full.
+        return int(result.sum())
+    return int(_full_mask(result, box).sum())
+
+
+def mask_all(result, box: Box) -> bool:
+    """Whether the mask is true on every cell of ``box``."""
+    if result is True or result is False:
+        return result
+    # ``all`` is broadcast-invariant: a sparse mask is all-true iff its
+    # broadcast expansion is.
+    return bool(require_numpy().all(result))
+
+
+def mask_array(result, box: Box):
+    """The mask as a full boolean array over the box (broadcast view).
+
+    Used when the caller wants to keep the mask around — e.g. the
+    best-first seeder evaluates one mask per small subtree and lets every
+    descendant decide by slicing it instead of re-evaluating.
+    """
+    return _full_mask(result, box)
+
+
+def mask_find(result, box: Box) -> tuple[int, ...] | None:
+    """The first true point of the mask in grid (C) order, or ``None``."""
+    if result is False:
+        return None
+    if result is True:
+        return tuple(lo for lo, _ in box.bounds)
+    np = require_numpy()
+    full = _full_mask(result, box)
+    flat_index = int(np.argmax(full))
+    if not full.flat[flat_index]:
+        return None
+    coords = np.unravel_index(flat_index, full.shape)
+    return tuple(int(c) + lo for c, (lo, _) in zip(coords, box.bounds))
+
+
+# ---------------------------------------------------------------------------
+# Tree-walking grid evaluation (the interpreter engine's vector path)
+# ---------------------------------------------------------------------------
 
 
 def _eval_int(expr: IntExpr, grids: dict[str, "object"]):
@@ -114,9 +252,12 @@ def _eval_bool(expr: BoolExpr, grids: dict[str, "object"]):
                 result = result | _eval_bool(arg, grids)
             return result
         case Not(arg):
-            return ~_eval_bool(arg, grids)
+            # logical_not, not ``~``: scalar Python bools would become ints.
+            return _np.logical_not(_eval_bool(arg, grids))
         case Implies(antecedent, consequent):
-            return ~_eval_bool(antecedent, grids) | _eval_bool(consequent, grids)
+            return _np.logical_not(_eval_bool(antecedent, grids)) | _eval_bool(
+                consequent, grids
+            )
         case Iff(left, right):
             return _eval_bool(left, grids) == _eval_bool(right, grids)
         case InSet(arg, values):
@@ -126,26 +267,32 @@ def _eval_bool(expr: BoolExpr, grids: dict[str, "object"]):
             raise TypeError(f"not a boolean expression: {expr!r}")
 
 
-def count_box_vectorized(
-    phi: BoolExpr, box: Box, names: Sequence[str]
-) -> int:
+def _evaluate(phi: BoolExpr, box: Box, names: Sequence[str]):
+    grids = dict(zip(names, make_grids(box)))
+    return _eval_bool(phi, grids)
+
+
+def count_box_vectorized(phi: BoolExpr, box: Box, names: Sequence[str]) -> int:
     """Exact model count of ``phi`` on ``box`` via grid evaluation.
 
     The caller is responsible for checking :data:`AVAILABLE` and for
     keeping ``box.volume()`` within a sane threshold.
     """
-    if _np is None:  # pragma: no cover
-        raise RuntimeError("NumPy is not available")
-    axes = [
-        _np.arange(lo, hi + 1, dtype=_np.int64) for lo, hi in box.bounds
-    ]
-    mesh = _np.meshgrid(*axes, indexing="ij", sparse=True)
-    grids = dict(zip(names, mesh))
-    result = _eval_bool(phi, grids)
-    if result is True:
-        return box.volume()
-    if result is False:
-        return 0
-    # Broadcast against the full grid shape in case sparse axes never met.
-    full = _np.broadcast_to(result, tuple(hi - lo + 1 for lo, hi in box.bounds))
-    return int(full.sum())
+    return mask_count(_evaluate(phi, box, names), box)
+
+
+def all_box_vectorized(phi: BoolExpr, box: Box, names: Sequence[str]) -> bool:
+    """Whether every point of ``box`` satisfies ``phi`` (grid evaluation)."""
+    return mask_all(_evaluate(phi, box, names), box)
+
+
+def find_point_vectorized(
+    phi: BoolExpr, box: Box, names: Sequence[str]
+) -> tuple[int, ...] | None:
+    """First satisfying point of ``box`` in grid order, or ``None``."""
+    return mask_find(_evaluate(phi, box, names), box)
+
+
+def mask_box_vectorized(phi: BoolExpr, box: Box, names: Sequence[str]):
+    """The full boolean satisfaction mask of ``phi`` over ``box``."""
+    return mask_array(_evaluate(phi, box, names), box)

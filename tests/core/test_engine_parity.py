@@ -1,0 +1,107 @@
+"""Differential tests: the kernel engine must not change what is synthesized.
+
+The perf layer (compiled kernels, vectorized finishing, specialization
+memo) must be invisible in results: identical synthesized domains, and —
+with vectorization disabled — identical search-node and split counts to
+the tree-walking interpreter path.  Solver statistics must also surface
+through synthesis results up to the compile report.
+"""
+
+import pytest
+
+from repro.core.itersynth import iter_synth_powerset
+from repro.core.plugin import CompileOptions, compile_query
+from repro.core.synth import SynthOptions, synth_interval
+from repro.lang.parser import parse_bool
+from repro.lang.secrets import SecretSpec
+
+SPEC = SecretSpec.declare("UserLoc", x=(0, 399), y=(0, 399))
+NEARBY = parse_bool("abs(x - 200) + abs(y - 200) <= 100")
+
+KERNEL_OPTS = SynthOptions(vector_threshold=0)
+INTERP_OPTS = SynthOptions(use_kernels=False, vector_threshold=0)
+
+
+class TestSynthParity:
+    @pytest.mark.parametrize("mode", ["under", "over"])
+    @pytest.mark.parametrize("polarity", [True, False])
+    def test_interval_domains_and_counts_match(self, mode, polarity):
+        kernel = synth_interval(
+            NEARBY, SPEC, mode=mode, polarity=polarity, options=KERNEL_OPTS
+        )
+        interp = synth_interval(
+            NEARBY, SPEC, mode=mode, polarity=polarity, options=INTERP_OPTS
+        )
+        assert kernel.domain == interp.domain
+        assert kernel.stats is not None and interp.stats is not None
+        assert kernel.stats.nodes == interp.stats.nodes
+        assert kernel.stats.splits == interp.stats.splits
+
+    @pytest.mark.parametrize("mode", ["under", "over"])
+    def test_powerset_domains_and_counts_match(self, mode):
+        kernel = iter_synth_powerset(
+            NEARBY, SPEC, k=3, mode=mode, polarity=True, options=KERNEL_OPTS
+        )
+        interp = iter_synth_powerset(
+            NEARBY, SPEC, k=3, mode=mode, polarity=True, options=INTERP_OPTS
+        )
+        assert kernel.domain == interp.domain
+        assert kernel.iterations == interp.iterations
+        assert kernel.stats.nodes == interp.stats.nodes
+        assert kernel.stats.splits == interp.stats.splits
+
+    def test_default_vectorized_path_same_domains(self):
+        """Same thresholds => same domains, whichever engine runs them."""
+        kernel = iter_synth_powerset(
+            NEARBY, SPEC, k=3, mode="under", polarity=True,
+            options=SynthOptions(),
+        )
+        interp = iter_synth_powerset(
+            NEARBY, SPEC, k=3, mode="under", polarity=True,
+            options=SynthOptions(use_kernels=False),
+        )
+        assert kernel.domain == interp.domain
+
+
+class TestStatsWiring:
+    def test_compile_reports_solver_counters(self):
+        compiled = compile_query(
+            "near", NEARBY, SPEC, CompileOptions(domain="powerset", k=3)
+        )
+        for mode in ("under", "over"):
+            report = compiled.reports[mode]
+            assert report.solver_nodes > 0
+            assert report.solver_splits > 0
+            # Vectorized finishing fired somewhere in the synthesis.
+            assert report.vector_boxes > 0
+
+    def test_vectorized_finishing_counted_in_all_procedures(self):
+        from repro.solver.boxes import Box
+        from repro.solver.decide import (
+            SolverStats,
+            count_models,
+            decide_exists,
+            decide_forall,
+            find_true_box,
+        )
+
+        names = ("x", "y")
+        crossing = Box.make((150, 251), (150, 251))
+        for procedure in (decide_forall, decide_exists, count_models):
+            stats = SolverStats()
+            # Threshold above the box volume: the undecided root box itself
+            # is finished on a grid, whatever the search would do first.
+            procedure(NEARBY, crossing, names, stats, vector_threshold=16384)
+            assert stats.vector_boxes > 0, procedure.__name__
+        stats = SolverStats()
+        find_true_box(NEARBY, crossing, names, stats=stats, vector_threshold=16384)
+        assert stats.vector_boxes > 0
+
+    def test_specialization_memo_reused_across_probes(self):
+        from repro.solver.decide import make_engine
+
+        engine = make_engine(SPEC.field_names)
+        iter_synth_powerset(
+            NEARBY, SPEC, k=3, mode="under", polarity=True, engine=engine
+        )
+        assert engine.space.spec_hits > 0

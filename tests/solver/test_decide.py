@@ -49,7 +49,9 @@ class TestDecideForall:
         assert not decide_forall(nearby, box, NAMES)
 
     def test_budget_guard(self, nearby):
-        stats = SolverStats(max_nodes=2)
+        # Any crossing decision needs at least two search nodes, so a
+        # one-node budget must trip regardless of split quality.
+        stats = SolverStats(max_nodes=1)
         big = Box.make((0, 399), (0, 399))
         with pytest.raises(SolverBudgetExceeded):
             decide_forall(nearby, big, NAMES, stats)
@@ -96,6 +98,44 @@ class TestCountModels:
         stats = SolverStats()
         count = count_models(formula, SPACE, NAMES, stats)
         assert count == 9 * 16  # x in [-8, 0], y free
+
+
+class TestDeepSplits:
+    """Worklist regression: adversarial queries that slice one tiny run per
+    split used to overflow Python's recursion limit (the procedures were
+    recursive); they must now complete on any engine with grids disabled."""
+
+    # An alternating membership set over a wide secret: every split peels a
+    # single-member run, so the old recursion depth grew linearly (~N).
+    N = 3000
+    FORMULA = var("x").in_set(range(0, 2 * N + 1, 2))
+    WIDE = Box.make((0, 2 * N + 1), (0, 1))
+
+    def test_count_models_survives_deep_splits(self):
+        import sys
+
+        limit = sys.getrecursionlimit()
+        assert self.N * 2 > limit, "query too shallow to exercise the fix"
+        for use_kernels in (True, False):
+            count = count_models(
+                self.FORMULA, self.WIDE, NAMES,
+                vector_threshold=0, use_kernels=use_kernels,
+            )
+            assert count == (self.N + 1) * 2
+
+    def test_find_model_survives_deep_splits(self):
+        # Unsatisfiable conjunction of alternating memberships: every split
+        # peels one point, so exhausting the space used to nest ~N deep.
+        odds = var("x").in_set(range(1, 2 * self.N, 2))
+        assert (
+            find_model(self.FORMULA & odds, self.WIDE, NAMES, vector_threshold=0)
+            is None
+        )
+
+    def test_decide_forall_on_alternating_membership(self):
+        assert not decide_forall(
+            self.FORMULA, self.WIDE, NAMES, vector_threshold=0
+        )
 
 
 class TestFindTrueBox:

@@ -1,0 +1,206 @@
+"""Property and differential tests for the compiled kernel layer.
+
+The contract of :mod:`repro.solver.kernels` is exact agreement with the
+reference interpreters: concrete kernels with :mod:`repro.lang.eval`,
+specialization kernels with :mod:`repro.solver.abseval`, grid kernels
+with pure-Python counting, and the kernel engine's whole search with the
+interpreter engine's (same answers, same split choices, same node and
+split counts).
+"""
+
+from hypothesis import given, settings
+
+from repro.lang.eval import eval_bool, eval_int
+from repro.solver.abseval import eval_bool_abs, specialize
+from repro.solver.boxes import Box
+from repro.solver.decide import (
+    InterpEngine,
+    KernelEngine,
+    SolverStats,
+    count_models,
+    decide_forall,
+    find_model,
+    find_true_box,
+)
+from repro.solver.kernels import KernelSpace, concrete_predicate
+from repro.solver.split import choose_split, extract_split_hints
+from tests.strategies import bool_exprs, boxes_within, int_exprs, points_within
+
+SPACE = Box.make((-8, 12), (0, 15))
+NAMES = ("x", "y")
+
+
+def _env(box):
+    return dict(zip(NAMES, box.bounds))
+
+
+class TestConcreteKernels:
+    @given(bool_exprs(NAMES), points_within(SPACE))
+    @settings(max_examples=200, deadline=None)
+    def test_bool_agrees_with_eval(self, formula, point):
+        space = KernelSpace(NAMES)
+        fn = space.concrete_bool(formula)
+        assert fn(point) == eval_bool(formula, dict(zip(NAMES, point)))
+
+    @given(int_exprs(NAMES), points_within(SPACE))
+    @settings(max_examples=200, deadline=None)
+    def test_int_agrees_with_eval(self, expr, point):
+        space = KernelSpace(NAMES)
+        fn = space.concrete_int(expr)
+        assert fn(point) == eval_int(expr, dict(zip(NAMES, point)))
+
+    @given(bool_exprs(NAMES), points_within(SPACE))
+    @settings(max_examples=100, deadline=None)
+    def test_predicate_cache_front_end(self, formula, point):
+        predicate = concrete_predicate(formula, NAMES)
+        env = dict(zip(NAMES, point))
+        assert predicate(env) == eval_bool(formula, env)
+        # Cached: same function object on repeat lookups.
+        assert concrete_predicate(formula, NAMES) is predicate
+
+
+class TestSpecKernels:
+    @given(bool_exprs(NAMES), boxes_within(SPACE))
+    @settings(max_examples=250, deadline=None)
+    def test_truth_and_residual_match_interpreter(self, formula, box):
+        space = KernelSpace(NAMES)
+        kernel = space.lower(formula)
+        truth, residual = kernel.specialize(box.bounds)
+        shrunk, expected_truth = specialize(formula, _env(box))
+        assert truth is expected_truth
+        assert residual.expr == shrunk
+
+    @given(bool_exprs(NAMES), boxes_within(SPACE))
+    @settings(max_examples=150, deadline=None)
+    def test_truth_matches_abstract_eval(self, formula, box):
+        space = KernelSpace(NAMES)
+        truth, _ = space.lower(formula).specialize(box.bounds)
+        assert truth is eval_bool_abs(formula, _env(box))
+
+    @given(bool_exprs(NAMES), boxes_within(SPACE))
+    @settings(max_examples=100, deadline=None)
+    def test_memo_returns_same_result(self, formula, box):
+        space = KernelSpace(NAMES)
+        kernel = space.lower(formula)
+        first = kernel.specialize(box.bounds)
+        hits_before = space.spec_hits
+        assert kernel.specialize(box.bounds) == first
+        assert space.spec_hits == hits_before + 1
+
+    def test_hash_consing_shares_residuals(self):
+        from repro.lang.parser import parse_bool
+
+        space = KernelSpace(NAMES)
+        kernel = space.lower(parse_bool("abs(x - 2) + abs(y - 8) <= 5"))
+        # Two different boxes producing structurally identical residuals
+        # must share one kernel object.
+        _, r1 = kernel.spec(((3, 7), (0, 15)))
+        _, r2 = kernel.spec(((3, 7), (1, 14)))
+        assert r1 is r2
+
+
+class TestGridKernels:
+    @given(bool_exprs(NAMES), boxes_within(SPACE))
+    @settings(max_examples=150, deadline=None)
+    def test_grid_count_matches_brute_force(self, formula, box):
+        space = KernelSpace(NAMES)
+        kernel = space.lower(formula)
+        expected = sum(
+            eval_bool(formula, dict(zip(NAMES, point)))
+            for point in box.iter_points()
+        )
+        assert kernel.grid_count(box) == expected
+        assert kernel.grid_all(box) == (expected == box.volume())
+        witness = kernel.grid_find(box)
+        if expected == 0:
+            assert witness is None
+        else:
+            assert witness is not None
+            assert eval_bool(formula, dict(zip(NAMES, witness)))
+
+
+class TestSplitHints:
+    @given(bool_exprs(NAMES))
+    @settings(max_examples=200, deadline=None)
+    def test_compositional_hints_equal_extraction(self, formula):
+        space = KernelSpace(NAMES)
+        kernel = space.lower(formula)
+        assert kernel.hints == extract_split_hints(kernel.expr, space.index)
+
+    @given(bool_exprs(NAMES), boxes_within(SPACE))
+    @settings(max_examples=150, deadline=None)
+    def test_kernel_split_equals_interpreter_split(self, formula, box):
+        space = KernelSpace(NAMES)
+        kernel = space.lower(formula)
+        truth, residual = kernel.specialize(box.bounds)
+        if truth.decided:
+            return
+        assert residual.choose_split(box) == choose_split(residual.expr, box, NAMES)
+
+
+class TestEngineEquivalence:
+    """The kernel and interpreter engines make identical decisions."""
+
+    @given(bool_exprs(NAMES), boxes_within(SPACE))
+    @settings(max_examples=120, deadline=None)
+    def test_forall_answers_and_counts_match(self, formula, box):
+        sk, si = SolverStats(), SolverStats()
+        rk = decide_forall(
+            formula, box, NAMES, sk,
+            engine=KernelEngine(NAMES), vector_threshold=0,
+        )
+        ri = decide_forall(
+            formula, box, NAMES, si,
+            engine=InterpEngine(NAMES), vector_threshold=0,
+        )
+        assert rk == ri
+        assert (sk.nodes, sk.splits) == (si.nodes, si.splits)
+
+    @given(bool_exprs(NAMES), boxes_within(SPACE))
+    @settings(max_examples=120, deadline=None)
+    def test_model_witnesses_match(self, formula, box):
+        rk = find_model(
+            formula, box, NAMES, engine=KernelEngine(NAMES), vector_threshold=0
+        )
+        ri = find_model(
+            formula, box, NAMES, engine=InterpEngine(NAMES), vector_threshold=0
+        )
+        assert rk == ri
+
+    @given(bool_exprs(NAMES), boxes_within(SPACE))
+    @settings(max_examples=120, deadline=None)
+    def test_counts_match(self, formula, box):
+        sk, si = SolverStats(), SolverStats()
+        rk = count_models(
+            formula, box, NAMES, sk,
+            engine=KernelEngine(NAMES), vector_threshold=0,
+        )
+        ri = count_models(
+            formula, box, NAMES, si,
+            engine=InterpEngine(NAMES), vector_threshold=0,
+        )
+        assert rk == ri
+        assert (sk.nodes, sk.splits) == (si.nodes, si.splits)
+
+    @given(bool_exprs(NAMES))
+    @settings(max_examples=80, deadline=None)
+    def test_true_boxes_match(self, formula):
+        rk = find_true_box(
+            formula, SPACE, NAMES, engine=KernelEngine(NAMES), vector_threshold=0
+        )
+        ri = find_true_box(
+            formula, SPACE, NAMES, engine=InterpEngine(NAMES), vector_threshold=0
+        )
+        assert rk == ri
+
+    @given(bool_exprs(NAMES), boxes_within(SPACE))
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_finishing_engine_agreement(self, formula, box):
+        """With grids on, both engines still agree (same thresholds)."""
+        rk = find_model(
+            formula, box, NAMES, engine=KernelEngine(NAMES), vector_threshold=64
+        )
+        ri = find_model(
+            formula, box, NAMES, engine=InterpEngine(NAMES), vector_threshold=64
+        )
+        assert rk == ri
