@@ -3,9 +3,10 @@
 Measures the cold (uncached) solver work the service pays on every cache
 miss, against a faithful in-process reproduction of the pre-kernel
 baseline: tree-walking interpreter engine, single-variable-only split
-heuristic (``legacy_splits``), and no vectorized finishing in the
-decision procedures — exactly the configuration the repository shipped
-before the kernel layer.
+heuristic (``legacy_splits``), no vectorized finishing in the decision
+procedures, and none of the fused-probe / region-oracle / incremental
+seeding optimizer reworks — exactly the algorithmic configuration the
+repository shipped before the kernel layer.
 
 Two outputs:
 
@@ -50,14 +51,23 @@ NAMES = ("x", "y")
 BIRTHDAY_SPEC = SecretSpec.declare("Birthday", bday=(0, 364), byear=(1956, 1992))
 BIRTHDAY = parse_bool("bday >= 250 and bday < 257")
 
-#: The enforced floor for the cold-compile speedup (the PR's target is
-#: 5x; ~4x is what the change reliably delivers across machines, so the
-#: gate sits below it to fail loudly on regressions without flaking).
-MIN_COMPILE_SPEEDUP = 3.0
+#: The enforced floor for the cold-compile speedup.  The fused-probe /
+#: region-oracle path lands at ~5.5x on the reference machine (target
+#: 5x, met); the gate sits at 4x to fail loudly on regressions without
+#: flaking on machine noise.
+MIN_COMPILE_SPEEDUP = 4.0
 
 KERNEL_SYNTH = SynthOptions()
-#: Faithful pre-kernel configuration (see module docstring).
-BASELINE_SYNTH = SynthOptions(use_kernels=False, vector_threshold=0, legacy_splits=True)
+#: Faithful pre-kernel configuration (see module docstring): interpreter
+#: engine, legacy splits, no vectorized finishing, and none of the fused
+#: probe-front / incremental-seeding optimizer reworks.
+BASELINE_SYNTH = SynthOptions(
+    use_kernels=False,
+    vector_threshold=0,
+    legacy_splits=True,
+    fused_probes=False,
+    incremental_seed=False,
+)
 
 _results: dict = {"benchmarks": {}}
 
@@ -115,6 +125,9 @@ def test_cold_powerset_compile_speedup():
         nodes=report.solver_nodes,
         splits=report.solver_splits,
         vector_boxes=report.vector_boxes,
+        fused_rounds=report.fused_rounds,
+        probe_fronts=report.probe_fronts,
+        front_boxes=report.front_boxes,
         query=NEARBY_SRC,
         secret="UserLoc 400x400",
         k=3,
@@ -223,6 +236,15 @@ def test_decision_procedures():
         lambda: count_models(BIRTHDAY, space, names, engine=legacy(names)),
         stats,
     )
+    # Regression gate for the small-formula fast path: one-shot counts of
+    # tiny formulas must no longer lose to the pre-kernel baseline (this
+    # entry sat at 0.8x before the interpreter fast path).  The floor is
+    # loose — both sides are interpreter walks now, so the honest value
+    # is ~1.0x — because sub-100µs timings are noisy.
+    entry = _results["benchmarks"]["count_models_birthday"]
+    assert entry["speedup"] >= 0.8, (
+        f"count_models_birthday regressed to {entry['speedup']:.2f}x"
+    )
 
 
 def test_write_bench_json():
@@ -233,7 +255,8 @@ def test_write_bench_json():
         "unit": "milliseconds (median of paired runs)",
         "baseline": (
             "in-process pre-kernel configuration: interpreter engine, "
-            "legacy split heuristic, no vectorized decide finishing"
+            "legacy split heuristic, no vectorized decide finishing, "
+            "no fused probe fronts, no incremental seeding"
         ),
         **_results,
     }

@@ -25,54 +25,60 @@ from repro.benchsuite.mardziel import ALL_BENCHMARKS
 from repro.prob import ConditionedBelief, knowledge_policy_for_vulnerability
 from repro.qif import query_leakage, shannon_entropy
 
-birthday = ALL_BENCHMARKS["B1"]
-spec = birthday.secret  # bday in [0, 364], byear in [1956, 1992]
 
-# One "is your birthday in the week starting at day D?" query per month.
-queries = {
-    f"week_at_{day}": parse_bool(f"bday >= {day} and bday < {day + 7}")
-    for day in range(0, 360, 30)
-}
+def main() -> None:
+    birthday = ALL_BENCHMARKS["B1"]
+    spec = birthday.secret  # bday in [0, 364], byear in [1956, 1992]
 
-registry = QueryRegistry()
-options = CompileOptions(domain="powerset", k=3, modes=("under",))
-for name, query in queries.items():
-    registry.compile_and_register(name, query, spec, options)
+    # One "is your birthday in the week starting at day D?" query per month.
+    queries = {
+        f"week_at_{day}": parse_bool(f"bday >= {day} and bday < {day + 7}")
+        for day in range(0, 360, 30)
+    }
 
-# Probabilistic policy, enforced through the set-based bridge.
-# A week-query's True response leaves 259 candidates, so a 1/100 bound
-# is the tightest that still allows any answer at all.
-policy = knowledge_policy_for_vulnerability(Fraction(1, 100))
-print(f"policy: {policy.name}")
+    registry = QueryRegistry()
+    options = CompileOptions(domain="powerset", k=3, modes=("under",))
+    for name, query in queries.items():
+        registry.compile_and_register(name, query, spec, options)
 
-session = AnosyT(SecureRuntime(), policy, registry)
-user = ProtectedSecret.seal(spec, spec.make(bday=263, byear=1984 + 4))
-belief = ConditionedBelief(spec)  # the attacker's exact Bayesian belief
+    # Probabilistic policy, enforced through the set-based bridge.
+    # A week-query's True response leaves 259 candidates, so a 1/100 bound
+    # is the tightest that still allows any answer at all.
+    policy = knowledge_policy_for_vulnerability(Fraction(1, 100))
+    print(f"policy: {policy.name}")
 
-print(f"\n{'query':<12} {'answer':<7} {'knowledge':>9} {'exact belief':>12} "
-      f"{'entropy':>8} {'leak (bits)':>11}")
-for name, query in queries.items():
-    decision = session.try_downgrade(user, name)
-    if not decision.authorized:
-        print(f"{name:<12} REFUSED   ({decision.reason})")
-        break
-    leakage = query_leakage(query, spec)
-    belief = belief.observe(query, decision.response)
+    session = AnosyT(SecureRuntime(), policy, registry)
+    user = ProtectedSecret.seal(spec, spec.make(bday=263, byear=1984 + 4))
+    belief = ConditionedBelief(spec)  # the attacker's exact Bayesian belief
+
+    print(f"\n{'query':<12} {'answer':<7} {'knowledge':>9} {'exact belief':>12} "
+          f"{'entropy':>8} {'leak (bits)':>11}")
+    for name, query in queries.items():
+        decision = session.try_downgrade(user, name)
+        if not decision.authorized:
+            print(f"{name:<12} REFUSED   ({decision.reason})")
+            break
+        leakage = query_leakage(query, spec)
+        belief = belief.observe(query, decision.response)
+        knowledge = session.knowledge_of(user)
+        print(
+            f"{name:<12} {str(decision.response):<7} {knowledge.size():>9} "
+            f"{belief.support_size():>12} {shannon_entropy(knowledge):>8.2f} "
+            f"{leakage.shannon_leakage:>11.3f}"
+        )
+
     knowledge = session.knowledge_of(user)
-    print(
-        f"{name:<12} {str(decision.response):<7} {knowledge.size():>9} "
-        f"{belief.support_size():>12} {shannon_entropy(knowledge):>8.2f} "
-        f"{leakage.shannon_leakage:>11.3f}"
-    )
+    if knowledge is not None:
+        print(
+            f"\ntracked knowledge: {knowledge.size()} secrets; "
+            f"exact attacker belief: {belief.support_size()} secrets\n"
+            f"operator guess probability: {belief.vulnerability()} "
+            f"(policy bound: 1/100)"
+        )
+        assert knowledge.size() <= belief.support_size(), (
+            "the under-approximation never claims more uncertainty than reality"
+        )
 
-knowledge = session.knowledge_of(user)
-if knowledge is not None:
-    print(
-        f"\ntracked knowledge: {knowledge.size()} secrets; "
-        f"exact attacker belief: {belief.support_size()} secrets\n"
-        f"operator guess probability: {belief.vulnerability()} "
-        f"(policy bound: 1/100)"
-    )
-    assert knowledge.size() <= belief.support_size(), (
-        "the under-approximation never claims more uncertainty than reality"
-    )
+
+if __name__ == "__main__":
+    main()

@@ -15,25 +15,31 @@ import random
 
 from repro.benchsuite.advertising import build_system
 
-INSTANCES = 6
-QUERIES = 12
 
-print(f"Compiling two deployments ({QUERIES} branches each)...")
-for k, label in [(1, "interval domain (k=1)"), (5, "powersets of 5 intervals")]:
-    system = build_system(k=k, num_queries=QUERIES, seed=99)
-    rng = random.Random(7)
-    print(f"\n{label}:")
-    for instance in range(INSTANCES):
-        user = (rng.randrange(400), rng.randrange(400))
-        result = system.run_instance(user)
-        bar = "#" * result.authorized
-        status = "ran out of branches" if result.survived_all else "policy violation"
-        print(
-            f"  user {instance}: {bar:<{QUERIES}} "
-            f"{result.authorized:2d} ads authorized ({status})"
-        )
+def main() -> None:
+    INSTANCES = 6
+    QUERIES = 12
 
-print(
-    "\nMore precise domains keep the knowledge under-approximation honest\n"
-    "for longer, so more branches get an answer before the policy trips."
-)
+    print(f"Compiling two deployments ({QUERIES} branches each)...")
+    for k, label in [(1, "interval domain (k=1)"), (5, "powersets of 5 intervals")]:
+        system = build_system(k=k, num_queries=QUERIES, seed=99)
+        rng = random.Random(7)
+        print(f"\n{label}:")
+        for instance in range(INSTANCES):
+            user = (rng.randrange(400), rng.randrange(400))
+            result = system.run_instance(user)
+            bar = "#" * result.authorized
+            status = "ran out of branches" if result.survived_all else "policy violation"
+            print(
+                f"  user {instance}: {bar:<{QUERIES}} "
+                f"{result.authorized:2d} ads authorized ({status})"
+            )
+
+    print(
+        "\nMore precise domains keep the knowledge under-approximation honest\n"
+        "for longer, so more branches get an answer before the policy trips."
+    )
+
+
+if __name__ == "__main__":
+    main()

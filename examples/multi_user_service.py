@@ -18,59 +18,65 @@ from repro import DeclassificationService, SecretSpec, size_above
 from repro.core.plugin import CompileOptions
 from repro.service.api import BatchDowngradeRequest, CompileRequest, DowngradeRequest
 
-spec = SecretSpec.declare("UserLoc", x=(0, 399), y=(0, 399))
-service = DeclassificationService(
-    size_above(100), options=CompileOptions(modes=("under",))
-)
 
-# -- compile once ----------------------------------------------------------
-# Three billboards; note the second is the first query written by another
-# tenant with its conjuncts flipped — the canonical cache key catches it.
-billboards = {
-    "near_plaza": "abs(x - 200) + abs(y - 200) <= 100",
-    "near_plaza_again": "abs(y - 200) + abs(x - 200) <= 100",
-    "near_station": "abs(x - 50) + abs(y - 310) <= 80",
-}
-print(f"{'query':<18} {'cache':>6} {'synth (ms)':>11}")
-for name, text in billboards.items():
-    receipt = service.register_query(CompileRequest(name, text, spec))
+def main() -> None:
+    spec = SecretSpec.declare("UserLoc", x=(0, 399), y=(0, 399))
+    service = DeclassificationService(
+        size_above(100), options=CompileOptions(modes=("under",))
+    )
+
+    # -- compile once ----------------------------------------------------------
+    # Three billboards; note the second is the first query written by another
+    # tenant with its conjuncts flipped — the canonical cache key catches it.
+    billboards = {
+        "near_plaza": "abs(x - 200) + abs(y - 200) <= 100",
+        "near_plaza_again": "abs(y - 200) + abs(x - 200) <= 100",
+        "near_station": "abs(x - 50) + abs(y - 310) <= 80",
+    }
+    print(f"{'query':<18} {'cache':>6} {'synth (ms)':>11}")
+    for name, text in billboards.items():
+        receipt = service.register_query(CompileRequest(name, text, spec))
+        print(
+            f"{name:<18} {'HIT' if receipt.cache_hit else 'MISS':>6} "
+            f"{receipt.synth_time * 1000:>11.2f}"
+        )
+    stats = service.cache.stats
+    print(f"cache: {stats.hits} hits / {stats.misses} misses\n")
+
+    # -- open a fleet of sessions ---------------------------------------------
+    rng = random.Random(7)
+    n_users = 2000
+    for i in range(n_users):
+        service.open_session(
+            f"user-{i}", (spec, (rng.randrange(400), rng.randrange(400)))
+        )
+
+    # -- one batched sweep per billboard --------------------------------------
+    for name in ("near_plaza", "near_station"):
+        start = time.perf_counter()
+        results = service.handle_batch(BatchDowngradeRequest(name))
+        elapsed = time.perf_counter() - start
+        granted = sum(1 for r in results if r.authorized)
+        positive = sum(1 for r in results if r.response)
+        print(
+            f"{name}: {len(results)} sessions in {elapsed * 1000:.1f} ms "
+            f"({len(results) / elapsed:,.0f}/s) — "
+            f"{granted} authorized, {positive} nearby"
+        )
+
+    # -- per-session knowledge stays independent ------------------------------
+    sample = service.manager.session("user-0")
     print(
-        f"{name:<18} {'HIT' if receipt.cache_hit else 'MISS':>6} "
-        f"{receipt.synth_time * 1000:>11.2f}"
+        f"\nuser-0 knowledge after sweeps: {sample.knowledge_size()} candidate "
+        f"locations (of {spec.space_size()})"
     )
-stats = service.cache.stats
-print(f"cache: {stats.hits} hits / {stats.misses} misses\n")
+    follow_up = service.handle(DowngradeRequest("user-0", "near_plaza"))
+    print(f"user-0 asks near_plaza again: authorized={follow_up.authorized} "
+          f"response={follow_up.response}")
 
-# -- open a fleet of sessions ---------------------------------------------
-rng = random.Random(7)
-n_users = 2000
-for i in range(n_users):
-    service.open_session(
-        f"user-{i}", (spec, (rng.randrange(400), rng.randrange(400)))
-    )
+    print(f"\naudit trail: {len(service.audit)} events "
+          f"(last: {service.audit[-1].kind} {service.audit[-1].data})")
 
-# -- one batched sweep per billboard --------------------------------------
-for name in ("near_plaza", "near_station"):
-    start = time.perf_counter()
-    results = service.handle_batch(BatchDowngradeRequest(name))
-    elapsed = time.perf_counter() - start
-    granted = sum(1 for r in results if r.authorized)
-    positive = sum(1 for r in results if r.response)
-    print(
-        f"{name}: {len(results)} sessions in {elapsed * 1000:.1f} ms "
-        f"({len(results) / elapsed:,.0f}/s) — "
-        f"{granted} authorized, {positive} nearby"
-    )
 
-# -- per-session knowledge stays independent ------------------------------
-sample = service.manager.session("user-0")
-print(
-    f"\nuser-0 knowledge after sweeps: {sample.knowledge_size()} candidate "
-    f"locations (of {spec.space_size()})"
-)
-follow_up = service.handle(DowngradeRequest("user-0", "near_plaza"))
-print(f"user-0 asks near_plaza again: authorized={follow_up.authorized} "
-      f"response={follow_up.response}")
-
-print(f"\naudit trail: {len(service.audit)} events "
-      f"(last: {service.audit[-1].kind} {service.audit[-1].data})")
+if __name__ == "__main__":
+    main()

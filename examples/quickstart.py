@@ -21,65 +21,71 @@ from repro import (
     var,
 )
 
-# -- 1. Declare the secret type and the queries -----------------------------
-user_loc = SecretSpec.declare("UserLoc", x=(0, 399), y=(0, 399))
+
+def main() -> None:
+    # -- 1. Declare the secret type and the queries -----------------------------
+    user_loc = SecretSpec.declare("UserLoc", x=(0, 399), y=(0, 399))
 
 
-def nearby(origin):
-    """Manhattan proximity, exactly the paper's query."""
-    x, y = var("x"), var("y")
-    ox, oy = origin
-    return abs(x - ox) + abs(y - oy) <= 100
+    def nearby(origin):
+        """Manhattan proximity, exactly the paper's query."""
+        x, y = var("x"), var("y")
+        ox, oy = origin
+        return abs(x - ox) + abs(y - oy) <= 100
 
 
-# -- 2. Compile: synthesize + machine-check knowledge approximations --------
-registry = QueryRegistry()
-for origin in [(200, 200), (300, 200), (400, 200)]:
-    name = f"nearby_{origin[0]}_{origin[1]}"
-    compiled = registry.compile_and_register(
-        name, nearby(origin), user_loc, CompileOptions(domain="powerset", k=3)
-    )
-    under_true, under_false = compiled.qinfo.under_indset
-    report = compiled.reports["under"]
-    print(
-        f"{name}: under ind. sets {under_true.size()} / {under_false.size()} "
-        f"secrets, verified={report.verified} "
-        f"(synth {report.synth_time * 1000:.0f} ms, "
-        f"verify {report.verify_time * 1000:.0f} ms)"
-    )
+    # -- 2. Compile: synthesize + machine-check knowledge approximations --------
+    registry = QueryRegistry()
+    for origin in [(200, 200), (300, 200), (400, 200)]:
+        name = f"nearby_{origin[0]}_{origin[1]}"
+        compiled = registry.compile_and_register(
+            name, nearby(origin), user_loc, CompileOptions(domain="powerset", k=3)
+        )
+        under_true, under_false = compiled.qinfo.under_indset
+        report = compiled.reports["under"]
+        print(
+            f"{name}: under ind. sets {under_true.size()} / {under_false.size()} "
+            f"secrets, verified={report.verified} "
+            f"(synth {report.synth_time * 1000:.0f} ms, "
+            f"verify {report.verify_time * 1000:.0f} ms)"
+        )
 
-# -- 3. A Figure 1-style picture of the three True-response regions ---------
-print("\nTrue-response ind. sets (coarse 40x40 rendering of the 400x400 grid):")
-CELL = 10
-rows = []
-for gy in range(399 // CELL, -1, -1):
-    row = []
-    for gx in range(0, 400 // CELL):
-        point = (gx * CELL + CELL // 2, gy * CELL + CELL // 2)
-        glyphs = [
-            glyph
-            for glyph, origin in zip("ABC", [(200, 200), (300, 200), (400, 200)])
-            if registry.lookup(f"nearby_{origin[0]}_{origin[1]}")
-            .qinfo.under_indset[0]
-            .contains(point)
-        ]
-        row.append(glyphs[-1] if len(glyphs) == 1 else "#" if glyphs else ".")
-    rows.append("".join(row))
-print("\n".join(rows))
-print("A/B/C: one query's region   #: overlap   .: none")
+    # -- 3. A Figure 1-style picture of the three True-response regions ---------
+    print("\nTrue-response ind. sets (coarse 40x40 rendering of the 400x400 grid):")
+    CELL = 10
+    rows = []
+    for gy in range(399 // CELL, -1, -1):
+        row = []
+        for gx in range(0, 400 // CELL):
+            point = (gx * CELL + CELL // 2, gy * CELL + CELL // 2)
+            glyphs = [
+                glyph
+                for glyph, origin in zip("ABC", [(200, 200), (300, 200), (400, 200)])
+                if registry.lookup(f"nearby_{origin[0]}_{origin[1]}")
+                .qinfo.under_indset[0]
+                .contains(point)
+            ]
+            row.append(glyphs[-1] if len(glyphs) == 1 else "#" if glyphs else ".")
+        rows.append("".join(row))
+    print("\n".join(rows))
+    print("A/B/C: one query's region   #: overlap   .: none")
 
-# -- 4. Bounded downgrade under a quantitative policy ------------------------
-print("\nBounded downgrade (policy: knowledge must keep > 100 locations):")
-session = AnosyT(SecureRuntime(), size_above(100), registry)
-secret = ProtectedSecret.seal(user_loc, (300, 200))  # the user's location
+    # -- 4. Bounded downgrade under a quantitative policy ------------------------
+    print("\nBounded downgrade (policy: knowledge must keep > 100 locations):")
+    session = AnosyT(SecureRuntime(), size_above(100), registry)
+    secret = ProtectedSecret.seal(user_loc, (300, 200))  # the user's location
 
-for origin in [(200, 200), (300, 200), (400, 200)]:
-    name = f"nearby_{origin[0]}_{origin[1]}"
-    try:
-        answer = session.downgrade(secret, name)
-        knowledge = session.knowledge_of(secret)
-        print(f"  {name} -> {answer}   (attacker knowledge: {knowledge.size()} locations)")
-    except PolicyViolation as violation:
-        print(f"  {name} -> REFUSED: {violation}")
+    for origin in [(200, 200), (300, 200), (400, 200)]:
+        name = f"nearby_{origin[0]}_{origin[1]}"
+        try:
+            answer = session.downgrade(secret, name)
+            knowledge = session.knowledge_of(secret)
+            print(f"  {name} -> {answer}   (attacker knowledge: {knowledge.size()} locations)")
+        except PolicyViolation as violation:
+            print(f"  {name} -> REFUSED: {violation}")
 
-print(f"\nauthorized downgrades: {session.authorized_count()} of 3")
+    print(f"\nauthorized downgrades: {session.authorized_count()} of 3")
+
+
+if __name__ == "__main__":
+    main()

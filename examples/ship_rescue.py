@@ -28,46 +28,52 @@ from repro.lang.parser import parse_int
 from repro.monad.anosy import AnosyT
 from repro.monad.dynamic import DynamicAnosy
 
-ship = SecretSpec.declare("Ship", capacity=(0, 99), x=(0, 502), y=(0, 502))
-secret_ship = ProtectedSecret.seal(ship, ship.make(capacity=70, x=180, y=240))
 
-registry = QueryRegistry()
-options = CompileOptions(domain="powerset", k=3, modes=("under",))
-islands = [(200, 200), (150, 260), (320, 100)]
-for index, (ix, iy) in enumerate(islands):
-    query = parse_bool(
-        f"abs(x - {ix}) + abs(y - {iy}) <= 100 and capacity >= 50"
-    )
-    registry.compile_and_register(f"can_aid_{index}", query, ship, options)
+def main() -> None:
+    ship = SecretSpec.declare("Ship", capacity=(0, 99), x=(0, 502), y=(0, 502))
+    secret_ship = ProtectedSecret.seal(ship, ship.make(capacity=70, x=180, y=240))
 
-session = DynamicAnosy(AnosyT(SecureRuntime(), size_above(1000), registry))
-print(f"initial policy: {session.current_policy.name}")
-
-for index in range(len(islands)):
-    name = f"can_aid_{index}"
-    decision = session.try_downgrade(secret_ship, name)
-    knowledge = session.session.knowledge_of(secret_ship)
-    size = knowledge.size() if knowledge else "-"
-    print(f"  {name}: authorized={decision.authorized} "
-          f"answer={decision.response} knowledge={size}")
-    if index == 0:
-        # The authority escalates: at least 100k candidate states must remain.
-        switch = session.switch_policy(size_above(100_000))
-        print(
-            f"  policy switch to '{size_above(100_000).name}': "
-            f"accepted={switch.accepted} "
-            f"(violating secrets: {len(switch.violations)})"
+    registry = QueryRegistry()
+    options = CompileOptions(domain="powerset", k=3, modes=("under",))
+    islands = [(200, 200), (150, 260), (320, 100)]
+    for index, (ix, iy) in enumerate(islands):
+        query = parse_bool(
+            f"abs(x - {ix}) + abs(y - {iy}) <= 100 and capacity >= 50"
         )
+        registry.compile_and_register(f"can_aid_{index}", query, ship, options)
 
-# -- The k-ary extension: declassify a capacity band, not a bit -------------
-print("\nk-ary query: capacity band (0: <40, 1: 40..79, 2: >=80)")
-band = parse_int(
-    "if capacity >= 80 then 2 else (if capacity >= 40 then 1 else 0)"
-)
-compiled = compile_kary_query("capacity_band", band, ship)
-print(f"  outputs: {compiled.qinfo.outputs}, all verified: {compiled.verified}")
-observed = compiled.qinfo.run(secret_ship.unprotect_tcb())
-posteriors = compiled.qinfo.underapprox(IntervalDomain.top(ship))
-print(f"  observed band: {observed}")
-for output, posterior in sorted(posteriors.items()):
-    print(f"  knowledge if output were {output}: {posterior.size()} states")
+    session = DynamicAnosy(AnosyT(SecureRuntime(), size_above(1000), registry))
+    print(f"initial policy: {session.current_policy.name}")
+
+    for index in range(len(islands)):
+        name = f"can_aid_{index}"
+        decision = session.try_downgrade(secret_ship, name)
+        knowledge = session.session.knowledge_of(secret_ship)
+        size = knowledge.size() if knowledge else "-"
+        print(f"  {name}: authorized={decision.authorized} "
+              f"answer={decision.response} knowledge={size}")
+        if index == 0:
+            # The authority escalates: at least 100k candidate states must remain.
+            switch = session.switch_policy(size_above(100_000))
+            print(
+                f"  policy switch to '{size_above(100_000).name}': "
+                f"accepted={switch.accepted} "
+                f"(violating secrets: {len(switch.violations)})"
+            )
+
+    # -- The k-ary extension: declassify a capacity band, not a bit -------------
+    print("\nk-ary query: capacity band (0: <40, 1: 40..79, 2: >=80)")
+    band = parse_int(
+        "if capacity >= 80 then 2 else (if capacity >= 40 then 1 else 0)"
+    )
+    compiled = compile_kary_query("capacity_band", band, ship)
+    print(f"  outputs: {compiled.qinfo.outputs}, all verified: {compiled.verified}")
+    observed = compiled.qinfo.run(secret_ship.unprotect_tcb())
+    posteriors = compiled.qinfo.underapprox(IntervalDomain.top(ship))
+    print(f"  observed band: {observed}")
+    for output, posterior in sorted(posteriors.items()):
+        print(f"  knowledge if output were {output}: {posterior.size()} states")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,16 @@ All iterations share **one** solver engine: the query is lowered into
 compiled kernels once, and each iteration's residue formula reuses the
 already-compiled query sub-kernels (the region conjuncts are the only new
 nodes), so the whole powerset pays a single lowering.
+
+Iterations also **seed incrementally** (``SynthOptions.incremental_seed``,
+on by default): each accepted box is carved out of a running disjoint
+decomposition of the search space, and the next iteration's maximal-box
+seed search starts from those residue pieces instead of the root box.
+The exclusion conjuncts are false on every carved-out box, so restricting
+the search to the residue is exact — later iterations simply skip
+re-splitting through regions they could never accept, and the residual
+kernels their piece boundaries produce are exactly the (hash-consed,
+memoized) residuals the previous iteration already compiled.
 """
 
 from __future__ import annotations
@@ -30,8 +40,9 @@ from repro.lang.secrets import SecretSpec
 from repro.lang.transform import conjoin, nnf
 from repro.domains.powerset import PowersetDomain
 from repro.core.synth import SynthOptions, SynthResult, synth_interval
-from repro.solver.boxes import Box
+from repro.solver.boxes import Box, subtract_box
 from repro.solver.decide import SolverStats, make_engine
+from repro.solver.optimize import build_region_oracle
 from repro.solver.regions import box_formula, outside_boxes_formula
 
 __all__ = ["IterSynthResult", "iter_synth_powerset"]
@@ -58,8 +69,16 @@ def iter_synth_powerset(
     polarity: bool,
     options: SynthOptions = SynthOptions(),
     engine=None,
+    oracle=None,
 ) -> IterSynthResult:
-    """Algorithm 1: synthesize a powerset of at most ``k`` intervals."""
+    """Algorithm 1: synthesize a powerset of at most ``k`` intervals.
+
+    ``oracle`` optionally shares one precomputed
+    :class:`~repro.solver.optimize.RegionOracle` for the *positive*
+    query (the compile step passes one per compile); otherwise one is
+    built here when affordable, so every iteration, polarity and mode of
+    this call pays a single grid evaluation.
+    """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if mode not in ("under", "over"):
@@ -69,12 +88,24 @@ def iter_synth_powerset(
             secret.field_names, options.use_kernels,
             legacy_splits=options.legacy_splits,
         )
+    if oracle is None:
+        oracle = build_region_oracle(
+            query,
+            Box(secret.bounds()),
+            secret.field_names,
+            options.optimizer_options(),
+            engine=engine,
+        )
     stats = SolverStats()
     start = time.perf_counter()
     if mode == "under":
-        result = _iter_under(query, secret, k, polarity, options, engine, stats)
+        result = _iter_under(
+            query, secret, k, polarity, options, engine, stats, oracle
+        )
     else:
-        result = _iter_over(query, secret, k, polarity, options, engine, stats)
+        result = _iter_over(
+            query, secret, k, polarity, options, engine, stats, oracle
+        )
     elapsed = time.perf_counter() - start
     return IterSynthResult(
         domain=result[0],
@@ -91,6 +122,11 @@ def _collect(stats: SolverStats, piece: SynthResult) -> SynthResult:
     return piece
 
 
+def _carve(pieces: list[Box], box: Box) -> list[Box]:
+    """Remove ``box`` from a disjoint decomposition, keeping it disjoint."""
+    return [part for piece in pieces for part in subtract_box(piece, box)]
+
+
 def _iter_under(
     query: BoolExpr,
     secret: SecretSpec,
@@ -99,12 +135,21 @@ def _iter_under(
     options: SynthOptions,
     engine,
     stats: SolverStats,
+    oracle=None,
 ) -> tuple[PowersetDomain, bool, int]:
     names = secret.field_names
     include: list[Box] = []
     timed_out = False
+    # Disjoint residue pieces of the space: the warm seeds of the next
+    # iteration's maximal-box search (exact — see module docstring).
+    pieces: list[Box] = [Box(secret.bounds())]
     for _ in range(k):
         region = outside_boxes_formula(include, names) if include else None
+        # The oracle view mirrors the region conjuncts geometrically:
+        # ``outside(include)`` becomes an exact avoid-list subtraction.
+        view = oracle
+        if view is not None and include:
+            view = view.restrict(avoid=tuple(include))
         piece = _collect(
             stats,
             synth_interval(
@@ -115,12 +160,16 @@ def _iter_under(
                 region=region,
                 options=options,
                 engine=engine,
+                seed_boxes=pieces if options.incremental_seed and include else None,
+                oracle=view,
             ),
         )
         timed_out = timed_out or piece.timed_out
         if piece.domain.box is None:
             break  # residue region exhausted: the powerset is exact
         include.append(piece.domain.box)
+        if options.incremental_seed:
+            pieces = _carve(pieces, piece.domain.box)
     return PowersetDomain(secret, tuple(include), ()), timed_out, len(include)
 
 
@@ -132,12 +181,14 @@ def _iter_over(
     options: SynthOptions,
     engine,
     stats: SolverStats,
+    oracle=None,
 ) -> tuple[PowersetDomain, bool, int]:
     names = secret.field_names
     cover = _collect(
         stats,
         synth_interval(
-            query, secret, mode="over", polarity=polarity, options=options, engine=engine
+            query, secret, mode="over", polarity=polarity, options=options,
+            engine=engine, oracle=oracle,
         ),
     )
     if cover.domain.box is None:
@@ -148,10 +199,23 @@ def _iter_over(
     timed_out = cover.timed_out
     exclude: list[Box] = []
     complement = nnf(Not(query if polarity else nnf(Not(query))))
+    # The holes target the complement of the cover's target; the oracle
+    # view applies the same negation, plus ``inside(outer)`` /
+    # ``outside(exclude)`` as geometry.  The hole calls pass
+    # ``polarity=True``, so ``synth_interval`` leaves the view as-is.
+    hole_base = None
+    if oracle is not None:
+        hole_base = (oracle if polarity else oracle.negated()).negated()
+    # Hole-carving is confined to the cover from the start, so even the
+    # first hole iteration seeds from ``outer`` rather than the space.
+    pieces: list[Box] = [outer]
     for _ in range(k - 1):
         region_parts: list[BoolExpr] = [box_formula(outer, names)]
         if exclude:
             region_parts.append(outside_boxes_formula(exclude, names))
+        view = None
+        if hole_base is not None:
+            view = hole_base.restrict(within=outer, avoid=tuple(exclude))
         hole = _collect(
             stats,
             synth_interval(
@@ -162,12 +226,16 @@ def _iter_over(
                 region=conjoin(region_parts),
                 options=options,
                 engine=engine,
+                seed_boxes=pieces if options.incremental_seed else None,
+                oracle=view,
             ),
         )
         timed_out = timed_out or hole.timed_out
         if hole.domain.box is None:
             break  # no non-satisfying points left inside the cover
         exclude.append(hole.domain.box)
+        if options.incremental_seed:
+            pieces = _carve(pieces, hole.domain.box)
     return (
         PowersetDomain(secret, (outer,), tuple(exclude)),
         timed_out,

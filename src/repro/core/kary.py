@@ -144,27 +144,38 @@ def compile_kary_query(
     under: dict[int, AbstractDomain] = {}
     over: dict[int, AbstractDomain] = {}
     outcomes: dict[str, CheckOutcome] = {}
+    # One engine for the whole per-output loop: every ``expr == v``
+    # formula (synthesis and verification alike) shares the compiled
+    # kernels of ``expr``, so each extra output costs one comparison
+    # node, not a re-lowering of the query.
+    engine = make_engine(
+        secret.field_names, synth.use_kernels, legacy_splits=synth.legacy_splits
+    )
     for output in outputs:
         is_output = expr.eq(output)
         if domain == "interval":
             under[output] = synth_interval(
-                is_output, secret, mode="under", polarity=True, options=synth
+                is_output, secret, mode="under", polarity=True, options=synth,
+                engine=engine,
             ).domain
             over[output] = synth_interval(
-                is_output, secret, mode="over", polarity=True, options=synth
+                is_output, secret, mode="over", polarity=True, options=synth,
+                engine=engine,
             ).domain
         else:
             under[output] = iter_synth_powerset(
-                is_output, secret, k=k, mode="under", polarity=True, options=synth
+                is_output, secret, k=k, mode="under", polarity=True, options=synth,
+                engine=engine,
             ).domain
             over[output] = iter_synth_powerset(
-                is_output, secret, k=k, mode="over", polarity=True, options=synth
+                is_output, secret, k=k, mode="over", polarity=True, options=synth,
+                engine=engine,
             ).domain
         outcomes[f"under[{output}]"] = verify_refinement(
-            under[output], Refinement(positive=is_output)
+            under[output], Refinement(positive=is_output), engine=engine
         )
         outcomes[f"over[{output}]"] = verify_refinement(
-            over[output], Refinement(negative=nnf(Not(is_output)))
+            over[output], Refinement(negative=nnf(Not(is_output))), engine=engine
         )
     synth_time = time.perf_counter() - start
 

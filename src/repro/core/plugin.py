@@ -30,7 +30,9 @@ from repro.core.itersynth import iter_synth_powerset
 from repro.core.qinfo import DomainPair, QInfo
 from repro.core.sketch import fill, make_indset_sketch
 from repro.core.synth import SynthOptions, synth_interval
+from repro.solver.boxes import Box
 from repro.solver.decide import SolverStats, make_engine
+from repro.solver.optimize import build_region_oracle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.service.cache import SynthesisCache
@@ -77,6 +79,11 @@ class ModeReport:
     solver_nodes: int = 0
     solver_splits: int = 0
     vector_boxes: int = 0
+    #: Probe-front counters of the fused optimizer (growth rounds
+    #: batched, stacked grid evaluations, boxes resolved through them).
+    fused_rounds: int = 0
+    probe_fronts: int = 0
+    front_boxes: int = 0
 
     @property
     def verified(self) -> bool:
@@ -109,32 +116,35 @@ def _synthesize_pair(
     mode: str,
     options: CompileOptions,
     engine,
+    oracle=None,
 ) -> tuple[DomainPair, bool, SolverStats]:
     """Synthesize the (True-side, False-side) ind. sets for one mode.
 
     Both polarities (and, for powersets, all iterations) run on the one
-    shared ``engine`` so the query is lowered exactly once per compile.
+    shared ``engine`` — the query is lowered exactly once per compile —
+    and on the one shared region ``oracle``, so the whole compile pays a
+    single stacked grid evaluation for all its probes.
     """
     stats = SolverStats()
     if options.domain == "interval":
         true_result = synth_interval(
             query, secret, mode=mode, polarity=True, options=options.synth,
-            engine=engine,
+            engine=engine, oracle=oracle,
         )
         false_result = synth_interval(
             query, secret, mode=mode, polarity=False, options=options.synth,
-            engine=engine,
+            engine=engine, oracle=oracle,
         )
         pair: DomainPair = (true_result.domain, false_result.domain)
         timed_out = true_result.timed_out or false_result.timed_out
     else:
         true_result = iter_synth_powerset(
             query, secret, k=options.k, mode=mode, polarity=True,
-            options=options.synth, engine=engine,
+            options=options.synth, engine=engine, oracle=oracle,
         )
         false_result = iter_synth_powerset(
             query, secret, k=options.k, mode=mode, polarity=False,
-            options=options.synth, engine=engine,
+            options=options.synth, engine=engine, oracle=oracle,
         )
         pair = (true_result.domain, false_result.domain)
         timed_out = true_result.timed_out or false_result.timed_out
@@ -181,11 +191,21 @@ def compile_query(
     indsets: dict[str, DomainPair] = {}
     reports: dict[str, ModeReport] = {}
     # One solver engine for the whole compile: every mode, polarity, and
-    # powerset iteration reuses the same compiled query kernels.
+    # powerset iteration reuses the same compiled query kernels.  One
+    # region oracle likewise: a single stacked grid evaluation of the
+    # query answers every optimizer probe of the compile (when the space
+    # is small enough for a mask table; ``None`` otherwise).
     engine = make_engine(
         secret.field_names,
         options.synth.use_kernels,
         legacy_splits=options.synth.legacy_splits,
+    )
+    oracle = build_region_oracle(
+        query,
+        Box(secret.bounds()),
+        secret.field_names,
+        options.synth.optimizer_options(),
+        engine=engine,
     )
     for mode in options.modes:
         # Step I + II: refinement types and the sketch with typed holes.
@@ -193,7 +213,7 @@ def compile_query(
         # Step III: fill the holes by (SMT-style) synthesis.
         start = time.perf_counter()
         pair, timed_out, solver_stats = _synthesize_pair(
-            query, secret, mode, options, engine
+            query, secret, mode, options, engine, oracle
         )
         synth_time = time.perf_counter() - start
         pair = fill(sketch, *pair)
@@ -220,6 +240,9 @@ def compile_query(
             solver_nodes=solver_stats.nodes,
             solver_splits=solver_stats.splits,
             vector_boxes=solver_stats.vector_boxes,
+            fused_rounds=solver_stats.fused_rounds,
+            probe_fronts=solver_stats.probe_fronts,
+            front_boxes=solver_stats.front_boxes,
         )
 
     qinfo = QInfo(

@@ -57,6 +57,12 @@ class SynthOptions:
     growth: str = "balanced"
     use_kernels: bool = True
     vector_threshold: int | None = None
+    #: Fuse each balanced-growth round's face probes into one batched
+    #: decision (decision-identical; see ``OptimizeOptions.fused_probes``).
+    fused_probes: bool = True
+    #: Warm-start later powerset iterations from the residue pieces the
+    #: previous iterations left (see :func:`repro.core.itersynth`).
+    incremental_seed: bool = True
     #: Pre-kernel split heuristic; benchmark baselines only.
     legacy_splits: bool = False
 
@@ -68,6 +74,7 @@ class SynthOptions:
             time_budget=self.time_budget,
             use_kernels=self.use_kernels,
             vector_threshold=self.vector_threshold,
+            fused_probes=self.fused_probes,
             legacy_splits=self.legacy_splits,
         )
 
@@ -95,6 +102,8 @@ def synth_interval(
     region: BoolExpr | None = None,
     options: SynthOptions = SynthOptions(),
     engine=None,
+    seed_boxes=None,
+    oracle=None,
 ) -> SynthResult:
     """Synthesize one interval domain for one response side.
 
@@ -103,7 +112,16 @@ def synth_interval(
     over-approximation.  The empty region legitimately synthesizes ⊥.
     ``engine`` optionally shares one solver engine (and its compiled
     kernels) across calls; it must have been built for this secret's
-    field order.
+    field order.  ``seed_boxes`` (under mode) warm-starts the maximal-box
+    seed search from a caller-guaranteed cover of the target region —
+    the iterative synthesizer passes its residue pieces here.
+
+    ``oracle`` is a :class:`~repro.solver.optimize.RegionOracle` for the
+    *positive* query; the polarity flip is applied here.  A caller who
+    also passes ``region`` must pass an oracle whose geometric
+    restrictions encode exactly that region (as the iterative
+    synthesizer does) — otherwise leave ``oracle`` unset and the
+    optimizers will build their own for the full conjoined target.
     """
     if mode not in ("under", "over"):
         raise ValueError(f"mode must be 'under' or 'over', got {mode!r}")
@@ -112,15 +130,18 @@ def synth_interval(
         target = conjoin((target, region))
     space = Box(secret.bounds())
     names = secret.field_names
+    view = oracle if oracle is None or polarity else oracle.negated()
 
     start = time.perf_counter()
     if mode == "under":
         outcome = maximal_box(
-            target, space, names, options.optimizer_options(), engine=engine
+            target, space, names, options.optimizer_options(), engine=engine,
+            seed_boxes=seed_boxes, oracle=view,
         )
     else:
         outcome = bounding_box(
-            target, space, names, options.optimizer_options(), engine=engine
+            target, space, names, options.optimizer_options(), engine=engine,
+            oracle=view,
         )
     elapsed = time.perf_counter() - start
 

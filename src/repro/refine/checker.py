@@ -9,13 +9,24 @@ refinement encoding::
 
 Membership is expressed with the domain's :meth:`member_formula`, so both
 obligations are quantifier-free formulas over the bounded secret space,
-decided *exactly* by :func:`repro.solver.decide.decide_forall`.  A passing
-:class:`Certificate` is therefore a proof, not a test: the same theorem
-Liquid Haskell establishes for the Haskell artifact.
+decided *exactly* by the solver.  A passing :class:`Certificate` is
+therefore a proof, not a test: the same theorem Liquid Haskell
+establishes for the Haskell artifact.
+
+Obligations are discharged by exact geometric case-split: a domain that
+exposes its member set as disjoint boxes (both shipped domains do) turns
+``∀x. member ⇒ p`` into one ``decide_forall(p, piece)`` per member piece
+— and the negative obligation into one per piece of the complement —
+decided together on one fused worklist
+(:func:`repro.solver.decide.decide_forall_front`).  The case-split is an
+exact partition, so the conjunction of piece verdicts *is* the original
+quantified theorem; domains that expose no geometry fall back to the
+monolithic implication over the whole space.
 
 The checker is deliberately independent of the synthesizer (the paper
 stresses the same separation in section 2.3 Step IV): it can verify
-hand-written domains just as well as synthesized ones.
+hand-written domains just as well as synthesized ones — it trusts
+nothing but the artifact's own geometry and the query.
 """
 
 from __future__ import annotations
@@ -23,13 +34,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.lang.ast import BoolLit, Implies, Not
+from repro.lang.ast import BoolExpr, BoolLit, Implies, Not
 from repro.lang.pretty import pretty
 from repro.lang.transform import nnf
 from repro.domains.base import AbstractDomain
+from repro.domains.box import IntervalDomain
+from repro.domains.powerset import PowersetDomain
 from repro.refine.spec import Refinement
-from repro.solver.boxes import Box
-from repro.solver.decide import SolverStats, decide_forall, make_engine
+from repro.solver.boxes import Box, subtract_boxes
+from repro.solver.decide import SolverStats, decide_forall_front, make_engine
 
 __all__ = [
     "Certificate",
@@ -52,6 +65,11 @@ class Certificate:
     elapsed: float
     #: Sub-boxes the proof search finished on a NumPy grid.
     vector_boxes: int = 0
+    #: Stacked front evaluations / boxes resolved through them — the
+    #: obligations run on the fused decider, so boundary cells are
+    #: flushed in batches rather than ground out one grid call each.
+    probe_fronts: int = 0
+    front_boxes: int = 0
 
 
 @dataclass(frozen=True)
@@ -86,6 +104,23 @@ class VerificationError(Exception):
         self.outcome = outcome
 
 
+def _member_pieces(domain: AbstractDomain) -> list[Box] | None:
+    """The domain's member set as disjoint boxes, or ``None`` if opaque.
+
+    Soundness of the case-split requires the geometry to equal the
+    member set *exactly*, so only the shipped domain types — whose
+    ``pieces()``/``boxes()`` are exact by construction — qualify.
+    Anything else (including subclasses, which may override
+    ``member_formula``) is verified from the membership formula alone.
+    """
+    kind = type(domain)
+    if kind is PowersetDomain:
+        return list(domain.pieces())
+    if kind is IntervalDomain:
+        return list(domain.boxes())
+    return None
+
+
 def check_refinement(
     domain: AbstractDomain, refinement: Refinement, *, engine=None
 ) -> CheckOutcome:
@@ -99,6 +134,7 @@ def check_refinement(
     space = Box(domain.spec.bounds())
     names = domain.spec.field_names
     member = domain.member_formula()
+    pieces = _member_pieces(domain)
     if engine is None:
         # Both obligations share the membership formula (and usually the
         # query), so one engine lowers their common sub-kernels once.
@@ -106,32 +142,61 @@ def check_refinement(
     certificates = []
 
     if refinement.positive != BoolLit(True):
-        certificates.append(
-            _discharge(
-                "positive",
-                Implies(member, refinement.positive),
-                space,
-                names,
-                engine,
+        formula = Implies(member, refinement.positive)
+        if pieces is None:
+            certificates.append(
+                _discharge("positive", formula, formula, [space], names, engine)
             )
-        )
+        else:
+            certificates.append(
+                _discharge(
+                    "positive", formula, refinement.positive, pieces, names, engine
+                )
+            )
     if refinement.negative != BoolLit(True):
-        certificates.append(
-            _discharge(
-                "negative",
-                Implies(nnf(Not(member)), refinement.negative),
-                space,
-                names,
-                engine,
+        formula = Implies(nnf(Not(member)), refinement.negative)
+        if pieces is None:
+            certificates.append(
+                _discharge("negative", formula, formula, [space], names, engine)
             )
-        )
+        else:
+            complement = subtract_boxes([space], pieces)
+            certificates.append(
+                _discharge(
+                    "negative",
+                    formula,
+                    refinement.negative,
+                    complement,
+                    names,
+                    engine,
+                )
+            )
     return CheckOutcome(tuple(certificates))
 
 
-def _discharge(obligation: str, formula, space: Box, names, engine=None) -> Certificate:
+def _discharge(
+    obligation: str,
+    formula: BoolExpr,
+    target: BoolExpr,
+    boxes: list[Box],
+    names,
+    engine=None,
+) -> Certificate:
+    """Prove ``formula`` by deciding ``target`` on every box of ``boxes``.
+
+    The geometric case-split (see module docstring) reduces the
+    implication ``formula`` over the whole space to ``target`` over the
+    listed boxes; an empty list means the obligation is vacuous.  All
+    boxes are decided on one fused front — shared memo, stacked grid
+    flushes.
+    """
     stats = SolverStats()
     start = time.perf_counter()
-    holds = decide_forall(formula, space, names, stats, engine=engine)
+    holds = (
+        all(decide_forall_front(target, boxes, names, stats, engine=engine))
+        if boxes
+        else True
+    )
     elapsed = time.perf_counter() - start
     return Certificate(
         obligation=obligation,
@@ -140,6 +205,8 @@ def _discharge(obligation: str, formula, space: Box, names, engine=None) -> Cert
         search_nodes=stats.nodes,
         elapsed=elapsed,
         vector_boxes=stats.vector_boxes,
+        probe_fronts=stats.probe_fronts,
+        front_boxes=stats.front_boxes,
     )
 
 

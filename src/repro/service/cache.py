@@ -35,7 +35,7 @@ from repro.service.serialize import compiled_query_from_json, compiled_query_to_
 __all__ = ["CacheStats", "SynthesisCache", "cache_key"]
 
 #: Bumped whenever the artifact encoding changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 
 def cache_key(
@@ -67,6 +67,12 @@ def cache_key(
                 # and thresholds, so both participate in the key.
                 "use_kernels": options.synth.use_kernels,
                 "vector_threshold": options.synth.vector_threshold,
+                # Fused probes are decision-identical per round, but
+                # incremental seeding changes which (equally valid)
+                # maximal boxes later iterations find, so both ride the
+                # key alongside the engine knobs.
+                "fused_probes": options.synth.fused_probes,
+                "incremental_seed": options.synth.incremental_seed,
                 "legacy_splits": options.synth.legacy_splits,
             },
         },

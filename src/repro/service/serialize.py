@@ -118,6 +118,8 @@ def _certificate_to_json(cert: Certificate) -> dict[str, Any]:
         "search_nodes": cert.search_nodes,
         "elapsed": cert.elapsed,
         "vector_boxes": cert.vector_boxes,
+        "probe_fronts": cert.probe_fronts,
+        "front_boxes": cert.front_boxes,
     }
 
 
@@ -129,6 +131,8 @@ def _certificate_from_json(data: dict[str, Any]) -> Certificate:
         search_nodes=int(data["search_nodes"]),
         elapsed=float(data["elapsed"]),
         vector_boxes=int(data.get("vector_boxes", 0)),
+        probe_fronts=int(data.get("probe_fronts", 0)),
+        front_boxes=int(data.get("front_boxes", 0)),
     )
 
 
@@ -155,6 +159,9 @@ def _report_to_json(report: ModeReport) -> dict[str, Any]:
         "solver_nodes": report.solver_nodes,
         "solver_splits": report.solver_splits,
         "vector_boxes": report.vector_boxes,
+        "fused_rounds": report.fused_rounds,
+        "probe_fronts": report.probe_fronts,
+        "front_boxes": report.front_boxes,
     }
 
 
@@ -169,6 +176,9 @@ def _report_from_json(data: dict[str, Any]) -> ModeReport:
         solver_nodes=int(data.get("solver_nodes", 0)),
         solver_splits=int(data.get("solver_splits", 0)),
         vector_boxes=int(data.get("vector_boxes", 0)),
+        fused_rounds=int(data.get("fused_rounds", 0)),
+        probe_fronts=int(data.get("probe_fronts", 0)),
+        front_boxes=int(data.get("front_boxes", 0)),
     )
 
 

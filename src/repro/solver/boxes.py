@@ -135,12 +135,20 @@ class Box:
         return Box(tuple(bounds))
 
     def split(self, dim: int) -> tuple["Box", "Box"]:
-        """Split in half along ``dim`` (which must have width >= 2)."""
+        """Split in half along ``dim`` (which must have width >= 2).
+
+        Halves are structurally non-empty, so construction skips
+        validation — this is the solver's hottest box constructor.
+        """
         lo, hi = self.bounds[dim]
         if lo == hi:
             raise ValueError(f"cannot split dimension {dim} of width 1")
         mid = (lo + hi) // 2
-        return self.with_dim(dim, lo, mid), self.with_dim(dim, mid + 1, hi)
+        low = list(self.bounds)
+        high = list(self.bounds)
+        low[dim] = (lo, mid)
+        high[dim] = (mid + 1, hi)
+        return Box.trusted(tuple(low)), Box.trusted(tuple(high))
 
     def widest_dim(self) -> int:
         """Index of the dimension with the most points (ties: lowest index)."""
@@ -179,15 +187,19 @@ def subtract_box(box: Box, other: Box) -> list[Box]:
     if overlap is None:
         return [box]
     pieces: list[Box] = []
-    remaining = box
+    remaining = list(box.bounds)
     for dim in range(box.arity):
-        lo, hi = remaining.bounds[dim]
+        lo, hi = remaining[dim]
         olo, ohi = overlap.bounds[dim]
         if lo < olo:
-            pieces.append(remaining.with_dim(dim, lo, olo - 1))
+            below = list(remaining)
+            below[dim] = (lo, olo - 1)
+            pieces.append(Box.trusted(tuple(below)))
         if ohi < hi:
-            pieces.append(remaining.with_dim(dim, ohi + 1, hi))
-        remaining = remaining.with_dim(dim, olo, ohi)
+            above = list(remaining)
+            above[dim] = (ohi + 1, hi)
+            pieces.append(Box.trusted(tuple(above)))
+        remaining[dim] = (olo, ohi)
     return pieces
 
 

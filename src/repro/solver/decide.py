@@ -34,15 +34,24 @@ Two implementation decisions shape this module (see DESIGN.md):
   small-box finishing (NumPy grids, see :mod:`repro.solver.vectoreval`)
   is available to all four procedures under both engines and is counted
   in :class:`SolverStats`.
+
+A fifth, *fused* procedure backs the optimizer's batched growth rounds:
+:func:`decide_forall_front` decides many probe boxes of one formula on a
+single shared worklist, parking small undecided sub-boxes and flushing
+them in stacked NumPy fronts.  Its engine-parity contract is weaker by
+exactly one counter: verdicts, ``nodes``, ``splits``, and ``front_boxes``
+are engine-independent, but ``probe_fronts`` (how many stacked
+evaluations a flush needs) depends on residual-identity grouping, which
+hash-consing makes denser under :class:`KernelEngine`.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Sequence
 
-from repro.lang.ast import BoolExpr
+from repro.lang.ast import BoolExpr, Expr
 from repro.lang.ternary import FALSE, TRUE
 from repro.lang.transform import free_vars
 from repro.solver import vectoreval
@@ -58,10 +67,14 @@ __all__ = [
     "KernelEngine",
     "make_engine",
     "decide_forall",
+    "decide_forall_front",
     "decide_exists",
     "find_model",
     "find_true_box",
+    "TrueBoxResult",
     "count_models",
+    "small_formula",
+    "SMALL_FORMULA_NODE_LIMIT",
 ]
 
 # Re-exported for tests and external callers of the split heuristics.
@@ -84,6 +97,13 @@ class SolverStats:
     splits: int = 0
     #: Sub-boxes finished on a NumPy grid instead of further splitting.
     vector_boxes: int = 0
+    #: Fused growth rounds executed by the balanced optimizer.
+    fused_rounds: int = 0
+    #: Stacked grid evaluations performed by the probe-front decider
+    #: (each resolves a whole group of parked boxes in one NumPy pass).
+    probe_fronts: int = 0
+    #: Parked sub-boxes resolved through stacked probe fronts.
+    front_boxes: int = 0
 
     def tick(self) -> None:
         self.nodes += 1
@@ -97,6 +117,9 @@ class SolverStats:
         self.nodes += other.nodes
         self.splits += other.splits
         self.vector_boxes += other.vector_boxes
+        self.fused_rounds += other.fused_rounds
+        self.probe_fronts += other.probe_fronts
+        self.front_boxes += other.front_boxes
 
 
 # ---------------------------------------------------------------------------
@@ -153,6 +176,9 @@ class KernelEngine:
     def grid_mask(self, node: BoolKernel, box: Box):
         return node.grid_mask(box)
 
+    def grid_all_stacked(self, node: BoolKernel, boxes: Sequence[Box]) -> list[bool]:
+        return node.grid_all_stacked(boxes)
+
 
 class InterpEngine:
     """Drive the search with the tree-walking interpreter (reference path)."""
@@ -190,6 +216,34 @@ class InterpEngine:
 
     def grid_mask(self, phi: BoolExpr, box: Box):
         return vectoreval.mask_box_vectorized(phi, box, self.names)
+
+    def grid_all_stacked(self, phi: BoolExpr, boxes: Sequence[Box]) -> list[bool]:
+        return vectoreval.all_boxes_stacked(phi, boxes, self.names)
+
+
+#: Formulas at or below this many AST nodes take the interpreter fast
+#: path in one-shot :func:`count_models` calls: lowering a tiny formula
+#: into kernels costs more than every tree walk it would save (the
+#: ``count_models_birthday`` regression in ``BENCH_solver.json``).
+SMALL_FORMULA_NODE_LIMIT = 16
+
+
+def small_formula(phi: Expr, limit: int = SMALL_FORMULA_NODE_LIMIT) -> bool:
+    """Whether the formula has at most ``limit`` AST nodes (early exit)."""
+    count = 0
+    stack: list[Expr] = [phi]
+    while stack:
+        node = stack.pop()
+        count += 1
+        if count > limit:
+            return False
+        for spec in fields(node):
+            value = getattr(node, spec.name)
+            if isinstance(value, Expr):
+                stack.append(value)
+            elif isinstance(value, tuple):
+                stack.extend(item for item in value if isinstance(item, Expr))
+    return True
 
 
 def make_engine(
@@ -278,6 +332,127 @@ def decide_forall(
         stats.nodes += nodes
         stats.splits += splits
         stats.vector_boxes += vector_boxes
+
+
+#: Flush a probe front once this many boxes are parked.  Bounds the
+#: latency between a box becoming decidable and its probe learning the
+#: verdict (late verdicts delay pruning of the failing probe's siblings).
+FRONT_FLUSH_CAP = 128
+
+
+def decide_forall_front(
+    phi: BoolExpr,
+    boxes: Sequence[Box],
+    names: Sequence[str],
+    stats: SolverStats | None = None,
+    *,
+    engine=None,
+    use_kernels: bool = True,
+    vector_threshold: int | None = None,
+) -> list[bool]:
+    """``decide_forall`` for many probe boxes of one formula, fused.
+
+    All probes run on **one** worklist: the query is lowered once, every
+    probe shares the engine's specialization memo, and sufficiently small
+    undecided sub-boxes are *parked* instead of being ground out
+    individually.  Parked boxes are flushed in *fronts*: grouped by
+    (residual kernel, shape) and evaluated with one stacked NumPy pass
+    per group (see :func:`repro.solver.vectoreval.make_stacked_grids`).
+    A probe whose front entry comes back false is pruned — its remaining
+    worklist entries are skipped.
+
+    Verdicts are exactly those of one :func:`decide_forall` call per box
+    (grid finishing and fronts are exactness-preserving; conjunction is
+    order-independent).  Counter contract: ``nodes``/``splits`` and the
+    set of parked boxes (``front_boxes``) are engine-independent, but
+    ``probe_fronts`` — the number of stacked evaluations — depends on
+    residual *identity* grouping, which hash-consing makes much denser
+    under :class:`KernelEngine` than under :class:`InterpEngine`.
+
+    With an explicit ``vector_threshold`` the parking threshold equals
+    it (``0`` forces the pure-Python scalar path, as everywhere else);
+    by default parking uses the larger
+    :data:`~repro.solver.vectoreval.DEFAULT_FRONT_VECTOR_THRESHOLD`,
+    because stacking amortizes per-call NumPy overhead over the front.
+    """
+    if engine is None:
+        engine = make_engine(names, use_kernels)
+    if stats is None:
+        stats = SolverStats()
+    if vector_threshold is None:
+        fvt = (
+            vectoreval.DEFAULT_FRONT_VECTOR_THRESHOLD if vectoreval.AVAILABLE else 0
+        )
+    else:
+        fvt = vector_threshold
+    verdicts: list[bool | None] = [None] * len(boxes)
+    root = engine.lower(phi)
+    stack = [
+        (index, root, box) for index, box in reversed(list(enumerate(boxes)))
+    ]
+    parked: list[tuple[int, object, Box]] = []
+    nodes = splits = front_boxes = fronts = 0
+    budget = None if stats.max_nodes is None else stats.max_nodes - stats.nodes
+
+    def flush() -> None:
+        nonlocal fronts, front_boxes
+        groups: dict[tuple[int, tuple[int, ...]], list[tuple[int, object, Box]]] = {}
+        for entry in parked:
+            index, node, box = entry
+            if verdicts[index] is False:
+                continue  # probe already failed; skip the stale park
+            groups.setdefault((id(node), box.widths()), []).append(entry)
+        parked.clear()
+        for entries in groups.values():
+            fronts += 1
+            front_boxes += len(entries)
+            if len(entries) == 1:
+                # Singleton group: the scalar grid path, without the
+                # batch-axis reshaping overhead.
+                index, node, box = entries[0]
+                if not engine.grid_all(node, box):
+                    verdicts[index] = False
+                continue
+            flat = engine.grid_all_stacked(
+                entries[0][1], [box for _, _, box in entries]
+            )
+            for (index, _, _), all_true in zip(entries, flat):
+                if not all_true:
+                    verdicts[index] = False
+
+    try:
+        while stack:
+            index, node, current = stack.pop()
+            if verdicts[index] is False:
+                continue
+            nodes += 1
+            if budget is not None and nodes > budget:
+                raise SolverBudgetExceeded(
+                    f"decision exceeded {stats.max_nodes} search nodes"
+                )
+            truth, shrunk = engine.specialize(node, current)
+            if truth is TRUE:
+                continue
+            if truth is FALSE:
+                verdicts[index] = False
+                continue
+            if 0 < current.volume() <= fvt:
+                parked.append((index, shrunk, current))
+                if len(parked) >= FRONT_FLUSH_CAP:
+                    flush()
+                continue
+            splits += 1
+            low, high = split_at(current, *engine.choose_split(shrunk, current))
+            stack.append((index, shrunk, high))
+            stack.append((index, shrunk, low))
+        if parked:
+            flush()
+        return [verdict is not False for verdict in verdicts]
+    finally:
+        stats.nodes += nodes
+        stats.splits += splits
+        stats.probe_fronts += fronts
+        stats.front_boxes += front_boxes
 
 
 def find_model(
@@ -373,19 +548,41 @@ def find_true_box(
     engine=None,
     use_kernels: bool = True,
     vector_threshold: int | None = None,
+    seed_boxes: Sequence[Box] | None = None,
 ) -> TrueBoxResult:
     """Search for a *large* all-true sub-box, best-first by volume.
 
     Used to seed the maximal-box optimizer: expanding from a fat core box
     converges much faster (and to better Pareto points) than expanding from
     a single witness point.
+
+    ``seed_boxes`` warm-starts the search from a cover of the region
+    instead of the whole ``box``: the iterative powerset synthesizer
+    passes the residue pieces of the space (previous iterations' accepted
+    boxes carved out), so later iterations never re-split through regions
+    their own exclusion conjuncts already falsify.  The caller guarantees
+    the seeds jointly cover every satisfying point of ``phi`` inside
+    ``box`` — then ``exhausted`` keeps its meaning for the whole space.
     """
+    # The seeder defaults to the larger *front* threshold: it evaluates
+    # one mask per small subtree and decides every descendant by slicing,
+    # so a bigger grid amortizes over the whole subtree instead of paying
+    # one NumPy call per box (measured on the cold-compile benchmark).
     engine, stats, vt = _resolve(
         engine, names, use_kernels, stats, vector_threshold,
-        vectoreval.DEFAULT_DECIDE_VECTOR_THRESHOLD,
+        vectoreval.DEFAULT_FRONT_VECTOR_THRESHOLD,
     )
-    counter = 0
-    heap = [(-box.volume(), counter, box, engine.lower(phi), None)]
+    root = engine.lower(phi)
+    if seed_boxes is None:
+        counter = 0
+        heap = [(-box.volume(), counter, box, root, None)]
+    else:
+        counter = -1
+        heap = []
+        for seed in seed_boxes:
+            counter += 1
+            heap.append((-seed.volume(), counter, seed, root, None))
+        heapq.heapify(heap)
     pops = 0
     while heap and pops < max_pops:
         neg_volume, _, current, node, mask = heapq.heappop(heap)
@@ -457,7 +654,14 @@ def count_models(
     or below ``vector_threshold`` points are finished exactly on NumPy
     grids (see :mod:`repro.solver.vectoreval`); pass ``0`` to force the
     pure-Python path.
+
+    One-shot calls (no shared ``engine``) on small formulas run on the
+    interpreter engine even when ``use_kernels`` is set: kernel lowering
+    cannot amortize over a single tiny count, and both engines are
+    decision- and counter-identical, so only the constant factor changes.
     """
+    if engine is None and use_kernels and small_formula(phi):
+        use_kernels = False
     engine, stats, vt = _resolve(
         engine, names, use_kernels, stats, vector_threshold,
         vectoreval.DEFAULT_VECTOR_THRESHOLD, legacy_splits,

@@ -237,6 +237,18 @@ class BoolKernel:
         """The full boolean satisfaction mask over the box."""
         return vectoreval.mask_array(self._mask(box), box)
 
+    def grid_all_stacked(self, boxes: Sequence[Box]) -> list[bool]:
+        """Per-box ``forall`` over a stack of same-shaped boxes.
+
+        One compiled-kernel evaluation for the whole stack — the kernel
+        side of a fused probe-front flush (see
+        :func:`repro.solver.decide.decide_forall_front`).
+        """
+        grids = vectoreval.make_stacked_grids(boxes)
+        return vectoreval.stacked_mask_all(
+            self.space.grid_bool(self.expr)(grids), boxes
+        )
+
 
 class KernelSpace:
     """One lowering context: a variable order plus hash-consed kernels.

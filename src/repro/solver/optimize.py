@@ -28,27 +28,47 @@ default, see :mod:`repro.solver.kernels`) and threads it through all of
 its probes: the query is lowered once, and the specialization memo is
 shared across the doubling/halving probes — which re-decide heavily
 overlapping slabs — instead of being rebuilt per ``decide_forall`` call.
+
+Balanced growth goes one step further by default (``fused_probes``):
+each doubling round's face probes are decided **fused** on one worklist
+(:func:`~repro.solver.decide.decide_forall_front`), with the small
+undecided boundary boxes of the whole round parked and flushed as
+stacked NumPy fronts, then committed in face order with corner
+re-verification — decision-identical to the sequential round-robin,
+but one batched evaluation where there were ``2n`` scalar ones.
 Aggregate :class:`~repro.solver.decide.SolverStats` for the whole
-optimization come back on the :class:`OptimizeOutcome`.
+optimization (including the probe-front counters) come back on the
+:class:`OptimizeOutcome`.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.lang.ast import BoolExpr
-from repro.solver.boxes import Box
+from repro.solver import vectoreval
+from repro.solver.boxes import Box, subtract_box
 from repro.solver.decide import (
     SolverStats,
+    TrueBoxResult,
     decide_forall,
+    decide_forall_front,
     find_model,
     find_true_box,
     make_engine,
 )
 
-__all__ = ["OptimizeOptions", "OptimizeOutcome", "maximal_box", "bounding_box"]
+__all__ = [
+    "OptimizeOptions",
+    "OptimizeOutcome",
+    "RegionOracle",
+    "build_region_oracle",
+    "maximal_box",
+    "bounding_box",
+]
 
 
 @dataclass(frozen=True)
@@ -69,6 +89,11 @@ class OptimizeOptions:
     time_budget: float | None = 10.0
     use_kernels: bool = True
     vector_threshold: int | None = None
+    #: Batch every doubling round's face probes into one fused worklist
+    #: with stacked grid fronts (see :func:`decide_forall_front`).
+    #: Decision-identical to the sequential round-robin; off reproduces
+    #: the probe-at-a-time growth for baselines and ablations.
+    fused_probes: bool = True
     #: Pre-kernel split heuristic; benchmark baselines only.
     legacy_splits: bool = False
 
@@ -99,6 +124,148 @@ class _Deadline:
         return self.expired
 
 
+def _clip(bounds, other):
+    """Intersection of two bounds tuples, or ``None`` when disjoint.
+
+    Plain-tuple geometry for the oracle's hot path — no :class:`Box`
+    allocation or validation per probe.
+    """
+    clipped = []
+    for (alo, ahi), (blo, bhi) in zip(bounds, other):
+        lo = alo if alo > blo else blo
+        hi = ahi if ahi < bhi else bhi
+        if lo > hi:
+            return None
+        clipped.append((lo, hi))
+    return tuple(clipped)
+
+
+class RegionOracle:
+    """Exact probe verdicts for one query region, from one grid pass.
+
+    One full-space satisfaction mask of the query, folded into a
+    :class:`~repro.solver.vectoreval.MaskTable`, answers every decision
+    the optimizers ask — ``forall`` growth probes, ``exists`` bisection
+    probes, all-true seed checks — in O(2^d) table lookups.  Views share
+    the table:
+
+    * :meth:`negated` flips the query polarity (the False-side synthesis
+      and the over-mode hole carving both target complements);
+    * :meth:`restrict` adds *geometric* region conjuncts: ``within``
+      (the ``inside(outer)`` constraint of hole carving) and ``avoid``
+      (the ``outside(boxes)`` constraints of powerset iterations).
+      Carved boxes are pairwise disjoint, so restricted counts are exact
+      by subtraction — this is how "the previous iteration's accepted
+      boxes" thread into the next iteration without any new evaluation.
+
+    Verdicts equal ``decide_forall``/``decide_exists`` on the
+    corresponding conjoined formula exactly: the mask is exact and the
+    geometry mirrors the region conjuncts one-for-one.
+    """
+
+    __slots__ = ("table", "positive", "within", "avoid")
+
+    def __init__(
+        self,
+        table: vectoreval.MaskTable,
+        positive: bool = True,
+        within: Box | None = None,
+        avoid: tuple[Box, ...] = (),
+    ):
+        self.table = table
+        self.positive = positive
+        self.within = within
+        self.avoid = avoid
+
+    def negated(self) -> "RegionOracle":
+        """The complement-query view (same table, same geometry)."""
+        return RegionOracle(self.table, not self.positive, self.within, self.avoid)
+
+    def restrict(
+        self, within: Box | None = None, avoid: Sequence[Box] = ()
+    ) -> "RegionOracle":
+        """A view with additional geometric region constraints."""
+        merged = self.within
+        if within is not None:
+            merged = within if merged is None else merged.intersect(within)
+            if merged is None:
+                raise ValueError("within-restriction is empty")
+        return RegionOracle(
+            self.table, self.positive, merged, self.avoid + tuple(avoid)
+        )
+
+    def _polarity_count(self, bounds) -> int:
+        count = self.table.count(bounds)
+        if self.positive:
+            return count
+        volume = 1
+        for lo, hi in bounds:
+            volume *= hi - lo + 1
+        return volume - count
+
+    def region_count(self, box: Box) -> int:
+        """Cells of ``box`` satisfying the query *and* the geometry."""
+        bounds = box.bounds
+        if self.within is not None:
+            bounds = _clip(bounds, self.within.bounds)
+            if bounds is None:
+                return 0
+        total = self._polarity_count(bounds)
+        for hole in self.avoid:
+            overlap = _clip(bounds, hole.bounds)
+            if overlap is not None:
+                total -= self._polarity_count(overlap)
+        return total
+
+    def forall(self, box: Box) -> bool:
+        """Whether every cell of ``box`` satisfies query and geometry."""
+        bounds = box.bounds
+        if self.within is not None:
+            for (lo, hi), (wlo, whi) in zip(bounds, self.within.bounds):
+                if lo < wlo or hi > whi:
+                    return False
+        for hole in self.avoid:
+            if _clip(bounds, hole.bounds) is not None:
+                return False
+        volume = 1
+        for lo, hi in bounds:
+            volume *= hi - lo + 1
+        return self._polarity_count(bounds) == volume
+
+    def exists(self, box: Box) -> bool:
+        """Whether some cell of ``box`` satisfies query and geometry."""
+        return self.region_count(box) > 0
+
+
+def build_region_oracle(
+    phi: BoolExpr,
+    space: Box,
+    names: Sequence[str],
+    options: OptimizeOptions = OptimizeOptions(),
+    *,
+    engine=None,
+) -> RegionOracle | None:
+    """A :class:`RegionOracle` for ``phi`` on ``space``, when affordable.
+
+    Returns ``None`` — and callers fall back to worklist decisions —
+    when fused probes are off, the growth mode is an ablation, NumPy is
+    unavailable or disabled (``vector_threshold=0``), or the space
+    exceeds :data:`~repro.solver.vectoreval.DEFAULT_GROWTH_WINDOW_CELLS`.
+    """
+    if not options.fused_probes or options.mode != "balanced":
+        return None
+    if not vectoreval.AVAILABLE or options.vector_threshold == 0:
+        return None
+    if space.volume() > vectoreval.DEFAULT_GROWTH_WINDOW_CELLS:
+        return None
+    if engine is None:
+        engine = make_engine(
+            names, options.use_kernels, legacy_splits=options.legacy_splits
+        )
+    mask = engine.grid_mask(engine.lower(phi), space)
+    return RegionOracle(vectoreval.MaskTable(mask, space))
+
+
 @dataclass
 class _Search:
     """Everything one optimization run threads through its probes."""
@@ -107,11 +274,35 @@ class _Search:
     stats: SolverStats
     vector_threshold: int | None
     deadline: _Deadline
+    #: Optional precomputed region oracle answering probes in O(1).
+    oracle: RegionOracle | None = None
+
+    def oracle_forall(self, box: Box) -> bool:
+        self.stats.front_boxes += 1
+        return self.oracle.forall(box)
+
+    def exists(self, phi: BoolExpr, box: Box, names: Sequence[str]) -> bool:
+        if self.oracle is not None:
+            self.stats.front_boxes += 1
+            return self.oracle.exists(box)
+        return self.model(phi, box, names) is not None
 
     def forall(self, phi: BoolExpr, box: Box, names: Sequence[str]) -> bool:
         return decide_forall(
             phi,
             box,
+            names,
+            self.stats,
+            engine=self.engine,
+            vector_threshold=self.vector_threshold,
+        )
+
+    def forall_front(
+        self, phi: BoolExpr, boxes: Sequence[Box], names: Sequence[str]
+    ) -> list[bool]:
+        return decide_forall_front(
+            phi,
+            boxes,
             names,
             self.stats,
             engine=self.engine,
@@ -130,18 +321,60 @@ class _Search:
 
 
 def _search_for(
-    names: Sequence[str], options: OptimizeOptions, engine=None
+    names: Sequence[str],
+    options: OptimizeOptions,
+    engine=None,
+    oracle: RegionOracle | None = None,
 ) -> _Search:
+    stats = SolverStats()
+    if oracle is not None:
+        # One consumed front per optimization run that has an oracle.
+        stats.probe_fronts += 1
     return _Search(
         engine=engine
         if engine is not None
         else make_engine(
             names, options.use_kernels, legacy_splits=options.legacy_splits
         ),
-        stats=SolverStats(),
+        stats=stats,
         vector_threshold=options.vector_threshold,
         deadline=_Deadline(options.time_budget),
+        oracle=oracle,
     )
+
+
+def _seed_from_oracle(
+    search: _Search, seeds: Sequence[Box], max_pops: int
+) -> TrueBoxResult:
+    """Best-first all-true seed search answered entirely by the oracle.
+
+    Same structure as :func:`~repro.solver.decide.find_true_box` — a
+    volume-ordered heap, ``max_pops`` budget, ``exhausted`` semantics —
+    but each pop is one O(2^d) table count instead of an abstract
+    evaluation, and mixed boxes bisect their widest dimension (no
+    residual formula exists to supply split hints).
+    """
+    oracle = search.oracle
+    stats = search.stats
+    counter = len(seeds)
+    heap = [(-seed.volume(), index, seed) for index, seed in enumerate(seeds)]
+    heapq.heapify(heap)
+    pops = 0
+    while heap and pops < max_pops:
+        neg_volume, _, current = heapq.heappop(heap)
+        pops += 1
+        stats.tick()
+        stats.front_boxes += 1
+        count = oracle.region_count(current)
+        if count == -neg_volume:
+            return TrueBoxResult(current, exhausted=False)
+        if count == 0:
+            continue
+        stats.splits += 1
+        for half in current.split(current.widest_dim()):
+            counter += 1
+            heapq.heappush(heap, (-half.volume(), counter, half))
+    return TrueBoxResult(None, exhausted=not heap)
 
 
 def maximal_box(
@@ -151,24 +384,49 @@ def maximal_box(
     options: OptimizeOptions = OptimizeOptions(),
     *,
     engine=None,
+    seed_boxes: Sequence[Box] | None = None,
+    oracle: RegionOracle | None = None,
 ) -> OptimizeOutcome:
     """A maximal box inside the region ``{x in space | phi(x)}``.
 
     Returns ``box=None`` when the region is empty (``proved_empty=True``)
     or when no all-true seed was found within budget.  Passing a shared
     ``engine`` lets a caller amortize one query lowering (and one
-    specialization memo) over many optimizer calls.
+    specialization memo) over many optimizer calls.  ``seed_boxes``
+    warm-starts the all-true seed search from a cover of the region (the
+    iterative synthesizer passes the residue pieces left by previous
+    iterations); the caller guarantees the cover — see
+    :func:`~repro.solver.decide.find_true_box`.
+
+    An ``oracle`` (see :class:`RegionOracle`) answers every probe of the
+    run from one precomputed grid pass; it must describe exactly the
+    region of ``phi`` on ``space``.  When none is passed, one is built
+    here if affordable (``None`` gates fall back to worklist decisions).
     """
-    search = _search_for(names, options, engine)
-    seeded = find_true_box(
-        phi,
-        space,
-        names,
-        max_pops=options.seed_pops,
-        stats=search.stats,
-        engine=search.engine,
-        vector_threshold=options.vector_threshold,
-    )
+    if engine is None:
+        engine = make_engine(
+            names, options.use_kernels, legacy_splits=options.legacy_splits
+        )
+    if oracle is None:
+        oracle = build_region_oracle(phi, space, names, options, engine=engine)
+    search = _search_for(names, options, engine, oracle)
+    if search.oracle is not None:
+        seeded = _seed_from_oracle(
+            search,
+            seed_boxes if seed_boxes is not None else [space],
+            options.seed_pops,
+        )
+    else:
+        seeded = find_true_box(
+            phi,
+            space,
+            names,
+            max_pops=options.seed_pops,
+            stats=search.stats,
+            engine=search.engine,
+            vector_threshold=options.vector_threshold,
+            seed_boxes=seed_boxes,
+        )
     if seeded.box is None:
         if seeded.exhausted:
             return OptimizeOutcome(
@@ -184,10 +442,12 @@ def maximal_box(
     else:
         seed = seeded.box
 
-    if options.mode == "balanced":
-        grown = _grow_balanced(phi, seed, space, names, search)
-    else:
+    if options.mode != "balanced":
         grown = _grow_lexicographic(phi, seed, space, names, search)
+    elif options.fused_probes:
+        grown = _grow_balanced_fused(phi, seed, space, names, search)
+    else:
+        grown = _grow_balanced(phi, seed, space, names, search)
     return OptimizeOutcome(
         grown, timed_out=search.deadline.expired, stats=search.stats
     )
@@ -197,16 +457,22 @@ def _slab(box: Box, space: Box, dim: int, side: str, step: int) -> Box | None:
     """The extension slab of ``box`` along one face, clamped to ``space``.
 
     Returns ``None`` when the face already touches the space boundary.
+    Slabs are structurally non-empty, so construction skips validation
+    (this runs once per face per growth round).
     """
     lo, hi = box.bounds[dim]
     slo, shi = space.bounds[dim]
     if side == "hi":
         if hi >= shi:
             return None
-        return box.with_dim(dim, hi + 1, min(hi + step, shi))
-    if lo <= slo:
-        return None
-    return box.with_dim(dim, max(lo - step, slo), lo - 1)
+        face = (hi + 1, min(hi + step, shi))
+    else:
+        if lo <= slo:
+            return None
+        face = (max(lo - step, slo), lo - 1)
+    bounds = list(box.bounds)
+    bounds[dim] = face
+    return Box.trusted(tuple(bounds))
 
 
 def _extend(box: Box, slab: Box, dim: int) -> Box:
@@ -246,6 +512,192 @@ def _grow_balanced(
                 alive.discard(face)
             if search.deadline.over():
                 break
+    return box
+
+
+#: Growth-window margin, as a fraction of the growing box's width
+#: (numerator, denominator).  Generous margins amortize better over long
+#: growth runs but cost more per evaluation; half a width measured best
+#: on the Manhattan-ball compile benchmark.
+WINDOW_MARGIN = (1, 2)
+
+
+def _window_box(box: Box, space: Box, cap: int) -> Box | None:
+    """The growth window around ``box``: half its width of margin per
+    side, clamped to ``space`` — or ``None`` when that exceeds the cap."""
+    num, den = WINDOW_MARGIN
+    bounds: list[tuple[int, int]] = []
+    volume = 1
+    for (lo, hi), (slo, shi) in zip(box.bounds, space.bounds):
+        margin = max((hi - lo + 1) * num // den, 1)
+        wlo = max(lo - margin, slo)
+        whi = min(hi + margin, shi)
+        volume *= whi - wlo + 1
+        if volume > cap:
+            return None
+        bounds.append((wlo, whi))
+    return Box(tuple(bounds))
+
+
+class _GrowthWindow:
+    """One grid evaluation answering a whole growth phase's probes.
+
+    The mask of ``phi`` over a window around the growing box is evaluated
+    once; any probe slab inside the window is decided by slicing the mask
+    (exact, so verdicts equal ``decide_forall``'s).  Growth past the
+    window re-centers and re-evaluates it; spaces where no affordable
+    window exists disable it, and probes fall back to fused worklist
+    fronts.  Counted in ``SolverStats``: one ``probe_fronts`` tick per
+    evaluation, one ``front_boxes`` tick per probe answered by slicing.
+    """
+
+    __slots__ = ("search", "node", "space", "enabled", "window", "mask", "center")
+
+    def __init__(self, search: _Search, phi: BoolExpr, space: Box):
+        self.search = search
+        self.node = search.engine.lower(phi)
+        self.space = space
+        self.enabled = vectoreval.AVAILABLE and (
+            search.vector_threshold is None or search.vector_threshold > 0
+        )
+        self.window: Box | None = None
+        self.mask = None
+        self.center: Box | None = None
+
+    def recenter(self, box: Box) -> None:
+        # Re-centering on the box the window was already built for would
+        # recompute a byte-identical mask (slabs that escaped it once
+        # will escape it again); let those probes fall through to the
+        # fused worklist front instead.
+        if not self.enabled or box == self.center:
+            return
+        self.center = box
+        self.window = _window_box(
+            box, self.space, vectoreval.DEFAULT_GROWTH_WINDOW_CELLS
+        )
+        if self.window is None:
+            self.enabled = False
+            self.mask = None
+            return
+        self.mask = self.search.engine.grid_mask(self.node, self.window)
+        self.search.stats.probe_fronts += 1
+
+    def forall(self, slab: Box) -> bool | None:
+        """The probe verdict, or ``None`` when the slab escapes the window."""
+        window = self.window
+        if self.mask is None or not window.contains_box(slab):
+            return None
+        self.search.stats.front_boxes += 1
+        region = self.mask[
+            tuple(
+                slice(lo - wlo, hi - wlo + 1)
+                for (lo, hi), (wlo, _) in zip(slab.bounds, window.bounds)
+            )
+        ]
+        return bool(region.all())
+
+
+def _grow_balanced_fused(
+    phi: BoolExpr,
+    box: Box,
+    space: Box,
+    names: Sequence[str],
+    search: _Search,
+) -> Box:
+    """Round-robin doubling growth with every round's probes fused.
+
+    Decision-identical to :func:`_grow_balanced`, round by round, but the
+    probes of a whole doubling round are answered together instead of one
+    ``decide_forall`` call each:
+
+    * A :class:`_GrowthWindow` mask — one stacked grid evaluation over
+      the seed's doubling neighborhood — decides every slab it contains
+      by pure NumPy slicing.
+    * Slabs outside the window (or with no affordable window at all) are
+      decided in **one** fused worklist per round
+      (:func:`~repro.solver.decide.decide_forall_front` — shared
+      specialization memo, stacked grid fronts).
+
+    Commits then replay in face order.  A later face's sequential slab is
+    its round-start slab extended along the dimensions already committed
+    this round, so
+
+    ``forall(sequential slab) = forall(round-start slab) and forall(corners)``
+
+    where the *corners* are the (much smaller) difference boxes, decided
+    the same way.  Accept/reject per face — and therefore the grown box
+    and the doubling-step evolution — match the sequential algorithm
+    exactly.
+    """
+    faces = [(dim, side) for dim in range(box.arity) for side in ("lo", "hi")]
+    steps = {face: 1 for face in faces}
+    alive = set(faces)
+    # The window is only ever consulted when there is no oracle, and is
+    # armed lazily from the second round on — so its construction (an
+    # ``engine.lower`` walk) is deferred until a probe could use it.
+    window: _GrowthWindow | None = None
+    armed = False
+
+    def decide(slabs: list[Box]) -> list[bool]:
+        nonlocal window
+        if search.oracle is not None:
+            # The whole-space oracle subsumes the window entirely.
+            return [search.oracle_forall(slab) for slab in slabs]
+        if window is None:
+            window = _GrowthWindow(search, phi, space)
+        verdicts: list[bool | None] = [window.forall(slab) for slab in slabs]
+        misses = [i for i, verdict in enumerate(verdicts) if verdict is None]
+        if misses and armed and window.enabled:
+            # Growth escaped the window (or it is not built yet):
+            # re-center on the current box before paying a worklist
+            # decision.
+            window.recenter(box)
+            for i in misses:
+                verdicts[i] = window.forall(slabs[i])
+            misses = [i for i in misses if verdicts[i] is None]
+        if misses:
+            fused = search.forall_front(phi, [slabs[i] for i in misses], names)
+            for i, verdict in zip(misses, fused):
+                verdicts[i] = verdict
+        return verdicts
+
+    rounds = 0
+    while alive and not search.deadline.over():
+        search.stats.fused_rounds += 1
+        rounds += 1
+        # Seeds are usually near-maximal: most growths die in round one,
+        # so the window mask only pays for itself once a second round
+        # proves this growth has legs.
+        armed = rounds > 1
+        candidates: list[tuple[tuple[int, str], Box]] = []
+        for face in faces:
+            if face not in alive:
+                continue
+            slab = _slab(box, space, *face, steps[face])
+            if slab is None:
+                alive.discard(face)
+                continue
+            candidates.append((face, slab))
+        if not candidates:
+            break
+        verdicts = decide([slab for _, slab in candidates])
+        for (face, slab), accepted in zip(candidates, verdicts):
+            dim, side = face
+            if accepted:
+                # Earlier commits this round may have widened the slab's
+                # cross-section; only the corner difference is unproven.
+                actual = _slab(box, space, dim, side, steps[face])
+                corners = subtract_box(actual, slab)
+                if corners:
+                    accepted = all(decide(corners))
+                if accepted:
+                    box = _extend(box, actual, dim)
+                    steps[face] *= 2
+                    continue
+            if steps[face] > 1:
+                steps[face] = max(steps[face] // 2, 1)
+            else:
+                alive.discard(face)
     return box
 
 
@@ -307,6 +759,7 @@ def bounding_box(
     options: OptimizeOptions = OptimizeOptions(),
     *,
     engine=None,
+    oracle: RegionOracle | None = None,
 ) -> OptimizeOutcome:
     """The minimal box covering ``{x in space | phi(x)}``.
 
@@ -314,9 +767,17 @@ def bounding_box(
     ``2n`` faces is found by binary search with exhaustive existence
     checks.  Returns ``box=None`` with ``proved_empty=True`` for an empty
     region.  On budget expiry the not-yet-tightened faces keep their space
-    bounds — a sound but looser cover.
+    bounds — a sound but looser cover.  An ``oracle`` answers the
+    bisection existence probes in O(1); one is built here when none is
+    passed and the space is affordable.
     """
-    search = _search_for(names, options, engine)
+    if engine is None:
+        engine = make_engine(
+            names, options.use_kernels, legacy_splits=options.legacy_splits
+        )
+    if oracle is None:
+        oracle = build_region_oracle(phi, space, names, options, engine=engine)
+    search = _search_for(names, options, engine, oracle)
     witness = search.model(phi, space, names)
     if witness is None:
         return OptimizeOutcome(
@@ -354,7 +815,7 @@ def _search_face(
         while low <= high and not search.deadline.over():
             mid = (low + high) // 2
             restricted = space.with_dim(dim, low, mid)
-            if search.model(phi, restricted, names) is not None:
+            if search.exists(phi, restricted, names):
                 best = mid
                 high = mid - 1
             else:
@@ -365,7 +826,7 @@ def _search_face(
     while low <= high and not search.deadline.over():
         mid = (low + high) // 2
         restricted = space.with_dim(dim, mid, high)
-        if search.model(phi, restricted, names) is not None:
+        if search.exists(phi, restricted, names):
             best = mid
             low = mid + 1
         else:

@@ -56,16 +56,22 @@ __all__ = [
     "AVAILABLE",
     "DEFAULT_VECTOR_THRESHOLD",
     "DEFAULT_DECIDE_VECTOR_THRESHOLD",
+    "DEFAULT_FRONT_VECTOR_THRESHOLD",
+    "DEFAULT_GROWTH_WINDOW_CELLS",
+    "MaskTable",
     "require_numpy",
     "make_grids",
+    "make_stacked_grids",
     "mask_count",
     "mask_all",
     "mask_array",
     "mask_find",
+    "stacked_mask_all",
     "count_box_vectorized",
     "all_box_vectorized",
     "find_point_vectorized",
     "mask_box_vectorized",
+    "all_boxes_stacked",
 ]
 
 AVAILABLE = _np is not None
@@ -81,6 +87,22 @@ DEFAULT_VECTOR_THRESHOLD = 4_000_000
 #: 1024 measured best on the paper's Manhattan-ball benchmarks (see
 #: benchmarks/test_solver_perf.py).
 DEFAULT_DECIDE_VECTOR_THRESHOLD = 1024
+
+#: Boxes up to this many points are *parked* by the fused probe-front
+#: decider (:func:`repro.solver.decide.decide_forall_front`) and finished
+#: in stacked batches.  Larger than the scalar decide threshold: stacking
+#: amortizes the per-call NumPy overhead over a whole front, so trading
+#: Python splits for grid cells pays off earlier (4096 measured best on
+#: the Manhattan-ball compile benchmark, see benchmarks/test_solver_perf.py).
+DEFAULT_FRONT_VECTOR_THRESHOLD = 4096
+
+#: Cell budget for the balanced optimizer's *growth window*: one mask
+#: evaluation covering the whole doubling neighborhood of the seed box,
+#: from which every face probe of every round is answered by slicing.
+#: Chosen so a full window (a handful of int64 intermediates) stays a
+#: few megabytes; growth beyond the window refreshes it, and spaces too
+#: large for any window fall back to fused probe fronts.
+DEFAULT_GROWTH_WINDOW_CELLS = 1 << 18
 
 
 def require_numpy():
@@ -129,6 +151,109 @@ def make_grids(box: Box) -> tuple:
     return tuple(
         _axis(lo, hi, dim, arity) for dim, (lo, hi) in enumerate(box.bounds)
     )
+
+
+class MaskTable:
+    """O(2^d) box-count queries over a boolean mask (summed-area table).
+
+    Built from one full-space satisfaction mask, the table answers "how
+    many cells of this sub-box are true?" by inclusion-exclusion over the
+    box's ``2^d`` corners — no slicing, no reductions, no per-query NumPy
+    call graph.  This is what turns one stacked grid evaluation into an
+    oracle for *every* probe of a synthesis run (see
+    :class:`repro.solver.optimize.RegionOracle`).
+
+    Lookups go through flat indices and ``ndarray.item`` — a probe costs
+    ``2^d`` scalar reads, a few hundred nanoseconds each, which is what
+    lets one table absorb hundreds of probes per synthesis run.
+    """
+
+    __slots__ = ("base", "flat", "strides", "arity")
+
+    def __init__(self, mask, box: Box):
+        np = require_numpy()
+        self.base = tuple(lo for lo, _ in box.bounds)
+        self.arity = box.arity
+        # One zero layer on every low edge so corner lookups never branch.
+        table = np.zeros(tuple(w + 1 for w in box.widths()), dtype=np.int64)
+        table[(slice(1, None),) * box.arity] = np.broadcast_to(mask, box.widths())
+        for dim in range(box.arity):
+            np.cumsum(table, axis=dim, out=table)
+        self.strides = tuple(
+            stride // table.itemsize for stride in table.strides
+        )
+        self.flat = table.reshape(-1)
+
+    def count(self, bounds: Sequence[tuple[int, int]]) -> int:
+        """Number of true cells inside the (absolute-coordinate) box."""
+        item = self.flat.item
+        base = self.base
+        strides = self.strides
+        if self.arity == 2:
+            (alo, ahi), (blo, bhi) = bounds
+            b0, b1 = base
+            s0, s1 = strides
+            a_hi = (ahi - b0 + 1) * s0
+            a_lo = (alo - b0) * s0
+            c_hi = (bhi - b1 + 1) * s1
+            c_lo = (blo - b1) * s1
+            return (
+                item(a_hi + c_hi)
+                - item(a_hi + c_lo)
+                - item(a_lo + c_hi)
+                + item(a_lo + c_lo)
+            )
+        total = 0
+        for corner in range(1 << self.arity):
+            offset = 0
+            sign = 1
+            for dim, (lo, hi) in enumerate(bounds):
+                if corner >> dim & 1:
+                    offset += (hi - base[dim] + 1) * strides[dim]
+                else:
+                    offset += (lo - base[dim]) * strides[dim]
+                    sign = -sign
+            total += sign * item(offset)
+        return total
+
+
+def make_stacked_grids(boxes: Sequence[Box]) -> tuple:
+    """Sparse integer grids for a *stack* of same-shaped boxes.
+
+    Axis ``dim`` has shape ``(len(boxes), 1, …, w_dim, …, 1)`` — a leading
+    batch axis over the boxes, then the usual sparse meshgrid layout.  Any
+    formula evaluator that broadcasts (both the tree-walking evaluator here
+    and the compiled grid kernels) therefore evaluates *every box of the
+    front at once*; the per-box verdicts come back from
+    :func:`stacked_mask_all`.  All boxes must share ``widths()``.
+    """
+    np = require_numpy()
+    first = boxes[0]
+    arity = first.arity
+    count = len(boxes)
+    batch_shape = (count,) + (1,) * arity
+    grids = []
+    for dim, width in enumerate(first.widths()):
+        base = _axis(0, width - 1, dim, arity)
+        los = np.fromiter(
+            (box.bounds[dim][0] for box in boxes), dtype=np.int64, count=count
+        )
+        grids.append(los.reshape(batch_shape) + base)
+    return tuple(grids)
+
+
+def stacked_mask_all(result, boxes: Sequence[Box]) -> list[bool]:
+    """Per-box ``all()`` reduction of a stacked-front evaluation mask."""
+    count = len(boxes)
+    if result is True:
+        return [True] * count
+    if result is False:
+        return [False] * count
+    np = require_numpy()
+    full = np.broadcast_to(
+        np.asarray(result, dtype=bool), (count,) + boxes[0].widths()
+    )
+    return [bool(v) for v in full.reshape(count, -1).all(axis=1)]
 
 
 # ---------------------------------------------------------------------------
@@ -296,3 +421,15 @@ def find_point_vectorized(
 def mask_box_vectorized(phi: BoolExpr, box: Box, names: Sequence[str]):
     """The full boolean satisfaction mask of ``phi`` over ``box``."""
     return mask_array(_evaluate(phi, box, names), box)
+
+
+def all_boxes_stacked(
+    phi: BoolExpr, boxes: Sequence[Box], names: Sequence[str]
+) -> list[bool]:
+    """Per-box ``forall`` of ``phi`` over a stack of same-shaped boxes.
+
+    The interpreter engine's side of one fused probe-front flush: one
+    tree walk over batched grids instead of one walk per box.
+    """
+    grids = dict(zip(names, make_stacked_grids(boxes)))
+    return stacked_mask_all(_eval_bool(phi, grids), boxes)

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs end to end under pytest.
+
+Each script in ``examples/`` exposes an importable ``main()`` so the five
+end-to-end scenarios — the paper's quickstart, the ship rescue with a
+mid-session policy switch, the advertising deployment, the probabilistic
+birthday service, and the multi-tenant batched service — stay executable
+as the solver and service layers evolve.  The scripts print their
+narrative; the assertions here only require clean completion (their
+internal ``assert`` statements still run and count).
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "ship_rescue",
+    "location_advertising",
+    "birthday_service",
+    "multi_user_service",
+]
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_to_completion(name, capsys):
+    module = importlib.import_module(name)
+    try:
+        module.main()
+    finally:
+        # Keep the modules importable fresh in later runs of this file.
+        sys.modules.pop(name, None)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name}.main() printed nothing"
+
+
+def test_every_example_script_is_covered():
+    scripts = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXAMPLES)

@@ -1,0 +1,179 @@
+"""Differential conformance suite: engines vs brute-force ground truth.
+
+Every optimizer rework must ship inside a strong conformance net: the
+four decision procedures are run under the compiled-kernel engine, the
+tree-walking interpreter engine, and (for the vectorized paths) the
+fused probe-front decider, and all of them must agree with brute-force
+enumeration of the box.  Spaces are kept small enough that enumeration
+is exact ground truth, in the Quickcheck-differential-testing tradition
+of solver replacements.
+"""
+
+from hypothesis import given, settings
+
+from repro.lang.eval import eval_bool
+from repro.solver.boxes import Box
+from repro.solver.decide import (
+    InterpEngine,
+    KernelEngine,
+    count_models,
+    decide_exists,
+    decide_forall,
+    decide_forall_front,
+    find_model,
+    find_true_box,
+)
+from tests.strategies import solver_cases
+
+NAMES = ("x", "y")
+OUTER = Box.make((-8, 12), (0, 15))
+
+#: Engine factory per configuration the suite must keep in agreement.
+CONFIGS = {
+    "kernel": lambda: KernelEngine(NAMES),
+    "interp": lambda: InterpEngine(NAMES),
+}
+
+#: Vector thresholds exercising the scalar, grid, and pure-Python paths.
+THRESHOLDS = (0, 16, 100_000)
+
+
+def _truth_set(formula, box):
+    return {
+        point
+        for point in box.iter_points()
+        if eval_bool(formula, dict(zip(NAMES, point)))
+    }
+
+
+class TestDecideForallConformance:
+    @given(solver_cases(NAMES, OUTER))
+    @settings(max_examples=120, deadline=None)
+    def test_agrees_with_enumeration(self, case):
+        formula, box = case
+        expected = len(_truth_set(formula, box)) == box.volume()
+        for name, make in CONFIGS.items():
+            for threshold in THRESHOLDS:
+                verdict = decide_forall(
+                    formula, box, NAMES,
+                    engine=make(), vector_threshold=threshold,
+                )
+                assert verdict == expected, (name, threshold)
+
+    @given(solver_cases(NAMES, OUTER))
+    @settings(max_examples=80, deadline=None)
+    def test_fused_front_matches_scalar(self, case):
+        """A multi-box front must return one scalar verdict per box."""
+        formula, box = case
+        low, high = box.split(box.widest_dim()) if not box.is_point() else (box, box)
+        probes = [box, low, high]
+        for name, make in CONFIGS.items():
+            for threshold in THRESHOLDS:
+                engine = make()
+                fused = decide_forall_front(
+                    formula, probes, NAMES,
+                    engine=engine, vector_threshold=threshold,
+                )
+                scalar = [
+                    decide_forall(
+                        formula, probe, NAMES,
+                        engine=engine, vector_threshold=threshold,
+                    )
+                    for probe in probes
+                ]
+                assert fused == scalar, (name, threshold)
+
+
+class TestDecideExistsConformance:
+    @given(solver_cases(NAMES, OUTER))
+    @settings(max_examples=120, deadline=None)
+    def test_agrees_with_enumeration(self, case):
+        formula, box = case
+        expected = bool(_truth_set(formula, box))
+        for name, make in CONFIGS.items():
+            for threshold in THRESHOLDS:
+                verdict = decide_exists(
+                    formula, box, NAMES,
+                    engine=make(), vector_threshold=threshold,
+                )
+                assert verdict == expected, (name, threshold)
+
+    @given(solver_cases(NAMES, OUTER))
+    @settings(max_examples=80, deadline=None)
+    def test_find_model_returns_satisfying_point(self, case):
+        formula, box = case
+        truth = _truth_set(formula, box)
+        for name, make in CONFIGS.items():
+            witness = find_model(formula, box, NAMES, engine=make())
+            if truth:
+                assert witness in truth, name
+            else:
+                assert witness is None, name
+
+
+class TestCountModelsConformance:
+    @given(solver_cases(NAMES, OUTER))
+    @settings(max_examples=120, deadline=None)
+    def test_agrees_with_enumeration(self, case):
+        formula, box = case
+        expected = len(_truth_set(formula, box))
+        for name, make in CONFIGS.items():
+            for threshold in THRESHOLDS:
+                count = count_models(
+                    formula, box, NAMES,
+                    engine=make(), vector_threshold=threshold,
+                )
+                assert count == expected, (name, threshold)
+
+    @given(solver_cases(NAMES, OUTER))
+    @settings(max_examples=60, deadline=None)
+    def test_default_engine_selection_is_invisible(self, case):
+        """The small-formula fast path may pick an engine, not an answer."""
+        formula, box = case
+        expected = len(_truth_set(formula, box))
+        assert count_models(formula, box, NAMES) == expected
+
+
+class TestFindTrueBoxConformance:
+    @given(solver_cases(NAMES, OUTER))
+    @settings(max_examples=100, deadline=None)
+    def test_result_is_all_true_and_exhaustion_is_sound(self, case):
+        formula, box = case
+        truth = _truth_set(formula, box)
+        for name, make in CONFIGS.items():
+            result = find_true_box(formula, box, NAMES, engine=make())
+            if result.box is None:
+                # With the default budget on these tiny spaces the search
+                # always completes, so emptiness claims must be true.
+                assert result.exhausted, name
+                assert not truth, name
+            else:
+                assert box.contains_box(result.box), name
+                assert set(result.box.iter_points()) <= truth, name
+
+    @given(solver_cases(NAMES, OUTER))
+    @settings(max_examples=60, deadline=None)
+    def test_engines_find_identical_boxes(self, case):
+        formula, box = case
+        kernel = find_true_box(formula, box, NAMES, engine=KernelEngine(NAMES))
+        interp = find_true_box(formula, box, NAMES, engine=InterpEngine(NAMES))
+        assert kernel.box == interp.box
+        assert kernel.exhausted == interp.exhausted
+
+    @given(solver_cases(NAMES, OUTER))
+    @settings(max_examples=40, deadline=None)
+    def test_seeded_search_stays_inside_seeds(self, case):
+        formula, box = case
+        if box.is_point():
+            return
+        seeds = list(box.split(box.widest_dim()))
+        truth = _truth_set(formula, box)
+        result = find_true_box(
+            formula, box, NAMES, engine=KernelEngine(NAMES), seed_boxes=seeds
+        )
+        if result.box is None:
+            assert result.exhausted
+            assert not truth
+        else:
+            assert any(seed.contains_box(result.box) for seed in seeds)
+            assert set(result.box.iter_points()) <= truth

@@ -1,0 +1,168 @@
+"""Metamorphic tests for the box optimizers.
+
+The optimizers' outputs must be *covariant* under symmetries of the
+query that no step of the algorithm should be able to observe:
+
+* **variable renaming** — the search is positional (boxes are the
+  environments), so renaming every variable (keeping the positional
+  order) must not change a single bound;
+* **coordinate translation** — midpoint bisection, Manhattan-face cuts,
+  doubling growth, and grid masks all commute with integer shifts, so
+  translating the query and the space translates the result exactly.
+
+Independently of any symmetry, every box ``maximal_box`` grows must
+re-verify: ``decide_forall`` on the grown box is the refinement-type
+obligation the synthesized artifact will be checked against.
+"""
+
+from hypothesis import given, settings
+
+from repro.lang.ast import Lit, Sub, Var
+from repro.lang.transform import substitute
+from repro.solver.boxes import Box
+from repro.solver.decide import decide_forall
+from repro.solver.optimize import OptimizeOptions, bounding_box, maximal_box
+from tests.strategies import bool_exprs, renamings, translations
+
+NAMES = ("x", "y")
+SPACE = Box.make((-8, 12), (0, 15))
+
+#: Both optimizer configurations whose outputs must respect the
+#: symmetries: the fused/oracle default and the pure worklist path.
+OPTION_SETS = [
+    OptimizeOptions(),
+    OptimizeOptions(fused_probes=False),
+    OptimizeOptions(vector_threshold=0),
+]
+
+
+def _translate_query(formula, shifts):
+    """``phi'`` with ``phi'(x + t) == phi(x)`` (shift the region by +t)."""
+    return substitute(
+        formula,
+        {name: Sub(Var(name), Lit(shift)) for name, shift in shifts.items()},
+    )
+
+
+def _translate_box(box, shifts):
+    return Box(
+        tuple(
+            (lo + shifts[name], hi + shifts[name])
+            for (lo, hi), name in zip(box.bounds, NAMES)
+        )
+    )
+
+
+def _assert_no_face_grows(formula, box, space):
+    """Per-face maximality: no face can extend by a single unit."""
+    for dim in range(box.arity):
+        lo, hi = box.bounds[dim]
+        slo, shi = space.bounds[dim]
+        if hi < shi:
+            assert not decide_forall(
+                formula, box.with_dim(dim, hi + 1, hi + 1), NAMES
+            )
+        if lo > slo:
+            assert not decide_forall(
+                formula, box.with_dim(dim, lo - 1, lo - 1), NAMES
+            )
+
+
+class TestRenamingInvariance:
+    @given(bool_exprs(NAMES), renamings(NAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_maximal_box_invariant(self, formula, mapping):
+        renamed_names = tuple(mapping[name] for name in NAMES)
+        renamed = substitute(
+            formula, {name: Var(mapping[name]) for name in NAMES}
+        )
+        for options in OPTION_SETS:
+            original = maximal_box(formula, SPACE, NAMES, options)
+            relabeled = maximal_box(renamed, SPACE, renamed_names, options)
+            assert original.box == relabeled.box
+            assert original.proved_empty == relabeled.proved_empty
+
+    @given(bool_exprs(NAMES), renamings(NAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_bounding_box_invariant(self, formula, mapping):
+        renamed_names = tuple(mapping[name] for name in NAMES)
+        renamed = substitute(
+            formula, {name: Var(mapping[name]) for name in NAMES}
+        )
+        for options in OPTION_SETS:
+            original = bounding_box(formula, SPACE, NAMES, options)
+            relabeled = bounding_box(renamed, SPACE, renamed_names, options)
+            assert original.box == relabeled.box
+            assert original.proved_empty == relabeled.proved_empty
+
+
+class TestTranslationCovariance:
+    @given(bool_exprs(NAMES), translations(NAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_maximal_box_translates_exactly_on_oracle_path(self, formula, shifts):
+        """The default (oracle) path is purely geometric, so the result
+        translates bound-for-bound."""
+        shifted_query = _translate_query(formula, shifts)
+        shifted_space = _translate_box(SPACE, shifts)
+        original = maximal_box(formula, SPACE, NAMES)
+        shifted = maximal_box(shifted_query, shifted_space, NAMES)
+        if original.box is None:
+            assert shifted.box is None
+            assert original.proved_empty == shifted.proved_empty
+        else:
+            assert shifted.box == _translate_box(original.box, shifts)
+
+    @given(bool_exprs(NAMES), translations(NAMES))
+    @settings(max_examples=40, deadline=None)
+    def test_maximal_box_translates_semantically_on_worklist_paths(
+        self, formula, shifts
+    ):
+        """Worklist splits read the formula's *structure*, which the
+        substitution perturbs, so different (equally maximal) boxes are
+        legitimate — the translated result must still be an all-true,
+        per-face-maximal box, and emptiness verdicts must agree."""
+        shifted_query = _translate_query(formula, shifts)
+        shifted_space = _translate_box(SPACE, shifts)
+        for options in OPTION_SETS[1:]:
+            original = maximal_box(formula, SPACE, NAMES, options)
+            shifted = maximal_box(shifted_query, shifted_space, NAMES, options)
+            assert (original.box is None) == (shifted.box is None)
+            if shifted.box is None:
+                assert original.proved_empty == shifted.proved_empty
+                continue
+            assert decide_forall(shifted_query, shifted.box, NAMES)
+            _assert_no_face_grows(shifted_query, shifted.box, shifted_space)
+
+    @given(bool_exprs(NAMES), translations(NAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_bounding_box_translates(self, formula, shifts):
+        """Bounding boxes are canonical, so every path is exact."""
+        shifted_query = _translate_query(formula, shifts)
+        shifted_space = _translate_box(SPACE, shifts)
+        for options in OPTION_SETS:
+            original = bounding_box(formula, SPACE, NAMES, options)
+            shifted = bounding_box(shifted_query, shifted_space, NAMES, options)
+            if original.box is None:
+                assert shifted.box is None
+            else:
+                assert shifted.box == _translate_box(original.box, shifts)
+
+
+class TestGrownBoxesReverify:
+    @given(bool_exprs(NAMES))
+    @settings(max_examples=80, deadline=None)
+    def test_every_grown_box_satisfies_forall(self, formula):
+        for options in OPTION_SETS:
+            outcome = maximal_box(formula, SPACE, NAMES, options)
+            if outcome.box is not None:
+                # The refinement obligation the checker will discharge:
+                # the grown box must lie entirely inside the region.
+                assert decide_forall(formula, outcome.box, NAMES)
+
+    @given(bool_exprs(NAMES))
+    @settings(max_examples=40, deadline=None)
+    def test_lexicographic_mode_grows_verified_boxes(self, formula):
+        options = OptimizeOptions(mode="lexicographic")
+        outcome = maximal_box(formula, SPACE, NAMES, options)
+        if outcome.box is not None:
+            assert decide_forall(formula, outcome.box, NAMES)

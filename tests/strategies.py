@@ -38,6 +38,9 @@ __all__ = [
     "bool_exprs",
     "boxes_within",
     "points_within",
+    "solver_cases",
+    "renamings",
+    "translations",
 ]
 
 #: A compact two-field secret used across property tests.
@@ -130,3 +133,37 @@ def points_within(draw, box: Box) -> tuple[int, ...]:
     return tuple(
         draw(st.integers(min_value=lo, max_value=hi)) for lo, hi in box.bounds
     )
+
+
+@st.composite
+def solver_cases(
+    draw, var_names: tuple[str, ...], outer: Box, max_depth: int = 2
+) -> tuple:
+    """A random ``(formula, box)`` decision problem inside ``outer``.
+
+    The shared generator of the differential conformance suite: every
+    pair it produces is small enough for brute-force enumeration, so
+    engine verdicts can be checked against ground truth.
+    """
+    formula = draw(bool_exprs(var_names, max_depth=max_depth))
+    box = draw(boxes_within(outer))
+    return formula, box
+
+
+@st.composite
+def renamings(draw, var_names: tuple[str, ...]) -> dict[str, str]:
+    """A bijective renaming of the variables (possibly a permutation)."""
+    fresh = [f"v{index}_renamed" for index in range(len(var_names))]
+    order = draw(st.permutations(fresh))
+    return dict(zip(var_names, order))
+
+
+@st.composite
+def translations(
+    draw, var_names: tuple[str, ...], max_shift: int = 30
+) -> dict[str, int]:
+    """A per-variable integer shift for coordinate-translation tests."""
+    return {
+        name: draw(st.integers(min_value=-max_shift, max_value=max_shift))
+        for name in var_names
+    }
