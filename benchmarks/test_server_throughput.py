@@ -1,0 +1,202 @@
+"""Benchmark S2 — the serving runtime: shards, warm store, batched ticks.
+
+Three claims of the ``repro.server`` architecture, measured and gated:
+
+* **warm store beats cold compiles** — a restarted server answering the
+  same compile workload from its persistent store is ≥ 3x the
+  per-request cold-compile throughput (in practice orders of magnitude),
+  with **zero** shard jobs submitted (the kill-and-restart story);
+* **shards scale with cores** — cold compile throughput at 1/2/4 shards
+  on the 4-D powerset workload scales near-linearly in the cores
+  actually available: we gate *parallel efficiency*
+  (speedup ÷ min(shards, cpu)) rather than raw speedup, so the same
+  gate asserts ≥ 2.2x at 4 shards on a ≥ 4-core CI runner and
+  no-collapse on a single-core box;
+* **ticks batch serving** — concurrent downgrades through the gateway
+  collapse into far fewer batch passes than requests.
+
+Results land in ``BENCH_server.json`` at the repository root (uploaded
+as a CI artifact alongside ``BENCH_solver.json``).
+"""
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.plugin import CompileOptions
+from repro.lang.secrets import SecretSpec
+from repro.monad.policy import size_above
+from repro.server.gateway import DeclassificationServer, ServerConfig
+from repro.server.store import SQLiteStore
+from repro.service.api import CompileRequest
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+
+#: The 4-D ship-style space: past the region-oracle cap, so every compile
+#: pays the worklist/front machinery — a realistic "expensive query".
+SPEC = SecretSpec.declare("Ship", x=(0, 63), y=(0, 63), z=(0, 31), w=(0, 31))
+OPTIONS = CompileOptions(domain="powerset", k=6, modes=("under", "over"))
+
+QUERIES = [
+    (
+        f"zone{i}",
+        f"abs(x - {12 + 4 * i}) + abs(y - {16 + 3 * i}) "
+        f"+ abs(z - {6 + (i % 5)}) + w <= {38 + 2 * i}",
+    )
+    for i in range(12)
+]
+
+SHARD_COUNTS = (1, 2, 4)
+MIN_WARM_SPEEDUP = 3.0
+MIN_PARALLEL_EFFICIENCY = 0.55
+
+#: shard count → measurements, aggregated by the report test.
+RESULTS: dict[int, dict] = {}
+
+
+def _server(shards: int, store: SQLiteStore | None) -> DeclassificationServer:
+    return DeclassificationServer(
+        size_above(100),
+        store=store,
+        options=OPTIONS,
+        config=ServerConfig(shards=shards, max_pending_compiles=len(QUERIES)),
+    )
+
+
+async def _register_all(server: DeclassificationServer) -> float:
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(
+            server.register_query(CompileRequest(name, text, SPEC))
+            for name, text in QUERIES
+        )
+    )
+    return time.perf_counter() - start
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_cold_and_warm_compile_throughput(shards, tmp_path):
+    store_path = tmp_path / f"store-{shards}.db"
+
+    with SQLiteStore(store_path) as store:
+        cold_server = _server(shards, store)
+        cold_time = asyncio.run(_register_all(cold_server))
+        assert cold_server.pool.total_submitted() == len(QUERIES)
+        cold_server.shutdown()
+
+    # Kill and restart on the same store: the whole workload must be
+    # answered from the warm start with zero recompiles.
+    with SQLiteStore(store_path) as store:
+        warm_server = _server(shards, store)
+        assert warm_server.stats.warm_entries == len(QUERIES)
+        warm_time = asyncio.run(_register_all(warm_server))
+        assert warm_server.pool.total_submitted() == 0, "warm start recompiled!"
+        assert warm_server.stats.compile_cache_hits == len(QUERIES)
+        warm_server.shutdown()
+
+    RESULTS[shards] = {
+        "cold_seconds": cold_time,
+        "cold_rps": len(QUERIES) / cold_time,
+        "warm_seconds": warm_time,
+        "warm_rps": len(QUERIES) / warm_time,
+        "warm_recompiles": 0,
+    }
+    print(
+        f"\n{shards} shard(s): cold {len(QUERIES) / cold_time:6.1f} req/s, "
+        f"warm {len(QUERIES) / warm_time:8.1f} req/s"
+    )
+
+
+def test_batched_downgrade_throughput():
+    n_sessions = 400
+
+    async def scenario():
+        server = _server(1, None)
+        server.pool.inline = True  # serving path under test, not compiles
+        await server.register_query(CompileRequest(*QUERIES[0], SPEC))
+        rng_state = 1234567
+        for i in range(n_sessions):
+            rng_state = (1103515245 * rng_state + 12345) % (1 << 31)
+            server.open_session(
+                f"u{i}",
+                (
+                    SPEC,
+                    (
+                        rng_state % 64,
+                        (rng_state >> 8) % 64,
+                        (rng_state >> 16) % 32,
+                        (rng_state >> 20) % 32,
+                    ),
+                ),
+            )
+        await server.start()
+        start = time.perf_counter()
+        results = await asyncio.gather(
+            *(server.downgrade(f"u{i}", QUERIES[0][0]) for i in range(n_sessions))
+        )
+        elapsed = time.perf_counter() - start
+        await server.stop()
+        server.shutdown()
+        assert len(results) == n_sessions
+        # Ticks batched: far fewer batch passes than requests.
+        batches = sum(1 for e in server.service.audit if e.kind == "batch")
+        assert batches < n_sessions / 4
+        return n_sessions / elapsed, batches
+
+    served_rps, batches = asyncio.run(scenario())
+    RESULTS["serving"] = {
+        "sessions": n_sessions,
+        "served_rps": served_rps,
+        "batch_passes": batches,
+    }
+    print(f"\nserving: {served_rps:,.0f} downgrades/s in {batches} batch passes")
+
+
+def test_report_and_gates():
+    assert set(SHARD_COUNTS) <= set(RESULTS), "run the whole module"
+    cpu = os.cpu_count() or 1
+
+    base = RESULTS[1]
+    warm_speedup = base["warm_rps"] / base["cold_rps"]
+    scaling = RESULTS[4]["cold_rps"] / base["cold_rps"]
+    ideal = min(4, cpu)
+    efficiency = scaling / ideal
+
+    payload = {
+        "workload": {
+            "description": "4-D powerset compiles (k=6, under+over, verified)",
+            "queries": len(QUERIES),
+            "secret_space": SPEC.space_size(),
+            "domain": OPTIONS.domain,
+            "k": OPTIONS.k,
+        },
+        "cpu_count": cpu,
+        "shards": {str(s): RESULTS[s] for s in SHARD_COUNTS},
+        "serving": RESULTS.get("serving", {}),
+        "warm_speedup_vs_cold": warm_speedup,
+        "scaling_1_to_4_shards": scaling,
+        "parallel_efficiency": efficiency,
+        "gates": {
+            "min_warm_speedup": MIN_WARM_SPEEDUP,
+            "min_parallel_efficiency": MIN_PARALLEL_EFFICIENCY,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(
+        f"\nwarm/cold {warm_speedup:,.0f}x; 1→4 shards {scaling:.2f}x "
+        f"on {cpu} core(s) (efficiency {efficiency:.2f}); "
+        f"wrote {BENCH_PATH.name}"
+    )
+
+    assert warm_speedup >= MIN_WARM_SPEEDUP, (
+        f"warm store only {warm_speedup:.1f}x over cold compiles "
+        f"(gate {MIN_WARM_SPEEDUP}x)"
+    )
+    assert efficiency >= MIN_PARALLEL_EFFICIENCY, (
+        f"1→4 shard scaling {scaling:.2f}x on {cpu} cores is "
+        f"{efficiency:.2f} of ideal (gate {MIN_PARALLEL_EFFICIENCY})"
+    )

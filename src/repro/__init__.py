@@ -27,6 +27,12 @@ from repro.monad import (
     size_above,
     size_at_least,
 )
+from repro.server import (
+    DeclassificationServer,
+    PrivacyBudgetLedger,
+    ServerConfig,
+    SQLiteStore,
+)
 from repro.service import (
     DeclassificationService,
     SessionManager,
@@ -53,6 +59,10 @@ __all__ = [
     "UnknownQuery",
     "size_above",
     "size_at_least",
+    "DeclassificationServer",
+    "PrivacyBudgetLedger",
+    "ServerConfig",
+    "SQLiteStore",
     "DeclassificationService",
     "SessionManager",
     "SynthesisCache",

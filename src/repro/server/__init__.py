@@ -1,0 +1,69 @@
+"""The serving runtime: sharded, asynchronous, restartable, budgeted.
+
+Where :mod:`repro.service` is the synchronous library surface (cache,
+sessions, facade), :mod:`repro.server` is the *process* around it — the
+layer ROADMAP's "heavy traffic" north star asks for:
+
+* :mod:`repro.server.gateway` — the asyncio front door
+  (:class:`~repro.server.gateway.DeclassificationServer`): coalesces
+  identical in-flight compiles, batches each tick's downgrade requests
+  into single :meth:`handle_batch
+  <repro.service.api.DeclassificationService.handle_batch>` passes, and
+  sheds load past configured bounds;
+* :mod:`repro.server.workers` — a
+  :class:`~repro.server.workers.ShardedCompilePool` running synthesis in
+  worker processes, sharded by canonical query hash so each shard's
+  memos stay hot, with per-shard admission control;
+* :mod:`repro.server.store` — a durable
+  :class:`~repro.server.store.SQLiteStore` of compiled artifacts
+  (speaking the :mod:`repro.service.cache` v2 key/codec format) that
+  warm-starts the whole runtime across restarts;
+* :mod:`repro.server.ledger` — a
+  :class:`~repro.server.ledger.PrivacyBudgetLedger` folding every
+  answered query into per-user cumulative knowledge bounds and refusing
+  queries that would cross a policy floor, making *multi-query
+  composition* an enforced budget instead of implicit session state.
+"""
+
+from repro.server.gateway import (
+    DeclassificationServer,
+    ServerCompileReceipt,
+    ServerConfig,
+    ServerOverloaded,
+    ServerStats,
+)
+from repro.server.ledger import (
+    BudgetAccount,
+    ChargeRecord,
+    LedgerDecision,
+    LedgerInvariantError,
+    PrivacyBudgetLedger,
+)
+from repro.server.store import SQLiteStore, StoreFormatError
+from repro.server.workers import (
+    ShardedCompilePool,
+    ShardOverloaded,
+    ShardStats,
+    compile_payload,
+    shard_of,
+)
+
+__all__ = [
+    "DeclassificationServer",
+    "ServerCompileReceipt",
+    "ServerConfig",
+    "ServerOverloaded",
+    "ServerStats",
+    "BudgetAccount",
+    "ChargeRecord",
+    "LedgerDecision",
+    "LedgerInvariantError",
+    "PrivacyBudgetLedger",
+    "SQLiteStore",
+    "StoreFormatError",
+    "ShardedCompilePool",
+    "ShardOverloaded",
+    "ShardStats",
+    "compile_payload",
+    "shard_of",
+]

@@ -1,0 +1,504 @@
+"""The asyncio gateway: one event loop in front of shards, store, ledger.
+
+This is the composition root of the serving runtime::
+
+    clients ──► DeclassificationServer (asyncio)
+                  │ compile path          │ downgrade path
+                  ▼                       ▼
+            ShardedCompilePool      per-tick batches ──► SessionManager
+              (process shards)            │                   │
+                  │                 PrivacyBudgetLedger   DeclassificationService
+                  ▼                  (admission/commit)       (audit trail)
+            SynthesisCache ◄──────────────┘
+                  │ write-through / warm start
+                  ▼
+              SQLiteStore
+
+Two amortization mechanisms live here, both pure event-loop state:
+
+* **in-flight coalescing** — concurrent compile requests for the same
+  *canonical* problem (same cache key) collapse onto one shard job; every
+  waiter registers its own name against the one artifact;
+* **tick batching** — downgrade requests are queued, and each tick serves
+  all requests for one query through a single
+  :meth:`~repro.service.api.DeclassificationService.handle_batch` pass,
+  so a thousand concurrent askers of one query cost one ind.-set fetch
+  and one memoized intersection per distinct prior.
+
+The ledger interposes on every downgrade: admission is checked (on both
+potential posteriors — secret-independent) *before* the batch runs, and
+answered queries are committed after.  A budget refusal therefore never
+reaches the session layer at all: the session's knowledge, the user's
+bounds, and the response are all untouched — only the refusal itself is
+observable.
+
+Restart story: everything the runtime must not lose — compiled artifacts
+— lives in the store; everything else (sessions, queues, in-flight
+futures) is ephemeral by design.  Boot = construct a server on the same
+store path; the cache preloads every artifact and previously-served
+queries register with zero shard jobs (the kill-and-restart test in
+``tests/server/test_gateway.py`` asserts exactly that).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.core.plugin import CompileOptions
+from repro.lang.parser import parse_bool
+from repro.lang.secrets import SecretSpec, SecretValue
+from repro.monad.policy import QuantitativePolicy
+from repro.monad.protected import ProtectedSecret
+from repro.server.ledger import PrivacyBudgetLedger
+from repro.server.workers import ShardedCompilePool, ShardOverloaded
+from repro.service.api import (
+    BatchDowngradeRequest,
+    CompileRequest,
+    DeclassificationService,
+    DowngradeResult,
+)
+from repro.service.cache import CacheBackend, SynthesisCache
+from repro.service.session import Session
+
+__all__ = [
+    "ServerOverloaded",
+    "ServerConfig",
+    "ServerCompileReceipt",
+    "ServerStats",
+    "DeclassificationServer",
+]
+
+
+class ServerOverloaded(RuntimeError):
+    """Load shedding: the downgrade queue reached its configured bound."""
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of the serving runtime."""
+
+    #: Compile shards (single-worker processes, routed by content hash).
+    shards: int = 1
+    #: Per-shard in-flight bound before compile jobs are shed.
+    max_pending_compiles: int = 8
+    #: Total queued downgrade requests before the gateway sheds.
+    max_queued_downgrades: int = 10_000
+    #: Seconds between background ticks when :meth:`start`-ed.
+    tick_interval: float = 0.002
+    #: Run compiles synchronously in-process instead of shard processes.
+    inline_compiles: bool = False
+    #: Approximation mode driving enforcement (the paper uses ``under``).
+    mode: str = "under"
+    #: Check the policy on both posteriors before running a query.
+    check_both: bool = True
+
+
+@dataclass(frozen=True)
+class ServerCompileReceipt:
+    """What one gateway compile cost, and which mechanism paid for it.
+
+    Exactly one of ``cache_hit``/``coalesced`` is True unless the shard
+    pool actually ran synthesis (both False).  ``shard`` is set only when
+    this request submitted the job.
+    """
+
+    name: str
+    cache_hit: bool
+    coalesced: bool
+    shard: int | None
+    verified: bool
+    synth_time: float
+    verify_time: float
+
+
+@dataclass
+class ServerStats:
+    """Gateway counters (monotone over the server's lifetime)."""
+
+    compiles: int = 0
+    compile_cache_hits: int = 0
+    compile_coalesced: int = 0
+    compile_shed: int = 0
+    downgrades_served: int = 0
+    budget_refusals: int = 0
+    ticks: int = 0
+    #: Artifacts preloaded from the store at boot.
+    warm_entries: int = 0
+
+
+@dataclass
+class _PendingDowngrade:
+    session_id: str
+    future: asyncio.Future = field(repr=False)
+
+
+class DeclassificationServer:
+    """Sharded asynchronous declassification over a persistent store.
+
+    Layers a coalescing/batching asyncio gateway, a sharded compile pool,
+    and a privacy-budget ledger on top of the synchronous
+    :class:`~repro.service.api.DeclassificationService` (which keeps
+    owning sessions and the audit trail).
+    """
+
+    def __init__(
+        self,
+        policy: QuantitativePolicy,
+        *,
+        budget_floor: QuantitativePolicy | None = None,
+        store: CacheBackend | None = None,
+        options: CompileOptions = CompileOptions(),
+        config: ServerConfig = ServerConfig(),
+    ):
+        self.config = config
+        self.default_options = options
+        self.store = store
+        cache = SynthesisCache(backend=store)
+        self.service = DeclassificationService(
+            policy,
+            options=options,
+            cache=cache,
+            mode=config.mode,
+            check_both=config.check_both,
+        )
+        self.ledger = (
+            None if budget_floor is None else PrivacyBudgetLedger(budget_floor)
+        )
+        self.pool = ShardedCompilePool(
+            config.shards,
+            max_pending=config.max_pending_compiles,
+            inline=config.inline_compiles,
+        )
+        self.stats = ServerStats(warm_entries=len(cache))
+        #: Session id → durable user id for the ledger.
+        self._users: dict[str, str] = {}
+        #: Compile futures keyed by cache key; waiters coalesce onto them.
+        self._inflight: dict[str, asyncio.Future] = {}
+        #: Queued downgrades, grouped by query name for per-tick batching.
+        self._queue: dict[str, list[_PendingDowngrade]] = {}
+        self._queued = 0
+        #: Serializes whole flushes: ledger commits therefore always run
+        #: under the same admission state their round was checked in.
+        self._flush_lock = asyncio.Lock()
+        self._flush_task: asyncio.Task | None = None
+        self._ticker: asyncio.Task | None = None
+
+    # -- conveniences --------------------------------------------------------
+    @property
+    def cache(self) -> SynthesisCache:
+        """The shared artifact cache (write-through to the store)."""
+        return self.service.cache
+
+    @property
+    def manager(self):
+        """The session manager (thread-safe; owned by the service)."""
+        return self.service.manager
+
+    # -- compile path --------------------------------------------------------
+    async def register_query(self, request: CompileRequest) -> ServerCompileReceipt:
+        """Make a query declassifiable, through cache, coalescing, or shards.
+
+        Resolution order: (1) the shared cache (memory, warm-started from
+        the store) — a lookup; (2) an identical canonical problem already
+        in flight — await the same shard job; (3) a fresh job on the
+        query's shard, written through to the store on completion.
+        Raises :class:`~repro.server.workers.ShardOverloaded` when the
+        shard sheds the job.
+        """
+        options = (
+            request.options if request.options is not None else self.default_options
+        )
+        query = (
+            parse_bool(request.query)
+            if isinstance(request.query, str)
+            else request.query
+        )
+        request = replace(request, query=query, options=options)
+        key = self.cache.key_for(query, request.secret, options)
+
+        if key in self.cache:
+            receipt = self.service.register_query(request)
+            self.stats.compile_cache_hits += 1
+            return ServerCompileReceipt(
+                name=receipt.name,
+                cache_hit=True,
+                coalesced=False,
+                shard=None,
+                verified=receipt.verified,
+                synth_time=receipt.synth_time,
+                verify_time=receipt.verify_time,
+            )
+
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            await asyncio.shield(inflight)
+            receipt = self.service.register_query(request)
+            self.stats.compile_coalesced += 1
+            return ServerCompileReceipt(
+                name=receipt.name,
+                cache_hit=False,
+                coalesced=True,
+                shard=None,
+                verified=receipt.verified,
+                synth_time=receipt.synth_time,
+                verify_time=receipt.verify_time,
+            )
+
+        loop = asyncio.get_running_loop()
+        inflight = loop.create_future()
+        self._inflight[key] = inflight
+        try:
+            try:
+                job = self.pool.submit(
+                    request.name, query, request.secret, options
+                )
+            except ShardOverloaded:
+                self.stats.compile_shed += 1
+                raise
+            shard = self.pool.shard_for(query)
+            result_json = await asyncio.wrap_future(job)
+            compiled, _provenance = self.pool.decode(result_json)
+            self.cache.put(key, compiled)
+        except BaseException as exc:
+            inflight.set_exception(exc)
+            # The exception is delivered to every coalesced waiter; if
+            # there are none, mark it retrieved so the loop stays quiet.
+            inflight.exception()
+            raise
+        else:
+            inflight.set_result(key)
+        finally:
+            self._inflight.pop(key, None)
+
+        receipt = self.service.register_query(request)
+        self.stats.compiles += 1
+        return ServerCompileReceipt(
+            name=receipt.name,
+            cache_hit=False,
+            coalesced=False,
+            shard=shard,
+            verified=receipt.verified,
+            synth_time=receipt.synth_time,
+            verify_time=receipt.verify_time,
+        )
+
+    # -- session lifecycle ---------------------------------------------------
+    def open_session(
+        self,
+        session_id: str,
+        secret: ProtectedSecret | tuple[SecretSpec, SecretValue],
+        *,
+        user_id: str | None = None,
+    ) -> Session:
+        """Open a session, bound to a durable user identity for the ledger.
+
+        ``user_id`` defaults to the session id; pass the same user for
+        successive sessions to make the budget survive reconnects (the
+        whole point of the ledger).
+        """
+        session = self.service.open_session(session_id, secret)
+        self._users[session_id] = user_id if user_id is not None else session_id
+        return session
+
+    def close_session(self, session_id: str) -> Session:
+        """Close a session.  The user's ledger account (budget) remains."""
+        self._users.pop(session_id, None)
+        return self.service.close_session(session_id)
+
+    # -- downgrade path --------------------------------------------------------
+    async def downgrade(self, session_id: str, query_name: str) -> DowngradeResult:
+        """Queue one downgrade; resolves when its tick's batch is served."""
+        if self._queued >= self.config.max_queued_downgrades:
+            raise ServerOverloaded(
+                f"{self._queued} downgrades queued >= bound "
+                f"{self.config.max_queued_downgrades}"
+            )
+        loop = asyncio.get_running_loop()
+        pending = _PendingDowngrade(session_id, loop.create_future())
+        self._queue.setdefault(query_name, []).append(pending)
+        self._queued += 1
+        ticking = self._ticker is not None and not self._ticker.done()
+        if not ticking and self._flush_task is None:
+            self._flush_task = loop.create_task(self.flush())
+        return await pending.future
+
+    async def flush(self) -> int:
+        """Serve everything queued, one batch per query name; returns count.
+
+        Failure isolation: a batch that raises fails only *its own*
+        waiters (the exception lands on their futures) — later query
+        groups are still served, and the background ticker survives.  On
+        cancellation (``stop()`` mid-flush) the not-yet-started groups
+        are requeued so the final flush serves them rather than dropping
+        them.
+        """
+        async with self._flush_lock:
+            self._flush_task = None
+            queue, self._queue = self._queue, {}
+            self._queued -= sum(len(waiters) for waiters in queue.values())
+            self.stats.ticks += 1 if queue else 0
+            served = 0
+            groups = list(queue.items())
+            for index, (query_name, waiters) in enumerate(groups):
+                try:
+                    results = await asyncio.to_thread(
+                        self._serve_batch, query_name, waiters
+                    )
+                except asyncio.CancelledError:
+                    # This group's thread may have partially applied; its
+                    # waiters get the cancellation.  Untouched groups go
+                    # back on the queue for the final flush.
+                    for pending in waiters:
+                        if not pending.future.done():
+                            pending.future.cancel()
+                    for later_name, later_waiters in groups[index + 1:]:
+                        remaining = [
+                            p for p in later_waiters if not p.future.done()
+                        ]
+                        self._queue.setdefault(later_name, []).extend(remaining)
+                        self._queued += len(remaining)
+                    raise
+                except Exception as exc:
+                    for pending in waiters:
+                        if not pending.future.done():
+                            pending.future.set_exception(exc)
+                    continue
+                for pending in waiters:
+                    if not pending.future.done():
+                        pending.future.set_result(results[pending.session_id])
+                served += len(waiters)
+            self.stats.downgrades_served += served
+            return served
+
+    def _serve_batch(
+        self, query_name: str, waiters: list[_PendingDowngrade]
+    ) -> dict[str, DowngradeResult]:
+        """One tick's worth of one query (runs on a worker thread).
+
+        Ledger admission first (secret-independent), then one batched
+        pass through the service for the admitted sessions, then ledger
+        commits for the answered ones.
+
+        When one *user* has several sessions in the same tick, their
+        sessions are served in successive rounds — each round holds at
+        most one session per user, so every ledger commit immediately
+        follows the preauthorization it was admitted under (a user's
+        second session sees the bound its first session produced, and is
+        cleanly refused if that bound no longer affords the query).
+        """
+        ids = list(dict.fromkeys(p.session_id for p in waiters))
+        compiled = self.manager.registry.lookup(query_name)
+        results: dict[str, DowngradeResult] = {}
+        for round_ids in self._rounds_by_user(ids):
+            self._serve_round(query_name, compiled, round_ids, results)
+        return results
+
+    def _rounds_by_user(self, ids: list[str]) -> list[list[str]]:
+        """Partition session ids so no round repeats a ledger user."""
+        rounds: list[list[str]] = []
+        placed: list[set[str]] = []
+        for sid in ids:
+            user = self._users.get(sid, sid)
+            for round_ids, users in zip(rounds, placed):
+                if user not in users:
+                    round_ids.append(sid)
+                    users.add(user)
+                    break
+            else:
+                rounds.append([sid])
+                placed.append({user})
+        return rounds
+
+    def _serve_round(
+        self,
+        query_name: str,
+        compiled,
+        ids: list[str],
+        results: dict[str, DowngradeResult],
+    ) -> None:
+        admitted: list[str] = []
+        for sid in ids:
+            if (
+                self.ledger is None
+                or compiled is None
+                or sid not in self.manager.sessions
+            ):
+                admitted.append(sid)
+                continue
+            decision = self.ledger.preauthorize(
+                self._users.get(sid, sid), compiled.qinfo, mode=self.config.mode
+            )
+            if decision.allowed:
+                admitted.append(sid)
+            else:
+                self.stats.budget_refusals += 1
+                results[sid] = DowngradeResult(
+                    session_id=sid,
+                    query_name=query_name,
+                    authorized=False,
+                    response=None,
+                    reason=decision.reason,
+                    knowledge_size=decision.remaining,
+                )
+        if admitted:
+            for result in self.service.handle_batch(
+                BatchDowngradeRequest(query_name, tuple(admitted))
+            ):
+                results[result.session_id] = result
+                if result.authorized and self.ledger is not None and compiled:
+                    assert result.response is not None
+                    self.ledger.commit(
+                        self._users.get(result.session_id, result.session_id),
+                        compiled.qinfo,
+                        result.response,
+                        mode=self.config.mode,
+                    )
+
+    # -- background ticking ----------------------------------------------------
+    async def start(self) -> None:
+        """Run a background ticker flushing every ``tick_interval``."""
+        if self._ticker is not None:
+            return
+
+        async def tick_forever() -> None:
+            try:
+                while True:
+                    await asyncio.sleep(self.config.tick_interval)
+                    await self.flush()
+            except asyncio.CancelledError:
+                raise
+
+        self._ticker = asyncio.get_running_loop().create_task(tick_forever())
+
+    async def stop(self) -> None:
+        """Cancel the ticker and serve whatever is still queued."""
+        if self._ticker is not None:
+            self._ticker.cancel()
+            try:
+                await self._ticker
+            except asyncio.CancelledError:
+                pass
+            self._ticker = None
+        await self.flush()
+
+    # -- lifecycle -------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Tear down the shard processes.  The store (if any) is the
+        caller's to close; compiled artifacts are already persisted."""
+        self.pool.shutdown()
+
+    def audit_summary(self) -> dict[str, Any]:
+        """A compact operational snapshot (counters + component views)."""
+        return {
+            "stats": vars(self.stats).copy(),
+            "cache": {
+                "entries": len(self.cache),
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+            },
+            "shards": [vars(s) for s in self.pool.stats()],
+            "open_sessions": self.manager.open_count(),
+            "audit_events": len(self.service.audit),
+        }

@@ -1,0 +1,255 @@
+"""The privacy-budget ledger: cross-query knowledge accounting per user.
+
+A single downgrade is easy to police; *composition* is where
+declassification leaks.  A user who asks ``x <= 200``, then ``y <= 200``,
+then ``x <= 100`` passes a per-query policy every time while the
+intersection of the answers corners the secret.  Sessions already track
+knowledge, but sessions are ephemeral — close one, open another, and the
+implicit budget resets.  The ledger makes the cumulative bound explicit
+serving-layer state, keyed by a durable user identity.
+
+Per user and secret type the ledger folds every *answered* query into two
+lattice bounds, exactly the pair the paper synthesizes:
+
+* the **sound** bound — intersections of under-approximated ind. sets, a
+  subset of the true attacker knowledge.  The policy floor is enforced
+  here: a monotone floor accepted on a subset holds for the true
+  knowledge (the same soundness argument as section 3);
+* the **complete** bound — intersections of over-approximated ind. sets,
+  a superset of the true knowledge, tracked for reporting when queries
+  were compiled with the ``over`` mode.
+
+Two invariants, property-tested in ``tests/server/test_ledger.py``:
+
+1. a refused charge never changes any bound (refusal is observable, so a
+   refusal that leaked would be a side channel);
+2. after any accepted sequence the sound bound still satisfies the floor
+   — :meth:`~PrivacyBudgetLedger.commit` re-checks and raises *before*
+   mutating, so not even a caller that skips
+   :meth:`~PrivacyBudgetLedger.preauthorize` can cross it.
+
+Admission follows the paper's section 3 discipline via
+:func:`~repro.monad.anosy.pair_verdict`: *both* potential posteriors must
+clear the floor before the query runs, keeping the accept/refuse decision
+independent of the secret.  :meth:`~PrivacyBudgetLedger.evaluate` runs the
+whole Figure 2 ``downgrade`` against the ledger bound by delegating to
+:func:`~repro.monad.anosy.evaluate_downgrade` with the floor as policy.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.qinfo import QInfo, intersect_knowledge
+from repro.domains.base import AbstractDomain
+from repro.lang.secrets import SecretSpec
+from repro.monad.anosy import (
+    DowngradeDecision,
+    evaluate_downgrade,
+    pair_verdict,
+    top_knowledge_for,
+)
+from repro.monad.policy import QuantitativePolicy
+from repro.monad.protected import Unprotectable
+
+__all__ = [
+    "LedgerInvariantError",
+    "LedgerDecision",
+    "ChargeRecord",
+    "BudgetAccount",
+    "PrivacyBudgetLedger",
+]
+
+
+class LedgerInvariantError(RuntimeError):
+    """A commit would have pushed a sound bound across the policy floor."""
+
+
+@dataclass(frozen=True)
+class LedgerDecision:
+    """The outcome of a ledger admission check."""
+
+    allowed: bool
+    reason: str
+    #: Size of the sound bound the decision was made against (the user's
+    #: remaining budget *before* this query).
+    remaining: int
+
+
+@dataclass(frozen=True)
+class ChargeRecord:
+    """One committed charge against a user's budget."""
+
+    query_name: str
+    spec_name: str
+    response: bool
+    prior_size: int
+    posterior_size: int
+
+
+@dataclass
+class BudgetAccount:
+    """One user's cumulative knowledge bounds, keyed by secret type."""
+
+    user_id: str
+    #: Sound (under-approximated) bounds; absent key = still the full space.
+    sound: dict[str, AbstractDomain] = field(default_factory=dict)
+    #: Complete (over-approximated) bounds, tracked when available.
+    complete: dict[str, AbstractDomain] = field(default_factory=dict)
+    charges: list[ChargeRecord] = field(default_factory=list)
+    refusals: int = 0
+
+
+class PrivacyBudgetLedger:
+    """Per-user cumulative knowledge bounds under a policy floor.
+
+    ``floor`` is a monotone :class:`~repro.monad.policy.QuantitativePolicy`
+    (e.g. ``size_above(10_000)``): the minimum uncertainty every user's
+    sound bound must retain, across all queries they will ever ask.
+    """
+
+    def __init__(self, floor: QuantitativePolicy):
+        self.floor = floor
+        self._accounts: dict[str, BudgetAccount] = {}
+        self._lock = threading.RLock()
+
+    # -- accounts ------------------------------------------------------------
+    def account(self, user_id: str) -> BudgetAccount:
+        """The user's account, created on first touch."""
+        with self._lock:
+            account = self._accounts.get(user_id)
+            if account is None:
+                account = BudgetAccount(user_id=user_id)
+                self._accounts[user_id] = account
+            return account
+
+    def users(self) -> list[str]:
+        """Users with an account, sorted."""
+        with self._lock:
+            return sorted(self._accounts)
+
+    def sound_bound(self, user_id: str, spec: SecretSpec) -> AbstractDomain | None:
+        """The user's sound bound for a secret type (``None`` = full space)."""
+        with self._lock:
+            return self.account(user_id).sound.get(spec.name)
+
+    def remaining(self, user_id: str, spec: SecretSpec) -> int:
+        """Size of the user's sound bound (full space if untouched)."""
+        with self._lock:
+            bound = self.account(user_id).sound.get(spec.name)
+            return spec.space_size() if bound is None else bound.size()
+
+    # -- admission -----------------------------------------------------------
+    def preauthorize(
+        self, user_id: str, qinfo: QInfo, *, mode: str = "under"
+    ) -> LedgerDecision:
+        """Would answering this query keep the user above the floor?
+
+        Checks the floor on *both* potential posteriors of the user's
+        current sound bound (secret-independent, per section 3).  Never
+        mutates a bound; a refusal is tallied on the account.
+        """
+        with self._lock:
+            account = self.account(user_id)
+            prior = self._sound_prior(account, qinfo)
+            pair = qinfo.approx(prior, mode=mode)
+            if pair_verdict(self.floor, pair):
+                return LedgerDecision(
+                    allowed=True, reason="ok", remaining=prior.size()
+                )
+            account.refusals += 1
+            return LedgerDecision(
+                allowed=False,
+                reason=(
+                    f"budget exhausted: {self.floor.name} would fail on a "
+                    f"posterior of {qinfo.name!r}"
+                ),
+                remaining=prior.size(),
+            )
+
+    # -- charging ------------------------------------------------------------
+    def commit(
+        self, user_id: str, qinfo: QInfo, response: bool, *, mode: str = "under"
+    ) -> AbstractDomain:
+        """Fold one answered query into the user's bounds.
+
+        Only call this for queries that were actually answered.  The floor
+        is re-checked on the new sound bound *before* any mutation — a
+        commit that would cross it raises :class:`LedgerInvariantError`
+        and changes nothing, so invariant 2 holds even against callers
+        that skipped :meth:`preauthorize`.
+        """
+        with self._lock:
+            account = self.account(user_id)
+            prior = self._sound_prior(account, qinfo)
+            true_ind, false_ind = qinfo.indset_pair(mode=mode)
+            posterior = intersect_knowledge(
+                prior, true_ind if response else false_ind
+            )
+            if not self.floor(posterior):
+                raise LedgerInvariantError(
+                    f"committing {qinfo.name!r} for {user_id!r} would cross "
+                    f"the floor {self.floor.name}"
+                )
+            spec_name = qinfo.secret.name
+            account.sound[spec_name] = posterior
+            if qinfo.over_indset is not None:
+                over_prior = account.complete.get(spec_name)
+                if over_prior is None:
+                    over_prior = top_knowledge_for(qinfo)
+                over_true, over_false = qinfo.indset_pair(mode="over")
+                account.complete[spec_name] = intersect_knowledge(
+                    over_prior, over_true if response else over_false
+                )
+            account.charges.append(
+                ChargeRecord(
+                    query_name=qinfo.name,
+                    spec_name=spec_name,
+                    response=response,
+                    prior_size=prior.size(),
+                    posterior_size=posterior.size(),
+                )
+            )
+            return posterior
+
+    def evaluate(
+        self,
+        user_id: str,
+        qinfo: QInfo,
+        protected: Unprotectable,
+        *,
+        mode: str = "under",
+        check_both: bool = True,
+    ) -> DowngradeDecision:
+        """Figure 2's ``downgrade`` run directly against the ledger bound.
+
+        Reuses :func:`~repro.monad.anosy.evaluate_downgrade` with the
+        floor as the policy and the user's sound bound as the prior, then
+        folds the posterior on authorization.  This is the standalone
+        entry point; the gateway uses the split
+        :meth:`preauthorize`/:meth:`commit` form because the query itself
+        runs inside :class:`~repro.service.session.SessionManager`.
+        """
+        with self._lock:
+            account = self.account(user_id)
+            prior = self._sound_prior(account, qinfo)
+            decision, posterior = evaluate_downgrade(
+                qinfo,
+                self.floor,
+                protected,
+                prior,
+                mode=mode,
+                check_both=check_both,
+            )
+            if not decision.authorized:
+                account.refusals += 1
+                return decision
+            assert posterior is not None and decision.response is not None
+            self.commit(user_id, qinfo, decision.response, mode=mode)
+            return decision
+
+    # -- internals -----------------------------------------------------------
+    def _sound_prior(self, account: BudgetAccount, qinfo: QInfo) -> AbstractDomain:
+        bound = account.sound.get(qinfo.secret.name)
+        return top_knowledge_for(qinfo) if bound is None else bound

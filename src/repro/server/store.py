@@ -1,0 +1,169 @@
+"""The persistent artifact store: compiled queries that survive restarts.
+
+A serving fleet cannot afford to re-run synthesis because a process was
+rescheduled.  :class:`SQLiteStore` is a durable, content-addressed table of
+compiled-query artifacts that speaks the existing cache vocabulary — keys
+are :func:`~repro.service.cache.cache_key` hashes, payloads are
+:func:`~repro.service.serialize.compiled_query_to_json` encodings, and the
+file records :data:`~repro.service.cache.CACHE_FORMAT_VERSION` so a store
+written by an incompatible codec fails loudly instead of deserializing
+garbage proofs.
+
+It implements the :class:`~repro.service.cache.CacheBackend` protocol, so
+``SynthesisCache(backend=SQLiteStore(path))`` warm-starts a whole process:
+every artifact ever served by any shard is decoded into memory on boot and
+every new compile is written through.  :meth:`export_cache_json` /
+:meth:`import_cache_json` interoperate with the flat-file format of
+:meth:`SynthesisCache.save <repro.service.cache.SynthesisCache.save>`, so
+existing warm-start files migrate into a store (and back) losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.service.cache import CACHE_FORMAT_VERSION
+
+__all__ = ["StoreFormatError", "SQLiteStore"]
+
+
+class StoreFormatError(RuntimeError):
+    """The store was written by an incompatible artifact codec."""
+
+
+class SQLiteStore:
+    """A durable content-addressed store of compiled-query payloads.
+
+    Safe for concurrent use from one process (one lock around the shared
+    connection); concurrent *processes* are serialized by SQLite itself.
+    ``path`` may be ``":memory:"`` for tests.
+    """
+
+    def __init__(self, path: str | Path, *, timeout: float = 10.0):
+        self.path = str(path)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            self.path, timeout=timeout, check_same_thread=False
+        )
+        try:
+            with self._lock, self._conn:
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS meta "
+                    "(key TEXT PRIMARY KEY, value TEXT)"
+                )
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS artifacts ("
+                    "  key TEXT PRIMARY KEY,"
+                    "  payload TEXT NOT NULL,"
+                    "  created_at REAL NOT NULL"
+                    ")"
+                )
+                row = self._conn.execute(
+                    "SELECT value FROM meta WHERE key = 'format_version'"
+                ).fetchone()
+                if row is None:
+                    self._conn.execute(
+                        "INSERT INTO meta (key, value) "
+                        "VALUES ('format_version', ?)",
+                        (str(CACHE_FORMAT_VERSION),),
+                    )
+                elif int(row[0]) != CACHE_FORMAT_VERSION:
+                    raise StoreFormatError(
+                        f"store {self.path!r} has format version {row[0]}, "
+                        f"this codec speaks {CACHE_FORMAT_VERSION}"
+                    )
+        except BaseException:
+            # Refusing an incompatible store must not leak its handle.
+            self._conn.close()
+            raise
+
+    # -- CacheBackend protocol ---------------------------------------------
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored artifact payload for a key, or ``None``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM artifacts WHERE key = ?", (key,)
+            ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Durably store a payload under its content hash (last write wins)."""
+        blob = json.dumps(payload, sort_keys=True)
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO artifacts (key, payload, created_at) "
+                "VALUES (?, ?, ?)",
+                (key, blob, time.time()),
+            )
+
+    def keys(self) -> Iterator[str]:
+        """The stored keys (insertion order)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key FROM artifacts ORDER BY created_at, key"
+            ).fetchall()
+        return iter(row[0] for row in rows)
+
+    def items(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        """All ``(key, payload)`` pairs in one scan (the warm-start read)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key, payload FROM artifacts ORDER BY created_at, key"
+            ).fetchall()
+        return iter((key, json.loads(blob)) for key, blob in rows)
+
+    # -- conveniences --------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM artifacts"
+            ).fetchone()
+        return int(count)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM artifacts WHERE key = ?", (key,)
+            ).fetchone()
+        return row is not None
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "SQLiteStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- flat-file interop ---------------------------------------------------
+    def export_cache_json(self, path: str | Path) -> int:
+        """Write the store as a ``SynthesisCache.save`` file; returns count."""
+        entries = dict(self.items())
+        Path(path).write_text(
+            json.dumps(
+                {"version": CACHE_FORMAT_VERSION, "entries": entries},
+                sort_keys=True,
+            )
+        )
+        return len(entries)
+
+    def import_cache_json(self, path: str | Path) -> int:
+        """Absorb a ``SynthesisCache.save`` file; returns entries imported."""
+        data = json.loads(Path(path).read_text())
+        version = data.get("version")
+        if version != CACHE_FORMAT_VERSION:
+            raise StoreFormatError(
+                f"cache file {str(path)!r} has format version {version!r}, "
+                f"this codec speaks {CACHE_FORMAT_VERSION}"
+            )
+        for key, payload in data["entries"].items():
+            self.put(key, payload)
+        return len(data["entries"])

@@ -1,0 +1,263 @@
+"""The sharded compile pool: synthesis off the serving path.
+
+Synthesis is the one expensive operation the runtime performs, so it runs
+in worker *processes*, sharded by the canonical query hash
+(:func:`~repro.lang.canonical.stable_hash` of the canonicalized AST).
+Routing by content rather than round-robin means alpha-equivalent queries
+always land on the same shard, whose per-process :class:`SynthesisCache`
+and hash-consed kernel memos stay hot — the N-th tenant registering a
+reordered copy of a query compiles nothing even before the shared store
+sees the artifact.
+
+Jobs cross the process boundary as JSON (the
+:func:`~repro.service.serialize.options_to_json` /
+:func:`~repro.service.serialize.compiled_query_to_json` codecs), never as
+pickles: the exact bytes a worker returns are the bytes the store
+persists.
+
+Admission control is per shard: each shard accepts a bounded number of
+in-flight jobs and sheds the rest (:class:`ShardOverloaded`) instead of
+queueing unboundedly — a loaded synthesis tier must fail fast, not grow a
+latency cliff.
+
+``inline=True`` replaces the process pool with synchronous in-process
+execution of the *same* payload codec path; tests and coverage runs use
+it, and single-core deployments may prefer it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.plugin import CompiledQuery, CompileOptions, compile_query
+from repro.lang.ast import BoolExpr
+from repro.lang.canonical import (
+    canonicalize,
+    expr_from_json,
+    expr_to_json,
+    spec_from_json,
+    spec_to_json,
+    stable_hash,
+)
+from repro.lang.parser import parse_bool
+from repro.lang.secrets import SecretSpec
+from repro.service.cache import SynthesisCache
+from repro.service.serialize import (
+    compiled_query_from_json,
+    compiled_query_to_json,
+    options_from_json,
+    options_to_json,
+)
+
+__all__ = [
+    "ShardOverloaded",
+    "ShardStats",
+    "ShardedCompilePool",
+    "compile_payload",
+    "shard_of",
+]
+
+
+class ShardOverloaded(RuntimeError):
+    """Admission control refused a job: the shard's queue bound is full."""
+
+
+def shard_of(query: BoolExpr, shards: int) -> int:
+    """The shard a query routes to: canonical content hash mod shard count.
+
+    Canonicalization first, so every alpha-equivalent spelling of a query
+    (``a + b`` vs ``b + a``) routes to the same shard and reuses its warm
+    memos.
+    """
+    return int(stable_hash(canonicalize(query))[:16], 16) % shards
+
+
+# ---------------------------------------------------------------------------
+# The worker entry point (runs inside shard processes)
+# ---------------------------------------------------------------------------
+
+#: Per-process artifact cache: repeated jobs on one shard skip synthesis
+#: entirely even before the shared store sees the artifact.
+_PROCESS_CACHE: SynthesisCache | None = None
+
+
+def _process_cache() -> SynthesisCache:
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = SynthesisCache()
+    return _PROCESS_CACHE
+
+
+def compile_payload(payload: str) -> str:
+    """Compile one JSON job; the module-level entry point shard processes run.
+
+    The result carries the full artifact encoding plus worker-side
+    provenance (pid, whether the shard's local cache already had it).
+    """
+    data = json.loads(payload)
+    query = expr_from_json(data["query"])
+    secret = spec_from_json(data["secret"])
+    options = options_from_json(data["options"])
+    cache = _process_cache()
+    hits_before = cache.stats.hits
+    compiled = compile_query(data["name"], query, secret, options, cache=cache)
+    return json.dumps(
+        {
+            "artifact": compiled_query_to_json(compiled),
+            "pid": os.getpid(),
+            "shard_cache_hit": cache.stats.hits > hits_before,
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# The pool
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardStats:
+    """Counters for one shard."""
+
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    pending: int = 0
+
+
+class ShardedCompilePool:
+    """A fixed set of single-process shards, routed by canonical query hash.
+
+    Each shard is a one-worker :class:`ProcessPoolExecutor`: a shard is a
+    *unit of memo locality*, not a thread pool — widening a shard would
+    split its warm cache.  Scale by adding shards.
+    """
+
+    def __init__(
+        self, shards: int = 1, *, max_pending: int = 8, inline: bool = False
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.shards = shards
+        self.max_pending = max_pending
+        self.inline = inline
+        self._executors: list[ProcessPoolExecutor | None] = [None] * shards
+        self._stats = [ShardStats() for _ in range(shards)]
+        self._lock = threading.Lock()
+
+    # -- routing -----------------------------------------------------------
+    def shard_for(self, query: BoolExpr | str) -> int:
+        """The shard a query routes to (parses text queries first)."""
+        if isinstance(query, str):
+            query = parse_bool(query)
+        return shard_of(query, self.shards)
+
+    # -- submission ---------------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        query: BoolExpr | str,
+        secret: SecretSpec,
+        options: CompileOptions,
+    ) -> Future:
+        """Route a compile job to its shard; the future yields result JSON.
+
+        Raises :class:`ShardOverloaded` (without queueing anything) when
+        the shard already has ``max_pending`` jobs in flight.
+        """
+        if isinstance(query, str):
+            query = parse_bool(query)
+        shard = self.shard_for(query)
+        self._reserve(shard)
+        payload = json.dumps(
+            {
+                "name": name,
+                "query": expr_to_json(query),
+                "secret": spec_to_json(secret),
+                "options": options_to_json(options),
+            }
+        )
+        if self.inline:
+            future: Future = Future()
+            future.add_done_callback(lambda _f: self._release(shard))
+            try:
+                future.set_result(compile_payload(payload))
+            except BaseException as exc:  # noqa: BLE001 - mirror executor behavior
+                future.set_exception(exc)
+        else:
+            future = self._executor(shard).submit(compile_payload, payload)
+            future.add_done_callback(lambda _f: self._release(shard))
+        return future
+
+    @staticmethod
+    def decode(result_json: str) -> tuple[CompiledQuery, dict]:
+        """Decode a worker result into the artifact plus its provenance."""
+        data = json.loads(result_json)
+        return compiled_query_from_json(data["artifact"]), {
+            "pid": data["pid"],
+            "shard_cache_hit": data["shard_cache_hit"],
+        }
+
+    # -- admission bookkeeping ----------------------------------------------
+    def _reserve(self, shard: int) -> None:
+        with self._lock:
+            stats = self._stats[shard]
+            if stats.pending >= self.max_pending:
+                stats.shed += 1
+                raise ShardOverloaded(
+                    f"shard {shard}: {stats.pending} jobs in flight "
+                    f">= bound {self.max_pending}"
+                )
+            stats.pending += 1
+            stats.submitted += 1
+
+    def _release(self, shard: int) -> None:
+        with self._lock:
+            self._stats[shard].pending -= 1
+            self._stats[shard].completed += 1
+
+    def _executor(self, shard: int) -> ProcessPoolExecutor:
+        # Lazy: shards that never receive work never fork a process.
+        with self._lock:
+            executor = self._executors[shard]
+            if executor is None:
+                executor = ProcessPoolExecutor(max_workers=1)
+                self._executors[shard] = executor
+            return executor
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> list[ShardStats]:
+        """A snapshot of per-shard counters."""
+        with self._lock:
+            return [ShardStats(**vars(stats)) for stats in self._stats]
+
+    def total_submitted(self) -> int:
+        """Jobs ever admitted across all shards (compiles actually run)."""
+        with self._lock:
+            return sum(stats.submitted for stats in self._stats)
+
+    def total_shed(self) -> int:
+        """Jobs refused by admission control across all shards."""
+        with self._lock:
+            return sum(stats.shed for stats in self._stats)
+
+    # -- lifecycle -----------------------------------------------------------
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Tear down every shard process (idempotent)."""
+        with self._lock:
+            executors = [ex for ex in self._executors if ex is not None]
+            self._executors = [None] * self.shards
+        for executor in executors:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "ShardedCompilePool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

@@ -30,12 +30,14 @@ from repro.service.api import (
     DowngradeRequest,
     DowngradeResult,
 )
-from repro.service.cache import CacheStats, SynthesisCache, cache_key
+from repro.service.cache import CacheBackend, CacheStats, SynthesisCache, cache_key
 from repro.service.serialize import (
     compiled_query_from_json,
     compiled_query_to_json,
     domain_from_json,
     domain_to_json,
+    options_from_json,
+    options_to_json,
 )
 from repro.service.session import Session, SessionManager
 
@@ -47,6 +49,7 @@ __all__ = [
     "DeclassificationService",
     "DowngradeRequest",
     "DowngradeResult",
+    "CacheBackend",
     "CacheStats",
     "SynthesisCache",
     "cache_key",
@@ -54,6 +57,8 @@ __all__ = [
     "compiled_query_to_json",
     "domain_from_json",
     "domain_to_json",
+    "options_from_json",
+    "options_to_json",
     "Session",
     "SessionManager",
 ]

@@ -15,6 +15,8 @@ transport (HTTP handler, queue consumer, test harness) talks to.  It owns
 
 from __future__ import annotations
 
+import asyncio
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -134,6 +136,11 @@ class DeclassificationService:
             registry=self.registry, policy=policy, mode=mode, check_both=check_both
         )
         self.audit: list[AuditEvent] = []
+        self._audit_lock = threading.Lock()
+        # Serializes register_query: concurrent registrations of one
+        # not-yet-cached problem must not both run synthesis (and the
+        # hit/miss receipt bookkeeping must see a consistent cache).
+        self._compile_lock = threading.Lock()
 
     @classmethod
     def warm_start(
@@ -151,19 +158,30 @@ class DeclassificationService:
 
     # -- audit -------------------------------------------------------------
     def _audit(self, kind: str, **data: Any) -> None:
-        self.audit.append(AuditEvent(seq=len(self.audit), kind=kind, data=data))
+        # The sequence number must be dense even when worker threads audit
+        # concurrently, so assignment and append happen under one lock.
+        with self._audit_lock:
+            self.audit.append(AuditEvent(seq=len(self.audit), kind=kind, data=data))
 
     # -- compilation -------------------------------------------------------
     def register_query(self, request: CompileRequest) -> CompileReceipt:
-        """Compile (or cache-hit) and register one query."""
+        """Compile (or cache-hit) and register one query.
+
+        Compilation is serialized: the second of two concurrent
+        registrations of the same fresh problem waits and then hits the
+        cache instead of synthesizing twice.  (The gateway adds event-loop
+        coalescing on top for the sharded path.)
+        """
         options = request.options if request.options is not None else self.default_options
-        hits_before = self.cache.stats.hits
-        compiled = self.registry.compile_and_register(
-            request.name, request.query, request.secret, options
-        )
+        with self._compile_lock:
+            hits_before = self.cache.stats.hits
+            compiled = self.registry.compile_and_register(
+                request.name, request.query, request.secret, options
+            )
+            cache_hit = self.cache.stats.hits > hits_before
         receipt = CompileReceipt(
             name=compiled.name,
-            cache_hit=self.cache.stats.hits > hits_before,
+            cache_hit=cache_hit,
             verified=all(report.verified for report in compiled.reports.values()),
             synth_time=sum(r.synth_time for r in compiled.reports.values()),
             verify_time=sum(r.verify_time for r in compiled.reports.values()),
@@ -253,6 +271,28 @@ class DeclassificationService:
             authorized=sum(1 for r in results if r.authorized),
         )
         return results
+
+    # -- async entry points ------------------------------------------------
+    # The synchronous handlers are CPU-bound and thread-safe (the compile
+    # lock serializes register_query, SessionManager serializes batch
+    # application, the audit lock keeps sequence numbers dense), so the
+    # async surface simply hops to a worker thread.  An event-loop
+    # transport (the repro.server gateway, an HTTP frontend) awaits these
+    # without stalling its loop on a large batch.
+
+    async def register_query_async(self, request: CompileRequest) -> CompileReceipt:
+        """Async :meth:`register_query` (compiles off the event loop)."""
+        return await asyncio.to_thread(self.register_query, request)
+
+    async def handle_async(self, request: DowngradeRequest) -> DowngradeResult:
+        """Async :meth:`handle`."""
+        return await asyncio.to_thread(self.handle, request)
+
+    async def handle_batch_async(
+        self, request: BatchDowngradeRequest
+    ) -> list[DowngradeResult]:
+        """Async :meth:`handle_batch`."""
+        return await asyncio.to_thread(self.handle_batch, request)
 
     def _unknown_session(self, session_id: str, query_name: str) -> DowngradeResult:
         return DowngradeResult(

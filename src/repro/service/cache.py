@@ -16,6 +16,11 @@ for warm starts (:meth:`save`/:meth:`load`).
 The cache is deliberately *not* ambient: :func:`~repro.core.plugin.compile_query`
 takes it as an explicit argument, so callers who want cold-compile numbers
 (the Figure 5 measurements) simply pass none.
+
+Persistence is pluggable: a :class:`CacheBackend` (e.g. the SQLite
+:class:`~repro.server.store.SQLiteStore`) can be attached, making every
+``put`` write through and warm-starting the in-memory table on attach —
+the seam the sharded server runtime uses to survive restarts.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Iterator, Protocol
 
 from repro.core.plugin import CompiledQuery, CompileOptions
 from repro.lang.ast import BoolExpr
@@ -32,7 +37,7 @@ from repro.lang.canonical import canonicalize, expr_to_json, spec_to_json
 from repro.lang.secrets import SecretSpec
 from repro.service.serialize import compiled_query_from_json, compiled_query_to_json
 
-__all__ = ["CacheStats", "SynthesisCache", "cache_key"]
+__all__ = ["CacheBackend", "CacheStats", "SynthesisCache", "cache_key"]
 
 #: Bumped whenever the artifact encoding changes incompatibly.
 CACHE_FORMAT_VERSION = 2
@@ -81,6 +86,36 @@ def cache_key(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+class CacheBackend(Protocol):
+    """Durable key → JSON-payload storage behind a :class:`SynthesisCache`.
+
+    Payloads are :func:`~repro.service.serialize.compiled_query_to_json`
+    encodings; keys are :func:`cache_key` content hashes.  The protocol is
+    deliberately dumb — encoding/decoding stays in the cache, so a backend
+    never needs to import the artifact model.
+    """
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for a key, or ``None``."""
+        ...  # pragma: no cover - protocol
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Durably store a payload under its key (last write wins)."""
+        ...  # pragma: no cover - protocol
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over the stored keys."""
+        ...  # pragma: no cover - protocol
+
+    def items(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        """Iterate over ``(key, payload)`` pairs in one bulk read.
+
+        Warm starts decode every entry; one scan beats a ``get`` round
+        trip per key.
+        """
+        ...  # pragma: no cover - protocol
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """Hit/miss counters of a :class:`SynthesisCache`."""
@@ -101,11 +136,22 @@ class CacheStats:
 
 @dataclass
 class SynthesisCache:
-    """A content-addressed store of compiled query artifacts."""
+    """A content-addressed store of compiled query artifacts.
+
+    With a ``backend`` attached, entries are write-through persisted and
+    the in-memory table is warm-started from the backend on construction
+    (decoding is eager, so a restarted process serves its first request
+    from memory, not from disk).
+    """
 
     _entries: dict[str, CompiledQuery] = field(default_factory=dict)
     _hits: int = 0
     _misses: int = 0
+    backend: CacheBackend | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.backend is not None:
+            self.preload()
 
     # -- lookup ------------------------------------------------------------
     def key_for(
@@ -115,8 +161,18 @@ class SynthesisCache:
         return cache_key(query, secret, options)
 
     def get(self, key: str) -> CompiledQuery | None:
-        """Look up an artifact, counting the hit or miss."""
+        """Look up an artifact, counting the hit or miss.
+
+        A key absent from memory but present in the backend (written by a
+        concurrent process since the preload) counts as a hit and is
+        promoted into memory.
+        """
         entry = self._entries.get(key)
+        if entry is None and self.backend is not None:
+            payload = self.backend.get(key)
+            if payload is not None:
+                entry = compiled_query_from_json(payload)
+                self._entries[key] = entry
         if entry is None:
             self._misses += 1
         else:
@@ -126,12 +182,39 @@ class SynthesisCache:
     def put(self, key: str, compiled: CompiledQuery) -> None:
         """Store an artifact under its key (last write wins)."""
         self._entries[key] = compiled
+        if self.backend is not None:
+            self.backend.put(key, compiled_query_to_json(compiled))
+
+    def preload(self) -> int:
+        """Decode every backend entry into memory; returns the count."""
+        assert self.backend is not None, "preload() requires a backend"
+        count = 0
+        for key, payload in list(self.backend.items()):
+            if key in self._entries or payload is None:
+                continue
+            self._entries[key] = compiled_query_from_json(payload)
+            count += 1
+        return count
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        """Uncounted presence test, consulting the backend too.
+
+        A key another process persisted since the preload is promoted
+        into memory here, so callers probing before a compile (the
+        gateway's miss path) never re-synthesize what the fleet already
+        paid for.
+        """
+        if key in self._entries:
+            return True
+        if self.backend is not None:
+            payload = self.backend.get(key)
+            if payload is not None:
+                self._entries[key] = compiled_query_from_json(payload)
+                return True
+        return False
 
     def keys(self) -> Iterator[str]:
         """The stored keys."""

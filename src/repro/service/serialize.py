@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.core.plugin import CompiledQuery, ModeReport
+from repro.core.plugin import CompiledQuery, CompileOptions, ModeReport
 from repro.core.qinfo import DomainPair, QInfo
+from repro.core.synth import SynthOptions
 from repro.domains.base import AbstractDomain
 from repro.domains.box import IntervalDomain
 from repro.domains.powerset import PowersetDomain
@@ -39,9 +40,70 @@ __all__ = [
     "box_from_json",
     "domain_to_json",
     "domain_from_json",
+    "options_to_json",
+    "options_from_json",
     "compiled_query_to_json",
     "compiled_query_from_json",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Compile options
+# ---------------------------------------------------------------------------
+
+
+def options_to_json(options: CompileOptions) -> dict[str, Any]:
+    """Encode compile options (exact round trip).
+
+    Every field of :class:`~repro.core.plugin.CompileOptions` and its
+    nested :class:`~repro.core.synth.SynthOptions` is written out — the
+    sharded worker pool ships compile jobs across process boundaries as
+    JSON, so a field silently dropped here would make remote compiles
+    diverge from local ones (and from the cache key, which hashes the
+    same knobs).
+    """
+    synth = options.synth
+    return {
+        "domain": options.domain,
+        "k": options.k,
+        "modes": list(options.modes),
+        "verify": options.verify,
+        "synth": {
+            "time_budget": synth.time_budget,
+            "seed_pops": synth.seed_pops,
+            "growth": synth.growth,
+            "use_kernels": synth.use_kernels,
+            "vector_threshold": synth.vector_threshold,
+            "fused_probes": synth.fused_probes,
+            "incremental_seed": synth.incremental_seed,
+            "legacy_splits": synth.legacy_splits,
+        },
+    }
+
+
+def options_from_json(data: dict[str, Any]) -> CompileOptions:
+    """Decode compile options encoded by :func:`options_to_json`."""
+    synth = data["synth"]
+    time_budget = synth["time_budget"]
+    vector_threshold = synth["vector_threshold"]
+    return CompileOptions(
+        domain=data["domain"],
+        k=int(data["k"]),
+        modes=tuple(data["modes"]),
+        verify=bool(data["verify"]),
+        synth=SynthOptions(
+            time_budget=None if time_budget is None else float(time_budget),
+            seed_pops=int(synth["seed_pops"]),
+            growth=synth["growth"],
+            use_kernels=bool(synth["use_kernels"]),
+            vector_threshold=(
+                None if vector_threshold is None else int(vector_threshold)
+            ),
+            fused_probes=bool(synth["fused_probes"]),
+            incremental_seed=bool(synth["incremental_seed"]),
+            legacy_splits=bool(synth["legacy_splits"]),
+        ),
+    )
 
 
 # ---------------------------------------------------------------------------

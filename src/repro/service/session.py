@@ -19,10 +19,17 @@ intersection is memoized per *distinct* prior (fleets of fresh sessions
 all share the ⊤ prior, so a thousand sessions cost one intersection), and
 only the secret-dependent parts — query evaluation and knowledge update —
 run per session.
+
+The manager is safe for concurrent use: one reentrant lock serializes
+session lifecycle and every batch application, so a session's knowledge
+history is always a linearization of whole downgrades — a worker pool
+never observes a batch half-applied.  (Compiled artifacts need no lock:
+the registry is immutable shared state.)
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -81,6 +88,11 @@ class SessionManager:
     mode: str = "under"
     check_both: bool = True
     sessions: dict[str, Session] = field(default_factory=dict)
+    #: Serializes lifecycle and batch application; reentrant because the
+    #: single-session paths funnel into :meth:`downgrade_batch`.
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.mode not in ("under", "over"):
@@ -93,14 +105,15 @@ class SessionManager:
         secret: ProtectedSecret | tuple[SecretSpec, SecretValue],
     ) -> Session:
         """Register a principal; ids must be unique among open sessions."""
-        if session_id in self.sessions:
-            raise ValueError(f"session {session_id!r} already open")
-        if not isinstance(secret, ProtectedSecret):
-            spec, value = secret
-            secret = ProtectedSecret.seal(spec, value)
-        session = Session(session_id=session_id, secret=secret)
-        self.sessions[session_id] = session
-        return session
+        with self._lock:
+            if session_id in self.sessions:
+                raise ValueError(f"session {session_id!r} already open")
+            if not isinstance(secret, ProtectedSecret):
+                spec, value = secret
+                secret = ProtectedSecret.seal(spec, value)
+            session = Session(session_id=session_id, secret=secret)
+            self.sessions[session_id] = session
+            return session
 
     def open_sessions(
         self, secrets: Mapping[str, ProtectedSecret | tuple[SecretSpec, SecretValue]]
@@ -110,17 +123,19 @@ class SessionManager:
 
     def close_session(self, session_id: str) -> Session:
         """Drop a session, returning its final state (with audit trail)."""
-        try:
-            return self.sessions.pop(session_id)
-        except KeyError:
-            raise KeyError(f"no open session {session_id!r}") from None
+        with self._lock:
+            try:
+                return self.sessions.pop(session_id)
+            except KeyError:
+                raise KeyError(f"no open session {session_id!r}") from None
 
     def session(self, session_id: str) -> Session:
         """Look up an open session."""
-        try:
-            return self.sessions[session_id]
-        except KeyError:
-            raise KeyError(f"no open session {session_id!r}") from None
+        with self._lock:
+            try:
+                return self.sessions[session_id]
+            except KeyError:
+                raise KeyError(f"no open session {session_id!r}") from None
 
     def knowledge_of(self, session_id: str) -> AbstractDomain | None:
         """The tracked knowledge for a session (``None`` = no prior yet)."""
@@ -155,6 +170,12 @@ class SessionManager:
         ``check_both`` discipline, the secret-independent authorization
         verdict are memoized per distinct prior.
         """
+        with self._lock:
+            return self._downgrade_batch_locked(query_name, session_ids)
+
+    def _downgrade_batch_locked(
+        self, query_name: str, session_ids: Iterable[str] | None
+    ) -> dict[str, DowngradeDecision]:
         ids = list(dict.fromkeys(self.sessions if session_ids is None else session_ids))
         sessions = {sid: self.session(sid) for sid in ids}
 
@@ -256,8 +277,12 @@ class SessionManager:
     # -- introspection -----------------------------------------------------
     def open_count(self) -> int:
         """Number of open sessions."""
-        return len(self.sessions)
+        with self._lock:
+            return len(self.sessions)
 
     def authorized_count(self) -> int:
         """Authorized downgrades across all open sessions."""
-        return sum(session.authorized_count() for session in self.sessions.values())
+        with self._lock:
+            return sum(
+                session.authorized_count() for session in self.sessions.values()
+            )

@@ -1,12 +1,13 @@
 """Smoke tests: every example script runs end to end under pytest.
 
-Each script in ``examples/`` exposes an importable ``main()`` so the five
+Each script in ``examples/`` exposes an importable ``main()`` so the six
 end-to-end scenarios — the paper's quickstart, the ship rescue with a
 mid-session policy switch, the advertising deployment, the probabilistic
-birthday service, and the multi-tenant batched service — stay executable
-as the solver and service layers evolve.  The scripts print their
-narrative; the assertions here only require clean completion (their
-internal ``assert`` statements still run and count).
+birthday service, the multi-tenant batched service, and the budget-ledger
+gateway — stay executable as the solver, service, and server layers
+evolve.  The scripts print their narrative; the assertions here only
+require clean completion (their internal ``assert`` statements still run
+and count).
 """
 
 import importlib
@@ -23,6 +24,7 @@ EXAMPLES = [
     "location_advertising",
     "birthday_service",
     "multi_user_service",
+    "budget_gateway",
 ]
 
 

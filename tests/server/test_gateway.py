@@ -1,0 +1,344 @@
+"""DeclassificationServer: coalescing, batching, restart, budget, shedding."""
+
+import asyncio
+
+import pytest
+
+from repro.core.plugin import CompileOptions
+from repro.lang.eval import eval_bool
+from repro.lang.secrets import SecretSpec
+from repro.monad.policy import size_above
+from repro.server.gateway import (
+    DeclassificationServer,
+    ServerConfig,
+    ServerOverloaded,
+)
+from repro.server.store import SQLiteStore
+from repro.service.api import CompileRequest
+
+SPEC = SecretSpec.declare("GwLoc", x=(0, 199), y=(0, 199))
+OPTIONS = CompileOptions(domain="interval", modes=("under", "over"))
+INLINE = ServerConfig(inline_compiles=True)
+
+QUERIES = {
+    "east": "x >= 100",
+    "north": "y >= 100",
+    "plaza": "abs(x - 100) + abs(y - 100) <= 60",
+}
+
+
+def make_server(**kwargs) -> DeclassificationServer:
+    kwargs.setdefault("options", OPTIONS)
+    kwargs.setdefault("config", INLINE)
+    return DeclassificationServer(size_above(100), **kwargs)
+
+
+def test_compile_cache_and_coalescing():
+    async def scenario():
+        server = make_server()
+        first = await server.register_query(CompileRequest("q", "x <= 50", SPEC))
+        assert not first.cache_hit and not first.coalesced
+        assert first.shard is not None and first.verified
+        # Same canonical problem, new tenant, commuted spelling: a hit.
+        again = await server.register_query(
+            CompileRequest("q2", "50 >= x", SPEC)
+        )
+        assert again.cache_hit and not again.coalesced
+        assert server.pool.total_submitted() == 1
+        assert sorted(server.manager.registry.names()) == ["q", "q2"]
+        # Concurrent identical problems coalesce onto one shard job.
+        receipts = await asyncio.gather(
+            *(
+                server.register_query(CompileRequest(f"p{i}", "y <= 20", SPEC))
+                for i in range(4)
+            )
+        )
+        assert server.pool.total_submitted() == 2
+        assert sum(1 for r in receipts if not r.cache_hit and not r.coalesced) == 1
+        assert sum(1 for r in receipts if r.coalesced) == 3
+        assert server.stats.compile_coalesced == 3
+        server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_downgrades_batch_per_tick_and_match_truth():
+    async def scenario():
+        server = make_server()
+        for name, text in QUERIES.items():
+            await server.register_query(CompileRequest(name, text, SPEC))
+        secrets = {f"u{i}": (i * 37 % 200, i * 53 % 200) for i in range(40)}
+        for sid, value in secrets.items():
+            server.open_session(sid, (SPEC, value))
+
+        # Quadrant queries: every posterior chain stays a 100x200-or-larger
+        # box, so check-both authorizes all 80 requests.
+        await server.start()
+        results = await asyncio.gather(
+            *(server.downgrade(sid, "east") for sid in secrets),
+            *(server.downgrade(sid, "north") for sid in secrets),
+        )
+        await server.stop()
+
+        compiled = {n: server.manager.registry.lookup(n).qinfo for n in QUERIES}
+        for result in results:
+            assert result.authorized
+            env = SPEC.to_env(secrets[result.session_id])
+            assert result.response == eval_bool(
+                compiled[result.query_name].query, env
+            )
+        # Batching really happened: far fewer service batches than requests.
+        batches = [e for e in server.service.audit if e.kind == "batch"]
+        assert len(batches) < len(results)
+        assert server.stats.downgrades_served == len(results) == 80
+        server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_kill_and_restart_warm_starts_with_zero_recompiles(tmp_path):
+    """The acceptance test: a restarted server re-serves every previously
+    compiled query without a single shard job."""
+    path = tmp_path / "artifacts.db"
+
+    async def serve(store: SQLiteStore):
+        server = make_server(store=store)
+        receipts = [
+            await server.register_query(CompileRequest(name, text, SPEC))
+            for name, text in QUERIES.items()
+        ]
+        server.open_session("u", (SPEC, (120, 80)))
+        result = await server.downgrade("u", "east")
+        assert result.authorized and result.response is True
+        server.shutdown()
+        return server, receipts
+
+    with SQLiteStore(path) as store:
+        server1, receipts1 = asyncio.run(serve(store))
+        assert all(not r.cache_hit for r in receipts1)
+        assert server1.pool.total_submitted() == len(QUERIES)
+        assert server1.stats.warm_entries == 0
+        assert len(store) == len(QUERIES)
+
+    # Kill.  Restart on the same store: all hits, zero compile jobs.
+    with SQLiteStore(path) as store:
+        server2, receipts2 = asyncio.run(serve(store))
+        assert all(r.cache_hit for r in receipts2)
+        assert server2.pool.total_submitted() == 0
+        assert server2.stats.warm_entries == len(QUERIES)
+        # The artifacts are byte-identical across the restart.
+        for name in QUERIES:
+            q1 = server1.manager.registry.lookup(name).qinfo
+            q2 = server2.manager.registry.lookup(name).qinfo
+            assert q1.under_indset == q2.under_indset
+            assert q1.over_indset == q2.over_indset
+
+
+def test_budget_ledger_interposes_on_serving():
+    async def scenario():
+        server = make_server(budget_floor=size_above(4000))
+        for name, text in (
+            ("west", "x <= 99"),
+            ("south", "y <= 99"),
+            ("inner", "x <= 49"),
+        ):
+            await server.register_query(CompileRequest(name, text, SPEC))
+        server.open_session("s1", (SPEC, (30, 40)), user_id="alice")
+
+        first = await server.downgrade("s1", "west")  # 20_000 both sides
+        second = await server.downgrade("s1", "south")  # 10_000 both sides
+        assert first.authorized and second.authorized
+        # Third halving: 5_000 both sides > 4_000 — still fits.
+        third = await server.downgrade("s1", "inner")
+        assert third.authorized
+        # Alice reconnects with a new session: sessions reset, the budget
+        # does not.  Any further halving would land at 2_500 <= 4_000.
+        server.close_session("s1")
+        server.open_session("s2", (SPEC, (30, 40)), user_id="alice")
+        refused = await server.downgrade("s2", "west")
+        assert not refused.authorized
+        assert "budget exhausted" in refused.reason
+        # The refusal is invisible everywhere but the refusal itself:
+        # session knowledge untouched, ledger bound unchanged.
+        assert server.manager.session("s2").knowledge is None
+        assert server.ledger.remaining("alice", SPEC) == 5000
+        assert server.stats.budget_refusals == 1
+        # A different user is unaffected.
+        server.open_session("s3", (SPEC, (150, 150)), user_id="bob")
+        fresh = await server.downgrade("s3", "west")
+        assert fresh.authorized
+        server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_downgrade_queue_load_shedding():
+    async def scenario():
+        server = make_server(
+            config=ServerConfig(
+                inline_compiles=True, max_queued_downgrades=2, tick_interval=60.0
+            )
+        )
+        await server.register_query(CompileRequest("q", "x <= 50", SPEC))
+        server.open_session("u", (SPEC, (10, 10)))
+        await server.start()  # slow ticker: requests stay queued
+        t1 = asyncio.ensure_future(server.downgrade("u", "q"))
+        t2 = asyncio.ensure_future(server.downgrade("u", "q"))
+        await asyncio.sleep(0)  # let both enqueue
+        with pytest.raises(ServerOverloaded):
+            await server.downgrade("u", "q")
+        await server.stop()  # final flush serves the queued two
+        assert (await t1).authorized and (await t2).authorized
+        server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_unknown_session_and_unknown_query_are_refusals_not_errors():
+    async def scenario():
+        server = make_server(budget_floor=size_above(100))
+        await server.register_query(CompileRequest("q", "x <= 50", SPEC))
+        ghost = await server.downgrade("nobody", "q")
+        assert not ghost.authorized and "no open session" in ghost.reason
+        server.open_session("u", (SPEC, (10, 10)))
+        unknown = await server.downgrade("u", "never_compiled")
+        assert not unknown.authorized
+        assert "Can't downgrade" in unknown.reason
+        server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_compile_shed_surfaces_and_recovers():
+    async def scenario():
+        server = make_server(
+            config=ServerConfig(inline_compiles=True, max_pending_compiles=1)
+        )
+        from repro.server.workers import ShardOverloaded
+
+        shard = server.pool.shard_for("x <= 77")
+        server.pool._reserve(shard)  # a stuck in-flight job
+        with pytest.raises(ShardOverloaded):
+            await server.register_query(CompileRequest("q", "x <= 77", SPEC))
+        assert server.stats.compile_shed == 1
+        server.pool._release(shard)
+        receipt = await server.register_query(
+            CompileRequest("q", "x <= 77", SPEC)
+        )
+        assert not receipt.cache_hit
+        server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_async_service_entry_points():
+    """The service facade's async surface (used by custom transports)."""
+    from repro.service.api import (
+        BatchDowngradeRequest,
+        DeclassificationService,
+        DowngradeRequest,
+    )
+
+    async def scenario():
+        service = DeclassificationService(size_above(100), options=OPTIONS)
+        receipt = await service.register_query_async(
+            CompileRequest("q", "x <= 50", SPEC)
+        )
+        assert receipt.verified
+        service.open_session("u", (SPEC, (10, 10)))
+        single = await service.handle_async(DowngradeRequest("u", "q"))
+        assert single.authorized and single.response is True
+        batch = await service.handle_batch_async(BatchDowngradeRequest("q"))
+        assert len(batch) == 1
+
+    asyncio.run(scenario())
+
+
+def test_flush_isolates_a_failing_batch_and_ticker_survives(monkeypatch):
+    """One query group blowing up must fail only its own waiters; other
+    groups in the same tick are still served and later ticks still run."""
+
+    async def scenario():
+        server = make_server()
+        for name, text in (("good", "x <= 99"), ("bad", "y <= 99")):
+            await server.register_query(CompileRequest(name, text, SPEC))
+        server.open_session("u", (SPEC, (10, 10)))
+
+        real_handle_batch = server.service.handle_batch
+
+        def exploding(request):
+            if request.query_name == "bad":
+                raise RuntimeError("boom")
+            return real_handle_batch(request)
+
+        monkeypatch.setattr(server.service, "handle_batch", exploding)
+        await server.start()
+        good = asyncio.ensure_future(server.downgrade("u", "good"))
+        bad = asyncio.ensure_future(server.downgrade("u", "bad"))
+        assert (await good).authorized
+        with pytest.raises(RuntimeError, match="boom"):
+            await bad
+        # The ticker survived the failing batch: later requests serve.
+        later = await server.downgrade("u", "good")
+        assert later.query_name == "good"
+        await server.stop()
+        server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_same_user_sessions_in_one_tick_commit_in_rounds():
+    """Two sessions of one user in one tick must not corrupt the ledger:
+    the second is admitted against the bound the first produced (and is
+    cleanly refused when that bound no longer affords the query)."""
+
+    async def scenario():
+        server = make_server(budget_floor=size_above(15_000))
+        await server.register_query(CompileRequest("west", "x <= 99", SPEC))
+        # Same user, contradictory secrets: the answers disagree, so a
+        # naive preauthorize-all-then-commit-all would intersect both
+        # sides and crash mid-tick with LedgerInvariantError.
+        server.open_session("a", (SPEC, (10, 10)), user_id="alice")
+        server.open_session("b", (SPEC, (150, 150)), user_id="alice")
+        await server.start()
+        ra, rb = await asyncio.gather(
+            server.downgrade("a", "west"), server.downgrade("b", "west")
+        )
+        await server.stop()
+        # Exactly one was answered; the other was refused by the budget
+        # (its posterior against the first answer's bound is empty).
+        assert sorted([ra.authorized, rb.authorized]) == [False, True]
+        refused = ra if not ra.authorized else rb
+        assert "budget exhausted" in refused.reason
+        # The ledger bound reflects only the answered query.
+        assert server.ledger.remaining("alice", SPEC) == 20_000
+        assert len(server.ledger.account("alice").charges) == 1
+        server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_contains_promotes_store_writes_from_other_processes(tmp_path):
+    """An artifact another process persisted after this server booted is
+    served as a cache hit, not recompiled."""
+    path = tmp_path / "shared.db"
+
+    async def scenario():
+        with SQLiteStore(path) as store:
+            server = make_server(store=store)  # preloads an empty store
+            # "Another process" compiles the query and writes it through.
+            from repro.core.plugin import compile_query
+            from repro.service.serialize import compiled_query_to_json
+
+            compiled = compile_query("elsewhere", "x <= 123", SPEC, OPTIONS)
+            key = server.cache.key_for(compiled.qinfo.query, SPEC, OPTIONS)
+            store.put(key, compiled_query_to_json(compiled))
+
+            receipt = await server.register_query(
+                CompileRequest("local", "x <= 123", SPEC)
+            )
+            assert receipt.cache_hit
+            assert server.pool.total_submitted() == 0
+            server.shutdown()
+
+    asyncio.run(scenario())

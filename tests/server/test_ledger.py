@@ -1,0 +1,174 @@
+"""PrivacyBudgetLedger property tests.
+
+The two acceptance invariants, driven by Hypothesis over random secrets,
+random threshold-query workloads, and random floors:
+
+1. a **refused** charge never changes any of the user's bounds;
+2. after any **accepted** sequence, the sound bound still satisfies the
+   floor (and a rogue ``commit`` that would cross it raises *without*
+   mutating).
+
+Queries are built directly as :class:`~repro.core.qinfo.QInfo` values
+with exact ind.-set pairs (no synthesis), so hundreds of ledger
+histories run in milliseconds.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.qinfo import QInfo
+from repro.domains.box import IntervalDomain
+from repro.lang.parser import parse_bool
+from repro.lang.secrets import SecretSpec
+from repro.monad.policy import size_above
+from repro.monad.protected import ProtectedSecret
+from repro.server.ledger import LedgerInvariantError, PrivacyBudgetLedger
+from repro.solver.boxes import Box
+
+SPEC = SecretSpec.declare("Grid", x=(0, 15), y=(0, 15))
+
+
+def threshold_qinfo(axis: str, threshold: int) -> QInfo:
+    """An exact compiled artifact for ``axis <= threshold``."""
+    if axis == "x":
+        true_box = Box(((0, threshold), (0, 15)))
+        false_box = Box(((threshold + 1, 15), (0, 15)))
+    else:
+        true_box = Box(((0, 15), (0, threshold)))
+        false_box = Box(((0, 15), (threshold + 1, 15)))
+    pair = (IntervalDomain(SPEC, true_box), IntervalDomain(SPEC, false_box))
+    return QInfo(
+        name=f"{axis}<={threshold}",
+        query=parse_bool(f"{axis} <= {threshold}"),
+        secret=SPEC,
+        under_indset=pair,
+        over_indset=pair,
+    )
+
+
+def snapshot(ledger: PrivacyBudgetLedger, user: str):
+    account = ledger.account(user)
+    return (
+        dict(account.sound),
+        dict(account.complete),
+        list(account.charges),
+    )
+
+
+queries = st.lists(
+    st.tuples(st.sampled_from(["x", "y"]), st.integers(min_value=0, max_value=14)),
+    min_size=1,
+    max_size=8,
+)
+secrets = st.tuples(
+    st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=15)
+)
+floors = st.integers(min_value=0, max_value=200)
+
+
+@settings(max_examples=150, deadline=None)
+@given(workload=queries, secret=secrets, floor=floors)
+def test_refusal_never_updates_and_acceptance_never_crosses(
+    workload, secret, floor
+):
+    ledger = PrivacyBudgetLedger(size_above(floor))
+    protected = ProtectedSecret.seal(SPEC, secret)
+    for axis, threshold in workload:
+        qinfo = threshold_qinfo(axis, threshold)
+        before = snapshot(ledger, "u")
+        refusals_before = ledger.account("u").refusals
+        decision = ledger.evaluate("u", qinfo, protected)
+        account = ledger.account("u")
+        if not decision.authorized:
+            # Invariant 1: a refusal is bound-invisible.
+            assert snapshot(ledger, "u") == before
+            assert account.refusals == refusals_before + 1
+            assert decision.response is None
+        else:
+            # Invariant 2: the sound bound still clears the floor, and the
+            # charge trail reflects exactly this fold.
+            bound = account.sound[SPEC.name]
+            assert bound.size() > floor
+            assert account.charges[-1].posterior_size == bound.size()
+            assert account.charges[-1].response == decision.response
+            # The bound is sound: it always contains the true secret.
+            assert bound.contains(secret)
+    # Monotone shrinkage: each accepted charge never grew the bound.
+    sizes = [charge.posterior_size for charge in ledger.account("u").charges]
+    priors = [charge.prior_size for charge in ledger.account("u").charges]
+    assert all(post <= prior for post, prior in zip(sizes, priors))
+
+
+@settings(max_examples=100, deadline=None)
+@given(workload=queries, secret=secrets, floor=floors)
+def test_preauthorize_never_mutates(workload, secret, floor):
+    ledger = PrivacyBudgetLedger(size_above(floor))
+    for axis, threshold in workload:
+        qinfo = threshold_qinfo(axis, threshold)
+        before = snapshot(ledger, "u")
+        decision = ledger.preauthorize("u", qinfo)
+        assert snapshot(ledger, "u") == before
+        assert decision.remaining == ledger.remaining("u", SPEC)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    workload=queries,
+    secret=secrets,
+    floor=st.integers(min_value=8, max_value=200),
+)
+def test_rogue_commit_cannot_cross_the_floor(workload, secret, floor):
+    """Even a caller that skips preauthorize cannot push a bound below
+    the floor: the offending commit raises and mutates nothing."""
+    ledger = PrivacyBudgetLedger(size_above(floor))
+    protected = ProtectedSecret.seal(SPEC, secret)
+    for axis, threshold in workload:
+        qinfo = threshold_qinfo(axis, threshold)
+        response = qinfo.run(protected.unprotect_tcb())
+        before = snapshot(ledger, "u")
+        try:
+            ledger.commit("u", qinfo, response)
+        except LedgerInvariantError:
+            assert snapshot(ledger, "u") == before
+        else:
+            assert ledger.account("u").sound[SPEC.name].size() > floor
+
+
+def test_accounts_are_per_user_and_per_spec():
+    ledger = PrivacyBudgetLedger(size_above(4))
+    qinfo = threshold_qinfo("x", 7)
+    ledger.commit("alice", qinfo, True)
+    assert ledger.remaining("alice", SPEC) == 8 * 16
+    assert ledger.remaining("bob", SPEC) == SPEC.space_size()
+    other = SecretSpec.declare("Other", z=(0, 9))
+    assert ledger.remaining("alice", other) == other.space_size()
+    assert ledger.users() == ["alice", "bob"]
+
+
+def test_budget_survives_reconnect_scenario():
+    """The cross-session scenario sessions cannot express: two sessions,
+    one user, one budget."""
+    ledger = PrivacyBudgetLedger(size_above(60))
+    protected = ProtectedSecret.seal(SPEC, (3, 12))
+    # Session 1 asks x<=7 (accepted: both posteriors are 128 > 60).
+    assert ledger.evaluate("u", threshold_qinfo("x", 7), protected).authorized
+    # Reconnect.  A fresh session's knowledge would reset to ⊤; the
+    # ledger's does not: y<=7 still fits (64 > 60)...
+    assert ledger.evaluate("u", threshold_qinfo("y", 7), protected).authorized
+    # ...but a third halving would land at 32 <= 60 on both sides: refused,
+    # even though a session-scoped tracker would have allowed it from ⊤.
+    decision = ledger.evaluate("u", threshold_qinfo("x", 3), protected)
+    assert not decision.authorized
+    assert ledger.remaining("u", SPEC) == 64
+
+
+def test_charge_records_are_frozen():
+    record = PrivacyBudgetLedger(size_above(0))
+    record.commit("u", threshold_qinfo("x", 7), True)
+    charge = record.account("u").charges[-1]
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        charge.response = False

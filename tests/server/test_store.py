@@ -1,0 +1,117 @@
+"""SQLiteStore: durability, the CacheBackend seam, format guards, interop."""
+
+import json
+
+import pytest
+
+from repro.core.plugin import CompileOptions, compile_query
+from repro.lang.secrets import SecretSpec
+from repro.service.cache import CACHE_FORMAT_VERSION, SynthesisCache
+from repro.server.store import SQLiteStore, StoreFormatError
+
+SPEC = SecretSpec.declare("Tiny", x=(0, 15), y=(0, 15))
+OPTIONS = CompileOptions(domain="interval", modes=("under",))
+
+
+def _compile(name="q", text="x <= 7", cache=None):
+    return compile_query(name, text, SPEC, OPTIONS, cache=cache)
+
+
+def test_put_get_roundtrip(tmp_path):
+    with SQLiteStore(tmp_path / "store.db") as store:
+        payload = {"hello": [1, 2, 3]}
+        assert store.get("k") is None
+        store.put("k", payload)
+        assert store.get("k") == payload
+        assert "k" in store
+        assert "other" not in store
+        assert len(store) == 1
+        assert list(store.keys()) == ["k"]
+
+
+def test_last_write_wins(tmp_path):
+    with SQLiteStore(tmp_path / "store.db") as store:
+        store.put("k", {"v": 1})
+        store.put("k", {"v": 2})
+        assert store.get("k") == {"v": 2}
+        assert len(store) == 1
+
+
+def test_artifacts_survive_reopen(tmp_path):
+    path = tmp_path / "store.db"
+    cache = SynthesisCache()
+    compiled = _compile(cache=cache)
+    key = next(iter(cache.keys()))
+    with SQLiteStore(path) as store:
+        cache_with_backend = SynthesisCache(backend=store)
+        cache_with_backend.put(key, compiled)
+
+    # A brand-new process: the cache preloads the artifact from disk and
+    # the compile is a pure hit.
+    with SQLiteStore(path) as store:
+        warm = SynthesisCache(backend=store)
+        assert len(warm) == 1
+        again = _compile(name="relabeled", cache=warm)
+        assert warm.stats.hits == 1
+        assert again.qinfo.under_indset == compiled.qinfo.under_indset
+        assert again.name == "relabeled"
+
+
+def test_backend_get_promotes_concurrent_writes(tmp_path):
+    """A key written by another process after preload is still a hit."""
+    path = tmp_path / "store.db"
+    with SQLiteStore(path) as store:
+        cache = SynthesisCache(backend=store)  # preloads empty
+        # Another process writes an artifact directly to the store.
+        other = SynthesisCache()
+        compiled = _compile(cache=other)
+        key = next(iter(other.keys()))
+        from repro.service.serialize import compiled_query_to_json
+
+        store.put(key, compiled_query_to_json(compiled))
+        assert cache.get(key) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 0
+
+
+def test_format_version_mismatch_refuses(tmp_path):
+    path = tmp_path / "store.db"
+    SQLiteStore(path).close()
+    # Corrupt the version the way an incompatible writer would.
+    import sqlite3
+
+    conn = sqlite3.connect(path)
+    with conn:
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'format_version'",
+            (str(CACHE_FORMAT_VERSION + 1),),
+        )
+    conn.close()
+    with pytest.raises(StoreFormatError):
+        SQLiteStore(path)
+
+
+def test_flat_file_interop(tmp_path):
+    """Store ↔ SynthesisCache.save files round-trip losslessly."""
+    cache = SynthesisCache()
+    compiled = _compile(cache=cache)
+    flat = tmp_path / "cache.json"
+    cache.save(flat)
+
+    with SQLiteStore(tmp_path / "store.db") as store:
+        assert store.import_cache_json(flat) == 1
+        exported = tmp_path / "exported.json"
+        assert store.export_cache_json(exported) == 1
+        reloaded = SynthesisCache.load(exported)
+        key = next(iter(cache.keys()))
+        hit = reloaded.get(key)
+        assert hit is not None
+        assert hit.qinfo.under_indset == compiled.qinfo.under_indset
+
+
+def test_import_rejects_incompatible_flat_file(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"version": 1, "entries": {}}))
+    with SQLiteStore(tmp_path / "store.db") as store:
+        with pytest.raises(StoreFormatError):
+            store.import_cache_json(bad)

@@ -1,0 +1,93 @@
+"""ShardedCompilePool: routing, codec fidelity, admission control."""
+
+import pytest
+
+from repro.core.plugin import CompileOptions, compile_query
+from repro.lang.parser import parse_bool
+from repro.lang.secrets import SecretSpec
+from repro.server.workers import ShardOverloaded, ShardedCompilePool, shard_of
+
+SPEC = SecretSpec.declare("UserLoc", x=(0, 99), y=(0, 99))
+OPTIONS = CompileOptions(domain="interval", modes=("under", "over"))
+QUERY = "abs(x - 50) + abs(y - 50) <= 30"
+#: The same query as another tenant writes it (commuted ``+``).
+QUERY_REORDERED = "abs(y - 50) + abs(x - 50) <= 30"
+
+
+def test_alpha_equivalent_queries_route_to_same_shard():
+    a, b = parse_bool(QUERY), parse_bool(QUERY_REORDERED)
+    for shards in (2, 3, 7):
+        assert shard_of(a, shards) == shard_of(b, shards)
+    pool = ShardedCompilePool(4, inline=True)
+    assert pool.shard_for(QUERY) == pool.shard_for(QUERY_REORDERED)
+
+
+def test_routing_is_stable_and_in_range():
+    queries = [f"x <= {t}" for t in range(20)]
+    pool = ShardedCompilePool(4, inline=True)
+    shards = [pool.shard_for(q) for q in queries]
+    assert shards == [pool.shard_for(q) for q in queries]
+    assert all(0 <= s < 4 for s in shards)
+    # The hash spreads work: 20 distinct queries never pile onto one shard.
+    assert len(set(shards)) > 1
+
+
+def test_inline_compile_matches_local_compile():
+    pool = ShardedCompilePool(2, inline=True)
+    future = pool.submit("q", QUERY, SPEC, OPTIONS)
+    compiled, provenance = pool.decode(future.result())
+    local = compile_query("q", QUERY, SPEC, OPTIONS)
+    assert compiled.name == "q"
+    assert compiled.qinfo.under_indset == local.qinfo.under_indset
+    assert compiled.qinfo.over_indset == local.qinfo.over_indset
+    assert all(report.verified for report in compiled.reports.values())
+    assert provenance["shard_cache_hit"] is False
+    assert pool.total_submitted() == 1
+
+
+def test_shard_local_cache_skips_resynthesis():
+    pool = ShardedCompilePool(1, inline=True)
+    first = pool.submit("a", QUERY, SPEC, OPTIONS).result()
+    second = pool.submit("b", QUERY_REORDERED, SPEC, OPTIONS).result()
+    _, prov1 = pool.decode(first)
+    _, prov2 = pool.decode(second)
+    compiled_b, _ = pool.decode(second)
+    assert prov2["shard_cache_hit"] is True or prov1["shard_cache_hit"] is True
+    assert compiled_b.name == "b"
+
+
+def test_admission_control_sheds_at_bound():
+    pool = ShardedCompilePool(1, max_pending=2, inline=True)
+    # Hold reservations open the way in-flight process jobs would.
+    pool._reserve(0)
+    pool._reserve(0)
+    with pytest.raises(ShardOverloaded):
+        pool.submit("q", QUERY, SPEC, OPTIONS)
+    assert pool.total_shed() == 1
+    pool._release(0)
+    # One slot free again: the job is admitted.
+    future = pool.submit("q", QUERY, SPEC, OPTIONS)
+    compiled, _ = pool.decode(future.result())
+    assert compiled.name == "q"
+    pool._release(0)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        ShardedCompilePool(0)
+    with pytest.raises(ValueError):
+        ShardedCompilePool(1, max_pending=0)
+
+
+def test_process_pool_compiles_and_shuts_down():
+    """The real process path: fork, compile remotely, decode, tear down."""
+    with ShardedCompilePool(2) as pool:
+        futures = [
+            pool.submit(f"q{t}", f"x <= {t}", SPEC, OPTIONS) for t in (10, 60)
+        ]
+        for t, future in zip((10, 60), futures):
+            compiled, provenance = pool.decode(future.result(timeout=60))
+            local = compile_query(f"q{t}", f"x <= {t}", SPEC, OPTIONS)
+            assert compiled.qinfo.under_indset == local.qinfo.under_indset
+            assert isinstance(provenance["pid"], int)
+    assert pool.total_submitted() == 2

@@ -130,3 +130,36 @@ class TestWarmStartFacade:
         assert receipt.cache_hit
         warmed.open_session("alice", (SPEC, (3, 4)))
         assert warmed.handle(DowngradeRequest("alice", "q")).authorized
+
+
+def test_concurrent_registrations_synthesize_once():
+    """Two threads racing to register the same fresh problem must not
+    both pay for synthesis: the loser waits on the compile lock and then
+    reads the winner's artifact out of the cache."""
+    import threading
+
+    from repro.lang.secrets import SecretSpec
+    from repro.monad.policy import size_above
+
+    spec = SecretSpec.declare("RaceLoc", x=(0, 99), y=(0, 99))
+    service = DeclassificationService(size_above(10))
+    receipts = {}
+    barrier = threading.Barrier(2)
+
+    def register(name):
+        barrier.wait()
+        receipts[name] = service.register_query(
+            CompileRequest(name, "abs(x - 40) + abs(y - 40) <= 25", spec)
+        )
+
+    threads = [
+        threading.Thread(target=register, args=(n,)) for n in ("a", "b")
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sorted(r.cache_hit for r in receipts.values()) == [False, True]
+    assert service.cache.stats.misses == 1
+    assert service.cache.stats.hits == 1
+    assert sorted(service.registry.names()) == ["a", "b"]

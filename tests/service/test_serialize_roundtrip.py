@@ -1,0 +1,194 @@
+"""Regression net for the artifact codecs and the v2 cache key.
+
+The serving runtime trusts these codecs twice over: the store persists
+exactly what they emit, and worker processes ship artifacts through them.
+A field silently dropped on decode would quietly corrupt warm-started
+proofs or stats, so every dataclass field is checked *by introspection* —
+a field added to :class:`~repro.core.plugin.ModeReport`,
+:class:`~repro.refine.checker.Certificate`,
+:class:`~repro.core.plugin.CompileOptions`, or
+:class:`~repro.core.synth.SynthOptions` without codec (and cache-key)
+support fails here, not in production.
+"""
+
+import dataclasses
+import json
+
+from repro.core.plugin import CompileOptions, ModeReport, compile_query
+from repro.core.synth import SynthOptions
+from repro.lang.secrets import SecretSpec
+from repro.refine.checker import Certificate, CheckOutcome
+from repro.service.cache import cache_key
+from repro.service.serialize import (
+    compiled_query_from_json,
+    compiled_query_to_json,
+    options_from_json,
+    options_to_json,
+)
+
+SPEC = SecretSpec.declare("Tiny", x=(0, 15), y=(0, 15))
+OPTIONS = CompileOptions(domain="powerset", k=2, modes=("under", "over"))
+QUERY = "abs(x - 8) + abs(y - 8) <= 5"
+
+
+def _sentinel_for(field: dataclasses.Field, index: int):
+    """A distinctive, type-correct value for one dataclass field."""
+    if field.type in ("int", int):
+        return 1000 + index
+    if field.type in ("float", float):
+        return 0.5 + index
+    if field.type in ("bool", bool):
+        return True
+    if field.type in ("str", str):
+        return f"sentinel-{index}"
+    raise AssertionError(
+        f"add a sentinel rule for new field {field.name!r}: {field.type!r}"
+    )
+
+
+def test_compiled_query_roundtrips_exactly():
+    compiled = compile_query("q", QUERY, SPEC, OPTIONS)
+    data = json.loads(json.dumps(compiled_query_to_json(compiled)))
+    restored = compiled_query_from_json(data)
+    assert restored.qinfo == compiled.qinfo
+    assert restored.reports == compiled.reports
+    assert restored.validation == compiled.validation
+
+
+def test_mode_report_fields_all_roundtrip():
+    """Every scalar ModeReport field — including the PR 3 stats
+    ``fused_rounds``/``probe_fronts``/``front_boxes`` — survives exactly."""
+    compiled = compile_query("q", QUERY, SPEC, OPTIONS)
+    report = compiled.reports["under"]
+    scalars = [
+        f
+        for f in dataclasses.fields(ModeReport)
+        if f.type in ("int", "float", "bool", int, float, bool)
+    ]
+    assert {f.name for f in scalars} >= {
+        "synth_time",
+        "verify_time",
+        "timed_out",
+        "solver_nodes",
+        "solver_splits",
+        "vector_boxes",
+        "fused_rounds",
+        "probe_fronts",
+        "front_boxes",
+    }
+    poisoned = dataclasses.replace(
+        report,
+        **{f.name: _sentinel_for(f, i) for i, f in enumerate(scalars)},
+    )
+    compiled = dataclasses.replace(compiled, reports={"under": poisoned})
+    restored = compiled_query_from_json(
+        json.loads(json.dumps(compiled_query_to_json(compiled)))
+    )
+    for f in scalars:
+        assert getattr(restored.reports["under"], f.name) == getattr(
+            poisoned, f.name
+        ), f"ModeReport.{f.name} dropped or mangled by the codec"
+
+
+def test_certificate_fields_all_roundtrip():
+    compiled = compile_query("q", QUERY, SPEC, OPTIONS)
+    report = compiled.reports["under"]
+    assert report.true_outcome is not None
+    cert = report.true_outcome.certificates[0]
+    fields = dataclasses.fields(Certificate)
+    poisoned = dataclasses.replace(
+        cert, **{f.name: _sentinel_for(f, i) for i, f in enumerate(fields)}
+    )
+    outcome = CheckOutcome((poisoned,))
+    compiled = dataclasses.replace(
+        compiled,
+        reports={"under": dataclasses.replace(report, true_outcome=outcome)},
+    )
+    restored = compiled_query_from_json(
+        json.loads(json.dumps(compiled_query_to_json(compiled)))
+    )
+    restored_cert = restored.reports["under"].true_outcome.certificates[0]
+    for f in fields:
+        assert getattr(restored_cert, f.name) == getattr(
+            poisoned, f.name
+        ), f"Certificate.{f.name} dropped or mangled by the codec"
+
+
+def test_options_roundtrip_covers_every_field():
+    options = CompileOptions(
+        domain="powerset",
+        k=5,
+        modes=("over",),
+        verify=False,
+        synth=SynthOptions(
+            time_budget=None,
+            seed_pops=123,
+            growth="lexicographic",
+            use_kernels=False,
+            vector_threshold=7,
+            fused_probes=False,
+            incremental_seed=False,
+            legacy_splits=True,
+        ),
+    )
+    assert options_from_json(json.loads(json.dumps(options_to_json(options)))) == options
+    # Defaults round-trip too (None/None for the optional knobs).
+    assert options_from_json(options_to_json(CompileOptions())) == CompileOptions()
+    # The codec names every field of both dataclasses.
+    payload = options_to_json(CompileOptions())
+    top = {f.name for f in dataclasses.fields(CompileOptions)} - {"synth"}
+    assert top <= set(payload)
+    synth = {f.name for f in dataclasses.fields(SynthOptions)}
+    assert synth <= set(payload["synth"])
+
+
+def _flip(options: CompileOptions, field_name: str) -> CompileOptions:
+    """A copy of ``options`` with one (possibly nested) field changed."""
+    alternates = {
+        "domain": "powerset",
+        "k": 9,
+        "modes": ("under",),
+        "verify": False,
+        "time_budget": 3.25,
+        "seed_pops": 777,
+        "growth": "lexicographic",
+        "use_kernels": False,
+        "vector_threshold": 5,
+        "fused_probes": False,
+        "incremental_seed": False,
+        "legacy_splits": True,
+    }
+    value = alternates[field_name]
+    if field_name in {f.name for f in dataclasses.fields(CompileOptions)}:
+        return dataclasses.replace(options, **{field_name: value})
+    return dataclasses.replace(
+        options, synth=dataclasses.replace(options.synth, **{field_name: value})
+    )
+
+
+def test_cache_key_is_sensitive_to_every_synthesis_knob():
+    """The v2 cache key must change when any compile knob changes —
+    including the PR 3 additions ``fused_probes``/``incremental_seed``."""
+    base = CompileOptions()
+    query = "x <= 7"
+    baseline = cache_key(_parse(query), SPEC, base)
+    knobs = [f.name for f in dataclasses.fields(CompileOptions) if f.name != "synth"]
+    knobs += [f.name for f in dataclasses.fields(SynthOptions)]
+    for knob in knobs:
+        flipped = cache_key(_parse(query), SPEC, _flip(base, knob))
+        assert flipped != baseline, f"cache key ignores option {knob!r}"
+    # And to the semantic inputs themselves.
+    assert cache_key(_parse("x <= 8"), SPEC, base) != baseline
+    other_spec = SecretSpec.declare("Tiny", x=(0, 15), y=(0, 16))
+    assert cache_key(_parse(query), other_spec, base) != baseline
+    # But NOT to alpha-equivalent reorderings (that is the whole point).
+    assert (
+        cache_key(_parse("(x + y) <= 7"), SPEC, base)
+        == cache_key(_parse("(y + x) <= 7"), SPEC, base)
+    )
+
+
+def _parse(text: str):
+    from repro.lang.parser import parse_bool
+
+    return parse_bool(text)
