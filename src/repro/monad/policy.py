@@ -15,8 +15,8 @@ the property on concrete chains.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
 
 from repro.domains.base import AbstractDomain
 
@@ -32,10 +32,19 @@ __all__ = [
 
 @dataclass(frozen=True)
 class QuantitativePolicy:
-    """A named predicate over knowledge domains."""
+    """A named predicate over knowledge domains.
+
+    ``encoding`` is an optional structural description of the predicate
+    (set by the combinators in this module) that lets a policy cross a
+    process boundary — the sharded serving tier ships policies to worker
+    processes as JSON via :func:`repro.service.serialize.policy_to_json`.
+    Hand-built policies with opaque lambdas leave it ``None`` and remain
+    fully usable in-process.
+    """
 
     name: str
     predicate: Callable[[AbstractDomain], bool]
+    encoding: dict[str, Any] | None = field(default=None, compare=False)
 
     def __call__(self, knowledge: AbstractDomain) -> bool:
         return self.predicate(knowledge)
@@ -49,6 +58,7 @@ def size_above(threshold: int) -> QuantitativePolicy:
     return QuantitativePolicy(
         name=f"size > {threshold}",
         predicate=lambda knowledge: knowledge.size() > threshold,
+        encoding={"kind": "size_above", "threshold": threshold},
     )
 
 
@@ -57,7 +67,17 @@ def size_at_least(threshold: int) -> QuantitativePolicy:
     return QuantitativePolicy(
         name=f"size >= {threshold}",
         predicate=lambda knowledge: knowledge.size() >= threshold,
+        encoding={"kind": "size_at_least", "threshold": threshold},
     )
+
+
+def _combined_encoding(
+    kind: str, policies: Sequence[QuantitativePolicy]
+) -> dict[str, Any] | None:
+    parts = [p.encoding for p in policies]
+    if any(part is None for part in parts):
+        return None
+    return {"kind": kind, "parts": parts}
 
 
 def all_of(*policies: QuantitativePolicy) -> QuantitativePolicy:
@@ -65,6 +85,7 @@ def all_of(*policies: QuantitativePolicy) -> QuantitativePolicy:
     return QuantitativePolicy(
         name=" and ".join(p.name for p in policies) or "true",
         predicate=lambda knowledge: all(p(knowledge) for p in policies),
+        encoding=_combined_encoding("all_of", policies),
     )
 
 
@@ -73,6 +94,7 @@ def any_of(*policies: QuantitativePolicy) -> QuantitativePolicy:
     return QuantitativePolicy(
         name=" or ".join(p.name for p in policies) or "false",
         predicate=lambda knowledge: any(p(knowledge) for p in policies),
+        encoding=_combined_encoding("any_of", policies),
     )
 
 

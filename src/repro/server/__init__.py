@@ -12,17 +12,24 @@ layer ROADMAP's "heavy traffic" north star asks for:
   sheds load past configured bounds;
 * :mod:`repro.server.workers` — a
   :class:`~repro.server.workers.ShardedCompilePool` running synthesis in
-  worker processes, sharded by canonical query hash so each shard's
-  memos stay hot, with per-shard admission control;
+  worker processes sharded by canonical query hash so each shard's memos
+  stay hot, and a :class:`~repro.server.workers.ServingShardPool`
+  running the warm downgrade path in worker processes sharded by user id
+  so batch evaluation escapes the gateway's GIL;
 * :mod:`repro.server.store` — a durable
   :class:`~repro.server.store.SQLiteStore` of compiled artifacts
-  (speaking the :mod:`repro.service.cache` v2 key/codec format) that
-  warm-starts the whole runtime across restarts;
+  (speaking the :mod:`repro.service.cache` v2 key/codec format) *and*
+  per-user ledger bounds, warm-starting the whole runtime — budgets
+  included — across restarts;
 * :mod:`repro.server.ledger` — a
   :class:`~repro.server.ledger.PrivacyBudgetLedger` folding every
   answered query into per-user cumulative knowledge bounds and refusing
   queries that would cross a policy floor, making *multi-query
-  composition* an enforced budget instead of implicit session state.
+  composition* an enforced budget instead of implicit session state;
+  optionally durable (any :class:`~repro.server.ledger.LedgerBackend`)
+  and decaying (:class:`~repro.server.ledger.DecayPolicy` +
+  :meth:`advance_epoch
+  <repro.server.ledger.PrivacyBudgetLedger.advance_epoch>`).
 """
 
 from repro.server.gateway import (
@@ -33,18 +40,25 @@ from repro.server.gateway import (
     ServerStats,
 )
 from repro.server.ledger import (
+    LEDGER_FORMAT_VERSION,
     BudgetAccount,
     ChargeRecord,
+    DecayPolicy,
+    LedgerBackend,
     LedgerDecision,
+    LedgerFormatError,
     LedgerInvariantError,
     PrivacyBudgetLedger,
 )
 from repro.server.store import SQLiteStore, StoreFormatError
 from repro.server.workers import (
+    ServingShardPool,
     ShardedCompilePool,
     ShardOverloaded,
     ShardStats,
     compile_payload,
+    serve_payload,
+    serve_shard_of,
     shard_of,
 )
 
@@ -54,16 +68,23 @@ __all__ = [
     "ServerConfig",
     "ServerOverloaded",
     "ServerStats",
+    "LEDGER_FORMAT_VERSION",
     "BudgetAccount",
     "ChargeRecord",
+    "DecayPolicy",
+    "LedgerBackend",
     "LedgerDecision",
+    "LedgerFormatError",
     "LedgerInvariantError",
     "PrivacyBudgetLedger",
     "SQLiteStore",
     "StoreFormatError",
+    "ServingShardPool",
     "ShardedCompilePool",
     "ShardOverloaded",
     "ShardStats",
     "compile_payload",
+    "serve_payload",
+    "serve_shard_of",
     "shard_of",
 ]

@@ -3,14 +3,19 @@
 This is the composition root of the serving runtime::
 
     clients ──► DeclassificationServer (asyncio)
-                  │ compile path          │ downgrade path
+                  │ compile path          │ downgrade path (per-tick batches)
                   ▼                       ▼
-            ShardedCompilePool      per-tick batches ──► SessionManager
-              (process shards)            │                   │
-                  │                 PrivacyBudgetLedger   DeclassificationService
-                  ▼                  (admission/commit)       (audit trail)
-            SynthesisCache ◄──────────────┘
-                  │ write-through / warm start
+            ShardedCompilePool      ServingShardPool ── or ── SessionManager
+              (process shards)      (process shards,          (gateway-local,
+                  │                  routed by user id)        the default)
+                  │                       │  SessionManager          │
+                  │                       │  + shard ledger          │
+                  │                       ▼                          ▼
+                  │                 PrivacyBudgetLedger ◄── admission/commit
+                  │                  (durable gateway mirror)
+                  ▼                       │ ledger deltas
+            SynthesisCache ◄──────────────┤
+                  │ write-through / warm start / ledger_bounds
                   ▼
               SQLiteStore
 
@@ -32,12 +37,28 @@ reaches the session layer at all: the session's knowledge, the user's
 bounds, and the response are all untouched — only the refusal itself is
 observable.
 
+**Where downgrades execute** is configurable.  By default
+(``serving_shards=0``) batches run on gateway worker threads against the
+service's own :class:`~repro.service.session.SessionManager` — simple,
+and right for small deployments.  With ``serving_shards=N`` the warm
+path moves off the gateway entirely: sessions route by
+:func:`~repro.server.workers.serve_shard_of` over the durable user id to
+one of N single-process serving shards, each owning the sessions *and*
+the ledger accounts of its users, so batch evaluation runs under N
+independent GILs.  Shards are enforcement-authoritative; the gateway
+keeps a durable *mirror* ledger and folds the bound deltas each shard
+returns into it (write-through to the store), so durability needs no
+cross-process SQLite writers.
+
 Restart story: everything the runtime must not lose — compiled artifacts
-— lives in the store; everything else (sessions, queues, in-flight
-futures) is ephemeral by design.  Boot = construct a server on the same
-store path; the cache preloads every artifact and previously-served
-queries register with zero shard jobs (the kill-and-restart test in
-``tests/server/test_gateway.py`` asserts exactly that).
+and ledger bounds — lives in the store; everything else (sessions,
+queues, in-flight futures, shard-local serving state) is ephemeral by
+design.  Boot = construct a server on the same store path; the cache
+preloads every artifact, previously-served queries register with zero
+shard jobs, and the mirror ledger reloads every user's bounds — a
+restarted server refuses exactly what the killed one refused (the
+kill-and-restart tests in ``tests/server/test_gateway.py`` assert
+exactly that).
 """
 
 from __future__ import annotations
@@ -47,12 +68,18 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.core.plugin import CompileOptions
+from repro.lang.canonical import spec_to_json
 from repro.lang.parser import parse_bool
 from repro.lang.secrets import SecretSpec, SecretValue
 from repro.monad.policy import QuantitativePolicy
 from repro.monad.protected import ProtectedSecret
-from repro.server.ledger import PrivacyBudgetLedger
-from repro.server.workers import ShardedCompilePool, ShardOverloaded
+from repro.server.ledger import DecayPolicy, PrivacyBudgetLedger
+from repro.server.workers import (
+    ServingShardPool,
+    ShardedCompilePool,
+    ShardOverloaded,
+    rounds_by_user,
+)
 from repro.service.api import (
     BatchDowngradeRequest,
     CompileRequest,
@@ -60,6 +87,7 @@ from repro.service.api import (
     DowngradeResult,
 )
 from repro.service.cache import CacheBackend, SynthesisCache
+from repro.service.serialize import compiled_query_to_json, policy_to_json
 from repro.service.session import Session
 
 __all__ = [
@@ -89,6 +117,12 @@ class ServerConfig:
     tick_interval: float = 0.002
     #: Run compiles synchronously in-process instead of shard processes.
     inline_compiles: bool = False
+    #: Serving shards (single-worker processes, routed by user id).
+    #: 0 = serve batches on gateway worker threads (the default).
+    serving_shards: int = 0
+    #: Run serving-shard payloads synchronously in-process (tests,
+    #: single-core deployments); only meaningful with ``serving_shards``.
+    inline_serving: bool = False
     #: Approximation mode driving enforcement (the paper uses ``under``).
     mode: str = "under"
     #: Check the policy on both posteriors before running a query.
@@ -148,6 +182,7 @@ class DeclassificationServer:
         policy: QuantitativePolicy,
         *,
         budget_floor: QuantitativePolicy | None = None,
+        budget_decay: DecayPolicy | None = None,
         store: CacheBackend | None = None,
         options: CompileOptions = CompileOptions(),
         config: ServerConfig = ServerConfig(),
@@ -155,6 +190,7 @@ class DeclassificationServer:
         self.config = config
         self.default_options = options
         self.store = store
+        self.budget_decay = budget_decay
         cache = SynthesisCache(backend=store)
         self.service = DeclassificationService(
             policy,
@@ -163,17 +199,42 @@ class DeclassificationServer:
             mode=config.mode,
             check_both=config.check_both,
         )
+        # A store that also speaks LedgerBackend (e.g. SQLiteStore) makes
+        # the ledger durable; a plain artifact backend leaves it in-memory.
+        ledger_store = store if hasattr(store, "put_ledger_bound") else None
         self.ledger = (
-            None if budget_floor is None else PrivacyBudgetLedger(budget_floor)
+            None
+            if budget_floor is None
+            else PrivacyBudgetLedger(
+                budget_floor, store=ledger_store, decay=budget_decay
+            )
         )
         self.pool = ShardedCompilePool(
             config.shards,
             max_pending=config.max_pending_compiles,
             inline=config.inline_compiles,
         )
+        self.serving_pool: ServingShardPool | None = None
+        if config.serving_shards > 0:
+            # Fail at construction, not first flush: shard serving ships
+            # the policies as JSON, so they need structural encodings.
+            policy_to_json(policy)
+            if budget_floor is not None:
+                policy_to_json(budget_floor)
+            self.serving_pool = ServingShardPool(
+                config.serving_shards, inline=config.inline_serving
+            )
         self.stats = ServerStats(warm_entries=len(cache))
         #: Session id → durable user id for the ledger.
         self._users: dict[str, str] = {}
+        #: Shard-mode session handles (the shard owns the live state).
+        self._shard_sessions: dict[str, Session] = {}
+        #: Pending ops per serving shard, shipped before its next batch.
+        self._shard_ops: dict[int, list[dict[str, Any]]] = {}
+        #: Serving shards whose configure op has been queued.
+        self._shard_configured: set[int] = set()
+        #: Query names attached (artifact shipped) per serving shard.
+        self._shard_queries: dict[int, set[str]] = {}
         #: Compile futures keyed by cache key; waiters coalesce onto them.
         self._inflight: dict[str, asyncio.Future] = {}
         #: Queued downgrades, grouped by query name for per-tick batching.
@@ -297,15 +358,126 @@ class DeclassificationServer:
         ``user_id`` defaults to the session id; pass the same user for
         successive sessions to make the budget survive reconnects (the
         whole point of the ledger).
+
+        In shard-serving mode the live session state lives on the user's
+        shard (the open op ships with the next batch to that shard,
+        order-preserved); the returned :class:`Session` is the gateway's
+        handle, and its knowledge field stays ``None``.
         """
-        session = self.service.open_session(session_id, secret)
-        self._users[session_id] = user_id if user_id is not None else session_id
+        if self.serving_pool is None:
+            session = self.service.open_session(session_id, secret)
+            self._users[session_id] = (
+                user_id if user_id is not None else session_id
+            )
+            return session
+        if session_id in self._shard_sessions:
+            raise ValueError(f"session {session_id!r} already open")
+        if not isinstance(secret, ProtectedSecret):
+            spec, value = secret
+            secret = ProtectedSecret.seal(spec, value)
+        user = user_id if user_id is not None else session_id
+        spec = secret.spec
+        bounds = None
+        if self.ledger is not None:
+            # Snapshot the mirror's durable bounds so a restarted shard
+            # resumes enforcement where the killed one stopped.
+            bounds = {spec.name: self.ledger.export_bound(user, spec)}
+        self._ops_for(self.serving_pool.shard_for(user)).append(
+            {
+                "op": "open_session",
+                "session_id": session_id,
+                "user_id": user,
+                "spec": spec_to_json(spec),
+                # Raw value crosses to the shard inside the TCB; the
+                # shard process re-seals it on arrival.
+                "value": list(secret.unprotect_tcb()),
+                "bounds": bounds,
+            }
+        )
+        session = Session(session_id=session_id, secret=secret)
+        self._shard_sessions[session_id] = session
+        self._users[session_id] = user
         return session
 
     def close_session(self, session_id: str) -> Session:
         """Close a session.  The user's ledger account (budget) remains."""
-        self._users.pop(session_id, None)
-        return self.service.close_session(session_id)
+        if self.serving_pool is None:
+            self._users.pop(session_id, None)
+            return self.service.close_session(session_id)
+        try:
+            session = self._shard_sessions.pop(session_id)
+        except KeyError:
+            raise KeyError(f"no open session {session_id!r}") from None
+        user = self._users.pop(session_id, session_id)
+        self._ops_for(self.serving_pool.shard_for(user)).append(
+            {"op": "close_session", "session_id": session_id}
+        )
+        return session
+
+    # -- serving-shard op plumbing --------------------------------------------
+    def _ops_for(self, shard: int) -> list[dict[str, Any]]:
+        """The pending op list for a shard, configure op first-ever."""
+        ops = self._shard_ops.get(shard)
+        if ops is None:
+            ops = []
+            if shard not in self._shard_configured:
+                ops.append(self._configure_op())
+                self._shard_configured.add(shard)
+            self._shard_ops[shard] = ops
+        return ops
+
+    def _configure_op(self) -> dict[str, Any]:
+        return {
+            "op": "configure",
+            "policy": policy_to_json(self.manager.policy),
+            "floor": (
+                None if self.ledger is None else policy_to_json(self.ledger.floor)
+            ),
+            "decay": (
+                None if self.budget_decay is None else self.budget_decay.to_json()
+            ),
+            "mode": self.config.mode,
+            "check_both": self.config.check_both,
+        }
+
+    def _ensure_attached(
+        self, shard: int, query_name: str, ops: list[dict[str, Any]]
+    ) -> None:
+        """Ship the compiled artifact to a shard the first time it serves it."""
+        attached = self._shard_queries.setdefault(shard, set())
+        if query_name in attached:
+            return
+        compiled = self.manager.registry.lookup(query_name)
+        if compiled is None:
+            # Unknown here is unknown there: the shard's registry lookup
+            # will produce the standard "Can't downgrade" refusal.
+            return
+        ops.append(
+            {
+                "op": "attach_query",
+                "name": query_name,
+                "artifact": compiled_query_to_json(compiled),
+            }
+        )
+        attached.add(query_name)
+
+    def advance_epoch(self, epochs: int = 1) -> int:
+        """Advance budget decay on the mirror ledger and every serving shard.
+
+        The durable mirror advances (and persists) immediately — covering
+        users with stored bounds but no live session; shards apply the
+        queued epoch op before their next batch.  Returns the new epoch.
+        Requires ``budget_floor`` and ``budget_decay``.
+        """
+        if self.ledger is None:
+            raise ValueError("advance_epoch requires a budget_floor")
+        epoch = self.ledger.advance_epoch(epochs)
+        if self.serving_pool is not None:
+            for shard in sorted(self._shard_configured):
+                self._ops_for(shard).append(
+                    {"op": "advance_epoch", "epochs": epochs}
+                )
+        return epoch
 
     # -- downgrade path --------------------------------------------------------
     async def downgrade(self, session_id: str, query_name: str) -> DowngradeResult:
@@ -339,6 +511,8 @@ class DeclassificationServer:
             queue, self._queue = self._queue, {}
             self._queued -= sum(len(waiters) for waiters in queue.values())
             self.stats.ticks += 1 if queue else 0
+            if self.serving_pool is not None:
+                return await self._flush_sharded(queue)
             served = 0
             groups = list(queue.items())
             for index, (query_name, waiters) in enumerate(groups):
@@ -372,6 +546,87 @@ class DeclassificationServer:
             self.stats.downgrades_served += served
             return served
 
+    async def _flush_sharded(
+        self, queue: dict[str, list[_PendingDowngrade]]
+    ) -> int:
+        """Serve one flush through the serving shards (holds the flush lock).
+
+        Every query group is partitioned by the shard owning each
+        waiter's user; each touched shard receives ONE payload — its
+        pending session/epoch ops first, then an ``attach_query`` for
+        any artifact it has not seen, then its ``downgrade_batch`` ops —
+        and all shard jobs run concurrently.  Responses carry the
+        results plus the shard's ledger deltas, which are folded into
+        the gateway's durable mirror before any waiter resolves: by the
+        time a caller sees a result, the bound it charged is persistent.
+        """
+        assert self.serving_pool is not None
+        batches: dict[int, list[tuple[str, list[_PendingDowngrade]]]] = {}
+        for query_name, waiters in queue.items():
+            per_shard: dict[int, list[_PendingDowngrade]] = {}
+            for pending in waiters:
+                user = self._users.get(pending.session_id, pending.session_id)
+                shard = self.serving_pool.shard_for(user)
+                per_shard.setdefault(shard, []).append(pending)
+            for shard, shard_waiters in per_shard.items():
+                batches.setdefault(shard, []).append((query_name, shard_waiters))
+
+        jobs: list[
+            tuple[list[tuple[str, list[_PendingDowngrade]]], asyncio.Future]
+        ] = []
+        for shard, groups in batches.items():
+            ops = self._ops_for(shard)
+            del self._shard_ops[shard]
+            for query_name, shard_waiters in groups:
+                self._ensure_attached(shard, query_name, ops)
+                ops.append(
+                    {
+                        "op": "downgrade_batch",
+                        "query_name": query_name,
+                        "session_ids": [p.session_id for p in shard_waiters],
+                    }
+                )
+            future = asyncio.wrap_future(self.serving_pool.submit(shard, ops))
+            jobs.append((groups, future))
+
+        served = 0
+        for index, (groups, future) in enumerate(jobs):
+            try:
+                response = ServingShardPool.decode(await future)
+            except asyncio.CancelledError:
+                for later_groups, later_future in jobs[index:]:
+                    later_future.cancel()
+                    for _name, shard_waiters in later_groups:
+                        for pending in shard_waiters:
+                            if not pending.future.done():
+                                pending.future.cancel()
+                raise
+            except Exception as exc:
+                for _name, shard_waiters in groups:
+                    for pending in shard_waiters:
+                        if not pending.future.done():
+                            pending.future.set_exception(exc)
+                continue
+            if self.ledger is not None:
+                for delta in response["deltas"]:
+                    self.ledger.apply_payload(
+                        delta["user_id"], delta["spec_name"], delta["payload"]
+                    )
+            self.stats.budget_refusals += response["budget_refusals"]
+            by_key = {
+                (result.query_name, result.session_id): result
+                for result in response["results"]
+            }
+            for query_name, shard_waiters in groups:
+                for pending in shard_waiters:
+                    if not pending.future.done():
+                        pending.future.set_result(
+                            by_key[(query_name, pending.session_id)]
+                        )
+                served += len(shard_waiters)
+        self.stats.downgrades_served += served
+        return served
+
     def _serve_batch(
         self, query_name: str, waiters: list[_PendingDowngrade]
     ) -> dict[str, DowngradeResult]:
@@ -397,19 +652,7 @@ class DeclassificationServer:
 
     def _rounds_by_user(self, ids: list[str]) -> list[list[str]]:
         """Partition session ids so no round repeats a ledger user."""
-        rounds: list[list[str]] = []
-        placed: list[set[str]] = []
-        for sid in ids:
-            user = self._users.get(sid, sid)
-            for round_ids, users in zip(rounds, placed):
-                if user not in users:
-                    round_ids.append(sid)
-                    users.add(user)
-                    break
-            else:
-                rounds.append([sid])
-                placed.append({user})
-        return rounds
+        return rounds_by_user(ids, self._users)
 
     def _serve_round(
         self,
@@ -463,6 +706,7 @@ class DeclassificationServer:
             return
 
         async def tick_forever() -> None:
+            """Flush on a fixed cadence until cancelled by :meth:`stop`."""
             try:
                 while True:
                     await asyncio.sleep(self.config.tick_interval)
@@ -486,8 +730,11 @@ class DeclassificationServer:
     # -- lifecycle -------------------------------------------------------------
     def shutdown(self) -> None:
         """Tear down the shard processes.  The store (if any) is the
-        caller's to close; compiled artifacts are already persisted."""
+        caller's to close; compiled artifacts and ledger bounds are
+        already persisted."""
         self.pool.shutdown()
+        if self.serving_pool is not None:
+            self.serving_pool.shutdown()
 
     def audit_summary(self) -> dict[str, Any]:
         """A compact operational snapshot (counters + component views)."""
@@ -499,6 +746,11 @@ class DeclassificationServer:
                 "misses": self.cache.stats.misses,
             },
             "shards": [vars(s) for s in self.pool.stats()],
-            "open_sessions": self.manager.open_count(),
+            "serving_shards": self.config.serving_shards,
+            "open_sessions": (
+                self.manager.open_count()
+                if self.serving_pool is None
+                else len(self._shard_sessions)
+            ),
             "audit_events": len(self.service.audit),
         }

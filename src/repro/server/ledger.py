@@ -34,15 +34,37 @@ clear the floor before the query runs, keeping the accept/refuse decision
 independent of the secret.  :meth:`~PrivacyBudgetLedger.evaluate` runs the
 whole Figure 2 ``downgrade`` against the ledger bound by delegating to
 :func:`~repro.monad.anosy.evaluate_downgrade` with the floor as policy.
+
+Two serving-scale concerns live here as well:
+
+* **Durability** — budgets are contracts attached to principals, not
+  per-process state.  With a ``store`` attached (any
+  :class:`LedgerBackend`, e.g. :class:`~repro.server.store.SQLiteStore`),
+  every bound mutation is written through as a format-versioned JSON
+  payload and the full account table is reloaded on attach, so a process
+  restart cannot launder a budget (bounds survive exactly like compiled
+  artifacts do).
+* **Decay** — a strict intersection fold means long-lived users
+  monotonically approach the floor and eventually saturate.  A
+  :class:`DecayPolicy` dilates every bound by a configured radius per
+  epoch (:meth:`~PrivacyBudgetLedger.advance_epoch`); dilation only ever
+  *grows* a bound, so the decayed bound remains a sound
+  over-approximation of any knowledge the attacker retains — the
+  property test in ``tests/server/test_ledger.py`` checks exactly that
+  ("decay is never tighter").
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Any, Iterator, Protocol
 
 from repro.core.qinfo import QInfo, intersect_knowledge
 from repro.domains.base import AbstractDomain
+from repro.domains.box import IntervalDomain
+from repro.domains.powerset import PowersetDomain
+from repro.lang.canonical import spec_from_json, spec_to_json
 from repro.lang.secrets import SecretSpec
 from repro.monad.anosy import (
     DowngradeDecision,
@@ -52,18 +74,52 @@ from repro.monad.anosy import (
 )
 from repro.monad.policy import QuantitativePolicy
 from repro.monad.protected import Unprotectable
+from repro.service.serialize import domain_from_json, domain_to_json
+from repro.solver.boxes import Box
 
 __all__ = [
+    "LEDGER_FORMAT_VERSION",
+    "LedgerBackend",
+    "LedgerFormatError",
     "LedgerInvariantError",
     "LedgerDecision",
     "ChargeRecord",
     "BudgetAccount",
+    "DecayPolicy",
     "PrivacyBudgetLedger",
 ]
+
+#: Bumped whenever the persisted bound payload changes incompatibly.
+LEDGER_FORMAT_VERSION = 1
+
+
+class LedgerFormatError(RuntimeError):
+    """A persisted ledger payload was written by an incompatible codec."""
 
 
 class LedgerInvariantError(RuntimeError):
     """A commit would have pushed a sound bound across the policy floor."""
+
+
+class LedgerBackend(Protocol):
+    """Durable storage for per-user knowledge bounds.
+
+    Payloads are the JSON dictionaries built by
+    :meth:`PrivacyBudgetLedger.export_bound`; the backend stores them
+    opaquely, keyed by ``(user_id, spec_name)``.
+    :class:`~repro.server.store.SQLiteStore` implements this next to its
+    artifact table, so one file holds everything a restart must not lose.
+    """
+
+    def put_ledger_bound(
+        self, user_id: str, spec_name: str, payload: dict[str, Any]
+    ) -> None:
+        """Durably store one user's bound payload (last write wins)."""
+        ...  # pragma: no cover - protocol
+
+    def ledger_bounds(self) -> Iterator[tuple[str, str, dict[str, Any]]]:
+        """Iterate all ``(user_id, spec_name, payload)`` rows."""
+        ...  # pragma: no cover - protocol
 
 
 @dataclass(frozen=True)
@@ -90,7 +146,12 @@ class ChargeRecord:
 
 @dataclass
 class BudgetAccount:
-    """One user's cumulative knowledge bounds, keyed by secret type."""
+    """One user's cumulative knowledge bounds, keyed by secret type.
+
+    Bounds are the durable contract (persisted through the attached
+    :class:`LedgerBackend`); ``charges`` and ``refusals`` are per-process
+    observability and reset on restart.
+    """
 
     user_id: str
     #: Sound (under-approximated) bounds; absent key = still the full space.
@@ -101,18 +162,104 @@ class BudgetAccount:
     refusals: int = 0
 
 
+@dataclass(frozen=True)
+class DecayPolicy:
+    """Budget decay: dilate knowledge bounds by a radius per epoch.
+
+    A strict intersection fold never forgets, so long-lived users drift
+    monotonically toward the floor.  Decay models attacker knowledge
+    going stale (secrets drift, answers age): each epoch every tracked
+    bound is *dilated* — interval boxes and powerset include-boxes widen
+    by ``radius`` cells per axis (clamped to the secret space), powerset
+    exclude-boxes shrink by the same radius (dropped when they collapse).
+    Every step only ever grows the represented set, so a decayed bound
+    is still a sound over-approximation of whatever the attacker
+    actually retains — decay can only make the ledger *more*
+    conservative about what it refuses, never less.
+    """
+
+    #: Cells of dilation per axis, per epoch (0 = decay disabled).
+    radius: int = 1
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError(f"radius must be >= 0, got {self.radius}")
+
+    def dilate(self, bound: AbstractDomain) -> AbstractDomain:
+        """One epoch's dilation of a bound (always ⊇ the input)."""
+        if self.radius == 0:
+            return bound
+        space = Box(bound.spec.bounds())
+        if isinstance(bound, IntervalDomain):
+            if bound.box is None:
+                return bound
+            return IntervalDomain(bound.spec, self._grow(bound.box, space))
+        if isinstance(bound, PowersetDomain):
+            include = tuple(self._grow(box, space) for box in bound.include)
+            exclude = tuple(
+                shrunk
+                for box in bound.exclude
+                if (shrunk := self._shrink(box)) is not None
+            )
+            return PowersetDomain(bound.spec, include, exclude)
+        raise TypeError(f"cannot dilate domain type {type(bound)}")
+
+    def _grow(self, box: Box, space: Box) -> Box:
+        return Box(
+            tuple(
+                (max(slo, lo - self.radius), min(shi, hi + self.radius))
+                for (lo, hi), (slo, shi) in zip(box.bounds, space.bounds)
+            )
+        )
+
+    def _shrink(self, box: Box) -> Box | None:
+        bounds = tuple(
+            (lo + self.radius, hi - self.radius) for lo, hi in box.bounds
+        )
+        if any(lo > hi for lo, hi in bounds):
+            return None
+        return Box(bounds)
+
+    def to_json(self) -> dict[str, Any]:
+        """Encode for the shard-process configure op."""
+        return {"radius": self.radius}
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "DecayPolicy":
+        """Decode a policy encoded by :meth:`to_json`."""
+        return cls(radius=int(data["radius"]))
+
+
 class PrivacyBudgetLedger:
     """Per-user cumulative knowledge bounds under a policy floor.
 
     ``floor`` is a monotone :class:`~repro.monad.policy.QuantitativePolicy`
     (e.g. ``size_above(10_000)``): the minimum uncertainty every user's
     sound bound must retain, across all queries they will ever ask.
+
+    ``store`` (optional) makes the ledger durable: every bound mutation
+    is written through to the backend and all persisted bounds are
+    reloaded on construction, format-version-guarded — a restarted
+    server refuses exactly what the killed one refused.  ``decay``
+    (optional) enables :meth:`advance_epoch`.
     """
 
-    def __init__(self, floor: QuantitativePolicy):
+    def __init__(
+        self,
+        floor: QuantitativePolicy,
+        *,
+        store: LedgerBackend | None = None,
+        decay: DecayPolicy | None = None,
+    ):
         self.floor = floor
+        self.store = store
+        self.decay = decay
+        self.epoch = 0
         self._accounts: dict[str, BudgetAccount] = {}
         self._lock = threading.RLock()
+        if store is not None:
+            for user_id, spec_name, payload in list(store.ledger_bounds()):
+                self.apply_payload(user_id, spec_name, payload, persist=False)
 
     # -- accounts ------------------------------------------------------------
     def account(self, user_id: str) -> BudgetAccount:
@@ -211,6 +358,7 @@ class PrivacyBudgetLedger:
                     posterior_size=posterior.size(),
                 )
             )
+            self._persist(user_id, qinfo.secret)
             return posterior
 
     def evaluate(
@@ -249,7 +397,93 @@ class PrivacyBudgetLedger:
             self.commit(user_id, qinfo, decision.response, mode=mode)
             return decision
 
+    # -- durability ----------------------------------------------------------
+    def export_bound(self, user_id: str, spec: SecretSpec) -> dict[str, Any]:
+        """The persistable payload of one user's bounds for one spec.
+
+        The same shape the backend stores and the shard tier ships as
+        ledger deltas: format version, the spec itself (so decoding
+        needs no external registry), both bounds, and the epoch.
+        """
+        with self._lock:
+            account = self.account(user_id)
+            sound = account.sound.get(spec.name)
+            complete = account.complete.get(spec.name)
+            return {
+                "version": LEDGER_FORMAT_VERSION,
+                "spec": spec_to_json(spec),
+                "sound": None if sound is None else domain_to_json(sound),
+                "complete": None if complete is None else domain_to_json(complete),
+                "epoch": self.epoch,
+            }
+
+    def apply_payload(
+        self,
+        user_id: str,
+        spec_name: str,
+        payload: dict[str, Any],
+        *,
+        persist: bool = True,
+    ) -> None:
+        """Overwrite one user's bounds from an :meth:`export_bound` payload.
+
+        Used on attach (reloading the backend) and by the gateway to fold
+        authoritative shard-side deltas into its durable mirror.  The
+        payload wins unconditionally — callers own the ordering.
+        """
+        version = payload.get("version")
+        if version != LEDGER_FORMAT_VERSION:
+            raise LedgerFormatError(
+                f"ledger payload for {user_id!r}/{spec_name!r} has format "
+                f"version {version!r}, this codec speaks {LEDGER_FORMAT_VERSION}"
+            )
+        spec = spec_from_json(payload["spec"])
+        with self._lock:
+            account = self.account(user_id)
+            for bounds, key in ((account.sound, "sound"), (account.complete, "complete")):
+                encoded = payload.get(key)
+                if encoded is None:
+                    bounds.pop(spec_name, None)
+                else:
+                    bounds[spec_name] = domain_from_json(encoded, spec)
+            self.epoch = max(self.epoch, int(payload.get("epoch", 0)))
+            if persist:
+                self._persist(user_id, spec)
+
+    # -- decay ---------------------------------------------------------------
+    def advance_epoch(self, epochs: int = 1) -> int:
+        """Dilate every tracked bound ``epochs`` times; returns the epoch.
+
+        Requires a :class:`DecayPolicy`.  Dilation only grows bounds
+        (soundness is preserved — see :class:`DecayPolicy`), so a user
+        parked at the floor regains budget as their stale knowledge
+        bound relaxes.  New bounds are written through to the store.
+        """
+        if self.decay is None:
+            raise ValueError("advance_epoch requires a DecayPolicy")
+        if epochs < 0:
+            raise ValueError(f"epochs must be >= 0, got {epochs}")
+        with self._lock:
+            self.epoch += epochs
+            for account in self._accounts.values():
+                specs: dict[str, SecretSpec] = {}
+                for bounds in (account.sound, account.complete):
+                    for spec_name, bound in list(bounds.items()):
+                        for _ in range(epochs):
+                            bound = self.decay.dilate(bound)
+                        bounds[spec_name] = bound
+                        specs[spec_name] = bound.spec
+                for spec in specs.values():
+                    self._persist(account.user_id, spec)
+            return self.epoch
+
     # -- internals -----------------------------------------------------------
+    def _persist(self, user_id: str, spec: SecretSpec) -> None:
+        if self.store is not None:
+            self.store.put_ledger_bound(
+                user_id, spec.name, self.export_bound(user_id, spec)
+            )
+
     def _sound_prior(self, account: BudgetAccount, qinfo: QInfo) -> AbstractDomain:
         bound = account.sound.get(qinfo.secret.name)
         return top_knowledge_for(qinfo) if bound is None else bound

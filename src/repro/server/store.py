@@ -16,6 +16,17 @@ every new compile is written through.  :meth:`export_cache_json` /
 :meth:`import_cache_json` interoperate with the flat-file format of
 :meth:`SynthesisCache.save <repro.service.cache.SynthesisCache.save>`, so
 existing warm-start files migrate into a store (and back) losslessly.
+
+The store also implements the :class:`~repro.server.ledger.LedgerBackend`
+protocol in a second table, ``ledger_bounds``: per ``(user, spec)``
+knowledge-bound payloads written through on every ledger commit and
+reloaded when a ledger attaches.  Budgets and artifacts thereby share one
+durability story — a restart that keeps warm artifacts keeps the budgets
+charged for them, closing the budget-laundering hole a memory-only ledger
+leaves open.  The ledger payload codec is versioned independently of the
+artifact codec (``ledger_format_version`` in the ``meta`` table); a store
+written before the ledger table existed adopts the current version on
+first open.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ import time
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.server.ledger import LEDGER_FORMAT_VERSION
 from repro.service.cache import CACHE_FORMAT_VERSION
 
 __all__ = ["StoreFormatError", "SQLiteStore"]
@@ -63,24 +75,39 @@ class SQLiteStore:
                     "  created_at REAL NOT NULL"
                     ")"
                 )
-                row = self._conn.execute(
-                    "SELECT value FROM meta WHERE key = 'format_version'"
-                ).fetchone()
-                if row is None:
-                    self._conn.execute(
-                        "INSERT INTO meta (key, value) "
-                        "VALUES ('format_version', ?)",
-                        (str(CACHE_FORMAT_VERSION),),
-                    )
-                elif int(row[0]) != CACHE_FORMAT_VERSION:
-                    raise StoreFormatError(
-                        f"store {self.path!r} has format version {row[0]}, "
-                        f"this codec speaks {CACHE_FORMAT_VERSION}"
-                    )
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS ledger_bounds ("
+                    "  user_id TEXT NOT NULL,"
+                    "  spec TEXT NOT NULL,"
+                    "  payload TEXT NOT NULL,"
+                    "  updated_at REAL NOT NULL,"
+                    "  PRIMARY KEY (user_id, spec)"
+                    ")"
+                )
+                self._check_version("format_version", CACHE_FORMAT_VERSION)
+                # Pre-ledger stores (no such meta row) adopt the current
+                # version: the table above was just created empty.
+                self._check_version("ledger_format_version", LEDGER_FORMAT_VERSION)
         except BaseException:
             # Refusing an incompatible store must not leak its handle.
             self._conn.close()
             raise
+
+    def _check_version(self, key: str, expected: int) -> None:
+        """Record or verify one ``meta`` version row (absent = adopt)."""
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?)",
+                (key, str(expected)),
+            )
+        elif int(row[0]) != expected:
+            raise StoreFormatError(
+                f"store {self.path!r} has {key} {row[0]}, "
+                f"this codec speaks {expected}"
+            )
 
     # -- CacheBackend protocol ---------------------------------------------
     def get(self, key: str) -> dict[str, Any] | None:
@@ -116,6 +143,65 @@ class SQLiteStore:
                 "SELECT key, payload FROM artifacts ORDER BY created_at, key"
             ).fetchall()
         return iter((key, json.loads(blob)) for key, blob in rows)
+
+    # -- LedgerBackend protocol ---------------------------------------------
+    def put_ledger_bound(
+        self, user_id: str, spec_name: str, payload: dict[str, Any]
+    ) -> None:
+        """Durably store one user's knowledge-bound payload for one spec.
+
+        Written through by :meth:`PrivacyBudgetLedger.commit
+        <repro.server.ledger.PrivacyBudgetLedger.commit>` (and epoch
+        decay); last write wins, exactly like artifacts.
+        """
+        blob = json.dumps(payload, sort_keys=True)
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO ledger_bounds "
+                "(user_id, spec, payload, updated_at) VALUES (?, ?, ?, ?)",
+                (user_id, spec_name, blob, time.time()),
+            )
+
+    def ledger_bounds(self) -> Iterator[tuple[str, str, dict[str, Any]]]:
+        """All ``(user_id, spec_name, payload)`` rows (the attach read)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT user_id, spec, payload FROM ledger_bounds "
+                "ORDER BY user_id, spec"
+            ).fetchall()
+        return iter((user, spec, json.loads(blob)) for user, spec, blob in rows)
+
+    def ledger_bound_count(self) -> int:
+        """Number of persisted ``(user, spec)`` bound rows."""
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM ledger_bounds"
+            ).fetchone()
+        return int(count)
+
+    # -- operator hooks ------------------------------------------------------
+    def backup(self, path: str | Path) -> None:
+        """Write a consistent online snapshot of the store to ``path``.
+
+        Uses SQLite's backup API, so it is safe while the server is
+        serving (readers and writers proceed; the snapshot is
+        transactionally consistent).
+        """
+        with self._lock:
+            target = sqlite3.connect(str(path))
+            try:
+                self._conn.backup(target)
+            finally:
+                target.close()
+
+    def compact(self) -> None:
+        """Reclaim space from deleted/overwritten rows (``VACUUM``).
+
+        Blocks writers for the duration; run it from the operations
+        runbook's maintenance window, not the serving path.
+        """
+        with self._lock:
+            self._conn.execute("VACUUM")
 
     # -- conveniences --------------------------------------------------------
     def __len__(self) -> int:

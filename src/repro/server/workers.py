@@ -1,39 +1,54 @@
-"""The sharded compile pool: synthesis off the serving path.
+"""The sharded worker tier: synthesis *and* warm-path serving, off the gateway.
 
-Synthesis is the one expensive operation the runtime performs, so it runs
-in worker *processes*, sharded by the canonical query hash
-(:func:`~repro.lang.canonical.stable_hash` of the canonicalized AST).
-Routing by content rather than round-robin means alpha-equivalent queries
-always land on the same shard, whose per-process :class:`SynthesisCache`
-and hash-consed kernel memos stay hot — the N-th tenant registering a
-reordered copy of a query compiles nothing even before the shared store
-sees the artifact.
+Two kinds of work run in worker processes here, each sharded by a stable
+content hash so per-process state stays hot:
+
+* **Compiles** (:class:`ShardedCompilePool`) — synthesis jobs routed by
+  the canonical query hash (:func:`~repro.lang.canonical.stable_hash` of
+  the canonicalized AST).  Routing by content rather than round-robin
+  means alpha-equivalent queries always land on the same shard, whose
+  per-process :class:`SynthesisCache` and hash-consed kernel memos stay
+  hot — the N-th tenant registering a reordered copy of a query compiles
+  nothing even before the shared store sees the artifact.
+* **Serving** (:class:`ServingShardPool`) — downgrade batches routed by
+  :func:`serve_shard_of` over the durable *user id*, so every session of
+  one user lands on the shard that owns that user's
+  :class:`~repro.service.session.SessionManager` slice and
+  :class:`~repro.server.ledger.PrivacyBudgetLedger` account.  Warm-path
+  serving thereby executes inside shard processes (one Python runtime
+  per shard, no gateway GIL contention) while ledger deltas flow back to
+  the gateway for durable write-through.
 
 Jobs cross the process boundary as JSON (the
 :func:`~repro.service.serialize.options_to_json` /
-:func:`~repro.service.serialize.compiled_query_to_json` codecs), never as
-pickles: the exact bytes a worker returns are the bytes the store
+:func:`~repro.service.serialize.compiled_query_to_json` /
+:func:`~repro.service.serialize.downgrade_result_to_json` codecs), never
+as pickles: the exact bytes a worker returns are the bytes the store
 persists.
 
-Admission control is per shard: each shard accepts a bounded number of
-in-flight jobs and sheds the rest (:class:`ShardOverloaded`) instead of
-queueing unboundedly — a loaded synthesis tier must fail fast, not grow a
-latency cliff.
+Admission control is per compile shard: each shard accepts a bounded
+number of in-flight jobs and sheds the rest (:class:`ShardOverloaded`)
+instead of queueing unboundedly — a loaded synthesis tier must fail
+fast, not grow a latency cliff.  (Serving jobs are bounded upstream by
+the gateway's ``max_queued_downgrades``.)
 
-``inline=True`` replaces the process pool with synchronous in-process
+``inline=True`` replaces the process pools with synchronous in-process
 execution of the *same* payload codec path; tests and coverage runs use
 it, and single-core deployments may prefer it.
 """
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import json
 import os
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import Any, Iterable
 
-from repro.core.plugin import CompiledQuery, CompileOptions, compile_query
+from repro.core.plugin import CompiledQuery, CompileOptions, QueryRegistry, compile_query
 from repro.lang.ast import BoolExpr
 from repro.lang.canonical import (
     canonicalize,
@@ -45,20 +60,31 @@ from repro.lang.canonical import (
 )
 from repro.lang.parser import parse_bool
 from repro.lang.secrets import SecretSpec
+from repro.monad.protected import ProtectedSecret
+from repro.server.ledger import DecayPolicy, PrivacyBudgetLedger
+from repro.service.api import DowngradeResult
 from repro.service.cache import SynthesisCache
 from repro.service.serialize import (
     compiled_query_from_json,
     compiled_query_to_json,
+    downgrade_result_from_json,
+    downgrade_result_to_json,
     options_from_json,
     options_to_json,
+    policy_from_json,
 )
+from repro.service.session import SessionManager
 
 __all__ = [
     "ShardOverloaded",
     "ShardStats",
     "ShardedCompilePool",
+    "ServingShardPool",
     "compile_payload",
+    "serve_payload",
     "shard_of",
+    "serve_shard_of",
+    "rounds_by_user",
 ]
 
 
@@ -74,6 +100,45 @@ def shard_of(query: BoolExpr, shards: int) -> int:
     memos.
     """
     return int(stable_hash(canonicalize(query))[:16], 16) % shards
+
+
+def serve_shard_of(user_id: str, shards: int) -> int:
+    """The serving shard that owns a user: stable text hash mod shard count.
+
+    Hashes the durable *user* identity, not the session id, so every
+    session (and reconnect) of one user lands where that user's ledger
+    account and open sessions live — the locality the per-shard budget
+    discipline depends on.  SHA-256, not ``hash()``: routing must agree
+    across processes and interpreter restarts.
+    """
+    digest = hashlib.sha256(user_id.encode("utf-8")).hexdigest()
+    return int(digest[:16], 16) % shards
+
+
+def rounds_by_user(
+    ids: Iterable[str], users: dict[str, str]
+) -> list[list[str]]:
+    """Partition session ids into rounds that never repeat a ledger user.
+
+    When one user has several sessions in a batch, serving them in a
+    single pass would preauthorize all of them against the *same* bound
+    and then commit sequentially — the second commit could cross the
+    floor mid-batch.  Round-partitioning makes every commit immediately
+    follow the admission check it was granted under.
+    """
+    rounds: list[list[str]] = []
+    placed: list[set[str]] = []
+    for sid in ids:
+        user = users.get(sid, sid)
+        for round_ids, round_users in zip(rounds, placed):
+            if user not in round_users:
+                round_ids.append(sid)
+                round_users.add(user)
+                break
+        else:
+            rounds.append([sid])
+            placed.append({user})
+    return rounds
 
 
 # ---------------------------------------------------------------------------
@@ -110,6 +175,235 @@ def compile_payload(payload: str) -> str:
             "artifact": compiled_query_to_json(compiled),
             "pid": os.getpid(),
             "shard_cache_hit": cache.stats.hits > hits_before,
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# The serving-shard entry point (runs inside serving-shard processes)
+# ---------------------------------------------------------------------------
+
+
+class _ServingShard:
+    """One shard's slice of the serving state (lives in a shard process).
+
+    Owns a :class:`~repro.service.session.SessionManager` for the
+    sessions routed here and a local
+    :class:`~repro.server.ledger.PrivacyBudgetLedger` for the users this
+    shard owns.  The local ledger is *enforcement* state; durability is
+    the gateway's job — committed bounds travel back as deltas
+    (:meth:`~repro.server.ledger.PrivacyBudgetLedger.export_bound`
+    payloads) and the gateway writes them through its store-attached
+    mirror.
+    """
+
+    def __init__(self, data: dict[str, Any]):
+        policy = policy_from_json(data["policy"])
+        floor = data.get("floor")
+        decay = data.get("decay")
+        self.manager = SessionManager(
+            registry=QueryRegistry(),
+            policy=policy,
+            mode=data["mode"],
+            check_both=data["check_both"],
+        )
+        self.ledger = (
+            None
+            if floor is None
+            else PrivacyBudgetLedger(
+                policy_from_json(floor),
+                decay=None if decay is None else DecayPolicy.from_json(decay),
+            )
+        )
+        #: Session id → durable user id (the routing key).
+        self.users: dict[str, str] = {}
+
+    # -- ops ----------------------------------------------------------------
+    def attach_query(self, op: dict[str, Any]) -> None:
+        """Register a gateway-shipped compiled artifact (idempotent)."""
+        if self.manager.registry.lookup(op["name"]) is None:
+            self.manager.registry.register(
+                compiled_query_from_json(op["artifact"])
+            )
+
+    def open_session(self, op: dict[str, Any]) -> None:
+        """Open a session, restoring the user's persisted bounds if new.
+
+        ``bounds`` carries the gateway mirror's durable payloads; they
+        are applied only when this shard has not seen the user yet, so a
+        live shard's fresher in-process bounds are never clobbered by a
+        stale snapshot taken at ``open_session`` time.
+        """
+        session_id, user_id = op["session_id"], op["user_id"]
+        spec = spec_from_json(op["spec"])
+        secret = ProtectedSecret.seal(spec, tuple(op["value"]))
+        self.manager.open_session(session_id, secret)
+        self.users[session_id] = user_id
+        bounds = op.get("bounds")
+        if bounds and self.ledger is not None and user_id not in self.ledger.users():
+            for spec_name, payload in bounds.items():
+                self.ledger.apply_payload(user_id, spec_name, payload)
+
+    def close_session(self, op: dict[str, Any]) -> None:
+        """Close a session; the user's ledger account stays (budgets do)."""
+        self.manager.close_session(op["session_id"])
+        self.users.pop(op["session_id"], None)
+
+    def advance_epoch(self, op: dict[str, Any]) -> None:
+        """Apply epoch decay to this shard's local ledger."""
+        if self.ledger is not None and self.ledger.decay is not None:
+            self.ledger.advance_epoch(int(op.get("epochs", 1)))
+
+    def serve_batch(
+        self, query_name: str, session_ids: list[str]
+    ) -> tuple[list[DowngradeResult], list[dict[str, Any]], int]:
+        """One query for this shard's slice of a tick.
+
+        Ledger admission, batched session downgrades, and commits all
+        run shard-locally under the round-per-user discipline
+        (:func:`rounds_by_user`).  Returns results in request order, the
+        ledger-delta payloads for every (user, spec) committed, and the
+        number of budget refusals.
+        """
+        ids = list(dict.fromkeys(session_ids))
+        compiled = self.manager.registry.lookup(query_name)
+        results: dict[str, DowngradeResult] = {}
+        touched: dict[tuple[str, str], SecretSpec] = {}
+        refusals = 0
+        for round_ids in rounds_by_user(ids, self.users):
+            refusals += self._serve_round(
+                query_name, compiled, round_ids, results, touched
+            )
+        deltas = [
+            {
+                "user_id": user_id,
+                "spec_name": spec_name,
+                "payload": self.ledger.export_bound(user_id, spec),
+            }
+            for (user_id, spec_name), spec in touched.items()
+            if self.ledger is not None
+        ]
+        return [results[sid] for sid in ids], deltas, refusals
+
+    def _serve_round(
+        self,
+        query_name: str,
+        compiled: CompiledQuery | None,
+        ids: list[str],
+        results: dict[str, DowngradeResult],
+        touched: dict[tuple[str, str], SecretSpec],
+    ) -> int:
+        refusals = 0
+        admitted: list[str] = []
+        for sid in ids:
+            if sid not in self.manager.sessions:
+                results[sid] = DowngradeResult(
+                    session_id=sid,
+                    query_name=query_name,
+                    authorized=False,
+                    response=None,
+                    reason=f"no open session {sid!r}",
+                    knowledge_size=None,
+                )
+                continue
+            if self.ledger is None or compiled is None:
+                admitted.append(sid)
+                continue
+            decision = self.ledger.preauthorize(
+                self.users.get(sid, sid), compiled.qinfo, mode=self.manager.mode
+            )
+            if decision.allowed:
+                admitted.append(sid)
+            else:
+                refusals += 1
+                results[sid] = DowngradeResult(
+                    session_id=sid,
+                    query_name=query_name,
+                    authorized=False,
+                    response=None,
+                    reason=decision.reason,
+                    knowledge_size=decision.remaining,
+                )
+        if not admitted:
+            return refusals
+        for sid, decision in self.manager.downgrade_batch(
+            query_name, admitted
+        ).items():
+            session = self.manager.sessions.get(sid)
+            results[sid] = DowngradeResult(
+                session_id=sid,
+                query_name=query_name,
+                authorized=decision.authorized,
+                response=decision.response,
+                reason=decision.reason,
+                knowledge_size=session.knowledge_size() if session else None,
+            )
+            if decision.authorized and self.ledger is not None and compiled:
+                assert decision.response is not None
+                user_id = self.users.get(sid, sid)
+                self.ledger.commit(
+                    user_id,
+                    compiled.qinfo,
+                    decision.response,
+                    mode=self.manager.mode,
+                )
+                touched[(user_id, compiled.qinfo.secret.name)] = compiled.qinfo.secret
+        return refusals
+
+
+#: Per-process serving state, keyed by ``"<pool>/<shard>"``.  In a real
+#: shard process exactly one key is ever populated; inline mode (tests,
+#: single-core) holds every shard's state in the gateway process, and the
+#: pool-id prefix keeps two inline pools in one process from colliding.
+_SERVING_STATE: dict[str, _ServingShard] = {}
+
+
+def serve_payload(payload: str) -> str:
+    """Execute one JSON op sequence; the serving-shard process entry point.
+
+    Ops arrive in gateway order — ``configure`` / ``attach_query`` /
+    ``open_session`` / ``close_session`` / ``advance_epoch`` /
+    ``downgrade_batch`` — and the response carries the encoded results
+    of every ``downgrade_batch`` op, the ledger deltas to persist, the
+    budget-refusal count, and worker provenance (pid).
+    """
+    data = json.loads(payload)
+    shard_key = data["shard"]
+    results: list[dict[str, Any]] = []
+    deltas: list[dict[str, Any]] = []
+    refusals = 0
+    for op in data["ops"]:
+        kind = op["op"]
+        if kind == "configure":
+            if shard_key not in _SERVING_STATE:
+                _SERVING_STATE[shard_key] = _ServingShard(op)
+            continue
+        shard = _SERVING_STATE[shard_key]
+        if kind == "attach_query":
+            shard.attach_query(op)
+        elif kind == "open_session":
+            shard.open_session(op)
+        elif kind == "close_session":
+            shard.close_session(op)
+        elif kind == "advance_epoch":
+            shard.advance_epoch(op)
+        elif kind == "downgrade_batch":
+            batch_results, batch_deltas, batch_refusals = shard.serve_batch(
+                op["query_name"], op["session_ids"]
+            )
+            results.extend(
+                downgrade_result_to_json(result) for result in batch_results
+            )
+            deltas.extend(batch_deltas)
+            refusals += batch_refusals
+        else:
+            raise ValueError(f"unknown serving op {kind!r}")
+    return json.dumps(
+        {
+            "results": results,
+            "deltas": deltas,
+            "budget_refusals": refusals,
+            "pid": os.getpid(),
         }
     )
 
@@ -257,6 +551,105 @@ class ShardedCompilePool:
             executor.shutdown(wait=wait)
 
     def __enter__(self) -> "ShardedCompilePool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+
+#: Distinguishes inline pools sharing one process (see ``_SERVING_STATE``).
+_POOL_IDS = itertools.count()
+
+
+class ServingShardPool:
+    """A fixed set of single-process serving shards, routed by user id.
+
+    Each shard is a one-worker :class:`ProcessPoolExecutor` that owns the
+    sessions and ledger accounts of the users routed to it
+    (:func:`serve_shard_of`).  The gateway talks to a shard through
+    ordered JSON op batches (:func:`serve_payload`); because every shard
+    has exactly one worker process, ops submitted in order execute in
+    order — session opens always precede the downgrades that use them.
+
+    ``inline=True`` executes the same payload codec path synchronously in
+    the calling process (tests, single-core deployments).
+    """
+
+    def __init__(self, shards: int = 1, *, inline: bool = False):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.inline = inline
+        self._pool_id = next(_POOL_IDS)
+        self._executors: list[ProcessPoolExecutor | None] = [None] * shards
+        self._lock = threading.Lock()
+
+    # -- routing -----------------------------------------------------------
+    def shard_for(self, user_id: str) -> int:
+        """The shard that owns a user's sessions and ledger account."""
+        return serve_shard_of(user_id, self.shards)
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, shard: int, ops: list[dict[str, Any]]) -> Future:
+        """Ship an ordered op batch to a shard; the future yields result JSON.
+
+        Serving jobs are bounded upstream by the gateway's downgrade
+        queue, so there is no per-shard admission control here.
+        """
+        payload = json.dumps(
+            {"shard": f"{self._pool_id}/{shard}", "ops": ops}
+        )
+        if self.inline:
+            future: Future = Future()
+            try:
+                future.set_result(serve_payload(payload))
+            except BaseException as exc:  # noqa: BLE001 - mirror executor behavior
+                future.set_exception(exc)
+            return future
+        return self._executor(shard).submit(serve_payload, payload)
+
+    @staticmethod
+    def decode(result_json: str) -> dict[str, Any]:
+        """Decode a shard response: results, ledger deltas, refusals, pid."""
+        data = json.loads(result_json)
+        return {
+            "results": [
+                downgrade_result_from_json(encoded)
+                for encoded in data["results"]
+            ],
+            "deltas": data["deltas"],
+            "budget_refusals": data["budget_refusals"],
+            "pid": data["pid"],
+        }
+
+    def _executor(self, shard: int) -> ProcessPoolExecutor:
+        # Lazy: shards that never receive work never fork a process.
+        with self._lock:
+            executor = self._executors[shard]
+            if executor is None:
+                executor = ProcessPoolExecutor(max_workers=1)
+                self._executors[shard] = executor
+            return executor
+
+    # -- lifecycle -----------------------------------------------------------
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Tear down every shard process (idempotent).
+
+        Shard-local serving state dies with the processes; anything that
+        must survive (ledger bounds, artifacts) already flowed back to
+        the gateway as deltas and was written through to the store.
+        """
+        with self._lock:
+            executors = [ex for ex in self._executors if ex is not None]
+            self._executors = [None] * self.shards
+        for executor in executors:
+            executor.shutdown(wait=wait)
+        if self.inline:
+            prefix = f"{self._pool_id}/"
+            for key in [k for k in _SERVING_STATE if k.startswith(prefix)]:
+                del _SERVING_STATE[key]
+
+    def __enter__(self) -> "ServingShardPool":
         return self
 
     def __exit__(self, *exc: object) -> None:

@@ -16,7 +16,11 @@ ambient.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid import cycles
+    from repro.monad.policy import QuantitativePolicy
+    from repro.service.api import DowngradeResult
 
 from repro.core.plugin import CompiledQuery, CompileOptions, ModeReport
 from repro.core.qinfo import DomainPair, QInfo
@@ -42,6 +46,10 @@ __all__ = [
     "domain_from_json",
     "options_to_json",
     "options_from_json",
+    "policy_to_json",
+    "policy_from_json",
+    "downgrade_result_to_json",
+    "downgrade_result_from_json",
     "compiled_query_to_json",
     "compiled_query_from_json",
 ]
@@ -103,6 +111,86 @@ def options_from_json(data: dict[str, Any]) -> CompileOptions:
             incremental_seed=bool(synth["incremental_seed"]),
             legacy_splits=bool(synth["legacy_splits"]),
         ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Policies
+# ---------------------------------------------------------------------------
+
+
+def policy_to_json(policy: "QuantitativePolicy") -> dict[str, Any]:
+    """Encode a combinator-built policy for a process boundary.
+
+    Only policies carrying a structural ``encoding`` (everything built
+    from :func:`~repro.monad.policy.size_above`,
+    :func:`~repro.monad.policy.size_at_least`,
+    :func:`~repro.monad.policy.all_of`,
+    :func:`~repro.monad.policy.any_of`) can cross processes — a policy
+    wrapping an opaque lambda raises ``ValueError`` here rather than
+    silently enforcing something different on the far side.
+    """
+    if policy.encoding is None:
+        raise ValueError(
+            f"policy {policy.name!r} has no structural encoding and cannot "
+            "cross a process boundary; build it from the repro.monad.policy "
+            "combinators"
+        )
+    return policy.encoding
+
+
+def policy_from_json(data: dict[str, Any]) -> "QuantitativePolicy":
+    """Decode a policy encoded by :func:`policy_to_json`."""
+    from repro.monad.policy import all_of, any_of, size_above, size_at_least
+
+    kind = data["kind"]
+    if kind == "size_above":
+        return size_above(int(data["threshold"]))
+    if kind == "size_at_least":
+        return size_at_least(int(data["threshold"]))
+    if kind == "all_of":
+        return all_of(*(policy_from_json(part) for part in data["parts"]))
+    if kind == "any_of":
+        return any_of(*(policy_from_json(part) for part in data["parts"]))
+    raise ValueError(f"unknown policy kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Downgrade results (the serving-job codec, next to the compile codec)
+# ---------------------------------------------------------------------------
+
+
+def downgrade_result_to_json(result: "DowngradeResult") -> dict[str, Any]:
+    """Encode one serving outcome for the shard→gateway boundary.
+
+    The sharded serving tier executes downgrade batches inside worker
+    processes (:func:`repro.server.workers.serve_payload`); results come
+    back through this codec, exactly like compile artifacts come back
+    through :func:`compiled_query_to_json`.
+    """
+    return {
+        "session_id": result.session_id,
+        "query_name": result.query_name,
+        "authorized": result.authorized,
+        "response": result.response,
+        "reason": result.reason,
+        "knowledge_size": result.knowledge_size,
+    }
+
+
+def downgrade_result_from_json(data: dict[str, Any]) -> "DowngradeResult":
+    """Decode a result encoded by :func:`downgrade_result_to_json`."""
+    from repro.service.api import DowngradeResult
+
+    response = data["response"]
+    knowledge_size = data["knowledge_size"]
+    return DowngradeResult(
+        session_id=data["session_id"],
+        query_name=data["query_name"],
+        authorized=bool(data["authorized"]),
+        response=None if response is None else bool(response),
+        reason=data["reason"],
+        knowledge_size=None if knowledge_size is None else int(knowledge_size),
     )
 
 

@@ -1,0 +1,108 @@
+"""Docs stay navigable: every relative link and anchor must resolve.
+
+Walks the repo's markdown surface (README.md, DESIGN.md, ROADMAP.md,
+``docs/``) and checks two things per ``[text](target)`` link:
+
+* a relative *file* target exists on disk (external ``http(s)``/``mailto``
+  links are out of scope — CI must not depend on the network);
+* a ``#fragment`` resolves to a real heading in the target file, using
+  GitHub's slugging rules (lowercase, punctuation stripped, spaces to
+  dashes, ``-N`` suffixes for duplicates).
+
+This is the test behind the CI docs job: a renamed section or a moved
+file breaks the build here, not a reader's click.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+DOC_FILES = sorted(
+    path
+    for path in [
+        REPO / "README.md",
+        REPO / "DESIGN.md",
+        REPO / "ROADMAP.md",
+        *sorted((REPO / "docs").glob("*.md")),
+    ]
+    if path.exists()
+)
+
+#: ``[text](target)`` links, skipping images; target may carry a fragment.
+LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(heading: str, seen: dict) -> str:
+    """GitHub's anchor slug for a heading text (with duplicate suffixes)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep text
+    slug = re.sub(r"[^\w\- ]", "", text.lower(), flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def anchors_of(path: Path) -> set:
+    """Every anchor a markdown file exposes (headings, slugged)."""
+    seen: dict = {}
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if match:
+            anchors.add(github_slug(match.group(2), seen))
+    return anchors
+
+
+def links_of(path: Path):
+    """Every link target in a markdown file, fences excluded."""
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            yield match.group(1)
+
+
+def test_doc_surface_exists():
+    names = {path.name for path in DOC_FILES}
+    assert {"README.md", "DESIGN.md", "ROADMAP.md", "OPERATIONS.md"} <= names
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO)))
+def test_relative_links_and_anchors_resolve(doc):
+    problems = []
+    for target in links_of(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{target}: file {path_part!r} not found")
+                continue
+        else:
+            resolved = doc
+        if fragment:
+            if resolved.suffix != ".md":
+                continue  # anchors into non-markdown are out of scope
+            if fragment not in anchors_of(resolved):
+                problems.append(
+                    f"{target}: no heading slugs to {fragment!r} "
+                    f"in {resolved.name}"
+                )
+    assert not problems, "\n".join(problems)

@@ -318,6 +318,233 @@ def test_same_user_sessions_in_one_tick_commit_in_rounds():
     asyncio.run(scenario())
 
 
+def test_kill_and_restart_preserves_the_budget_ledger(tmp_path):
+    """Budget continuity across a restart: a near-floor user reconnecting
+    to a rebooted server gets the *same* refusal the killed server gave —
+    zero recompiles, no ledger reset."""
+    path = tmp_path / "state.db"
+    budget_queries = (
+        ("west", "x <= 99"),  # 40_000 -> 20_000
+        ("south", "y <= 99"),  # -> 10_000
+        ("inner", "x <= 49"),  # -> 5_000; floor 4_000: next halving refused
+    )
+
+    async def boot_and_probe(store, session_id, *, spend_budget):
+        server = make_server(store=store, budget_floor=size_above(4000))
+        for name, text in budget_queries:
+            await server.register_query(CompileRequest(name, text, SPEC))
+        server.open_session(session_id, (SPEC, (30, 40)), user_id="alice")
+        if spend_budget:
+            for name, _text in budget_queries:
+                result = await server.downgrade(session_id, name)
+                assert result.authorized
+        refused = await server.downgrade(session_id, "west")
+        server.shutdown()
+        return server, refused
+
+    with SQLiteStore(path) as store:
+        server1, refused1 = asyncio.run(
+            boot_and_probe(store, "s1", spend_budget=True)
+        )
+        assert not refused1.authorized
+        assert "budget exhausted" in refused1.reason
+        assert server1.ledger.remaining("alice", SPEC) == 5000
+        assert store.ledger_bound_count() == 1
+
+    # Kill.  Restart on the same store: the mirror reloads alice's bounds
+    # before any request, so the budget picks up exactly where it stopped.
+    with SQLiteStore(path) as store:
+        server2, refused2 = asyncio.run(
+            boot_and_probe(store, "s2", spend_budget=False)
+        )
+        assert server2.pool.total_submitted() == 0  # zero recompiles
+        assert server2.ledger.remaining("alice", SPEC) == 5000  # no reset
+        # The refusal verdict is identical to the pre-kill one.
+        assert not refused2.authorized
+        assert refused2.reason == refused1.reason
+        assert refused2.knowledge_size == refused1.knowledge_size == 5000
+        # And a brand-new user still has the full space.
+        assert server2.ledger.remaining("someone-else", SPEC) == 40_000
+
+
+# ---------------------------------------------------------------------------
+# Shard-serving mode: the warm path runs on serving-shard processes
+# ---------------------------------------------------------------------------
+
+SHARDED = ServerConfig(
+    inline_compiles=True, serving_shards=3, inline_serving=True
+)
+
+
+def test_shard_serving_matches_gateway_local_serving():
+    """Same workload, both serving modes: identical verdicts and responses."""
+
+    async def run_mode(config):
+        server = make_server(config=config)
+        for name, text in QUERIES.items():
+            await server.register_query(CompileRequest(name, text, SPEC))
+        secrets = {f"u{i}": (i * 37 % 200, i * 53 % 200) for i in range(12)}
+        for sid, value in secrets.items():
+            server.open_session(sid, (SPEC, value), user_id=f"user-{sid}")
+        results = await asyncio.gather(
+            *(server.downgrade(sid, "east") for sid in secrets),
+            *(server.downgrade(sid, "north") for sid in secrets),
+        )
+        server.shutdown()
+        return {(r.session_id, r.query_name): (r.authorized, r.response) for r in results}
+
+    local = asyncio.run(run_mode(INLINE))
+    sharded = asyncio.run(run_mode(SHARDED))
+    assert local == sharded
+    assert len(sharded) == 24
+
+
+def test_shard_serving_enforces_the_budget_with_a_durable_mirror():
+    async def scenario():
+        store = SQLiteStore(":memory:")
+        server = make_server(
+            store=store, budget_floor=size_above(4000), config=SHARDED
+        )
+        for name, text in (
+            ("west", "x <= 99"),
+            ("south", "y <= 99"),
+            ("inner", "x <= 49"),
+        ):
+            await server.register_query(CompileRequest(name, text, SPEC))
+        server.open_session("s1", (SPEC, (30, 40)), user_id="alice")
+        for name in ("west", "south", "inner"):
+            assert (await server.downgrade("s1", name)).authorized
+        # The shard's commits flowed back as deltas: the gateway mirror
+        # and the store already hold the spent budget.
+        assert server.ledger.remaining("alice", SPEC) == 5000
+        assert store.ledger_bound_count() == 1
+        # Reconnect on a fresh session: the budget did not reset.
+        server.close_session("s1")
+        server.open_session("s2", (SPEC, (30, 40)), user_id="alice")
+        refused = await server.downgrade("s2", "west")
+        assert not refused.authorized
+        assert "budget exhausted" in refused.reason
+        assert server.stats.budget_refusals == 1
+        server.shutdown()
+        store.close()
+
+    asyncio.run(scenario())
+
+
+def test_shard_serving_same_user_sessions_commit_in_rounds():
+    """The round-per-user discipline holds inside a shard too (both
+    sessions of one user route to the same shard by construction)."""
+
+    async def scenario():
+        server = make_server(budget_floor=size_above(15_000), config=SHARDED)
+        await server.register_query(CompileRequest("west", "x <= 99", SPEC))
+        server.open_session("a", (SPEC, (10, 10)), user_id="alice")
+        server.open_session("b", (SPEC, (150, 150)), user_id="alice")
+        ra, rb = await asyncio.gather(
+            server.downgrade("a", "west"), server.downgrade("b", "west")
+        )
+        assert sorted([ra.authorized, rb.authorized]) == [False, True]
+        refused = ra if not ra.authorized else rb
+        assert "budget exhausted" in refused.reason
+        assert server.ledger.remaining("alice", SPEC) == 20_000
+        server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_shard_serving_restart_preserves_budget(tmp_path):
+    """Budget continuity in shard mode: the mirror snapshot shipped at
+    open_session restores enforcement on a fresh shard process."""
+    path = tmp_path / "sharded.db"
+
+    async def boot(store, session_id, *, spend):
+        server = make_server(
+            store=store, budget_floor=size_above(4000), config=SHARDED
+        )
+        for name, text in (
+            ("west", "x <= 99"),
+            ("south", "y <= 99"),
+            ("inner", "x <= 49"),
+        ):
+            await server.register_query(CompileRequest(name, text, SPEC))
+        server.open_session(session_id, (SPEC, (30, 40)), user_id="alice")
+        if spend:
+            for name in ("west", "south", "inner"):
+                assert (await server.downgrade(session_id, name)).authorized
+        refused = await server.downgrade(session_id, "west")
+        server.shutdown()
+        return refused
+
+    with SQLiteStore(path) as store:
+        refused1 = asyncio.run(boot(store, "s1", spend=True))
+        assert not refused1.authorized
+    with SQLiteStore(path) as store:
+        refused2 = asyncio.run(boot(store, "s2", spend=False))
+        assert not refused2.authorized
+        assert refused2.reason == refused1.reason
+        assert refused2.knowledge_size == refused1.knowledge_size == 5000
+
+
+def test_shard_serving_unknown_session_and_query_are_refusals():
+    async def scenario():
+        server = make_server(config=SHARDED)
+        await server.register_query(CompileRequest("q", "x <= 50", SPEC))
+        ghost = await server.downgrade("nobody", "q")
+        assert not ghost.authorized and "no open session" in ghost.reason
+        server.open_session("u", (SPEC, (10, 10)))
+        unknown = await server.downgrade("u", "never_compiled")
+        assert not unknown.authorized
+        assert "Can't downgrade" in unknown.reason
+        server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_shard_serving_epoch_decay_regrows_budget():
+    from repro.server.ledger import DecayPolicy
+
+    async def scenario():
+        small = SecretSpec.declare("GwSmall", x=(0, 15), y=(0, 15))
+        server = make_server(
+            budget_floor=size_above(100),
+            budget_decay=DecayPolicy(radius=2),
+            config=SHARDED,
+        )
+        await server.register_query(CompileRequest("half", "x <= 7", small))
+        await server.register_query(CompileRequest("most", "x <= 6", small))
+        server.open_session("s", (small, (3, 3)), user_id="alice")
+        assert (await server.downgrade("s", "half")).authorized
+        # A reconnect resets session knowledge but not the ledger: the
+        # budget still refuses the tighter query.
+        server.close_session("s")
+        server.open_session("s2", (small, (3, 3)), user_id="alice")
+        refused = await server.downgrade("s2", "most")
+        assert not refused.authorized
+        assert "budget exhausted" in refused.reason
+        # Decay: the mirror advances now; the shard applies the queued
+        # epoch op before its next batch.  After the bound re-widens, a
+        # fresh session of the same user is served again.
+        assert server.advance_epoch(3) == 3
+        assert server.ledger.remaining("alice", small) > 128
+        server.close_session("s2")
+        server.open_session("s3", (small, (3, 3)), user_id="alice")
+        assert (await server.downgrade("s3", "most")).authorized
+        server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_shard_serving_requires_encodable_policies():
+    with pytest.raises(ValueError, match="encoding"):
+        from repro.monad.policy import QuantitativePolicy
+
+        DeclassificationServer(
+            QuantitativePolicy("opaque", lambda dom: True),
+            options=OPTIONS,
+            config=SHARDED,
+        )
+
+
 def test_contains_promotes_store_writes_from_other_processes(tmp_path):
     """An artifact another process persisted after this server booted is
     served as a cache hit, not recompiled."""

@@ -22,11 +22,18 @@ import pytest
 
 from repro.core.qinfo import QInfo
 from repro.domains.box import IntervalDomain
+from repro.domains.powerset import PowersetDomain
 from repro.lang.parser import parse_bool
 from repro.lang.secrets import SecretSpec
 from repro.monad.policy import size_above
 from repro.monad.protected import ProtectedSecret
-from repro.server.ledger import LedgerInvariantError, PrivacyBudgetLedger
+from repro.server.ledger import (
+    DecayPolicy,
+    LedgerFormatError,
+    LedgerInvariantError,
+    PrivacyBudgetLedger,
+)
+from repro.server.store import SQLiteStore
 from repro.solver.boxes import Box
 
 SPEC = SecretSpec.declare("Grid", x=(0, 15), y=(0, 15))
@@ -172,3 +179,166 @@ def test_charge_records_are_frozen():
     charge = record.account("u").charges[-1]
     with pytest.raises(dataclasses.FrozenInstanceError):
         charge.response = False
+
+
+# ---------------------------------------------------------------------------
+# Durability: bounds survive a ledger restart through a LedgerBackend
+# ---------------------------------------------------------------------------
+
+ALL_POINTS = [(x, y) for x in range(16) for y in range(16)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload=queries, secret=secrets, floor=floors)
+def test_bounds_survive_a_backend_restart(workload, secret, floor):
+    """A ledger reloaded from its backend is decision-identical: same
+    remaining budget, same bounds, same preauthorize verdicts."""
+    with SQLiteStore(":memory:") as store:
+        ledger = PrivacyBudgetLedger(size_above(floor), store=store)
+        protected = ProtectedSecret.seal(SPEC, secret)
+        for axis, threshold in workload:
+            ledger.evaluate("u", threshold_qinfo(axis, threshold), protected)
+        reborn = PrivacyBudgetLedger(size_above(floor), store=store)
+        assert reborn.remaining("u", SPEC) == ledger.remaining("u", SPEC)
+        for axis, threshold in workload:
+            qinfo = threshold_qinfo(axis, threshold)
+            assert (
+                reborn.preauthorize("u", qinfo).allowed
+                == ledger.preauthorize("u", qinfo).allowed
+            )
+        old = ledger.account("u").sound.get(SPEC.name)
+        new = reborn.account("u").sound.get(SPEC.name)
+        if old is None:
+            assert new is None
+        else:
+            assert all(
+                old.contains(p) == new.contains(p) for p in ALL_POINTS
+            )
+
+
+def test_apply_payload_rejects_foreign_format_versions():
+    ledger = PrivacyBudgetLedger(size_above(0))
+    ledger.commit("u", threshold_qinfo("x", 7), True)
+    payload = ledger.export_bound("u", SPEC)
+    bad = dict(payload, version=999)
+    with pytest.raises(LedgerFormatError, match="999"):
+        ledger.apply_payload("u", SPEC.name, bad)
+    with SQLiteStore(":memory:") as store:
+        store.put_ledger_bound("u", SPEC.name, bad)
+        with pytest.raises(LedgerFormatError):
+            PrivacyBudgetLedger(size_above(0), store=store)
+
+
+# ---------------------------------------------------------------------------
+# Decay: epoch dilation never tightens a bound
+# ---------------------------------------------------------------------------
+
+boxes = st.builds(
+    lambda x0, xw, y0, yw: Box(
+        ((x0, min(15, x0 + xw)), (y0, min(15, y0 + yw)))
+    ),
+    st.integers(0, 15),
+    st.integers(0, 15),
+    st.integers(0, 15),
+    st.integers(0, 15),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    workload=queries,
+    secret=secrets,
+    floor=floors,
+    radius=st.integers(min_value=0, max_value=4),
+    epochs=st.integers(min_value=1, max_value=3),
+)
+def test_decay_is_never_tighter(workload, secret, floor, radius, epochs):
+    """The soundness property of epoch decay: every point a bound
+    contained before ``advance_epoch`` it still contains after — decayed
+    bounds remain sound over-approximations of retained knowledge."""
+    ledger = PrivacyBudgetLedger(
+        size_above(floor), decay=DecayPolicy(radius=radius)
+    )
+    protected = ProtectedSecret.seal(SPEC, secret)
+    for axis, threshold in workload:
+        ledger.evaluate("u", threshold_qinfo(axis, threshold), protected)
+    account = ledger.account("u")
+    before = {
+        key: [p for p in ALL_POINTS if bound.contains(p)]
+        for key, bound in {
+            ("sound", name): b for name, b in account.sound.items()
+        }.items()
+    }
+    before.update(
+        {
+            ("complete", name): [
+                p for p in ALL_POINTS if bound.contains(p)
+            ]
+            for name, bound in account.complete.items()
+        }
+    )
+    assert ledger.advance_epoch(epochs) == epochs
+    for (kind, name), points in before.items():
+        bounds = account.sound if kind == "sound" else account.complete
+        after = bounds[name]
+        assert all(after.contains(p) for p in points)
+        assert after.size() >= len(points)
+        # The true secret never leaves a sound bound.
+        if kind == "sound":
+            assert after.contains(secret)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    include=st.lists(boxes, min_size=1, max_size=3),
+    exclude=st.lists(boxes, min_size=0, max_size=3),
+    radius=st.integers(min_value=0, max_value=4),
+)
+def test_dilate_powerset_is_never_tighter(include, exclude, radius):
+    """Dilation on the powerset domain (grown includes, shrunk/dropped
+    excludes) also only ever grows the represented set."""
+    bound = PowersetDomain(SPEC, tuple(include), tuple(exclude))
+    dilated = DecayPolicy(radius=radius).dilate(bound)
+    for point in ALL_POINTS:
+        if bound.contains(point):
+            assert dilated.contains(point)
+
+
+def test_decay_restores_refused_budget():
+    """A user parked at the floor regains budget as epochs pass: the
+    operational purpose of decay."""
+    ledger = PrivacyBudgetLedger(size_above(100), decay=DecayPolicy(radius=2))
+    protected = ProtectedSecret.seal(SPEC, (3, 3))
+    assert ledger.evaluate("u", threshold_qinfo("x", 7), protected).authorized
+    # x<=7 again: the false posterior is now empty, so check-both refuses.
+    refused = threshold_qinfo("x", 6)
+    assert not ledger.evaluate("u", refused, protected).authorized
+    # Three epochs of radius-2 dilation re-widen the bound far enough
+    # that both posteriors of the same query clear the floor again.
+    ledger.advance_epoch(3)
+    assert ledger.remaining("u", SPEC) > 128
+    assert ledger.evaluate("u", refused, protected).authorized
+
+
+def test_advance_epoch_requires_a_decay_policy():
+    ledger = PrivacyBudgetLedger(size_above(0))
+    with pytest.raises(ValueError, match="DecayPolicy"):
+        ledger.advance_epoch()
+    with pytest.raises(ValueError, match="radius"):
+        DecayPolicy(radius=-1)
+
+
+def test_decayed_bounds_persist_through_the_backend():
+    with SQLiteStore(":memory:") as store:
+        ledger = PrivacyBudgetLedger(
+            size_above(0), store=store, decay=DecayPolicy(radius=1)
+        )
+        ledger.commit("u", threshold_qinfo("x", 7), True)
+        assert ledger.remaining("u", SPEC) == 128
+        ledger.advance_epoch()
+        assert ledger.remaining("u", SPEC) == 144  # 9 x 16, clamped
+        reborn = PrivacyBudgetLedger(
+            size_above(0), store=store, decay=DecayPolicy(radius=1)
+        )
+        assert reborn.remaining("u", SPEC) == 144
+        assert reborn.epoch == 1

@@ -115,3 +115,104 @@ def test_import_rejects_incompatible_flat_file(tmp_path):
     with SQLiteStore(tmp_path / "store.db") as store:
         with pytest.raises(StoreFormatError):
             store.import_cache_json(bad)
+
+
+# ---------------------------------------------------------------------------
+# The ledger_bounds table (LedgerBackend protocol)
+# ---------------------------------------------------------------------------
+
+
+def test_ledger_bounds_roundtrip_and_last_write_wins(tmp_path):
+    path = tmp_path / "store.db"
+    with SQLiteStore(path) as store:
+        assert store.ledger_bound_count() == 0
+        store.put_ledger_bound("alice", "Tiny", {"version": 1, "n": 1})
+        store.put_ledger_bound("alice", "Other", {"version": 1, "n": 2})
+        store.put_ledger_bound("bob", "Tiny", {"version": 1, "n": 3})
+        store.put_ledger_bound("alice", "Tiny", {"version": 1, "n": 9})
+        assert store.ledger_bound_count() == 3
+    with SQLiteStore(path) as store:
+        rows = list(store.ledger_bounds())
+        assert [(u, s) for u, s, _p in rows] == [
+            ("alice", "Other"),
+            ("alice", "Tiny"),
+            ("bob", "Tiny"),
+        ]
+        assert rows[1][2] == {"version": 1, "n": 9}
+
+
+def test_ledger_bounds_and_artifacts_share_one_file(tmp_path):
+    """One durability story: artifacts and budgets live in the same store."""
+    path = tmp_path / "store.db"
+    cache = SynthesisCache()
+    compiled = _compile(cache=cache)
+    key = next(iter(cache.keys()))
+    with SQLiteStore(path) as store:
+        SynthesisCache(backend=store).put(key, compiled)
+        store.put_ledger_bound("alice", "Tiny", {"version": 1})
+    with SQLiteStore(path) as store:
+        assert len(store) == 1
+        assert store.ledger_bound_count() == 1
+
+
+def test_ledger_format_version_mismatch_refuses(tmp_path):
+    path = tmp_path / "store.db"
+    SQLiteStore(path).close()
+    import sqlite3
+
+    conn = sqlite3.connect(path)
+    with conn:
+        conn.execute(
+            "UPDATE meta SET value = '999' WHERE key = 'ledger_format_version'"
+        )
+    conn.close()
+    with pytest.raises(StoreFormatError, match="ledger_format_version"):
+        SQLiteStore(path)
+
+
+def test_pre_ledger_store_adopts_current_ledger_version(tmp_path):
+    """A store written before the ledger table existed opens cleanly and
+    adopts the current ledger format version (its table is empty)."""
+    path = tmp_path / "store.db"
+    SQLiteStore(path).close()
+    import sqlite3
+
+    conn = sqlite3.connect(path)
+    with conn:
+        conn.execute("DROP TABLE ledger_bounds")
+        conn.execute("DELETE FROM meta WHERE key = 'ledger_format_version'")
+    conn.close()
+    with SQLiteStore(path) as store:
+        assert store.ledger_bound_count() == 0
+        store.put_ledger_bound("alice", "Tiny", {"version": 1})
+
+
+# ---------------------------------------------------------------------------
+# Operator hooks: online backup and compaction
+# ---------------------------------------------------------------------------
+
+
+def test_backup_snapshot_is_complete_and_independent(tmp_path):
+    src, dst = tmp_path / "live.db", tmp_path / "backup.db"
+    with SQLiteStore(src) as store:
+        store.put("k", {"v": 1})
+        store.put_ledger_bound("alice", "Tiny", {"version": 1})
+        store.backup(dst)
+        store.put("post-backup", {"v": 2})  # only in the live store
+    with SQLiteStore(dst) as snapshot:
+        assert snapshot.get("k") == {"v": 1}
+        assert snapshot.ledger_bound_count() == 1
+        assert "post-backup" not in snapshot
+
+
+def test_compact_preserves_contents(tmp_path):
+    with SQLiteStore(tmp_path / "store.db") as store:
+        for i in range(20):
+            store.put(f"k{i}", {"v": i})
+        for i in range(20):
+            store.put(f"k{i}", {"v": -i})  # overwrites leave free pages
+        store.put_ledger_bound("alice", "Tiny", {"version": 1})
+        store.compact()
+        assert len(store) == 20
+        assert store.get("k7") == {"v": -7}
+        assert store.ledger_bound_count() == 1

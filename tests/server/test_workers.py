@@ -1,11 +1,22 @@
-"""ShardedCompilePool: routing, codec fidelity, admission control."""
+"""Worker tier: compile-shard routing/codec/admission, serving shards."""
+
+import json
 
 import pytest
 
 from repro.core.plugin import CompileOptions, compile_query
+from repro.lang.canonical import spec_to_json
 from repro.lang.parser import parse_bool
 from repro.lang.secrets import SecretSpec
-from repro.server.workers import ShardOverloaded, ShardedCompilePool, shard_of
+from repro.server.workers import (
+    ServingShardPool,
+    ShardOverloaded,
+    ShardedCompilePool,
+    rounds_by_user,
+    serve_shard_of,
+    shard_of,
+)
+from repro.service.serialize import compiled_query_to_json, policy_to_json
 
 SPEC = SecretSpec.declare("UserLoc", x=(0, 99), y=(0, 99))
 OPTIONS = CompileOptions(domain="interval", modes=("under", "over"))
@@ -91,3 +102,148 @@ def test_process_pool_compiles_and_shuts_down():
             assert compiled.qinfo.under_indset == local.qinfo.under_indset
             assert isinstance(provenance["pid"], int)
     assert pool.total_submitted() == 2
+
+
+# ---------------------------------------------------------------------------
+# Serving shards
+# ---------------------------------------------------------------------------
+
+
+def test_serve_shard_routing_is_stable_by_user_and_in_range():
+    users = [f"user-{i}" for i in range(50)]
+    for shards in (1, 2, 5):
+        routed = [serve_shard_of(u, shards) for u in users]
+        assert routed == [serve_shard_of(u, shards) for u in users]
+        assert all(0 <= s < shards for s in routed)
+    # SHA-256 spreads distinct users across shards.
+    assert len({serve_shard_of(u, 5) for u in users}) > 1
+    pool = ServingShardPool(5, inline=True)
+    assert pool.shard_for("alice") == serve_shard_of("alice", 5)
+
+
+def test_rounds_by_user_never_repeats_a_user_per_round():
+    users = {"a1": "alice", "a2": "alice", "a3": "alice", "b1": "bob"}
+    rounds = rounds_by_user(["a1", "b1", "a2", "a3"], users)
+    assert rounds == [["a1", "b1"], ["a2"], ["a3"]]
+    for round_ids in rounds:
+        owners = [users.get(sid, sid) for sid in round_ids]
+        assert len(owners) == len(set(owners))
+    # Unmapped sessions fall back to their own id as the user.
+    assert rounds_by_user(["x", "y"], {}) == [["x", "y"]]
+
+
+def _serving_ops(policy_floor=None):
+    """A canonical op sequence: configure, attach, open two sessions."""
+    small = SecretSpec.declare("WkSmall", x=(0, 15), y=(0, 15))
+    from repro.monad.policy import size_above
+
+    compiled = compile_query(
+        "half", "x <= 7", small, CompileOptions(domain="interval")
+    )
+    ops = [
+        {
+            "op": "configure",
+            "policy": policy_to_json(size_above(0)),
+            "floor": (
+                None if policy_floor is None else policy_to_json(policy_floor)
+            ),
+            "decay": None,
+            "mode": "under",
+            "check_both": True,
+        },
+        {
+            "op": "attach_query",
+            "name": "half",
+            "artifact": compiled_query_to_json(compiled),
+        },
+        {
+            "op": "open_session",
+            "session_id": "s1",
+            "user_id": "alice",
+            "spec": spec_to_json(small),
+            "value": [3, 3],
+            "bounds": None,
+        },
+        {
+            "op": "open_session",
+            "session_id": "s2",
+            "user_id": "bob",
+            "spec": spec_to_json(small),
+            "value": [12, 3],
+            "bounds": None,
+        },
+        {
+            "op": "downgrade_batch",
+            "query_name": "half",
+            "session_ids": ["s1", "s2", "ghost"],
+        },
+    ]
+    return ops
+
+
+def test_inline_serving_pool_round_trips_results_and_deltas():
+    from repro.monad.policy import size_above
+
+    with ServingShardPool(2, inline=True) as pool:
+        response = ServingShardPool.decode(
+            pool.submit(0, _serving_ops(policy_floor=size_above(100))).result()
+        )
+    results = {r.session_id: r for r in response["results"]}
+    assert results["s1"].authorized and results["s1"].response is True
+    assert results["s2"].authorized and results["s2"].response is False
+    assert not results["ghost"].authorized
+    assert "no open session" in results["ghost"].reason
+    # One delta per committed (user, spec); payloads are versioned JSON.
+    deltas = {d["user_id"]: d["payload"] for d in response["deltas"]}
+    assert set(deltas) == {"alice", "bob"}
+    assert all(p["version"] == 1 for p in deltas.values())
+    assert response["budget_refusals"] == 0
+
+
+def test_inline_pools_do_not_share_state():
+    """Two inline pools in one process must not see each other's shards."""
+    from repro.monad.policy import size_above
+
+    floor = size_above(100)
+    with ServingShardPool(1, inline=True) as pool_a:
+        pool_a.submit(0, _serving_ops(policy_floor=floor)).result()
+        with ServingShardPool(1, inline=True) as pool_b:
+            # Same shard index, fresh pool: opening "s1" again must not
+            # collide with pool_a's already-open "s1".
+            response = ServingShardPool.decode(
+                pool_b.submit(0, _serving_ops(policy_floor=floor)).result()
+            )
+    assert all(
+        r.authorized for r in response["results"] if r.session_id != "ghost"
+    )
+
+
+def test_unknown_op_is_an_error():
+    from repro.monad.policy import size_above
+
+    with ServingShardPool(1, inline=True) as pool:
+        ops = _serving_ops(policy_floor=size_above(0))[:1]
+        ops.append({"op": "frobnicate"})
+        with pytest.raises(ValueError, match="frobnicate"):
+            pool.submit(0, ops).result()
+
+
+def test_serving_process_pool_serves_and_shuts_down():
+    """The real process path: ops execute in a shard process, results and
+    deltas decode on this side, and provenance proves the hop."""
+    import os
+
+    from repro.monad.policy import size_above
+
+    with ServingShardPool(1) as pool:
+        raw = pool.submit(0, _serving_ops(policy_floor=size_above(100))).result(
+            timeout=60
+        )
+        response = ServingShardPool.decode(raw)
+        assert isinstance(response["pid"], int)
+        assert response["pid"] != os.getpid()
+        results = {r.session_id: r for r in response["results"]}
+        assert results["s1"].response is True
+        assert results["s2"].response is False
+        # The raw wire format really is JSON, not pickles.
+        json.loads(raw)
