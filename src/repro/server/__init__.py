@@ -29,13 +29,23 @@ layer ROADMAP's "heavy traffic" north star asks for:
   optionally durable (any :class:`~repro.server.ledger.LedgerBackend`)
   and decaying (:class:`~repro.server.ledger.DecayPolicy` +
   :meth:`advance_epoch
-  <repro.server.ledger.PrivacyBudgetLedger.advance_epoch>`).
+  <repro.server.ledger.PrivacyBudgetLedger.advance_epoch>`);
+* :mod:`repro.server.supervise` — the
+  :class:`~repro.server.supervise.ShardSupervisor`: typed shard
+  failures, per-job deadlines, bounded retries with jittered backoff,
+  per-shard circuit breakers, and restart-plus-rehydrate recovery that
+  keeps the runtime serving through process death;
+* :mod:`repro.server.faults` — deterministic, seeded fault injection
+  (:class:`~repro.server.faults.FaultPlan`) driving the chaos suite
+  through every failure point reproducibly.
 """
 
+from repro.server.faults import FaultPlan, FaultSpec
 from repro.server.gateway import (
     DeclassificationServer,
     ServerCompileReceipt,
     ServerConfig,
+    ServerDegraded,
     ServerOverloaded,
     ServerStats,
 )
@@ -51,6 +61,17 @@ from repro.server.ledger import (
     PrivacyBudgetLedger,
 )
 from repro.server.store import SQLiteStore, StoreFormatError
+from repro.server.supervise import (
+    CircuitBreaker,
+    CodecError,
+    RetryPolicy,
+    ShardCrash,
+    ShardFailure,
+    ShardSupervisor,
+    ShardTimeout,
+    SupervisorStats,
+    classify_failure,
+)
 from repro.server.workers import (
     ServingShardPool,
     ShardedCompilePool,
@@ -66,8 +87,20 @@ __all__ = [
     "DeclassificationServer",
     "ServerCompileReceipt",
     "ServerConfig",
+    "ServerDegraded",
     "ServerOverloaded",
     "ServerStats",
+    "FaultPlan",
+    "FaultSpec",
+    "CircuitBreaker",
+    "CodecError",
+    "RetryPolicy",
+    "ShardCrash",
+    "ShardFailure",
+    "ShardSupervisor",
+    "ShardTimeout",
+    "SupervisorStats",
+    "classify_failure",
     "LEDGER_FORMAT_VERSION",
     "BudgetAccount",
     "ChargeRecord",

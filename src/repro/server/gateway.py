@@ -59,6 +59,20 @@ shard jobs, and the mirror ledger reloads every user's bounds — a
 restarted server refuses exactly what the killed one refused (the
 kill-and-restart tests in ``tests/server/test_gateway.py`` assert
 exactly that).
+
+The same durability split powers *mid-flight* recovery (see
+:mod:`repro.server.supervise` and DESIGN.md §10): every shard job runs
+under a :class:`~repro.server.supervise.ShardSupervisor` with a
+per-job deadline, bounded retries, and a per-shard circuit breaker.  A
+dead or hung shard is killed and replaced, the replacement is
+*rehydrated* from durable gateway state (configure, re-attach
+artifacts, re-open sessions with fresh mirror-bound snapshots — never
+looser, by construction), and the batch is retried; once a shard's
+breaker opens, its work degrades onto the gateway-local
+``serving_shards=0`` path (compiles: inline execution) until a
+half-open probe succeeds.  Past a degraded-capacity watermark the
+gateway sheds with :class:`ServerDegraded`, whose ``retry_after``
+carries the earliest breaker probe time.
 """
 
 from __future__ import annotations
@@ -73,11 +87,15 @@ from repro.lang.parser import parse_bool
 from repro.lang.secrets import SecretSpec, SecretValue
 from repro.monad.policy import QuantitativePolicy
 from repro.monad.protected import ProtectedSecret
+from repro.server import faults
+from repro.server.faults import FaultPlan
 from repro.server.ledger import DecayPolicy, PrivacyBudgetLedger
+from repro.server.supervise import RetryPolicy, ShardSupervisor
 from repro.server.workers import (
     ServingShardPool,
     ShardedCompilePool,
     ShardOverloaded,
+    compile_payload,
     rounds_by_user,
 )
 from repro.service.api import (
@@ -92,6 +110,7 @@ from repro.service.session import Session
 
 __all__ = [
     "ServerOverloaded",
+    "ServerDegraded",
     "ServerConfig",
     "ServerCompileReceipt",
     "ServerStats",
@@ -101,6 +120,21 @@ __all__ = [
 
 class ServerOverloaded(RuntimeError):
     """Load shedding: the downgrade queue reached its configured bound."""
+
+
+class ServerDegraded(ServerOverloaded):
+    """Load shedding under degraded capacity (serving shards down).
+
+    Raised instead of :class:`ServerOverloaded` when the queue bound was
+    *scaled down* because too many serving-shard circuit breakers are
+    open.  ``retry_after`` is the ``Retry-After``-style hint: seconds
+    until the earliest half-open breaker probe, i.e. the soonest instant
+    shed capacity might return.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 @dataclass(frozen=True)
@@ -127,6 +161,21 @@ class ServerConfig:
     mode: str = "under"
     #: Check the policy on both posteriors before running a query.
     check_both: bool = True
+    #: Per-job wall-clock deadline for compile shard jobs (None = none).
+    compile_deadline: float | None = None
+    #: Per-batch wall-clock deadline for serving shard jobs (None = none).
+    serving_deadline: float | None = None
+    #: Supervised retries per shard job after the first attempt.
+    max_retries: int = 2
+    #: Base backoff between retries (exponential, seeded jitter on top).
+    retry_backoff: float = 0.02
+    #: Consecutive failures before a shard's circuit breaker opens.
+    breaker_threshold: int = 3
+    #: Seconds an open breaker waits before its half-open probe.
+    breaker_cooldown: float = 0.25
+    #: Fraction of serving shards open before degraded load shedding
+    #: kicks in (the queue bound scales by the healthy fraction).
+    degraded_watermark: float = 0.5
 
 
 @dataclass(frozen=True)
@@ -160,6 +209,14 @@ class ServerStats:
     ticks: int = 0
     #: Artifacts preloaded from the store at boot.
     warm_entries: int = 0
+    #: Shard executors killed and replaced by the supervisor.
+    shard_restarts: int = 0
+    #: Downgrade batches served on the gateway-local degraded path.
+    degraded_batches: int = 0
+    #: Compiles served inline because a compile shard was unavailable.
+    degraded_compiles: int = 0
+    #: Downgrades shed by the *degraded* (scaled-down) queue bound.
+    degraded_shed: int = 0
 
 
 @dataclass
@@ -186,6 +243,7 @@ class DeclassificationServer:
         store: CacheBackend | None = None,
         options: CompileOptions = CompileOptions(),
         config: ServerConfig = ServerConfig(),
+        fault_plan: FaultPlan | None = None,
     ):
         self.config = config
         self.default_options = options
@@ -224,6 +282,23 @@ class DeclassificationServer:
             self.serving_pool = ServingShardPool(
                 config.serving_shards, inline=config.inline_serving
             )
+        #: Chaos schedule shipped inside every shard job payload.
+        self.fault_plan = fault_plan
+        self.pool.fault_plan = fault_plan
+        if self.serving_pool is not None:
+            self.serving_pool.fault_plan = fault_plan
+        #: Deadline/retry/breaker driver for every shard submission.
+        self.supervisor = ShardSupervisor(
+            retry=RetryPolicy(
+                max_retries=config.max_retries, base_delay=config.retry_backoff
+            ),
+            breaker_threshold=config.breaker_threshold,
+            breaker_cooldown=config.breaker_cooldown,
+            seed=fault_plan.seed if fault_plan is not None else 0,
+        )
+        #: Shard-mode sessions currently adopted by the gateway-local
+        #: manager because their shard's breaker is (or was) open.
+        self._degraded_sessions: set[str] = set()
         self.stats = ServerStats(warm_entries=len(cache))
         #: Session id → durable user id for the ledger.
         self._users: dict[str, str] = {}
@@ -310,17 +385,15 @@ class DeclassificationServer:
         loop = asyncio.get_running_loop()
         inflight = loop.create_future()
         self._inflight[key] = inflight
+        shard = self.pool.shard_for(query)
         try:
             try:
-                job = self.pool.submit(
-                    request.name, query, request.secret, options
+                compiled = await self._compile_supervised(
+                    request.name, query, request.secret, options, shard
                 )
             except ShardOverloaded:
                 self.stats.compile_shed += 1
                 raise
-            shard = self.pool.shard_for(query)
-            result_json = await asyncio.wrap_future(job)
-            compiled, _provenance = self.pool.decode(result_json)
             self.cache.put(key, compiled)
         except BaseException as exc:
             inflight.set_exception(exc)
@@ -343,6 +416,55 @@ class DeclassificationServer:
             verified=receipt.verified,
             synth_time=receipt.synth_time,
             verify_time=receipt.verify_time,
+        )
+
+    async def _compile_supervised(
+        self,
+        name: str,
+        query: Any,
+        secret: SecretSpec,
+        options: CompileOptions,
+        shard: int,
+    ):
+        """One supervised compile: deadline, retries, restart, inline failover.
+
+        Compiles are pure and content-addressed, so every recovery action
+        here is trivially safe: a retry re-runs the same synthesis, and
+        the fallback runs the identical payload codec path inline on a
+        gateway worker thread (``degraded_compiles``) — same artifact,
+        no shard.  ``ShardOverloaded`` is not a failure: admission did
+        its job, and the supervisor re-raises it untouched.
+        """
+        pool = self.pool
+
+        async def attempt():
+            job = pool.submit(name, query, secret, options)
+            result_json = await asyncio.wrap_future(job)
+            compiled, _provenance = pool.decode(result_json)
+            return compiled
+
+        async def restart() -> None:
+            pool.restart_shard(shard)
+            self.stats.shard_restarts += 1
+
+        async def fallback():
+            self.stats.degraded_compiles += 1
+            payload = pool.payload_for(name, query, secret, options, with_faults=False)
+            # call_suppressed: an inline-mode plan is process-global, so
+            # a clean payload alone does not keep faults out of the
+            # fallback thread.
+            result_json = await asyncio.to_thread(
+                faults.call_suppressed, compile_payload, payload
+            )
+            return pool.decode(result_json)[0]
+
+        return await self.supervisor.supervise(
+            "compile",
+            shard,
+            attempt,
+            deadline=self.config.compile_deadline,
+            restart=restart,
+            fallback=fallback,
         )
 
     # -- session lifecycle ---------------------------------------------------
@@ -376,28 +498,39 @@ class DeclassificationServer:
             spec, value = secret
             secret = ProtectedSecret.seal(spec, value)
         user = user_id if user_id is not None else session_id
-        spec = secret.spec
-        bounds = None
-        if self.ledger is not None:
-            # Snapshot the mirror's durable bounds so a restarted shard
-            # resumes enforcement where the killed one stopped.
-            bounds = {spec.name: self.ledger.export_bound(user, spec)}
         self._ops_for(self.serving_pool.shard_for(user)).append(
-            {
-                "op": "open_session",
-                "session_id": session_id,
-                "user_id": user,
-                "spec": spec_to_json(spec),
-                # Raw value crosses to the shard inside the TCB; the
-                # shard process re-seals it on arrival.
-                "value": list(secret.unprotect_tcb()),
-                "bounds": bounds,
-            }
+            self._open_session_op(session_id, user, secret)
         )
         session = Session(session_id=session_id, secret=secret)
         self._shard_sessions[session_id] = session
         self._users[session_id] = user
         return session
+
+    def _open_session_op(
+        self, session_id: str, user: str, secret: ProtectedSecret
+    ) -> dict[str, Any]:
+        """The shard op opening one session, with a mirror-bound snapshot.
+
+        The snapshot makes a restarted (or rehydrated) shard resume
+        enforcement where the killed one stopped; it is refreshed again
+        at ship time (see :meth:`_serve_shard_groups`), so bounds
+        committed on the degraded path while the op sat queued are never
+        lost to the shard.
+        """
+        spec = secret.spec
+        bounds = None
+        if self.ledger is not None:
+            bounds = {spec.name: self.ledger.export_bound(user, spec)}
+        return {
+            "op": "open_session",
+            "session_id": session_id,
+            "user_id": user,
+            "spec": spec_to_json(spec),
+            # Raw value crosses to the shard inside the TCB; the
+            # shard process re-seals it on arrival.
+            "value": list(secret.unprotect_tcb()),
+            "bounds": bounds,
+        }
 
     def close_session(self, session_id: str) -> Session:
         """Close a session.  The user's ledger account (budget) remains."""
@@ -412,6 +545,12 @@ class DeclassificationServer:
         self._ops_for(self.serving_pool.shard_for(user)).append(
             {"op": "close_session", "session_id": session_id}
         )
+        if session_id in self._degraded_sessions:
+            # The session was adopted by the gateway-local manager while
+            # its shard was down; close the local mirror too.
+            self._degraded_sessions.discard(session_id)
+            if session_id in self.manager.sessions:
+                self.service.close_session(session_id)
         return session
 
     # -- serving-shard op plumbing --------------------------------------------
@@ -461,6 +600,62 @@ class DeclassificationServer:
         )
         attached.add(query_name)
 
+    def _rehydrate_shard(self, shard: int) -> None:
+        """Queue the ops that rebuild a freshly restarted serving shard.
+
+        The replacement process knows nothing, and durable gateway state
+        is enough to rebuild everything it needs: the configure op is
+        re-queued (``_shard_configured`` reset), compiled artifacts
+        re-attach lazily from the cache/store on next use
+        (``_shard_queries`` reset — zero recompiles, the artifacts are
+        content-addressed), and every live session routed to the shard
+        is re-opened from the gateway's session records with a
+        mirror-bound snapshot.  Snapshots are refreshed again at ship
+        time, and a fresh shard has seen no users, so it adopts them all
+        — the rehydrated shard enforces bounds at least as tight as the
+        mirror's, never looser.
+        """
+        assert self.serving_pool is not None
+        self._shard_configured.discard(shard)
+        self._shard_queries.pop(shard, None)
+        self._shard_ops.pop(shard, None)
+        ops = self._ops_for(shard)
+        for session_id, session in self._shard_sessions.items():
+            user = self._users.get(session_id, session_id)
+            if self.serving_pool.shard_for(user) == shard:
+                ops.append(self._open_session_op(session_id, user, session.secret))
+
+    def _adopt_degraded_sessions(self, shard: int) -> None:
+        """Mirror a down shard's sessions into the gateway-local manager.
+
+        Opened from the gateway's sealed session records; admission and
+        commits then run against the durable mirror ledger — the same
+        enforcement state the shard would have been rehydrated from.
+        Session-local *knowledge* restarts from the prior (the same
+        semantics as a reconnect); the ledger bound does not reset.
+        """
+        assert self.serving_pool is not None
+        for session_id, session in self._shard_sessions.items():
+            user = self._users.get(session_id, session_id)
+            if self.serving_pool.shard_for(user) != shard:
+                continue
+            if session_id not in self.manager.sessions:
+                self.service.open_session(session_id, session.secret)
+            self._degraded_sessions.add(session_id)
+
+    def _retire_degraded_sessions(self, shard: int) -> None:
+        """Drop local mirror sessions once their shard serves again."""
+        if not self._degraded_sessions:
+            return
+        assert self.serving_pool is not None
+        for session_id in list(self._degraded_sessions):
+            user = self._users.get(session_id, session_id)
+            if self.serving_pool.shard_for(user) != shard:
+                continue
+            self._degraded_sessions.discard(session_id)
+            if session_id in self.manager.sessions:
+                self.service.close_session(session_id)
+
     def advance_epoch(self, epochs: int = 1) -> int:
         """Advance budget decay on the mirror ledger and every serving shard.
 
@@ -481,8 +676,30 @@ class DeclassificationServer:
 
     # -- downgrade path --------------------------------------------------------
     async def downgrade(self, session_id: str, query_name: str) -> DowngradeResult:
-        """Queue one downgrade; resolves when its tick's batch is served."""
-        if self._queued >= self.config.max_queued_downgrades:
+        """Queue one downgrade; resolves when its tick's batch is served.
+
+        Load shedding is capacity-aware: past the degraded watermark
+        (too many serving-shard breakers open) the queue bound scales by
+        the healthy-shard fraction and sheds with
+        :class:`ServerDegraded`, whose ``retry_after`` names the
+        earliest breaker probe — the degraded path keeps answering, but
+        it must not be asked to absorb a healthy fleet's queue depth.
+        """
+        bound = self.config.max_queued_downgrades
+        if self.serving_pool is not None:
+            down = self.supervisor.open_fraction(
+                "serving", self.config.serving_shards
+            )
+            if down >= self.config.degraded_watermark:
+                bound = max(1, int(bound * (1.0 - down)))
+                if self._queued >= bound:
+                    self.stats.degraded_shed += 1
+                    raise ServerDegraded(
+                        f"{self._queued} downgrades queued >= degraded bound "
+                        f"{bound} ({down:.0%} of serving shards down)",
+                        retry_after=self.supervisor.earliest_retry("serving"),
+                    )
+        if self._queued >= bound:
             raise ServerOverloaded(
                 f"{self._queued} downgrades queued >= bound "
                 f"{self.config.max_queued_downgrades}"
@@ -572,30 +789,19 @@ class DeclassificationServer:
                 batches.setdefault(shard, []).append((query_name, shard_waiters))
 
         jobs: list[
-            tuple[list[tuple[str, list[_PendingDowngrade]]], asyncio.Future]
-        ] = []
-        for shard, groups in batches.items():
-            ops = self._ops_for(shard)
-            del self._shard_ops[shard]
-            for query_name, shard_waiters in groups:
-                self._ensure_attached(shard, query_name, ops)
-                ops.append(
-                    {
-                        "op": "downgrade_batch",
-                        "query_name": query_name,
-                        "session_ids": [p.session_id for p in shard_waiters],
-                    }
-                )
-            future = asyncio.wrap_future(self.serving_pool.submit(shard, ops))
-            jobs.append((groups, future))
+            tuple[list[tuple[str, list[_PendingDowngrade]]], asyncio.Task]
+        ] = [
+            (groups, asyncio.ensure_future(self._serve_shard_groups(shard, groups)))
+            for shard, groups in batches.items()
+        ]
 
         served = 0
-        for index, (groups, future) in enumerate(jobs):
+        for index, (groups, task) in enumerate(jobs):
             try:
-                response = ServingShardPool.decode(await future)
+                by_key = await task
             except asyncio.CancelledError:
-                for later_groups, later_future in jobs[index:]:
-                    later_future.cancel()
+                for later_groups, later_task in jobs[index:]:
+                    later_task.cancel()
                     for _name, shard_waiters in later_groups:
                         for pending in shard_waiters:
                             if not pending.future.done():
@@ -607,16 +813,6 @@ class DeclassificationServer:
                         if not pending.future.done():
                             pending.future.set_exception(exc)
                 continue
-            if self.ledger is not None:
-                for delta in response["deltas"]:
-                    self.ledger.apply_payload(
-                        delta["user_id"], delta["spec_name"], delta["payload"]
-                    )
-            self.stats.budget_refusals += response["budget_refusals"]
-            by_key = {
-                (result.query_name, result.session_id): result
-                for result in response["results"]
-            }
             for query_name, shard_waiters in groups:
                 for pending in shard_waiters:
                     if not pending.future.done():
@@ -626,6 +822,109 @@ class DeclassificationServer:
                 served += len(shard_waiters)
         self.stats.downgrades_served += served
         return served
+
+    async def _serve_shard_groups(
+        self,
+        shard: int,
+        groups: list[tuple[str, list[_PendingDowngrade]]],
+    ) -> dict[tuple[str, str], DowngradeResult]:
+        """One shard's slice of a flush, supervised end to end.
+
+        The attempt builds the shard payload (pending session/epoch ops,
+        lazy ``attach_query``, then the ``downgrade_batch`` ops) *inside*
+        the supervised call, so a retry after restart+rehydration ships
+        the rebuilt op stream.  Open ops get their mirror-bound snapshot
+        refreshed at ship time — bounds committed on the degraded path
+        while the op sat queued must reach the shard.  Deltas fold into
+        the durable mirror (monotone: replays can tighten, never loosen)
+        *before* any waiter resolves.  Retry safety is the ledger's
+        idempotence: re-running a batch re-checks admission against the
+        same bounds and re-commits the same intersections.
+
+        On failure the supervisor kills and rehydrates the shard and
+        retries; when the breaker is open (or retries are exhausted) the
+        batch falls back to the gateway-local serving path.
+        """
+        assert self.serving_pool is not None
+        pool = self.serving_pool
+
+        async def attempt() -> dict[tuple[str, str], DowngradeResult]:
+            ops = self._ops_for(shard)
+            self._shard_ops.pop(shard, None)
+            for op in ops:
+                if op["op"] == "open_session" and self.ledger is not None:
+                    session = self._shard_sessions.get(op["session_id"])
+                    if session is not None:
+                        spec = session.secret.spec
+                        op["bounds"] = {
+                            spec.name: self.ledger.export_bound(op["user_id"], spec)
+                        }
+            for query_name, shard_waiters in groups:
+                self._ensure_attached(shard, query_name, ops)
+                ops.append(
+                    {
+                        "op": "downgrade_batch",
+                        "query_name": query_name,
+                        "session_ids": [p.session_id for p in shard_waiters],
+                    }
+                )
+            response = ServingShardPool.decode(
+                await asyncio.wrap_future(pool.submit(shard, ops))
+            )
+            if self.ledger is not None:
+                for delta in response["deltas"]:
+                    self.ledger.apply_payload(
+                        delta["user_id"],
+                        delta["spec_name"],
+                        delta["payload"],
+                        monotone=True,
+                    )
+            self.stats.budget_refusals += response["budget_refusals"]
+            self._retire_degraded_sessions(shard)
+            return {
+                (result.query_name, result.session_id): result
+                for result in response["results"]
+            }
+
+        async def restart() -> None:
+            pool.restart_shard(shard)
+            self.stats.shard_restarts += 1
+            self._rehydrate_shard(shard)
+
+        async def fallback() -> dict[tuple[str, str], DowngradeResult]:
+            return await self._serve_degraded(shard, groups)
+
+        return await self.supervisor.supervise(
+            "serving",
+            shard,
+            attempt,
+            deadline=self.config.serving_deadline,
+            restart=restart,
+            fallback=fallback,
+        )
+
+    async def _serve_degraded(
+        self,
+        shard: int,
+        groups: list[tuple[str, list[_PendingDowngrade]]],
+    ) -> dict[tuple[str, str], DowngradeResult]:
+        """Serve one shard's groups on the gateway-local fallback path.
+
+        The ``serving_shards=0`` machinery, reused verbatim: the down
+        shard's sessions are adopted into the gateway-local manager and
+        admission/commit run against the durable mirror ledger — the
+        enforcement floor holds exactly as it would have on the shard.
+        """
+        self.stats.degraded_batches += 1
+        self._adopt_degraded_sessions(shard)
+        by_key: dict[tuple[str, str], DowngradeResult] = {}
+        for query_name, shard_waiters in groups:
+            results = await asyncio.to_thread(
+                self._serve_batch, query_name, shard_waiters
+            )
+            for session_id, result in results.items():
+                by_key[(query_name, session_id)] = result
+        return by_key
 
     def _serve_batch(
         self, query_name: str, waiters: list[_PendingDowngrade]
@@ -747,6 +1046,14 @@ class DeclassificationServer:
             },
             "shards": [vars(s) for s in self.pool.stats()],
             "serving_shards": self.config.serving_shards,
+            "supervisor": {
+                "stats": vars(self.supervisor.stats).copy(),
+                "breakers": {
+                    "compile": self.supervisor.breaker_states("compile"),
+                    "serving": self.supervisor.breaker_states("serving"),
+                },
+                "degraded_sessions": len(self._degraded_sessions),
+            },
             "open_sessions": (
                 self.manager.open_count()
                 if self.serving_pool is None

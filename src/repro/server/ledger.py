@@ -424,12 +424,20 @@ class PrivacyBudgetLedger:
         payload: dict[str, Any],
         *,
         persist: bool = True,
+        monotone: bool = False,
     ) -> None:
         """Overwrite one user's bounds from an :meth:`export_bound` payload.
 
         Used on attach (reloading the backend) and by the gateway to fold
-        authoritative shard-side deltas into its durable mirror.  The
-        payload wins unconditionally — callers own the ordering.
+        authoritative shard-side deltas into its durable mirror.  By
+        default the payload wins unconditionally — callers own the
+        ordering.  With ``monotone=True`` (the gateway's delta-fold
+        mode) an incoming bound is *intersected* with any existing one
+        and an absent incoming bound keeps the existing one: replayed,
+        reordered, or stale deltas — retries, duplicate deliveries, a
+        rehydrated shard echoing its snapshot — can tighten the mirror
+        but can never loosen it.  (Loosening is the job of epoch decay,
+        which acts on the mirror directly, never through payloads.)
         """
         version = payload.get("version")
         if version != LEDGER_FORMAT_VERSION:
@@ -443,9 +451,14 @@ class PrivacyBudgetLedger:
             for bounds, key in ((account.sound, "sound"), (account.complete, "complete")):
                 encoded = payload.get(key)
                 if encoded is None:
-                    bounds.pop(spec_name, None)
-                else:
-                    bounds[spec_name] = domain_from_json(encoded, spec)
+                    if not monotone:
+                        bounds.pop(spec_name, None)
+                    continue
+                incoming = domain_from_json(encoded, spec)
+                existing = bounds.get(spec_name)
+                if monotone and existing is not None:
+                    incoming = intersect_knowledge(existing, incoming)
+                bounds[spec_name] = incoming
             self.epoch = max(self.epoch, int(payload.get("epoch", 0)))
             if persist:
                 self._persist(user_id, spec)

@@ -27,17 +27,26 @@ leaves open.  The ledger payload codec is versioned independently of the
 artifact codec (``ledger_format_version`` in the ``meta`` table); a store
 written before the ledger table existed adopts the current version on
 first open.
+
+Hardening (file-backed stores): WAL journaling so readers never block the
+writer, a bounded busy-retry with backoff around every write (a
+transiently locked file — another process compacting, a backup tool —
+must not crash the gateway), an automatic pre-compaction backup, and a
+corruption path (:meth:`quick_check` / :meth:`recover`) that quarantines
+a damaged file and rebuilds instead of serving garbage.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
 import threading
 import time
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.server import faults
 from repro.server.ledger import LEDGER_FORMAT_VERSION
 from repro.service.cache import CACHE_FORMAT_VERSION
 
@@ -56,6 +65,10 @@ class SQLiteStore:
     ``path`` may be ``":memory:"`` for tests.
     """
 
+    #: Bounded busy-retry around writes: attempts and base backoff.
+    busy_retries = 5
+    busy_backoff = 0.01
+
     def __init__(self, path: str | Path, *, timeout: float = 10.0):
         self.path = str(path)
         self._lock = threading.RLock()
@@ -63,6 +76,11 @@ class SQLiteStore:
             self.path, timeout=timeout, check_same_thread=False
         )
         try:
+            if self.path != ":memory:":
+                # WAL: readers never block the writer, and an abrupt
+                # process death leaves a replayable log, not a torn page.
+                with self._lock:
+                    self._conn.execute("PRAGMA journal_mode=WAL")
             with self._lock, self._conn:
                 self._conn.execute(
                     "CREATE TABLE IF NOT EXISTS meta "
@@ -93,6 +111,28 @@ class SQLiteStore:
             self._conn.close()
             raise
 
+    def _execute_write(self, sql: str, params: tuple) -> None:
+        """One durable write, retried through transient ``database is locked``.
+
+        SQLite raises ``OperationalError: database is locked`` when
+        another connection holds the write lock past ``timeout``.  That
+        is a transient condition, not a bug: back off exponentially for
+        up to :attr:`busy_retries` attempts before letting it propagate.
+        The chaos hook (:func:`repro.server.faults.maybe_db_locked`)
+        fires *inside* the loop so injected lock storms are absorbed the
+        same way real ones are.
+        """
+        for attempt in range(self.busy_retries + 1):
+            try:
+                with self._lock, self._conn:
+                    faults.maybe_db_locked("store.write")
+                    self._conn.execute(sql, params)
+                return
+            except sqlite3.OperationalError as exc:
+                if "locked" not in str(exc) or attempt >= self.busy_retries:
+                    raise
+                time.sleep(self.busy_backoff * (2**attempt))
+
     def _check_version(self, key: str, expected: int) -> None:
         """Record or verify one ``meta`` version row (absent = adopt)."""
         row = self._conn.execute(
@@ -121,12 +161,11 @@ class SQLiteStore:
     def put(self, key: str, payload: dict[str, Any]) -> None:
         """Durably store a payload under its content hash (last write wins)."""
         blob = json.dumps(payload, sort_keys=True)
-        with self._lock, self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO artifacts (key, payload, created_at) "
-                "VALUES (?, ?, ?)",
-                (key, blob, time.time()),
-            )
+        self._execute_write(
+            "INSERT OR REPLACE INTO artifacts (key, payload, created_at) "
+            "VALUES (?, ?, ?)",
+            (key, blob, time.time()),
+        )
 
     def keys(self) -> Iterator[str]:
         """The stored keys (insertion order)."""
@@ -155,12 +194,11 @@ class SQLiteStore:
         decay); last write wins, exactly like artifacts.
         """
         blob = json.dumps(payload, sort_keys=True)
-        with self._lock, self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO ledger_bounds "
-                "(user_id, spec, payload, updated_at) VALUES (?, ?, ?, ?)",
-                (user_id, spec_name, blob, time.time()),
-            )
+        self._execute_write(
+            "INSERT OR REPLACE INTO ledger_bounds "
+            "(user_id, spec, payload, updated_at) VALUES (?, ?, ?, ?)",
+            (user_id, spec_name, blob, time.time()),
+        )
 
     def ledger_bounds(self) -> Iterator[tuple[str, str, dict[str, Any]]]:
         """All ``(user_id, spec_name, payload)`` rows (the attach read)."""
@@ -198,10 +236,73 @@ class SQLiteStore:
         """Reclaim space from deleted/overwritten rows (``VACUUM``).
 
         Blocks writers for the duration; run it from the operations
-        runbook's maintenance window, not the serving path.
+        runbook's maintenance window, not the serving path.  File-backed
+        stores first take an automatic snapshot at ``<path>.pre-compact``
+        — ``VACUUM`` rewrites the whole file, and an interrupted rewrite
+        is exactly the corruption :meth:`recover` exists for.
         """
+        if self.path != ":memory:":
+            self.backup(f"{self.path}.pre-compact")
         with self._lock:
             self._conn.execute("VACUUM")
+
+    def quick_check(self) -> bool:
+        """True when SQLite's integrity probe (``PRAGMA quick_check``) passes."""
+        try:
+            with self._lock:
+                rows = self._conn.execute("PRAGMA quick_check").fetchall()
+        except sqlite3.DatabaseError:
+            return False
+        return bool(rows) and rows[0][0] == "ok"
+
+    @classmethod
+    def recover(
+        cls, path: str | Path, *, export_json: str | Path | None = None
+    ) -> "SQLiteStore":
+        """Open ``path``, quarantining and rebuilding it if corrupted.
+
+        The boot-time entry point for the gateway: a healthy file opens
+        normally; a damaged one (unreadable header, failed
+        ``quick_check``) is moved aside to ``<path>.corrupt-<n>`` along
+        with its WAL/SHM sidecars, a fresh store is created, and — when
+        ``export_json`` names a flat-file cache export — artifacts are
+        re-imported from it.  Ledger bounds cannot be rebuilt from a
+        cache export; users restart from the full-space bound, which is
+        strictly more permissive (see the operations runbook for why
+        restoring the newest *backup* is preferable when one exists).
+
+        A :class:`StoreFormatError` still propagates: a codec-version
+        mismatch is a deployment error, not file damage.
+        """
+        path = str(path)
+        store: "SQLiteStore" | None = None
+        try:
+            store = cls(path)
+            if store.quick_check():
+                return store
+            store.close()
+        except StoreFormatError:
+            raise
+        except (sqlite3.DatabaseError, ValueError):
+            # ValueError: a garbage meta row — damage, not a codec skew.
+            if store is not None:
+                store.close()
+        cls._quarantine(path)
+        rebuilt = cls(path)
+        if export_json is not None and Path(export_json).exists():
+            rebuilt.import_cache_json(export_json)
+        return rebuilt
+
+    @staticmethod
+    def _quarantine(path: str) -> None:
+        """Move a damaged store (and sidecars) out of the way, keeping it."""
+        suffix = 0
+        while Path(f"{path}.corrupt-{suffix}").exists():
+            suffix += 1
+        os.replace(path, f"{path}.corrupt-{suffix}")
+        for sidecar in ("-wal", "-shm"):
+            if Path(path + sidecar).exists():
+                os.replace(path + sidecar, f"{path}.corrupt-{suffix}{sidecar}")
 
     # -- conveniences --------------------------------------------------------
     def __len__(self) -> int:

@@ -35,6 +35,16 @@ the gateway's ``max_queued_downgrades``.)
 ``inline=True`` replaces the process pools with synchronous in-process
 execution of the *same* payload codec path; tests and coverage runs use
 it, and single-core deployments may prefer it.
+
+Failures at the process boundary are *typed* (see
+:mod:`repro.server.supervise`): a dead worker surfaces as
+:class:`~repro.server.supervise.ShardCrash`, an undecodable result as
+:class:`~repro.server.supervise.CodecError` — never as a bare
+``BaseException`` caught somewhere upstream.  Both pools support
+:meth:`restart_shard` (replace a broken executor; in-flight futures
+settle with ``BrokenProcessPool`` and release their admission slots) and
+carry an optional :class:`~repro.server.faults.FaultPlan` inside job
+payloads so the chaos suite can fault worker processes deterministically.
 """
 
 from __future__ import annotations
@@ -61,7 +71,9 @@ from repro.lang.canonical import (
 from repro.lang.parser import parse_bool
 from repro.lang.secrets import SecretSpec
 from repro.monad.protected import ProtectedSecret
+from repro.server import faults
 from repro.server.ledger import DecayPolicy, PrivacyBudgetLedger
+from repro.server.supervise import CodecError, classify_failure
 from repro.service.api import DowngradeResult
 from repro.service.cache import SynthesisCache
 from repro.service.serialize import (
@@ -81,6 +93,7 @@ __all__ = [
     "ShardedCompilePool",
     "ServingShardPool",
     "compile_payload",
+    "ping_payload",
     "serve_payload",
     "shard_of",
     "serve_shard_of",
@@ -162,21 +175,43 @@ def compile_payload(payload: str) -> str:
 
     The result carries the full artifact encoding plus worker-side
     provenance (pid, whether the shard's local cache already had it).
+    Compiles are pure and content-addressed, so the fault hooks here are
+    trivially retry-safe: re-running a job (or running it twice, under a
+    ``duplicate_delivery`` fault) yields the identical artifact.
     """
     data = json.loads(payload)
+    faults.install_from_payload(data.get("faults"))
+    faults.maybe_crash("compile", "crash_before_result")
+    faults.maybe_delay("compile")
     query = expr_from_json(data["query"])
     secret = spec_from_json(data["secret"])
     options = options_from_json(data["options"])
     cache = _process_cache()
     hits_before = cache.stats.hits
     compiled = compile_query(data["name"], query, secret, options, cache=cache)
-    return json.dumps(
+    if faults.should_duplicate("compile"):
+        # At-least-once delivery: the second run must be a cache hit and
+        # produce the same artifact.
+        compiled = compile_query(data["name"], query, secret, options, cache=cache)
+    faults.maybe_crash("compile", "crash_after_commit")
+    result = json.dumps(
         {
             "artifact": compiled_query_to_json(compiled),
             "pid": os.getpid(),
             "shard_cache_hit": cache.stats.hits > hits_before,
         }
     )
+    return faults.maybe_corrupt("compile", result)
+
+
+def ping_payload(payload: str) -> str:
+    """Heartbeat entry point: proves the worker process is alive.
+
+    Deliberately does no work and fires no faults — a ping measures the
+    process, not the job pipeline.
+    """
+    del payload
+    return json.dumps({"pid": os.getpid()})
 
 
 # ---------------------------------------------------------------------------
@@ -326,6 +361,9 @@ class _ServingShard:
                 )
         if not admitted:
             return refusals
+        # Chaos kill point: the shard has admitted (preauthorized) but not
+        # yet committed — a crash here must not charge anyone.
+        faults.maybe_crash("serve.round", "crash_before_result")
         for sid, decision in self.manager.downgrade_batch(
             query_name, admitted
         ).items():
@@ -348,6 +386,9 @@ class _ServingShard:
                     mode=self.manager.mode,
                 )
                 touched[(user_id, compiled.qinfo.secret.name)] = compiled.qinfo.secret
+        # Chaos kill point: shard-local commits happened, but the deltas
+        # have not reached the gateway mirror — they die with the process.
+        faults.maybe_crash("serve.round", "crash_after_commit")
         return refusals
 
 
@@ -368,10 +409,12 @@ def serve_payload(payload: str) -> str:
     budget-refusal count, and worker provenance (pid).
     """
     data = json.loads(payload)
+    faults.install_from_payload(data.get("faults"))
+    faults.maybe_crash("serve", "crash_before_result")
+    faults.maybe_delay("serve")
     shard_key = data["shard"]
-    results: list[dict[str, Any]] = []
-    deltas: list[dict[str, Any]] = []
-    refusals = 0
+    downgrades: list[dict[str, Any]] = []
+    outputs: list[tuple[list[DowngradeResult], list[dict[str, Any]], int]] = []
     for op in data["ops"]:
         kind = op["op"]
         if kind == "configure":
@@ -388,17 +431,31 @@ def serve_payload(payload: str) -> str:
         elif kind == "advance_epoch":
             shard.advance_epoch(op)
         elif kind == "downgrade_batch":
-            batch_results, batch_deltas, batch_refusals = shard.serve_batch(
-                op["query_name"], op["session_ids"]
-            )
-            results.extend(
-                downgrade_result_to_json(result) for result in batch_results
-            )
-            deltas.extend(batch_deltas)
-            refusals += batch_refusals
+            downgrades.append(op)
+            outputs.append(shard.serve_batch(op["query_name"], op["session_ids"]))
         else:
             raise ValueError(f"unknown serving op {kind!r}")
-    return json.dumps(
+    if downgrades and faults.should_duplicate("serve"):
+        # At-least-once delivery: re-execute every answer-bearing op and
+        # discard the re-run's outputs — the first delivery's response is
+        # authoritative.  Lifecycle ops are not re-run (they are not
+        # idempotent and, in gateway-built payloads, always precede the
+        # downgrades).  The re-run either re-commits the same bounds
+        # (idempotent intersections) or is refused by admission because
+        # the first run already charged them; the ledger lands in the
+        # same state either way.
+        shard = _SERVING_STATE[shard_key]
+        for op in downgrades:
+            shard.serve_batch(op["query_name"], op["session_ids"])
+    faults.maybe_crash("serve", "crash_after_commit")
+    results: list[dict[str, Any]] = []
+    deltas: list[dict[str, Any]] = []
+    refusals = 0
+    for batch_results, batch_deltas, batch_refusals in outputs:
+        results.extend(downgrade_result_to_json(result) for result in batch_results)
+        deltas.extend(batch_deltas)
+        refusals += batch_refusals
+    response = json.dumps(
         {
             "results": results,
             "deltas": deltas,
@@ -406,6 +463,7 @@ def serve_payload(payload: str) -> str:
             "pid": os.getpid(),
         }
     )
+    return faults.maybe_corrupt("serve", response)
 
 
 # ---------------------------------------------------------------------------
@@ -415,12 +473,33 @@ def serve_payload(payload: str) -> str:
 
 @dataclass
 class ShardStats:
-    """Counters for one shard."""
+    """Counters for one shard.
+
+    ``shed`` counts admission refusals (the queue bound did its job);
+    ``failed`` counts jobs the executor rejected *after* admission — the
+    slot is released either way, so ``pending`` always returns to zero.
+    """
 
     submitted: int = 0
     completed: int = 0
     shed: int = 0
     pending: int = 0
+    failed: int = 0
+
+
+def _kill_executor(executor: ProcessPoolExecutor | None) -> None:
+    """Abruptly tear down one shard executor (possibly hung).
+
+    Kills the worker processes first — a hung synthesis job cannot block
+    shutdown — which settles every in-flight future with
+    ``BrokenProcessPool``; their done-callbacks then release admission
+    slots through the normal path.
+    """
+    if executor is None:
+        return
+    for process in list(getattr(executor, "_processes", {}).values()):
+        process.kill()
+    executor.shutdown(wait=False)
 
 
 class ShardedCompilePool:
@@ -441,6 +520,8 @@ class ShardedCompilePool:
         self.shards = shards
         self.max_pending = max_pending
         self.inline = inline
+        #: Optional chaos schedule, shipped inside every job payload.
+        self.fault_plan: faults.FaultPlan | None = None
         self._executors: list[ProcessPoolExecutor | None] = [None] * shards
         self._stats = [ShardStats() for _ in range(shards)]
         self._lock = threading.Lock()
@@ -453,6 +534,35 @@ class ShardedCompilePool:
         return shard_of(query, self.shards)
 
     # -- submission ---------------------------------------------------------
+    def payload_for(
+        self,
+        name: str,
+        query: BoolExpr | str,
+        secret: SecretSpec,
+        options: CompileOptions,
+        *,
+        with_faults: bool = True,
+    ) -> str:
+        """Encode one compile job as payload JSON.
+
+        ``with_faults=False`` builds a clean payload for degraded inline
+        execution in the gateway process — a ``process``-mode crash fault
+        must never fire there.
+        """
+        if isinstance(query, str):
+            query = parse_bool(query)
+        payload: dict[str, Any] = {
+            "name": name,
+            "query": expr_to_json(query),
+            "secret": spec_to_json(secret),
+            "options": options_to_json(options),
+        }
+        if with_faults:
+            fragment = faults.encode_for_payload(self.fault_plan, simulate=self.inline)
+            if fragment is not None:
+                payload["faults"] = fragment
+        return json.dumps(payload)
+
     def submit(
         self,
         name: str,
@@ -463,40 +573,53 @@ class ShardedCompilePool:
         """Route a compile job to its shard; the future yields result JSON.
 
         Raises :class:`ShardOverloaded` (without queueing anything) when
-        the shard already has ``max_pending`` jobs in flight.
+        the shard already has ``max_pending`` jobs in flight.  Any other
+        submit-time failure releases the admission slot it reserved —
+        a broken executor must not eat the shard's capacity.
         """
         if isinstance(query, str):
             query = parse_bool(query)
         shard = self.shard_for(query)
         self._reserve(shard)
-        payload = json.dumps(
-            {
-                "name": name,
-                "query": expr_to_json(query),
-                "secret": spec_to_json(secret),
-                "options": options_to_json(options),
-            }
-        )
-        if self.inline:
-            future: Future = Future()
-            future.add_done_callback(lambda _f: self._release(shard))
-            try:
-                future.set_result(compile_payload(payload))
-            except BaseException as exc:  # noqa: BLE001 - mirror executor behavior
-                future.set_exception(exc)
-        else:
-            future = self._executor(shard).submit(compile_payload, payload)
-            future.add_done_callback(lambda _f: self._release(shard))
-        return future
+        try:
+            payload = self.payload_for(name, query, secret, options)
+            if self.inline:
+                future: Future = Future()
+                future.add_done_callback(lambda _f: self._release(shard))
+                try:
+                    future.set_result(compile_payload(payload))
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as exc:
+                    future.set_exception(
+                        classify_failure(exc, shard=shard, site="compile")
+                    )
+            else:
+                future = self._executor(shard).submit(compile_payload, payload)
+                future.add_done_callback(lambda _f: self._release(shard))
+            return future
+        except BaseException:
+            self._release_failed(shard)
+            raise
 
     @staticmethod
     def decode(result_json: str) -> tuple[CompiledQuery, dict]:
-        """Decode a worker result into the artifact plus its provenance."""
-        data = json.loads(result_json)
-        return compiled_query_from_json(data["artifact"]), {
-            "pid": data["pid"],
-            "shard_cache_hit": data["shard_cache_hit"],
-        }
+        """Decode a worker result into the artifact plus its provenance.
+
+        An unparseable or structurally wrong result raises
+        :class:`~repro.server.supervise.CodecError` — the supervisor
+        treats it as a transient shard failure and retries.
+        """
+        try:
+            data = json.loads(result_json)
+            return compiled_query_from_json(data["artifact"]), {
+                "pid": data["pid"],
+                "shard_cache_hit": data["shard_cache_hit"],
+            }
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise CodecError(
+                f"undecodable compile result: {exc}", site="compile"
+            ) from exc
 
     # -- admission bookkeeping ----------------------------------------------
     def _reserve(self, shard: int) -> None:
@@ -516,6 +639,13 @@ class ShardedCompilePool:
             self._stats[shard].pending -= 1
             self._stats[shard].completed += 1
 
+    def _release_failed(self, shard: int) -> None:
+        # Submit-time failure: the job never reached a worker, so the
+        # reserved slot is returned without counting a completion.
+        with self._lock:
+            self._stats[shard].pending -= 1
+            self._stats[shard].failed += 1
+
     def _executor(self, shard: int) -> ProcessPoolExecutor:
         # Lazy: shards that never receive work never fork a process.
         with self._lock:
@@ -524,6 +654,31 @@ class ShardedCompilePool:
                 executor = ProcessPoolExecutor(max_workers=1)
                 self._executors[shard] = executor
             return executor
+
+    # -- supervision ---------------------------------------------------------
+    def restart_shard(self, shard: int) -> None:
+        """Replace a (possibly broken or hung) shard executor.
+
+        The old worker is killed, which settles its in-flight futures
+        with ``BrokenProcessPool`` and releases their admission slots;
+        the next submit lazily forks a fresh process.  Compile shards
+        hold no authoritative state — only warm memos — so there is
+        nothing to rehydrate.  Inline pools have no process to replace.
+        """
+        with self._lock:
+            executor = self._executors[shard]
+            self._executors[shard] = None
+        _kill_executor(executor)
+
+    def ping(self, shard: int, *, timeout: float = 5.0) -> bool:
+        """Heartbeat a shard: False means its worker is dead or hung."""
+        if self.inline:
+            return True
+        try:
+            self._executor(shard).submit(ping_payload, "{}").result(timeout=timeout)
+            return True
+        except Exception:
+            return False
 
     # -- introspection -------------------------------------------------------
     def stats(self) -> list[ShardStats]:
@@ -580,6 +735,8 @@ class ServingShardPool:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.shards = shards
         self.inline = inline
+        #: Optional chaos schedule, shipped inside every job payload.
+        self.fault_plan: faults.FaultPlan | None = None
         self._pool_id = next(_POOL_IDS)
         self._executors: list[ProcessPoolExecutor | None] = [None] * shards
         self._lock = threading.Lock()
@@ -596,31 +753,48 @@ class ServingShardPool:
         Serving jobs are bounded upstream by the gateway's downgrade
         queue, so there is no per-shard admission control here.
         """
-        payload = json.dumps(
-            {"shard": f"{self._pool_id}/{shard}", "ops": ops}
-        )
+        body: dict[str, Any] = {"shard": f"{self._pool_id}/{shard}", "ops": ops}
+        fragment = faults.encode_for_payload(self.fault_plan, simulate=self.inline)
+        if fragment is not None:
+            body["faults"] = fragment
+        payload = json.dumps(body)
         if self.inline:
             future: Future = Future()
             try:
                 future.set_result(serve_payload(payload))
-            except BaseException as exc:  # noqa: BLE001 - mirror executor behavior
-                future.set_exception(exc)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                future.set_exception(
+                    classify_failure(exc, shard=shard, site="serve")
+                )
             return future
         return self._executor(shard).submit(serve_payload, payload)
 
     @staticmethod
     def decode(result_json: str) -> dict[str, Any]:
-        """Decode a shard response: results, ledger deltas, refusals, pid."""
-        data = json.loads(result_json)
-        return {
-            "results": [
-                downgrade_result_from_json(encoded)
-                for encoded in data["results"]
-            ],
-            "deltas": data["deltas"],
-            "budget_refusals": data["budget_refusals"],
-            "pid": data["pid"],
-        }
+        """Decode a shard response: results, ledger deltas, refusals, pid.
+
+        An unparseable or structurally wrong response raises
+        :class:`~repro.server.supervise.CodecError` — the supervisor
+        treats it as a transient shard failure, restarts the shard, and
+        retries.
+        """
+        try:
+            data = json.loads(result_json)
+            return {
+                "results": [
+                    downgrade_result_from_json(encoded)
+                    for encoded in data["results"]
+                ],
+                "deltas": data["deltas"],
+                "budget_refusals": data["budget_refusals"],
+                "pid": data["pid"],
+            }
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise CodecError(
+                f"undecodable serving response: {exc}", site="serve"
+            ) from exc
 
     def _executor(self, shard: int) -> ProcessPoolExecutor:
         # Lazy: shards that never receive work never fork a process.
@@ -630,6 +804,38 @@ class ServingShardPool:
                 executor = ProcessPoolExecutor(max_workers=1)
                 self._executors[shard] = executor
             return executor
+
+    # -- supervision ---------------------------------------------------------
+    def restart_shard(self, shard: int) -> None:
+        """Kill a serving shard's state; the replacement starts empty.
+
+        In process mode the worker is killed (in-flight futures settle
+        with ``BrokenProcessPool``) and the next submit forks afresh; in
+        inline mode the shard's in-process state is dropped — the inline
+        analogue of process death.  Either way the replacement knows
+        *nothing*: the gateway must rehydrate it (configure, re-attach
+        queries, re-open sessions with mirror bounds) before serving.
+        A forced-empty replacement is what makes restart safe — a fresh
+        shard accepts every mirror bound snapshot, so degraded-mode
+        commits made while it was down can never be clobbered by stale
+        in-process state.
+        """
+        with self._lock:
+            executor = self._executors[shard]
+            self._executors[shard] = None
+        if self.inline:
+            _SERVING_STATE.pop(f"{self._pool_id}/{shard}", None)
+        _kill_executor(executor)
+
+    def ping(self, shard: int, *, timeout: float = 5.0) -> bool:
+        """Heartbeat a shard: False means its worker is dead or hung."""
+        if self.inline:
+            return True
+        try:
+            self._executor(shard).submit(ping_payload, "{}").result(timeout=timeout)
+            return True
+        except Exception:
+            return False
 
     # -- lifecycle -----------------------------------------------------------
     def shutdown(self, *, wait: bool = True) -> None:

@@ -216,3 +216,137 @@ def test_compact_preserves_contents(tmp_path):
         assert len(store) == 20
         assert store.get("k7") == {"v": -7}
         assert store.ledger_bound_count() == 1
+
+
+# ---------------------------------------------------------------------------
+# Hardening: WAL, busy retries, pre-compact backup, corruption recovery
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan():
+    from repro.server import faults
+
+    faults.clear_fault_plan()
+    yield
+    faults.clear_fault_plan()
+
+
+def test_file_store_uses_wal_journaling(tmp_path):
+    with SQLiteStore(tmp_path / "store.db") as store:
+        (mode,) = store._conn.execute("PRAGMA journal_mode").fetchone()
+        assert mode == "wal"
+
+
+def test_busy_retry_absorbs_transient_lock_storms(tmp_path):
+    from repro.server import faults
+
+    with SQLiteStore(tmp_path / "store.db") as store:
+        faults.install_fault_plan(
+            faults.FaultPlan(
+                [faults.FaultSpec(site="store.write", kind="db_locked", times=2)]
+            ),
+            simulate=True,
+        )
+        store.put("k", {"v": 1})  # two locked attempts, then through
+        assert store.get("k") == {"v": 1}
+
+
+def test_busy_retry_gives_up_past_the_bound(tmp_path):
+    import sqlite3
+
+    from repro.server import faults
+
+    with SQLiteStore(tmp_path / "store.db") as store:
+        store.busy_backoff = 0.001
+        faults.install_fault_plan(
+            faults.FaultPlan(
+                [
+                    faults.FaultSpec(
+                        site="store.write",
+                        kind="db_locked",
+                        times=store.busy_retries + 1,
+                    )
+                ]
+            ),
+            simulate=True,
+        )
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            store.put("k", {"v": 1})
+        # The storm has passed (budget spent): the next write lands.
+        store.put("k", {"v": 2})
+        assert store.get("k") == {"v": 2}
+
+
+def test_compact_takes_automatic_pre_compact_backup(tmp_path):
+    path = tmp_path / "store.db"
+    with SQLiteStore(path) as store:
+        store.put("k", {"v": 1})
+        store.compact()
+        store.put("post", {"v": 2})
+    backup = tmp_path / "store.db.pre-compact"
+    assert backup.exists()
+    with SQLiteStore(backup) as snapshot:
+        assert snapshot.get("k") == {"v": 1}
+        assert "post" not in snapshot  # taken before, not after
+
+
+def test_quick_check_distinguishes_health_from_damage(tmp_path):
+    path = tmp_path / "store.db"
+    with SQLiteStore(path) as store:
+        store.put("k", {"v": 1})
+        assert store.quick_check() is True
+
+
+def test_recover_on_healthy_store_keeps_data(tmp_path):
+    path = tmp_path / "store.db"
+    with SQLiteStore(path) as store:
+        store.put("k", {"v": 1})
+        store.put_ledger_bound("alice", "Tiny", {"version": 1})
+    with SQLiteStore.recover(path) as store:
+        assert store.get("k") == {"v": 1}
+        assert store.ledger_bound_count() == 1
+    assert not (tmp_path / "store.db.corrupt-0").exists()
+
+
+def test_recover_quarantines_and_rebuilds_corrupt_file(tmp_path):
+    path = tmp_path / "store.db"
+    cache = SynthesisCache()
+    compiled = _compile(cache=cache)
+    key = next(iter(cache.keys()))
+    export = tmp_path / "export.json"
+    with SQLiteStore(path) as store:
+        SynthesisCache(backend=store).put(key, compiled)
+        store.export_cache_json(export)
+    # Smash the file the way a torn rewrite would.
+    path.write_bytes(b"not a sqlite file at all" * 64)
+    with SQLiteStore.recover(path, export_json=export) as rebuilt:
+        # The damaged file is kept for forensics, never served from.
+        assert (tmp_path / "store.db.corrupt-0").exists()
+        # Artifacts came back from the flat-file export.
+        assert len(rebuilt) == 1
+        assert rebuilt.get(key) is not None
+        # Ledger bounds cannot be rebuilt from a cache export.
+        assert rebuilt.ledger_bound_count() == 0
+    # Recovering twice never overwrites the quarantined evidence.
+    path.write_bytes(b"damaged again" * 64)
+    SQLiteStore.recover(path).close()
+    assert (tmp_path / "store.db.corrupt-1").exists()
+
+
+def test_recover_still_refuses_codec_version_skew(tmp_path):
+    path = tmp_path / "store.db"
+    SQLiteStore(path).close()
+    import sqlite3
+
+    conn = sqlite3.connect(path)
+    with conn:
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'format_version'",
+            (str(CACHE_FORMAT_VERSION + 1),),
+        )
+    conn.close()
+    # A version mismatch is a deployment error, not damage: no quarantine.
+    with pytest.raises(StoreFormatError):
+        SQLiteStore.recover(path)
+    assert not (tmp_path / "store.db.corrupt-0").exists()

@@ -1,0 +1,374 @@
+"""Unit coverage for the supervision primitives and the fault plan.
+
+The chaos suite (``test_chaos.py``) exercises these end to end; this
+file pins the state machines themselves: failure classification, breaker
+transitions under a fake clock, deterministic backoff, the supervise
+driver's retry/restart/fallback contract, and FaultPlan's seeded,
+counter-persistent firing.
+"""
+
+import asyncio
+import json
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.server.faults import (
+    FaultPlan,
+    FaultSpec,
+    active_fault_plan,
+    clear_fault_plan,
+    install_fault_plan,
+    maybe_corrupt,
+    maybe_crash,
+    maybe_db_locked,
+    maybe_delay,
+    should_duplicate,
+)
+from repro.server.supervise import (
+    CircuitBreaker,
+    CodecError,
+    RetryPolicy,
+    ShardCrash,
+    ShardFailure,
+    ShardSupervisor,
+    ShardTimeout,
+    classify_failure,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan():
+    clear_fault_plan()
+    yield
+    clear_fault_plan()
+
+
+# ---------------------------------------------------------------------------
+# classify_failure
+# ---------------------------------------------------------------------------
+
+
+def test_classify_maps_executor_and_codec_failures():
+    crash = classify_failure(BrokenProcessPool("boom"), shard=3, site="serve")
+    assert isinstance(crash, ShardCrash)
+    assert crash.shard == 3 and crash.site == "serve"
+    assert crash.to_payload()["kind"] == "crash"
+
+    timeout = classify_failure(asyncio.TimeoutError(), shard=1, site="compile")
+    assert isinstance(timeout, ShardTimeout)
+
+    try:
+        json.loads("{nope")
+    except json.JSONDecodeError as exc:
+        codec = classify_failure(exc, shard=0, site="serve")
+    assert isinstance(codec, CodecError)
+    assert "undecodable" in codec.detail
+
+
+def test_classify_passes_through_fatal_and_application_errors():
+    app = ValueError("a bug, not a shard failure")
+    assert classify_failure(app, shard=0, site="serve") is app
+    ki = KeyboardInterrupt()
+    assert classify_failure(ki, shard=0, site="serve") is ki
+    cancel = asyncio.CancelledError()
+    assert classify_failure(cancel, shard=0, site="serve") is cancel
+
+
+def test_classify_fills_missing_location_on_existing_failures():
+    failure = ShardCrash("already typed")
+    out = classify_failure(failure, shard=7, site="compile")
+    assert out is failure and out.shard == 7 and out.site == "compile"
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_breaker_opens_after_threshold_and_probes_after_cooldown():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=3, cooldown=10.0, clock=clock)
+    assert breaker.state() == "closed" and breaker.allow()
+    assert breaker.record_failure() is False
+    assert breaker.record_failure() is False
+    assert breaker.record_failure() is True  # this one opens it
+    assert breaker.state() == "open" and not breaker.allow()
+    assert breaker.retry_after() == pytest.approx(10.0)
+    clock.now = 9.0
+    assert breaker.state() == "open"
+    clock.now = 10.0
+    assert breaker.state() == "half_open" and breaker.allow()
+    # Probe fails: re-open for another cooldown, no duplicate "opened".
+    breaker.record_failure()
+    assert breaker.state() == "open"
+    clock.now = 21.0
+    breaker.record_success()
+    assert breaker.state() == "closed" and breaker.retry_after() == 0.0
+
+
+def test_breaker_success_resets_consecutive_count():
+    breaker = CircuitBreaker(threshold=2, cooldown=1.0, clock=FakeClock())
+    breaker.record_failure()
+    breaker.record_success()
+    assert breaker.record_failure() is False  # count restarted
+    assert breaker.state() == "closed"
+
+
+def test_breaker_trip_with_cooldown_override():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=3, cooldown=0.5, clock=clock)
+    breaker.trip(cooldown=3600.0)
+    assert breaker.state() == "open"
+    clock.now = 100.0
+    assert breaker.state() == "open"  # override, not the configured 0.5s
+    assert breaker.retry_after() == pytest.approx(3500.0)
+    breaker.record_success()
+    assert breaker.state() == "closed"
+    breaker.trip()
+    clock.now = 100.6
+    assert breaker.state() == "half_open"  # back on the configured cooldown
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+
+def test_retry_backoff_grows_exponentially_and_caps():
+    import random
+
+    policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0)
+    rng = random.Random(0)
+    assert policy.delay_for(1, rng) == pytest.approx(0.1)
+    assert policy.delay_for(2, rng) == pytest.approx(0.2)
+    assert policy.delay_for(3, rng) == pytest.approx(0.4)
+    assert policy.delay_for(4, rng) == pytest.approx(0.5)  # capped
+
+    jittered = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter=0.5)
+    a = jittered.delay_for(1, random.Random(7))
+    b = jittered.delay_for(1, random.Random(7))
+    assert a == b  # deterministic under a fixed seed
+    assert 0.1 <= a <= 0.15
+
+
+# ---------------------------------------------------------------------------
+# ShardSupervisor.supervise
+# ---------------------------------------------------------------------------
+
+
+def _supervisor(**kwargs) -> ShardSupervisor:
+    kwargs.setdefault("retry", RetryPolicy(max_retries=2, base_delay=0.0, jitter=0.0))
+    kwargs.setdefault("breaker_threshold", 10)
+    return ShardSupervisor(**kwargs)
+
+
+def test_supervise_retries_transient_failures_then_succeeds():
+    calls = {"attempts": 0, "restarts": 0}
+
+    async def scenario():
+        sup = _supervisor()
+
+        async def attempt():
+            calls["attempts"] += 1
+            if calls["attempts"] < 3:
+                raise BrokenProcessPool("flaky")
+            return "ok"
+
+        async def restart():
+            calls["restarts"] += 1
+
+        return await sup.supervise("compile", 0, attempt, restart=restart), sup
+
+    result, sup = asyncio.run(scenario())
+    assert result == "ok"
+    assert calls == {"attempts": 3, "restarts": 2}
+    assert sup.stats.retries == 2 and sup.stats.crashes == 2
+    assert sup.breaker("compile", 0).state() == "closed"
+
+
+def test_supervise_exhausts_retries_then_raises_typed_failure():
+    async def scenario():
+        sup = _supervisor()
+
+        async def attempt():
+            raise BrokenProcessPool("always")
+
+        with pytest.raises(ShardCrash) as excinfo:
+            await sup.supervise("serve", 2, attempt)
+        return excinfo.value, sup
+
+    failure, sup = asyncio.run(scenario())
+    assert failure.shard == 2 and failure.site == "serve"
+    assert sup.stats.attempts == 3  # 1 + max_retries
+
+
+def test_supervise_falls_back_after_exhaustion_and_on_open_breaker():
+    async def scenario():
+        sup = _supervisor(breaker_threshold=3, breaker_cooldown=3600.0)
+
+        async def attempt():
+            raise BrokenProcessPool("down hard")
+
+        async def fallback():
+            return "fallback"
+
+        first = await sup.supervise("serve", 0, attempt, fallback=fallback)
+        assert sup.breaker("serve", 0).state() == "open"
+        # Second call: breaker is open, attempt must not even run.
+        ran = {"attempt": False}
+
+        async def attempt2():
+            ran["attempt"] = True
+            return "real"
+
+        second = await sup.supervise("serve", 0, attempt2, fallback=fallback)
+        return first, second, ran, sup
+
+    first, second, ran, sup = asyncio.run(scenario())
+    assert first == "fallback" and second == "fallback"
+    assert ran["attempt"] is False
+    assert sup.stats.failovers == 2 and sup.stats.breaker_opens == 1
+
+
+def test_supervise_deadline_turns_hang_into_timeout():
+    async def scenario():
+        sup = _supervisor(retry=RetryPolicy(max_retries=0))
+
+        async def attempt():
+            await asyncio.sleep(30)
+
+        with pytest.raises(ShardTimeout):
+            await sup.supervise("serve", 0, attempt, deadline=0.01)
+        return sup
+
+    sup = asyncio.run(scenario())
+    assert sup.stats.timeouts == 1
+
+
+def test_supervise_does_not_retry_application_errors():
+    calls = {"attempts": 0}
+
+    async def scenario():
+        sup = _supervisor()
+
+        async def attempt():
+            calls["attempts"] += 1
+            raise ValueError("application bug")
+
+        with pytest.raises(ValueError):
+            await sup.supervise("compile", 0, attempt)
+
+    asyncio.run(scenario())
+    assert calls["attempts"] == 1
+
+
+def test_open_fraction_and_earliest_retry():
+    sup = _supervisor(breaker_threshold=1, breaker_cooldown=60.0)
+    assert sup.open_fraction("serving", 4) == 0.0
+    sup.breaker("serving", 1).trip()
+    sup.breaker("serving", 3).trip()
+    assert sup.open_fraction("serving", 4) == pytest.approx(0.5)
+    assert 0.0 < sup.earliest_retry("serving") <= 60.0
+    assert sup.breaker_states("serving") == {1: "open", 3: "open"}
+    # Other pools are unaffected.
+    assert sup.open_fraction("compile", 4) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan
+# ---------------------------------------------------------------------------
+
+
+def test_fault_spec_rejects_unknown_kinds():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec(site="serve", kind="melt_cpu")
+
+
+def test_fault_plan_take_consumes_budgets_in_order():
+    plan = FaultPlan(
+        [
+            FaultSpec(site="serve", kind="delay", times=2, delay=0.5),
+            FaultSpec(site="compile", kind="crash_before_result"),
+        ]
+    )
+    assert plan.take("serve", "delay").delay == 0.5
+    assert plan.take("serve", "delay") is not None
+    assert plan.take("serve", "delay") is None  # budget spent
+    assert plan.take("serve", "crash_before_result") is None  # wrong site
+    assert plan.take("compile", "crash_before_result") is not None
+    assert plan.fired() == [
+        ("serve", "delay"),
+        ("serve", "delay"),
+        ("compile", "crash_before_result"),
+    ]
+
+
+def test_fault_plan_json_round_trip_and_fingerprint():
+    plan = FaultPlan(
+        [FaultSpec(site="serve", kind="corrupt_payload", times=3)], seed=42
+    )
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone.fingerprint() == plan.fingerprint()
+    assert clone.seed == 42
+    other = FaultPlan([FaultSpec(site="serve", kind="corrupt_payload")], seed=42)
+    assert other.fingerprint() != plan.fingerprint()
+
+
+def test_reinstalling_same_plan_keeps_spent_counters():
+    plan = FaultPlan([FaultSpec(site="serve", kind="db_locked", times=1)])
+    install_fault_plan(plan, simulate=True)
+    with pytest.raises(Exception, match="database is locked"):
+        maybe_db_locked("serve")
+    # A job payload re-ships the same schedule: counters must persist.
+    install_fault_plan(FaultPlan.from_json(plan.to_json()), simulate=True)
+    assert active_fault_plan() is plan
+    maybe_db_locked("serve")  # budget already spent: no raise
+
+
+def test_simulated_crash_raises_broken_process_pool():
+    install_fault_plan(
+        FaultPlan([FaultSpec(site="serve", kind="crash_before_result")]),
+        simulate=True,
+    )
+    with pytest.raises(BrokenProcessPool, match="injected"):
+        maybe_crash("serve", "crash_before_result")
+    maybe_crash("serve", "crash_before_result")  # spent: no-op
+
+
+def test_fault_helpers_are_noops_without_a_plan():
+    maybe_crash("serve", "crash_before_result")
+    maybe_delay("serve")
+    maybe_db_locked("store.write")
+    assert should_duplicate("serve") is False
+    assert maybe_corrupt("serve", '{"a": 1}') == '{"a": 1}'
+
+
+def test_corrupt_mangles_payload_structurally():
+    install_fault_plan(
+        FaultPlan([FaultSpec(site="serve", kind="corrupt_payload")]),
+        simulate=True,
+    )
+    mangled = maybe_corrupt("serve", json.dumps({"results": [1, 2, 3]}))
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(mangled)
+
+
+def test_probabilistic_faults_are_seeded_deterministic():
+    def run(seed):
+        plan = FaultPlan(
+            [FaultSpec(site="serve", kind="delay", times=100, probability=0.5)],
+            seed=seed,
+        )
+        return [plan.take("serve", "delay") is not None for _ in range(20)]
+
+    assert run(1) == run(1)
+    assert run(1) != run(2)  # different seed, different schedule

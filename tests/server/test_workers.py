@@ -1,6 +1,7 @@
 """Worker tier: compile-shard routing/codec/admission, serving shards."""
 
 import json
+from concurrent.futures import Future
 
 import pytest
 
@@ -8,15 +9,25 @@ from repro.core.plugin import CompileOptions, compile_query
 from repro.lang.canonical import spec_to_json
 from repro.lang.parser import parse_bool
 from repro.lang.secrets import SecretSpec
+from repro.server import faults
+from repro.server.supervise import CodecError, ShardCrash
 from repro.server.workers import (
     ServingShardPool,
     ShardOverloaded,
     ShardedCompilePool,
+    compile_payload,
     rounds_by_user,
     serve_shard_of,
     shard_of,
 )
 from repro.service.serialize import compiled_query_to_json, policy_to_json
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan():
+    faults.clear_fault_plan()
+    yield
+    faults.clear_fault_plan()
 
 SPEC = SecretSpec.declare("UserLoc", x=(0, 99), y=(0, 99))
 OPTIONS = CompileOptions(domain="interval", modes=("under", "over"))
@@ -88,6 +99,89 @@ def test_invalid_construction():
         ShardedCompilePool(0)
     with pytest.raises(ValueError):
         ShardedCompilePool(1, max_pending=0)
+
+
+class _FakeExecutor:
+    """Stands in for a shard's ProcessPoolExecutor in failure tests."""
+
+    def __init__(self, broken: bool = True):
+        self.broken = broken
+
+    def submit(self, fn, payload):
+        if self.broken:
+            raise RuntimeError("executor is broken")
+        future: Future = Future()
+        future.set_result(fn(payload))
+        return future
+
+    def shutdown(self, wait=True):
+        pass
+
+
+def test_submit_failure_releases_admission_slot():
+    """Regression: a broken executor must not eat the shard's capacity.
+
+    Before the fix, every failed submit leaked its reserved slot, so
+    ``max_pending`` failures bricked the shard into shedding everything.
+    """
+    pool = ShardedCompilePool(1, max_pending=4)
+    fake = _FakeExecutor(broken=True)
+    pool._executors[0] = fake
+    for _ in range(5):
+        with pytest.raises(RuntimeError, match="executor is broken"):
+            pool.submit("q", QUERY, SPEC, OPTIONS)
+    stats = pool.stats()[0]
+    # Slots were returned each time: nothing shed, nothing still pending.
+    assert stats.pending == 0
+    assert stats.failed == 5
+    assert stats.shed == 0 and pool.total_shed() == 0
+    assert stats.submitted == 5
+    # The shard still admits once the executor works again.
+    fake.broken = False
+    compiled, _ = pool.decode(pool.submit("q", QUERY, SPEC, OPTIONS).result())
+    assert compiled.name == "q"
+    assert pool.stats()[0].pending == 0
+
+
+def test_inline_crash_fault_surfaces_as_typed_shard_crash():
+    pool = ShardedCompilePool(1, inline=True)
+    pool.fault_plan = faults.FaultPlan(
+        [faults.FaultSpec(site="compile", kind="crash_before_result")]
+    )
+    future = pool.submit("q", QUERY, SPEC, OPTIONS)
+    failure = future.exception()
+    assert isinstance(failure, ShardCrash)
+    assert failure.shard == pool.shard_for(QUERY) and failure.site == "compile"
+    # The fault budget is spent: the retry succeeds.
+    compiled, _ = pool.decode(pool.submit("q", QUERY, SPEC, OPTIONS).result())
+    assert compiled.name == "q"
+    assert pool.stats()[failure.shard].pending == 0
+
+
+def test_undecodable_results_raise_codec_error():
+    with pytest.raises(CodecError, match="undecodable compile"):
+        ShardedCompilePool.decode("\x00corrupt")
+    with pytest.raises(CodecError, match="undecodable compile"):
+        ShardedCompilePool.decode(json.dumps({"artifact": None}))
+    with pytest.raises(CodecError, match="undecodable serving"):
+        ServingShardPool.decode("{half a json")
+    with pytest.raises(CodecError, match="undecodable serving"):
+        ServingShardPool.decode(json.dumps({"results": []}))
+
+
+def test_clean_payload_skips_fault_fragment():
+    pool = ShardedCompilePool(1, inline=True)
+    pool.fault_plan = faults.FaultPlan(
+        [faults.FaultSpec(site="compile", kind="crash_before_result")]
+    )
+    armed = json.loads(pool.payload_for("q", QUERY, SPEC, OPTIONS))
+    clean = json.loads(
+        pool.payload_for("q", QUERY, SPEC, OPTIONS, with_faults=False)
+    )
+    assert "faults" in armed and "faults" not in clean
+    # The degraded path runs clean payloads: no crash, real artifact.
+    compiled, _ = pool.decode(compile_payload(json.dumps(clean)))
+    assert compiled.name == "q"
 
 
 def test_process_pool_compiles_and_shuts_down():
@@ -247,3 +341,33 @@ def test_serving_process_pool_serves_and_shuts_down():
         assert results["s2"].response is False
         # The raw wire format really is JSON, not pickles.
         json.loads(raw)
+
+
+def test_inline_restart_drops_shard_state():
+    """Inline restart is the analogue of process death: state is gone."""
+    from repro.monad.policy import size_above
+
+    floor = size_above(100)
+    with ServingShardPool(1, inline=True) as pool:
+        first = ServingShardPool.decode(
+            pool.submit(0, _serving_ops(policy_floor=floor)).result()
+        )
+        assert {r.session_id: r.authorized for r in first["results"]}["s1"]
+        pool.restart_shard(0)
+        # The replacement knows nothing: configure it again, then ask for
+        # the old sessions without re-opening them.
+        ops = _serving_ops(policy_floor=floor)
+        ops = [op for op in ops if op["op"] != "open_session"]
+        second = ServingShardPool.decode(pool.submit(0, ops).result())
+    for result in second["results"]:
+        assert not result.authorized
+        assert "no open session" in result.reason
+
+
+def test_ping_and_restart_on_process_shards():
+    with ShardedCompilePool(1) as pool:
+        assert pool.ping(0, timeout=60)
+        pool.restart_shard(0)
+        # A replacement process forks lazily on the next use.
+        assert pool.ping(0, timeout=60)
+    assert ShardedCompilePool(1, inline=True).ping(0)
