@@ -37,7 +37,23 @@ from repro.solver.optimize import build_region_oracle
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.service.cache import SynthesisCache
 
-__all__ = ["CompileOptions", "ModeReport", "CompiledQuery", "compile_query", "QueryRegistry"]
+__all__ = [
+    "CompileError",
+    "CompileOptions",
+    "ModeReport",
+    "CompiledQuery",
+    "compile_query",
+    "QueryRegistry",
+]
+
+
+class CompileError(RuntimeError):
+    """A compiled artifact is malformed or incomplete for the requested use.
+
+    Raised (instead of ``assert``, which vanishes under ``python -O``)
+    when a serving path receives a :class:`~repro.core.qinfo.QInfo` that
+    cannot support it — e.g. one compiled with neither ind.-set mode.
+    """
 
 
 @dataclass(frozen=True)

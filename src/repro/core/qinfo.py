@@ -17,18 +17,25 @@ we take it as an erratum and intersect with the matching ind. set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.lang.ast import BoolExpr
 from repro.lang.secrets import SecretSpec, SecretValue
-from repro.solver.kernels import concrete_predicate
+from repro.solver import vectoreval
+from repro.solver.kernels import KernelSpace, concrete_predicate
+from repro.domains import box as box_domain
+from repro.domains import powerset as powerset_domain
 from repro.domains.base import AbstractDomain
 from repro.domains.box import IntervalDomain
 from repro.domains.powerset import PowersetDomain
 
-__all__ = ["QInfo", "DomainPair", "intersect_knowledge"]
+__all__ = ["QInfo", "DomainPair", "intersect_knowledge", "intersect_many"]
 
 DomainPair = tuple[AbstractDomain, AbstractDomain]
+
+#: Below this many *distinct* priors the stacked tensor path costs more
+#: than it saves; scalar intersections run instead.
+_TENSOR_MIN_DISTINCT = 2
 
 
 def intersect_knowledge(a: AbstractDomain, b: AbstractDomain) -> AbstractDomain:
@@ -38,6 +45,46 @@ def intersect_knowledge(a: AbstractDomain, b: AbstractDomain) -> AbstractDomain:
     pa = a if isinstance(a, PowersetDomain) else PowersetDomain.from_interval(a)
     pb = b if isinstance(b, PowersetDomain) else PowersetDomain.from_interval(b)
     return pa.intersect(pb)
+
+
+def intersect_many(
+    priors: Sequence[AbstractDomain], ind: AbstractDomain
+) -> list[AbstractDomain]:
+    """``[intersect_knowledge(p, ind) for p in priors]``, vectorized.
+
+    One broadcasted clamp over the whole stack when NumPy is available
+    and the operands are homogeneous enough; bit-identical results (same
+    domain objects by equality, same lifting rules) either way.  Callers
+    pass *distinct* priors — the dedup lives in :meth:`QInfo.approx_batch`.
+    """
+    if vectoreval.AVAILABLE and len(priors) >= _TENSOR_MIN_DISTINCT:
+        if isinstance(ind, PowersetDomain):
+            lifted = [
+                p if isinstance(p, PowersetDomain) else PowersetDomain.from_interval(p)
+                for p in priors
+            ]
+            return powerset_domain.intersect_stacked(lifted, ind)
+        if isinstance(ind, IntervalDomain):
+            interval_rows = [
+                i for i, p in enumerate(priors) if isinstance(p, IntervalDomain)
+            ]
+            if len(interval_rows) == len(priors):
+                return box_domain.intersect_stacked(priors, ind)
+            # Mixed fleet: interval priors clamp against the interval ind.
+            # set, powerset priors lift it — exactly intersect_knowledge's
+            # per-pair dispatch, just grouped.
+            results: list[AbstractDomain | None] = [None] * len(priors)
+            if len(interval_rows) >= _TENSOR_MIN_DISTINCT:
+                stacked = box_domain.intersect_stacked(
+                    [priors[i] for i in interval_rows], ind
+                )
+                for i, domain in zip(interval_rows, stacked):
+                    results[i] = domain
+            for i, prior in enumerate(priors):
+                if results[i] is None:
+                    results[i] = intersect_knowledge(prior, ind)
+            return results
+    return [intersect_knowledge(prior, ind) for prior in priors]
 
 
 @dataclass(frozen=True)
@@ -110,18 +157,48 @@ class QInfo:
         intersected once and the resulting pair is shared.
         """
         true_ind, false_ind = self.indset_pair(mode=mode)
-        memo: dict[AbstractDomain, DomainPair] = {}
-        results: list[DomainPair] = []
+        group: dict[AbstractDomain, int] = {}
+        keys: list[int] = []
+        distinct: list[AbstractDomain] = []
         for prior in priors:
-            pair = memo.get(prior)
-            if pair is None:
-                pair = (
-                    intersect_knowledge(prior, true_ind),
-                    intersect_knowledge(prior, false_ind),
-                )
-                memo[prior] = pair
-            results.append(pair)
-        return results
+            key = group.get(prior)
+            if key is None:
+                key = len(distinct)
+                group[prior] = key
+                distinct.append(prior)
+            keys.append(key)
+        pairs = list(
+            zip(
+                intersect_many(distinct, true_ind),
+                intersect_many(distinct, false_ind),
+            )
+        )
+        return [pairs[key] for key in keys]
+
+    def run_batch(self, secret_rows) -> "object":
+        """Vectorized :meth:`run`: int64 rows ``[n, arity]`` → bool ``[n]``.
+
+        Rows must be validated secret tuples in field order (the SoA
+        session store guarantees this).  Evaluates the same compiled
+        grid kernel the solver's vectorized finishing uses, pinned on
+        this instance like ``run``'s concrete kernel; per-row results
+        are bit-identical to ``run`` (the grid/concrete kernel agreement
+        is property-tested).
+        """
+        np = vectoreval.require_numpy()
+        kernel = self.__dict__.get("_grid_kernel")
+        if kernel is None:
+            space = KernelSpace(self.secret.field_names)
+            kernel = space.grid_bool(self.query)
+            # The space owns the interned kernels the id-keyed grid cache
+            # points at; keep it alive alongside the closure.
+            object.__setattr__(self, "_grid_space", space)
+            object.__setattr__(self, "_grid_kernel", kernel)
+        grids = tuple(secret_rows[:, dim] for dim in range(self.secret.arity))
+        mask = kernel(grids)
+        if mask is True or mask is False:
+            return np.full(len(secret_rows), mask, dtype=bool)
+        return np.broadcast_to(np.asarray(mask, dtype=bool), (len(secret_rows),))
 
     def as_function(self, *, mode: str = "under") -> Callable[[AbstractDomain], DomainPair]:
         """The posterior computation as a standalone closure."""

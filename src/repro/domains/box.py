@@ -24,10 +24,21 @@ from repro.lang.ast import BoolExpr, BoolLit
 from repro.lang.secrets import SecretSpec, SecretValue
 from repro.domains.base import AbstractDomain
 from repro.domains.interval import AInt
+from repro.solver import vectoreval
 from repro.solver.boxes import Box
 from repro.solver.regions import box_formula
 
-__all__ = ["IntervalDomain"]
+__all__ = [
+    "IntervalDomain",
+    "stack_intervals",
+    "unstack_intervals",
+    "intersect_stacked",
+]
+
+#: Exact integer sizes stop fitting in int64 products somewhere above
+#: 2^62 points; spaces at least this large keep their sizes in pure
+#: Python (``Box.volume``) instead of a vectorized ``prod``.
+_SAFE_SIZE_LIMIT = 1 << 62
 
 
 @dataclass(frozen=True)
@@ -110,7 +121,11 @@ class IntervalDomain(AbstractDomain):
         return IntervalDomain(self.spec, self.box.intersect(other.box))
 
     def size(self) -> int:
-        return 0 if self.box is None else self.box.volume()
+        cached = self.__dict__.get("_size_cache")
+        if cached is None:
+            cached = 0 if self.box is None else self.box.volume()
+            object.__setattr__(self, "_size_cache", cached)
+        return cached
 
     def is_empty(self) -> bool:
         return self.box is None
@@ -133,3 +148,80 @@ class IntervalDomain(AbstractDomain):
             for name, (lo, hi) in zip(self.spec.field_names, self.box.bounds)
         )
         return f"IntervalDomain({self.spec.name}, {dims})"
+
+
+# ---------------------------------------------------------------------------
+# Tensor codec: fleets of interval domains as lo/hi arrays
+# ---------------------------------------------------------------------------
+
+
+def stack_intervals(domains: Sequence[IntervalDomain]) -> tuple:
+    """Encode many interval domains as ``(lo, hi)`` int64 arrays.
+
+    Both arrays have shape ``[n, arity]``; an empty domain becomes the
+    canonical empty row ``lo=1, hi=0`` (any per-dimension ``lo > hi``
+    decodes back to ⊥).  This is the SoA form one broadcasted
+    intersection runs on — the interval counterpart of the stacked
+    fronts in :func:`repro.solver.vectoreval.make_stacked_grids`.
+    """
+    np = vectoreval.require_numpy()
+    count = len(domains)
+    arity = domains[0].spec.arity if count else 0
+    lo = np.empty((count, arity), dtype=np.int64)
+    hi = np.empty((count, arity), dtype=np.int64)
+    for row, domain in enumerate(domains):
+        if domain.box is None:
+            lo[row] = 1
+            hi[row] = 0
+        else:
+            bounds = domain.box.bounds
+            lo[row] = [b[0] for b in bounds]
+            hi[row] = [b[1] for b in bounds]
+    return lo, hi
+
+
+def unstack_intervals(spec: SecretSpec, lo, hi) -> list[IntervalDomain]:
+    """Decode ``(lo, hi)`` arrays back to interval domains.
+
+    Rows with any ``lo > hi`` decode to ⊥ — exactly the emptiness rule
+    ``Box.intersect`` applies — so a stacked intersection round-trips to
+    the same domains the scalar path builds.
+    """
+    out: list[IntervalDomain] = []
+    for row_lo, row_hi in zip(lo.tolist(), hi.tolist()):
+        if any(lo_d > hi_d for lo_d, hi_d in zip(row_lo, row_hi)):
+            out.append(IntervalDomain(spec, None))
+        else:
+            out.append(IntervalDomain(spec, Box(tuple(zip(row_lo, row_hi)))))
+    return out
+
+
+def intersect_stacked(
+    priors: Sequence[IntervalDomain], other: IntervalDomain
+) -> list[IntervalDomain]:
+    """Intersect many priors with one domain in a single broadcast.
+
+    Bit-identical to ``[prior.intersect(other) for prior in priors]``:
+    the clamped bounds, the emptiness rule, and the resulting objects'
+    equality all match the scalar path.  Sizes are computed in the same
+    pass (one vectorized product) and pinned on the results whenever the
+    space is small enough for exact int64 products.
+    """
+    np = vectoreval.require_numpy()
+    if not priors:
+        return []
+    spec = other.spec
+    if other.box is None:
+        bottom = IntervalDomain.bottom(spec)
+        return [bottom] * len(priors)
+    lo, hi = stack_intervals(priors)
+    np.maximum(lo, np.asarray([b[0] for b in other.box.bounds]), out=lo)
+    np.minimum(hi, np.asarray([b[1] for b in other.box.bounds]), out=hi)
+    out = unstack_intervals(spec, lo, hi)
+    if spec.space_size() < _SAFE_SIZE_LIMIT:
+        widths = np.clip(hi - lo + 1, 0, None)
+        empty = (widths == 0).any(axis=1)
+        sizes = np.where(empty, 0, widths.prod(axis=1)).tolist()
+        for domain, size in zip(out, sizes):
+            object.__setattr__(domain, "_size_cache", size)
+    return out

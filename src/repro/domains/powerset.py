@@ -31,10 +31,11 @@ from repro.lang.secrets import SecretSpec, SecretValue
 from repro.lang.transform import conjoin
 from repro.domains.base import AbstractDomain
 from repro.domains.box import IntervalDomain
+from repro.solver import vectoreval
 from repro.solver.boxes import Box, subtract_boxes
 from repro.solver.regions import any_box_formula, outside_boxes_formula
 
-__all__ = ["PowersetDomain"]
+__all__ = ["PowersetDomain", "stack_include", "intersect_stacked"]
 
 
 @dataclass(frozen=True)
@@ -197,3 +198,87 @@ def _prune(
         if any(box.intersect(inc) is not None for inc in kept_include)
     ]
     return tuple(kept_include), tuple(kept_exclude)
+
+
+# ---------------------------------------------------------------------------
+# Tensor codec: fleets of powerset domains as stacked boxes + owner index
+# ---------------------------------------------------------------------------
+
+
+def stack_include(domains: Sequence[PowersetDomain]) -> tuple:
+    """Encode many powerset include lists as stacked box tensors.
+
+    Returns ``(lo, hi, owner)``: int64 arrays of shape ``[m, arity]``
+    over all include boxes of all domains (in domain order, each
+    domain's boxes in their stored order) plus the owning domain's index
+    per row.  The stacked form is what one broadcasted candidate
+    intersection runs on in :func:`intersect_stacked`.
+    """
+    np = vectoreval.require_numpy()
+    arity = domains[0].spec.arity if domains else 0
+    count = sum(len(domain.include) for domain in domains)
+    lo = np.empty((count, arity), dtype=np.int64)
+    hi = np.empty((count, arity), dtype=np.int64)
+    owner = np.empty(count, dtype=np.int64)
+    row = 0
+    for index, domain in enumerate(domains):
+        for box in domain.include:
+            lo[row] = [b[0] for b in box.bounds]
+            hi[row] = [b[1] for b in box.bounds]
+            owner[row] = index
+            row += 1
+    return lo, hi, owner
+
+
+def intersect_stacked(
+    priors: Sequence[PowersetDomain], other: AbstractDomain
+) -> list[PowersetDomain]:
+    """Intersect many powerset priors with one domain in a single broadcast.
+
+    Bit-identical to ``[prior.intersect(other) for prior in priors]``:
+    the candidate include boxes are produced by one vectorized clamp in
+    the scalar path's (prior-major, other-minor) order, then fed through
+    the same :func:`_prune` per prior — so objects, box order, and
+    emptiness all match.
+    """
+    np = vectoreval.require_numpy()
+    if not priors:
+        return []
+    if isinstance(other, IntervalDomain):
+        other = PowersetDomain.from_interval(other)
+    if not isinstance(other, PowersetDomain):
+        raise TypeError(f"cannot intersect PowersetDomain with {type(other)}")
+    lo, hi, _owner = stack_include(priors)
+    q = len(other.include)
+    results: list[PowersetDomain] = []
+    if q and len(lo):
+        olo = np.array([[b[0] for b in box.bounds] for box in other.include])
+        ohi = np.array([[b[1] for b in box.bounds] for box in other.include])
+        clo = np.maximum(lo[:, None, :], olo[None, :, :])
+        chi = np.minimum(hi[:, None, :], ohi[None, :, :])
+        valid = (clo <= chi).all(axis=2).tolist()
+        clo_l = clo.tolist()
+        chi_l = chi.tolist()
+    else:
+        valid = clo_l = chi_l = []
+    row = 0
+    for prior in priors:
+        include: list[Box] = []
+        for offset in range(len(prior.include)):
+            if not q:
+                break
+            row_valid = valid[row + offset]
+            row_lo = clo_l[row + offset]
+            row_hi = chi_l[row + offset]
+            for j in range(q):
+                if row_valid[j]:
+                    include.append(Box(tuple(zip(row_lo[j], row_hi[j]))))
+        row += len(prior.include)
+        if not include:
+            results.append(PowersetDomain.bottom(prior.spec))
+        else:
+            exclude = prior.exclude + other.exclude
+            results.append(
+                PowersetDomain(prior.spec, *_prune(tuple(include), exclude))
+            )
+    return results

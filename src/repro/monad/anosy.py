@@ -29,24 +29,32 @@ from repro.lang.secrets import SecretValue
 from repro.domains.base import AbstractDomain
 from repro.domains.box import IntervalDomain
 from repro.domains.powerset import PowersetDomain
-from repro.core.plugin import QueryRegistry
+from repro.core.plugin import CompileError, QueryRegistry
 from repro.core.qinfo import QInfo
-from repro.monad.policy import QuantitativePolicy
+from repro.monad.policy import QuantitativePolicy, verdict_on_sizes
 from repro.monad.protected import Unprotectable
 from repro.monad.secure import SecureRuntime
+from repro.solver import vectoreval
 
 __all__ = [
     "PolicyViolation",
     "UnknownQuery",
+    "DowngradeInvariantError",
     "DowngradeRecord",
     "DowngradeDecision",
     "AnosyT",
     "top_knowledge_for",
     "pair_verdict",
+    "batch_verdict",
+    "batch_pair_verdict",
     "evaluate_downgrade",
 ]
 
 T = TypeVar("T")
+
+#: Sizes at or above this overflow int64; vectorized verdicts fall back
+#: to per-domain predicate calls rather than risk a wrapped comparison.
+_SAFE_SIZE_LIMIT = 1 << 62
 
 
 class PolicyViolation(Exception):
@@ -55,6 +63,15 @@ class PolicyViolation(Exception):
 
 class UnknownQuery(Exception):
     """The query string was never compiled (the "Can't downgrade" error)."""
+
+
+class DowngradeInvariantError(RuntimeError):
+    """An authorized downgrade lost its response or posterior.
+
+    This is an internal-invariant breach, never a policy outcome — and a
+    typed error (not ``assert``) so the serving path still refuses to
+    hand out a corrupt result under ``python -O``.
+    """
 
 
 @dataclass(frozen=True)
@@ -70,17 +87,28 @@ class DowngradeRecord:
 
 @dataclass(frozen=True)
 class DowngradeDecision:
-    """Outcome of :meth:`AnosyT.try_downgrade` (no exception flow)."""
+    """Outcome of :meth:`AnosyT.try_downgrade` (no exception flow).
+
+    ``kind`` is the machine-readable outcome class — ``"ok"`` for
+    authorized decisions, else ``"unknown_query"`` / ``"spec_mismatch"``
+    / ``"policy"`` — which the raising ``downgrade`` entry points
+    dispatch on; ``reason`` stays the human-facing message.
+    """
 
     authorized: bool
     response: bool | None
     reason: str
+    kind: str = "ok"
 
 
 def top_knowledge_for(qinfo: QInfo) -> AbstractDomain:
     """The no-prior (full secret space) knowledge, in the query's domain."""
     indset = qinfo.under_indset or qinfo.over_indset
-    assert indset is not None
+    if indset is None:
+        raise CompileError(
+            f"query {qinfo.name!r} carries no ind. sets "
+            "(compiled with neither 'under' nor 'over' mode)"
+        )
     domain_type = (
         PowersetDomain if isinstance(indset[0], PowersetDomain) else IntervalDomain
     )
@@ -98,6 +126,39 @@ def pair_verdict(
     ``evaluate_downgrade``'s ``pair_authorized``.
     """
     return policy(posterior_pair[0]) and policy(posterior_pair[1])
+
+
+def batch_verdict(
+    policy: QuantitativePolicy, domains: list[AbstractDomain]
+) -> list[bool]:
+    """Policy verdicts for many domains — one vectorized size comparison.
+
+    When the policy is size-encodable (every combinator-built policy is)
+    and NumPy is available, all sizes are compared against the floor in
+    a single array pass; otherwise the predicate runs per domain.  The
+    verdicts are identical either way.
+    """
+    sizes = [domain.size() for domain in domains]
+    if (
+        vectoreval.AVAILABLE
+        and len(domains) > 1
+        and max(sizes) < _SAFE_SIZE_LIMIT
+    ):
+        np = vectoreval.require_numpy()
+        verdicts = verdict_on_sizes(policy, np.asarray(sizes, dtype=np.int64))
+        if verdicts is not None:
+            return [bool(v) for v in verdicts]
+    return [bool(policy(domain)) for domain in domains]
+
+
+def batch_pair_verdict(
+    policy: QuantitativePolicy,
+    pairs: list[tuple[AbstractDomain, AbstractDomain]],
+) -> list[bool]:
+    """:func:`pair_verdict` over many distinct posterior pairs at once."""
+    true_side = batch_verdict(policy, [pair[0] for pair in pairs])
+    false_side = batch_verdict(policy, [pair[1] for pair in pairs])
+    return [t and f for t, f in zip(true_side, false_side)]
 
 
 def evaluate_downgrade(
@@ -152,6 +213,7 @@ def evaluate_downgrade(
                     f"Policy Violation: {policy.name} fails on a "
                     f"posterior of {qinfo.name!r}"
                 ),
+                kind="policy",
             ),
             None,
         )
@@ -217,10 +279,13 @@ class AnosyT:
         """Figure 2's ``downgrade``; raises on violation or unknown query."""
         decision = self.try_downgrade(protected, query_name)
         if not decision.authorized:
-            if decision.reason.startswith("Can't downgrade"):
+            if decision.kind == "unknown_query":
                 raise UnknownQuery(decision.reason)
             raise PolicyViolation(decision.reason)
-        assert decision.response is not None
+        if decision.response is None:
+            raise DowngradeInvariantError(
+                f"authorized downgrade of {query_name!r} carries no response"
+            )
         return decision.response
 
     def try_downgrade(
@@ -233,6 +298,7 @@ class AnosyT:
                 authorized=False,
                 response=None,
                 reason=f"Can't downgrade {query_name}",
+                kind="unknown_query",
             )
         qinfo = compiled.qinfo
         if qinfo.secret != protected.spec:
@@ -243,10 +309,15 @@ class AnosyT:
                     f"query {query_name!r} is over {qinfo.secret.name!r}, "
                     f"secret is {protected.spec.name!r}"
                 ),
+                kind="spec_mismatch",
             )
 
         key = self._key(protected)
-        prior = self.secrets.get(key) or self._top_for(qinfo)
+        # ``is None``, not ``or``: an empty (size-0, potentially falsy)
+        # tracked domain must never silently reset knowledge to ⊤.
+        prior = self.secrets.get(key)
+        if prior is None:
+            prior = self._top_for(qinfo)
         decision, posterior = evaluate_downgrade(
             qinfo,
             self.policy,
@@ -267,12 +338,17 @@ class AnosyT:
             )
             return decision
 
-        assert posterior is not None
+        if posterior is None:
+            raise DowngradeInvariantError(
+                f"authorized downgrade of {query_name!r} carries no posterior"
+            )
         response = decision.response
         self.secrets[key] = posterior
 
         if self.track_over and qinfo.over_indset is not None:
-            over_prior = self.over_knowledge.get(key) or self._top_for(qinfo)
+            over_prior = self.over_knowledge.get(key)
+            if over_prior is None:
+                over_prior = self._top_for(qinfo)
             over_true, over_false = qinfo.overapprox(over_prior)
             self.over_knowledge[key] = over_true if response else over_false
 

@@ -27,6 +27,7 @@ __all__ = [
     "all_of",
     "any_of",
     "check_monotone_on",
+    "verdict_on_sizes",
 ]
 
 
@@ -96,6 +97,44 @@ def any_of(*policies: QuantitativePolicy) -> QuantitativePolicy:
         predicate=lambda knowledge: any(p(knowledge) for p in policies),
         encoding=_combined_encoding("any_of", policies),
     )
+
+
+def verdict_on_sizes(policy: QuantitativePolicy, sizes: Any) -> Any | None:
+    """Evaluate an encodable policy directly on knowledge *sizes*.
+
+    ``sizes`` may be a single int or a NumPy int array; the return value
+    has the same shape (a bool, or a bool array — the whole fleet's
+    policy-floor comparison in one vectorized pass).  Returns ``None``
+    when the policy carries no structural ``encoding`` (opaque
+    hand-built predicates), in which case callers must fall back to
+    calling the predicate per domain.  Relies on the same contract as
+    :func:`repro.service.serialize.policy_to_json`: an encoding, when
+    present, describes the predicate exactly.
+    """
+    return _encoded_verdict(policy.encoding, sizes)
+
+
+def _encoded_verdict(encoding: dict[str, Any] | None, sizes: Any) -> Any | None:
+    if encoding is None:
+        return None
+    kind = encoding.get("kind")
+    if kind == "size_above":
+        return sizes > encoding["threshold"]
+    if kind == "size_at_least":
+        return sizes >= encoding["threshold"]
+    if kind in ("all_of", "any_of"):
+        parts = [_encoded_verdict(part, sizes) for part in encoding["parts"]]
+        if any(part is None for part in parts):
+            return None
+        if not parts:
+            # Empty conjunction is vacuously true, empty disjunction false;
+            # ``sizes == sizes`` / ``!=`` keeps the result shaped like sizes.
+            return sizes == sizes if kind == "all_of" else sizes != sizes
+        result = parts[0]
+        for part in parts[1:]:
+            result = (result & part) if kind == "all_of" else (result | part)
+        return result
+    return None
 
 
 def check_monotone_on(

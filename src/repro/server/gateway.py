@@ -85,6 +85,7 @@ from repro.core.plugin import CompileOptions
 from repro.lang.canonical import spec_to_json
 from repro.lang.parser import parse_bool
 from repro.lang.secrets import SecretSpec, SecretValue
+from repro.monad.anosy import DowngradeInvariantError
 from repro.monad.policy import QuantitativePolicy
 from repro.monad.protected import ProtectedSecret
 from repro.server import faults
@@ -961,6 +962,7 @@ class DeclassificationServer:
         results: dict[str, DowngradeResult],
     ) -> None:
         admitted: list[str] = []
+        checked: list[str] = []
         for sid in ids:
             if (
                 self.ledger is None
@@ -968,29 +970,40 @@ class DeclassificationServer:
                 or sid not in self.manager.sessions
             ):
                 admitted.append(sid)
-                continue
-            decision = self.ledger.preauthorize(
-                self._users.get(sid, sid), compiled.qinfo, mode=self.config.mode
-            )
-            if decision.allowed:
-                admitted.append(sid)
             else:
-                self.stats.budget_refusals += 1
-                results[sid] = DowngradeResult(
-                    session_id=sid,
-                    query_name=query_name,
-                    authorized=False,
-                    response=None,
-                    reason=decision.reason,
-                    knowledge_size=decision.remaining,
-                )
+                checked.append(sid)
+        if checked:
+            # One batched admission pass: the floor is checked once per
+            # distinct sound bound instead of once per session.
+            users = {sid: self._users.get(sid, sid) for sid in checked}
+            ledger_decisions = self.ledger.preauthorize_batch(
+                users.values(), compiled.qinfo, mode=self.config.mode
+            )
+            for sid in checked:
+                decision = ledger_decisions[users[sid]]
+                if decision.allowed:
+                    admitted.append(sid)
+                else:
+                    self.stats.budget_refusals += 1
+                    results[sid] = DowngradeResult(
+                        session_id=sid,
+                        query_name=query_name,
+                        authorized=False,
+                        response=None,
+                        reason=decision.reason,
+                        knowledge_size=decision.remaining,
+                    )
         if admitted:
             for result in self.service.handle_batch(
                 BatchDowngradeRequest(query_name, tuple(admitted))
             ):
                 results[result.session_id] = result
                 if result.authorized and self.ledger is not None and compiled:
-                    assert result.response is not None
+                    if result.response is None:
+                        raise DowngradeInvariantError(
+                            f"authorized downgrade of {query_name!r} for "
+                            f"{result.session_id!r} carries no response"
+                        )
                     self.ledger.commit(
                         self._users.get(result.session_id, result.session_id),
                         compiled.qinfo,

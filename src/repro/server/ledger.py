@@ -58,7 +58,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Protocol
+from typing import Any, Iterable, Iterator, Protocol
 
 from repro.core.qinfo import QInfo, intersect_knowledge
 from repro.domains.base import AbstractDomain
@@ -68,6 +68,8 @@ from repro.lang.canonical import spec_from_json, spec_to_json
 from repro.lang.secrets import SecretSpec
 from repro.monad.anosy import (
     DowngradeDecision,
+    DowngradeInvariantError,
+    batch_pair_verdict,
     evaluate_downgrade,
     pair_verdict,
     top_knowledge_for,
@@ -315,6 +317,58 @@ class PrivacyBudgetLedger:
                 remaining=prior.size(),
             )
 
+    def preauthorize_batch(
+        self, user_ids: Iterable[str], qinfo: QInfo, *, mode: str = "under"
+    ) -> dict[str, LedgerDecision]:
+        """Batch admission: one floor check per *distinct* sound bound.
+
+        Per-user decisions are identical to calling :meth:`preauthorize`
+        for each user — same reasons, same ``remaining``, one refusal
+        tallied per refused user — but whole fleets sharing a bound (the
+        common case: fresh users all sit at the full space) cost one
+        posterior intersection and one vectorized bound-size check.
+        Duplicate ids collapse to one decision; serving rounds are
+        already unique per user (:func:`repro.server.workers.rounds_by_user`).
+        """
+        with self._lock:
+            ids = list(dict.fromkeys(user_ids))
+            priors = [
+                self._sound_prior(self.account(uid), qinfo) for uid in ids
+            ]
+            group: dict[AbstractDomain, int] = {}
+            keys: list[int] = []
+            distinct: list[AbstractDomain] = []
+            for prior in priors:
+                key = group.get(prior)
+                if key is None:
+                    key = len(distinct)
+                    group[prior] = key
+                    distinct.append(prior)
+                keys.append(key)
+            pairs = qinfo.approx_batch(distinct, mode=mode)
+            allowed = batch_pair_verdict(self.floor, pairs)
+            remaining = [prior.size() for prior in distinct]
+            granted = [
+                LedgerDecision(allowed=True, reason="ok", remaining=remaining[k])
+                if allowed[k]
+                else LedgerDecision(
+                    allowed=False,
+                    reason=(
+                        f"budget exhausted: {self.floor.name} would fail on a "
+                        f"posterior of {qinfo.name!r}"
+                    ),
+                    remaining=remaining[k],
+                )
+                for k in range(len(distinct))
+            ]
+            decisions: dict[str, LedgerDecision] = {}
+            for uid, key in zip(ids, keys):
+                decision = granted[key]
+                if not decision.allowed:
+                    self.account(uid).refusals += 1
+                decisions[uid] = decision
+            return decisions
+
     # -- charging ------------------------------------------------------------
     def commit(
         self, user_id: str, qinfo: QInfo, response: bool, *, mode: str = "under"
@@ -393,7 +447,11 @@ class PrivacyBudgetLedger:
             if not decision.authorized:
                 account.refusals += 1
                 return decision
-            assert posterior is not None and decision.response is not None
+            if posterior is None or decision.response is None:
+                raise DowngradeInvariantError(
+                    f"authorized ledger downgrade of {qinfo.name!r} carries "
+                    "no response or posterior"
+                )
             self.commit(user_id, qinfo, decision.response, mode=mode)
             return decision
 

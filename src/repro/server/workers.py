@@ -70,6 +70,7 @@ from repro.lang.canonical import (
 )
 from repro.lang.parser import parse_bool
 from repro.lang.secrets import SecretSpec
+from repro.monad.anosy import DowngradeInvariantError
 from repro.monad.protected import ProtectedSecret
 from repro.server import faults
 from repro.server.ledger import DecayPolicy, PrivacyBudgetLedger
@@ -330,6 +331,7 @@ class _ServingShard:
     ) -> int:
         refusals = 0
         admitted: list[str] = []
+        present: list[str] = []
         for sid in ids:
             if sid not in self.manager.sessions:
                 results[sid] = DowngradeResult(
@@ -340,25 +342,31 @@ class _ServingShard:
                     reason=f"no open session {sid!r}",
                     knowledge_size=None,
                 )
-                continue
-            if self.ledger is None or compiled is None:
-                admitted.append(sid)
-                continue
-            decision = self.ledger.preauthorize(
-                self.users.get(sid, sid), compiled.qinfo, mode=self.manager.mode
-            )
-            if decision.allowed:
-                admitted.append(sid)
             else:
-                refusals += 1
-                results[sid] = DowngradeResult(
-                    session_id=sid,
-                    query_name=query_name,
-                    authorized=False,
-                    response=None,
-                    reason=decision.reason,
-                    knowledge_size=decision.remaining,
-                )
+                present.append(sid)
+        if self.ledger is None or compiled is None:
+            admitted = present
+        elif present:
+            # One batched admission pass: the floor is checked once per
+            # distinct sound bound instead of once per session.
+            users = {sid: self.users.get(sid, sid) for sid in present}
+            ledger_decisions = self.ledger.preauthorize_batch(
+                users.values(), compiled.qinfo, mode=self.manager.mode
+            )
+            for sid in present:
+                decision = ledger_decisions[users[sid]]
+                if decision.allowed:
+                    admitted.append(sid)
+                else:
+                    refusals += 1
+                    results[sid] = DowngradeResult(
+                        session_id=sid,
+                        query_name=query_name,
+                        authorized=False,
+                        response=None,
+                        reason=decision.reason,
+                        knowledge_size=decision.remaining,
+                    )
         if not admitted:
             return refusals
         # Chaos kill point: the shard has admitted (preauthorized) but not
@@ -377,7 +385,11 @@ class _ServingShard:
                 knowledge_size=session.knowledge_size() if session else None,
             )
             if decision.authorized and self.ledger is not None and compiled:
-                assert decision.response is not None
+                if decision.response is None:
+                    raise DowngradeInvariantError(
+                        f"authorized downgrade of {query_name!r} for {sid!r} "
+                        "carries no response"
+                    )
                 user_id = self.users.get(sid, sid)
                 self.ledger.commit(
                     user_id,

@@ -34,21 +34,59 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.core.plugin import QueryRegistry
+from repro.core.qinfo import QInfo
 from repro.domains.base import AbstractDomain
 from repro.lang.secrets import SecretSpec, SecretValue
 from repro.monad.anosy import (
     DowngradeDecision,
+    DowngradeInvariantError,
     DowngradeRecord,
     PolicyViolation,
     UnknownQuery,
+    batch_pair_verdict,
+    batch_verdict,
     evaluate_downgrade,
     pair_verdict,
     top_knowledge_for,
 )
 from repro.monad.policy import QuantitativePolicy
 from repro.monad.protected import ProtectedSecret
+from repro.service.soa import FleetStore
+from repro.solver import vectoreval
 
 __all__ = ["Session", "SessionManager"]
+
+#: Below this many eligible sessions the SoA machinery costs more than
+#: the scalar loop; single-session paths (``try_downgrade``) stay scalar.
+_VECTOR_MIN_SESSIONS = 2
+
+
+class _GroupPlan:
+    """Precomputed outcome of one (query, distinct-prior) group.
+
+    Downgrade outcomes are a pure function of the query, the prior, the
+    policy, and the serving discipline (mode / ``check_both``) — never of
+    the secret — so a fleet tick can reuse the plan built the first time
+    a distinct prior meets a query: posterior refs into the interning
+    table, shared frozen decision/record objects, and the two per-side
+    verdicts.  Registries refuse duplicate names and the policy is
+    immutable shared state, which is what makes the cache sound.
+    """
+
+    __slots__ = (
+        "ok_true",
+        "ok_false",
+        "ref_true",
+        "ref_false",
+        "post_true",
+        "post_false",
+        "dec_true",
+        "dec_false",
+        "rec_true",
+        "rec_false",
+        "dec_refused",
+        "rec_refused",
+    )
 
 
 @dataclass
@@ -87,11 +125,25 @@ class SessionManager:
     policy: QuantitativePolicy
     mode: str = "under"
     check_both: bool = True
+    #: Serve eligible batches through the structure-of-arrays tensor path
+    #: (one stacked intersection + one vectorized verdict per tick).  Off,
+    #: or without NumPy, every batch runs the scalar reference path; the
+    #: two are differentially identical (decisions, posteriors, audit
+    #: records — see tests/service/test_vectorized_differential.py).
+    vectorized: bool = True
     sessions: dict[str, Session] = field(default_factory=dict)
     #: Serializes lifecycle and batch application; reentrant because the
     #: single-session paths funnel into :meth:`downgrade_batch`.
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
+    )
+    #: Lazily-built SoA mirrors of open sessions, one per secret type.
+    _stores: dict[str, FleetStore] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: Memoized :class:`_GroupPlan` per (query, mode, check_both, ref).
+    _plans: dict[tuple[str, str, bool, int], _GroupPlan] = field(
+        default_factory=dict, repr=False, compare=False
     )
 
     def __post_init__(self) -> None:
@@ -125,9 +177,13 @@ class SessionManager:
         """Drop a session, returning its final state (with audit trail)."""
         with self._lock:
             try:
-                return self.sessions.pop(session_id)
+                session = self.sessions.pop(session_id)
             except KeyError:
                 raise KeyError(f"no open session {session_id!r}") from None
+            store = self._stores.get(session.spec.name)
+            if store is not None:
+                store.discard(session_id)
+            return session
 
     def session(self, session_id: str) -> Session:
         """Look up an open session."""
@@ -146,10 +202,13 @@ class SessionManager:
         """Raising single-session downgrade (Figure 2 semantics)."""
         decision = self.try_downgrade(session_id, query_name)
         if not decision.authorized:
-            if decision.reason.startswith("Can't downgrade"):
+            if decision.kind == "unknown_query":
                 raise UnknownQuery(decision.reason)
             raise PolicyViolation(decision.reason)
-        assert decision.response is not None
+        if decision.response is None:
+            raise DowngradeInvariantError(
+                f"authorized downgrade of {query_name!r} carries no response"
+            )
         return decision.response
 
     def try_downgrade(self, session_id: str, query_name: str) -> DowngradeDecision:
@@ -177,7 +236,12 @@ class SessionManager:
         self, query_name: str, session_ids: Iterable[str] | None
     ) -> dict[str, DowngradeDecision]:
         ids = list(dict.fromkeys(self.sessions if session_ids is None else session_ids))
-        sessions = {sid: self.session(sid) for sid in ids}
+        sessions: dict[str, Session] = {}
+        for sid in ids:
+            session = self.sessions.get(sid)
+            if session is None:
+                raise KeyError(f"no open session {sid!r}")
+            sessions[sid] = session
 
         compiled = self.registry.lookup(query_name)
         if compiled is None:
@@ -185,6 +249,7 @@ class SessionManager:
                 authorized=False,
                 response=None,
                 reason=f"Can't downgrade {query_name}",
+                kind="unknown_query",
             )
             return {sid: self._record(sid, query_name, refusal, None) for sid in ids}
 
@@ -193,8 +258,10 @@ class SessionManager:
         decisions: dict[str, DowngradeDecision] = {}
 
         eligible: list[str] = []
+        qsecret = qinfo.secret
         for sid, session in sessions.items():
-            if qinfo.secret != session.spec:
+            spec = session.secret.spec
+            if spec is not qsecret and spec != qsecret:
                 decisions[sid] = self._record(
                     sid,
                     query_name,
@@ -205,12 +272,40 @@ class SessionManager:
                             f"query {query_name!r} is over {qinfo.secret.name!r}, "
                             f"secret is {session.spec.name!r}"
                         ),
+                        kind="spec_mismatch",
                     ),
                     None,
                 )
             else:
                 eligible.append(sid)
 
+        if (
+            self.vectorized
+            and vectoreval.AVAILABLE
+            and len(eligible) >= _VECTOR_MIN_SESSIONS
+        ):
+            self._serve_eligible_vectorized(
+                query_name, qinfo, sessions, eligible, decisions, top
+            )
+        else:
+            self._serve_eligible_scalar(
+                query_name, qinfo, sessions, eligible, decisions, top
+            )
+        if len(eligible) == len(ids):
+            # No spec mismatches: decisions were filled in ids order.
+            return decisions
+        return {sid: decisions[sid] for sid in ids}
+
+    def _serve_eligible_scalar(
+        self,
+        query_name: str,
+        qinfo: QInfo,
+        sessions: Mapping[str, Session],
+        eligible: list[str],
+        decisions: dict[str, DowngradeDecision],
+        top: AbstractDomain,
+    ) -> None:
+        """The per-session reference path (also the no-NumPy fallback)."""
         priors = [
             sessions[sid].knowledge if sessions[sid].knowledge is not None else top
             for sid in eligible
@@ -238,7 +333,206 @@ class SessionManager:
             if posterior is not None:
                 session.knowledge = posterior
             decisions[sid] = self._record(sid, query_name, decision, prior)
-        return {sid: decisions[sid] for sid in ids}
+
+    def _serve_eligible_vectorized(
+        self,
+        query_name: str,
+        qinfo: QInfo,
+        sessions: Mapping[str, Session],
+        eligible: list[str],
+        decisions: dict[str, DowngradeDecision],
+        top: AbstractDomain,
+    ) -> None:
+        """One fleet tick on the SoA store, differentially identical to
+        :meth:`_serve_eligible_scalar`.
+
+        The whole tick is four array passes — gather refs, one stacked
+        intersection per distinct *new* prior (inside ``approx_batch``;
+        priors already seen by this query hit the :class:`_GroupPlan`
+        cache), one vectorized size/verdict comparison, one batched query
+        run over the admitted rows — plus a per-session loop that only
+        assigns precomputed (shared, frozen) decision/record objects.
+        The new refs scatter back into the store in one array write.
+        """
+        np = vectoreval.require_numpy()
+        store = self._store_for(qinfo.secret)
+        table = store.table
+        index = store.index
+        count = len(eligible)
+
+        sess_list = [sessions[sid] for sid in eligible]
+        rows_list: list[int] = []
+        for sid, session in zip(eligible, sess_list):
+            row = index.get(sid)
+            if row is None:
+                row = store.add(sid, session.secret.unprotect_tcb(), session.knowledge)
+            rows_list.append(row)
+        rows = np.asarray(rows_list, dtype=np.int64)
+        refs_list = store.refs[rows].tolist()
+        for j, session in enumerate(sess_list):
+            if session.knowledge is not table[refs_list[j]]:
+                # Knowledge mutated behind the store's back (scalar
+                # interleave, test fixture, restore): re-intern, and
+                # normalize the session to the interned object so the
+                # identity check is cheap again next tick.
+                ref = store.intern(session.knowledge)
+                refs_list[j] = ref
+                store.refs[rows_list[j]] = ref
+                if session.knowledge is not None:
+                    session.knowledge = table[ref]
+
+        uniq, inverse = np.unique(
+            np.asarray(refs_list, dtype=np.int64), return_inverse=True
+        )
+        plan_key = (query_name, self.mode, self.check_both)
+        uniq_list = uniq.tolist()
+        plans: list[_GroupPlan] = []
+        misses: list[int] = []
+        for k, ref in enumerate(uniq_list):
+            plan = self._plans.get(plan_key + (ref,))
+            if plan is None:
+                misses.append(k)
+                plan = _GroupPlan()
+            plans.append(plan)
+        if misses:
+            self._build_plans(
+                query_name,
+                qinfo,
+                store,
+                [uniq_list[k] for k in misses],
+                [plans[k] for k in misses],
+                top,
+                plan_key,
+            )
+
+        if self.check_both:
+            auth_groups = np.fromiter(
+                (plan.ok_true for plan in plans), dtype=bool, count=len(plans)
+            )
+            auth_rows = auth_groups[inverse]
+            responses = np.zeros(count, dtype=bool)
+            admitted = np.flatnonzero(auth_rows)
+            if len(admitted):
+                responses[admitted] = qinfo.run_batch(store.secrets[rows[admitted]])
+        else:
+            # Evaluation-faithful mode: the query runs for every eligible
+            # session, then only the observed side's posterior is checked.
+            responses = qinfo.run_batch(store.secrets[rows])
+            ok_true = np.fromiter(
+                (plan.ok_true for plan in plans), dtype=bool, count=len(plans)
+            )
+            ok_false = np.fromiter(
+                (plan.ok_false for plan in plans), dtype=bool, count=len(plans)
+            )
+            auth_rows = np.where(responses, ok_true[inverse], ok_false[inverse])
+
+        # The only per-session Python: scatter precomputed outcomes.
+        group_of = inverse.tolist()
+        authorized_list = auth_rows.tolist()
+        response_list = responses.tolist()
+        new_refs = refs_list
+        for j, sid in enumerate(eligible):
+            plan = plans[group_of[j]]
+            session = sess_list[j]
+            if authorized_list[j]:
+                if response_list[j]:
+                    session.knowledge = plan.post_true
+                    new_refs[j] = plan.ref_true
+                    decisions[sid] = plan.dec_true
+                    session.history.append(plan.rec_true)
+                else:
+                    session.knowledge = plan.post_false
+                    new_refs[j] = plan.ref_false
+                    decisions[sid] = plan.dec_false
+                    session.history.append(plan.rec_false)
+            else:
+                decisions[sid] = plan.dec_refused
+                session.history.append(plan.rec_refused)
+        store.refs[rows] = np.asarray(new_refs, dtype=np.int64)
+
+    def _build_plans(
+        self,
+        query_name: str,
+        qinfo: QInfo,
+        store: FleetStore,
+        refs: list[int],
+        plans: list[_GroupPlan],
+        top: AbstractDomain,
+        plan_key: tuple[str, str, bool],
+    ) -> None:
+        """Fill (and cache) group plans for priors this query hasn't met."""
+        table = store.table
+        priors = [table[ref] if ref else top for ref in refs]
+        pairs = qinfo.approx_batch(priors, mode=self.mode)
+        if self.check_both:
+            auth = batch_pair_verdict(self.policy, pairs)
+            ok_true = ok_false = auth
+        else:
+            ok_true = batch_verdict(self.policy, [pair[0] for pair in pairs])
+            ok_false = batch_verdict(self.policy, [pair[1] for pair in pairs])
+        policy_reason = (
+            f"Policy Violation: {self.policy.name} fails on a "
+            f"posterior of {qinfo.name!r}"
+        )
+        for k, (ref, prior, pair, plan) in enumerate(zip(refs, priors, pairs, plans)):
+            prior_size = prior.size()
+            plan.ok_true = bool(ok_true[k])
+            plan.ok_false = bool(ok_false[k])
+            plan.ref_true = plan.ref_false = 0
+            plan.post_true = plan.post_false = None
+            plan.dec_true = plan.dec_false = None
+            plan.rec_true = plan.rec_false = None
+            plan.dec_refused = plan.rec_refused = None
+            if plan.ok_true:
+                post_ref = store.intern(pair[0])
+                plan.ref_true = post_ref
+                plan.post_true = table[post_ref]
+                plan.dec_true = DowngradeDecision(
+                    authorized=True, response=True, reason="ok"
+                )
+                plan.rec_true = DowngradeRecord(
+                    query_name=query_name,
+                    authorized=True,
+                    response=True,
+                    prior_size=prior_size,
+                    posterior_size=pair[0].size(),
+                )
+            if plan.ok_false:
+                post_ref = store.intern(pair[1])
+                plan.ref_false = post_ref
+                plan.post_false = table[post_ref]
+                plan.dec_false = DowngradeDecision(
+                    authorized=True, response=False, reason="ok"
+                )
+                plan.rec_false = DowngradeRecord(
+                    query_name=query_name,
+                    authorized=True,
+                    response=False,
+                    prior_size=prior_size,
+                    posterior_size=pair[1].size(),
+                )
+            if not (plan.ok_true and plan.ok_false):
+                plan.dec_refused = DowngradeDecision(
+                    authorized=False,
+                    response=None,
+                    reason=policy_reason,
+                    kind="policy",
+                )
+                plan.rec_refused = DowngradeRecord(
+                    query_name=query_name,
+                    authorized=False,
+                    response=None,
+                    prior_size=prior_size,
+                    posterior_size=None,
+                )
+            self._plans[plan_key + (ref,)] = plan
+
+    def _store_for(self, spec: SecretSpec) -> FleetStore:
+        store = self._stores.get(spec.name)
+        if store is None:
+            store = FleetStore(spec)
+            self._stores[spec.name] = store
+        return store
 
     def _record(
         self,

@@ -1,0 +1,115 @@
+"""Structure-of-arrays session state: the vectorized warm path's backbone.
+
+A :class:`FleetStore` mirrors the mutable serving state of every open
+session of one secret type as dense NumPy arrays:
+
+* ``secrets`` — validated secret tuples as int64 rows, in field order,
+  ready to feed :meth:`repro.core.qinfo.QInfo.run_batch`;
+* ``refs`` — per-session indexes into an interning ``table`` of distinct
+  knowledge domains (ref 0 is reserved for "no prior yet", i.e. the
+  session-level ``knowledge is None``).
+
+Fleets overwhelmingly share knowledge states (fresh sessions all sit at
+⊤; each answered query splits a group in at most two), so a whole tick's
+posterior computation collapses to one stacked intersection per
+*distinct* ref — the grouping is ``np.unique`` over an int column, not a
+hash walk over domain objects.  The store is maintained lazily by
+:class:`~repro.service.session.SessionManager` under its lock: rows are
+added the first time a session is served vectorized, re-synced by a
+cheap identity check when a session's knowledge was mutated behind the
+store's back, and swap-removed on close.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.solver import vectoreval
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.domains.base import AbstractDomain
+    from repro.lang.secrets import SecretSpec, SecretValue
+
+__all__ = ["FleetStore"]
+
+_INITIAL_CAPACITY = 64
+
+
+class FleetStore:
+    """Dense per-spec mirrors of open sessions' secrets and knowledge."""
+
+    __slots__ = ("spec", "ids", "index", "secrets", "refs", "size", "table", "_intern")
+
+    def __init__(self, spec: "SecretSpec") -> None:
+        np = vectoreval.require_numpy()
+        self.spec = spec
+        #: Row → session id (swap-remove keeps rows dense).
+        self.ids: list[str] = []
+        #: Session id → row.
+        self.index: dict[str, int] = {}
+        self.size = 0
+        self.secrets = np.empty((_INITIAL_CAPACITY, spec.arity), dtype=np.int64)
+        self.refs = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        #: Interning table of distinct knowledge domains; entry 0 is the
+        #: "no prior yet" sentinel (``None``).
+        self.table: list["AbstractDomain | None"] = [None]
+        self._intern: dict["AbstractDomain", int] = {}
+
+    # -- knowledge interning -------------------------------------------------
+    def intern(self, domain: "AbstractDomain | None") -> int:
+        """The ref of a knowledge domain, interning it if new."""
+        if domain is None:
+            return 0
+        ref = self._intern.get(domain)
+        if ref is None:
+            ref = len(self.table)
+            self.table.append(domain)
+            self._intern[domain] = ref
+        return ref
+
+    def domain(self, ref: int) -> "AbstractDomain | None":
+        """The knowledge domain behind a ref (``None`` for ref 0)."""
+        return self.table[ref]
+
+    # -- row lifecycle -------------------------------------------------------
+    def add(
+        self,
+        session_id: str,
+        secret_value: "SecretValue",
+        knowledge: "AbstractDomain | None",
+    ) -> int:
+        """Append a session row; returns its index."""
+        if self.size == len(self.refs):
+            self._grow()
+        row = self.size
+        self.secrets[row] = secret_value
+        self.refs[row] = self.intern(knowledge)
+        self.ids.append(session_id)
+        self.index[session_id] = row
+        self.size = row + 1
+        return row
+
+    def discard(self, session_id: str) -> None:
+        """Swap-remove a session's row (no-op if absent)."""
+        row = self.index.pop(session_id, None)
+        if row is None:
+            return
+        last = self.size - 1
+        if row != last:
+            moved = self.ids[last]
+            self.ids[row] = moved
+            self.index[moved] = row
+            self.secrets[row] = self.secrets[last]
+            self.refs[row] = self.refs[last]
+        self.ids.pop()
+        self.size = last
+
+    def _grow(self) -> None:
+        np = vectoreval.require_numpy()
+        capacity = max(_INITIAL_CAPACITY, 2 * len(self.refs))
+        secrets = np.empty((capacity, self.spec.arity), dtype=np.int64)
+        secrets[: self.size] = self.secrets[: self.size]
+        refs = np.zeros(capacity, dtype=np.int64)
+        refs[: self.size] = self.refs[: self.size]
+        self.secrets = secrets
+        self.refs = refs

@@ -1,0 +1,66 @@
+"""``QInfo.run_batch``: the vectorized query kernel vs scalar ``run``.
+
+The fleet tick answers a whole batch of sessions with one grid-kernel
+evaluation over SoA secret columns; every row must agree with the
+per-secret concrete kernel, including for constant queries (whose grid
+kernels collapse to a scalar bool that must broadcast back out).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qinfo import QInfo
+from repro.lang.parser import parse_bool
+from repro.lang.secrets import SecretSpec
+from repro.solver.vectoreval import AVAILABLE
+
+from tests.strategies import bool_exprs
+
+pytestmark = pytest.mark.skipif(not AVAILABLE, reason="NumPy not installed")
+
+SPEC = SecretSpec.declare("BatchRun", x=(-8, 12), y=(0, 15))
+
+
+def _qinfo(query):
+    if isinstance(query, str):
+        query = parse_bool(query)
+    return QInfo("q", query, SPEC, under_indset=None, over_indset=None)
+
+
+def _rows(points):
+    import numpy as np
+
+    return np.asarray(points, dtype=np.int64)
+
+
+class TestRunBatchParity:
+    @settings(deadline=None)
+    @given(
+        query=bool_exprs(("x", "y")),
+        points=st.lists(
+            st.tuples(st.integers(-8, 12), st.integers(0, 15)),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    def test_rows_match_scalar_run(self, query, points):
+        qinfo = _qinfo(query)
+        got = qinfo.run_batch(_rows(points))
+        assert got.dtype == bool
+        assert got.tolist() == [qinfo.run(p) for p in points]
+
+    @pytest.mark.parametrize("source", ["1 <= 2", "1 > 2", "x != x"])
+    def test_constant_queries_broadcast(self, source):
+        qinfo = _qinfo(source)
+        points = [(0, 0), (5, 5), (-3, 15)]
+        got = qinfo.run_batch(_rows(points))
+        assert got.shape == (3,)
+        assert got.tolist() == [qinfo.run(p) for p in points]
+
+    def test_kernel_is_pinned_once(self):
+        qinfo = _qinfo("x + y <= 3")
+        qinfo.run_batch(_rows([(0, 0)]))
+        kernel = qinfo.__dict__["_grid_kernel"]
+        qinfo.run_batch(_rows([(1, 1), (2, 2)]))
+        assert qinfo.__dict__["_grid_kernel"] is kernel

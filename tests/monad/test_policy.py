@@ -69,3 +69,44 @@ class TestMonotonicity:
         wobbly = QuantitativePolicy("wobbly", lambda d: (d.size() // 10) % 2 == 0)
         chain = [_domain(w) for w in (1, 2, 3, 4)]
         assert not check_monotone_on(wobbly, chain)
+
+
+class TestVerdictOnSizes:
+    """The size-encoding interpreter behind vectorized fleet verdicts."""
+
+    def test_matches_predicate_on_scalars(self):
+        from repro.monad.policy import verdict_on_sizes
+
+        policies = [
+            size_above(100),
+            size_at_least(100),
+            all_of(size_above(10), size_at_least(50)),
+            any_of(size_above(1000), size_at_least(10)),
+        ]
+        for policy in policies:
+            for width in (1, 5, 9, 10):
+                domain = _domain(width)
+                got = verdict_on_sizes(policy, domain.size())
+                assert got is not None
+                assert bool(got) == policy(domain), (policy.name, width)
+
+    def test_vectorized_over_numpy_arrays(self):
+        np = __import__("pytest").importorskip("numpy")
+        from repro.monad.policy import verdict_on_sizes
+
+        sizes = np.asarray([0, 10, 100, 5000], dtype=np.int64)
+        policy = all_of(size_above(9), size_at_least(100))
+        got = verdict_on_sizes(policy, sizes)
+        assert got.tolist() == [False, False, True, True]
+
+    def test_opaque_policy_returns_none(self):
+        from repro.monad.policy import QuantitativePolicy, verdict_on_sizes
+
+        opaque = QuantitativePolicy("opaque", lambda d: True)
+        assert verdict_on_sizes(opaque, 10) is None
+
+    def test_combined_with_opaque_part_returns_none(self):
+        from repro.monad.policy import QuantitativePolicy, verdict_on_sizes
+
+        opaque = QuantitativePolicy("opaque", lambda d: True)
+        assert verdict_on_sizes(all_of(size_above(1), opaque), 10) is None

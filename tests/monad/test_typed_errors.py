@@ -1,0 +1,225 @@
+"""Typed serving-path errors and the falsy-domain regression.
+
+Serving invariants used to be ``assert`` statements and string-prefix
+dispatch; both disappear or misfire in ways a production runtime can't
+afford (``python -O`` strips asserts, refusal reasons are not a stable
+protocol).  These tests pin the typed replacements — including under
+``PYTHONOPTIMIZE=1``, where a plain ``assert`` would silently vanish.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.plugin import CompileError, QueryRegistry
+from repro.core.qinfo import QInfo
+from repro.domains.box import IntervalDomain
+from repro.lang.parser import parse_bool
+from repro.lang.secrets import SecretSpec
+from repro.monad.anosy import (
+    AnosyT,
+    DowngradeDecision,
+    DowngradeInvariantError,
+    PolicyViolation,
+    UnknownQuery,
+    top_knowledge_for,
+)
+from repro.monad.policy import size_above
+from repro.monad.protected import ProtectedSecret
+from repro.monad.secure import SecureRuntime
+from repro.service.session import SessionManager
+
+SPEC = SecretSpec.declare("TypedErr", x=(0, 9), y=(0, 9))
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg = QueryRegistry()
+    reg.compile_and_register("q", "x + y <= 10", SPEC)
+    return reg
+
+
+def _anosy(registry):
+    return AnosyT(SecureRuntime(), size_above(3), registry)
+
+
+class TestCompileError:
+    def test_indset_free_artifact_raises(self):
+        bare = QInfo("bare", parse_bool("x <= 1"), SPEC, None, None)
+        with pytest.raises(CompileError, match="neither 'under' nor 'over'"):
+            top_knowledge_for(bare)
+
+    def test_compile_error_is_runtime_error(self):
+        assert issubclass(CompileError, RuntimeError)
+
+
+class TestKindDispatch:
+    """``downgrade`` dispatches on the typed ``kind``, not reason text."""
+
+    def test_unknown_query_raises_unknown_query(self, registry):
+        session = _anosy(registry)
+        secret = ProtectedSecret.seal(SPEC, (1, 1))
+        with pytest.raises(UnknownQuery):
+            session.downgrade(secret, "ghost")
+
+    def test_policy_kind_raises_policy_violation_despite_reason_text(
+        self, registry, monkeypatch
+    ):
+        # A refusal whose *reason* mimics the unknown-query prefix must
+        # still raise PolicyViolation: the string is not the protocol.
+        session = _anosy(registry)
+        secret = ProtectedSecret.seal(SPEC, (1, 1))
+        refusal = DowngradeDecision(
+            authorized=False,
+            response=None,
+            reason="Can't downgrade q",
+            kind="policy",
+        )
+        monkeypatch.setattr(session, "try_downgrade", lambda *a, **k: refusal)
+        with pytest.raises(PolicyViolation):
+            session.downgrade(secret, "q")
+
+    def test_manager_dispatches_on_kind_too(self, registry, monkeypatch):
+        manager = SessionManager(registry=registry, policy=size_above(3))
+        manager.open_session("alice", (SPEC, (1, 1)))
+        refusal = DowngradeDecision(
+            authorized=False,
+            response=None,
+            reason="Can't downgrade q",
+            kind="policy",
+        )
+        monkeypatch.setattr(manager, "try_downgrade", lambda *a, **k: refusal)
+        with pytest.raises(PolicyViolation):
+            manager.downgrade("alice", "q")
+
+
+class TestInvariantErrors:
+    def test_authorized_without_response_raises_typed_error(
+        self, registry, monkeypatch
+    ):
+        session = _anosy(registry)
+        secret = ProtectedSecret.seal(SPEC, (1, 1))
+        broken = DowngradeDecision(authorized=True, response=None, reason="ok")
+        monkeypatch.setattr(session, "try_downgrade", lambda *a, **k: broken)
+        with pytest.raises(DowngradeInvariantError, match="carries no response"):
+            session.downgrade(secret, "q")
+
+    def test_manager_raises_typed_error_too(self, registry, monkeypatch):
+        manager = SessionManager(registry=registry, policy=size_above(3))
+        manager.open_session("alice", (SPEC, (1, 1)))
+        broken = DowngradeDecision(authorized=True, response=None, reason="ok")
+        monkeypatch.setattr(manager, "try_downgrade", lambda *a, **k: broken)
+        with pytest.raises(DowngradeInvariantError):
+            manager.downgrade("alice", "q")
+
+
+class _FalsyInterval(IntervalDomain):
+    """A domain that is falsy when empty — the shape that broke ``or``."""
+
+    def __bool__(self):
+        return self.size() > 0
+
+
+class TestFalsyDomainRegression:
+    """A tracked size-0 domain must never silently reset to ⊤.
+
+    ``prior = self.secrets.get(key) or self._top_for(qinfo)`` treated a
+    falsy empty domain as "no prior yet" and restarted the attacker's
+    knowledge from the full space — an unsound *widening* of tracked
+    knowledge.  The fix tests ``is None`` explicitly.
+    """
+
+    def _empty(self):
+        return _FalsyInterval(SPEC, None)
+
+    def test_empty_domain_is_falsy(self):
+        assert not self._empty()
+        assert self._empty().size() == 0
+
+    def test_empty_prior_is_not_reset_to_top(self, registry):
+        session = _anosy(registry)
+        secret = ProtectedSecret.seal(SPEC, (1, 1))
+        key = session._key(secret)
+        session.secrets[key] = self._empty()
+        decision = session.try_downgrade(secret, "q")
+        if decision.authorized:
+            # Intersecting an empty prior can only yield an empty posterior.
+            assert session.secrets[key].size() == 0
+        else:
+            assert session.secrets[key].size() == 0
+
+    def test_empty_over_prior_is_not_reset_to_top(self, registry):
+        session = AnosyT(
+            SecureRuntime(), size_above(0), registry, track_over=True
+        )
+        secret = ProtectedSecret.seal(SPEC, (1, 1))
+        key = session._key(secret)
+        session.over_knowledge[key] = self._empty()
+        session.try_downgrade(secret, "q")
+        over = session.over_knowledge.get(key)
+        assert over is not None
+        assert over.size() == 0
+
+
+class TestUnderPythonOptimize:
+    """The typed invariants survive ``python -O`` (asserts do not)."""
+
+    def _run(self, code):
+        env = dict(os.environ)
+        env["PYTHONOPTIMIZE"] = "1"
+        root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        src = os.path.join(root, "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+
+    def test_compile_error_raises_under_O(self):
+        result = self._run(
+            "import sys\n"
+            "assert sys.flags.optimize == 1\n"
+            "from repro.core.plugin import CompileError\n"
+            "from repro.core.qinfo import QInfo\n"
+            "from repro.lang.parser import parse_bool\n"
+            "from repro.lang.secrets import SecretSpec\n"
+            "from repro.monad.anosy import top_knowledge_for\n"
+            "spec = SecretSpec.declare('O1', x=(0, 3))\n"
+            "bare = QInfo('bare', parse_bool('x <= 1'), spec, None, None)\n"
+            "try:\n"
+            "    top_knowledge_for(bare)\n"
+            "except CompileError:\n"
+            "    print('TYPED-RAISE-OK')\n"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "TYPED-RAISE-OK" in result.stdout
+
+    def test_invariant_error_raises_under_O(self):
+        result = self._run(
+            "import sys\n"
+            "assert sys.flags.optimize == 1\n"
+            "from repro.core.plugin import QueryRegistry\n"
+            "from repro.lang.secrets import SecretSpec\n"
+            "from repro.monad.anosy import (\n"
+            "    DowngradeDecision, DowngradeInvariantError)\n"
+            "from repro.monad.policy import size_above\n"
+            "from repro.service.session import SessionManager\n"
+            "spec = SecretSpec.declare('O2', x=(0, 3))\n"
+            "reg = QueryRegistry()\n"
+            "reg.compile_and_register('q', 'x <= 1', spec)\n"
+            "m = SessionManager(registry=reg, policy=size_above(0))\n"
+            "m.open_session('alice', (spec, (1,)))\n"
+            "broken = DowngradeDecision(authorized=True, response=None, reason='ok')\n"
+            "m.try_downgrade = lambda *a, **k: broken\n"
+            "try:\n"
+            "    m.downgrade('alice', 'q')\n"
+            "except DowngradeInvariantError:\n"
+            "    print('TYPED-RAISE-OK')\n"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "TYPED-RAISE-OK" in result.stdout

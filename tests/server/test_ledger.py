@@ -342,3 +342,40 @@ def test_decayed_bounds_persist_through_the_backend():
         )
         assert reborn.remaining("u", SPEC) == 144
         assert reborn.epoch == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    workload=queries,
+    user_secrets=st.lists(secrets, min_size=1, max_size=6),
+    floor=floors,
+)
+def test_preauthorize_batch_matches_scalar(workload, user_secrets, floor):
+    """Batch admission is per-user identical to scalar ``preauthorize`` —
+    decisions, reasons, ``remaining``, and refusal tallies."""
+    scalar = PrivacyBudgetLedger(size_above(floor))
+    batch = PrivacyBudgetLedger(size_above(floor))
+    users = [f"u{i}" for i in range(len(user_secrets))]
+    # Diversify the sound bounds first so the batch sees mixed priors.
+    for uid, secret in zip(users, user_secrets):
+        protected = ProtectedSecret.seal(SPEC, secret)
+        for axis, threshold in workload[:2]:
+            qinfo = threshold_qinfo(axis, threshold)
+            for ledger in (scalar, batch):
+                ledger.evaluate(uid, qinfo, protected)
+    for axis, threshold in workload:
+        qinfo = threshold_qinfo(axis, threshold)
+        expected = {uid: scalar.preauthorize(uid, qinfo) for uid in users}
+        actual = batch.preauthorize_batch(users, qinfo)
+        assert actual == expected
+        for uid in users:
+            assert scalar.account(uid).refusals == batch.account(uid).refusals
+
+
+def test_preauthorize_batch_collapses_duplicate_ids():
+    ledger = PrivacyBudgetLedger(size_above(10**9))  # refuses everything
+    qinfo = threshold_qinfo("x", 7)
+    decisions = ledger.preauthorize_batch(["u", "u", "u"], qinfo)
+    assert list(decisions) == ["u"]
+    assert not decisions["u"].allowed
+    assert ledger.account("u").refusals == 1

@@ -1,0 +1,86 @@
+"""Shard-level parity: vectorized serving vs the scalar reference.
+
+A serving shard runs ledger admission, the fleet downgrade, and commits
+in one round; the SoA warm path must leave every observable — request
+results, budget refusals, exported ledger deltas, knowledge sizes —
+exactly where the scalar loop leaves them.
+"""
+
+import pytest
+
+from repro.core.plugin import CompileOptions, compile_query
+from repro.lang.canonical import spec_to_json
+from repro.lang.secrets import SecretSpec
+from repro.monad.policy import size_above
+from repro.server.workers import _ServingShard
+from repro.service.serialize import compiled_query_to_json, policy_to_json
+from repro.solver.vectoreval import AVAILABLE
+
+pytestmark = pytest.mark.skipif(not AVAILABLE, reason="NumPy not installed")
+
+SPEC = SecretSpec.declare("ShardFleet", x=(0, 31), y=(0, 31))
+OPTIONS = CompileOptions(domain="interval", modes=("under", "over"))
+QUERIES = {
+    "near": "abs(x - 10) + abs(y - 10) <= 8",
+    "west": "x <= 12",
+    "tight": "x <= 1 and y <= 1",
+}
+POINTS = [(0, 0), (5, 9), (10, 10), (31, 31), (12, 1), (1, 1), (20, 5), (0, 31)]
+
+
+def _shard(floor):
+    data = {
+        "policy": policy_to_json(size_above(16)),
+        "mode": "under",
+        "check_both": True,
+        "floor": None if floor is None else policy_to_json(size_above(floor)),
+    }
+    return _ServingShard(data)
+
+
+def _load(shard, vectorized):
+    shard.manager.vectorized = vectorized
+    for name, source in QUERIES.items():
+        compiled = compile_query(name, source, SPEC, OPTIONS)
+        shard.attach_query({"name": name, "artifact": compiled_query_to_json(compiled)})
+    for i, point in enumerate(POINTS):
+        shard.open_session(
+            {
+                "session_id": f"s{i}",
+                "user_id": f"user{i % 5}",  # some users own two sessions
+                "spec": spec_to_json(SPEC),
+                "value": list(point),
+            }
+        )
+    return shard
+
+
+@pytest.mark.parametrize("floor", [None, 4, 4000])
+def test_serve_batch_parity(floor):
+    scalar = _load(_shard(floor), vectorized=False)
+    vectorized = _load(_shard(floor), vectorized=True)
+    ids = [f"s{i}" for i in range(len(POINTS))] + ["ghost"]
+    for tick, name in enumerate(["near", "west", "near", "tight", "west"]):
+        want = scalar.serve_batch(name, ids)
+        got = vectorized.serve_batch(name, ids)
+        assert got == want, (tick, name)
+    for sid in list(scalar.manager.sessions):
+        assert (
+            scalar.manager.sessions[sid].knowledge
+            == vectorized.manager.sessions[sid].knowledge
+        )
+        assert (
+            scalar.manager.sessions[sid].history
+            == vectorized.manager.sessions[sid].history
+        )
+    if floor is not None:
+        for uid in scalar.ledger.users():
+            assert (
+                scalar.ledger.account(uid).refusals
+                == vectorized.ledger.account(uid).refusals
+            )
+
+
+def test_vectorized_is_the_shard_default():
+    shard = _shard(None)
+    assert shard.manager.vectorized is True

@@ -1,0 +1,253 @@
+"""Differential suite: vectorized fleet ticks vs the scalar reference.
+
+The structure-of-arrays warm path (:meth:`SessionManager.downgrade_batch`
+with ``vectorized=True``) must be *bit-identical* to the per-session
+scalar loop: same decisions (including the typed ``kind``), same
+posterior domains, same audit records, under every serving discipline.
+These properties drive random fleets through both paths — mixed priors,
+spec mismatches, refusals, unknown queries, mid-sequence closes, and
+scalar/vectorized interleaving — and compare everything observable.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plugin import CompileOptions, QueryRegistry
+from repro.lang.secrets import SecretSpec
+from repro.monad.policy import size_above
+from repro.service.session import SessionManager
+from repro.service.soa import FleetStore
+from repro.solver.vectoreval import AVAILABLE
+
+pytestmark = pytest.mark.skipif(not AVAILABLE, reason="NumPy not installed")
+
+SPEC = SecretSpec.declare("DiffFleet", x=(0, 15), y=(0, 15))
+OTHER_SPEC = SecretSpec.declare("DiffOther", a=(0, 7))
+
+#: Query menu: an interval query, a powerset query (so fleets mix domain
+#: kinds across sessions), a narrow query whose posteriors trip strict
+#: policies, and a name the registry has never seen.
+QUERIES = ["qa", "qb", "qc", "nosuch"]
+THRESHOLDS = [1, 40, 200]
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg = QueryRegistry()
+    reg.compile_and_register("qa", "x + y <= 12", SPEC)
+    reg.compile_and_register(
+        "qb",
+        "x - y >= 2",
+        SPEC,
+        options=CompileOptions(domain="powerset", k=3),
+    )
+    reg.compile_and_register("qc", "x <= 2 and y <= 2", SPEC)
+    return reg
+
+
+def _fleet(points):
+    secrets = {f"u{i}": (SPEC, point) for i, point in enumerate(points)}
+    secrets["mm"] = (OTHER_SPEC, (3,))
+    return secrets
+
+
+def _managers(registry, threshold, check_both, points):
+    managers = []
+    for vectorized in (False, True):
+        manager = SessionManager(
+            registry=registry,
+            policy=size_above(threshold),
+            check_both=check_both,
+            vectorized=vectorized,
+        )
+        manager.open_sessions(_fleet(points))
+        managers.append(manager)
+    return managers
+
+
+def _assert_parity(scalar, vectorized):
+    assert scalar.sessions.keys() == vectorized.sessions.keys()
+    for sid, session in scalar.sessions.items():
+        other = vectorized.sessions[sid]
+        assert session.knowledge == other.knowledge, sid
+        assert session.history == other.history, sid
+
+
+@st.composite
+def fleet_scripts(draw):
+    """A random fleet plus a random sequence of (query, ids) ticks."""
+    points = draw(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)),
+            min_size=3,
+            max_size=8,
+        )
+    )
+    ids = [f"u{i}" for i in range(len(points))] + ["mm"]
+    ticks = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(QUERIES),
+                st.one_of(
+                    st.none(),
+                    st.lists(st.sampled_from(ids), min_size=1, max_size=len(ids)),
+                ),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return points, ticks
+
+
+class TestDifferentialParity:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        script=fleet_scripts(),
+        threshold=st.sampled_from(THRESHOLDS),
+        check_both=st.booleans(),
+    )
+    def test_random_fleets_are_bit_identical(
+        self, registry, script, threshold, check_both
+    ):
+        points, ticks = script
+        scalar, vectorized = _managers(registry, threshold, check_both, points)
+        for query, tick_ids in ticks:
+            expected = scalar.downgrade_batch(query, tick_ids)
+            actual = vectorized.downgrade_batch(query, tick_ids)
+            assert expected == actual
+        _assert_parity(scalar, vectorized)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        script=fleet_scripts(),
+        toggles=st.lists(st.booleans(), min_size=6, max_size=6),
+        threshold=st.sampled_from(THRESHOLDS),
+    )
+    def test_interleaved_scalar_and_vectorized_ticks(
+        self, registry, script, toggles, threshold
+    ):
+        """Flipping ``vectorized`` mid-stream exercises the store re-sync
+        (scalar ticks mutate knowledge behind the SoA mirror's back)."""
+        points, ticks = script
+        scalar, mixed = _managers(registry, threshold, True, points)
+        for (query, tick_ids), toggle in zip(ticks, toggles):
+            mixed.vectorized = toggle
+            assert scalar.downgrade_batch(query, tick_ids) == mixed.downgrade_batch(
+                query, tick_ids
+            )
+        _assert_parity(scalar, mixed)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        script=fleet_scripts(),
+        seed=st.integers(0, 2**16),
+        threshold=st.sampled_from(THRESHOLDS),
+    )
+    def test_parity_survives_mid_sequence_closes(
+        self, registry, script, seed, threshold
+    ):
+        """Closing sessions between ticks (swap-remove in the store) must
+        not perturb the surviving sessions' outcomes."""
+        points, ticks = script
+        scalar, vectorized = _managers(registry, threshold, True, points)
+        rng = random.Random(seed)
+        for query, _ in ticks:
+            open_ids = list(scalar.sessions)
+            if len(open_ids) > 2 and rng.random() < 0.5:
+                victim = rng.choice(open_ids)
+                closed_s = scalar.close_session(victim)
+                closed_v = vectorized.close_session(victim)
+                assert closed_s.history == closed_v.history
+            assert scalar.downgrade_batch(query) == vectorized.downgrade_batch(query)
+        _assert_parity(scalar, vectorized)
+
+
+class TestDecisionKinds:
+    def test_policy_refusal_kind(self, registry):
+        scalar, vectorized = _managers(registry, 200, True, [(0, 0), (9, 9)])
+        for manager in (scalar, vectorized):
+            decision = manager.downgrade_batch("qc")["u0"]
+            assert not decision.authorized
+            assert decision.kind == "policy"
+
+    def test_unknown_query_kind(self, registry):
+        _, vectorized = _managers(registry, 1, True, [(0, 0), (9, 9)])
+        decision = vectorized.downgrade_batch("nosuch")["u0"]
+        assert decision.kind == "unknown_query"
+        assert not decision.authorized
+
+    def test_spec_mismatch_kind(self, registry):
+        _, vectorized = _managers(registry, 1, True, [(0, 0), (9, 9)])
+        decision = vectorized.downgrade_batch("qa")["mm"]
+        assert decision.kind == "spec_mismatch"
+        assert "DiffOther" in decision.reason
+
+    def test_authorized_kind_is_ok(self, registry):
+        _, vectorized = _managers(registry, 1, True, [(0, 0), (9, 9)])
+        decision = vectorized.downgrade_batch("qa")["u0"]
+        assert decision.authorized
+        assert decision.kind == "ok"
+
+
+class TestSharedOutcomeObjects:
+    def test_same_prior_group_shares_frozen_decisions(self, registry):
+        """Sessions in one distinct-prior group with the same response get
+        the *same* decision/record objects — equality with the scalar path
+        is what matters, identity is the SoA economy."""
+        _, vectorized = _managers(registry, 1, True, [(0, 0), (1, 1), (15, 15)])
+        decisions = vectorized.downgrade_batch("qa")
+        assert decisions["u0"] is decisions["u1"]
+        assert decisions["u0"] == decisions["u1"]
+        assert decisions["u0"].response is True
+        assert decisions["u2"].response is False
+        s0 = vectorized.session("u0")
+        s1 = vectorized.session("u1")
+        assert s0.history[-1] is s1.history[-1]
+        assert s0.knowledge is s1.knowledge
+
+    def test_plan_cache_reuses_posteriors_across_ticks(self, registry):
+        _, vectorized = _managers(registry, 1, True, [(0, 0), (1, 1)])
+        vectorized.downgrade_batch("qa")
+        first = vectorized.session("u0").knowledge
+        # A second fleet at the same prior must hit the cached plan and
+        # intern to the identical posterior object.
+        vectorized.open_sessions({"w0": (SPEC, (0, 1)), "w1": (SPEC, (1, 0))})
+        vectorized.downgrade_batch("qa", ["w0", "w1"])
+        assert vectorized.session("w0").knowledge is first
+
+
+class TestFleetStore:
+    def test_intern_is_equality_keyed(self):
+        from repro.domains.box import IntervalDomain
+
+        store = FleetStore(SPEC)
+        assert store.intern(None) == 0
+        first = IntervalDomain.top(SPEC)
+        second = IntervalDomain.top(SPEC)
+        assert first is not second
+        assert store.intern(first) == store.intern(second) == 1
+        assert store.domain(1) is first
+
+    def test_add_discard_swap_remove(self):
+        store = FleetStore(SPEC)
+        for i in range(5):
+            store.add(f"s{i}", (i, i), None)
+        assert store.size == 5
+        store.discard("s1")
+        assert store.size == 4
+        assert store.index["s4"] == 1  # swapped into the hole
+        assert tuple(store.secrets[1]) == (4, 4)
+        store.discard("missing")  # no-op
+        assert store.size == 4
+
+    def test_grow_preserves_rows(self):
+        store = FleetStore(OTHER_SPEC)
+        for i in range(200):  # crosses the initial capacity
+            store.add(f"s{i}", (i % 8,), None)
+        assert store.size == 200
+        assert store.index["s150"] == 150
+        assert tuple(store.secrets[150]) == (150 % 8,)
