@@ -29,7 +29,12 @@ Three claims of the ``repro.server`` architecture, measured and gated:
   than the per-session scalar reference (``served_rps_vectorized``;
   the speedup is re-measured everywhere but, like the other ratio
   gates, only asserted on ≥ 4-core runners where timing noise from a
-  contended CI core can't flip it).
+  contended CI core can't flip it);
+* **journaling is cheap** — the same sharded workload with every
+  request write-ahead journaled to a file-backed SQLite store (appends
+  and acks batched per tick) keeps ≥ 0.7x the unjournaled sharded
+  throughput (``serving_journaled``; soft-reported below 4 cores like
+  the other ratio gates).
 
 Results land in ``BENCH_server.json`` at the repository root (uploaded
 as a CI artifact alongside ``BENCH_solver.json``).
@@ -72,6 +77,7 @@ MIN_WARM_SPEEDUP = 3.0
 MIN_PARALLEL_EFFICIENCY = 0.55
 MIN_DEGRADED_FRACTION = 0.5
 MIN_VECTORIZED_SPEEDUP = 10.0
+MIN_JOURNALED_FRACTION = 0.7
 
 #: shard count → measurements, aggregated by the report test.
 RESULTS: dict[int, dict] = {}
@@ -175,10 +181,19 @@ def test_batched_downgrade_throughput():
     print(f"\nserving: {served_rps:,.0f} downgrades/s in {batches} batch passes")
 
 
-async def _sharded_serving_scenario(n_sessions: int, *, trip_shards=()):
-    """One sharded serving run; optionally trip breakers before serving."""
+async def _sharded_serving_scenario(n_sessions: int, *, trip_shards=(), store=None):
+    """One sharded serving run; optionally trip breakers before serving.
+
+    With *store* set, every request is write-ahead journaled to it —
+    the ``serving_journaled`` configuration, identical except for the
+    journal so the ratio isolates journaling overhead.
+    """
+    from repro.server.journal import RequestJournal
+
     server = DeclassificationServer(
         size_above(100),
+        store=store,
+        journal=None if store is None else RequestJournal(store),
         options=OPTIONS,
         config=ServerConfig(
             shards=1,
@@ -216,10 +231,11 @@ async def _sharded_serving_scenario(n_sessions: int, *, trip_shards=()):
     elapsed = time.perf_counter() - start
     await server.stop()
     degraded_batches = server.stats.degraded_batches
+    journaled = 0 if server.journal is None else len(server.journal)
     server.shutdown()
     assert len(results) == n_sessions
     assert all(r.authorized for r in results)
-    return n_sessions / elapsed, degraded_batches
+    return n_sessions / elapsed, degraded_batches, journaled
 
 
 def test_sharded_serving_throughput():
@@ -230,7 +246,7 @@ def test_sharded_serving_throughput():
     benchmark, executed on four serving shards routed by user id.
     """
     n_sessions = 200
-    served_rps, _ = asyncio.run(_sharded_serving_scenario(n_sessions))
+    served_rps, _, _ = asyncio.run(_sharded_serving_scenario(n_sessions))
     RESULTS["serving_sharded"] = {
         "sessions": n_sessions,
         "serving_shards": SERVING_SHARDS,
@@ -251,7 +267,7 @@ def test_degraded_serving_throughput():
     ≥ 4-core runners, in the report test.
     """
     n_sessions = 200
-    served_rps, degraded_batches = asyncio.run(
+    served_rps, degraded_batches, _ = asyncio.run(
         _sharded_serving_scenario(n_sessions, trip_shards=(0,))
     )
     assert degraded_batches > 0, "no traffic rode the degraded path"
@@ -265,6 +281,35 @@ def test_degraded_serving_throughput():
     print(
         f"\ndegraded serving: {served_rps:,.0f} downgrades/s with 1 of "
         f"{SERVING_SHARDS} shards down ({degraded_batches} degraded batches)"
+    )
+
+
+def test_journaled_serving_throughput(tmp_path):
+    """Write-ahead journaling on the sharded serving path, measured.
+
+    Same workload as ``serving_sharded`` with a file-backed SQLite
+    store journaling every request (appends and acks land in batched
+    per-tick transactions, acks fused with the ledger mirror when one
+    exists).  Reported always; gated at ≥ ``MIN_JOURNALED_FRACTION`` of
+    the unjournaled sharded throughput on ≥ 4-core runners.
+    """
+    n_sessions = 200
+    with SQLiteStore(tmp_path / "journal.db") as store:
+        served_rps, _, journaled = asyncio.run(
+            _sharded_serving_scenario(n_sessions, store=store)
+        )
+    # Every request made it into the journal: one configure, one
+    # compile, one open per session, one downgrade per request.
+    assert journaled == 2 + 2 * n_sessions, "journal missed requests"
+    RESULTS["serving_journaled"] = {
+        "sessions": n_sessions,
+        "serving_shards": SERVING_SHARDS,
+        "served_rps": served_rps,
+        "journal_entries": journaled,
+    }
+    print(
+        f"\njournaled serving: {served_rps:,.0f} downgrades/s "
+        f"({journaled} journal entries)"
     )
 
 
@@ -367,6 +412,17 @@ def test_report_and_gates():
         else f"cpu_count={cpu} < 4: degraded throughput reported, not gated"
     )
 
+    # Journaling overhead is also a ratio against the sharded baseline,
+    # with the same contended-core caveat.
+    journaled_rps = RESULTS.get("serving_journaled", {}).get("served_rps", 0.0)
+    journaled_fraction = journaled_rps / sharded_rps if sharded_rps else 0.0
+    journaled_enforced = cpu >= 4
+    journaled_skip_reason = (
+        None
+        if journaled_enforced
+        else f"cpu_count={cpu} < 4: journaled throughput reported, not gated"
+    )
+
     # The vectorized/scalar ratio is a single-core property, but on a
     # contended 1-CPU CI box the scalar baseline's timing jitter can
     # swing the ratio by itself: measure and report everywhere, assert
@@ -394,11 +450,13 @@ def test_report_and_gates():
         "serving": RESULTS.get("serving", {}),
         "serving_sharded": RESULTS.get("serving_sharded", {}),
         "serving_degraded": RESULTS.get("serving_degraded", {}),
+        "serving_journaled": RESULTS.get("serving_journaled", {}),
         "serving_vectorized": RESULTS.get("serving_vectorized", {}),
         "warm_speedup_vs_cold": warm_speedup,
         "scaling_1_to_4_shards": scaling,
         "parallel_efficiency": efficiency,
         "degraded_fraction": degraded_fraction,
+        "journaled_fraction": journaled_fraction,
         "vectorized_speedup": vectorized_speedup,
         "gates": {
             "min_warm_speedup": MIN_WARM_SPEEDUP,
@@ -408,6 +466,9 @@ def test_report_and_gates():
             "min_degraded_fraction": MIN_DEGRADED_FRACTION,
             "degraded_enforced": degraded_enforced,
             "degraded_skip_reason": degraded_skip_reason,
+            "min_journaled_fraction": MIN_JOURNALED_FRACTION,
+            "journaled_enforced": journaled_enforced,
+            "journaled_skip_reason": journaled_skip_reason,
             "min_vectorized_speedup": MIN_VECTORIZED_SPEEDUP,
             "vectorized_enforced": vectorized_enforced,
             "vectorized_skip_reason": vectorized_skip_reason,
@@ -432,6 +493,13 @@ def test_report_and_gates():
         )
     else:
         print(f"degraded-throughput gate skipped: {degraded_skip_reason}")
+    if journaled_enforced:
+        assert journaled_fraction >= MIN_JOURNALED_FRACTION, (
+            f"journaled serving at {journaled_fraction:.2f} of unjournaled "
+            f"sharded throughput (gate {MIN_JOURNALED_FRACTION})"
+        )
+    else:
+        print(f"journaled-throughput gate skipped: {journaled_skip_reason}")
     if vectorized_enforced:
         assert vectorized_speedup >= MIN_VECTORIZED_SPEEDUP, (
             f"vectorized fleet ticks only {vectorized_speedup:.1f}x over "

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Exactly-once over HTTP: the journaled edge, retries, and replay.
+
+A real client talks to the serving runtime over HTTP and *will* retry:
+timeouts, flaky proxies, duplicated deliveries.  This walkthrough runs
+the full loop the journal was built for:
+
+1. a journaled gateway behind the stdlib :class:`HttpEdge` — every
+   state-changing request is appended to the write-ahead journal before
+   it executes;
+2. a downgrade sent with an ``Idempotency-Key``, then *re-sent* with the
+   same key — the duplicate is answered byte-identically from the
+   journal and the privacy budget is not charged twice;
+3. a second query refused by the budget floor — a refusal is a
+   journaled decision, not a transport error (HTTP 200);
+4. :func:`replay_journal` re-executing the recorded history against a
+   fresh twin and confirming every decision, refusal, and audit digest
+   comes out bit-identical.
+
+Run:  python examples/http_edge.py
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+from repro import DeclassificationServer, SecretSpec, ServerConfig, size_above
+from repro.core.plugin import CompileOptions
+from repro.lang.canonical import spec_to_json
+from repro.server.edge import HttpEdge
+from repro.server.journal import MemoryJournalBackend, RequestJournal
+from repro.server.replay import replay_journal
+
+SPEC = SecretSpec.declare("EdgeLoc", x=(0, 199), y=(0, 199))
+
+#: Alice is at (30, 40); "west" keeps 20,000 locations possible, but
+#: folding "south" on top would leave 10,000 — below the 15,000 floor.
+QUERIES = [("west", "x <= 99"), ("south", "y <= 99")]
+
+
+def call(address, method, path, body=None, key=None):
+    """One JSON request against the edge; returns (status, decoded body)."""
+    host, port = address
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=data, method=method
+    )
+    request.add_header("Content-Type", "application/json")
+    if key is not None:
+        request.add_header("Idempotency-Key", key)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def main() -> None:
+    journal = RequestJournal(MemoryJournalBackend())
+    server = DeclassificationServer(
+        size_above(100),
+        budget_floor=size_above(15_000),
+        options=CompileOptions(domain="interval", modes=("under", "over")),
+        config=ServerConfig(inline_compiles=True),
+        journal=journal,
+    )
+
+    with HttpEdge(server) as edge:
+        for name, text in QUERIES:
+            status, receipt = call(
+                edge.address,
+                "POST",
+                "/v1/queries",
+                {"name": name, "query": text, "secret": spec_to_json(SPEC)},
+            )
+            assert status == 200 and receipt["verified"], receipt
+            print(f"compiled {name!r:<8} verified={receipt['verified']}")
+
+        status, opened = call(
+            edge.address,
+            "POST",
+            "/v1/sessions",
+            {
+                "session_id": "conn-1",
+                "user_id": "alice",
+                "secret": {"spec": spec_to_json(SPEC), "value": [30, 40]},
+            },
+        )
+        assert status == 201, opened
+        print(f"\nopened session {opened['session_id']!r} for alice")
+
+        status, first = call(
+            edge.address,
+            "POST",
+            "/v1/downgrades",
+            {"session_id": "conn-1", "query_name": "west"},
+            key="alice/west/1",
+        )
+        assert status == 200 and first["authorized"], first
+        remaining = server.ledger.remaining("alice", SPEC)
+        print(f"downgrade west: response={first['response']} "
+              f"budget left={remaining:,}")
+
+        # The client times out and retries with the same Idempotency-Key.
+        # The journal answers; nothing re-executes, nothing is re-charged.
+        status, retried = call(
+            edge.address,
+            "POST",
+            "/v1/downgrades",
+            {"session_id": "conn-1", "query_name": "west"},
+            key="alice/west/1",
+        )
+        assert status == 200 and retried == first
+        assert server.ledger.remaining("alice", SPEC) == remaining
+        assert server.stats.journal_duplicates >= 1
+        print(f"retry with same key: byte-identical answer, "
+              f"budget still {remaining:,} "
+              f"(journal duplicates: {server.stats.journal_duplicates})")
+
+        # Composition is what exhausts the budget: "south" alone is fine,
+        # but folded onto "west" it would corner alice below the floor.
+        # The refusal is a journaled *decision* — HTTP 200, not an error.
+        status, refused = call(
+            edge.address,
+            "POST",
+            "/v1/downgrades",
+            {"session_id": "conn-1", "query_name": "south"},
+            key="alice/south/1",
+        )
+        assert status == 200 and not refused["authorized"]
+        assert "budget exhausted" in refused["reason"]
+        print(f"downgrade south: refused ({refused['reason']})")
+
+        status, audit = call(edge.address, "GET", "/v1/audit")
+        assert status == 200
+        print(f"audit over HTTP: {audit['journal']['entries']} journal "
+              f"entries, {audit['journal']['duplicates']} duplicates")
+
+    # The edge is down; the journal is the record.  Replay it against a
+    # fresh twin and require bit-identical decisions — the same check the
+    # CI `replay` job runs on recorded crash histories.
+    report = replay_journal(journal)
+    assert report.conforms, report.divergences
+    assert [r.query_name for r in report.refusals] == ["south"]
+    print(f"\nreplay: {report.replayed} entries re-executed, "
+          f"{report.matched} matched, refusals={[r.query_name for r in report.refusals]}, "
+          f"conforms={report.conforms}")
+
+
+if __name__ == "__main__":
+    main()

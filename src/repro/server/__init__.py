@@ -37,17 +37,41 @@ layer ROADMAP's "heavy traffic" north star asks for:
   keeps the runtime serving through process death;
 * :mod:`repro.server.faults` — deterministic, seeded fault injection
   (:class:`~repro.server.faults.FaultPlan`) driving the chaos suite
-  through every failure point reproducibly.
+  through every failure point reproducibly;
+* :mod:`repro.server.journal` — a write-ahead
+  :class:`~repro.server.journal.RequestJournal` of every state-changing
+  request, keyed by client idempotency keys, appended before execution
+  and acknowledged (atomically with the ledger's durable-mirror fold)
+  after it — exactly-once effects over at-least-once delivery;
+* :mod:`repro.server.replay` — deterministic replay
+  (:class:`~repro.server.replay.ReplaySession`): re-execute a recorded
+  journal against a fresh twin and assert every decision, refusal, and
+  audit digest comes out bit-identical;
+* :mod:`repro.server.edge` — a stdlib-only HTTP adapter
+  (:class:`~repro.server.edge.HttpEdge`) with structured error bodies,
+  ``Retry-After`` on degradation, and ``Idempotency-Key`` passthrough —
+  zero domain rules.
 """
 
+from repro.server.edge import HttpEdge
 from repro.server.faults import FaultPlan, FaultSpec
 from repro.server.gateway import (
     DeclassificationServer,
+    JournalRecovery,
     ServerCompileReceipt,
     ServerConfig,
     ServerDegraded,
     ServerOverloaded,
     ServerStats,
+)
+from repro.server.journal import (
+    JOURNAL_FORMAT_VERSION,
+    JournalBackend,
+    JournalEntry,
+    MemoryJournalBackend,
+    RequestJournal,
+    chain_digest,
+    live_state,
 )
 from repro.server.ledger import (
     LEDGER_FORMAT_VERSION,
@@ -59,6 +83,13 @@ from repro.server.ledger import (
     LedgerFormatError,
     LedgerInvariantError,
     PrivacyBudgetLedger,
+)
+from repro.server.replay import (
+    ReplayDivergence,
+    ReplayRefusal,
+    ReplayReport,
+    ReplaySession,
+    replay_journal,
 )
 from repro.server.store import SQLiteStore, StoreFormatError
 from repro.server.supervise import (
@@ -85,6 +116,7 @@ from repro.server.workers import (
 
 __all__ = [
     "DeclassificationServer",
+    "JournalRecovery",
     "ServerCompileReceipt",
     "ServerConfig",
     "ServerDegraded",
@@ -92,6 +124,19 @@ __all__ = [
     "ServerStats",
     "FaultPlan",
     "FaultSpec",
+    "HttpEdge",
+    "JOURNAL_FORMAT_VERSION",
+    "JournalBackend",
+    "JournalEntry",
+    "MemoryJournalBackend",
+    "RequestJournal",
+    "chain_digest",
+    "live_state",
+    "ReplayDivergence",
+    "ReplayRefusal",
+    "ReplayReport",
+    "ReplaySession",
+    "replay_journal",
     "CircuitBreaker",
     "CodecError",
     "RetryPolicy",

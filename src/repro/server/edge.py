@@ -1,0 +1,338 @@
+"""A minimal stdlib HTTP edge in front of the serving gateway.
+
+The gateway (:class:`~repro.server.gateway.DeclassificationServer`) is
+an asyncio object; real clients speak HTTP.  :class:`HttpEdge` bridges
+the two with nothing beyond the standard library: a
+:class:`http.server.ThreadingHTTPServer` accepts connections on worker
+threads, and every request hops onto the gateway's dedicated event-loop
+thread via ``asyncio.run_coroutine_threadsafe`` — the gateway's
+single-loop concurrency assumptions (tick batching, in-flight
+coalescing) stay intact no matter how many HTTP threads are talking.
+
+The edge holds **zero domain rules**.  It decodes JSON with the codecs
+in :mod:`repro.service.serialize` / :mod:`repro.lang.canonical`, passes
+the ``Idempotency-Key`` header straight through to the journal layer,
+and maps the runtime's typed failures onto transport semantics:
+
+========================================  =====================================
+condition                                 response
+========================================  =====================================
+:class:`ServerDegraded`                   ``503`` + ``Retry-After`` header
+:class:`ServerOverloaded` / shard shed    ``503``
+:class:`ShardFailure` (typed kinds)       ``502`` + ``exc.to_payload()`` body
+``ValueError`` (malformed input)          ``400``
+``KeyError`` (unknown name/session)       ``404``
+anything else                             ``500``
+========================================  =====================================
+
+Every error body is structured — ``{"error": ..., "detail": ...}`` —
+so retrying clients never parse prose.
+
+Routes (all JSON)::
+
+    POST   /v1/queries     {name, query, secret, options?}  -> compile receipt
+    POST   /v1/sessions    {session_id, secret{spec,value}, user_id?} -> 201
+    DELETE /v1/sessions/X                                   -> close summary
+    POST   /v1/downgrades  {session_id, query_name}         -> downgrade result
+    POST   /v1/epochs      {epochs?}                        -> {"epoch": n}
+    GET    /v1/audit                                        -> audit summary
+    GET    /v1/healthz                                      -> {"status": "ok"}
+
+See ``examples/http_edge.py`` for an end-to-end walkthrough and
+``docs/OPERATIONS.md`` for the retry discipline journaled deployments
+should follow (always send an ``Idempotency-Key``; a retried request is
+answered from the journal, never re-charged).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Coroutine
+
+from repro.lang.canonical import spec_from_json
+from repro.monad.protected import ProtectedSecret
+from repro.server.gateway import (
+    DeclassificationServer,
+    ServerDegraded,
+    ServerOverloaded,
+)
+from repro.server.supervise import ShardFailure
+from repro.server.workers import ShardOverloaded
+from repro.service.api import CompileRequest
+from repro.service.serialize import downgrade_result_to_json, options_from_json
+
+__all__ = ["HttpEdge"]
+
+
+def _require(body: dict[str, Any], name: str) -> Any:
+    """A required request field; missing means a 400, never a 404."""
+    try:
+        return body[name]
+    except (KeyError, TypeError):
+        raise _EdgeError(
+            400, {"error": "bad_request", "detail": f"missing field {name!r}"}
+        ) from None
+
+
+class _EdgeError(Exception):
+    """A transport-level refusal with a fixed status and JSON body."""
+
+    def __init__(self, status: int, body: dict[str, Any], headers: dict | None = None):
+        super().__init__(body.get("detail", ""))
+        self.status = status
+        self.body = body
+        self.headers = headers or {}
+
+
+def _to_edge_error(exc: Exception) -> _EdgeError:
+    """Map one runtime failure onto transport semantics (see module doc)."""
+    if isinstance(exc, ServerDegraded):
+        return _EdgeError(
+            503,
+            {"error": "degraded", "detail": str(exc), "retry_after": exc.retry_after},
+            {"Retry-After": str(max(1, int(exc.retry_after + 0.999)))},
+        )
+    if isinstance(exc, (ServerOverloaded, ShardOverloaded)):
+        return _EdgeError(503, {"error": "overloaded", "detail": str(exc)})
+    if isinstance(exc, ShardFailure):
+        return _EdgeError(502, {"error": "shard_failure", **exc.to_payload()})
+    if isinstance(exc, ValueError):
+        return _EdgeError(400, {"error": "bad_request", "detail": str(exc)})
+    if isinstance(exc, KeyError):
+        return _EdgeError(404, {"error": "not_found", "detail": str(exc)})
+    return _EdgeError(500, {"error": "internal", "detail": str(exc)})
+
+
+class HttpEdge:
+    """Serve one gateway over HTTP; owns the gateway's event loop.
+
+    The edge starts two kinds of threads: one dedicated loop thread
+    running the gateway's asyncio world (ticker included), and the
+    threading HTTP server's per-connection workers.  ``port=0`` binds an
+    ephemeral port — read :attr:`address` after :meth:`start`.  Use as a
+    context manager in tests::
+
+        with HttpEdge(server) as edge:
+            host, port = edge.address
+            ...
+
+    The edge never touches the gateway's store or journal directly; it
+    forwards the ``Idempotency-Key`` header and lets the journal layer
+    make duplicate deliveries exactly-once.
+    """
+
+    def __init__(
+        self,
+        server: DeclassificationServer,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 30.0,
+    ):
+        self.server = server
+        self.timeout = timeout
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread: threading.Thread | None = None
+        self._httpd = ThreadingHTTPServer((host, port), self._handler_class())
+        self._httpd.daemon_threads = True
+        self._http_thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` the edge is bound to."""
+        return self._httpd.server_address[:2]
+
+    def start(self) -> None:
+        """Start the gateway loop thread and the HTTP acceptor thread."""
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, name="edge-gateway-loop", daemon=True
+        )
+        self._loop_thread.start()
+        self._submit(self.server.start())
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="edge-http", daemon=True
+        )
+        self._http_thread.start()
+
+    def stop(self) -> None:
+        """Stop accepting, flush the gateway, and join both threads."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(self.timeout)
+        if self._loop_thread is not None:
+            self._submit(self.server.stop())
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._loop_thread.join(self.timeout)
+            self._loop.close()
+
+    def __enter__(self) -> "HttpEdge":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- loop bridging -----------------------------------------------------
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def _submit(self, coro: Coroutine[Any, Any, Any]) -> Any:
+        """Run one coroutine on the gateway loop; block for its result.
+
+        Synchronous gateway entry points are wrapped in coroutines and
+        submitted too: every touch of gateway state happens on the loop
+        thread, exactly as the gateway's concurrency model assumes.
+        """
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(self.timeout)
+
+    def _call(self, fn: Callable[[], Any]) -> Any:
+        async def wrapped() -> Any:
+            return fn()
+
+        return self._submit(wrapped())
+
+    # -- request handling --------------------------------------------------
+    def _handler_class(self) -> type:
+        edge = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # Tests hammer the edge; per-request stderr lines are noise.
+            def log_message(self, *args: Any) -> None:
+                pass
+
+            def do_GET(self) -> None:
+                edge._dispatch(self, "GET")
+
+            def do_POST(self) -> None:
+                edge._dispatch(self, "POST")
+
+            def do_DELETE(self) -> None:
+                edge._dispatch(self, "DELETE")
+
+        return Handler
+
+    def _dispatch(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        try:
+            status, body, headers = self._route(handler, method)
+        except _EdgeError as exc:
+            status, body, headers = exc.status, exc.body, exc.headers
+        except Exception as exc:  # noqa: BLE001 - mapped, never propagated
+            err = _to_edge_error(exc)
+            status, body, headers = err.status, err.body, err.headers
+        payload = json.dumps(body).encode("utf-8")
+        handler.send_response(status)
+        handler.send_header("Content-Type", "application/json")
+        handler.send_header("Content-Length", str(len(payload)))
+        for name, value in headers.items():
+            handler.send_header(name, value)
+        handler.end_headers()
+        handler.wfile.write(payload)
+
+    def _route(
+        self, handler: BaseHTTPRequestHandler, method: str
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        path = handler.path.rstrip("/")
+        key = handler.headers.get("Idempotency-Key")
+        if method == "GET" and path == "/v1/healthz":
+            return 200, {"status": "ok"}, {}
+        if method == "GET" and path == "/v1/audit":
+            return 200, self._call(self.server.audit_summary), {}
+        if method == "POST" and path == "/v1/queries":
+            body = self._read_json(handler)
+            request = CompileRequest(
+                name=str(_require(body, "name")),
+                query=str(_require(body, "query")),
+                secret=spec_from_json(_require(body, "secret")),
+                options=(
+                    None
+                    if body.get("options") is None
+                    else options_from_json(body["options"])
+                ),
+            )
+            receipt = self._submit(
+                self.server.register_query(request, idempotency_key=key)
+            )
+            return 200, receipt.to_json(), {}
+        if method == "POST" and path == "/v1/sessions":
+            body = self._read_json(handler)
+            sealed = _require(body, "secret")
+            secret = ProtectedSecret.seal(
+                spec_from_json(_require(sealed, "spec")),
+                tuple(_require(sealed, "value")),
+            )
+            session = self._call(
+                lambda: self.server.open_session(
+                    str(_require(body, "session_id")),
+                    secret,
+                    user_id=body.get("user_id"),
+                    idempotency_key=key,
+                )
+            )
+            return (
+                201,
+                {
+                    "session_id": session.session_id,
+                    "secret": session.spec.name,
+                },
+                {},
+            )
+        if method == "DELETE" and path.startswith("/v1/sessions/"):
+            session_id = path.rsplit("/", 1)[-1]
+            session = self._call(
+                lambda: self.server.close_session(session_id, idempotency_key=key)
+            )
+            return (
+                200,
+                {
+                    "session_id": session_id,
+                    "closed": True,
+                    "downgrades": None if session is None else len(session.history),
+                },
+                {},
+            )
+        if method == "POST" and path == "/v1/downgrades":
+            body = self._read_json(handler)
+            result = self._submit(
+                self.server.downgrade(
+                    str(_require(body, "session_id")),
+                    str(_require(body, "query_name")),
+                    idempotency_key=key,
+                )
+            )
+            return 200, downgrade_result_to_json(result), {}
+        if method == "POST" and path == "/v1/epochs":
+            body = self._read_json(handler)
+            epoch = self._call(
+                lambda: self.server.advance_epoch(
+                    int(body.get("epochs", 1)), idempotency_key=key
+                )
+            )
+            return 200, {"epoch": epoch}, {}
+        raise _EdgeError(
+            404, {"error": "not_found", "detail": f"no route {method} {path}"}
+        )
+
+    @staticmethod
+    def _read_json(handler: BaseHTTPRequestHandler) -> dict[str, Any]:
+        length = int(handler.headers.get("Content-Length") or 0)
+        raw = handler.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _EdgeError(
+                400, {"error": "bad_request", "detail": f"invalid JSON: {exc}"}
+            ) from exc
+        if not isinstance(body, dict):
+            raise _EdgeError(
+                400, {"error": "bad_request", "detail": "body must be a JSON object"}
+            )
+        return body

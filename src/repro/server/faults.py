@@ -60,7 +60,12 @@ __all__ = [
 #: worker in a chaos run is distinguishable from a genuine segfault.
 CRASH_EXIT_CODE = 13
 
-#: Every fault kind a :class:`FaultSpec` may carry.
+#: Every fault kind a :class:`FaultSpec` may carry.  The two
+#: ``crash_after_journal…``/``crash_after_execute…`` kinds target the
+#: write-ahead request journal's crash windows (fired at the gateway's
+#: ``"journal"`` site): after the append but before execution, and after
+#: execution (ledger folded) but before the acknowledgement — the two
+#: states recovery must converge from.
 FAULT_KINDS = (
     "crash_before_result",
     "crash_after_commit",
@@ -68,6 +73,8 @@ FAULT_KINDS = (
     "duplicate_delivery",
     "corrupt_payload",
     "db_locked",
+    "crash_after_journal_before_execute",
+    "crash_after_execute_before_ack",
 )
 
 

@@ -60,6 +60,15 @@ restarted server refuses exactly what the killed one refused (the
 kill-and-restart tests in ``tests/server/test_gateway.py`` assert
 exactly that).
 
+With a :class:`~repro.server.journal.RequestJournal` attached the
+restart story extends to *requests in flight*: every state-changing
+request is appended (with an idempotency key) before executing and
+acknowledged after the durable-mirror fold, duplicate deliveries
+short-circuit to recorded responses, :meth:`recover_from_journal`
+re-applies a dead process's unacknowledged suffix, and the whole
+acknowledged history replays deterministically
+(:class:`~repro.server.replay.ReplaySession`, DESIGN.md §12).
+
 The same durability split powers *mid-flight* recovery (see
 :mod:`repro.server.supervise` and DESIGN.md §10): every shard job runs
 under a :class:`~repro.server.supervise.ShardSupervisor` with a
@@ -82,7 +91,12 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.core.plugin import CompileOptions
-from repro.lang.canonical import spec_to_json
+from repro.lang.canonical import (
+    expr_from_json,
+    expr_to_json,
+    spec_from_json,
+    spec_to_json,
+)
 from repro.lang.parser import parse_bool
 from repro.lang.secrets import SecretSpec, SecretValue
 from repro.monad.anosy import DowngradeInvariantError
@@ -90,6 +104,7 @@ from repro.monad.policy import QuantitativePolicy
 from repro.monad.protected import ProtectedSecret
 from repro.server import faults
 from repro.server.faults import FaultPlan
+from repro.server.journal import RequestJournal, live_state
 from repro.server.ledger import DecayPolicy, PrivacyBudgetLedger
 from repro.server.supervise import RetryPolicy, ShardSupervisor
 from repro.server.workers import (
@@ -106,7 +121,15 @@ from repro.service.api import (
     DowngradeResult,
 )
 from repro.service.cache import CacheBackend, SynthesisCache
-from repro.service.serialize import compiled_query_to_json, policy_to_json
+from repro.service.serialize import (
+    compiled_query_to_json,
+    downgrade_result_from_json,
+    downgrade_result_to_json,
+    options_from_json,
+    options_to_json,
+    payload_digest,
+    policy_to_json,
+)
 from repro.service.session import Session
 
 __all__ = [
@@ -115,6 +138,7 @@ __all__ = [
     "ServerConfig",
     "ServerCompileReceipt",
     "ServerStats",
+    "JournalRecovery",
     "DeclassificationServer",
 ]
 
@@ -177,6 +201,10 @@ class ServerConfig:
     #: Fraction of serving shards open before degraded load shedding
     #: kicks in (the queue bound scales by the healthy fraction).
     degraded_watermark: float = 0.5
+    #: In-memory audit-trail ring size (``None`` = unbounded).  Evicted
+    #: events spill to the journal's ``audit_spill`` table when the
+    #: server is journaled, and are counted as dropped otherwise.
+    audit_capacity: int | None = 100_000
 
 
 @dataclass(frozen=True)
@@ -195,6 +223,32 @@ class ServerCompileReceipt:
     verified: bool
     synth_time: float
     verify_time: float
+
+    def to_json(self) -> dict[str, Any]:
+        """Encode for the journal's recorded-response slot (exact)."""
+        return {
+            "name": self.name,
+            "cache_hit": self.cache_hit,
+            "coalesced": self.coalesced,
+            "shard": self.shard,
+            "verified": self.verified,
+            "synth_time": self.synth_time,
+            "verify_time": self.verify_time,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ServerCompileReceipt":
+        """Decode a receipt recorded by :meth:`to_json`."""
+        shard = data["shard"]
+        return cls(
+            name=data["name"],
+            cache_hit=bool(data["cache_hit"]),
+            coalesced=bool(data["coalesced"]),
+            shard=None if shard is None else int(shard),
+            verified=bool(data["verified"]),
+            synth_time=float(data["synth_time"]),
+            verify_time=float(data["verify_time"]),
+        )
 
 
 @dataclass
@@ -218,12 +272,68 @@ class ServerStats:
     degraded_compiles: int = 0
     #: Downgrades shed by the *degraded* (scaled-down) queue bound.
     degraded_shed: int = 0
+    #: Requests appended to the write-ahead journal.
+    journal_appends: int = 0
+    #: Duplicate idempotency keys answered from the recorded response.
+    journal_duplicates: int = 0
+    #: Pending journal entries re-applied by :meth:`recover_from_journal`.
+    journal_recovered: int = 0
+
+
+@dataclass(frozen=True)
+class JournalRecovery:
+    """What one :meth:`~DeclassificationServer.recover_from_journal` did."""
+
+    #: Queries re-registered from acknowledged journal history.
+    queries: int
+    #: Sessions re-opened from acknowledged journal history.
+    sessions: int
+    #: Unacknowledged entries re-applied through the journaled path.
+    reapplied: int
+    #: Distinct authorized (session, query) pairs whose knowledge fold
+    #: was rebuilt, making the recovered gateway a seamless continuation.
+    refolded: int = 0
 
 
 @dataclass
 class _PendingDowngrade:
     session_id: str
     future: asyncio.Future = field(repr=False)
+    #: Idempotency key of the journaled request this waiter carries
+    #: (``None`` on unjournaled servers and internal re-applies).
+    journal_key: str | None = None
+    #: Set once the entry is appended; guards against double appends
+    #: when a waiter is requeued by a cancelled flush.
+    journal_seq: int | None = None
+
+
+def _compile_outcome(receipt: ServerCompileReceipt) -> dict[str, Any]:
+    """The deterministic outcome encoding of a compile (digested).
+
+    Excludes ``cache_hit``/``coalesced``/``shard`` and the timings: which
+    mechanism paid for an artifact (and how long it took) varies between
+    a cold run and its replay; *what was registered* must not.
+    """
+    return {"kind": "compile", "name": receipt.name, "verified": receipt.verified}
+
+
+def _configure_outcome(payload: dict[str, Any]) -> dict[str, Any]:
+    """The deterministic outcome encoding of a configure entry."""
+    return {"kind": "configure", "digest": payload_digest(payload)}
+
+
+def _compile_request(payload: dict[str, Any]) -> CompileRequest:
+    """Decode a journaled compile payload back into a request."""
+    return CompileRequest(
+        name=payload["name"],
+        query=expr_from_json(payload["query"]),
+        secret=spec_from_json(payload["secret"]),
+        options=(
+            None
+            if payload["options"] is None
+            else options_from_json(payload["options"])
+        ),
+    )
 
 
 class DeclassificationServer:
@@ -245,6 +355,7 @@ class DeclassificationServer:
         options: CompileOptions = CompileOptions(),
         config: ServerConfig = ServerConfig(),
         fault_plan: FaultPlan | None = None,
+        journal: RequestJournal | None = None,
     ):
         self.config = config
         self.default_options = options
@@ -257,6 +368,7 @@ class DeclassificationServer:
             cache=cache,
             mode=config.mode,
             check_both=config.check_both,
+            audit_capacity=config.audit_capacity,
         )
         # A store that also speaks LedgerBackend (e.g. SQLiteStore) makes
         # the ledger durable; a plain artifact backend leaves it in-memory.
@@ -311,6 +423,35 @@ class DeclassificationServer:
         self._shard_configured: set[int] = set()
         #: Query names attached (artifact shipped) per serving shard.
         self._shard_queries: dict[int, set[str]] = {}
+        #: The write-ahead request journal (None = unjournaled server).
+        self.journal = journal
+        #: In-flight journaled downgrades by idempotency key: a
+        #: duplicate delivery arriving before the first resolves awaits
+        #: the same future instead of double-enqueueing.
+        self._inflight_keys: dict[str, asyncio.Future] = {}
+        #: True when the ledger's durable mirror and the journal live in
+        #: one store that can land bound puts and acks atomically — the
+        #: exactly-once configuration.  The ledger then buffers its
+        #: mirror writes and every ack drains them into its own
+        #: transaction (:meth:`_drained_bounds`).
+        self._atomic_ledger = (
+            journal is not None
+            and self.ledger is not None
+            and self.ledger.store is not None
+            and self.ledger.store is getattr(journal, "backend", None)
+            and hasattr(journal.backend, "journal_ack_with_bounds")
+        )
+        if journal is not None:
+            # Journaled gateways must be replayable: the configure entry
+            # ships the policies as JSON, so — like shard serving — they
+            # need structural encodings.  Fail at construction.
+            policy_to_json(policy)
+            if budget_floor is not None:
+                policy_to_json(budget_floor)
+            if self._atomic_ledger:
+                self.ledger.buffer_writes()
+            self._journal_configure()
+            self.service.audit.spill = journal.spill_audit
         #: Compile futures keyed by cache key; waiters coalesce onto them.
         self._inflight: dict[str, asyncio.Future] = {}
         #: Queued downgrades, grouped by query name for per-tick batching.
@@ -334,15 +475,59 @@ class DeclassificationServer:
         return self.service.manager
 
     # -- compile path --------------------------------------------------------
-    async def register_query(self, request: CompileRequest) -> ServerCompileReceipt:
+    async def register_query(
+        self, request: CompileRequest, *, idempotency_key: str | None = None
+    ) -> ServerCompileReceipt:
         """Make a query declassifiable, through cache, coalescing, or shards.
+
+        On a journaled server the request is appended to the write-ahead
+        journal before compiling and acknowledged after; a duplicate
+        ``idempotency_key`` returns the recorded receipt without
+        re-executing.  Raises
+        :class:`~repro.server.workers.ShardOverloaded` when the shard
+        sheds the job.
+        """
+        if self.journal is None:
+            return await self._register_query(request)
+        query = (
+            parse_bool(request.query)
+            if isinstance(request.query, str)
+            else request.query
+        )
+        payload = {
+            "name": request.name,
+            "query": expr_to_json(query),
+            "secret": spec_to_json(request.secret),
+            "options": (
+                None
+                if request.options is None
+                else options_to_json(request.options)
+            ),
+        }
+        key = idempotency_key or self.journal.auto_key("compile")
+        entry = self.journal.begin(key, "compile", payload)
+        if entry.status == "done":
+            self.stats.journal_duplicates += 1
+            return ServerCompileReceipt.from_json(entry.response)
+        self.stats.journal_appends += 1
+        faults.maybe_crash("journal", "crash_after_journal_before_execute")
+        receipt = await self._register_query(replace(request, query=query))
+        faults.maybe_crash("journal", "crash_after_execute_before_ack")
+        self.journal.ack(
+            entry.seq,
+            _compile_outcome(receipt),
+            response=receipt.to_json(),
+            bounds=self._drained_bounds(),
+        )
+        return receipt
+
+    async def _register_query(self, request: CompileRequest) -> ServerCompileReceipt:
+        """The unjournaled compile path (cache → coalesce → shard).
 
         Resolution order: (1) the shared cache (memory, warm-started from
         the store) — a lookup; (2) an identical canonical problem already
         in flight — await the same shard job; (3) a fresh job on the
         query's shard, written through to the store on completion.
-        Raises :class:`~repro.server.workers.ShardOverloaded` when the
-        shard sheds the job.
         """
         options = (
             request.options if request.options is not None else self.default_options
@@ -475,6 +660,7 @@ class DeclassificationServer:
         secret: ProtectedSecret | tuple[SecretSpec, SecretValue],
         *,
         user_id: str | None = None,
+        idempotency_key: str | None = None,
     ) -> Session:
         """Open a session, bound to a durable user identity for the ledger.
 
@@ -486,7 +672,63 @@ class DeclassificationServer:
         shard (the open op ships with the next batch to that shard,
         order-preserved); the returned :class:`Session` is the gateway's
         handle, and its knowledge field stays ``None``.
+
+        On a journaled server the open is appended before executing; a
+        duplicate ``idempotency_key`` returns the live handle (or a
+        detached one) without opening twice.
         """
+        if self.journal is None:
+            return self._open_session(session_id, secret, user_id=user_id)
+        if not isinstance(secret, ProtectedSecret):
+            spec, value = secret
+            secret = ProtectedSecret.seal(spec, value)
+        user = user_id if user_id is not None else session_id
+        payload = {
+            "session_id": session_id,
+            "user_id": user,
+            "spec": spec_to_json(secret.spec),
+            # Raw value in the journal is inside the TCB, exactly like
+            # the open op shipped to a serving shard: the journal lives
+            # in the same store the gateway already trusts.
+            "value": list(secret.unprotect_tcb()),
+        }
+        key = idempotency_key or self.journal.auto_key("open_session")
+        entry = self.journal.begin(key, "open_session", payload)
+        if entry.status == "done":
+            self.stats.journal_duplicates += 1
+            handle = self._session_handle(session_id)
+            return (
+                handle
+                if handle is not None
+                else Session(session_id=session_id, secret=secret)
+            )
+        self.stats.journal_appends += 1
+        faults.maybe_crash("journal", "crash_after_journal_before_execute")
+        session = self._open_session(session_id, secret, user_id=user)
+        faults.maybe_crash("journal", "crash_after_execute_before_ack")
+        self.journal.ack(
+            entry.seq,
+            {"kind": "open_session", "session_id": session_id, "user_id": user},
+            bounds=self._drained_bounds(),
+        )
+        return session
+
+    def _session_handle(self, session_id: str) -> Session | None:
+        """The live handle for an open session, whichever path owns it."""
+        if self.serving_pool is not None:
+            handle = self._shard_sessions.get(session_id)
+            if handle is not None:
+                return handle
+        return self.manager.sessions.get(session_id)
+
+    def _open_session(
+        self,
+        session_id: str,
+        secret: ProtectedSecret | tuple[SecretSpec, SecretValue],
+        *,
+        user_id: str | None = None,
+    ) -> Session:
+        """The unjournaled open path (gateway-local or shard-routed)."""
         if self.serving_pool is None:
             session = self.service.open_session(session_id, secret)
             self._users[session_id] = (
@@ -533,8 +775,37 @@ class DeclassificationServer:
             "bounds": bounds,
         }
 
-    def close_session(self, session_id: str) -> Session:
-        """Close a session.  The user's ledger account (budget) remains."""
+    def close_session(
+        self, session_id: str, *, idempotency_key: str | None = None
+    ) -> Session | None:
+        """Close a session.  The user's ledger account (budget) remains.
+
+        On a journaled server a duplicate ``idempotency_key`` is a no-op
+        success returning ``None`` — the recorded close already
+        happened, and the live handle is gone.
+        """
+        if self.journal is None:
+            return self._close_session(session_id)
+        key = idempotency_key or self.journal.auto_key("close_session")
+        entry = self.journal.begin(
+            key, "close_session", {"session_id": session_id}
+        )
+        if entry.status == "done":
+            self.stats.journal_duplicates += 1
+            return None
+        self.stats.journal_appends += 1
+        faults.maybe_crash("journal", "crash_after_journal_before_execute")
+        session = self._close_session(session_id)
+        faults.maybe_crash("journal", "crash_after_execute_before_ack")
+        self.journal.ack(
+            entry.seq,
+            {"kind": "close_session", "session_id": session_id},
+            bounds=self._drained_bounds(),
+        )
+        return session
+
+    def _close_session(self, session_id: str) -> Session:
+        """The unjournaled close path."""
         if self.serving_pool is None:
             self._users.pop(session_id, None)
             return self.service.close_session(session_id)
@@ -657,14 +928,40 @@ class DeclassificationServer:
             if session_id in self.manager.sessions:
                 self.service.close_session(session_id)
 
-    def advance_epoch(self, epochs: int = 1) -> int:
+    def advance_epoch(
+        self, epochs: int = 1, *, idempotency_key: str | None = None
+    ) -> int:
         """Advance budget decay on the mirror ledger and every serving shard.
 
         The durable mirror advances (and persists) immediately — covering
         users with stored bounds but no live session; shards apply the
         queued epoch op before their next batch.  Returns the new epoch.
         Requires ``budget_floor`` and ``budget_decay``.
+
+        On a journaled server a duplicate ``idempotency_key`` returns
+        the recorded epoch without advancing again — retried epoch ticks
+        never double-dilate.
         """
+        if self.journal is None:
+            return self._advance_epoch(epochs)
+        key = idempotency_key or self.journal.auto_key("advance_epoch")
+        entry = self.journal.begin(key, "advance_epoch", {"epochs": epochs})
+        if entry.status == "done":
+            self.stats.journal_duplicates += 1
+            return int(entry.response["epoch"])
+        self.stats.journal_appends += 1
+        faults.maybe_crash("journal", "crash_after_journal_before_execute")
+        epoch = self._advance_epoch(epochs)
+        faults.maybe_crash("journal", "crash_after_execute_before_ack")
+        self.journal.ack(
+            entry.seq,
+            {"kind": "advance_epoch", "epoch": epoch},
+            bounds=self._drained_bounds(),
+        )
+        return epoch
+
+    def _advance_epoch(self, epochs: int = 1) -> int:
+        """The unjournaled epoch path."""
         if self.ledger is None:
             raise ValueError("advance_epoch requires a budget_floor")
         epoch = self.ledger.advance_epoch(epochs)
@@ -676,7 +973,13 @@ class DeclassificationServer:
         return epoch
 
     # -- downgrade path --------------------------------------------------------
-    async def downgrade(self, session_id: str, query_name: str) -> DowngradeResult:
+    async def downgrade(
+        self,
+        session_id: str,
+        query_name: str,
+        *,
+        idempotency_key: str | None = None,
+    ) -> DowngradeResult:
         """Queue one downgrade; resolves when its tick's batch is served.
 
         Load shedding is capacity-aware: past the degraded watermark
@@ -685,7 +988,36 @@ class DeclassificationServer:
         :class:`ServerDegraded`, whose ``retry_after`` names the
         earliest breaker probe — the degraded path keeps answering, but
         it must not be asked to absorb a healthy fleet's queue depth.
+
+        On a journaled server the request is appended (batched, at
+        flush) before its batch executes and acknowledged after the
+        durable-mirror fold.  A duplicate ``idempotency_key`` returns
+        the recorded result — or awaits the in-flight one — instead of
+        charging the budget twice.  Shed requests change no state and
+        are never journaled.
         """
+        if self.journal is None:
+            return await self._enqueue_downgrade(session_id, query_name).future
+        key = idempotency_key or self.journal.auto_key("downgrade")
+        recorded = self.journal.recorded_response(key)
+        if recorded is not None:
+            self.stats.journal_duplicates += 1
+            return downgrade_result_from_json(recorded)
+        inflight = self._inflight_keys.get(key)
+        if inflight is not None:
+            self.stats.journal_duplicates += 1
+            return await asyncio.shield(inflight)
+        pending = self._enqueue_downgrade(session_id, query_name, journal_key=key)
+        self._inflight_keys[key] = pending.future
+        pending.future.add_done_callback(
+            lambda _f, key=key: self._inflight_keys.pop(key, None)
+        )
+        return await pending.future
+
+    def _enqueue_downgrade(
+        self, session_id: str, query_name: str, *, journal_key: str | None = None
+    ) -> _PendingDowngrade:
+        """Admission-check and queue one downgrade (runs on the loop)."""
         bound = self.config.max_queued_downgrades
         if self.serving_pool is not None:
             down = self.supervisor.open_fraction(
@@ -706,13 +1038,88 @@ class DeclassificationServer:
                 f"{self.config.max_queued_downgrades}"
             )
         loop = asyncio.get_running_loop()
-        pending = _PendingDowngrade(session_id, loop.create_future())
+        pending = _PendingDowngrade(
+            session_id, loop.create_future(), journal_key=journal_key
+        )
         self._queue.setdefault(query_name, []).append(pending)
         self._queued += 1
         ticking = self._ticker is not None and not self._ticker.done()
         if not ticking and self._flush_task is None:
             self._flush_task = loop.create_task(self.flush())
-        return await pending.future
+        return pending
+
+    def _journal_begin_downgrades(
+        self, groups: list[tuple[str, list[_PendingDowngrade]]]
+    ) -> None:
+        """Append the journal entries for a tick's downgrades (batched).
+
+        One durable transaction per call, *before* any of these waiters
+        executes — the write-ahead half of the journal contract.  A
+        waiter requeued by a cancelled flush keeps its ``journal_seq``
+        and is not re-appended; re-begins after a crashed flush resolve
+        to the existing pending rows (same seq).  The after-journal
+        crash point fires here, so an injected crash lands on exactly
+        the journaled-but-unexecuted state recovery must handle.
+        """
+        if self.journal is None:
+            return
+        items: list[tuple[str, str, dict[str, Any]]] = []
+        pendings: list[_PendingDowngrade] = []
+        for query_name, waiters in groups:
+            for pending in waiters:
+                if pending.journal_key is None or pending.journal_seq is not None:
+                    continue
+                items.append(
+                    (
+                        pending.journal_key,
+                        "downgrade",
+                        {
+                            "session_id": pending.session_id,
+                            "query_name": query_name,
+                        },
+                    )
+                )
+                pendings.append(pending)
+        if items:
+            for pending, entry in zip(pendings, self.journal.begin_many(items)):
+                pending.journal_seq = entry.seq
+            self.stats.journal_appends += len(items)
+        faults.maybe_crash("journal", "crash_after_journal_before_execute")
+
+    def _journal_ack_downgrades(
+        self, acks: list[tuple[_PendingDowngrade, DowngradeResult]]
+    ) -> None:
+        """Acknowledge a group's executed downgrades (batched).
+
+        Runs after the batch executed and its ledger deltas reached the
+        durable mirror, *before* any waiter resolves: by the time a
+        client sees a result, its journal entry is done.  The before-ack
+        crash point fires here — the executed-but-unacked window, where
+        recovery re-executes and the ledger's monotone folds make the
+        re-execution converge.
+        """
+        if self.journal is None:
+            return
+        faults.maybe_crash("journal", "crash_after_execute_before_ack")
+        self.journal.ack_many(
+            [
+                (pending.journal_seq, downgrade_result_to_json(result))
+                for pending, result in acks
+                if pending.journal_seq is not None
+            ],
+            bounds=self._drained_bounds(),
+        )
+
+    def _drained_bounds(self) -> list[tuple[str, str, dict[str, Any]]] | None:
+        """Buffered ledger-mirror writes to land atomically with an ack.
+
+        ``None`` outside the atomic configuration (separate stores, no
+        ledger, or an unjournaled server), where the ledger writes
+        through on its own and acks carry nothing.
+        """
+        if not self._atomic_ledger:
+            return None
+        return self.ledger.drain_writes()
 
     async def flush(self) -> int:
         """Serve everything queued, one batch per query name; returns count.
@@ -722,7 +1129,10 @@ class DeclassificationServer:
         groups are still served, and the background ticker survives.  On
         cancellation (``stop()`` mid-flush) the not-yet-started groups
         are requeued so the final flush serves them rather than dropping
-        them.
+        them.  Journal discipline per group: append before the batch
+        runs, acknowledge after it (and its mirror fold) completes,
+        resolve waiters last — a group that fails anywhere in between
+        leaves its entries pending for recovery.
         """
         async with self._flush_lock:
             self._flush_task = None
@@ -735,8 +1145,16 @@ class DeclassificationServer:
             groups = list(queue.items())
             for index, (query_name, waiters) in enumerate(groups):
                 try:
+                    self._journal_begin_downgrades([(query_name, waiters)])
                     results = await asyncio.to_thread(
                         self._serve_batch, query_name, waiters
+                    )
+                    self._journal_ack_downgrades(
+                        [
+                            (p, results[p.session_id])
+                            for p in waiters
+                            if p.session_id in results
+                        ]
                     )
                 except asyncio.CancelledError:
                     # This group's thread may have partially applied; its
@@ -789,6 +1207,21 @@ class DeclassificationServer:
             for shard, shard_waiters in per_shard.items():
                 batches.setdefault(shard, []).append((query_name, shard_waiters))
 
+        try:
+            self._journal_begin_downgrades(
+                [pair for groups in batches.values() for pair in groups]
+            )
+        except Exception as exc:
+            # The write-ahead append itself failed (or an injected crash
+            # fired): nothing executed, so every waiter fails now and
+            # the journal holds whatever prefix the transaction left.
+            for groups in batches.values():
+                for _name, shard_waiters in groups:
+                    for pending in shard_waiters:
+                        if not pending.future.done():
+                            pending.future.set_exception(exc)
+            return 0
+
         jobs: list[
             tuple[list[tuple[str, list[_PendingDowngrade]]], asyncio.Task]
         ] = [
@@ -809,6 +1242,24 @@ class DeclassificationServer:
                                 pending.future.cancel()
                 raise
             except Exception as exc:
+                for _name, shard_waiters in groups:
+                    for pending in shard_waiters:
+                        if not pending.future.done():
+                            pending.future.set_exception(exc)
+                continue
+            try:
+                self._journal_ack_downgrades(
+                    [
+                        (pending, by_key[(query_name, pending.session_id)])
+                        for query_name, shard_waiters in groups
+                        for pending in shard_waiters
+                        if (query_name, pending.session_id) in by_key
+                    ]
+                )
+            except Exception as exc:
+                # Executed (deltas folded) but unacked: fail the waiters
+                # and leave the entries pending — recovery re-executes
+                # them, and the monotone ledger folds converge.
                 for _name, shard_waiters in groups:
                     for pending in shard_waiters:
                         if not pending.future.done():
@@ -1011,6 +1462,193 @@ class DeclassificationServer:
                         mode=self.config.mode,
                     )
 
+    # -- journal & recovery ----------------------------------------------------
+    def _journal_configure(self) -> None:
+        """Journal this server's configuration as entry zero (idempotent).
+
+        The configure payload is everything a fresh gateway needs to be
+        *this* gateway (policies, floor, decay, mode, options), and its
+        key is its own digest — a restart with an unchanged config
+        short-circuits to the recorded entry, while a config change
+        appends a new configure entry that marks the restart boundary
+        for replay.
+        """
+        assert self.journal is not None
+        payload = self._configure_payload()
+        key = "configure/" + payload_digest(payload)
+        entry = self.journal.begin(key, "configure", payload)
+        if entry.status != "done":
+            self.stats.journal_appends += 1
+            self.journal.ack(entry.seq, _configure_outcome(payload))
+
+    def _configure_payload(self) -> dict[str, Any]:
+        """The journaled configuration encoding (replay rebuilds from it)."""
+        return {
+            "policy": policy_to_json(self.manager.policy),
+            "floor": (
+                None if self.ledger is None else policy_to_json(self.ledger.floor)
+            ),
+            "decay": (
+                None if self.budget_decay is None else self.budget_decay.to_json()
+            ),
+            "mode": self.config.mode,
+            "check_both": self.config.check_both,
+            "options": options_to_json(self.default_options),
+        }
+
+    async def apply_entry(
+        self,
+        kind: str,
+        payload: dict[str, Any],
+        *,
+        idempotency_key: str | None = None,
+    ) -> dict[str, Any]:
+        """Execute one journal-entry payload; returns its outcome encoding.
+
+        The shared execution surface of recovery (re-applying a pending
+        suffix, with each entry's own key so the re-run acks the
+        original row) and replay (re-executing an acknowledged history
+        on an unjournaled twin).  The returned encoding is exactly what
+        the original execution digested, so ``payload_digest`` of it is
+        directly comparable to the recorded ``outcome_digest``.
+        """
+        journaled = self.journal is not None
+        if kind == "configure":
+            # Construction already configured this server; the entry's
+            # outcome is a pure function of its payload.
+            return _configure_outcome(payload)
+        if kind == "compile":
+            request = _compile_request(payload)
+            receipt = (
+                await self.register_query(request, idempotency_key=idempotency_key)
+                if journaled
+                else await self._register_query(request)
+            )
+            return _compile_outcome(receipt)
+        if kind == "open_session":
+            secret = ProtectedSecret.seal(
+                spec_from_json(payload["spec"]), tuple(payload["value"])
+            )
+            sid, user = payload["session_id"], payload["user_id"]
+            if journaled:
+                self.open_session(
+                    sid, secret, user_id=user, idempotency_key=idempotency_key
+                )
+            else:
+                self._open_session(sid, secret, user_id=user)
+            return {"kind": "open_session", "session_id": sid, "user_id": user}
+        if kind == "close_session":
+            sid = payload["session_id"]
+            if journaled:
+                self.close_session(sid, idempotency_key=idempotency_key)
+            else:
+                self._close_session(sid)
+            return {"kind": "close_session", "session_id": sid}
+        if kind == "advance_epoch":
+            epochs = int(payload["epochs"])
+            epoch = (
+                self.advance_epoch(epochs, idempotency_key=idempotency_key)
+                if journaled
+                else self._advance_epoch(epochs)
+            )
+            return {"kind": "advance_epoch", "epoch": epoch}
+        if kind == "downgrade":
+            sid, query_name = payload["session_id"], payload["query_name"]
+            result = (
+                await self.downgrade(
+                    sid, query_name, idempotency_key=idempotency_key
+                )
+                if journaled
+                else await self._enqueue_downgrade(sid, query_name).future
+            )
+            return downgrade_result_to_json(result)
+        raise ValueError(f"unknown journal entry kind {kind!r}")
+
+    async def recover_from_journal(self) -> JournalRecovery:
+        """Converge this freshly booted server onto its journal's state.
+
+        Two phases.  (1) Rebuild ephemeral state from the *acknowledged*
+        history: re-register the live queries (warm cache — zero
+        recompiles) and re-open the live sessions, directly, without new
+        journal entries.  (2) Re-apply the *pending* suffix — requests a
+        dead process journaled but never acknowledged — through the
+        normal journaled machinery under each entry's original key, so
+        the re-run acknowledges the original row.  A pending request
+        that had already executed re-executes; the ledger's monotone
+        intersection folds make that converge to exactly the state an
+        uninterrupted run reaches.  Duplicate client retries afterwards
+        short-circuit to the recorded responses.
+
+        A pending entry that fails validation again (unknown session,
+        malformed payload) is skipped and stays pending — visibly, for
+        the operator — rather than wedging every boot.
+        """
+        if self.journal is None:
+            raise ValueError("recover_from_journal requires a journaled server")
+        entries = self.journal.entries()
+        state = live_state(e for e in entries if e.status == "done")
+        for payload in state.compiles.values():
+            await self._register_query(_compile_request(payload))
+        for payload in state.sessions.values():
+            if self._session_handle(payload["session_id"]) is None:
+                self._open_session(
+                    payload["session_id"],
+                    ProtectedSecret.seal(
+                        spec_from_json(payload["spec"]), tuple(payload["value"])
+                    ),
+                    user_id=payload["user_id"],
+                )
+        refolded = self._refold_knowledge(entries, state)
+        reapplied = 0
+        for entry in entries:
+            if entry.status != "pending" or entry.kind == "configure":
+                continue
+            try:
+                await self.apply_entry(
+                    entry.kind, entry.payload, idempotency_key=entry.key
+                )
+            except (ValueError, KeyError):
+                continue
+            reapplied += 1
+        self.stats.journal_recovered += reapplied
+        return JournalRecovery(
+            queries=len(state.compiles),
+            sessions=len(state.sessions),
+            reapplied=reapplied,
+            refolded=refolded,
+        )
+
+    def _refold_knowledge(self, entries, state) -> int:
+        """Rebuild live sessions' knowledge from acked authorized history.
+
+        Session knowledge is the intersection of per-(query, response)
+        posterior boxes — commutative and idempotent — so one re-fold
+        per *distinct* acknowledged authorized (session, query) pair,
+        through the plain session manager (no ledger charge, no audit
+        event, no journal entry), reconstructs exactly the knowledge the
+        killed process held.  A recovered gateway is therefore a
+        seamless continuation of the crashed one, which is what lets a
+        journal recorded across crashes replay as a single history.
+        Shard-owned sessions (serving-shard mode) are skipped: their
+        knowledge lives in the shard process and is rebuilt by the
+        shard rehydration path instead.
+        """
+        manager = self.service.manager
+        refolded = 0
+        seen: set[tuple[str, str]] = set()
+        for entry in entries:
+            if entry.status != "done" or entry.kind != "downgrade":
+                continue
+            if not (entry.response or {}).get("authorized"):
+                continue
+            pair = (entry.payload["session_id"], entry.payload["query_name"])
+            if pair in seen or pair[0] not in manager.sessions:
+                continue
+            seen.add(pair)
+            if manager.try_downgrade(*pair).authorized:
+                refolded += 1
+        return refolded
+
     # -- background ticking ----------------------------------------------------
     async def start(self) -> None:
         """Run a background ticker flushing every ``tick_interval``."""
@@ -1044,6 +1682,13 @@ class DeclassificationServer:
         """Tear down the shard processes.  The store (if any) is the
         caller's to close; compiled artifacts and ledger bounds are
         already persisted."""
+        if self._atomic_ledger:
+            # Straggler mirror writes whose batch never acked (a failed
+            # flush, an injected fault): persist them now so a clean
+            # shutdown loses nothing.  Crash-path stragglers are covered
+            # by recovery re-executing the unacked suffix instead.
+            for user_id, spec_name, payload in self.ledger.drain_writes():
+                self.ledger.store.put_ledger_bound(user_id, spec_name, payload)
         self.pool.shutdown()
         if self.serving_pool is not None:
             self.serving_pool.shutdown()
@@ -1072,5 +1717,21 @@ class DeclassificationServer:
                 if self.serving_pool is None
                 else len(self._shard_sessions)
             ),
-            "audit_events": len(self.service.audit),
+            "audit_events": self.service.audit.total,
+            "audit": {
+                "retained": len(self.service.audit),
+                "capacity": self.service.audit.capacity,
+                "spilled": self.service.audit.spilled,
+                "dropped": self.service.audit.dropped,
+            },
+            "journal": (
+                None
+                if self.journal is None
+                else {
+                    "entries": len(self.journal),
+                    "pending": len(self.journal.pending()),
+                    "appends": self.stats.journal_appends,
+                    "duplicates": self.stats.journal_duplicates,
+                }
+            ),
         }

@@ -259,6 +259,11 @@ class PrivacyBudgetLedger:
         self.epoch = 0
         self._accounts: dict[str, BudgetAccount] = {}
         self._lock = threading.RLock()
+        #: ``None`` = write-through durable mirror (every commit puts its
+        #: bound immediately).  A journaled gateway switches to buffered
+        #: mode (:meth:`buffer_writes`) so it can land each tick's bound
+        #: puts in the *same* transaction as the journal acknowledgement.
+        self._buffered: list[tuple[str, str, dict[str, Any]]] | None = None
         if store is not None:
             for user_id, spec_name, payload in list(store.ledger_bounds()):
                 self.apply_payload(user_id, spec_name, payload, persist=False)
@@ -548,12 +553,47 @@ class PrivacyBudgetLedger:
                     self._persist(account.user_id, spec)
             return self.epoch
 
+    # -- durable-mirror buffering --------------------------------------------
+    def buffer_writes(self) -> None:
+        """Switch the durable mirror to buffered (journal-atomic) mode.
+
+        Commits and decay keep mutating the in-memory bounds immediately,
+        but their store puts accumulate in a buffer instead of writing
+        through; the owner drains the buffer (:meth:`drain_writes`) and
+        persists it in one transaction with the matching journal
+        acknowledgement.  That atomicity is what collapses the
+        executed-but-unacknowledged crash window: after a crash, either
+        both the bound and the ack are durable or neither is, so
+        recovery's re-execution always starts from the same prior the
+        original execution saw.
+        """
+        with self._lock:
+            if self._buffered is None:
+                self._buffered = []
+
+    def drain_writes(self) -> list[tuple[str, str, dict[str, Any]]]:
+        """Take every buffered ``(user_id, spec_name, payload)`` put.
+
+        Returns ``[]`` in write-through mode.  The caller owns the
+        drained writes and must persist them (a journaled gateway lands
+        them inside the ack transaction; shutdown flushes stragglers).
+        """
+        with self._lock:
+            if self._buffered is None:
+                return []
+            drained, self._buffered = self._buffered, []
+            return drained
+
     # -- internals -----------------------------------------------------------
     def _persist(self, user_id: str, spec: SecretSpec) -> None:
-        if self.store is not None:
-            self.store.put_ledger_bound(
-                user_id, spec.name, self.export_bound(user_id, spec)
-            )
+        if self.store is None:
+            return
+        payload = self.export_bound(user_id, spec)
+        with self._lock:
+            if self._buffered is not None:
+                self._buffered.append((user_id, spec.name, payload))
+                return
+        self.store.put_ledger_bound(user_id, spec.name, payload)
 
     def _sound_prior(self, account: BudgetAccount, qinfo: QInfo) -> AbstractDomain:
         bound = account.sound.get(qinfo.secret.name)

@@ -1,0 +1,301 @@
+"""Deterministic replay of a request journal — the conformance check.
+
+A journaled :class:`~repro.server.gateway.DeclassificationServer`
+appends every state-changing request before executing it and digests a
+*deterministic* outcome encoding after the durable fold
+(:mod:`repro.server.journal`).  This module closes the loop: a
+:class:`ReplaySession` re-executes that history against a fresh,
+unjournaled twin — inline shards, no wall clock, no process pools — and
+checks that every decision comes out **bit-identical**:
+
+* each acknowledged entry's re-executed outcome must digest to exactly
+  its recorded ``outcome_digest`` (a mismatch is a
+  :class:`ReplayDivergence`, pinpointed by sequence number);
+* the chained digest over the replayed history must equal the chain over
+  the recorded one — the journal's tamper-evident
+  :meth:`~repro.server.journal.RequestJournal.audit_digest`;
+* refusals (unauthorized downgrades) are surfaced in order, so a
+  post-incident review can see *which* requests the budget floor
+  rejected and confirm the replayed run refuses the very same ones.
+
+Restart boundaries are part of the history: each ``configure`` entry
+marks a process generation, and replay rebuilds a fresh server there —
+re-registering the then-live queries and re-opening the then-live
+sessions — while the ledger persists on one shared in-memory store, just
+as the real store survives real restarts.  A journal recorded across N
+crashes therefore replays as N generations converging on one ledger.
+
+Pending entries (journaled but never acknowledged — the crash windows)
+carry no recorded digest to compare against; replay applies them by
+default, mirroring what
+:meth:`~repro.server.gateway.DeclassificationServer.recover_from_journal`
+does on a real boot, and counts them separately.
+
+Replay is deliberately dependency-free beyond the runtime itself: feed
+it a :class:`~repro.server.journal.RequestJournal`, any backend, or a
+plain list of entries (e.g. decoded from a journal backup), and call
+:func:`replay_journal` — or :meth:`ReplaySession.run` from async code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.core.plugin import CompileOptions
+from repro.server.gateway import (
+    DeclassificationServer,
+    ServerConfig,
+    _configure_outcome,
+)
+from repro.server.journal import (
+    JournalBackend,
+    JournalEntry,
+    RequestJournal,
+    chain_digest,
+)
+from repro.server.ledger import DecayPolicy
+from repro.server.store import SQLiteStore
+from repro.service.serialize import (
+    options_from_json,
+    payload_digest,
+    policy_from_json,
+)
+
+__all__ = [
+    "ReplayDivergence",
+    "ReplayRefusal",
+    "ReplayReport",
+    "ReplaySession",
+    "replay_journal",
+]
+
+
+@dataclass(frozen=True)
+class ReplayDivergence:
+    """One acknowledged entry whose re-execution digested differently."""
+
+    seq: int
+    kind: str
+    key: str
+    recorded: str
+    actual: str
+
+
+@dataclass(frozen=True)
+class ReplayRefusal:
+    """One unauthorized downgrade observed during replay, in order."""
+
+    seq: int
+    session_id: str
+    query_name: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """What a full replay established about a journal.
+
+    ``conforms`` is the headline: every acknowledged outcome re-executed
+    bit-identically *and* the chained digests match.  The rest is the
+    evidence an operator (or the conformance test) drills into.
+    """
+
+    entries: int
+    replayed: int
+    matched: int
+    pending_applied: int
+    pending_skipped: int
+    restarts: int
+    divergences: tuple[ReplayDivergence, ...] = ()
+    refusals: tuple[ReplayRefusal, ...] = ()
+    recorded_digest: str = ""
+    replayed_digest: str = ""
+
+    @property
+    def conforms(self) -> bool:
+        """True when the replayed history is bit-identical to the record."""
+        return not self.divergences and self.recorded_digest == self.replayed_digest
+
+
+@dataclass
+class _Generation:
+    """Live state carried across a restart boundary during replay."""
+
+    compiles: dict[str, dict[str, Any]] = field(default_factory=dict)
+    sessions: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+
+class ReplaySession:
+    """Re-execute a journal against a fresh twin and compare outcomes.
+
+    The twin is built from each ``configure`` entry's payload — the same
+    policies, floor, decay, mode, and options the recorded process ran
+    with — but always inline and unjournaled: replay must be free of
+    process pools, timers, and the journal itself, so the only thing
+    that can vary is the decision logic under test.
+    """
+
+    def __init__(
+        self,
+        source: RequestJournal | JournalBackend | Sequence[JournalEntry],
+        *,
+        apply_pending: bool = True,
+    ):
+        if isinstance(source, RequestJournal):
+            entries: Iterable[JournalEntry] = source.entries()
+        elif isinstance(source, JournalBackend):
+            entries = RequestJournal(source).entries()
+        else:
+            entries = source
+        self.entries = sorted(entries, key=lambda e: e.seq)
+        self.apply_pending = apply_pending
+        if self.entries and self.entries[0].kind != "configure":
+            raise ValueError(
+                "journal does not start with a configure entry; "
+                "replay cannot reconstruct the server it recorded"
+            )
+
+    async def run(self) -> ReplayReport:
+        """Replay every entry; returns the conformance report."""
+        store = SQLiteStore(":memory:")
+        state = _Generation()
+        server: DeclassificationServer | None = None
+        recorded: list[str] = []
+        replayed: list[str] = []
+        divergences: list[ReplayDivergence] = []
+        refusals: list[ReplayRefusal] = []
+        counts = {"replayed": 0, "matched": 0, "applied": 0, "skipped": 0}
+        restarts = -1  # the first configure entry is boot, not a restart
+
+        for index, entry in enumerate(self.entries):
+            if entry.kind == "configure":
+                if server is not None:
+                    server.shutdown()
+                server = await self._boot(entry.payload, store, state)
+                # Mirror recovery's knowledge refold: the recorded
+                # process rebuilt each live session's knowledge from the
+                # acked authorized history when it booted, so the twin
+                # must too, or post-restart downgrades diverge.
+                server._refold_knowledge(self.entries[:index], state)
+                restarts += 1
+                actual: dict[str, Any] | None = _configure_outcome(entry.payload)
+            elif server is None:  # pragma: no cover - guarded in __init__
+                raise ValueError("entry precedes the first configure entry")
+            elif entry.status == "pending" and not self.apply_pending:
+                counts["skipped"] += 1
+                continue
+            else:
+                try:
+                    actual = await server.apply_entry(entry.kind, entry.payload)
+                except (ValueError, KeyError) as exc:
+                    actual = {"kind": "error", "error": type(exc).__name__}
+            self._track(state, entry)
+            if entry.kind == "downgrade" and actual is not None:
+                if actual.get("authorized") is False:
+                    refusals.append(
+                        ReplayRefusal(
+                            seq=entry.seq,
+                            session_id=entry.payload.get("session_id", ""),
+                            query_name=entry.payload.get("query_name", ""),
+                            reason=str(actual.get("reason", "")),
+                        )
+                    )
+            digest = payload_digest(actual)
+            if entry.status == "done":
+                counts["replayed"] += 1
+                recorded.append(entry.outcome_digest or "")
+                replayed.append(digest)
+                if digest == entry.outcome_digest:
+                    counts["matched"] += 1
+                else:
+                    divergences.append(
+                        ReplayDivergence(
+                            seq=entry.seq,
+                            kind=entry.kind,
+                            key=entry.key,
+                            recorded=entry.outcome_digest or "",
+                            actual=digest,
+                        )
+                    )
+            else:
+                counts["applied"] += 1
+
+        if server is not None:
+            server.shutdown()
+        return ReplayReport(
+            entries=len(self.entries),
+            replayed=counts["replayed"],
+            matched=counts["matched"],
+            pending_applied=counts["applied"],
+            pending_skipped=counts["skipped"],
+            restarts=max(restarts, 0),
+            divergences=tuple(divergences),
+            refusals=tuple(refusals),
+            recorded_digest=chain_digest(recorded),
+            replayed_digest=chain_digest(replayed),
+        )
+
+    async def _boot(
+        self,
+        payload: dict[str, Any],
+        store: SQLiteStore,
+        state: _Generation,
+    ) -> DeclassificationServer:
+        """Build one process generation's twin and rehydrate live state.
+
+        The store is shared across generations — exactly like the real
+        SQLite file surviving a crash — so ledger bounds recorded before
+        a restart keep constraining downgrades after it.
+        """
+        server = DeclassificationServer(
+            policy_from_json(payload["policy"]),
+            budget_floor=(
+                None
+                if payload["floor"] is None
+                else policy_from_json(payload["floor"])
+            ),
+            budget_decay=(
+                None
+                if payload["decay"] is None
+                else DecayPolicy.from_json(payload["decay"])
+            ),
+            store=store,
+            options=(
+                CompileOptions()
+                if payload["options"] is None
+                else options_from_json(payload["options"])
+            ),
+            config=ServerConfig(
+                inline_compiles=True,
+                inline_serving=True,
+                serving_shards=0,
+                mode=payload["mode"],
+                check_both=payload["check_both"],
+            ),
+        )
+        for compile_payload in state.compiles.values():
+            await server.apply_entry("compile", compile_payload)
+        for session_payload in state.sessions.values():
+            await server.apply_entry("open_session", session_payload)
+        return server
+
+    @staticmethod
+    def _track(state: _Generation, entry: JournalEntry) -> None:
+        """Fold one entry into the live state a restart must rebuild."""
+        if entry.kind == "compile":
+            state.compiles[entry.payload["name"]] = entry.payload
+        elif entry.kind == "open_session":
+            state.sessions[entry.payload["session_id"]] = entry.payload
+        elif entry.kind == "close_session":
+            state.sessions.pop(entry.payload.get("session_id"), None)
+
+
+def replay_journal(
+    source: RequestJournal | JournalBackend | Sequence[JournalEntry],
+    *,
+    apply_pending: bool = True,
+) -> ReplayReport:
+    """Synchronous one-call replay (wraps :meth:`ReplaySession.run`)."""
+    return asyncio.run(ReplaySession(source, apply_pending=apply_pending).run())

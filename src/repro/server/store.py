@@ -28,6 +28,18 @@ artifact codec (``ledger_format_version`` in the ``meta`` table); a store
 written before the ledger table existed adopts the current version on
 first open.
 
+A third table, ``request_journal``, makes the store the gateway's
+write-ahead log (the :class:`~repro.server.journal.JournalBackend`
+protocol): every state-changing request is appended — idempotency key,
+monotone sequence number, payload — *before* it executes and
+acknowledged with its outcome digest after the durable-mirror fold.
+Crash recovery and deterministic replay both read this table; like the
+ledger table it is independently format-versioned
+(``journal_format_version``) and adopted on first open by older stores.
+``audit_spill`` holds audit events evicted from the bounded in-memory
+ring, so the full dense-sequence audit history survives even under
+serving loads the ring cannot hold.
+
 Hardening (file-backed stores): WAL journaling so readers never block the
 writer, a bounded busy-retry with backoff around every write (a
 transiently locked file — another process compacting, a backup tool —
@@ -47,6 +59,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.server import faults
+from repro.server.journal import JOURNAL_FORMAT_VERSION
 from repro.server.ledger import LEDGER_FORMAT_VERSION
 from repro.service.cache import CACHE_FORMAT_VERSION
 
@@ -102,17 +115,40 @@ class SQLiteStore:
                     "  PRIMARY KEY (user_id, spec)"
                     ")"
                 )
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS request_journal ("
+                    "  seq INTEGER PRIMARY KEY AUTOINCREMENT,"
+                    "  idem_key TEXT NOT NULL UNIQUE,"
+                    "  kind TEXT NOT NULL,"
+                    "  payload TEXT NOT NULL,"
+                    "  status TEXT NOT NULL DEFAULT 'pending',"
+                    "  outcome_digest TEXT,"
+                    "  response TEXT,"
+                    "  created_at REAL NOT NULL,"
+                    "  acked_at REAL"
+                    ")"
+                )
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS audit_spill ("
+                    "  seq INTEGER PRIMARY KEY,"
+                    "  kind TEXT NOT NULL,"
+                    "  data TEXT NOT NULL,"
+                    "  spilled_at REAL NOT NULL"
+                    ")"
+                )
                 self._check_version("format_version", CACHE_FORMAT_VERSION)
-                # Pre-ledger stores (no such meta row) adopt the current
-                # version: the table above was just created empty.
+                # Pre-ledger/pre-journal stores (no such meta row) adopt
+                # the current version: the tables above were just
+                # created empty.
                 self._check_version("ledger_format_version", LEDGER_FORMAT_VERSION)
+                self._check_version("journal_format_version", JOURNAL_FORMAT_VERSION)
         except BaseException:
             # Refusing an incompatible store must not leak its handle.
             self._conn.close()
             raise
 
-    def _execute_write(self, sql: str, params: tuple) -> None:
-        """One durable write, retried through transient ``database is locked``.
+    def _write_txn(self, fn):
+        """One durable transaction, retried through ``database is locked``.
 
         SQLite raises ``OperationalError: database is locked`` when
         another connection holds the write lock past ``timeout``.  That
@@ -120,18 +156,23 @@ class SQLiteStore:
         up to :attr:`busy_retries` attempts before letting it propagate.
         The chaos hook (:func:`repro.server.faults.maybe_db_locked`)
         fires *inside* the loop so injected lock storms are absorbed the
-        same way real ones are.
+        same way real ones are.  *fn* runs with the lock and an open
+        transaction and must be safe to re-run (every caller's is:
+        plain INSERT/UPDATE/DELETE statements).
         """
         for attempt in range(self.busy_retries + 1):
             try:
                 with self._lock, self._conn:
                     faults.maybe_db_locked("store.write")
-                    self._conn.execute(sql, params)
-                return
+                    return fn(self._conn)
             except sqlite3.OperationalError as exc:
                 if "locked" not in str(exc) or attempt >= self.busy_retries:
                     raise
                 time.sleep(self.busy_backoff * (2**attempt))
+
+    def _execute_write(self, sql: str, params: tuple) -> None:
+        """One durable single-statement write (see :meth:`_write_txn`)."""
+        self._write_txn(lambda conn: conn.execute(sql, params))
 
     def _check_version(self, key: str, expected: int) -> None:
         """Record or verify one ``meta`` version row (absent = adopt)."""
@@ -214,6 +255,169 @@ class SQLiteStore:
         with self._lock:
             (count,) = self._conn.execute(
                 "SELECT COUNT(*) FROM ledger_bounds"
+            ).fetchone()
+        return int(count)
+
+    # -- JournalBackend protocol ---------------------------------------------
+    _JOURNAL_COLUMNS = (
+        "seq, idem_key, kind, payload, status, outcome_digest, response"
+    )
+
+    def journal_append(self, key: str, kind: str, payload_json: str):
+        """Insert one pending journal row, or return the existing row.
+
+        ``INSERT OR IGNORE`` against the ``idem_key`` unique constraint
+        makes the append idempotent at the storage layer: concurrent or
+        retried appends of one idempotency key always resolve to one
+        row and one sequence number.
+        """
+        return self.journal_append_many([(key, kind, payload_json)])[0]
+
+    def journal_append_many(self, items: list[tuple[str, str, str]]):
+        """Batched append — one durable transaction for a whole tick."""
+
+        def txn(conn):
+            now = time.time()
+            conn.executemany(
+                "INSERT OR IGNORE INTO request_journal "
+                "(idem_key, kind, payload, status, created_at) "
+                "VALUES (?, ?, ?, 'pending', ?)",
+                [(key, kind, blob, now) for key, kind, blob in items],
+            )
+            rows = []
+            for key, _kind, _blob in items:
+                rows.append(
+                    conn.execute(
+                        f"SELECT {self._JOURNAL_COLUMNS} FROM request_journal "
+                        "WHERE idem_key = ?",
+                        (key,),
+                    ).fetchone()
+                )
+            return rows
+
+        return self._write_txn(txn)
+
+    def journal_ack(self, seq: int, digest: str, response_json: str) -> None:
+        """Mark one journal row done, recording digest and response."""
+        self.journal_ack_many([(seq, digest, response_json)])
+
+    def journal_ack_many(self, items: list[tuple[int, str, str]]) -> None:
+        """Batched ack — one durable transaction for a whole tick."""
+
+        def txn(conn):
+            now = time.time()
+            conn.executemany(
+                "UPDATE request_journal SET status = 'done', "
+                "outcome_digest = ?, response = ?, acked_at = ? WHERE seq = ?",
+                [(digest, blob, now, seq) for seq, digest, blob in items],
+            )
+
+        self._write_txn(txn)
+
+    def journal_ack_with_bounds(
+        self,
+        items: list[tuple[int, str, str]],
+        bounds: list[tuple[str, str, dict[str, Any]]],
+    ) -> None:
+        """Acks plus ledger-bound puts, atomically, in one transaction.
+
+        The exactly-once keystone: a journaled gateway drains the
+        ledger's buffered durable-mirror writes and lands them *with*
+        the acknowledgements they justify.  A crash therefore leaves the
+        store in one of exactly two states — bounds folded and entries
+        acked, or neither — never the in-doubt middle where a recovery
+        re-execution would see a different prior than the original run.
+        """
+
+        def txn(conn):
+            now = time.time()
+            conn.executemany(
+                "INSERT OR REPLACE INTO ledger_bounds "
+                "(user_id, spec, payload, updated_at) VALUES (?, ?, ?, ?)",
+                [
+                    (user_id, spec_name, json.dumps(payload, sort_keys=True), now)
+                    for user_id, spec_name, payload in bounds
+                ],
+            )
+            conn.executemany(
+                "UPDATE request_journal SET status = 'done', "
+                "outcome_digest = ?, response = ?, acked_at = ? WHERE seq = ?",
+                [(digest, blob, now, seq) for seq, digest, blob in items],
+            )
+
+        self._write_txn(txn)
+
+    def journal_lookup(self, key: str):
+        """The journal row under an idempotency key, or ``None``."""
+        with self._lock:
+            return self._conn.execute(
+                f"SELECT {self._JOURNAL_COLUMNS} FROM request_journal "
+                "WHERE idem_key = ?",
+                (key,),
+            ).fetchone()
+
+    def journal_entries(self):
+        """Every journal row, in sequence order."""
+        with self._lock:
+            return self._conn.execute(
+                f"SELECT {self._JOURNAL_COLUMNS} FROM request_journal "
+                "ORDER BY seq"
+            ).fetchall()
+
+    def journal_next_seq(self) -> int:
+        """One past the highest journal sequence number ever issued.
+
+        Reads ``sqlite_sequence`` (AUTOINCREMENT's high-water mark), so
+        compacted rows still advance the floor — restarted processes
+        never reissue a dead process's auto keys.
+        """
+        with self._lock:
+            try:
+                row = self._conn.execute(
+                    "SELECT seq FROM sqlite_sequence "
+                    "WHERE name = 'request_journal'"
+                ).fetchone()
+            except sqlite3.OperationalError:
+                # sqlite_sequence is created lazily, on the first insert
+                # into any AUTOINCREMENT table: absent means empty.
+                row = None
+        return 1 if row is None else int(row[0]) + 1
+
+    def journal_compact(self, upto_seq: int) -> int:
+        """Delete acknowledged journal rows with ``seq <= upto_seq``."""
+
+        def txn(conn):
+            cursor = conn.execute(
+                "DELETE FROM request_journal "
+                "WHERE status = 'done' AND seq <= ?",
+                (upto_seq,),
+            )
+            return cursor.rowcount
+
+        return int(self._write_txn(txn))
+
+    def append_audit_spill(self, rows: list[tuple[int, str, str]]) -> None:
+        """Persist audit events evicted from the in-memory ring.
+
+        ``INSERT OR IGNORE``: audit sequence numbers are dense and
+        assigned once, so a re-spill after a busy-retry is a no-op.
+        """
+
+        def txn(conn):
+            now = time.time()
+            conn.executemany(
+                "INSERT OR IGNORE INTO audit_spill (seq, kind, data, spilled_at) "
+                "VALUES (?, ?, ?, ?)",
+                [(seq, kind, blob, now) for seq, kind, blob in rows],
+            )
+
+        self._write_txn(txn)
+
+    def audit_spill_count(self) -> int:
+        """Number of spilled audit events."""
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM audit_spill"
             ).fetchone()
         return int(count)
 

@@ -10,16 +10,20 @@ transport (HTTP handler, queue consumer, test harness) talks to.  It owns
   knowledge state;
 * an append-only audit trail of every request the service handled,
   including refusals that never touch any session's knowledge (unknown
-  queries, spec mismatches).
+  queries, spec mismatches).  Under serving load the trail is a
+  size-bounded :class:`AuditTrail` ring: sequence numbers stay dense
+  forever, old events spill to a durable sink (the request journal's
+  ``audit_spill`` table) or are counted as dropped.
 """
 
 from __future__ import annotations
 
 import asyncio
 import threading
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.core.plugin import CompileOptions, QueryRegistry
 from repro.lang.ast import BoolExpr
@@ -36,6 +40,7 @@ __all__ = [
     "BatchDowngradeRequest",
     "DowngradeResult",
     "AuditEvent",
+    "AuditTrail",
     "DeclassificationService",
 ]
 
@@ -112,6 +117,65 @@ class AuditEvent:
     data: dict[str, Any]
 
 
+class AuditTrail:
+    """A size-bounded audit ring with dense seqs and an overflow hook.
+
+    Behaves like the append-only list it replaces (``len``, iteration,
+    indexing — including ``trail[-1]``) over the *retained* window, but
+    under serving load it cannot grow without bound: past ``capacity``
+    the oldest events are evicted, handed to the ``spill`` callback when
+    one is set (the request journal persists them to its
+    ``audit_spill`` table), and counted in :attr:`dropped` otherwise.
+    Sequence numbers are assigned from :attr:`total` — the count of
+    events *ever* appended — so they stay dense across evictions.
+
+    Not self-synchronizing: the owning service appends under its audit
+    lock, exactly as the plain list did.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        spill: Callable[[Iterable[AuditEvent]], None] | None = None,
+    ):
+        self.capacity = capacity
+        self.spill = spill
+        self.total = 0
+        #: Evicted events persisted through :attr:`spill`.
+        self.spilled = 0
+        #: Evicted events lost for good (no spill sink configured).
+        self.dropped = 0
+        self._events: deque[AuditEvent] = deque()
+
+    def append(self, kind: str, data: dict[str, Any]) -> AuditEvent:
+        """Append one event, evicting (and spilling) past capacity."""
+        event = AuditEvent(seq=self.total, kind=kind, data=data)
+        self.total += 1
+        self._events.append(event)
+        overflow: list[AuditEvent] = []
+        while self.capacity is not None and len(self._events) > self.capacity:
+            overflow.append(self._events.popleft())
+        if overflow:
+            if self.spill is not None:
+                self.spill(overflow)
+                self.spilled += len(overflow)
+            else:
+                self.dropped += len(overflow)
+        return event
+
+    def __len__(self) -> int:
+        """Events currently retained in memory."""
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[AuditEvent]:
+        """Iterate the retained window, oldest first."""
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> AuditEvent:
+        """Index into the retained window (negative indices included)."""
+        return self._events[index]
+
+
 # ---------------------------------------------------------------------------
 # The service
 # ---------------------------------------------------------------------------
@@ -128,6 +192,7 @@ class DeclassificationService:
         cache: SynthesisCache | None = None,
         mode: str = "under",
         check_both: bool = True,
+        audit_capacity: int | None = None,
     ):
         self.default_options = options
         self.cache = cache if cache is not None else SynthesisCache()
@@ -135,7 +200,10 @@ class DeclassificationService:
         self.manager = SessionManager(
             registry=self.registry, policy=policy, mode=mode, check_both=check_both
         )
-        self.audit: list[AuditEvent] = []
+        #: ``audit_capacity=None`` keeps the library default: an
+        #: unbounded trail.  The serving gateway passes a bound (and a
+        #: spill sink when journaled) so long-lived processes stay flat.
+        self.audit = AuditTrail(capacity=audit_capacity)
         self._audit_lock = threading.Lock()
         # Serializes register_query: concurrent registrations of one
         # not-yet-cached problem must not both run synthesis (and the
@@ -161,7 +229,7 @@ class DeclassificationService:
         # The sequence number must be dense even when worker threads audit
         # concurrently, so assignment and append happen under one lock.
         with self._audit_lock:
-            self.audit.append(AuditEvent(seq=len(self.audit), kind=kind, data=data))
+            self.audit.append(kind, data)
 
     # -- compilation -------------------------------------------------------
     def register_query(self, request: CompileRequest) -> CompileReceipt:

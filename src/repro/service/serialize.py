@@ -16,6 +16,8 @@ ambient.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid import cycles
@@ -40,6 +42,8 @@ from repro.refine.checker import Certificate, CheckOutcome
 from repro.solver.boxes import Box
 
 __all__ = [
+    "canonical_json",
+    "payload_digest",
     "box_to_json",
     "box_from_json",
     "domain_to_json",
@@ -53,6 +57,33 @@ __all__ = [
     "compiled_query_to_json",
     "compiled_query_from_json",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Canonical encodings and digests
+# ---------------------------------------------------------------------------
+
+
+def canonical_json(payload: Any) -> str:
+    """One canonical JSON encoding of a payload (sorted keys, no spaces).
+
+    Everything that must be byte-stable across processes and across time
+    — journal entries, outcome digests, replay conformance — goes
+    through this one encoder, so "the same payload" always means "the
+    same bytes".  Inputs must already be JSON-safe (the codecs in this
+    module produce exactly that).
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def payload_digest(payload: Any) -> str:
+    """The sha256 hex digest of a payload's canonical JSON encoding.
+
+    This is the unit the request journal records per executed request
+    and the unit :class:`~repro.server.replay.ReplaySession` compares:
+    two outcomes are "bit-identical" iff their digests match.
+    """
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
 # ---------------------------------------------------------------------------

@@ -1,13 +1,13 @@
 """Smoke tests: every example script runs end to end under pytest.
 
-Each script in ``examples/`` exposes an importable ``main()`` so the six
-end-to-end scenarios — the paper's quickstart, the ship rescue with a
-mid-session policy switch, the advertising deployment, the probabilistic
-birthday service, the multi-tenant batched service, and the budget-ledger
-gateway — stay executable as the solver, service, and server layers
-evolve.  The scripts print their narrative; the assertions here only
-require clean completion (their internal ``assert`` statements still run
-and count).
+Each script in ``examples/`` exposes an importable ``main()`` so the
+seven end-to-end scenarios — the paper's quickstart, the ship rescue
+with a mid-session policy switch, the advertising deployment, the
+probabilistic birthday service, the multi-tenant batched service, the
+budget-ledger gateway, and the journaled HTTP edge with replay — stay
+executable as the solver, service, and server layers evolve.  The
+scripts print their narrative; the assertions here only require clean
+completion (their internal ``assert`` statements still run and count).
 """
 
 import importlib
@@ -25,6 +25,7 @@ EXAMPLES = [
     "birthday_service",
     "multi_user_service",
     "budget_gateway",
+    "http_edge",
 ]
 
 

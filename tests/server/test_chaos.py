@@ -539,3 +539,50 @@ def test_store_write_lock_storm_absorbed_end_to_end(tmp_path):
         store.close()
 
     asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Journal crash windows (PR 9; the full drill lives in test_replay.py)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kind",
+    ["crash_after_journal_before_execute", "crash_after_execute_before_ack"],
+)
+def test_journal_crash_windows_fire_and_leave_a_pending_row(kind):
+    """The new fault kinds hit the journal site: the request dies with a
+    journaled-but-unacked row behind it — exactly the recovery suffix
+    ``recover_from_journal`` replays (see tests/server/test_replay.py
+    for the end-to-end kill-and-restart drill)."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.server.journal import RequestJournal
+    from repro.server.store import SQLiteStore as _Store
+
+    async def scenario():
+        store = _Store(":memory:")
+        journal = RequestJournal(store)
+        server = make_server(
+            store=store,
+            budget_floor=size_above(4000),
+            config=ServerConfig(inline_compiles=True),
+            journal=journal,
+        )
+        await boot(server, QUERIES[:1])
+        server.open_session("s1", (SPEC, SECRET), user_id="alice")
+        faults.install_fault_plan(
+            FaultPlan([FaultSpec(site="journal", kind=kind)], seed=CHAOS_SEED),
+            simulate=True,
+        )
+        with pytest.raises(BrokenProcessPool):
+            await server.downgrade("s1", "west", idempotency_key="doomed")
+        faults.clear_fault_plan()
+        pending = journal.pending()
+        assert [e.key for e in pending] == ["doomed"]
+        # Atomic fold+ack: an unacked request left no durable charge,
+        # whichever side of execution the process died on.
+        assert store.ledger_bound_count() == 0
+        store.close()
+
+    asyncio.run(scenario())

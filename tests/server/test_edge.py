@@ -1,0 +1,189 @@
+"""The HTTP edge: routes, error mapping, and idempotency passthrough."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.plugin import CompileOptions
+from repro.lang.canonical import spec_to_json
+from repro.lang.secrets import SecretSpec
+from repro.monad.policy import size_above
+from repro.server.edge import HttpEdge, _to_edge_error
+from repro.server.gateway import (
+    DeclassificationServer,
+    ServerConfig,
+    ServerDegraded,
+    ServerOverloaded,
+)
+from repro.server.journal import MemoryJournalBackend, RequestJournal
+from repro.server.supervise import ShardCrash, ShardTimeout
+from repro.server.workers import ShardOverloaded
+
+SPEC = SecretSpec.declare("EdgeLoc", x=(0, 199), y=(0, 199))
+OPTIONS = CompileOptions(domain="interval", modes=("under", "over"))
+
+
+@pytest.fixture(scope="module")
+def edge():
+    server = DeclassificationServer(
+        size_above(100),
+        options=OPTIONS,
+        budget_floor=size_above(4000),
+        config=ServerConfig(inline_compiles=True),
+        journal=RequestJournal(MemoryJournalBackend()),
+    )
+    with HttpEdge(server) as running:
+        yield running
+
+
+def call(edge, method, path, body=None, key=None):
+    host, port = edge.address
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=data, method=method
+    )
+    request.add_header("Content-Type", "application/json")
+    if key is not None:
+        request.add_header("Idempotency-Key", key)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.load(response), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error), dict(error.headers)
+
+
+def test_healthz(edge):
+    status, body, _ = call(edge, "GET", "/v1/healthz")
+    assert status == 200 and body == {"status": "ok"}
+
+
+def test_full_session_lifecycle_over_http(edge):
+    status, receipt, _ = call(
+        edge,
+        "POST",
+        "/v1/queries",
+        {"name": "west", "query": "x <= 99", "secret": spec_to_json(SPEC)},
+    )
+    assert status == 200
+    assert receipt["name"] == "west" and receipt["verified"]
+
+    status, opened, _ = call(
+        edge,
+        "POST",
+        "/v1/sessions",
+        {
+            "session_id": "h1",
+            "user_id": "alice",
+            "secret": {"spec": spec_to_json(SPEC), "value": [30, 40]},
+        },
+    )
+    assert status == 201
+    assert opened == {"session_id": "h1", "secret": "EdgeLoc"}
+
+    status, result, _ = call(
+        edge,
+        "POST",
+        "/v1/downgrades",
+        {"session_id": "h1", "query_name": "west"},
+        key="edge/d1",
+    )
+    assert status == 200
+    assert result["authorized"] and result["response"] is True
+
+    # Same Idempotency-Key: the journal answers, the budget is not
+    # re-charged, and the body is byte-identical.
+    status, duplicate, _ = call(
+        edge,
+        "POST",
+        "/v1/downgrades",
+        {"session_id": "h1", "query_name": "west"},
+        key="edge/d1",
+    )
+    assert status == 200 and duplicate == result
+    assert edge.server.stats.journal_duplicates >= 1
+    assert edge.server.ledger.remaining("alice", SPEC) == 20_000
+
+    status, audit, _ = call(edge, "GET", "/v1/audit")
+    assert status == 200
+    assert audit["journal"]["duplicates"] >= 1
+
+    status, epoch, _ = call(edge, "POST", "/v1/epochs", {"epochs": 1})
+    # No decay policy on this server: advancing epochs is a 400, mapped
+    # from the gateway's ValueError — still a structured body.
+    assert status == 400 and epoch["error"] == "bad_request"
+
+    status, closed, _ = call(edge, "DELETE", "/v1/sessions/h1")
+    assert status == 200
+    assert closed == {"session_id": "h1", "closed": True, "downgrades": 1}
+
+
+def test_missing_fields_and_bad_json_are_400(edge):
+    status, body, _ = call(edge, "POST", "/v1/downgrades", {"session_id": "x"})
+    assert status == 400
+    assert body == {"error": "bad_request", "detail": "missing field 'query_name'"}
+
+    host, port = edge.address
+    request = urllib.request.Request(
+        f"http://{host}:{port}/v1/downgrades", data=b"not json", method="POST"
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    assert excinfo.value.code == 400
+    assert json.load(excinfo.value)["error"] == "bad_request"
+
+
+def test_unknown_route_is_404_with_structured_body(edge):
+    status, body, _ = call(edge, "GET", "/v1/nope")
+    assert status == 404
+    assert body["error"] == "not_found" and "/v1/nope" in body["detail"]
+
+
+def test_unknown_session_is_a_domain_refusal_not_an_http_error(edge):
+    # The gateway answers with an unauthorized result (a *decision*,
+    # journaled and replayable) rather than an exception; the edge must
+    # not second-guess it into an error status.
+    status, body, _ = call(
+        edge,
+        "POST",
+        "/v1/downgrades",
+        {"session_id": "ghost", "query_name": "west"},
+    )
+    assert status == 200
+    assert body["authorized"] is False and "ghost" in body["reason"]
+
+
+# ---------------------------------------------------------------------------
+# Error mapping, unit-level (no live server needed)
+# ---------------------------------------------------------------------------
+
+
+def test_degraded_maps_to_503_with_retry_after():
+    error = _to_edge_error(ServerDegraded("shed", retry_after=0.25))
+    assert error.status == 503
+    assert error.headers == {"Retry-After": "1"}  # ceil, never 0
+    assert error.body["error"] == "degraded"
+    assert error.body["retry_after"] == 0.25
+
+
+@pytest.mark.parametrize("exc", [ServerOverloaded("full"), ShardOverloaded("full")])
+def test_overload_maps_to_503(exc):
+    error = _to_edge_error(exc)
+    assert error.status == 503 and error.body["error"] == "overloaded"
+
+
+@pytest.mark.parametrize(
+    "exc", [ShardCrash("died", shard=2, site="serve"), ShardTimeout("slow", shard=0)]
+)
+def test_shard_failures_map_to_502_with_typed_payload(exc):
+    error = _to_edge_error(exc)
+    assert error.status == 502
+    assert error.body["error"] == "shard_failure"
+    assert error.body["kind"] == exc.kind
+    assert error.body["shard"] == exc.shard
+
+
+def test_unexpected_exception_maps_to_500():
+    error = _to_edge_error(RuntimeError("boom"))
+    assert error.status == 500 and error.body["error"] == "internal"

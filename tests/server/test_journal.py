@@ -1,0 +1,243 @@
+"""RequestJournal: write-ahead discipline, idempotency keys, digests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server.journal import (
+    JOURNAL_FORMAT_VERSION,
+    JournalBackend,
+    MemoryJournalBackend,
+    RequestJournal,
+    chain_digest,
+    live_state,
+)
+from repro.server.store import SQLiteStore
+from repro.service.serialize import payload_digest
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def backend(request):
+    if request.param == "memory":
+        return MemoryJournalBackend()
+    return SQLiteStore(":memory:")
+
+
+def test_backends_satisfy_the_protocol(backend):
+    assert isinstance(backend, JournalBackend)
+
+
+def test_begin_execute_ack_roundtrip(backend):
+    journal = RequestJournal(backend)
+    entry = journal.begin("k1", "downgrade", {"session_id": "u1", "query_name": "q"})
+    assert entry.status == "pending" and entry.seq == 1
+    assert journal.pending() == [entry]
+    digest = journal.ack(entry.seq, {"kind": "downgrade", "authorized": True})
+    assert digest == payload_digest({"kind": "downgrade", "authorized": True})
+    done = journal.entry("k1")
+    assert done.status == "done"
+    assert done.outcome_digest == digest
+    # Outcome doubles as the recorded response by default.
+    assert journal.recorded_response("k1") == {"kind": "downgrade", "authorized": True}
+    assert journal.pending() == []
+
+
+def test_duplicate_key_returns_the_existing_row(backend):
+    journal = RequestJournal(backend)
+    first = journal.begin("dup", "compile", {"name": "q"})
+    journal.ack(first.seq, {"kind": "compile", "name": "q"}, response={"took": 1.5})
+    again = journal.begin("dup", "compile", {"name": "q"})
+    assert again.seq == first.seq
+    assert again.status == "done"
+    assert again.response == {"took": 1.5}
+    # A pending duplicate also resolves to the one row.
+    p1 = journal.begin("open", "open_session", {"session_id": "u"})
+    p2 = journal.begin("open", "open_session", {"session_id": "u"})
+    assert p1.seq == p2.seq and p2.status == "pending"
+    assert len(journal) == 2
+
+
+def test_begin_many_and_ack_many_batch(backend):
+    journal = RequestJournal(backend)
+    entries = journal.begin_many(
+        [(f"k{i}", "downgrade", {"session_id": f"u{i}"}) for i in range(5)]
+    )
+    assert [e.seq for e in entries] == [1, 2, 3, 4, 5]
+    digests = journal.ack_many(
+        [(e.seq, {"kind": "downgrade", "i": i}) for i, e in enumerate(entries)]
+    )
+    assert digests == [
+        payload_digest({"kind": "downgrade", "i": i}) for i in range(5)
+    ]
+    assert journal.pending() == []
+    # Duplicates inside one batch collapse to one row.
+    batch = journal.begin_many(
+        [("same", "compile", {"name": "a"}), ("same", "compile", {"name": "a"})]
+    )
+    assert batch[0].seq == batch[1].seq
+
+
+def test_auto_keys_never_repeat_across_restarts(backend):
+    journal = RequestJournal(backend)
+    keys = [journal.auto_key("downgrade") for _ in range(3)]
+    assert len(set(keys)) == 3
+    # Only the last auto key ever hit the journal; a shed request
+    # consumed the others without a row.
+    journal.begin(keys[-1], "downgrade", {"session_id": "u"})
+    rebooted = RequestJournal(backend)
+    fresh = rebooted.auto_key("downgrade")
+    assert fresh not in keys
+
+
+def test_audit_digest_chains_done_entries_in_order(backend):
+    journal = RequestJournal(backend)
+    a = journal.begin("a", "compile", {"name": "qa"})
+    b = journal.begin("b", "compile", {"name": "qb"})
+    da = journal.ack(a.seq, {"kind": "compile", "name": "qa"})
+    db = journal.ack(b.seq, {"kind": "compile", "name": "qb"})
+    assert journal.audit_digest() == chain_digest([da, db])
+    # Pending entries contribute nothing until acknowledged.
+    journal.begin("c", "compile", {"name": "qc"})
+    assert journal.audit_digest() == chain_digest([da, db])
+    assert chain_digest([da, db]) != chain_digest([db, da])
+
+
+def test_compact_drops_acknowledged_prefix_only(backend):
+    journal = RequestJournal(backend)
+    for i in range(4):
+        e = journal.begin(f"k{i}", "downgrade", {"i": i})
+        if i != 2:
+            journal.ack(e.seq, {"kind": "downgrade", "i": i})
+    removed = journal.compact()
+    assert removed == 3
+    remaining = journal.entries()
+    assert [e.key for e in remaining] == ["k2"]
+    assert remaining[0].status == "pending"
+    # Keys of compacted entries lose their dedup record — compaction is
+    # for histories whose clients are gone (see OPERATIONS.md).
+    assert journal.entry("k0") is None
+
+
+def test_live_state_folds_compiles_and_sessions(backend):
+    journal = RequestJournal(backend)
+    ops = [
+        ("c1", "compile", {"name": "q", "v": 1}),
+        ("s1", "open_session", {"session_id": "u1"}),
+        ("s2", "open_session", {"session_id": "u2"}),
+        ("c2", "compile", {"name": "q", "v": 2}),
+        ("x1", "close_session", {"session_id": "u1"}),
+    ]
+    for key, kind, payload in ops:
+        e = journal.begin(key, kind, payload)
+        journal.ack(e.seq, {"kind": kind})
+    state = live_state(journal.entries())
+    assert state.compiles == {"q": {"name": "q", "v": 2}}  # last wins
+    assert list(state.sessions) == ["u2"]
+
+
+def test_format_version_mismatch_refuses_the_store(tmp_path):
+    from repro.server.store import StoreFormatError
+
+    path = tmp_path / "journal.sqlite"
+    store = SQLiteStore(path)
+    store._execute_write(
+        "UPDATE meta SET value = ? WHERE key = ?",
+        (str(JOURNAL_FORMAT_VERSION + 1), "journal_format_version"),
+    )
+    store.close()
+    with pytest.raises(StoreFormatError):
+        SQLiteStore(path)
+
+
+def test_ack_with_bounds_lands_both_atomically():
+    store = SQLiteStore(":memory:")
+    journal = RequestJournal(store)
+    entry = journal.begin("k", "downgrade", {"session_id": "u"})
+    journal.ack_many(
+        [(entry.seq, {"kind": "downgrade", "authorized": True})],
+        bounds=[("u", "Loc", {"payload": 1})],
+    )
+    assert journal.entry("k").status == "done"
+    assert [(u, s, p) for u, s, p in store.ledger_bounds()] == [
+        ("u", "Loc", {"payload": 1})
+    ]
+    # A backend without the atomic hook refuses rather than splitting
+    # the transaction silently.
+    mem = RequestJournal(MemoryJournalBackend())
+    pending = mem.begin("k", "downgrade", {})
+    with pytest.raises(ValueError):
+        mem.ack(pending.seq, {"kind": "downgrade"}, bounds=[("u", "Loc", {})])
+
+
+def test_audit_spill_persists_to_the_store():
+    from repro.service.api import AuditEvent
+
+    store = SQLiteStore(":memory:")
+    journal = RequestJournal(store)
+    journal.spill_audit(
+        [AuditEvent(seq=0, kind="downgrade", data={"session_id": "u"})]
+    )
+    assert store.audit_spill_count() == 1
+    # The memory backend has no spill table; spilling is a silent drop.
+    RequestJournal(MemoryJournalBackend()).spill_audit(
+        [AuditEvent(seq=0, kind="x", data={})]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Idempotency properties
+# ---------------------------------------------------------------------------
+
+_DELIVERIES = st.lists(
+    st.integers(min_value=0, max_value=4), min_size=1, max_size=25
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(deliveries=_DELIVERIES)
+def test_duplicated_reordered_deliveries_keep_one_row_per_key(deliveries):
+    """At-least-once delivery, exactly-once rows: any interleaving of
+    duplicate deliveries yields one journal row per key, and every
+    delivery after the first ack sees the recorded response."""
+    journal = RequestJournal(MemoryJournalBackend())
+    responses: dict[int, dict] = {}
+    for request_id in deliveries:
+        key = f"req/{request_id}"
+        entry = journal.begin(key, "downgrade", {"request": request_id})
+        if entry.status == "done":
+            assert entry.response == responses[request_id]
+            continue
+        if request_id in responses:
+            # Redelivered before the first ack: same pending row.
+            assert entry.payload == {"request": request_id}
+        outcome = {"kind": "downgrade", "request": request_id}
+        journal.ack(entry.seq, outcome)
+        responses[request_id] = outcome
+    assert len(journal) == len(set(deliveries))
+    for request_id in set(deliveries):
+        assert journal.recorded_response(f"req/{request_id}") == responses[request_id]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    deliveries=_DELIVERIES,
+    data=st.data(),
+)
+def test_memory_and_sqlite_backends_agree(deliveries, data):
+    """Differential: both backends journal identical histories.
+
+    Sequence *values* may differ (SQLite's AUTOINCREMENT burns numbers
+    on duplicate-key inserts); the contract is per-key identity, status
+    agreement, ordering, and digest-chain equality.
+    """
+    mem = RequestJournal(MemoryJournalBackend())
+    sql = RequestJournal(SQLiteStore(":memory:"))
+    for request_id in deliveries:
+        key = f"req/{request_id}"
+        entries = [j.begin(key, "downgrade", {"request": request_id}) for j in (mem, sql)]
+        assert entries[0].status == entries[1].status
+        if entries[0].status == "pending" and data.draw(st.booleans()):
+            for j, e in zip((mem, sql), entries):
+                j.ack(e.seq, {"request": request_id})
+    assert mem.audit_digest() == sql.audit_digest()
+    assert [e.key for e in mem.entries()] == [e.key for e in sql.entries()]

@@ -163,3 +163,52 @@ def test_concurrent_registrations_synthesize_once():
     assert service.cache.stats.misses == 1
     assert service.cache.stats.hits == 1
     assert sorted(service.registry.names()) == ["a", "b"]
+
+
+class TestAuditTrail:
+    """The bounded audit ring (PR 9): dense seqs, eviction, spill."""
+
+    def test_unbounded_trail_behaves_like_the_old_list(self):
+        from repro.service.api import AuditTrail
+
+        trail = AuditTrail()
+        for i in range(5):
+            trail.append("downgrade", {"i": i})
+        assert len(trail) == 5 and trail.total == 5
+        assert [e.seq for e in trail] == [0, 1, 2, 3, 4]
+        assert trail[-1].data == {"i": 4}
+        assert trail.spilled == trail.dropped == 0
+
+    def test_eviction_keeps_seqs_dense_and_counts_drops(self):
+        from repro.service.api import AuditTrail
+
+        trail = AuditTrail(capacity=3)
+        for i in range(10):
+            trail.append("downgrade", {"i": i})
+        assert len(trail) == 3
+        assert trail.total == 10
+        # The retained window is the newest suffix, seqs still dense.
+        assert [e.seq for e in trail] == [7, 8, 9]
+        assert trail[0].seq == 7 and trail[-1].seq == 9
+        assert trail.dropped == 7 and trail.spilled == 0
+
+    def test_spill_hook_receives_evictions_in_order(self):
+        from repro.service.api import AuditTrail
+
+        spilled = []
+        trail = AuditTrail(capacity=2, spill=spilled.extend)
+        for i in range(6):
+            trail.append("open", {"i": i})
+        assert [e.seq for e in spilled] == [0, 1, 2, 3]
+        assert trail.spilled == 4 and trail.dropped == 0
+        assert [e.seq for e in trail] == [4, 5]
+
+    def test_service_wires_capacity_through(self):
+        svc = DeclassificationService(size_above(3), audit_capacity=2)
+        svc.register_query(CompileRequest("q", QUERY, SPEC))
+        svc.open_session("a", (SPEC, (1, 2)))
+        svc.open_session("b", (SPEC, (3, 4)))
+        svc.close_session("a")
+        assert len(svc.audit) == 2   # the ring held its bound
+        assert svc.audit.total == 4  # but the history count is exact
+        assert svc.audit.dropped == 2
