@@ -13,9 +13,13 @@ the full loop the journal was built for:
    journal and the privacy budget is not charged twice;
 3. a second query refused by the budget floor — a refusal is a
    journaled decision, not a transport error (HTTP 200);
-4. :func:`replay_journal` re-executing the recorded history against a
-   fresh twin and confirming every decision, refusal, and audit digest
-   comes out bit-identical.
+4. the observability surface: a structured JSON access log stamping
+   each request with the trace id the gateway bound to its idempotency
+   key, a ``/metrics`` scrape of the Prometheus exposition, and
+   ``/statusz`` runtime introspection;
+5. :func:`replay_journal` re-executing the recorded history against a
+   fresh twin and confirming every decision, refusal, audit digest —
+   and every trace tree — comes out bit-identical.
 
 Run:  python examples/http_edge.py
 """
@@ -55,6 +59,15 @@ def call(address, method, path, body=None, key=None):
         return error.code, json.load(error)
 
 
+def scrape(address, path):
+    """One plain-text GET (``/metrics`` serves text, not JSON)."""
+    host, port = address
+    with urllib.request.urlopen(
+        f"http://{host}:{port}{path}", timeout=30
+    ) as response:
+        return response.read().decode("utf-8")
+
+
 def main() -> None:
     journal = RequestJournal(MemoryJournalBackend())
     server = DeclassificationServer(
@@ -64,8 +77,9 @@ def main() -> None:
         config=ServerConfig(inline_compiles=True),
         journal=journal,
     )
+    access_lines: list[str] = []
 
-    with HttpEdge(server) as edge:
+    with HttpEdge(server, access_log=access_lines.append) as edge:
         for name, text in QUERIES:
             status, receipt = call(
                 edge.address,
@@ -136,14 +150,44 @@ def main() -> None:
         print(f"audit over HTTP: {audit['journal']['entries']} journal "
               f"entries, {audit['journal']['duplicates']} duplicates")
 
+        # Scrape the telemetry the run just produced.  /metrics is the
+        # Prometheus exposition; /statusz the structured twin; the
+        # access log already captured one JSON line per request above.
+        exposition = scrape(edge.address, "/metrics")
+        refusal_lines = [
+            line for line in exposition.splitlines()
+            if line.startswith("anosy_ledger_refusals_total")
+        ]
+        assert refusal_lines, exposition
+        print("\n/metrics (refusals):", *refusal_lines, sep="\n  ")
+
+        status, statusz = call(edge.address, "GET", "/statusz")
+        assert status == 200 and statusz["journal"]["pending"] == 0
+        print(f"/statusz: {statusz['stats']['downgrades_served']} served, "
+              f"{statusz['journal']['duplicates']} journal duplicates, "
+              f"{statusz['traces']['retained']} traces retained")
+
+        refused_log = next(  # the "south" refusal's log line
+            record
+            for record in map(json.loads, access_lines)
+            if record["idempotency_key"] == "alice/south/1"
+        )
+        assert refused_log["trace_id"] is not None
+        print(f"access log: {refused_log['method']} {refused_log['route']} "
+              f"{refused_log['status']} {refused_log['ms']}ms "
+              f"trace={refused_log['trace_id']}")
+
     # The edge is down; the journal is the record.  Replay it against a
-    # fresh twin and require bit-identical decisions — the same check the
-    # CI `replay` job runs on recorded crash histories.
-    report = replay_journal(journal)
+    # fresh twin and require bit-identical decisions — including the
+    # trace trees, whose ids derive from (idempotency key, journal seq)
+    # — the same check the CI `replay` job runs on crash histories.
+    report = replay_journal(journal, trace_digest=server.hub.tracer.digest())
     assert report.conforms, report.divergences
     assert [r.query_name for r in report.refusals] == ["south"]
+    assert report.replayed_trace_digest == report.recorded_trace_digest
     print(f"\nreplay: {report.replayed} entries re-executed, "
           f"{report.matched} matched, refusals={[r.query_name for r in report.refusals]}, "
+          f"traces bit-identical={report.replayed_trace_digest == report.recorded_trace_digest}, "
           f"conforms={report.conforms}")
 
 

@@ -1,0 +1,63 @@
+"""Observability for the serving runtime: metrics, traces, introspection.
+
+The serving stack (edge → gateway → shards → journal → store) is
+instrumented through this package and nothing else — it is deliberately
+dependency-free (stdlib only) and import-leaf: :mod:`repro.obs` imports
+no other ``repro`` module, so every layer of the runtime can hold a
+registry or tracer without cycles.
+
+Three pieces:
+
+* :mod:`repro.obs.metrics` — a thread-safe in-process registry of
+  labeled counters, gauges, and fixed-log-bucket histograms with cheap
+  hot-path recording, consistent point-in-time snapshots, and Prometheus
+  text exposition.  Every instrument declares a *channel* — the
+  secret-independence taxonomy DESIGN.md §13 describes — so the
+  telemetry that must be bit-identical across secret-differing runs is
+  mechanically separable from wall-clock timings and
+  declassification-derived sizes.
+* :mod:`repro.obs.trace` — replay-stable request tracing: trace and
+  span ids derive deterministically from idempotency key + journal
+  sequence number, so a replayed journal reproduces byte-identical
+  trace trees (:class:`~repro.server.replay.ReplaySession` asserts it).
+* :mod:`repro.obs.hub` — the :class:`~repro.obs.hub.MetricsHub` a
+  gateway owns: one registry + one tracer, the fold point for the
+  observation reports serving shards piggyback on their batch
+  responses.
+"""
+
+from repro.obs.hub import MetricsHub
+from repro.obs.metrics import (
+    CHANNELS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    log_buckets,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    span_id_for,
+    trace_id_for,
+)
+
+__all__ = [
+    "CHANNELS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsHub",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "Span",
+    "Tracer",
+    "log_buckets",
+    "span_id_for",
+    "trace_id_for",
+]

@@ -49,8 +49,14 @@ layer ROADMAP's "heavy traffic" north star asks for:
   audit digest comes out bit-identical;
 * :mod:`repro.server.edge` — a stdlib-only HTTP adapter
   (:class:`~repro.server.edge.HttpEdge`) with structured error bodies,
-  ``Retry-After`` on degradation, and ``Idempotency-Key`` passthrough —
-  zero domain rules.
+  ``Retry-After`` on degradation, ``Idempotency-Key`` passthrough, and
+  the observability surface (``/metrics``, ``/statusz``, structured
+  access log) — zero domain rules.
+
+Telemetry lives in :mod:`repro.obs` (registry, replay-stable tracer,
+and the gateway's :class:`~repro.obs.hub.MetricsHub` fold point); every
+layer above records into it and ``ServerConfig(observe=False)`` turns
+the whole surface into no-ops.
 """
 
 from repro.server.edge import HttpEdge
@@ -109,6 +115,7 @@ from repro.server.workers import (
     ShardOverloaded,
     ShardStats,
     compile_payload,
+    result_kind,
     serve_payload,
     serve_shard_of,
     shard_of,
@@ -162,6 +169,7 @@ __all__ = [
     "ShardOverloaded",
     "ShardStats",
     "compile_payload",
+    "result_kind",
     "serve_payload",
     "serve_shard_of",
     "shard_of",

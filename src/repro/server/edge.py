@@ -36,7 +36,16 @@ Routes (all JSON)::
     POST   /v1/downgrades  {session_id, query_name}         -> downgrade result
     POST   /v1/epochs      {epochs?}                        -> {"epoch": n}
     GET    /v1/audit                                        -> audit summary
-    GET    /v1/healthz                                      -> {"status": "ok"}
+    GET    /v1/healthz      -> {"status", "degraded_fraction", ...}
+    GET    /statusz         -> gateway runtime introspection (JSON)
+    GET    /metrics         -> Prometheus text exposition (text/plain)
+
+Observability: the edge records ``anosy_edge_requests_total`` and
+``anosy_edge_request_seconds`` into the gateway's hub, and an opt-in
+structured access log (``access_log=True`` for stderr, or any
+``Callable[[str], None]``) emits one JSON line per request — method,
+route, status, latency, idempotency key, and the trace id the gateway
+bound to that key.
 
 See ``examples/http_edge.py`` for an end-to-end walkthrough and
 ``docs/OPERATIONS.md`` for the retry discipline journaled deployments
@@ -48,7 +57,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Coroutine
 
@@ -131,9 +142,18 @@ class HttpEdge:
         host: str = "127.0.0.1",
         port: int = 0,
         timeout: float = 30.0,
+        access_log: bool | Callable[[str], None] = False,
     ):
         self.server = server
         self.timeout = timeout
+        if access_log is True:
+            self._access_log: Callable[[str], None] | None = (
+                lambda line: print(line, file=sys.stderr, flush=True)
+            )
+        elif access_log:
+            self._access_log = access_log
+        else:
+            self._access_log = None
         self._loop = asyncio.new_event_loop()
         self._loop_thread: threading.Thread | None = None
         self._httpd = ThreadingHTTPServer((host, port), self._handler_class())
@@ -219,6 +239,7 @@ class HttpEdge:
         return Handler
 
     def _dispatch(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        started = time.perf_counter()
         try:
             status, body, headers = self._route(handler, method)
         except _EdgeError as exc:
@@ -226,22 +247,119 @@ class HttpEdge:
         except Exception as exc:  # noqa: BLE001 - mapped, never propagated
             err = _to_edge_error(exc)
             status, body, headers = err.status, err.body, err.headers
-        payload = json.dumps(body).encode("utf-8")
+        if isinstance(body, str):
+            payload = body.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            payload = json.dumps(body).encode("utf-8")
+            content_type = "application/json"
         handler.send_response(status)
-        handler.send_header("Content-Type", "application/json")
+        handler.send_header("Content-Type", content_type)
         handler.send_header("Content-Length", str(len(payload)))
         for name, value in headers.items():
             handler.send_header(name, value)
         handler.end_headers()
         handler.wfile.write(payload)
+        self._observe_request(handler, method, status, time.perf_counter() - started)
+
+    # -- edge observability ------------------------------------------------
+    def _observe_request(
+        self,
+        handler: BaseHTTPRequestHandler,
+        method: str,
+        status: int,
+        elapsed: float,
+    ) -> None:
+        """Record one finished request: metric series + access-log line.
+
+        Runs on the HTTP worker thread; the hub's registry is
+        thread-safe, and the trace lookup only reads the bounded
+        key → trace map.
+        """
+        route = self._route_label(handler.path)
+        hub = self.server.hub
+        registry = hub.registry
+        if registry:
+            registry.counter(
+                "anosy_edge_requests_total",
+                "HTTP requests served by the edge.",
+                labels=("method", "route", "status"),
+            ).labels(method=method, route=route, status=str(status)).inc()
+            registry.histogram(
+                "anosy_edge_request_seconds",
+                "Edge request latency (route-labeled).",
+                labels=("route",),
+                channel="timing",
+            ).labels(route=route).observe(elapsed)
+        if self._access_log is not None:
+            key = handler.headers.get("Idempotency-Key")
+            self._access_log(
+                json.dumps(
+                    {
+                        "ts": time.time(),
+                        "method": method,
+                        "route": route,
+                        "path": handler.path,
+                        "status": status,
+                        "ms": round(elapsed * 1000.0, 3),
+                        "idempotency_key": key,
+                        "trace_id": hub.trace_for_key(key),
+                    },
+                    sort_keys=True,
+                )
+            )
+
+    @staticmethod
+    def _route_label(path: str) -> str:
+        """Collapse a request path to a bounded-cardinality route label."""
+        path = path.split("?", 1)[0].rstrip("/")
+        if path.startswith("/v1/sessions/"):
+            return "/v1/sessions/{id}"
+        known = {
+            "/v1/healthz",
+            "/v1/audit",
+            "/v1/queries",
+            "/v1/sessions",
+            "/v1/downgrades",
+            "/v1/epochs",
+            "/metrics",
+            "/statusz",
+        }
+        return path if path in known else "other"
+
+    def _healthz_body(self) -> dict[str, Any]:
+        """Liveness plus the three signals that mean 'alive but hurting'."""
+        server = self.server
+        fraction = (
+            server.supervisor.open_fraction("serving", server.config.serving_shards)
+            if server.serving_pool is not None
+            else 0.0
+        )
+        breakers_open = sum(
+            1
+            for shards in server.supervisor.describe_breakers().values()
+            for info in shards.values()
+            if info["state"] == "open"
+        )
+        pending = 0 if server.journal is None else len(server.journal.pending())
+        return {
+            "status": "degraded" if fraction > 0.0 else "ok",
+            "degraded_fraction": fraction,
+            "breakers_open": breakers_open,
+            "journal_pending": pending,
+        }
 
     def _route(
         self, handler: BaseHTTPRequestHandler, method: str
-    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+    ) -> tuple[int, dict[str, Any] | str, dict[str, str]]:
         path = handler.path.rstrip("/")
         key = handler.headers.get("Idempotency-Key")
         if method == "GET" and path == "/v1/healthz":
-            return 200, {"status": "ok"}, {}
+            return 200, self._call(self._healthz_body), {}
+        if method == "GET" and path == "/metrics":
+            return 200, self._call(self.server.metrics_text), {}
+        if method == "GET" and path == "/statusz":
+            return 200, self._call(self.server.statusz), {}
         if method == "GET" and path == "/v1/audit":
             return 200, self._call(self.server.audit_summary), {}
         if method == "POST" and path == "/v1/queries":

@@ -87,6 +87,7 @@ carries the earliest breaker probe time.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -102,6 +103,8 @@ from repro.lang.secrets import SecretSpec, SecretValue
 from repro.monad.anosy import DowngradeInvariantError
 from repro.monad.policy import QuantitativePolicy
 from repro.monad.protected import ProtectedSecret
+from repro.obs.hub import MetricsHub
+from repro.obs.trace import span_id_for, trace_id_for
 from repro.server import faults
 from repro.server.faults import FaultPlan
 from repro.server.journal import RequestJournal, live_state
@@ -112,6 +115,7 @@ from repro.server.workers import (
     ShardedCompilePool,
     ShardOverloaded,
     compile_payload,
+    result_kind,
     rounds_by_user,
 )
 from repro.service.api import (
@@ -205,6 +209,11 @@ class ServerConfig:
     #: events spill to the journal's ``audit_spill`` table when the
     #: server is journaled, and are counted as dropped otherwise.
     audit_capacity: int | None = 100_000
+    #: Run the observability stack (``repro.obs``): metrics registry,
+    #: replay-stable tracing, shard piggyback.  ``False`` swaps in the
+    #: null registry/tracer — the uninstrumented baseline the
+    #: ``serving_observed`` benchmark gate compares against.
+    observe: bool = True
 
 
 @dataclass(frozen=True)
@@ -305,6 +314,9 @@ class _PendingDowngrade:
     #: Set once the entry is appended; guards against double appends
     #: when a waiter is requeued by a cancelled flush.
     journal_seq: int | None = None
+    #: Deterministic trace id (journaled: derived from key + seq at
+    #: append time; unjournaled: from a local monotone counter).
+    trace_id: str | None = None
 
 
 def _compile_outcome(receipt: ServerCompileReceipt) -> dict[str, Any]:
@@ -361,6 +373,10 @@ class DeclassificationServer:
         self.default_options = options
         self.store = store
         self.budget_decay = budget_decay
+        #: The telemetry fold point: one registry + tracer for every
+        #: gateway-side layer, absorbing shard piggybacks.  Disabled, it
+        #: hands out the null registry/tracer and all recording vanishes.
+        self.hub = MetricsHub(enabled=config.observe)
         cache = SynthesisCache(backend=store)
         self.service = DeclassificationService(
             policy,
@@ -370,6 +386,7 @@ class DeclassificationServer:
             check_both=config.check_both,
             audit_capacity=config.audit_capacity,
         )
+        self.service.metrics = self.hub.registry
         # A store that also speaks LedgerBackend (e.g. SQLiteStore) makes
         # the ledger durable; a plain artifact backend leaves it in-memory.
         ledger_store = store if hasattr(store, "put_ledger_bound") else None
@@ -380,11 +397,16 @@ class DeclassificationServer:
                 budget_floor, store=ledger_store, decay=budget_decay
             )
         )
+        if self.ledger is not None:
+            self.ledger.metrics = self.hub.registry
+        if store is not None and hasattr(store, "metrics"):
+            store.metrics = self.hub.registry
         self.pool = ShardedCompilePool(
             config.shards,
             max_pending=config.max_pending_compiles,
             inline=config.inline_compiles,
         )
+        self.pool.metrics = self.hub.registry
         self.serving_pool: ServingShardPool | None = None
         if config.serving_shards > 0:
             # Fail at construction, not first flush: shard serving ships
@@ -408,6 +430,7 @@ class DeclassificationServer:
             breaker_threshold=config.breaker_threshold,
             breaker_cooldown=config.breaker_cooldown,
             seed=fault_plan.seed if fault_plan is not None else 0,
+            metrics=self.hub.registry,
         )
         #: Shard-mode sessions currently adopted by the gateway-local
         #: manager because their shard's breaker is (or was) open.
@@ -425,6 +448,10 @@ class DeclassificationServer:
         self._shard_queries: dict[int, set[str]] = {}
         #: The write-ahead request journal (None = unjournaled server).
         self.journal = journal
+        if journal is not None:
+            journal.metrics = self.hub.registry
+        #: Monotone counter deriving trace ids on unjournaled servers.
+        self._trace_counter = 0
         #: In-flight journaled downgrades by idempotency key: a
         #: duplicate delivery arriving before the first resolves awaits
         #: the same future instead of double-enqueueing.
@@ -543,6 +570,7 @@ class DeclassificationServer:
         if key in self.cache:
             receipt = self.service.register_query(request)
             self.stats.compile_cache_hits += 1
+            self._count_compile("cache_hit")
             return ServerCompileReceipt(
                 name=receipt.name,
                 cache_hit=True,
@@ -558,6 +586,7 @@ class DeclassificationServer:
             await asyncio.shield(inflight)
             receipt = self.service.register_query(request)
             self.stats.compile_coalesced += 1
+            self._count_compile("coalesced")
             return ServerCompileReceipt(
                 name=receipt.name,
                 cache_hit=False,
@@ -579,6 +608,7 @@ class DeclassificationServer:
                 )
             except ShardOverloaded:
                 self.stats.compile_shed += 1
+                self._count_compile("shed")
                 raise
             self.cache.put(key, compiled)
         except BaseException as exc:
@@ -594,6 +624,7 @@ class DeclassificationServer:
 
         receipt = self.service.register_query(request)
         self.stats.compiles += 1
+        self._count_compile("compiled")
         return ServerCompileReceipt(
             name=receipt.name,
             cache_hit=False,
@@ -849,6 +880,7 @@ class DeclassificationServer:
             ),
             "mode": self.config.mode,
             "check_both": self.config.check_both,
+            "observe": self.hub.enabled,
         }
 
     def _ensure_attached(
@@ -1015,9 +1047,20 @@ class DeclassificationServer:
         return await pending.future
 
     def _enqueue_downgrade(
-        self, session_id: str, query_name: str, *, journal_key: str | None = None
+        self,
+        session_id: str,
+        query_name: str,
+        *,
+        journal_key: str | None = None,
+        trace_id: str | None = None,
     ) -> _PendingDowngrade:
-        """Admission-check and queue one downgrade (runs on the loop)."""
+        """Admission-check and queue one downgrade (runs on the loop).
+
+        ``trace_id`` pins the request to an externally derived trace (a
+        replay twin re-executing a journaled history); otherwise
+        journaled requests get theirs at append time and unjournaled
+        ones from the local counter.
+        """
         bound = self.config.max_queued_downgrades
         if self.serving_pool is not None:
             down = self.supervisor.open_fraction(
@@ -1027,12 +1070,15 @@ class DeclassificationServer:
                 bound = max(1, int(bound * (1.0 - down)))
                 if self._queued >= bound:
                     self.stats.degraded_shed += 1
+                    retry_after = self.supervisor.earliest_retry("serving")
+                    self._count_shed("degraded", retry_after=retry_after)
                     raise ServerDegraded(
                         f"{self._queued} downgrades queued >= degraded bound "
                         f"{bound} ({down:.0%} of serving shards down)",
-                        retry_after=self.supervisor.earliest_retry("serving"),
+                        retry_after=retry_after,
                     )
         if self._queued >= bound:
+            self._count_shed("overloaded")
             raise ServerOverloaded(
                 f"{self._queued} downgrades queued >= bound "
                 f"{self.config.max_queued_downgrades}"
@@ -1041,6 +1087,14 @@ class DeclassificationServer:
         pending = _PendingDowngrade(
             session_id, loop.create_future(), journal_key=journal_key
         )
+        if self.hub.enabled:
+            if trace_id is None and journal_key is None:
+                self._trace_counter += 1
+                trace_id = trace_id_for(
+                    f"local/{session_id}", self._trace_counter
+                )
+            if trace_id is not None:
+                self._assign_trace(pending, query_name, trace_id)
         self._queue.setdefault(query_name, []).append(pending)
         self._queued += 1
         ticking = self._ticker is not None and not self._ticker.done()
@@ -1064,7 +1118,7 @@ class DeclassificationServer:
         if self.journal is None:
             return
         items: list[tuple[str, str, dict[str, Any]]] = []
-        pendings: list[_PendingDowngrade] = []
+        pendings: list[tuple[_PendingDowngrade, str]] = []
         for query_name, waiters in groups:
             for pending in waiters:
                 if pending.journal_key is None or pending.journal_seq is not None:
@@ -1079,10 +1133,17 @@ class DeclassificationServer:
                         },
                     )
                 )
-                pendings.append(pending)
+                pendings.append((pending, query_name))
         if items:
-            for pending, entry in zip(pendings, self.journal.begin_many(items)):
+            entries = self.journal.begin_many(items)
+            for (pending, query_name), entry in zip(pendings, entries):
                 pending.journal_seq = entry.seq
+                if self.hub.enabled and pending.trace_id is None:
+                    self._assign_trace(
+                        pending,
+                        query_name,
+                        trace_id_for(pending.journal_key, entry.seq),
+                    )
             self.stats.journal_appends += len(items)
         faults.maybe_crash("journal", "crash_after_journal_before_execute")
 
@@ -1137,10 +1198,14 @@ class DeclassificationServer:
         async with self._flush_lock:
             self._flush_task = None
             queue, self._queue = self._queue, {}
-            self._queued -= sum(len(waiters) for waiters in queue.values())
+            queued_now = sum(len(waiters) for waiters in queue.values())
+            self._queued -= queued_now
             self.stats.ticks += 1 if queue else 0
+            tick_start = time.perf_counter()
             if self.serving_pool is not None:
-                return await self._flush_sharded(queue)
+                served = await self._flush_sharded(queue)
+                self._observe_tick(tick_start, queued_now)
+                return served
             served = 0
             groups = list(queue.items())
             for index, (query_name, waiters) in enumerate(groups):
@@ -1175,11 +1240,13 @@ class DeclassificationServer:
                         if not pending.future.done():
                             pending.future.set_exception(exc)
                     continue
+                self._count_results(results.values())
                 for pending in waiters:
                     if not pending.future.done():
                         pending.future.set_result(results[pending.session_id])
                 served += len(waiters)
             self.stats.downgrades_served += served
+            self._observe_tick(tick_start, queued_now)
             return served
 
     async def _flush_sharded(
@@ -1265,6 +1332,7 @@ class DeclassificationServer:
                         if not pending.future.done():
                             pending.future.set_exception(exc)
                 continue
+            self._count_results(by_key.values())
             for query_name, shard_waiters in groups:
                 for pending in shard_waiters:
                     if not pending.future.done():
@@ -1313,16 +1381,38 @@ class DeclassificationServer:
                         }
             for query_name, shard_waiters in groups:
                 self._ensure_attached(shard, query_name, ops)
-                ops.append(
-                    {
-                        "op": "downgrade_batch",
-                        "query_name": query_name,
-                        "session_ids": [p.session_id for p in shard_waiters],
-                    }
-                )
+                op: dict[str, Any] = {
+                    "op": "downgrade_batch",
+                    "query_name": query_name,
+                    "session_ids": [p.session_id for p in shard_waiters],
+                }
+                traces = self._traces_for(shard_waiters)
+                if traces is not None:
+                    op["traces"] = traces
+                ops.append(op)
+            submit_start = time.perf_counter()
             response = ServingShardPool.decode(
                 await asyncio.wrap_future(pool.submit(shard, ops))
             )
+            if self.hub.enabled:
+                elapsed = time.perf_counter() - submit_start
+                self.hub.absorb(response.get("obs"))
+                # Transport spans: real timeline events for an operator,
+                # excluded from the canonical tree (a replay twin serves
+                # inline and never emits them).
+                for _name, shard_waiters in groups:
+                    for pending in shard_waiters:
+                        if pending.trace_id is not None:
+                            self.hub.tracer.record(
+                                pending.trace_id,
+                                "shard_roundtrip",
+                                parent_id=span_id_for(
+                                    pending.trace_id, None, "downgrade", 0
+                                ),
+                                transport=True,
+                                elapsed=elapsed,
+                                shard=shard,
+                            )
             if self.ledger is not None:
                 for delta in response["deltas"]:
                     self.ledger.apply_payload(
@@ -1397,8 +1487,9 @@ class DeclassificationServer:
         ids = list(dict.fromkeys(p.session_id for p in waiters))
         compiled = self.manager.registry.lookup(query_name)
         results: dict[str, DowngradeResult] = {}
+        traces = self._traces_for(waiters)
         for round_ids in self._rounds_by_user(ids):
-            self._serve_round(query_name, compiled, round_ids, results)
+            self._serve_round(query_name, compiled, round_ids, results, traces)
         return results
 
     def _rounds_by_user(self, ids: list[str]) -> list[list[str]]:
@@ -1411,6 +1502,7 @@ class DeclassificationServer:
         compiled,
         ids: list[str],
         results: dict[str, DowngradeResult],
+        traces: dict[str, dict[str, str]] | None = None,
     ) -> None:
         admitted: list[str] = []
         checked: list[str] = []
@@ -1432,6 +1524,9 @@ class DeclassificationServer:
             )
             for sid in checked:
                 decision = ledger_decisions[users[sid]]
+                self._trace_span(
+                    traces, sid, "admission", allowed=decision.allowed
+                )
                 if decision.allowed:
                     admitted.append(sid)
                 else:
@@ -1449,6 +1544,13 @@ class DeclassificationServer:
                 BatchDowngradeRequest(query_name, tuple(admitted))
             ):
                 results[result.session_id] = result
+                self._trace_span(
+                    traces,
+                    result.session_id,
+                    "serve",
+                    authorized=result.authorized,
+                    kind=result_kind(result),
+                )
                 if result.authorized and self.ledger is not None and compiled:
                     if result.response is None:
                         raise DowngradeInvariantError(
@@ -1461,6 +1563,193 @@ class DeclassificationServer:
                         result.response,
                         mode=self.config.mode,
                     )
+
+    # -- observability ---------------------------------------------------------
+    def _count_compile(self, outcome: str) -> None:
+        """Tally one compile request by the mechanism that paid for it."""
+        registry = self.hub.registry
+        if registry:
+            registry.counter(
+                "anosy_gateway_compiles_total",
+                "Compile requests by outcome (cache_hit/coalesced/compiled/shed).",
+                labels=("outcome",),
+            ).labels(outcome=outcome).inc()
+
+    def _count_shed(
+        self, reason: str, *, retry_after: float | None = None
+    ) -> None:
+        """Tally one shed downgrade; degraded sheds update the hint gauge."""
+        registry = self.hub.registry
+        if not registry:
+            return
+        registry.counter(
+            "anosy_gateway_shed_total",
+            "Downgrades shed by queue admission, by reason.",
+            labels=("reason",),
+        ).labels(reason=reason).inc()
+        if retry_after is not None:
+            registry.gauge(
+                "anosy_gateway_retry_after_seconds",
+                "Retry-After hint of the most recent degraded shed.",
+                channel="timing",
+            ).set(retry_after)
+
+    def _count_results(self, results: Any) -> None:
+        """Tally resolved downgrade results by outcome kind."""
+        registry = self.hub.registry
+        if not registry:
+            return
+        counter = registry.counter(
+            "anosy_gateway_downgrades_total",
+            "Downgrade results resolved, by outcome kind.",
+            labels=("kind",),
+        )
+        for result in results:
+            counter.labels(kind=result_kind(result)).inc()
+
+    def _observe_tick(self, started: float, sessions: int) -> None:
+        """Record one non-empty flush tick's latency and batch size."""
+        registry = self.hub.registry
+        if not registry or sessions == 0:
+            return
+        registry.histogram(
+            "anosy_gateway_tick_seconds",
+            "Wall-clock seconds of one flush tick.",
+            channel="timing",
+        ).observe(time.perf_counter() - started)
+        registry.histogram(
+            "anosy_gateway_tick_batch_sessions",
+            "Queued downgrades served per tick.",
+        ).observe(float(sessions))
+
+    def _assign_trace(
+        self, pending: _PendingDowngrade, query_name: str, trace_id: str
+    ) -> None:
+        """Pin a waiter to its trace and record the root span."""
+        pending.trace_id = trace_id
+        self.hub.bind_key(pending.journal_key, trace_id)
+        self.hub.tracer.record(
+            trace_id, "downgrade", session=pending.session_id, query=query_name
+        )
+
+    def _traces_for(
+        self, waiters: list[_PendingDowngrade]
+    ) -> dict[str, dict[str, str]] | None:
+        """The session → trace fragment for one batch (None when dark)."""
+        if not self.hub.enabled:
+            return None
+        traces = {
+            p.session_id: {
+                "trace_id": p.trace_id,
+                "parent": span_id_for(p.trace_id, None, "downgrade", 0),
+            }
+            for p in waiters
+            if p.trace_id is not None
+        }
+        return traces or None
+
+    def _trace_span(
+        self,
+        traces: dict[str, dict[str, str]] | None,
+        sid: str,
+        name: str,
+        **attrs: Any,
+    ) -> None:
+        """Record one gateway-local decision span (mirrors the shard path)."""
+        info = None if traces is None else traces.get(sid)
+        if info is None:
+            return
+        self.hub.tracer.record(
+            info["trace_id"], name, parent_id=info["parent"], **attrs
+        )
+
+    def refresh_gauges(self) -> None:
+        """Refresh scrape-time gauges (queue depth, health, stat mirror).
+
+        Gauges describe *now*, so they are set when someone looks —
+        ``/metrics`` and ``/statusz`` — never on hot paths.
+        """
+        registry = self.hub.registry
+        if not registry:
+            return
+        registry.gauge(
+            "anosy_gateway_queue_depth", "Downgrades queued for the next tick."
+        ).set(self._queued)
+        down = (
+            self.supervisor.open_fraction("serving", self.config.serving_shards)
+            if self.serving_pool is not None
+            else 0.0
+        )
+        registry.gauge(
+            "anosy_gateway_degraded_fraction",
+            "Fraction of serving shards with an open breaker.",
+        ).set(down)
+        registry.gauge(
+            "anosy_sessions_open",
+            "Open sessions (gateway handles in shard-serving mode).",
+        ).set(
+            self.manager.open_count()
+            if self.serving_pool is None
+            else len(self._shard_sessions)
+        )
+        stat = registry.gauge(
+            "anosy_gateway_stat",
+            "Mirror of the gateway's lifetime counters (ServerStats).",
+            labels=("stat",),
+        )
+        for name, value in vars(self.stats).items():
+            stat.labels(stat=name).set(float(value))
+        if self.journal is not None:
+            registry.gauge(
+                "anosy_journal_pending",
+                "Journal entries appended but not yet acknowledged.",
+            ).set(len(self.journal.pending()))
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition of the hub's registry ('' when dark)."""
+        self.refresh_gauges()
+        return self.hub.registry.exposition()
+
+    def statusz(self) -> dict[str, Any]:
+        """Runtime introspection: shard health, breakers, journal, traces.
+
+        The structured twin of ``/metrics`` — everything here is also a
+        metric or derivable from one, but grouped the way an operator
+        debugging the failure-mode matrix (OPERATIONS.md) wants it.
+        """
+        self.refresh_gauges()
+        degraded_fraction = (
+            self.supervisor.open_fraction("serving", self.config.serving_shards)
+            if self.serving_pool is not None
+            else 0.0
+        )
+        return {
+            "observe": self.hub.enabled,
+            "stats": vars(self.stats).copy(),
+            "queue_depth": self._queued,
+            "serving_shards": self.config.serving_shards,
+            "degraded": {
+                "fraction": degraded_fraction,
+                "sessions": len(self._degraded_sessions),
+                "retry_after": (
+                    self.supervisor.earliest_retry("serving")
+                    if self.serving_pool is not None
+                    else 0.0
+                ),
+            },
+            "breakers": self.supervisor.describe_breakers(),
+            "journal": (
+                None
+                if self.journal is None
+                else {
+                    "entries": len(self.journal),
+                    "pending": len(self.journal.pending()),
+                    "appends": self.stats.journal_appends,
+                    "duplicates": self.stats.journal_duplicates,
+                }
+            ),
+            "traces": {"retained": len(self.hub.tracer.trace_ids())},
+        }
 
     # -- journal & recovery ----------------------------------------------------
     def _journal_configure(self) -> None:
@@ -1502,6 +1791,7 @@ class DeclassificationServer:
         payload: dict[str, Any],
         *,
         idempotency_key: str | None = None,
+        trace_seq: int | None = None,
     ) -> dict[str, Any]:
         """Execute one journal-entry payload; returns its outcome encoding.
 
@@ -1511,6 +1801,10 @@ class DeclassificationServer:
         on an unjournaled twin).  The returned encoding is exactly what
         the original execution digested, so ``payload_digest`` of it is
         directly comparable to the recorded ``outcome_digest``.
+
+        ``trace_seq`` lets an unjournaled replay twin pin a downgrade's
+        trace id to the original entry's journal sequence, so the twin's
+        trace tree is byte-identical to the source's.
         """
         journaled = self.journal is not None
         if kind == "configure":
@@ -1559,7 +1853,15 @@ class DeclassificationServer:
                     sid, query_name, idempotency_key=idempotency_key
                 )
                 if journaled
-                else await self._enqueue_downgrade(sid, query_name).future
+                else await self._enqueue_downgrade(
+                    sid,
+                    query_name,
+                    trace_id=(
+                        trace_id_for(idempotency_key, trace_seq)
+                        if idempotency_key is not None and trace_seq is not None
+                        else None
+                    ),
+                ).future
             )
             return downgrade_result_to_json(result)
         raise ValueError(f"unknown journal entry kind {kind!r}")

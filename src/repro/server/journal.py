@@ -36,9 +36,11 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Protocol, runtime_checkable
 
+from repro.obs.metrics import NULL_REGISTRY
 from repro.service.serialize import canonical_json, payload_digest
 
 __all__ = [
@@ -235,6 +237,9 @@ class RequestJournal:
 
     def __init__(self, backend: JournalBackend):
         self.backend = backend
+        #: Where append/ack latency and volume land; the owning gateway
+        #: swaps in its hub's registry (see ``DeclassificationServer``).
+        self.metrics: Any = NULL_REGISTRY
         self._lock = threading.Lock()
         # Auto-keys (server-generated, for callers that did not supply
         # one) count up from a boot floor above both the sequence
@@ -266,9 +271,7 @@ class RequestJournal:
         acknowledgement: short-circuit to its ``response`` instead of
         executing again.
         """
-        return _decode_row(
-            self.backend.journal_append(key, kind, canonical_json(payload))
-        )
+        return self.begin_many([(key, kind, payload)])[0]
 
     def begin_many(
         self, items: list[tuple[str, str, dict[str, Any]]]
@@ -276,9 +279,21 @@ class RequestJournal:
         """Batched :meth:`begin` — one durable transaction per tick."""
         if not items:
             return []
+        start = time.perf_counter()
         rows = self.backend.journal_append_many(
             [(key, kind, canonical_json(payload)) for key, kind, payload in items]
         )
+        metrics = self.metrics
+        if metrics:
+            metrics.histogram(
+                "anosy_journal_append_seconds",
+                "Durable write-ahead append latency, per begin transaction.",
+                channel="timing",
+            ).observe(time.perf_counter() - start)
+            metrics.counter(
+                "anosy_journal_appends_total",
+                "Requests journaled before execution.",
+            ).inc(len(rows))
         return [_decode_row(row) for row in rows]
 
     def ack(
@@ -335,6 +350,7 @@ class RequestJournal:
         rows: list[tuple[int, str, str]],
         bounds: list[tuple[str, str, dict[str, Any]]] | None,
     ) -> None:
+        start = time.perf_counter()
         if bounds:
             atomic = getattr(self.backend, "journal_ack_with_bounds", None)
             if atomic is None:
@@ -344,6 +360,18 @@ class RequestJournal:
             atomic(rows, bounds)
         else:
             self.backend.journal_ack_many(rows)
+        metrics = self.metrics
+        if metrics:
+            metrics.histogram(
+                "anosy_journal_ack_seconds",
+                "Durable acknowledgement latency, per ack transaction "
+                "(ledger-mirror bounds included when fused).",
+                channel="timing",
+            ).observe(time.perf_counter() - start)
+            metrics.counter(
+                "anosy_journal_acks_total",
+                "Executed requests acknowledged in the journal.",
+            ).inc(len(rows))
 
     # -- read path ---------------------------------------------------------
     def entry(self, key: str) -> JournalEntry | None:

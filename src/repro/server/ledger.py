@@ -76,6 +76,7 @@ from repro.monad.anosy import (
 )
 from repro.monad.policy import QuantitativePolicy
 from repro.monad.protected import Unprotectable
+from repro.obs.metrics import NULL_REGISTRY
 from repro.service.serialize import domain_from_json, domain_to_json
 from repro.solver.boxes import Box
 
@@ -256,6 +257,11 @@ class PrivacyBudgetLedger:
         self.floor = floor
         self.store = store
         self.decay = decay
+        #: Settable metrics registry (``repro.obs``); the gateway swaps in
+        #: its hub's registry.  Refusal counts are decision-channel (the
+        #: pair-checked verdict is secret-independent); remaining-cell
+        #: sizes are declassified-channel (derived from committed bounds).
+        self.metrics: Any = NULL_REGISTRY
         self.epoch = 0
         self._accounts: dict[str, BudgetAccount] = {}
         self._lock = threading.RLock()
@@ -295,6 +301,22 @@ class PrivacyBudgetLedger:
             return spec.space_size() if bound is None else bound.size()
 
     # -- admission -----------------------------------------------------------
+    def _count_refusal(self, kind: str = "budget") -> None:
+        if self.metrics:
+            self.metrics.counter(
+                "anosy_ledger_refusals_total",
+                "Ledger admission refusals by kind.",
+                labels=("kind",),
+            ).labels(kind=kind).inc()
+
+    def _observe_remaining(self, remaining: int) -> None:
+        if self.metrics:
+            self.metrics.histogram(
+                "anosy_ledger_remaining_cells",
+                "Sound-bound size (cells) at admission time.",
+                channel="declassified",
+            ).observe(float(remaining))
+
     def preauthorize(
         self, user_id: str, qinfo: QInfo, *, mode: str = "under"
     ) -> LedgerDecision:
@@ -308,11 +330,14 @@ class PrivacyBudgetLedger:
             account = self.account(user_id)
             prior = self._sound_prior(account, qinfo)
             pair = qinfo.approx(prior, mode=mode)
+            remaining = prior.size()
+            self._observe_remaining(remaining)
             if pair_verdict(self.floor, pair):
                 return LedgerDecision(
-                    allowed=True, reason="ok", remaining=prior.size()
+                    allowed=True, reason="ok", remaining=remaining
                 )
             account.refusals += 1
+            self._count_refusal()
             return LedgerDecision(
                 allowed=False,
                 reason=(
@@ -369,8 +394,10 @@ class PrivacyBudgetLedger:
             decisions: dict[str, LedgerDecision] = {}
             for uid, key in zip(ids, keys):
                 decision = granted[key]
+                self._observe_remaining(decision.remaining)
                 if not decision.allowed:
                     self.account(uid).refusals += 1
+                    self._count_refusal()
                 decisions[uid] = decision
             return decisions
 

@@ -16,7 +16,14 @@ checks that every decision comes out **bit-identical**:
   :meth:`~repro.server.journal.RequestJournal.audit_digest`;
 * refusals (unauthorized downgrades) are surfaced in order, so a
   post-incident review can see *which* requests the budget floor
-  rejected and confirm the replayed run refuses the very same ones.
+  rejected and confirm the replayed run refuses the very same ones;
+* trace trees are part of the contract: the twin derives each
+  downgrade's trace id from the entry's key and sequence number —
+  exactly as the recorded process did — and the report carries the
+  digest over its canonical trees
+  (:meth:`~repro.obs.trace.Tracer.digest`).  Pass the source gateway's
+  ``hub.tracer.digest()`` as ``trace_digest`` and ``conforms`` also
+  asserts the replayed trees are byte-identical to the recorded ones.
 
 Restart boundaries are part of the history: each ``configure`` entry
 marks a process generation, and replay rebuilds a fresh server there —
@@ -44,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from repro.core.plugin import CompileOptions
+from repro.obs.trace import Tracer
 from repro.server.gateway import (
     DeclassificationServer,
     ServerConfig,
@@ -112,11 +120,24 @@ class ReplayReport:
     refusals: tuple[ReplayRefusal, ...] = ()
     recorded_digest: str = ""
     replayed_digest: str = ""
+    recorded_trace_digest: str = ""
+    replayed_trace_digest: str = ""
 
     @property
     def conforms(self) -> bool:
-        """True when the replayed history is bit-identical to the record."""
-        return not self.divergences and self.recorded_digest == self.replayed_digest
+        """True when the replayed history is bit-identical to the record.
+
+        Covers outcomes (per-entry digests + chained digest) and, when a
+        recorded trace digest was supplied, the canonical trace trees.
+        """
+        return (
+            not self.divergences
+            and self.recorded_digest == self.replayed_digest
+            and (
+                not self.recorded_trace_digest
+                or self.recorded_trace_digest == self.replayed_trace_digest
+            )
+        )
 
 
 @dataclass
@@ -142,6 +163,7 @@ class ReplaySession:
         source: RequestJournal | JournalBackend | Sequence[JournalEntry],
         *,
         apply_pending: bool = True,
+        trace_digest: str | None = None,
     ):
         if isinstance(source, RequestJournal):
             entries: Iterable[JournalEntry] = source.entries()
@@ -151,6 +173,11 @@ class ReplaySession:
             entries = source
         self.entries = sorted(entries, key=lambda e: e.seq)
         self.apply_pending = apply_pending
+        self.trace_digest = trace_digest
+        # Accumulates every generation's spans; sized so no replayed
+        # trace is evicted mid-run (one trace per entry is an upper
+        # bound), and exposed so tests can diff individual trees.
+        self.tracer = Tracer(capacity=max(1024, len(self.entries) + 1))
         if self.entries and self.entries[0].kind != "configure":
             raise ValueError(
                 "journal does not start with a configure entry; "
@@ -172,6 +199,7 @@ class ReplaySession:
         for index, entry in enumerate(self.entries):
             if entry.kind == "configure":
                 if server is not None:
+                    self._collect_spans(server)
                     server.shutdown()
                 server = await self._boot(entry.payload, store, state)
                 # Mirror recovery's knowledge refold: the recorded
@@ -188,7 +216,12 @@ class ReplaySession:
                 continue
             else:
                 try:
-                    actual = await server.apply_entry(entry.kind, entry.payload)
+                    actual = await server.apply_entry(
+                        entry.kind,
+                        entry.payload,
+                        idempotency_key=entry.key,
+                        trace_seq=entry.seq,
+                    )
                 except (ValueError, KeyError) as exc:
                     actual = {"kind": "error", "error": type(exc).__name__}
             self._track(state, entry)
@@ -223,6 +256,7 @@ class ReplaySession:
                 counts["applied"] += 1
 
         if server is not None:
+            self._collect_spans(server)
             server.shutdown()
         return ReplayReport(
             entries=len(self.entries),
@@ -235,7 +269,20 @@ class ReplaySession:
             refusals=tuple(refusals),
             recorded_digest=chain_digest(recorded),
             replayed_digest=chain_digest(replayed),
+            recorded_trace_digest=self.trace_digest or "",
+            replayed_trace_digest=self.tracer.digest(),
         )
+
+    def _collect_spans(self, server: DeclassificationServer) -> None:
+        """Fold one generation's spans into the session-wide tracer.
+
+        Each generation's twin has its own hub; the conformance digest
+        is over the whole history, so spans accumulate here before the
+        generation is shut down.
+        """
+        tracer = server.hub.tracer
+        for trace_id in tracer.trace_ids():
+            self.tracer.absorb(span.to_json() for span in tracer.spans(trace_id))
 
     async def _boot(
         self,
@@ -296,6 +343,11 @@ def replay_journal(
     source: RequestJournal | JournalBackend | Sequence[JournalEntry],
     *,
     apply_pending: bool = True,
+    trace_digest: str | None = None,
 ) -> ReplayReport:
     """Synchronous one-call replay (wraps :meth:`ReplaySession.run`)."""
-    return asyncio.run(ReplaySession(source, apply_pending=apply_pending).run())
+    return asyncio.run(
+        ReplaySession(
+            source, apply_pending=apply_pending, trace_digest=trace_digest
+        ).run()
+    )

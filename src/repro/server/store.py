@@ -58,6 +58,7 @@ import time
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.obs.metrics import NULL_REGISTRY
 from repro.server import faults
 from repro.server.journal import JOURNAL_FORMAT_VERSION
 from repro.server.ledger import LEDGER_FORMAT_VERSION
@@ -84,6 +85,9 @@ class SQLiteStore:
 
     def __init__(self, path: str | Path, *, timeout: float = 10.0):
         self.path = str(path)
+        #: Busy-retry telemetry sink; a gateway adopting this store
+        #: swaps in its hub's registry.
+        self.metrics: Any = NULL_REGISTRY
         self._lock = threading.RLock()
         self._conn = sqlite3.connect(
             self.path, timeout=timeout, check_same_thread=False
@@ -168,6 +172,13 @@ class SQLiteStore:
             except sqlite3.OperationalError as exc:
                 if "locked" not in str(exc) or attempt >= self.busy_retries:
                     raise
+                metrics = self.metrics
+                if metrics:
+                    metrics.counter(
+                        "anosy_store_busy_retries_total",
+                        "SQLite database-is-locked retries absorbed by the "
+                        "bounded backoff loop.",
+                    ).inc()
                 time.sleep(self.busy_backoff * (2**attempt))
 
     def _execute_write(self, sql: str, params: tuple) -> None:

@@ -36,7 +36,9 @@ import time
 from concurrent.futures import BrokenExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from typing import Awaitable, Callable
+from typing import Any, Awaitable, Callable
+
+from repro.obs.metrics import NULL_REGISTRY
 
 __all__ = [
     "CircuitBreaker",
@@ -162,6 +164,7 @@ class CircuitBreaker:
         threshold: int = 3,
         cooldown: float = 0.25,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
     ):
         self.threshold = max(1, int(threshold))
         self.cooldown = cooldown
@@ -169,6 +172,13 @@ class CircuitBreaker:
         self._failures = 0
         self._opened_at: float | None = None
         self._cooldown_override: float | None = None
+        #: ``(state, cause, wall-clock timestamp)`` of the last *evented*
+        #: transition — a failure opening the breaker, an operator
+        #: :meth:`trip`, or a success closing it.  (The timed
+        #: open→half_open step is computed, not evented.)  ``/statusz``
+        #: surfaces this so a trip is visible after the fact.
+        self.last_transition: tuple[str, str, float] | None = None
+        self._on_transition = on_transition
 
     @property
     def _effective_cooldown(self) -> float:
@@ -188,11 +198,19 @@ class CircuitBreaker:
         """May an attempt proceed right now?"""
         return self.state() != "open"
 
+    def _transition(self, state: str, cause: str) -> None:
+        self.last_transition = (state, cause, time.time())
+        if self._on_transition is not None:
+            self._on_transition(state, cause)
+
     def record_success(self) -> None:
         """An attempt succeeded: close the breaker, reset counters."""
+        was_tracking = self._opened_at is not None or self._failures > 0
         self._failures = 0
         self._opened_at = None
         self._cooldown_override = None
+        if was_tracking:
+            self._transition("closed", "success")
 
     def record_failure(self) -> bool:
         """Count a failure; returns True when this call opens the breaker."""
@@ -200,7 +218,9 @@ class CircuitBreaker:
         if self._failures >= self.threshold:
             was_open = self._opened_at is not None and self.state() == "open"
             self._opened_at = self._clock()
-            return not was_open
+            if not was_open:
+                self._transition("open", "failure")
+                return True
         return False
 
     def trip(self, cooldown: float | None = None) -> None:
@@ -208,12 +228,16 @@ class CircuitBreaker:
 
         An explicit *cooldown* overrides the configured one until the
         next success — ``trip(cooldown=3600)`` pins a shard out of
-        rotation for benchmark or maintenance purposes.
+        rotation for benchmark or maintenance purposes.  Trips are
+        evented like any other transition, so the override shows up in
+        breaker telemetry and ``/statusz`` rather than vanishing into
+        in-memory state.
         """
         self._failures = max(self._failures, self.threshold)
         self._opened_at = self._clock()
         if cooldown is not None:
             self._cooldown_override = cooldown
+        self._transition("open", "trip")
 
     def retry_after(self) -> float:
         """Seconds until the next probe is allowed (0 when not open)."""
@@ -221,6 +245,20 @@ class CircuitBreaker:
             return 0.0
         remaining = self._effective_cooldown - (self._clock() - self._opened_at)
         return max(0.0, remaining)
+
+    def describe(self) -> dict:
+        """JSON-safe introspection for ``/statusz`` and audit summaries."""
+        last = self.last_transition
+        return {
+            "state": self.state(),
+            "failures": self._failures,
+            "retry_after": self.retry_after(),
+            "cooldown": self._effective_cooldown,
+            "cooldown_override": self._cooldown_override,
+            "last_transition": None
+            if last is None
+            else {"to": last[0], "cause": last[1], "at": last[2]},
+        }
 
 
 @dataclass
@@ -255,6 +293,9 @@ class ShardSupervisor:
     replays the same backoff schedule.
     """
 
+    #: Gauge encoding of breaker states (exposition-friendly).
+    _STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
+
     def __init__(
         self,
         *,
@@ -263,11 +304,13 @@ class ShardSupervisor:
         breaker_cooldown: float = 0.25,
         seed: int = 0,
         clock: Callable[[], float] = time.monotonic,
+        metrics: Any = None,
     ):
         self.retry = retry or RetryPolicy()
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown = breaker_cooldown
         self.stats = SupervisorStats()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._clock = clock
         self._rng = random.Random(seed)
         self._breakers: dict[tuple[str, int], CircuitBreaker] = {}
@@ -277,9 +320,60 @@ class ShardSupervisor:
         key = (pool, shard)
         if key not in self._breakers:
             self._breakers[key] = CircuitBreaker(
-                self.breaker_threshold, self.breaker_cooldown, clock=self._clock
+                self.breaker_threshold,
+                self.breaker_cooldown,
+                clock=self._clock,
+                on_transition=self._transition_recorder(pool, shard),
             )
         return self._breakers[key]
+
+    def _transition_recorder(
+        self, pool: str, shard: int
+    ) -> Callable[[str, str], None]:
+        """Metric hooks for one breaker's evented transitions."""
+        metrics = self.metrics
+        transitions = metrics.counter(
+            "anosy_breaker_transitions_total",
+            "Evented circuit-breaker transitions by target state and cause.",
+            labels=("pool", "shard", "to", "cause"),
+        )
+        trips = metrics.counter(
+            "anosy_breaker_trips_total",
+            "Operator/chaos trip() overrides, per breaker.",
+            labels=("pool", "shard"),
+        )
+        state_gauge = metrics.gauge(
+            "anosy_breaker_state",
+            "Breaker state at last transition (0 closed, 1 half_open, 2 open).",
+            labels=("pool", "shard"),
+        )
+        stamp = metrics.gauge(
+            "anosy_breaker_last_transition_timestamp",
+            "Unix timestamp of the breaker's last evented transition.",
+            labels=("pool", "shard"),
+            channel="timing",
+        )
+        shard_label = str(shard)
+
+        def on_transition(state: str, cause: str) -> None:
+            transitions.labels(
+                pool=pool, shard=shard_label, to=state, cause=cause
+            ).inc()
+            if cause == "trip":
+                trips.labels(pool=pool, shard=shard_label).inc()
+            state_gauge.labels(pool=pool, shard=shard_label).set(
+                self._STATE_VALUES.get(state, -1)
+            )
+            stamp.labels(pool=pool, shard=shard_label).set(time.time())
+
+        return on_transition
+
+    def describe_breakers(self) -> dict[str, dict[str, dict]]:
+        """Pool → shard → breaker introspection, for ``/statusz``."""
+        out: dict[str, dict[str, dict]] = {}
+        for (pool, shard), breaker in sorted(self._breakers.items()):
+            out.setdefault(pool, {})[str(shard)] = breaker.describe()
+        return out
 
     def breaker_states(self, pool: str) -> dict[int, str]:
         """Shard → breaker state, for *pool* (audit/telemetry)."""

@@ -72,6 +72,8 @@ from repro.lang.parser import parse_bool
 from repro.lang.secrets import SecretSpec
 from repro.monad.anosy import DowngradeInvariantError
 from repro.monad.protected import ProtectedSecret
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.trace import Span, span_id_for
 from repro.server import faults
 from repro.server.ledger import DecayPolicy, PrivacyBudgetLedger
 from repro.server.supervise import CodecError, classify_failure
@@ -99,6 +101,7 @@ __all__ = [
     "shard_of",
     "serve_shard_of",
     "rounds_by_user",
+    "result_kind",
 ]
 
 
@@ -127,6 +130,33 @@ def serve_shard_of(user_id: str, shards: int) -> int:
     """
     digest = hashlib.sha256(user_id.encode("utf-8")).hexdigest()
     return int(digest[:16], 16) % shards
+
+
+def result_kind(result: DowngradeResult) -> str:
+    """The machine-readable outcome class of one downgrade result.
+
+    Derived from the result alone (not the internal decision object), so
+    the shard path, the gateway-local path, and a replay twin all label
+    the same result identically — the property the trace-tree bit-identity
+    contract rests on.  Mirrors
+    :class:`~repro.monad.anosy.DowngradeDecision` ``kind`` values, plus
+    ``"budget"`` (ledger admission) and ``"unknown_session"`` (facade
+    refusal), which never reach the session layer.
+    """
+    if result.authorized:
+        return "ok"
+    reason = result.reason
+    if reason.startswith("Can't downgrade"):
+        return "unknown_query"
+    if reason.startswith("Policy Violation"):
+        return "policy"
+    if reason.startswith("no open session"):
+        return "unknown_session"
+    if reason.startswith("budget exhausted"):
+        return "budget"
+    if ", secret is " in reason:
+        return "spec_mismatch"
+    return "refused"
 
 
 def rounds_by_user(
@@ -237,11 +267,21 @@ class _ServingShard:
         policy = policy_from_json(data["policy"])
         floor = data.get("floor")
         decay = data.get("decay")
+        #: Process-local telemetry: a real registry when the gateway's
+        #: ``configure`` op asked for observation, else the null registry.
+        #: Drained counters/spans ride home on every batch response
+        #: (``obs`` piggyback) and fold into the gateway's hub.
+        self.metrics: Any = (
+            MetricsRegistry() if data.get("observe") else NULL_REGISTRY
+        )
+        #: Spans finished since the last piggyback drain.
+        self.spans: list[Span] = []
         self.manager = SessionManager(
             registry=QueryRegistry(),
             policy=policy,
             mode=data["mode"],
             check_both=data["check_both"],
+            metrics=self.metrics,
         )
         self.ledger = (
             None
@@ -251,6 +291,8 @@ class _ServingShard:
                 decay=None if decay is None else DecayPolicy.from_json(decay),
             )
         )
+        if self.ledger is not None:
+            self.ledger.metrics = self.metrics
         #: Session id → durable user id (the routing key).
         self.users: dict[str, str] = {}
 
@@ -291,7 +333,10 @@ class _ServingShard:
             self.ledger.advance_epoch(int(op.get("epochs", 1)))
 
     def serve_batch(
-        self, query_name: str, session_ids: list[str]
+        self,
+        query_name: str,
+        session_ids: list[str],
+        traces: dict[str, Any] | None = None,
     ) -> tuple[list[DowngradeResult], list[dict[str, Any]], int]:
         """One query for this shard's slice of a tick.
 
@@ -299,7 +344,10 @@ class _ServingShard:
         run shard-locally under the round-per-user discipline
         (:func:`rounds_by_user`).  Returns results in request order, the
         ledger-delta payloads for every (user, spec) committed, and the
-        number of budget refusals.
+        number of budget refusals.  ``traces`` (session id →
+        ``{"trace_id", "parent"}``) names the trace each session's
+        decision spans belong to; spans buffer on :attr:`spans` for the
+        response piggyback.
         """
         ids = list(dict.fromkeys(session_ids))
         compiled = self.manager.registry.lookup(query_name)
@@ -308,7 +356,7 @@ class _ServingShard:
         refusals = 0
         for round_ids in rounds_by_user(ids, self.users):
             refusals += self._serve_round(
-                query_name, compiled, round_ids, results, touched
+                query_name, compiled, round_ids, results, touched, traces
             )
         deltas = [
             {
@@ -321,6 +369,35 @@ class _ServingShard:
         ]
         return [results[sid] for sid in ids], deltas, refusals
 
+    def _span(
+        self,
+        sid: str,
+        traces: dict[str, Any] | None,
+        name: str,
+        **attrs: Any,
+    ) -> None:
+        """Buffer one decision span for a traced session (else no-op).
+
+        Span attributes here carry only secret-independent facts: under
+        the pair-checked discipline (``check_both=True``) admission
+        ``allowed`` and serve ``authorized``/``kind`` are decided on both
+        potential posteriors, never on the response.
+        """
+        info = None if traces is None else traces.get(sid)
+        if info is None:
+            return
+        trace_id = info["trace_id"]
+        parent = info.get("parent")
+        self.spans.append(
+            Span(
+                trace_id=trace_id,
+                span_id=span_id_for(trace_id, parent, name, 0),
+                parent_id=parent,
+                name=name,
+                attrs=attrs,
+            )
+        )
+
     def _serve_round(
         self,
         query_name: str,
@@ -328,6 +405,7 @@ class _ServingShard:
         ids: list[str],
         results: dict[str, DowngradeResult],
         touched: dict[tuple[str, str], SecretSpec],
+        traces: dict[str, Any] | None = None,
     ) -> int:
         refusals = 0
         admitted: list[str] = []
@@ -342,6 +420,9 @@ class _ServingShard:
                     reason=f"no open session {sid!r}",
                     knowledge_size=None,
                 )
+                self._span(
+                    sid, traces, "serve", authorized=False, kind="unknown_session"
+                )
             else:
                 present.append(sid)
         if self.ledger is None or compiled is None:
@@ -355,6 +436,7 @@ class _ServingShard:
             )
             for sid in present:
                 decision = ledger_decisions[users[sid]]
+                self._span(sid, traces, "admission", allowed=decision.allowed)
                 if decision.allowed:
                     admitted.append(sid)
                 else:
@@ -383,6 +465,13 @@ class _ServingShard:
                 response=decision.response,
                 reason=decision.reason,
                 knowledge_size=session.knowledge_size() if session else None,
+            )
+            self._span(
+                sid,
+                traces,
+                "serve",
+                authorized=decision.authorized,
+                kind=result_kind(results[sid]),
             )
             if decision.authorized and self.ledger is not None and compiled:
                 if decision.response is None:
@@ -444,7 +533,11 @@ def serve_payload(payload: str) -> str:
             shard.advance_epoch(op)
         elif kind == "downgrade_batch":
             downgrades.append(op)
-            outputs.append(shard.serve_batch(op["query_name"], op["session_ids"]))
+            outputs.append(
+                shard.serve_batch(
+                    op["query_name"], op["session_ids"], op.get("traces")
+                )
+            )
         else:
             raise ValueError(f"unknown serving op {kind!r}")
     if downgrades and faults.should_duplicate("serve"):
@@ -457,8 +550,13 @@ def serve_payload(payload: str) -> str:
         # the first run already charged them; the ledger lands in the
         # same state either way.
         shard = _SERVING_STATE[shard_key]
+        # The re-run's spans carry the same deterministic ids as the
+        # first delivery's; keeping them would double every child in the
+        # absorbed trace tree, so they are discarded with the outputs.
+        span_mark = len(shard.spans)
         for op in downgrades:
             shard.serve_batch(op["query_name"], op["session_ids"])
+        del shard.spans[span_mark:]
     faults.maybe_crash("serve", "crash_after_commit")
     results: list[dict[str, Any]] = []
     deltas: list[dict[str, Any]] = []
@@ -467,14 +565,22 @@ def serve_payload(payload: str) -> str:
         results.extend(downgrade_result_to_json(result) for result in batch_results)
         deltas.extend(batch_deltas)
         refusals += batch_refusals
-    response = json.dumps(
-        {
-            "results": results,
-            "deltas": deltas,
-            "budget_refusals": refusals,
-            "pid": os.getpid(),
-        }
-    )
+    body: dict[str, Any] = {
+        "results": results,
+        "deltas": deltas,
+        "budget_refusals": refusals,
+        "pid": os.getpid(),
+    }
+    shard = _SERVING_STATE.get(shard_key)
+    if shard is not None and (shard.metrics or shard.spans):
+        obs: dict[str, Any] = {}
+        if shard.metrics:
+            obs["metrics"] = shard.metrics.drain()
+        if shard.spans:
+            obs["spans"] = [span.to_json() for span in shard.spans]
+            shard.spans = []
+        body["obs"] = obs
+    response = json.dumps(body)
     return faults.maybe_corrupt("serve", response)
 
 
@@ -534,6 +640,9 @@ class ShardedCompilePool:
         self.inline = inline
         #: Optional chaos schedule, shipped inside every job payload.
         self.fault_plan: faults.FaultPlan | None = None
+        #: Settable metrics registry (``repro.obs``); the gateway swaps
+        #: in its hub's registry to see admissions and sheds.
+        self.metrics: Any = NULL_REGISTRY
         self._executors: list[ProcessPoolExecutor | None] = [None] * shards
         self._stats = [ShardStats() for _ in range(shards)]
         self._lock = threading.Lock()
@@ -639,12 +748,22 @@ class ShardedCompilePool:
             stats = self._stats[shard]
             if stats.pending >= self.max_pending:
                 stats.shed += 1
+                self._count_admission(shard, "shed")
                 raise ShardOverloaded(
                     f"shard {shard}: {stats.pending} jobs in flight "
                     f">= bound {self.max_pending}"
                 )
             stats.pending += 1
             stats.submitted += 1
+            self._count_admission(shard, "admitted")
+
+    def _count_admission(self, shard: int, outcome: str) -> None:
+        if self.metrics:
+            self.metrics.counter(
+                "anosy_compile_admission_total",
+                "Compile-shard admission outcomes.",
+                labels=("shard", "outcome"),
+            ).labels(shard=str(shard), outcome=outcome).inc()
 
     def _release(self, shard: int) -> None:
         with self._lock:
@@ -802,6 +921,7 @@ class ServingShardPool:
                 "deltas": data["deltas"],
                 "budget_refusals": data["budget_refusals"],
                 "pid": data["pid"],
+                "obs": data.get("obs"),
             }
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
             raise CodecError(

@@ -224,12 +224,41 @@ class DeclassificationService:
         """Persist the synthesis cache for the next process's warm start."""
         self.cache.save(cache_path)
 
+    # -- observability -----------------------------------------------------
+    @property
+    def metrics(self) -> Any:
+        """The metrics registry in use (the manager's; null by default)."""
+        return self.manager.metrics
+
+    @metrics.setter
+    def metrics(self, registry: Any) -> None:
+        self.manager.metrics = registry
+
     # -- audit -------------------------------------------------------------
     def _audit(self, kind: str, **data: Any) -> None:
         # The sequence number must be dense even when worker threads audit
         # concurrently, so assignment and append happen under one lock.
         with self._audit_lock:
+            spilled = self.audit.spilled
+            dropped = self.audit.dropped
             self.audit.append(kind, data)
+            metrics = self.manager.metrics
+            if metrics:
+                metrics.counter(
+                    "anosy_audit_events_total",
+                    "Audit-trail events appended, by kind.",
+                    labels=("kind",),
+                ).labels(kind=kind).inc()
+                if self.audit.spilled > spilled:
+                    metrics.counter(
+                        "anosy_audit_spilled_total",
+                        "Audit events evicted to the durable spill sink.",
+                    ).inc(self.audit.spilled - spilled)
+                if self.audit.dropped > dropped:
+                    metrics.counter(
+                        "anosy_audit_dropped_total",
+                        "Audit events evicted with no spill sink (lost).",
+                    ).inc(self.audit.dropped - dropped)
 
     # -- compilation -------------------------------------------------------
     def register_query(self, request: CompileRequest) -> CompileReceipt:

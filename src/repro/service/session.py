@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.core.plugin import QueryRegistry
 from repro.core.qinfo import QInfo
@@ -51,6 +51,7 @@ from repro.monad.anosy import (
 )
 from repro.monad.policy import QuantitativePolicy
 from repro.monad.protected import ProtectedSecret
+from repro.obs.metrics import NULL_REGISTRY
 from repro.service.soa import FleetStore
 from repro.solver import vectoreval
 
@@ -131,6 +132,11 @@ class SessionManager:
     #: two are differentially identical (decisions, posteriors, audit
     #: records — see tests/service/test_vectorized_differential.py).
     vectorized: bool = True
+    #: Settable metrics registry (``repro.obs``); the owning service or
+    #: gateway swaps in its hub's registry.  Path selection is a
+    #: decision-channel fact (batch size and NumPy availability, never
+    #: the secrets).
+    metrics: Any = field(default=NULL_REGISTRY, repr=False, compare=False)
     sessions: dict[str, Session] = field(default_factory=dict)
     #: Serializes lifecycle and batch application; reentrant because the
     #: single-session paths funnel into :meth:`downgrade_batch`.
@@ -284,10 +290,12 @@ class SessionManager:
             and vectoreval.AVAILABLE
             and len(eligible) >= _VECTOR_MIN_SESSIONS
         ):
+            self._count_path("vectorized", len(eligible))
             self._serve_eligible_vectorized(
                 query_name, qinfo, sessions, eligible, decisions, top
             )
         else:
+            self._count_path("scalar", len(eligible))
             self._serve_eligible_scalar(
                 query_name, qinfo, sessions, eligible, decisions, top
             )
@@ -295,6 +303,20 @@ class SessionManager:
             # No spec mismatches: decisions were filled in ids order.
             return decisions
         return {sid: decisions[sid] for sid in ids}
+
+    def _count_path(self, path: str, sessions: int) -> None:
+        """Tally which serving path one batch took (and how many rows)."""
+        if self.metrics:
+            self.metrics.counter(
+                "anosy_serve_path_total",
+                "Serving batches by execution path.",
+                labels=("path",),
+            ).labels(path=path).inc()
+            self.metrics.counter(
+                "anosy_serve_path_sessions_total",
+                "Sessions served by execution path.",
+                labels=("path",),
+            ).labels(path=path).inc(sessions)
 
     def _serve_eligible_scalar(
         self,

@@ -1,0 +1,129 @@
+"""A small Prometheus text-exposition (0.0.4) parser and validator.
+
+Used by tests/obs/test_metrics.py and test_endpoints.py, and by the CI
+``metrics`` job, to check that what the edge serves at ``/metrics`` is
+well-formed: every sample belongs to a ``# TYPE``-declared family,
+histogram buckets are cumulative and consistent with ``_count``, and
+values parse.  Deliberately tiny — it parses what
+:meth:`repro.obs.metrics.MetricsRegistry.exposition` emits, not the
+whole Prometheus grammar.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+@dataclass
+class Family:
+    """One metric family: its declared type, help, and samples."""
+
+    name: str
+    kind: str
+    help: str = ""
+    #: ``(sample_name, frozenset(labels.items())) -> value``
+    samples: dict[tuple[str, frozenset], float] = field(default_factory=dict)
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _family_of(sample_name: str, families: dict[str, Family]) -> Family | None:
+    """The declared family a sample belongs to (histogram suffixes ok)."""
+    if sample_name in families:
+        return families[sample_name]
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            family = families.get(sample_name[: -len(suffix)])
+            if family is not None and family.kind == "histogram":
+                return family
+    return None
+
+
+def parse_exposition(text: str) -> dict[str, Family]:
+    """Parse and validate one exposition; raises ``ValueError`` on junk.
+
+    Validations: samples only under a declared ``# TYPE``; parseable
+    values; per-series histogram buckets cumulative (non-decreasing in
+    ``le``) with the ``+Inf`` bucket equal to ``_count``.
+    """
+    families: dict[str, Family] = {}
+    buckets: dict[tuple[str, frozenset], list[tuple[float, float]]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, Family(name, "untyped")).help = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"line {lineno}: unknown type {kind!r}")
+            family = families.setdefault(name, Family(name, kind))
+            family.kind = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        sample_name = match.group("name")
+        labels = {
+            key: _unescape(value)
+            for key, value in _LABEL.findall(match.group("labels") or "")
+        }
+        value = _parse_value(match.group("value"))
+        family = _family_of(sample_name, families)
+        if family is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} has no # TYPE"
+            )
+        key = (sample_name, frozenset(labels.items()))
+        if key in family.samples:
+            raise ValueError(f"line {lineno}: duplicate sample {key!r}")
+        family.samples[key] = value
+        if family.kind == "histogram" and sample_name.endswith("_bucket"):
+            series = frozenset(
+                item for item in labels.items() if item[0] != "le"
+            )
+            buckets.setdefault((family.name, series), []).append(
+                (_parse_value(labels["le"]), value)
+            )
+
+    for (name, series), pairs in buckets.items():
+        ordered = sorted(pairs)
+        counts = [count for _, count in ordered]
+        if counts != sorted(counts):
+            raise ValueError(f"{name}{dict(series)}: buckets not cumulative")
+        if not ordered or ordered[-1][0] != math.inf:
+            raise ValueError(f"{name}{dict(series)}: missing +Inf bucket")
+        total = families[name].samples.get((f"{name}_count", series))
+        if total is not None and total != ordered[-1][1]:
+            raise ValueError(
+                f"{name}{dict(series)}: +Inf bucket {ordered[-1][1]} "
+                f"!= count {total}"
+            )
+    return families

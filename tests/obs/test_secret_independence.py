@@ -1,0 +1,187 @@
+"""Telemetry is an output channel: it must not leak the secret.
+
+ANOSY's guarantee covers everything the server emits — including its
+metrics and traces.  The net here runs the *same request schedule*
+against two servers that differ **only in the protected secret** and
+asserts the ``decision`` channel (metric series, labels, values — the
+exposition bytes themselves) and every canonical trace tree come out
+bit-identical.  ``timing`` series are wall-clock and excluded;
+``declassified`` series derive from responses the client already
+received and are exercised separately below: once knowledge has been
+declassified — a session's accumulated posterior, or a budget ledger's
+sound bound — verdicts *may* differ between secrets, but only through
+that declassified state, and only in the enumerated verdict-fed series
+and span attributes.  Telemetry *shape* never differs.
+"""
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plugin import CompileOptions
+from repro.lang.secrets import SecretSpec
+from repro.monad.policy import size_above
+from repro.server.gateway import DeclassificationServer, ServerConfig
+from repro.service.api import CompileRequest
+
+SPEC = SecretSpec.declare("IndepLoc", x=(0, 199), y=(0, 199))
+OPTIONS = CompileOptions(domain="interval", modes=("under", "over"))
+#: "inner" splits the 40000-cell prior asymmetrically (10000 / 30000),
+#: the sharpest source of secret-dependent *declassified* sizes.
+QUERIES = (("west", "x <= 99"), ("south", "y <= 99"), ("inner", "x <= 49"))
+QUERY_NAMES = tuple(name for name, _ in QUERIES) + ("ghost",)
+
+secrets = st.tuples(st.integers(0, 199), st.integers(0, 199))
+distinct_secret_pairs = st.tuples(secrets, secrets).filter(
+    lambda pair: pair[0] != pair[1]
+)
+
+
+def run_schedule(secret, opens, schedule, *, budget_floor=None):
+    """One run: fixed request stream, one secret; returns its telemetry."""
+
+    async def scenario():
+        server = DeclassificationServer(
+            size_above(100),
+            options=OPTIONS,
+            budget_floor=budget_floor,
+            config=ServerConfig(inline_compiles=True),
+        )
+        for name, text in QUERIES:
+            await server.register_query(CompileRequest(name, text, SPEC))
+        for session_id, user in opens:
+            server.open_session(session_id, (SPEC, secret), user_id=user)
+        for session_id, query_name in schedule:
+            await server.downgrade(session_id, query_name)
+        server.refresh_gauges()
+        exposition = server.hub.registry.exposition(channels=("decision",))
+        snapshot = server.hub.registry.snapshot(channels=("decision",))
+        trees = server.hub.tracer.trees()
+        digest = server.hub.tracer.digest()
+        server.shutdown()
+        return exposition, snapshot, trees, digest
+
+    return asyncio.run(scenario())
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    pair=distinct_secret_pairs,
+    queries=st.lists(st.sampled_from(QUERY_NAMES), min_size=1, max_size=4),
+)
+def test_single_downgrade_streams_are_bit_identical(pair, queries):
+    """One downgrade per session ⇒ full decision + trace bit-identity.
+
+    Admission happens against each (distinct) user's *prior* bound, so
+    even with a budget floor in play nothing the ledger decides can
+    depend on the secret — the whole decision channel must match.
+    """
+    opens = [(f"s{i}", f"u{i}") for i in range(len(queries))]
+    schedule = [(f"s{i}", name) for i, name in enumerate(queries)]
+    runs = [
+        run_schedule(
+            secret, opens, schedule, budget_floor=size_above(4000)
+        )
+        for secret in pair
+    ]
+    (expo_a, _, trees_a, digest_a), (expo_b, _, trees_b, digest_b) = runs
+    assert expo_a == expo_b  # byte-identical exposition
+    assert digest_a == digest_b
+    assert trees_a == trees_b
+    assert trees_a  # non-vacuous: every downgrade left a tree
+
+
+#: Decision-channel series *licensed* to differ between secrets: each
+#: counts or classifies a verdict, and verdicts feed on declassified
+#: state — the budget ledger's knowledge sizes, or the session's own
+#: accumulated (declassified) knowledge that the both-branch check runs
+#: against (see DESIGN.md §13).
+VERDICT_FED = {
+    "anosy_ledger_refusals_total",
+    "anosy_gateway_downgrades_total",
+    "anosy_serve_path_total",
+    "anosy_serve_path_sessions_total",
+    "anosy_gateway_stat",
+    "anosy_audit_events_total",
+}
+
+#: Span attributes that carry verdicts (same license as above).
+VERDICT_ATTRS = {"authorized", "kind", "allowed"}
+
+
+def strip_verdicts(tree):
+    """A trace tree with verdict-valued attributes removed."""
+    return {
+        "name": tree["name"],
+        "attrs": {
+            key: value
+            for key, value in tree["attrs"].items()
+            if key not in VERDICT_ATTRS
+        },
+        "children": [strip_verdicts(child) for child in tree["children"]],
+    }
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    pair=distinct_secret_pairs,
+    schedule=st.lists(
+        st.tuples(
+            st.sampled_from(("s0", "s1", "ghost-session")),
+            st.sampled_from(QUERY_NAMES),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_general_streams_diverge_only_in_verdicts(pair, schedule):
+    """Arbitrary streams ⇒ identical telemetry *shape*, verdicts aside.
+
+    Once a session has downgraded, its knowledge is declassified state
+    and later verdicts legitimately depend on it (the client saw the
+    response that shaped it).  What must never depend on the secret is
+    everything else: which series exist, their labels and counts, which
+    requests got traced, and every span's identity and structure.
+    """
+    opens = [("s0", "alice"), ("s1", "bob")]
+    runs = [run_schedule(secret, opens, schedule) for secret in pair]
+    (_, snap_a, trees_a, _), (_, snap_b, trees_b, _) = runs
+    assert set(snap_a) == set(snap_b)
+    for name in set(snap_a) - VERDICT_FED:
+        assert snap_a[name] == snap_b[name], name
+    assert set(trees_a) == set(trees_b)  # same requests traced
+    for trace_id, tree in trees_a.items():
+        assert strip_verdicts(tree) == strip_verdicts(trees_b[trace_id])
+
+
+def test_binding_floor_divergence_is_confined_to_declassified_fed_series():
+    """With a binding floor, only verdict-fed series may differ.
+
+    Ledger admission refuses when *any possible response* would cross
+    the floor, so a user's first query is judged on the prior —
+    secret-independent by construction.  The second query is judged on
+    the remaining bound the first response carved out: secret (30, 40)
+    answers ``inner`` True (bound shrinks to 10000 cells, and ``west``
+    could then empty it ⇒ refused); (150, 40) answers False (30000
+    cells, both ``west`` outcomes stay above the floor ⇒ admitted).
+    That divergence is real — and *licensed*, because the bound is a
+    function of the already-declassified response.  Everything else in
+    the decision channel must still match bit-for-bit.
+    """
+    opens = [("s1", "alice")]
+    schedule = [("s1", "inner"), ("s1", "west")]
+    floor = size_above(4_000)
+    snap_a = run_schedule((30, 40), opens, schedule, budget_floor=floor)[1]
+    snap_b = run_schedule((150, 40), opens, schedule, budget_floor=floor)[1]
+    # Verdict-fed instruments declare lazily (the run that never
+    # refused has no refusals counter at all); shape equality is only
+    # demanded of everything else.
+    assert set(snap_a) - VERDICT_FED == set(snap_b) - VERDICT_FED
+    differing = {
+        name
+        for name in set(snap_a) | set(snap_b)
+        if snap_a.get(name) != snap_b.get(name)
+    }
+    assert "anosy_ledger_refusals_total" in differing  # the floor did bind
+    assert differing <= VERDICT_FED, differing - VERDICT_FED

@@ -56,7 +56,10 @@ def call(edge, method, path, body=None, key=None):
 
 def test_healthz(edge):
     status, body, _ = call(edge, "GET", "/v1/healthz")
-    assert status == 200 and body == {"status": "ok"}
+    assert status == 200 and body["status"] == "ok"
+    assert body["degraded_fraction"] == 0.0
+    assert body["breakers_open"] == 0
+    assert body["journal_pending"] == 0
 
 
 def test_full_session_lifecycle_over_http(edge):

@@ -111,6 +111,62 @@ def test_recorded_history_replays_bit_identically():
     asyncio.run(scenario())
 
 
+def test_replay_reproduces_trace_trees_bit_identically():
+    """The twin re-derives every trace tree byte-for-byte (ISSUE 10).
+
+    Trace ids come from (idempotency key, journal seq) and span ids
+    from (trace, parent, name, index), so a replayed journal must
+    rebuild the exact same canonical trees — including the refused
+    request's admission verdict.
+    """
+
+    async def scenario():
+        backend = MemoryJournalBackend()
+        server = make_server(backend, budget_decay=DecayPolicy(radius=1))
+        await boot(server)
+        server.open_session("s1", (SPEC, SECRET), user_id="alice")
+        for name in ("west", "south", "inner"):
+            assert (await server.downgrade("s1", name)).authorized
+        assert not (await server.downgrade("s1", "west")).authorized
+        assert not (await server.downgrade("s1", "ghost")).authorized
+        source_trees = server.hub.tracer.trees()
+        source_digest = server.hub.tracer.digest()
+        server.shutdown()
+
+        session = ReplaySession(
+            RequestJournal(backend), trace_digest=source_digest
+        )
+        report = await session.run()
+        assert report.conforms
+        assert report.recorded_trace_digest == source_digest
+        assert report.replayed_trace_digest == source_digest
+        assert session.tracer.trees() == source_trees
+
+        # Non-vacuous: one tree per downgrade, rooted at the gateway's
+        # span with the shard-side decision spans as children.
+        assert len(source_trees) == 5
+        roots = {tree["name"] for tree in source_trees.values()}
+        assert roots == {"downgrade"}
+        child_names = sorted(
+            child["name"]
+            for tree in source_trees.values()
+            for child in tree["children"]
+        )
+        assert "serve" in child_names and "admission" in child_names
+        refused = [
+            tree
+            for tree in source_trees.values()
+            if any(
+                child["name"] == "admission"
+                and child["attrs"]["allowed"] is False
+                for child in tree["children"]
+            )
+        ]
+        assert len(refused) == 1  # the exhausted re-ask of "west"
+
+    asyncio.run(scenario())
+
+
 def test_tampered_outcome_digest_is_pinpointed():
     async def scenario():
         backend = MemoryJournalBackend()
